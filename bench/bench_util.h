@@ -1,0 +1,60 @@
+// Shared helpers for the table-reproduction benches: consistent formatting,
+// environment-based scaling, and a quick-search wrapper.
+//
+// Scaling: search-based benches default to laptop-scale budgets so the
+// whole suite finishes in minutes. Set K2_BENCH_SCALE=<mult> to multiply
+// iteration budgets (e.g. 10 for paper-scale overnight runs), and
+// K2_BENCH_FULL=1 to include the 1.8k-instruction xdp-balancer in
+// search-based tables.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/compiler.h"
+#include "corpus/corpus.h"
+
+namespace k2::bench {
+
+inline double scale() {
+  const char* s = std::getenv("K2_BENCH_SCALE");
+  return s ? std::max(0.01, atof(s)) : 1.0;
+}
+
+inline bool full_mode() {
+  const char* s = std::getenv("K2_BENCH_FULL");
+  return s && s[0] == '1';
+}
+
+inline uint64_t scaled(uint64_t base) {
+  return uint64_t(double(base) * scale());
+}
+
+// A quick K2 run with sensible bench defaults.
+inline core::CompileResult quick_compile(const ebpf::Program& src,
+                                         core::Goal goal, uint64_t iters,
+                                         int chains = 2, int top_k = 1) {
+  core::CompileOptions o;
+  o.goal = goal;
+  o.iters_per_chain = scaled(iters);
+  o.num_chains = chains;
+  o.threads = chains;
+  o.top_k = top_k;
+  o.eq.timeout_ms = 10000;
+  o.settings = core::table8_settings();
+  return core::compile(src, o);
+}
+
+inline void hr(char c = '-') {
+  for (int i = 0; i < 110; ++i) putchar(c);
+  putchar('\n');
+}
+
+inline std::string pct(double frac) {
+  char buf[32];
+  snprintf(buf, sizeof buf, "%.2f%%", frac * 100.0);
+  return buf;
+}
+
+}  // namespace k2::bench

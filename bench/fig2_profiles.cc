@@ -1,0 +1,53 @@
+// Appendix H (Fig. 2): throughput, average latency, and drop rate versus
+// offered load for the clang and K2 variants. Prints one series per
+// (benchmark, variant) in CSV-ish rows for plotting; the shape targets are
+// the paper's: throughput linear until the MLFFR knee then flat; latency
+// flat, then a sharp rise near capacity, then saturation at the ring
+// bound; drop rate zero until the knee then climbing.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/perf_eval.h"
+#include "sim/queue_sim.h"
+
+using namespace k2;
+
+int main() {
+  const char* names[] = {"xdp2_kern/xdp1", "xdp_router_ipv4", "xdp_fwd",
+                         "xdp1_kern/xdp1", "xdp_map_access"};
+
+  printf("Fig. 2: throughput / avg latency / drop rate vs offered load\n");
+  printf("%-18s %-8s %10s %12s %12s %10s\n", "benchmark", "variant",
+         "offered", "throughput", "latency_us", "drop_rate");
+  bench::hr('=');
+
+  for (const char* name : names) {
+    const corpus::Benchmark& b = corpus::benchmark(name);
+    auto workload = sim::make_workload(b.o2, 64, 0x4444);
+
+    ebpf::Program k2v = b.o2;
+    core::CompileResult res =
+        bench::quick_compile(b.o2, core::Goal::LATENCY, 4000, 2);
+    if (res.improved) k2v = res.best;
+
+    struct Variant {
+      const char* name;
+      double service_ns;
+    } variants[] = {
+        {"-O2", sim::avg_packet_cost_ns(b.o2, workload)},
+        {"K2", sim::avg_packet_cost_ns(k2v, workload)},
+    };
+    for (const Variant& v : variants) {
+      double capacity = 1000.0 / v.service_ns;
+      for (double frac :
+           {0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0, 1.05, 1.2, 1.5}) {
+        sim::LoadPoint p = sim::simulate_load(v.service_ns, capacity * frac);
+        printf("%-18s %-8s %10.3f %12.3f %12.3f %10.4f\n", name, v.name,
+               p.offered_mpps, p.throughput_mpps, p.avg_latency_us,
+               p.drop_rate);
+      }
+    }
+    bench::hr();
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Micro-benchmark: interpreter throughput over corpus programs (§7 — the
+// interpreter sits in the innermost search loop, executing every proposal
+// against the full test suite).
+#include <benchmark/benchmark.h>
+
+#include "corpus/corpus.h"
+#include "interp/interpreter.h"
+#include "sim/perf_eval.h"
+
+namespace {
+
+void BM_Interpret(benchmark::State& state, const std::string& name) {
+  const k2::corpus::Benchmark& b = k2::corpus::benchmark(name);
+  auto workload = k2::sim::make_workload(b.o2, 16, 42);
+  size_t i = 0;
+  uint64_t insns = 0;
+  for (auto _ : state) {
+    k2::interp::RunResult r =
+        k2::interp::run(b.o2, workload[i++ % workload.size()]);
+    benchmark::DoNotOptimize(r.r0);
+    insns += r.insns_executed;
+  }
+  state.counters["insns/s"] = benchmark::Counter(
+      double(insns), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Interpret, xdp_exception, std::string("xdp_exception"));
+BENCHMARK_CAPTURE(BM_Interpret, xdp2, std::string("xdp2_kern/xdp1"));
+BENCHMARK_CAPTURE(BM_Interpret, xdp_fwd, std::string("xdp_fwd"));
+BENCHMARK_CAPTURE(BM_Interpret, recvmsg4, std::string("recvmsg4"));
+BENCHMARK_CAPTURE(BM_Interpret, balancer, std::string("xdp-balancer"));
+
+BENCHMARK_MAIN();

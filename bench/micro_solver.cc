@@ -1,0 +1,69 @@
+// Micro-benchmark: encoding + solving cost of equivalence queries as
+// program size and memory-operation count grow — the scaling pressure that
+// motivates §5's optimizations.
+#include <benchmark/benchmark.h>
+
+#include "ebpf/assembler.h"
+#include "verify/eqchecker.h"
+
+namespace {
+
+// Straight-line ALU chain of the given length.
+k2::ebpf::Program alu_chain(int n) {
+  std::string s = "mov64 r0, 1\n";
+  for (int i = 0; i < n; ++i)
+    s += (i % 3 == 0 ? "add64 r0, 3\n" : i % 3 == 1 ? "xor64 r0, 7\n"
+                                                    : "lsh64 r0, 1\n");
+  s += "exit\n";
+  return k2::ebpf::assemble(s);
+}
+
+// Program with n stack store/load pairs (stresses the memory tables).
+k2::ebpf::Program mem_chain(int n) {
+  std::string s = "mov64 r0, 1\n";
+  for (int i = 0; i < n; ++i) {
+    int off = 8 * (1 + (i % 8));
+    s += "stxdw [r10-" + std::to_string(off) + "], r0\n";
+    s += "ldxdw r0, [r10-" + std::to_string(off) + "]\n";
+    s += "add64 r0, 1\n";
+  }
+  s += "exit\n";
+  return k2::ebpf::assemble(s);
+}
+
+void BM_EqCheckAlu(benchmark::State& state) {
+  k2::ebpf::Program p = alu_chain(int(state.range(0)));
+  for (auto _ : state) {
+    auto r = k2::verify::check_equivalence(p, p);
+    benchmark::DoNotOptimize(r.verdict);
+  }
+}
+
+void BM_EqCheckMem(benchmark::State& state) {
+  k2::ebpf::Program p = mem_chain(int(state.range(0)));
+  for (auto _ : state) {
+    auto r = k2::verify::check_equivalence(p, p);
+    benchmark::DoNotOptimize(r.verdict);
+  }
+}
+
+void BM_EqCheckMemNoOffsetConc(benchmark::State& state) {
+  k2::ebpf::Program p = mem_chain(int(state.range(0)));
+  k2::verify::EqOptions opts;
+  opts.enc.offset_concretization = false;  // ablate §5 III
+  for (auto _ : state) {
+    auto r = k2::verify::check_equivalence(p, p, opts);
+    benchmark::DoNotOptimize(r.verdict);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_EqCheckAlu)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EqCheckMem)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EqCheckMemNoOffsetConc)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

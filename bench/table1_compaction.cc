@@ -1,0 +1,71 @@
+// Table 1: program compactness. For every corpus benchmark, runs the K2
+// search with the instruction-count goal and reports the measured program
+// sizes next to the paper's reference numbers. Absolute parity with the
+// paper is not expected at bench-scale iteration budgets (K2_BENCH_SCALE
+// raises them); the shape — K2 always at or below the best clang variant,
+// single-digit to ~25% compression — is the reproduction target.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "kernel/kernel_checker.h"
+
+using namespace k2;
+
+int main() {
+  printf("Table 1: instruction-count reduction over the best clang variant\n");
+  printf("(paper cols: -O1/-O2/K2/compression; DNL = did not load)\n");
+  bench::hr('=');
+  printf("%-22s | %5s %5s %5s %6s | %5s %5s %5s %8s | %8s %10s\n",
+         "benchmark", "pO1", "pO2", "pK2", "pComp", "O1", "O2", "K2", "comp",
+         "time(s)", "iters");
+  bench::hr();
+
+  double comp_sum = 0;
+  int comp_n = 0;
+  for (const corpus::Benchmark& b : corpus::all_benchmarks()) {
+    bool is_balancer = b.name == "xdp-balancer";
+    int o1 = kernel::kernel_check(b.o1).accepted ? b.o1.size_slots() : -1;
+    int o2 = b.o2.size_slots();
+
+    int k2_size = o2;
+    double secs = 0;
+    uint64_t iters = 0;
+    if (!is_balancer || bench::full_mode()) {
+      uint64_t budget = is_balancer ? 2000 : 6000;
+      core::CompileResult res =
+          bench::quick_compile(b.o2, core::Goal::INST_COUNT, budget,
+                               /*chains=*/4);
+      if (res.improved) k2_size = res.best.size_slots();
+      secs = res.secs_to_best > 0 ? res.secs_to_best : res.total_secs;
+      iters = res.iters_to_best;
+    }
+    double comp = o2 > 0 ? 1.0 - double(k2_size) / double(o2) : 0;
+    comp_sum += comp;
+    comp_n++;
+    double paper_comp =
+        b.paper_o2 > 0 ? 1.0 - double(b.paper_k2) / double(b.paper_o2) : 0;
+
+    char o1s[16];
+    if (o1 < 0)
+      snprintf(o1s, sizeof o1s, "DNL");
+    else
+      snprintf(o1s, sizeof o1s, "%d", o1);
+    char po1s[16];
+    if (b.paper_o1 < 0)
+      snprintf(po1s, sizeof po1s, "DNL");
+    else
+      snprintf(po1s, sizeof po1s, "%d", b.paper_o1);
+
+    printf("%-22s | %5s %5d %5d %6s | %5s %5d %5d %8s | %8.1f %10llu\n",
+           b.name.c_str(), po1s, b.paper_o2, b.paper_k2,
+           bench::pct(paper_comp).c_str(), o1s, o2, k2_size,
+           bench::pct(comp).c_str(), secs,
+           static_cast<unsigned long long>(iters));
+  }
+  bench::hr();
+  printf("mean compression: %s (paper: 13.95%%)\n",
+         bench::pct(comp_sum / comp_n).c_str());
+  printf("note: run with K2_BENCH_SCALE>1 and K2_BENCH_FULL=1 for longer, "
+         "paper-scale searches.\n");
+  return 0;
+}

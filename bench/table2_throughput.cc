@@ -1,0 +1,57 @@
+// Table 2: single-core throughput as the maximum loss-free forwarding rate
+// (MLFFR, RFC 2544), for the six XDP benchmarks the paper measures on its
+// testbed. Our testbed substitute: interpreter-traced per-packet service
+// times + the M/D/1/K queue simulator (DESIGN.md §1).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "kernel/kernel_checker.h"
+#include "sim/perf_eval.h"
+#include "sim/queue_sim.h"
+
+using namespace k2;
+
+int main() {
+  const char* names[] = {"xdp2_kern/xdp1", "xdp_router_ipv4", "xdp_fwd",
+                         "xdp1_kern/xdp1", "xdp_map_access", "xdp-balancer"};
+  const double paper_gain[] = {0.0211, 0.0, 0.0177, 0.0475, 0.027, 0.0294};
+
+  printf("Table 2: throughput (MLFFR, Mpps per core), 64B-class packets\n");
+  bench::hr('=');
+  printf("%-18s | %8s %8s %8s | %8s | %10s\n", "benchmark", "-O1", "-O2",
+         "K2", "gain", "paper gain");
+  bench::hr();
+
+  int i = 0;
+  for (const char* name : names) {
+    const corpus::Benchmark& b = corpus::benchmark(name);
+    auto workload = sim::make_workload(b.o2, 64, 0x2222);
+
+    ebpf::Program k2v = b.o2;
+    if (b.o2.insns.size() < 400 || bench::full_mode()) {
+      core::CompileResult res =
+          bench::quick_compile(b.o2, core::Goal::LATENCY, 5000, 3);
+      if (res.improved) k2v = res.best;
+    }
+
+    bool o1_loads = kernel::kernel_check(b.o1).accepted;
+    double s_o1 = o1_loads ? sim::avg_packet_cost_ns(b.o1, workload) : 0;
+    double s_o2 = sim::avg_packet_cost_ns(b.o2, workload);
+    double s_k2 = sim::avg_packet_cost_ns(k2v, workload);
+    double m_o1 = s_o1 > 0 ? sim::find_mlffr(s_o1) : 0;
+    double m_o2 = sim::find_mlffr(s_o2);
+    double m_k2 = sim::find_mlffr(s_k2);
+    double gain = m_o2 > 0 ? m_k2 / m_o2 - 1.0 : 0;
+
+    if (s_o1 > 0)
+      printf("%-18s | %8.3f %8.3f %8.3f | %8s | %10s\n", name, m_o1, m_o2,
+             m_k2, bench::pct(gain).c_str(), bench::pct(paper_gain[i]).c_str());
+    else
+      printf("%-18s | %8s %8.3f %8.3f | %8s | %10s\n", name, "DNL", m_o2,
+             m_k2, bench::pct(gain).c_str(), bench::pct(paper_gain[i]).c_str());
+    i++;
+  }
+  bench::hr();
+  printf("shape target: K2 >= best clang, gains in the 0-5%% band\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 3: average packet latency at four offered loads (low / medium /
+// high / saturating, defined relative to the slowest/fastest variants'
+// MLFFRs exactly as in §8).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/perf_eval.h"
+#include "sim/queue_sim.h"
+
+using namespace k2;
+
+int main() {
+  const char* names[] = {"xdp2_kern/xdp1", "xdp_router_ipv4", "xdp_fwd",
+                         "xdp-balancer"};
+  // Paper reductions at low/med/high/saturating.
+  const double paper[][4] = {{0.1191, 0.4089, 0.5503, 0.0589},
+                             {0.0551, 0.0891, 0.0891, 0.0148},
+                             {0.0593, 0.1792, 0.1792, 0.0246},
+                             {0.0388, 0.2397, 0.4973, 0.0136}};
+
+  printf("Table 3: average latency (us) of best clang vs K2 at 4 loads\n");
+  bench::hr('=');
+  printf("%-16s | %-5s | %9s %9s %9s | %10s\n", "benchmark", "load",
+         "clang", "K2", "reduction", "paper red.");
+  bench::hr();
+
+  int bi = 0;
+  for (const char* name : names) {
+    const corpus::Benchmark& b = corpus::benchmark(name);
+    auto workload = sim::make_workload(b.o2, 64, 0x3333);
+
+    ebpf::Program k2v = b.o2;
+    if (b.o2.insns.size() < 400 || bench::full_mode()) {
+      core::CompileResult res =
+          bench::quick_compile(b.o2, core::Goal::LATENCY, 5000, 3);
+      if (res.improved) k2v = res.best;
+    }
+    double s_clang = sim::avg_packet_cost_ns(b.o2, workload);
+    double s_k2 = sim::avg_packet_cost_ns(k2v, workload);
+    double m_clang = sim::find_mlffr(s_clang);
+    double m_k2 = sim::find_mlffr(s_k2);
+    double slow = std::min(m_clang, m_k2), fast = std::max(m_clang, m_k2);
+
+    struct Load {
+      const char* name;
+      double mpps;
+    } loads[4] = {{"low", slow * 0.9},
+                  {"med", slow},
+                  {"high", fast},
+                  {"sat", fast * 1.1}};
+    for (int li = 0; li < 4; ++li) {
+      sim::LoadPoint pc = sim::simulate_load(s_clang, loads[li].mpps);
+      sim::LoadPoint pk = sim::simulate_load(s_k2, loads[li].mpps);
+      double red = pc.avg_latency_us > 0
+                       ? 1.0 - pk.avg_latency_us / pc.avg_latency_us
+                       : 0;
+      printf("%-16s | %-5s | %9.3f %9.3f %9s | %10s\n",
+             li == 0 ? name : "", loads[li].name, pc.avg_latency_us,
+             pk.avg_latency_us, bench::pct(red).c_str(),
+             bench::pct(paper[bi][li]).c_str());
+    }
+    bench::hr();
+    bi++;
+  }
+  printf("shape target: biggest reductions at medium/high loads, small at "
+         "low/saturating (queueing effect)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table 4: reductions in equivalence-checking time from the §5
+// optimizations. Baseline = all optimizations on (I memory-type, II
+// map-type, III offset concretization, IV modular/window verification);
+// columns progressively disable IV, then III, then II, then I, reporting
+// absolute time and slowdown relative to the baseline — the same
+// presentation as the paper.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "verify/eqchecker.h"
+#include "verify/window.h"
+
+using namespace k2;
+
+namespace {
+
+// Verification task: check the benchmark program against itself with one
+// dead instruction NOPped (a typical accepted candidate).
+double time_check(const corpus::Benchmark& b, bool use_window, bool opt1,
+                  bool opt2, bool opt3, double cap_ms) {
+  verify::EqOptions opts;
+  opts.enc.mem_type_concretization = opt1;
+  opts.enc.map_type_concretization = opt2;
+  opts.enc.offset_concretization = opt3;
+  opts.timeout_ms = unsigned(cap_ms);
+  auto t0 = std::chrono::steady_clock::now();
+  if (use_window) {
+    // Candidates in window mode differ from the source inside exactly one
+    // window, so one verification covers the whole candidate: verify the
+    // largest window's slice (the worst case).
+    auto wins = verify::select_windows(b.o2, 6);
+    verify::WindowSpec best{0, 0};
+    for (const auto& w : wins)
+      if (w.end - w.start > best.end - best.start) best = w;
+    if (best.end > best.start) {
+      std::vector<ebpf::Insn> repl(b.o2.insns.begin() + best.start,
+                                   b.o2.insns.begin() + best.end);
+      verify::check_window_equivalence(b.o2, best, repl, opts);
+    }
+  } else {
+    verify::check_equivalence(b.o2, b.o2, opts);
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  // The paper's Table 4 benchmarks: (1)-(5), (14), (17), (18).
+  const char* names[] = {"xdp_exception",      "xdp_redirect_err",
+                         "xdp_devmap_xmit",    "xdp_cpumap_kthread",
+                         "xdp_cpumap_enqueue", "xdp_pktcntr",
+                         "from-network",       "recvmsg4"};
+  const double cap_ms = 60000 * bench::scale();
+
+  printf("Table 4: equivalence-checking time vs optimization set (§5)\n");
+  printf("columns: all on (I,II,III,IV) -> progressively disabled\n");
+  bench::hr('=');
+  printf("%-20s | %10s | %12s %8s | %12s %8s | %12s %8s | %12s %8s\n",
+         "benchmark", "base(ms)", "I,II,III", "slow", "I,II", "slow", "I",
+         "slow", "none", "slow");
+  bench::hr();
+
+  for (const char* name : names) {
+    const corpus::Benchmark& b = corpus::benchmark(name);
+    double base = time_check(b, /*window=*/true, 1, 1, 1, cap_ms);
+    double t123 = time_check(b, false, 1, 1, 1, cap_ms);
+    double t12 = time_check(b, false, 1, 1, 0, cap_ms);
+    double t1 = time_check(b, false, 1, 0, 0, cap_ms);
+    double tnone = time_check(b, false, 0, 0, 0, cap_ms);
+    printf("%-20s | %10.1f | %12.1f %7.1fx | %12.1f %7.1fx | %12.1f %7.1fx "
+           "| %12.1f %7.1fx\n",
+           name, base, t123, t123 / base, t12, t12 / base, t1, t1 / base,
+           tnone, tnone / base);
+  }
+  bench::hr();
+  printf("shape target: monotone slowdowns as optimizations turn off; "
+         "modular verification (IV) the largest single win\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table 7 (App. E): improvements in K2's *estimated* program runtime (the
+// latency cost function perf_lat) under the latency goal.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/latency_model.h"
+
+using namespace k2;
+
+int main() {
+  struct Row {
+    const char* name;
+    double paper_gain;
+  } rows[] = {{"xdp_router_ipv4", 0.0622}, {"xdp_redirect", 0.0970},
+              {"xdp1_kern/xdp1", 0.0399},  {"xdp2_kern/xdp1", 0.0654},
+              {"xdp_fwd", 0.1519},         {"xdp_pktcntr", 0.0381},
+              {"xdp_fw", 0.0343},          {"xdp_map_access", 0.0243},
+              {"from-network", 0.0578},    {"recvmsg4", 0.0630}};
+
+  printf("Table 7: K2-estimated program runtime (latency cost fn), ns\n");
+  bench::hr('=');
+  printf("%-18s | %9s %9s %9s | %8s | %10s\n", "benchmark", "-O1", "-O2",
+         "K2", "gain", "paper gain");
+  bench::hr();
+
+  double gain_sum = 0;
+  int n = 0;
+  for (const Row& row : rows) {
+    const corpus::Benchmark& b = corpus::benchmark(row.name);
+    core::CompileResult res =
+        bench::quick_compile(b.o2, core::Goal::LATENCY, 6000, 3);
+    double e_o1 = sim::static_program_cost_ns(b.o1);
+    double e_o2 = sim::static_program_cost_ns(b.o2);
+    double e_k2 = res.improved ? sim::static_program_cost_ns(res.best) : e_o2;
+    double gain = e_o2 > 0 ? 1.0 - e_k2 / e_o2 : 0;
+    gain_sum += gain;
+    n++;
+    printf("%-18s | %9.1f %9.1f %9.1f | %8s | %10s\n", row.name, e_o1, e_o2,
+           e_k2, bench::pct(gain).c_str(), bench::pct(row.paper_gain).c_str());
+  }
+  bench::hr();
+  printf("mean gain: %s (paper mean: 6.19%%)\n",
+         bench::pct(gain_sum / n).c_str());
+  return 0;
+}

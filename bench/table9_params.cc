@@ -1,0 +1,64 @@
+// Tables 8+9 (App. F.1): the five best parameter settings and the best
+// program size each finds per benchmark — some settings dominate, but no
+// single setting wins everywhere, which is why K2 runs them in parallel.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace k2;
+
+int main() {
+  auto settings = core::table8_settings();
+
+  printf("Table 8: parameter settings (inputs)\n");
+  bench::hr('=');
+  printf("%-8s | %-5s | %-8s | %5s %5s | %5s %5s %5s %6s %6s %6s\n", "set",
+         "diff", "avg-by-T", "alpha", "beta", "p_ir", "p_or", "p_nr",
+         "p_me1", "p_me2", "p_cir");
+  bench::hr();
+  for (const auto& s : settings) {
+    printf("%-8s | %-5s | %-8s | %5.2f %5.2f | %5.2f %5.2f %5.2f %6.2f "
+           "%6.2f %6.2f\n",
+           s.name.c_str(),
+           s.diff == core::SearchParams::Diff::ABS ? "ABS" : "POP",
+           s.avg_by_tests ? "yes" : "no", s.alpha, s.beta, s.p_insn_replace,
+           s.p_operand_replace, s.p_nop_replace, s.p_mem_exchange1,
+           s.p_mem_exchange2, s.p_contiguous);
+  }
+
+  const char* names[] = {"xdp_exception", "xdp_redirect_err",
+                         "xdp_cpumap_kthread", "sys_enter_open", "socket/0",
+                         "xdp_pktcntr", "xdp_map_access", "from-network"};
+
+  printf("\nTable 9: best program size found per setting\n");
+  bench::hr('=');
+  printf("%-20s |", "benchmark");
+  for (const auto& s : settings) printf(" %6s", s.name.c_str());
+  printf(" | best\n");
+  bench::hr();
+
+  for (const char* name : names) {
+    const corpus::Benchmark& b = corpus::benchmark(name);
+    printf("%-20s |", name);
+    int best = b.o2.size_slots();
+    std::vector<int> sizes;
+    for (const auto& s : settings) {
+      core::CompileOptions o;
+      o.goal = core::Goal::INST_COUNT;
+      o.settings = {s};
+      o.num_chains = 1;
+      o.threads = 1;
+      o.iters_per_chain = bench::scaled(4000);
+      core::CompileResult res = core::compile(b.o2, o);
+      int size = res.improved ? res.best.size_slots() : b.o2.size_slots();
+      sizes.push_back(size);
+      best = std::min(best, size);
+    }
+    for (int s : sizes) printf(" %5d%s", s, s == best ? "*" : " ");
+    printf(" | %d\n", best);
+  }
+  bench::hr();
+  printf("* = setting attains the per-benchmark minimum (paper Table 9's "
+         "starred entries)\n");
+  return 0;
+}

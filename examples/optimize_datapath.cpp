@@ -1,0 +1,66 @@
+// Optimize a production-style XDP datapath program end to end and measure
+// the packet-level effect on the simulated single-core datapath: the full
+// Table-1 + Table-2 pipeline on one benchmark.
+//
+//   $ ./examples/optimize_datapath [benchmark-name] [iterations]
+//   (default: xdp2_kern/xdp1, 8000 iterations per chain)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/compiler.h"
+#include "corpus/corpus.h"
+#include "kernel/kernel_checker.h"
+#include "sim/perf_eval.h"
+#include "sim/queue_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace k2;
+  std::string name = argc > 1 ? argv[1] : "xdp2_kern/xdp1";
+  uint64_t iters = argc > 2 ? strtoull(argv[2], nullptr, 10) : 8000;
+
+  const corpus::Benchmark& bench = corpus::benchmark(name);
+  printf("benchmark %s (%s): %d instructions at -O2\n", bench.name.c_str(),
+         bench.origin.c_str(), bench.o2.size_slots());
+
+  // Search with the instruction-count goal across 4 parallel chains.
+  core::CompileOptions opts;
+  opts.goal = core::Goal::INST_COUNT;
+  opts.num_chains = 4;
+  opts.threads = 4;
+  opts.iters_per_chain = iters;
+  opts.top_k = 3;
+  core::CompileResult res = core::compile(bench.o2, opts);
+
+  printf("search: %llu proposals, %llu solver calls, cache hit rate %.0f%%, "
+         "%.1fs total\n",
+         static_cast<unsigned long long>(res.total_proposals),
+         static_cast<unsigned long long>(res.solver_calls),
+         res.cache.hit_rate() * 100, res.total_secs);
+  if (!res.improved) {
+    printf("no smaller equivalent program found at this budget; try more "
+           "iterations\n");
+    return 0;
+  }
+  printf("K2: %d -> %d instructions (paper: %d -> %d)\n",
+         bench.o2.size_slots(), res.best.size_slots(), bench.paper_o2,
+         bench.paper_k2);
+
+  // The output must load: run the kernel-checker model over every variant.
+  for (size_t i = 0; i < res.top_k.size(); ++i) {
+    kernel::CheckResult kc = kernel::kernel_check(res.top_k[i]);
+    printf("variant %zu: %d insns, kernel checker: %s\n", i,
+           res.top_k[i].size_slots(), kc.accepted ? "ACCEPT" : kc.reason.c_str());
+  }
+
+  // Packet-level effect on the simulated datapath.
+  auto workload = sim::make_workload(bench.o2, 64, 0xfeed);
+  double s_before = sim::avg_packet_cost_ns(bench.o2, workload);
+  double s_after = sim::avg_packet_cost_ns(res.best, workload);
+  double m_before = sim::find_mlffr(s_before);
+  double m_after = sim::find_mlffr(s_after);
+  printf("per-packet cost: %.1f -> %.1f ns; MLFFR: %.3f -> %.3f Mpps "
+         "(%+.2f%%)\n",
+         s_before, s_after, m_before, m_after,
+         (m_after / m_before - 1) * 100);
+  return 0;
+}

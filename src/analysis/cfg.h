@@ -1,0 +1,46 @@
+// Control-flow graph over basic blocks (§6 "K2 constructs the complete
+// control flow graph over basic blocks at compile time"), plus the standard
+// analyses the rest of the system needs: reachability, topological order,
+// dominance.
+//
+// BPF control flow in synthesized programs only moves forward (loop-free by
+// construction, §3.1), so block order is already a topological order; the
+// `loop_free` flag reports whether that invariant actually holds for a given
+// program.
+#pragma once
+
+#include <vector>
+
+#include "ebpf/program.h"
+
+namespace k2::analysis {
+
+struct BasicBlock {
+  int start = 0;  // first instruction index
+  int end = 0;    // one past last instruction index
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  std::vector<int> block_of;     // instruction index -> block id
+  std::vector<bool> reachable;   // per block, from entry
+  bool loop_free = true;         // no edge to an earlier (or same) block
+
+  int num_blocks() const { return static_cast<int>(blocks.size()); }
+};
+
+Cfg build_cfg(const ebpf::Program& prog);
+
+// Immediate dominator per block (-1 for entry / unreachable blocks).
+// Requires a loop-free CFG.
+std::vector<int> immediate_dominators(const Cfg& cfg);
+
+// True when block `a` dominates block `b` under `idom`.
+bool dominates(const std::vector<int>& idom, int a, int b);
+
+// can_reach[a][b]: a path exists from block a to block b (a != b).
+std::vector<std::vector<bool>> reachability_matrix(const Cfg& cfg);
+
+}  // namespace k2::analysis

@@ -1,0 +1,89 @@
+#include "analysis/dce.h"
+
+#include "analysis/cfg.h"
+#include "analysis/liveness.h"
+#include "analysis/typeinfer.h"
+
+namespace k2::analysis {
+
+using ebpf::Insn;
+using ebpf::InsnClass;
+using ebpf::Opcode;
+
+ebpf::Program remove_dead_code(const ebpf::Program& prog, bool aggressive) {
+  ebpf::Program out = prog;
+  Cfg cfg = build_cfg(prog);
+  if (!cfg.loop_free) return out;
+  TypeInfo ti = infer_types(prog, cfg);
+  if (!ti.ok) return out;
+  Liveness lv = compute_liveness(prog, cfg, ti);
+
+  for (size_t i = 0; i < prog.insns.size(); ++i) {
+    const Insn& insn = prog.insns[i];
+    if (insn.op == Opcode::NOP) continue;
+    int b = cfg.block_of[i];
+    if (b >= 0 && !cfg.reachable[b]) {
+      out.insns[i].op = Opcode::NOP;
+      out.insns[i] = Insn{};
+      continue;
+    }
+    InsnClass cls = ebpf::insn_class(insn.op);
+    uint16_t defs = ebpf::def_mask(insn);
+    bool def_dead = defs != 0 && (defs & lv.live_out[i]) == 0;
+    switch (cls) {
+      case InsnClass::ALU:
+      case InsnClass::LD_IMM:
+        if (def_dead) out.insns[i] = Insn{};
+        break;
+      case InsnClass::LDX:
+        if (def_dead && aggressive) out.insns[i] = Insn{};
+        break;
+      case InsnClass::STX:
+      case InsnClass::ST: {
+        auto info = access_info(prog, ti, static_cast<int>(i));
+        if (info && info->region == Rt::PTR_STACK && info->off_known &&
+            info->off >= -kStackSize && info->off + info->width <= 0) {
+          bool any_live = false;
+          for (int k = 0; k < info->width; ++k)
+            if (lv.stack_out[i][static_cast<size_t>(info->off + k +
+                                                    kStackSize)])
+              any_live = true;
+          if (!any_live) out.insns[i] = Insn{};
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+ebpf::Program canonicalize(const ebpf::Program& prog) {
+  ebpf::Program cur = prog;
+  for (int round = 0; round < 8; ++round) {
+    ebpf::Program next = remove_dead_code(cur, /*aggressive=*/true);
+    if (next.insns == cur.insns) break;
+    cur = std::move(next);
+  }
+  return cur.strip_nops();
+}
+
+uint64_t program_hash(const ebpf::Program& prog) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const Insn& insn : prog.insns) {
+    mix(static_cast<uint64_t>(insn.op));
+    mix(insn.dst | (uint64_t(insn.src) << 8) |
+        (uint64_t(static_cast<uint16_t>(insn.off)) << 16));
+    mix(static_cast<uint64_t>(insn.imm));
+  }
+  return h;
+}
+
+}  // namespace k2::analysis

@@ -1,0 +1,30 @@
+// Dead-code elimination and program canonicalization.
+//
+// Two uses in the paper: (a) canonicalizing candidates before hashing into
+// the equivalence-checking outcome cache ("We canonicalize the program by
+// removing dead code", §5 V), and (b) the non-trivial dead-code elimination
+// K2 itself discovers ("leverages the liveness of memory addresses", §9).
+#pragma once
+
+#include <cstdint>
+
+#include "ebpf/program.h"
+
+namespace k2::analysis {
+
+// Replaces dead instructions with NOPs:
+//  * unreachable instructions,
+//  * ALU / LDDW / LDMAPFD whose defined register is dead,
+//  * stores to provably-in-bounds stack bytes that are never read again.
+// Loads are removed only when `aggressive` (a faulting load is observable,
+// so the conservative mode keeps them).
+ebpf::Program remove_dead_code(const ebpf::Program& prog,
+                               bool aggressive = false);
+
+// Cache-key form: iterated aggressive DCE + NOP stripping.
+ebpf::Program canonicalize(const ebpf::Program& prog);
+
+// FNV-1a over the canonical instruction stream (cache key).
+uint64_t program_hash(const ebpf::Program& prog);
+
+}  // namespace k2::analysis

@@ -1,0 +1,157 @@
+#include "analysis/liveness.h"
+
+#include "ebpf/helpers_def.h"
+
+namespace k2::analysis {
+
+using ebpf::Insn;
+using ebpf::Opcode;
+
+namespace {
+
+struct InsnEffect {
+  uint16_t reg_use = 0;
+  uint16_t reg_def = 0;
+  StackSet stack_use;
+  StackSet stack_def;
+  bool stack_use_all = false;  // unknown-offset read
+};
+
+// Marks stack bytes [off, off+w) (offsets relative to r10, negative).
+void mark(StackSet* set, int64_t off, int64_t w) {
+  for (int64_t i = 0; i < w; ++i) {
+    int64_t idx = off + i + kStackSize;
+    if (idx >= 0 && idx < kStackSize) set->set(static_cast<size_t>(idx));
+  }
+}
+
+InsnEffect effect(const ebpf::Program& prog, const TypeInfo& ti, int idx) {
+  const Insn& insn = prog.insns[idx];
+  InsnEffect e;
+  e.reg_use = ebpf::use_mask(insn);
+  e.reg_def = ebpf::def_mask(insn);
+
+  if (insn.op == Opcode::CALL) {
+    const ebpf::HelperProto* proto = ebpf::helper_proto(insn.imm);
+    if (proto) {
+      uint16_t use = 0;
+      for (int r = 1; r <= proto->nargs; ++r) use |= uint16_t(1u << r);
+      e.reg_use = use;
+      // Pointer arguments make the pointed-to stack bytes live. Map helpers
+      // read key/value buffers of statically-known size; csum_diff reads
+      // dynamically-sized buffers, so be conservative.
+      auto arg_reads = [&](int reg, uint32_t size) {
+        const RegState& rs = ti.reg_before(idx, reg);
+        if (rs.type == Rt::PTR_STACK) {
+          if (rs.off_known)
+            mark(&e.stack_use, rs.off, size);
+          else
+            e.stack_use_all = true;
+        }
+      };
+      switch (insn.imm) {
+        case ebpf::HELPER_MAP_LOOKUP:
+        case ebpf::HELPER_MAP_DELETE:
+          if (!prog.maps.empty()) {
+            const RegState& h = ti.reg_before(idx, 1);
+            uint32_t ks = h.map_fd >= 0 &&
+                                  h.map_fd < static_cast<int>(prog.maps.size())
+                              ? prog.maps[h.map_fd].key_size
+                              : 8;
+            arg_reads(2, ks);
+          } else {
+            e.stack_use_all = true;
+          }
+          break;
+        case ebpf::HELPER_MAP_UPDATE:
+          if (!prog.maps.empty()) {
+            const RegState& h = ti.reg_before(idx, 1);
+            bool known = h.map_fd >= 0 &&
+                         h.map_fd < static_cast<int>(prog.maps.size());
+            arg_reads(2, known ? prog.maps[h.map_fd].key_size : 8);
+            arg_reads(3, known ? prog.maps[h.map_fd].value_size : 8);
+          } else {
+            e.stack_use_all = true;
+          }
+          break;
+        case ebpf::HELPER_CSUM_DIFF:
+          e.stack_use_all = true;
+          break;
+        default:
+          break;
+      }
+    }
+    return e;
+  }
+
+  if (ebpf::is_mem_access(insn.op)) {
+    auto info = access_info(prog, ti, idx);
+    int w = ebpf::mem_width(insn.op);
+    if (info && info->region == Rt::PTR_STACK) {
+      if (ebpf::is_mem_load(insn.op) ||
+          ebpf::insn_class(insn.op) == ebpf::InsnClass::XADD) {
+        if (info->off_known)
+          mark(&e.stack_use, info->off, w);
+        else
+          e.stack_use_all = true;
+      }
+      if (ebpf::is_mem_store(insn.op) && info->off_known &&
+          ebpf::insn_class(insn.op) != ebpf::InsnClass::XADD) {
+        mark(&e.stack_def, info->off, w);
+      }
+    } else if (!info || info->region == Rt::UNKNOWN) {
+      // Unknown provenance: could alias the stack.
+      if (ebpf::is_mem_load(insn.op)) e.stack_use_all = true;
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+Liveness compute_liveness(const ebpf::Program& prog, const Cfg& cfg,
+                          const TypeInfo& ti) {
+  const int n = static_cast<int>(prog.insns.size());
+  Liveness lv;
+  lv.live_in.assign(n, 0);
+  lv.live_out.assign(n, 0);
+  lv.stack_in.assign(n, {});
+  lv.stack_out.assign(n, {});
+
+  // Block-entry liveness; blocks processed in reverse (succs come later in a
+  // loop-free CFG, so one pass converges).
+  std::vector<uint16_t> block_in_regs(cfg.num_blocks(), 0);
+  std::vector<StackSet> block_in_stack(cfg.num_blocks());
+
+  for (int b = cfg.num_blocks() - 1; b >= 0; --b) {
+    const BasicBlock& blk = cfg.blocks[b];
+    uint16_t regs = 0;
+    StackSet stack;
+    bool is_exit_block =
+        blk.start < blk.end && prog.insns[blk.end - 1].op == Opcode::EXIT;
+    if (is_exit_block || blk.succs.empty()) {
+      regs = 1;  // r0 is the program output
+    }
+    for (int s : blk.succs) {
+      regs |= block_in_regs[s];
+      stack |= block_in_stack[s];
+    }
+    for (int i = blk.end - 1; i >= blk.start; --i) {
+      lv.live_out[i] = regs;
+      lv.stack_out[i] = stack;
+      InsnEffect e = effect(prog, ti, i);
+      regs = static_cast<uint16_t>((regs & ~e.reg_def) | e.reg_use);
+      if (e.stack_use_all)
+        stack.set();
+      else
+        stack = (stack & ~e.stack_def) | e.stack_use;
+      lv.live_in[i] = regs;
+      lv.stack_in[i] = stack;
+    }
+    block_in_regs[b] = regs;
+    block_in_stack[b] = stack;
+  }
+  return lv;
+}
+
+}  // namespace k2::analysis

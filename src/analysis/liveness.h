@@ -1,0 +1,33 @@
+// Live-variable analysis over registers and stack bytes (App. C.2: "We
+// specialize the liveness analysis to the BPF context by handling BPF
+// registers as well as BPF memory"). Drives window pre/post-conditions and
+// dead-code elimination.
+#pragma once
+
+#include <bitset>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/typeinfer.h"
+#include "ebpf/program.h"
+
+namespace k2::analysis {
+
+constexpr int kStackSize = 512;
+using StackSet = std::bitset<kStackSize>;  // bit i = stack byte r10-512+i
+
+struct Liveness {
+  std::vector<uint16_t> live_in;   // register mask before each instruction
+  std::vector<uint16_t> live_out;  // register mask after each instruction
+  std::vector<StackSet> stack_in;
+  std::vector<StackSet> stack_out;
+};
+
+// Requires a loop-free CFG (the analysis is one backward pass). Stack slots
+// accessed at statically-unknown offsets are treated conservatively (reads
+// keep everything live, writes kill nothing). Packet / ctx / map memory is
+// program output and always live — it is not tracked here.
+Liveness compute_liveness(const ebpf::Program& prog, const Cfg& cfg,
+                          const TypeInfo& ti);
+
+}  // namespace k2::analysis

@@ -1,0 +1,381 @@
+#include "analysis/typeinfer.h"
+
+#include "ebpf/helpers_def.h"
+#include "ebpf/semantics.h"
+
+namespace k2::analysis {
+
+using ebpf::AluOp;
+using ebpf::AluShape;
+using ebpf::Insn;
+using ebpf::InsnClass;
+using ebpf::JmpShape;
+using ebpf::Opcode;
+
+const char* rt_name(Rt t) {
+  switch (t) {
+    case Rt::UNINIT: return "uninit";
+    case Rt::SCALAR: return "scalar";
+    case Rt::PTR_STACK: return "ptr_stack";
+    case Rt::PTR_CTX: return "ptr_ctx";
+    case Rt::PTR_PKT: return "ptr_pkt";
+    case Rt::PTR_PKT_END: return "ptr_pkt_end";
+    case Rt::PTR_MAP_VALUE_OR_NULL: return "ptr_map_value_or_null";
+    case Rt::PTR_MAP_VALUE: return "ptr_map_value";
+    case Rt::MAP_HANDLE: return "map_handle";
+    case Rt::UNKNOWN: return "unknown";
+  }
+  return "?";
+}
+
+RegState join(const RegState& a, const RegState& b) {
+  if (a == b) return a;
+  RegState r;
+  // A checked map-value pointer merged with the NULL constant is exactly the
+  // unchecked lookup result again.
+  auto null_scalar = [](const RegState& s) {
+    return s.type == Rt::SCALAR && s.val_known && s.val == 0;
+  };
+  if ((a.type == Rt::PTR_MAP_VALUE || a.type == Rt::PTR_MAP_VALUE_OR_NULL) &&
+      null_scalar(b)) {
+    r = a;
+    r.type = Rt::PTR_MAP_VALUE_OR_NULL;
+    r.val_known = false;
+    return r;
+  }
+  if ((b.type == Rt::PTR_MAP_VALUE || b.type == Rt::PTR_MAP_VALUE_OR_NULL) &&
+      null_scalar(a)) {
+    r = b;
+    r.type = Rt::PTR_MAP_VALUE_OR_NULL;
+    r.val_known = false;
+    return r;
+  }
+  if (a.type != b.type) {
+    // One path uninitialized: stay UNINIT so reads remain flagged unsafe.
+    if (a.type == Rt::UNINIT || b.type == Rt::UNINIT) {
+      r.type = Rt::UNINIT;
+      return r;
+    }
+    if (a.type == Rt::PTR_MAP_VALUE && b.type == Rt::PTR_MAP_VALUE_OR_NULL &&
+        a.map_fd == b.map_fd) {
+      r = b;
+      r.off_known = a.off_known && b.off_known && a.off == b.off;
+      return r;
+    }
+    if (b.type == Rt::PTR_MAP_VALUE && a.type == Rt::PTR_MAP_VALUE_OR_NULL &&
+        a.map_fd == b.map_fd) {
+      r = a;
+      r.off_known = a.off_known && b.off_known && a.off == b.off;
+      return r;
+    }
+    r.type = Rt::UNKNOWN;
+    return r;
+  }
+  r.type = a.type;
+  r.map_fd = a.map_fd == b.map_fd ? a.map_fd : -1;
+  if (is_pointer(a.type) && a.map_fd != b.map_fd) {
+    // Pointers into different maps cannot be typed to one region.
+    r.type = Rt::UNKNOWN;
+    return r;
+  }
+  r.off_known = a.off_known && b.off_known && a.off == b.off;
+  r.off = r.off_known ? a.off : 0;
+  r.val_known = a.val_known && b.val_known && a.val == b.val;
+  r.val = r.val_known ? a.val : 0;
+  return r;
+}
+
+namespace {
+
+RegState scalar_known(uint64_t v) {
+  RegState r;
+  r.type = Rt::SCALAR;
+  r.val_known = true;
+  r.val = v;
+  return r;
+}
+
+RegState scalar_unknown() {
+  RegState r;
+  r.type = Rt::SCALAR;
+  return r;
+}
+
+RegState unknown() {
+  RegState r;
+  r.type = Rt::UNKNOWN;
+  return r;
+}
+
+// Applies one instruction's effect on the abstract register file. Returns
+// refined states for (fallthrough, taken) edges of conditional jumps.
+struct Transfer {
+  RegFile out;
+  RegFile taken;  // only meaningful for conditional jumps
+};
+
+Transfer transfer(const ebpf::Program& prog, const Insn& insn,
+                  const RegFile& in) {
+  Transfer t{in, in};
+  RegFile& out = t.out;
+  ebpf::ConcreteBackend be;
+
+  AluShape a;
+  JmpShape j;
+  if (ebpf::decompose_alu(insn.op, &a)) {
+    const RegState& dst = in[insn.dst];
+    RegState src_state =
+        a.is_imm ? scalar_known(ebpf::sext32(insn.imm)) : in[insn.src];
+    RegState& res = out[insn.dst];
+    if (a.op == AluOp::MOV) {
+      if (a.is64) {
+        res = src_state;
+      } else if (src_state.type == Rt::SCALAR) {
+        res = scalar_unknown();
+        if (src_state.val_known) {
+          res.val_known = true;
+          res.val = src_state.val & 0xffffffffull;
+        }
+      } else {
+        res = unknown();  // truncating a pointer loses provenance
+      }
+      return t;
+    }
+    // Pointer arithmetic: only 64-bit ADD/SUB keep pointer provenance.
+    if (is_pointer(dst.type)) {
+      if (a.is64 && (a.op == AluOp::ADD || a.op == AluOp::SUB) &&
+          src_state.type == Rt::SCALAR) {
+        res = dst;
+        if (src_state.val_known && dst.off_known) {
+          int64_t d = static_cast<int64_t>(src_state.val);
+          res.off = a.op == AluOp::ADD ? dst.off + d : dst.off - d;
+        } else {
+          res.off_known = false;
+        }
+        res.val_known = false;
+        return t;
+      }
+      if (a.is64 && a.op == AluOp::SUB && is_pointer(src_state.type) &&
+          src_state.type == dst.type) {
+        // ptr - ptr within one region is a scalar (e.g. data_end - data).
+        res = scalar_unknown();
+        return t;
+      }
+      res = unknown();
+      return t;
+    }
+    if (src_state.type != Rt::SCALAR && !a.is_imm &&
+        is_pointer(src_state.type) && a.is64 && a.op == AluOp::ADD) {
+      // scalar + pointer: commutes to pointer arithmetic.
+      const RegState& p = src_state;
+      res = p;
+      if (dst.val_known && p.off_known)
+        res.off = p.off + static_cast<int64_t>(dst.val);
+      else
+        res.off_known = false;
+      res.val_known = false;
+      return t;
+    }
+    // Scalar ALU; propagate concrete values when both operands are known.
+    res = scalar_unknown();
+    if (dst.type == Rt::SCALAR && dst.val_known &&
+        (a.is_imm || (src_state.type == Rt::SCALAR && src_state.val_known))) {
+      res.val_known = true;
+      res.val = ebpf::alu_apply(a.op, a.is64, dst.val, src_state.val, be);
+    }
+    return t;
+  }
+
+  if (ebpf::decompose_jmp(insn.op, &j)) {
+    // Edge-sensitive refinement.
+    RegFile& fall = t.out;
+    RegFile& taken = t.taken;
+    const RegState& dst = in[insn.dst];
+    if (j.is_imm && insn.imm == 0 &&
+        (dst.type == Rt::PTR_MAP_VALUE_OR_NULL)) {
+      if (j.cond == ebpf::JmpCond::JEQ) {
+        taken[insn.dst] = scalar_known(0);
+        fall[insn.dst] = dst;
+        fall[insn.dst].type = Rt::PTR_MAP_VALUE;
+      } else if (j.cond == ebpf::JmpCond::JNE) {
+        taken[insn.dst] = dst;
+        taken[insn.dst].type = Rt::PTR_MAP_VALUE;
+        fall[insn.dst] = scalar_known(0);
+      }
+    } else if (j.is_imm && dst.type == Rt::SCALAR &&
+               j.cond == ebpf::JmpCond::JEQ) {
+      taken[insn.dst] = scalar_known(ebpf::sext32(insn.imm));
+    } else if (j.is_imm && dst.type == Rt::SCALAR &&
+               j.cond == ebpf::JmpCond::JNE) {
+      fall[insn.dst] = scalar_known(ebpf::sext32(insn.imm));
+    }
+    return t;
+  }
+
+  switch (insn.op) {
+    case Opcode::NEG64:
+    case Opcode::NEG32:
+    case Opcode::BE16:
+    case Opcode::BE32:
+    case Opcode::BE64:
+    case Opcode::LE16:
+    case Opcode::LE32:
+    case Opcode::LE64: {
+      const RegState& d = in[insn.dst];
+      if (is_pointer(d.type)) {
+        out[insn.dst] = unknown();
+      } else {
+        out[insn.dst] = scalar_unknown();
+        if (d.type == Rt::SCALAR && d.val_known) {
+          out[insn.dst].val_known = true;
+          out[insn.dst].val = ebpf::alu_unary_apply(insn.op, d.val, be);
+        }
+      }
+      break;
+    }
+    case Opcode::LDXB:
+    case Opcode::LDXH:
+    case Opcode::LDXW:
+    case Opcode::LDXDW: {
+      const RegState& base = in[insn.src];
+      RegState res = scalar_unknown();
+      if (base.type == Rt::PTR_CTX && prog.type != ebpf::ProgType::TRACEPOINT &&
+          insn.op == Opcode::LDXDW && base.off_known) {
+        int64_t off = base.off + insn.off;
+        if (off == 0) {
+          res.type = Rt::PTR_PKT;
+          res.val_known = false;
+          res.off_known = true;
+          res.off = 0;
+        } else if (off == 8) {
+          res.type = Rt::PTR_PKT_END;
+          res.off_known = true;
+          res.off = 0;
+        }
+      }
+      out[insn.dst] = res;
+      break;
+    }
+    case Opcode::LDDW:
+      out[insn.dst] = scalar_known(static_cast<uint64_t>(insn.imm));
+      break;
+    case Opcode::LDMAPFD: {
+      RegState r;
+      r.type = Rt::MAP_HANDLE;
+      r.map_fd = static_cast<int>(insn.imm);
+      out[insn.dst] = r;
+      break;
+    }
+    case Opcode::CALL: {
+      const ebpf::HelperProto* proto = ebpf::helper_proto(insn.imm);
+      RegState r0 = scalar_unknown();
+      if (proto && proto->ret == ebpf::HelperRet::MAP_VALUE_OR_NULL) {
+        r0.type = Rt::PTR_MAP_VALUE_OR_NULL;
+        r0.map_fd = in[1].type == Rt::MAP_HANDLE ? in[1].map_fd : -1;
+        r0.off_known = true;
+        r0.off = 0;
+      }
+      out[0] = r0;
+      for (int r = 1; r <= 5; ++r) out[r] = RegState{};  // clobbered: UNINIT
+      if (insn.imm == ebpf::HELPER_XDP_ADJUST_HEAD) {
+        // The kernel invalidates all packet pointers after adjust_head.
+        for (int r = 0; r <= 10; ++r)
+          if (out[r].type == Rt::PTR_PKT || out[r].type == Rt::PTR_PKT_END)
+            out[r] = unknown();
+      }
+      break;
+    }
+    default:
+      break;  // stores, JA, EXIT, NOP: no register effects
+  }
+  return t;
+}
+
+}  // namespace
+
+TypeInfo infer_types(const ebpf::Program& prog, const Cfg& cfg,
+                     const RegFile* entry_override) {
+  TypeInfo ti;
+  const int n = static_cast<int>(prog.insns.size());
+  ti.before.assign(n, RegFile{});
+  if (!cfg.loop_free) return ti;
+
+  // Entry state.
+  RegFile entry{};
+  if (entry_override) {
+    entry = *entry_override;
+  } else {
+    entry[1].type = Rt::PTR_CTX;
+    entry[1].off_known = true;
+    entry[10].type = Rt::PTR_STACK;
+    entry[10].off_known = true;
+  }
+
+  // Per-block incoming state; merged from predecessor edge states.
+  std::vector<RegFile> block_in(cfg.num_blocks(), RegFile{});
+  std::vector<bool> block_has_in(cfg.num_blocks(), false);
+  if (cfg.num_blocks() > 0) {
+    block_in[0] = entry;
+    block_has_in[0] = true;
+  }
+
+  auto merge_into = [&](int block, const RegFile& state) {
+    if (!block_has_in[block]) {
+      block_in[block] = state;
+      block_has_in[block] = true;
+    } else {
+      for (int r = 0; r <= 10; ++r)
+        block_in[block][r] = join(block_in[block][r], state[r]);
+    }
+  };
+
+  for (int b = 0; b < cfg.num_blocks(); ++b) {
+    if (!cfg.reachable[b] || !block_has_in[b]) continue;
+    RegFile cur = block_in[b];
+    const BasicBlock& blk = cfg.blocks[b];
+    for (int i = blk.start; i < blk.end; ++i) {
+      ti.before[i] = cur;
+      Transfer tr = transfer(prog, prog.insns[i], cur);
+      const Insn& insn = prog.insns[i];
+      if (i == blk.end - 1) {
+        // Distribute edge states to successors.
+        if (ebpf::is_cond_jump(insn.op)) {
+          int fall_insn = blk.end;
+          int taken_insn = blk.end + insn.off;
+          if (fall_insn < n) merge_into(cfg.block_of[fall_insn], tr.out);
+          if (taken_insn >= 0 && taken_insn < n)
+            merge_into(cfg.block_of[taken_insn], tr.taken);
+        } else if (insn.op == Opcode::JA) {
+          int tgt = blk.end + insn.off;
+          if (tgt >= 0 && tgt < n) merge_into(cfg.block_of[tgt], tr.out);
+        } else if (insn.op != Opcode::EXIT) {
+          if (blk.end < n) merge_into(cfg.block_of[blk.end], tr.out);
+        }
+      }
+      cur = tr.out;
+    }
+    if (blk.start == blk.end && blk.end < n) {
+      // Empty block: pass state through.
+      merge_into(cfg.block_of[blk.end], cur);
+    }
+  }
+  ti.ok = true;
+  return ti;
+}
+
+std::optional<AccessInfo> access_info(const ebpf::Program& prog,
+                                      const TypeInfo& ti, int idx) {
+  const Insn& insn = prog.insns[idx];
+  if (!ebpf::is_mem_access(insn.op)) return std::nullopt;
+  int base_reg = ebpf::is_mem_load(insn.op) ? insn.src : insn.dst;
+  const RegState& base = ti.reg_before(idx, base_reg);
+  AccessInfo info;
+  info.region = base.type;
+  info.map_fd = base.map_fd;
+  info.width = ebpf::mem_width(insn.op);
+  info.off_known = base.off_known;
+  info.off = base.off + insn.off;
+  return info;
+}
+
+}  // namespace k2::analysis

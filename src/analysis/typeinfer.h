@@ -1,0 +1,92 @@
+// Pointer type / offset / constant-value inference.
+//
+// This is the paper's static analysis backbone for the equivalence-checking
+// accelerations (§5): memory *type* concretization (every pointer's region is
+// soundly known — optimization I), memory *offset* concretization (best-
+// effort concrete offsets into the region — optimization III), and map
+// concretization (the map fd feeding each helper call — optimization II).
+// It also feeds window preconditions ("inferred concrete valuations of
+// variables", App. C.2) and the safety checker's access typing (§6).
+//
+// The analysis is a forward abstract interpretation over the loop-free CFG
+// with edge-sensitive refinement of map-lookup NULL checks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "ebpf/program.h"
+
+namespace k2::analysis {
+
+enum class Rt : uint8_t {
+  UNINIT,              // never written (reading is unsafe, §6)
+  SCALAR,              // non-pointer value
+  PTR_STACK,           // r10-derived; offset relative to stack top (<= 0)
+  PTR_CTX,             // context pointer
+  PTR_PKT,             // packet data pointer
+  PTR_PKT_END,         // packet data_end (comparison-only pointer)
+  PTR_MAP_VALUE_OR_NULL,  // result of bpf_map_lookup_elem before NULL check
+  PTR_MAP_VALUE,       // proven non-NULL map value pointer
+  MAP_HANDLE,          // result of LDMAPFD
+  UNKNOWN,             // join of incompatible states / pointer arithmetic
+};
+
+const char* rt_name(Rt t);
+
+inline bool is_pointer(Rt t) {
+  return t == Rt::PTR_STACK || t == Rt::PTR_CTX || t == Rt::PTR_PKT ||
+         t == Rt::PTR_PKT_END || t == Rt::PTR_MAP_VALUE ||
+         t == Rt::PTR_MAP_VALUE_OR_NULL;
+}
+
+struct RegState {
+  Rt type = Rt::UNINIT;
+  bool off_known = false;   // concrete offset from region base (pointers)
+  int64_t off = 0;
+  int map_fd = -1;          // for MAP_HANDLE / PTR_MAP_VALUE*
+  bool val_known = false;   // concrete scalar value (SCALAR only)
+  uint64_t val = 0;
+
+  bool operator==(const RegState&) const = default;
+};
+
+using RegFile = std::array<RegState, 11>;
+
+// Join of two abstract register states (lattice meet towards UNKNOWN).
+RegState join(const RegState& a, const RegState& b);
+
+struct TypeInfo {
+  // Abstract register file *before* each instruction executes. Entries for
+  // unreachable instructions keep all-UNINIT states.
+  std::vector<RegFile> before;
+  bool ok = false;  // false when the program is not loop-free
+
+  const RegState& reg_before(int insn_idx, int reg) const {
+    return before[insn_idx][reg];
+  }
+};
+
+// `entry` overrides the abstract register file at program entry (used for
+// window slices, whose entry state is the enclosing program's state at the
+// window boundary); nullptr selects the standard BPF entry state (r1 = ctx,
+// r10 = stack).
+TypeInfo infer_types(const ebpf::Program& prog, const Cfg& cfg,
+                     const RegFile* entry = nullptr);
+
+// Convenience: the memory region and concrete offset accessed by the memory
+// instruction at `idx` (base register + displacement), if statically known.
+struct AccessInfo {
+  Rt region = Rt::UNKNOWN;
+  int map_fd = -1;
+  bool off_known = false;
+  int64_t off = 0;   // byte offset of the access within the region
+  int width = 0;
+};
+std::optional<AccessInfo> access_info(const ebpf::Program& prog,
+                                      const TypeInfo& ti, int idx);
+
+}  // namespace k2::analysis

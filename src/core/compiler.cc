@@ -1,0 +1,164 @@
+#include "core/compiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "analysis/dce.h"
+#include "sim/perf_eval.h"
+#include "sim/latency_model.h"
+
+namespace k2::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double absolute_perf(Goal goal, const ebpf::Program& p) {
+  return goal == Goal::INST_COUNT ? double(p.size_slots())
+                                  : sim::static_program_cost_ns(p);
+}
+
+}  // namespace
+
+std::vector<interp::InputSpec> generate_tests(const ebpf::Program& src, int n,
+                                              uint64_t seed) {
+  // Random packet workload plus deterministic edge cases: a minimum-size
+  // packet, an all-zero packet, and empty maps.
+  std::vector<interp::InputSpec> tests =
+      sim::make_workload(src, std::max(1, n - 3), seed, /*hit_rate=*/0.7);
+  interp::InputSpec tiny;
+  tiny.packet.assign(14, 0);
+  tests.push_back(tiny);
+  interp::InputSpec zeros;
+  zeros.packet.assign(64, 0);
+  zeros.prandom_seed = 0;
+  zeros.ktime_base = 0;
+  tests.push_back(zeros);
+  interp::InputSpec ones;
+  ones.packet.assign(64, 0xff);
+  ones.ctx_args = {~0ull, 1};
+  tests.push_back(ones);
+  return tests;
+}
+
+CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
+  auto t0 = Clock::now();
+  CompileResult res;
+  res.best = src.strip_nops();
+  res.src_perf = absolute_perf(opts.goal, src);
+  res.best_perf = res.src_perf;
+
+  TestSuite suite(src, generate_tests(src, opts.num_initial_tests, opts.seed));
+  verify::EqCache cache;
+
+  std::vector<SearchParams> settings =
+      opts.settings.empty() ? default_settings() : opts.settings;
+
+  bool use_windows = opts.force_windows
+                         ? *opts.force_windows
+                         : src.num_real_insns() > opts.window_threshold;
+
+  std::vector<ChainConfig> configs;
+  for (int i = 0; i < opts.num_chains; ++i) {
+    ChainConfig cfg;
+    cfg.params = settings[size_t(i) % settings.size()];
+    cfg.goal = opts.goal;
+    cfg.rules = opts.rules;
+    cfg.iterations = opts.iters_per_chain;
+    cfg.seed = opts.seed * 1000003u + uint64_t(i) * 7919u + 17;
+    cfg.eq = opts.eq;
+    cfg.safety = opts.safety;
+    cfg.use_windows = use_windows;
+    configs.push_back(cfg);
+  }
+
+  std::vector<ChainResult> chain_results(configs.size());
+  std::vector<std::thread> workers;
+  std::atomic<size_t> next{0};
+  int nthreads = std::max(1, std::min<int>(opts.threads, int(configs.size())));
+  for (int t = 0; t < nthreads; ++t) {
+    workers.emplace_back([&]() {
+      while (true) {
+        size_t i = next.fetch_add(1);
+        if (i >= configs.size()) break;
+        chain_results[i] = run_chain(src, suite, cache, configs[i]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Gather verified candidates across chains, best first.
+  std::vector<std::pair<double, ebpf::Program>> all;
+  for (const auto& cr : chain_results) {
+    res.total_proposals += cr.stats.proposals;
+    res.solver_calls += cr.stats.solver_calls;
+    for (const auto& c : cr.candidates) all.push_back(c);
+    if (cr.best &&
+        (res.iters_to_best == 0 || cr.stats.best_iter < res.iters_to_best)) {
+      // time/iterations of the chain that found the best program overall is
+      // fixed up below once the winner is known
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Final verification: whole-program equivalence + solver-backed safety on
+  // the NOP-stripped output, then the kernel checker (post-processing, §6).
+  std::vector<uint64_t> seen_hashes;
+  for (const auto& [perf, cand] : all) {
+    if (int(res.top_k.size()) >= opts.top_k) break;
+    ebpf::Program out = analysis::remove_dead_code(cand).strip_nops();
+    if (out.size_slots() >= res.src_perf && opts.goal == Goal::INST_COUNT &&
+        !res.top_k.empty())
+      continue;
+    uint64_t h = analysis::program_hash(out);
+    if (std::find(seen_hashes.begin(), seen_hashes.end(), h) !=
+        seen_hashes.end())
+      continue;
+    seen_hashes.push_back(h);
+
+    safety::SafetyOptions sopt = opts.safety;
+    sopt.run_solver_checks = true;
+    if (!safety::check_safety(out, sopt).safe) continue;
+    verify::EqResult eq = verify::check_equivalence(src, out, opts.eq);
+    if (eq.verdict != verify::Verdict::EQUAL) continue;
+    kernel::CheckResult kc = kernel::kernel_check(out);
+    if (!kc.accepted) {
+      res.kernel_rejected++;
+      continue;
+    }
+    res.kernel_accepted++;
+    res.top_k.push_back(out);
+  }
+
+  if (!res.top_k.empty()) {
+    double bp = absolute_perf(opts.goal, res.top_k[0]);
+    if (bp < res.src_perf) {
+      res.best = res.top_k[0];
+      res.best_perf = bp;
+      res.improved = true;
+      // Attribute time/iterations to the chain that found this program.
+      for (const auto& cr : chain_results) {
+        if (!cr.best) continue;
+        for (const auto& [perf, cand] : cr.candidates) {
+          (void)perf;
+          if (analysis::program_hash(
+                  analysis::remove_dead_code(cand).strip_nops()) ==
+              analysis::program_hash(res.best)) {
+            res.iters_to_best = cr.stats.best_iter;
+            res.secs_to_best = cr.stats.best_time_sec;
+          }
+        }
+      }
+    }
+  }
+
+  res.cache = cache.stats();
+  res.final_tests = suite.size();
+  res.total_secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  return res;
+}
+
+}  // namespace k2::core

@@ -1,0 +1,61 @@
+// The K2 compiler driver (§8 setup): parallel Markov chains over the
+// parameter settings, shared test suite + equivalence cache, top-k
+// selection, final whole-program re-verification, and the kernel-checker
+// post-processing pass (§6).
+#pragma once
+
+#include <optional>
+
+#include "core/mcmc.h"
+#include "kernel/kernel_checker.h"
+
+namespace k2::core {
+
+struct CompileOptions {
+  Goal goal = Goal::INST_COUNT;
+  std::vector<SearchParams> settings;  // defaults to default_settings()
+  int num_chains = 4;                  // paper uses 16 (one per setting)
+  uint64_t iters_per_chain = 10'000;
+  int top_k = 1;
+  int num_initial_tests = 24;
+  uint64_t seed = 0x6b32;  // "k2"
+  // Window-based search for programs above this many instructions; set
+  // force_windows to override (Table 4's optimization IV ablation).
+  int window_threshold = 40;
+  std::optional<bool> force_windows;
+  ProposalRules rules;
+  verify::EqOptions eq;
+  safety::SafetyOptions safety;
+  int threads = 4;
+};
+
+struct CompileResult {
+  ebpf::Program best;          // NOP-stripped; == src when nothing improved
+  bool improved = false;
+  std::vector<ebpf::Program> top_k;  // fully re-verified, checker-accepted
+
+  double src_perf = 0;   // absolute metric of the source (slots or est. ns)
+  double best_perf = 0;  // absolute metric of `best`
+  uint64_t iters_to_best = 0;
+  double secs_to_best = 0;
+  double total_secs = 0;
+
+  verify::EqCache::Stats cache;
+  uint64_t solver_calls = 0;
+  uint64_t total_proposals = 0;
+  size_t final_tests = 0;
+
+  // Kernel-checker post-processing statistics (Table 5).
+  int kernel_accepted = 0;
+  int kernel_rejected = 0;
+};
+
+// Deterministic initial test generation (§3: "evaluated against a suite of
+// automatically-generated test cases").
+std::vector<interp::InputSpec> generate_tests(const ebpf::Program& src, int n,
+                                              uint64_t seed);
+
+CompileResult compile(const ebpf::Program& src,
+                      const CompileOptions& opts = {});
+
+}  // namespace k2::core

@@ -1,0 +1,129 @@
+#include "core/cost.h"
+
+#include <bit>
+#include <cmath>
+
+#include "sim/latency_model.h"
+
+namespace k2::core {
+
+namespace {
+
+double diff_values(uint64_t a, uint64_t b, SearchParams::Diff kind) {
+  if (kind == SearchParams::Diff::POP)
+    return double(std::popcount(a ^ b));
+  // diff_abs: |a - b| as unsigned distance, saturated to keep costs sane.
+  uint64_t d = a > b ? a - b : b - a;
+  return double(std::min<uint64_t>(d, 1u << 20));
+}
+
+}  // namespace
+
+TestSuite::TestSuite(const ebpf::Program& src,
+                     std::vector<interp::InputSpec> tests)
+    : src_(src) {
+  for (auto& t : tests) {
+    src_out_.push_back(interp::run(src_, t));
+    tests_.push_back(std::move(t));
+  }
+}
+
+void TestSuite::add(const interp::InputSpec& test) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : tests_)
+    if (t.packet == test.packet && t.maps == test.maps &&
+        t.ctx_args == test.ctx_args && t.prandom_seed == test.prandom_seed)
+      return;
+  src_out_.push_back(interp::run(src_, test));
+  tests_.push_back(test);
+}
+
+size_t TestSuite::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tests_.size();
+}
+
+const interp::InputSpec& TestSuite::test(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tests_[i];
+}
+
+double TestSuite::diff_on(size_t i, const interp::RunResult& cand,
+                          SearchParams::Diff kind) const {
+  interp::RunResult src_res;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    src_res = src_out_[i];
+  }
+  if (!cand.ok()) return kFaultPenalty;
+  if (!src_res.ok()) return cand.ok() ? kFaultPenalty : 0;
+
+  double d = diff_values(cand.r0, src_res.r0, kind);
+  // Side effects: packet bytes and map contents contribute per-byte
+  // distances so "almost correct" programs rank above wildly wrong ones.
+  if (src_.type != ebpf::ProgType::TRACEPOINT) {
+    size_t n = std::max(cand.packet_out.size(), src_res.packet_out.size());
+    for (size_t b = 0; b < n; ++b) {
+      uint8_t x = b < cand.packet_out.size() ? cand.packet_out[b] : 0;
+      uint8_t y = b < src_res.packet_out.size() ? src_res.packet_out[b] : 0;
+      d += diff_values(x, y, kind);
+    }
+    if (cand.packet_out.size() != src_res.packet_out.size()) d += 64;
+  }
+  for (const auto& [fd, src_map] : src_res.maps_out) {
+    auto it = cand.maps_out.find(fd);
+    if (it == cand.maps_out.end()) {
+      d += 256;
+      continue;
+    }
+    const auto& cand_map = it->second;
+    for (const auto& [k, v] : src_map) {
+      auto cit = cand_map.find(k);
+      if (cit == cand_map.end()) {
+        d += 8.0 * v.size() + 8;
+        continue;
+      }
+      for (size_t b = 0; b < v.size(); ++b)
+        d += diff_values(v[b], b < cit->second.size() ? cit->second[b] : 0,
+                         kind);
+    }
+    for (const auto& [k, v] : cand_map)
+      if (!src_map.count(k)) d += 8.0 * v.size() + 8;
+  }
+  return d;
+}
+
+double perf_cost(Goal goal, const ebpf::Program& p, const ebpf::Program& src) {
+  if (goal == Goal::INST_COUNT)
+    return double(p.size_slots()) - double(src.size_slots());
+  return sim::static_program_cost_ns(p) - sim::static_program_cost_ns(src);
+}
+
+TestEval run_tests(const TestSuite& suite, const ebpf::Program& cand,
+                   SearchParams::Diff kind) {
+  TestEval ev;
+  size_t n = suite.size();
+  for (size_t i = 0; i < n; ++i) {
+    interp::RunResult r = interp::run(cand, suite.test(i));
+    double d = suite.diff_on(i, r, kind);
+    ev.diff_sum += d;
+    if (d == 0)
+      ev.passed++;
+    else
+      ev.failed++;
+  }
+  ev.all_passed = ev.failed == 0;
+  return ev;
+}
+
+double error_cost(const SearchParams& params, const TestEval& ev,
+                  bool unequal) {
+  double total_tests = double(ev.passed + ev.failed);
+  double c = params.avg_by_tests && total_tests > 0 ? 1.0 / total_tests : 1.0;
+  double num_tests =
+      params.count_passed ? double(ev.passed) : double(ev.failed);
+  return c * ev.diff_sum + (unequal ? 1.0 : 0.0) * num_tests +
+         (unequal ? 1.0 : 0.0);  // keep nonzero even with 0 counted tests
+}
+
+}  // namespace k2::core

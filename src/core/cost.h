@@ -1,0 +1,69 @@
+// Cost function over candidate programs (§3.2):
+//   f(p) = α·err(p) + β·perf(p) + γ·safe(p)
+// err combines test-case output distances with the formal equivalence
+// verdict; perf is either instruction count or the static latency estimate;
+// safe is 0 / ERR_MAX.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "core/params.h"
+#include "ebpf/program.h"
+#include "interp/interpreter.h"
+
+namespace k2::core {
+
+enum class Goal : uint8_t {
+  INST_COUNT,  // perf_inst: program size in wire slots
+  LATENCY,     // perf_lat: Σ exec(i) over the program's opcodes
+};
+
+// The shared, growing test suite (§3, Fig. 1): counterexamples from the
+// equivalence checker and the safety checker are appended during search.
+// Source-program outputs are computed once per test and cached.
+class TestSuite {
+ public:
+  TestSuite(const ebpf::Program& src, std::vector<interp::InputSpec> tests);
+
+  // Appends a test (no-op for duplicates); thread-safe.
+  void add(const interp::InputSpec& test);
+
+  // Snapshot accessors (tests are append-only; indexes remain valid).
+  size_t size() const;
+  // Runs `cand` on test i and returns the paper's diff(o_synth, o_src)
+  // distance (0 when outputs match). Faults map to a large penalty.
+  double diff_on(size_t i, const interp::RunResult& cand_result,
+                 SearchParams::Diff kind) const;
+  const interp::InputSpec& test(size_t i) const;
+
+  const ebpf::Program& src() const { return src_; }
+
+  static constexpr double kFaultPenalty = 4096.0;
+
+ private:
+  ebpf::Program src_;
+  mutable std::mutex mu_;
+  std::vector<interp::InputSpec> tests_;
+  std::vector<interp::RunResult> src_out_;
+};
+
+// Performance cost of `p` relative to `src` under the goal (§3.2: number of
+// extra instructions / extra estimated nanoseconds; negative = better).
+double perf_cost(Goal goal, const ebpf::Program& p, const ebpf::Program& src);
+
+// Error cost from test execution (equation 1, minus the `unequal` term which
+// the search adds after consulting the equivalence checker).
+struct TestEval {
+  double diff_sum = 0;     // Σ diff over tests
+  int failed = 0;
+  int passed = 0;
+  bool all_passed = false;
+};
+TestEval run_tests(const TestSuite& suite, const ebpf::Program& cand,
+                   SearchParams::Diff kind);
+
+double error_cost(const SearchParams& params, const TestEval& ev,
+                  bool unequal);
+
+}  // namespace k2::core

@@ -1,0 +1,57 @@
+// The Metropolis–Hastings search loop (§3): propose → test-case pruning →
+// safety checking → (cached) equivalence checking → cost → accept/reject.
+// Counterexamples from both the equivalence checker and the safety checker
+// flow back into the shared test suite (Fig. 1).
+#pragma once
+
+#include <optional>
+
+#include "core/cost.h"
+#include "core/params.h"
+#include "core/proposals.h"
+#include "safety/safety.h"
+#include "verify/cache.h"
+#include "verify/window.h"
+
+namespace k2::core {
+
+struct ChainConfig {
+  SearchParams params;
+  Goal goal = Goal::INST_COUNT;
+  ProposalRules rules;
+  uint64_t iterations = 10'000;
+  uint64_t seed = 1;
+  verify::EqOptions eq;
+  safety::SafetyOptions safety;
+  // Modular verification (§5 IV): mutate and verify within windows. Final
+  // outputs are re-verified whole-program by the compiler driver.
+  bool use_windows = false;
+  int window_max_insns = 6;
+};
+
+struct ChainStats {
+  uint64_t proposals = 0;
+  uint64_t accepted = 0;
+  uint64_t test_prunes = 0;     // proposals killed by the test suite
+  uint64_t safety_rejects = 0;
+  uint64_t solver_calls = 0;    // equivalence queries actually discharged
+  uint64_t cache_hits = 0;
+  uint64_t best_iter = 0;
+  double best_time_sec = 0;
+  double total_time_sec = 0;
+};
+
+struct ChainResult {
+  // Best verified (safe + equivalent) improvement over the source, if any;
+  // still in slot form (NOPs not yet stripped).
+  std::optional<ebpf::Program> best;
+  double best_perf = 0;  // perf_cost of `best` relative to the source
+  // Top verified candidates discovered along the way (perf_cost, program).
+  std::vector<std::pair<double, ebpf::Program>> candidates;
+  ChainStats stats;
+};
+
+ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
+                      verify::EqCache& cache, const ChainConfig& cfg);
+
+}  // namespace k2::core

@@ -1,0 +1,82 @@
+#include "core/params.h"
+
+namespace k2::core {
+
+std::vector<SearchParams> table8_settings() {
+  // Columns of Table 8 (settings 1..5).
+  std::vector<SearchParams> out(5);
+  out[0].diff = SearchParams::Diff::ABS;
+  out[0].avg_by_tests = false;
+  out[0].alpha = 0.5;
+  out[0].beta = 5;
+  out[0].p_insn_replace = 0.2;
+  out[0].p_operand_replace = 0.4;
+  out[0].p_nop_replace = 0.15;
+  out[0].p_mem_exchange1 = 0.2;
+  out[0].p_mem_exchange2 = 0.0;
+  out[0].p_contiguous = 0.05;
+  out[0].name = "set1";
+
+  out[1].diff = SearchParams::Diff::POP;
+  out[1].avg_by_tests = false;
+  out[1].alpha = 0.5;
+  out[1].beta = 5;
+  out[1].p_insn_replace = 0.17;
+  out[1].p_operand_replace = 0.33;
+  out[1].p_nop_replace = 0.15;
+  out[1].p_mem_exchange1 = 0.17;
+  out[1].p_mem_exchange2 = 0.0;
+  out[1].p_contiguous = 0.18;
+  out[1].name = "set2";
+
+  out[2] = out[0];
+  out[2].diff = SearchParams::Diff::POP;
+  out[2].name = "set3";
+
+  out[3] = out[1];
+  out[3].diff = SearchParams::Diff::ABS;
+  out[3].p_mem_exchange1 = 0.0;
+  out[3].p_mem_exchange2 = 0.17;
+  out[3].name = "set4";
+
+  out[4] = out[3];
+  out[4].avg_by_tests = true;
+  out[4].beta = 1.5;
+  out[4].name = "set5";
+  return out;
+}
+
+std::vector<SearchParams> default_settings() {
+  std::vector<SearchParams> out = table8_settings();
+  // Expand with the remaining error-cost variants (diff × avg × counted)
+  // over the two probability profiles, yielding 16 total.
+  const SearchParams profA = out[0];
+  const SearchParams profB = out[1];
+  int idx = int(out.size()) + 1;
+  for (const SearchParams& base : {profA, profB}) {
+    for (int diff = 0; diff < 2; ++diff) {
+      for (int avg = 0; avg < 2; ++avg) {
+        for (int counted = 0; counted < 2; ++counted) {
+          if (int(out.size()) >= 16) break;
+          SearchParams s = base;
+          s.diff = diff ? SearchParams::Diff::POP : SearchParams::Diff::ABS;
+          s.avg_by_tests = avg != 0;
+          s.count_passed = counted != 0;
+          // Skip exact duplicates of the Table 8 five.
+          bool dup = false;
+          for (const auto& e : out)
+            if (e.diff == s.diff && e.avg_by_tests == s.avg_by_tests &&
+                e.count_passed == s.count_passed &&
+                e.p_contiguous == s.p_contiguous && e.beta == s.beta)
+              dup = true;
+          if (dup) continue;
+          s.name = "set" + std::to_string(idx++);
+          out.push_back(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace k2::core

@@ -1,0 +1,47 @@
+// Search parameter settings (§3.2, App. F.1 / Table 8): the error-cost
+// variants (8 = diff{abs,pop} × c{full,avg} × num_tests{failed,passed}),
+// the (α, β) cost weights, and the per-rule proposal probabilities. K2 runs
+// parallel Markov chains, one per setting, and returns the best programs
+// found across all of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace k2::core {
+
+struct SearchParams {
+  // ---- error cost variants (equation 1) ----
+  enum class Diff : uint8_t { ABS, POP };
+  Diff diff = Diff::ABS;
+  bool avg_by_tests = false;       // c = 1/|T| instead of 1
+  bool count_passed = false;       // num_tests = #passed instead of #failed
+
+  // ---- cost weights ----
+  double alpha = 0.5;   // error weight
+  double beta = 5.0;    // performance weight
+  double gamma = 30.0;  // safety weight (multiplies the ERR_MAX indicator)
+
+  // ---- proposal probabilities (§3.1; must sum to 1) ----
+  double p_insn_replace = 0.2;     // rule 1
+  double p_operand_replace = 0.4;  // rule 2
+  double p_nop_replace = 0.15;     // rule 3
+  double p_mem_exchange1 = 0.2;    // rule 4 (domain-specific)
+  double p_mem_exchange2 = 0.0;    // rule 5 (domain-specific)
+  double p_contiguous = 0.05;      // rule 6 (domain-specific), k = 2
+
+  // MCMC temperature (equation 2).
+  double mcmc_beta = 1.0;
+
+  std::string name;
+};
+
+// The five best-performing settings from Table 8 (App. F.1).
+std::vector<SearchParams> table8_settings();
+
+// The full set of 16 settings K2 runs in parallel: the Table 8 five plus
+// the remaining error-cost/probability combinations.
+std::vector<SearchParams> default_settings();
+
+}  // namespace k2::core

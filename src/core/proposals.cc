@@ -1,0 +1,269 @@
+#include "core/proposals.h"
+
+#include <algorithm>
+#include <set>
+
+namespace k2::core {
+
+namespace {
+
+using ebpf::AluOp;
+using ebpf::Insn;
+using ebpf::InsnClass;
+using ebpf::JmpCond;
+using ebpf::Opcode;
+
+template <typename T>
+const T& pick(const std::vector<T>& v, std::mt19937_64& rng) {
+  return v[rng() % v.size()];
+}
+
+uint8_t random_reg(std::mt19937_64& rng, bool allow_r10) {
+  return uint8_t(rng() % (allow_r10 ? 11 : 10));
+}
+
+int random_width_shift(std::mt19937_64& rng) { return int(rng() % 4); }
+
+Opcode load_of_width(int shift) {
+  static const Opcode ops[4] = {Opcode::LDXB, Opcode::LDXH, Opcode::LDXW,
+                                Opcode::LDXDW};
+  return ops[shift];
+}
+Opcode stx_of_width(int shift) {
+  static const Opcode ops[4] = {Opcode::STXB, Opcode::STXH, Opcode::STXW,
+                                Opcode::STXDW};
+  return ops[shift];
+}
+Opcode st_of_width(int shift) {
+  static const Opcode ops[4] = {Opcode::STB, Opcode::STH, Opcode::STW,
+                                Opcode::STDW};
+  return ops[shift];
+}
+int width_shift_of(Opcode op) {
+  switch (ebpf::mem_width(op)) {
+    case 1: return 0;
+    case 2: return 1;
+    case 4: return 2;
+    default: return 3;
+  }
+}
+
+}  // namespace
+
+ProposalGen::ProposalGen(const ebpf::Program& src, const SearchParams& params,
+                         const ProposalRules& rules,
+                         std::optional<verify::WindowSpec> window)
+    : params_(params), rules_(rules), window_(window) {
+  std::set<int64_t> imms{0, 1, 2, 3, 4, 8, 14, 16, 32, 64, 255, -1};
+  std::set<int16_t> offs{0, -4, -8, -16};
+  for (const Insn& insn : src.insns) {
+    ebpf::AluShape a;
+    if ((ebpf::decompose_alu(insn.op, &a) && a.is_imm) ||
+        ebpf::insn_class(insn.op) == InsnClass::ST ||
+        insn.op == Opcode::LDDW)
+      imms.insert(insn.imm);
+    ebpf::JmpShape j;
+    if (ebpf::decompose_jmp(insn.op, &j) && j.is_imm) imms.insert(insn.imm);
+    if (ebpf::is_mem_access(insn.op)) offs.insert(insn.off);
+  }
+  imm_pool_.assign(imms.begin(), imms.end());
+  off_pool_.assign(offs.begin(), offs.end());
+}
+
+int ProposalGen::random_position(const ebpf::Program& cur,
+                                 std::mt19937_64& rng) const {
+  int lo = window_ ? window_->start : 0;
+  int hi = window_ ? window_->end : int(cur.insns.size());
+  hi = std::min(hi, int(cur.insns.size()));
+  if (hi <= lo) return -1;
+  // Avoid mutating EXITs so candidates keep terminating paths; the search
+  // wastes fewer iterations on structurally-invalid programs.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    int pos = lo + int(rng() % uint64_t(hi - lo));
+    if (cur.insns[size_t(pos)].op != Opcode::EXIT) return pos;
+  }
+  return -1;
+}
+
+Insn ProposalGen::random_insn(const ebpf::Program& cur, int pos,
+                              std::mt19937_64& rng) const {
+  Insn insn;
+  const int n = int(cur.insns.size());
+  // Category weights: ALU 55%, memory 25%, jump 12% (full-program mode
+  // only), NOP 8%.
+  uint64_t r = rng() % 100;
+  bool allow_jump = !window_.has_value();
+  if (r < 55 || (!allow_jump && r < 67)) {
+    AluOp op = static_cast<AluOp>(rng() % 12);
+    bool is64 = (rng() % 4) != 0;
+    bool is_imm = (rng() % 2) != 0;
+    insn.op = ebpf::compose_alu(op, is64, is_imm);
+    insn.dst = random_reg(rng, false);
+    if (is_imm)
+      insn.imm = pick(imm_pool_, rng);
+    else
+      insn.src = random_reg(rng, true);
+  } else if (r < 80) {
+    int shift = random_width_shift(rng);
+    uint64_t kind = rng() % 4;
+    insn.off = pick(off_pool_, rng);
+    if (kind == 0) {
+      insn.op = load_of_width(shift);
+      insn.dst = random_reg(rng, false);
+      insn.src = random_reg(rng, true);
+    } else if (kind == 1) {
+      insn.op = stx_of_width(shift);
+      insn.dst = random_reg(rng, true);
+      insn.src = random_reg(rng, false);
+    } else if (kind == 2) {
+      insn.op = st_of_width(shift);
+      insn.dst = random_reg(rng, true);
+      insn.imm = pick(imm_pool_, rng);
+    } else {
+      insn.op = (rng() % 2) ? Opcode::XADD64 : Opcode::XADD32;
+      insn.dst = random_reg(rng, true);
+      insn.src = random_reg(rng, false);
+    }
+  } else if (allow_jump && r < 92) {
+    JmpCond cond = static_cast<JmpCond>(rng() % 11);
+    bool is_imm = (rng() % 2) != 0;
+    insn.op = ebpf::compose_jmp(cond, is_imm);
+    insn.dst = random_reg(rng, false);
+    if (is_imm)
+      insn.imm = pick(imm_pool_, rng);
+    else
+      insn.src = random_reg(rng, false);
+    int max_fwd = n - 2 - pos;
+    insn.off = max_fwd > 0 ? int16_t(rng() % uint64_t(max_fwd + 1)) : 0;
+  } else {
+    insn.op = Opcode::NOP;
+  }
+  return insn;
+}
+
+ebpf::Program ProposalGen::propose(const ebpf::Program& cur,
+                                   std::mt19937_64& rng) const {
+  ebpf::Program next = cur;
+  int pos = random_position(cur, rng);
+  if (pos < 0) return next;
+  Insn& insn = next.insns[size_t(pos)];
+
+  // Pick a rule by the configured probabilities; disabled domain-specific
+  // rules fold their mass into instruction replacement (Table 10 setup).
+  double pr_me1 = rules_.mem_exchange1 ? params_.p_mem_exchange1 : 0;
+  double pr_me2 = rules_.mem_exchange2 ? params_.p_mem_exchange2 : 0;
+  double pr_cont = rules_.contiguous ? params_.p_contiguous : 0;
+  double total = params_.p_insn_replace + params_.p_operand_replace +
+                 params_.p_nop_replace + pr_me1 + pr_me2 + pr_cont;
+  double x = std::uniform_real_distribution<double>(0, total)(rng);
+
+  auto in_rule = [&x](double p) {
+    if (x < p) return true;
+    x -= p;
+    return false;
+  };
+
+  if (in_rule(params_.p_insn_replace)) {  // rule 1
+    insn = random_insn(next, pos, rng);
+    return next;
+  }
+  if (in_rule(params_.p_operand_replace)) {  // rule 2
+    ebpf::AluShape a;
+    ebpf::JmpShape j;
+    if (ebpf::decompose_alu(insn.op, &a)) {
+      switch (rng() % 2) {
+        case 0: insn.dst = random_reg(rng, false); break;
+        default:
+          if (a.is_imm)
+            insn.imm = pick(imm_pool_, rng);
+          else
+            insn.src = random_reg(rng, true);
+      }
+    } else if (ebpf::decompose_jmp(insn.op, &j)) {
+      switch (rng() % 3) {
+        case 0: insn.dst = random_reg(rng, false); break;
+        case 1:
+          if (j.is_imm)
+            insn.imm = pick(imm_pool_, rng);
+          else
+            insn.src = random_reg(rng, false);
+          break;
+        default: {
+          int max_fwd = int(next.insns.size()) - 2 - pos;
+          insn.off =
+              max_fwd > 0 ? int16_t(rng() % uint64_t(max_fwd + 1)) : 0;
+        }
+      }
+    } else if (ebpf::is_mem_access(insn.op)) {
+      switch (rng() % 3) {
+        case 0:
+          if (ebpf::is_mem_load(insn.op))
+            insn.dst = random_reg(rng, false);
+          else if (ebpf::insn_class(insn.op) == InsnClass::ST)
+            insn.imm = pick(imm_pool_, rng);
+          else
+            insn.src = random_reg(rng, false);
+          break;
+        case 1: insn.off = pick(off_pool_, rng); break;
+        default:
+          if (ebpf::is_mem_load(insn.op))
+            insn.src = random_reg(rng, true);
+          else
+            insn.dst = random_reg(rng, true);
+      }
+    } else if (insn.op == Opcode::LDDW) {
+      insn.imm = pick(imm_pool_, rng);
+    } else {
+      insn = random_insn(next, pos, rng);
+    }
+    return next;
+  }
+  if (in_rule(params_.p_nop_replace)) {  // rule 3
+    insn = Insn{};
+    return next;
+  }
+  if (in_rule(pr_me1)) {  // rule 4: new width + new value operand
+    if (ebpf::is_mem_access(insn.op)) {
+      int shift = random_width_shift(rng);
+      if (ebpf::is_mem_load(insn.op)) {
+        insn.op = load_of_width(shift);
+        insn.dst = random_reg(rng, false);
+      } else if (ebpf::insn_class(insn.op) == InsnClass::ST ||
+                 (rng() % 2) == 0) {
+        insn.op = st_of_width(shift);
+        insn.imm = pick(imm_pool_, rng);
+      } else {
+        insn.op = stx_of_width(shift);
+        insn.src = random_reg(rng, false);
+      }
+    } else {
+      insn = random_insn(next, pos, rng);
+    }
+    return next;
+  }
+  if (in_rule(pr_me2)) {  // rule 5: new width only
+    if (ebpf::is_mem_access(insn.op) &&
+        ebpf::insn_class(insn.op) != InsnClass::XADD) {
+      int shift = random_width_shift(rng);
+      if (ebpf::is_mem_load(insn.op))
+        insn.op = load_of_width(shift);
+      else if (ebpf::insn_class(insn.op) == InsnClass::ST)
+        insn.op = st_of_width(shift);
+      else
+        insn.op = stx_of_width(shift);
+      (void)width_shift_of(insn.op);
+    } else {
+      insn = random_insn(next, pos, rng);
+    }
+    return next;
+  }
+  // rule 6: replace k = 2 contiguous instructions
+  insn = random_insn(next, pos, rng);
+  int hi = window_ ? std::min(window_->end, int(next.insns.size()))
+                   : int(next.insns.size());
+  if (pos + 1 < hi && next.insns[size_t(pos + 1)].op != Opcode::EXIT)
+    next.insns[size_t(pos + 1)] = random_insn(next, pos + 1, rng);
+  return next;
+}
+
+}  // namespace k2::core

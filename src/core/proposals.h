@@ -1,0 +1,48 @@
+// Proposal generation for the Markov chain (§3.1): six rewrite rules chosen
+// with fixed probabilities. Rules 1–3 are STOKE-style generic rules; rules
+// 4–6 (memory-exchange type 1/2 and contiguous-instruction replacement) are
+// K2's domain-specific accelerations, individually toggleable for the
+// Table 10 ablation.
+#pragma once
+
+#include <optional>
+#include <random>
+
+#include "core/params.h"
+#include "ebpf/program.h"
+#include "verify/window.h"
+
+namespace k2::core {
+
+struct ProposalRules {
+  bool mem_exchange1 = true;  // rule 4
+  bool mem_exchange2 = true;  // rule 5
+  bool contiguous = true;     // rule 6
+};
+
+class ProposalGen {
+ public:
+  // Operand pools (immediates, memory offsets) are harvested from the
+  // source program, as in STOKE: mutations draw from values the program
+  // plausibly needs.
+  ProposalGen(const ebpf::Program& src, const SearchParams& params,
+              const ProposalRules& rules,
+              std::optional<verify::WindowSpec> window = std::nullopt);
+
+  // Returns a mutated copy of `cur`. Proposals are symmetric, so the
+  // Metropolis–Hastings transition-probability ratio is 1 (§3.3).
+  ebpf::Program propose(const ebpf::Program& cur, std::mt19937_64& rng) const;
+
+ private:
+  ebpf::Insn random_insn(const ebpf::Program& cur, int pos,
+                         std::mt19937_64& rng) const;
+  int random_position(const ebpf::Program& cur, std::mt19937_64& rng) const;
+
+  SearchParams params_;
+  ProposalRules rules_;
+  std::optional<verify::WindowSpec> window_;
+  std::vector<int64_t> imm_pool_;
+  std::vector<int16_t> off_pool_;
+};
+
+}  // namespace k2::core

@@ -1,0 +1,119 @@
+// (19) xdp-balancer: a katran-style L4 load balancer generated to the
+// paper's scale (~1800 instructions at -O2).
+//
+// Structure: bounds-checked Ethernet/IPv4/UDP parse, then one block per VIP
+// that matches the destination address, hashes the flow to pick a real
+// server from an array map, bumps per-real statistics, and forwards.
+//
+// The -O1 / -O2 split reproduces the paper's "DNL" (did not load) entry for
+// -O1 in Table 1: the -O1 code spills the context pointer to the stack and
+// reloads it before use — a pattern lower clang optimization levels emit
+// and that the checker cannot track (the reloaded register loses pointer
+// provenance), so the program is rejected. The -O2 code also zeroes its
+// scratch registers when VIP blocks rejoin, letting the checker's
+// state-equivalence pruning collapse path exploration; without that
+// convergence a program this size exhausts the 1M-instruction complexity
+// budget (kernel_checker.cc).
+#include "corpus/corpus.h"
+#include "corpus/idioms.h"
+#include "ebpf/assembler.h"
+
+namespace k2::corpus {
+
+Benchmark xdp_balancer();
+
+namespace {
+
+using ebpf::MapDef;
+using ebpf::MapKind;
+using ebpf::ProgType;
+using namespace idioms;
+
+std::string balancer_asm(int num_vips, bool spill_ctx) {
+  std::string s;
+  if (spill_ctx) {
+    // -O1: spill/reload of the ctx pointer; the checker loses provenance.
+    s += "  stxdw [r10-16], r1\n"
+         "  ldxdw r1, [r10-16]\n";
+  }
+  s += xdp_prologue(42, "pass");
+  // Pre-initialize the key slots so every path sees identical stack state.
+  s += "  stw [r10-4], 0\n"
+       "  stw [r10-8], 0\n";
+  s += "  ldxh r2, [r6+12]\n"
+       "  be16 r2\n"
+       "  jne r2, 0x0800, pass\n"
+       "  ldxb r3, [r6+14]\n"
+       "  and64 r3, 0xf\n"
+       "  jne r3, 5, pass\n"
+       "  ldxb r3, [r6+23]\n"
+       "  jne r3, 17, pass\n"      // UDP only
+       "  ldxw r8, [r6+30]\n"      // dst ip (vip)
+       "  ldxw r9, [r6+26]\n";     // src ip (flow entropy)
+
+  for (int i = 0; i < num_vips; ++i) {
+    std::string tag = std::to_string(i);
+    uint32_t vip = 0x0a000a00u + uint32_t(i);
+    s += "vip" + tag + ":\n";
+    s += "  mov64 r4, r8\n";
+    s += "  lddw r3, " + std::to_string(vip) + "\n";
+    s += "  jne r4, r3, next" + tag + "\n";
+    // Flow hash: src ^ dst ^ vip index, folded into the reals table size.
+    s += "  mov64 r4, r9\n"
+         "  xor64 r4, r8\n"
+         "  xor64 r4, " + std::to_string(i) + "\n"
+         "  and64 r4, 63\n"
+         "  stxw [r10-4], r4\n"
+         "  ldmapfd r1, 0\n"       // reals (array)
+         "  mov64 r2, r10\n"
+         "  add64 r2, -4\n"
+         "  call 1\n"
+         "  jeq r0, 0, next" + tag + "\n"
+         "  ldxdw r5, [r0+0]\n"    // real id (stats key)
+         "  and64 r5, 3\n"
+         "  stxw [r10-8], r5\n"
+         "  ldmapfd r1, 1\n"       // per-real stats (array)
+         "  mov64 r2, r10\n"
+         "  add64 r2, -8\n"
+         "  call 1\n"
+         "  jeq r0, 0, next" + tag + "\n"
+         "  mov64 r1, 1\n"
+         "  xadd64 [r0+0], r1\n"
+         "  mov64 r0, 3\n"         // XDP_TX towards the real
+         "  exit\n";
+    s += "next" + tag + ":\n";
+    // Scratch rematerialization: makes the verifier states converge at the
+    // next block (and gives K2 dead code to harvest).
+    s += "  mov64 r0, 0\n"
+         "  mov64 r1, 0\n"
+         "  mov64 r2, 0\n"
+         "  mov64 r3, 0\n"
+         "  mov64 r4, 0\n"
+         "  mov64 r5, 0\n";
+  }
+  s += "pass:\n"
+       "  mov64 r0, 2\n"
+       "  exit\n";
+  return s;
+}
+
+}  // namespace
+
+Benchmark xdp_balancer() {
+  Benchmark b;
+  b.name = "xdp-balancer";
+  b.origin = "facebook";
+  std::vector<MapDef> maps = {MapDef{"reals", MapKind::ARRAY, 4, 8, 64},
+                              MapDef{"stats", MapKind::ARRAY, 4, 8, 4}};
+  // ~31 instructions per VIP block; 58 blocks ≈ 1.8k instructions.
+  b.o1 = ebpf::assemble(balancer_asm(58, /*spill_ctx=*/true), ProgType::XDP,
+                        maps);
+  b.o2 = ebpf::assemble(balancer_asm(58, /*spill_ctx=*/false), ProgType::XDP,
+                        maps);
+  b.paper_o1 = -1;  // DNL in the paper
+  b.paper_o2 = 1811;
+  b.paper_k2 = 1607;
+  return b;
+}
+
+}  // namespace k2::corpus

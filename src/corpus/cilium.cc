@@ -1,0 +1,134 @@
+// Benchmarks (17) from-network and (18) recvmsg4, modeled on Cilium's
+// datapath programs.
+#include "corpus/corpus.h"
+#include "corpus/idioms.h"
+#include "ebpf/assembler.h"
+
+namespace k2::corpus {
+
+namespace {
+
+using ebpf::MapDef;
+using ebpf::MapKind;
+using ebpf::ProgType;
+using namespace idioms;
+
+// (17) from-network: conntrack-style timestamping of flows entering the
+// node. Contains one of the fat stack-swap sequences the paper reports K2
+// shrinking from 12 instructions to 4–8 (§9).
+Benchmark from_network() {
+  std::string o2 =
+      xdp_prologue(34, "pass") +
+      "  ldxh r2, [r6+12]\n"
+      "  be16 r2\n"
+      "  jne r2, 0x0800, pass\n"
+      "  ldxw r8, [r6+26]\n"                // src ip = conntrack key
+      "  call 5\n"                          // ktime_get_ns
+      "  mov64 r9, r0\n" +
+      stack_shuffle("r8", "r9", -24) +      // removable identity block
+      mov_roundtrip("r9", "r7") +
+      "  stxw [r10-4], r8\n"
+      "  stxdw [r10-16], r9\n"              // value: timestamp
+      "  ldmapfd r1, 0\n"                   // ct map (hash)
+      "  mov64 r2, r10\n"
+      "  add64 r2, -4\n"
+      "  mov64 r3, r10\n"
+      "  add64 r3, -16\n"
+      "  mov64 r4, 0\n"
+      "  call 2\n"                          // map_update(ct, &key, &ts)
+      "  mov64 r0, 2\n"
+      "  exit\n"
+      "pass:\n"
+      "  mov64 r0, 2\n"
+      "  exit\n";
+  std::string o1 = "  mov64 r9, r1\n  mov64 r1, r9\n" +
+                   dead_store("r8", -32) + o2;
+  Benchmark b;
+  b.name = "from-network";
+  b.origin = "cilium";
+  std::vector<MapDef> maps = {MapDef{"ct_map", MapKind::HASH, 4, 8, 512}};
+  b.o1 = ebpf::assemble(o1, ProgType::XDP, maps);
+  b.o2 = ebpf::assemble(o2, ProgType::XDP, maps);
+  b.paper_o1 = 43;
+  b.paper_o2 = 39;
+  b.paper_k2 = 29;
+  return b;
+}
+
+// (18) recvmsg4: service → backend address translation for recvmsg(), the
+// largest Cilium benchmark. Two map operations with heavy stack staging.
+Benchmark recvmsg4() {
+  std::string o2 =
+      "  ldxdw r6, [r1+0]\n"                // peer ip
+      "  ldxdw r7, [r1+8]\n" +              // peer port
+      mov_roundtrip("r6", "r8") +
+      mov_roundtrip("r7", "r9") +
+      zero_two_slots("r3", -20) +
+      // Service key: (ip, port) packed 8 bytes.
+      "  stxw [r10-8], r6\n"
+      "  stxw [r10-4], r7\n" +
+      stack_shuffle("r6", "r7", -32) +
+      "  ldmapfd r1, 0\n"                   // service map (hash)
+      "  mov64 r2, r10\n"
+      "  add64 r2, -8\n"
+      "  call 1\n"
+      "  jeq r0, 0, miss\n"
+      // Unpack backend (ip32 | port32) and stage the reverse-NAT entry.
+      "  ldxdw r8, [r0+0]\n"
+      "  mov64 r2, r8\n"
+      "  and64 r2, 0xffffffff\n"            // backend ip
+      "  mov64 r3, r8\n"
+      "  rsh64 r3, 32\n"                    // backend port
+      "  stxw [r10-16], r2\n"
+      "  stxw [r10-12], r3\n" +
+      stack_shuffle("r8", "r6", -40) +
+      mov_roundtrip("r8", "r5") +
+      // Reverse entry: key = backend pair, value = original pair.
+      "  stxw [r10-28], r6\n"
+      "  stxw [r10-24], r7\n"
+      "  ldmapfd r1, 1\n"                   // revnat map (hash)
+      "  mov64 r2, r10\n"
+      "  add64 r2, -16\n"
+      "  mov64 r3, r10\n"
+      "  add64 r3, -28\n"
+      "  mov64 r4, 0\n"
+      "  call 2\n" +
+      // Count translations.
+      "  mov64 r8, 0\n"
+      "  mov64 r9, 1\n" +
+      counter_bump(2, "r8", -44, "r9", "skipcnt") +
+      dead_store("r4", -48) +
+      "  mov64 r0, 0\n"
+      "  exit\n"
+      "miss:\n" +
+      zero_two_slots("r5", -52) +
+      "  mov64 r8, 1\n"
+      "  mov64 r9, 1\n" +
+      counter_bump(2, "r8", -44, "r9", "skipmiss") +
+      "  mov64 r0, 0\n"
+      "  exit\n";
+  std::string o1 = "  mov64 r8, r1\n  mov64 r1, r8\n" +
+                   dead_store("r9", -56) + o2;
+  Benchmark b;
+  b.name = "recvmsg4";
+  b.origin = "cilium";
+  std::vector<MapDef> maps = {
+      MapDef{"lb4_services", MapKind::HASH, 8, 8, 256},
+      MapDef{"lb4_revnat", MapKind::HASH, 8, 8, 256},
+      MapDef{"translate_cnt", MapKind::ARRAY, 4, 8, 4},
+  };
+  b.o1 = ebpf::assemble(o1, ProgType::TRACEPOINT, maps);
+  b.o2 = ebpf::assemble(o2, ProgType::TRACEPOINT, maps);
+  b.paper_o1 = 98;
+  b.paper_o2 = 94;
+  b.paper_k2 = 81;
+  return b;
+}
+
+}  // namespace
+
+std::vector<Benchmark> cilium_benchmarks() {
+  return {from_network(), recvmsg4()};
+}
+
+}  // namespace k2::corpus

@@ -1,0 +1,32 @@
+#include "corpus/corpus.h"
+
+#include <stdexcept>
+
+namespace k2::corpus {
+
+const std::vector<Benchmark>& all_benchmarks() {
+  static const std::vector<Benchmark> all = [] {
+    std::vector<Benchmark> v;
+    // Table 1 order: linux (1-13), facebook xdp_pktcntr (14), hXDP (15-16),
+    // cilium (17-18), facebook xdp-balancer (19).
+    std::vector<Benchmark> linux = linux_benchmarks();
+    std::vector<Benchmark> fb = facebook_benchmarks();
+    std::vector<Benchmark> hx = hxdp_benchmarks();
+    std::vector<Benchmark> ci = cilium_benchmarks();
+    for (auto& b : linux) v.push_back(std::move(b));
+    v.push_back(std::move(fb[0]));  // xdp_pktcntr
+    for (auto& b : hx) v.push_back(std::move(b));
+    for (auto& b : ci) v.push_back(std::move(b));
+    v.push_back(std::move(fb[1]));  // xdp-balancer
+    return v;
+  }();
+  return all;
+}
+
+const Benchmark& benchmark(const std::string& name) {
+  for (const Benchmark& b : all_benchmarks())
+    if (b.name == name) return b;
+  throw std::out_of_range("no such benchmark: " + name);
+}
+
+}  // namespace k2::corpus

@@ -1,0 +1,46 @@
+// The 19-benchmark corpus mirroring the paper's Table 1 programs, drawn
+// from the Linux kernel samples (1–13), Facebook/katran (14, 19), hXDP
+// (15, 16), and Cilium (17, 18).
+//
+// Substitution note (DESIGN.md §1): we do not have the clang-9-compiled
+// object files of the original sources, so each benchmark is authored in
+// this repo's BPF assembly with the same program semantics (parse → map
+// state → verdict), hook type, and approximate instruction counts, and —
+// crucially — the same *redundancy patterns* the paper reports K2
+// exploiting (Table 11): coalescable byte stores, dead register/stack
+// writes, load-add-store sequences reducible to atomic adds, and
+// context-dependent strength reductions. The `-O1` variant layers extra
+// spills/moves on the `-O2` variant, as clang does at lower optimization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ebpf/program.h"
+
+namespace k2::corpus {
+
+struct Benchmark {
+  std::string name;
+  std::string origin;     // linux | facebook | hxdp | cilium
+  ebpf::Program o1;
+  ebpf::Program o2;       // the K2 search starts from this (paper §8)
+  // Reference values from the paper's Table 1 for side-by-side reporting.
+  int paper_o1 = 0;
+  int paper_o2 = 0;
+  int paper_k2 = 0;
+};
+
+// Individual suites.
+std::vector<Benchmark> linux_benchmarks();     // (1)-(13)
+std::vector<Benchmark> facebook_benchmarks();  // (14) xdp_pktcntr, (19) xdp-balancer
+std::vector<Benchmark> hxdp_benchmarks();      // (15) xdp_fw, (16) xdp_map_access
+std::vector<Benchmark> cilium_benchmarks();    // (17) from-network, (18) recvmsg4
+
+// All 19, in the paper's Table 1 order.
+const std::vector<Benchmark>& all_benchmarks();
+
+// Lookup by name; throws std::out_of_range for unknown names.
+const Benchmark& benchmark(const std::string& name);
+
+}  // namespace k2::corpus

@@ -1,0 +1,64 @@
+// Benchmarks (14) xdp_pktcntr and (19) xdp-balancer, modeled on Facebook's
+// katran load balancer repository.
+#include "corpus/corpus.h"
+#include "corpus/idioms.h"
+#include "ebpf/assembler.h"
+
+namespace k2::corpus {
+
+Benchmark xdp_balancer();  // balancer_gen.cc
+
+namespace {
+
+using ebpf::MapDef;
+using ebpf::MapKind;
+using ebpf::ProgType;
+using namespace idioms;
+
+// (14) xdp_pktcntr: the program of the paper's §9 Example 1 — a control
+// flag lookup gating a packet counter. The zeroing of two adjacent 32-bit
+// stack slots is the exact pattern K2 coalesced into one 64-bit store.
+Benchmark xdp_pktcntr() {
+  std::string o2 =
+      "  mov64 r6, r1\n" +                 // saved ctx (kept live by habit)
+      mov_roundtrip("r6", "r7") +
+      "  mov64 r1, 0\n"
+      "  stxw [r10-4], r1\n"               // u32 ctl_flag_pos = 0
+      "  stxw [r10-8], r1\n"               // u32 cntr_pos = 0
+      "  ldmapfd r1, 0\n"
+      "  mov64 r2, r10\n"
+      "  add64 r2, -4\n"
+      "  call 1\n"
+      "  jeq r0, 0, out\n"
+      "  ldxw r3, [r0+0]\n"
+      "  jeq r3, 0, out\n"
+      "  ldmapfd r1, 1\n"
+      "  mov64 r2, r10\n"
+      "  add64 r2, -8\n"
+      "  call 1\n"
+      "  jeq r0, 0, out\n"
+      "  mov64 r1, 1\n"
+      "  xadd64 [r0+0], r1\n"
+      "out:\n"
+      "  mov64 r0, 2\n"
+      "  exit\n";
+  Benchmark b;
+  b.name = "xdp_pktcntr";
+  b.origin = "facebook";
+  std::vector<MapDef> maps = {MapDef{"ctl_array", MapKind::ARRAY, 4, 8, 4},
+                              MapDef{"cntr_array", MapKind::ARRAY, 4, 8, 4}};
+  b.o1 = ebpf::assemble(o2, ProgType::XDP, maps);
+  b.o2 = ebpf::assemble(o2, ProgType::XDP, maps);
+  b.paper_o1 = 22;
+  b.paper_o2 = 22;
+  b.paper_k2 = 19;
+  return b;
+}
+
+}  // namespace
+
+std::vector<Benchmark> facebook_benchmarks() {
+  return {xdp_pktcntr(), xdp_balancer()};
+}
+
+}  // namespace k2::corpus

@@ -1,0 +1,112 @@
+// Benchmarks (15) xdp_fw and (16) xdp_map_access from the hXDP paper's
+// benchmark suite (Brunella et al., OSDI 2020).
+#include "corpus/corpus.h"
+#include "corpus/idioms.h"
+#include "ebpf/assembler.h"
+
+namespace k2::corpus {
+
+namespace {
+
+using ebpf::MapDef;
+using ebpf::MapKind;
+using ebpf::ProgType;
+using namespace idioms;
+
+// (15) xdp_fw: stateful firewall — drop flows present in the blocklist.
+Benchmark xdp_fw() {
+  std::string o2 =
+      xdp_prologue(42, "pass") +
+      "  ldxh r2, [r6+12]\n"
+      "  be16 r2\n"
+      "  jne r2, 0x0800, pass\n"
+      "  ldxb r3, [r6+14]\n"
+      "  and64 r3, 0xf\n"
+      "  jne r3, 5, pass\n"
+      "  ldxb r3, [r6+23]\n"
+      "  jeq r3, 6, l4ok\n"
+      "  jne r3, 17, pass\n"                // TCP or UDP
+      "l4ok:\n"
+      "  ldxw r8, [r6+26]\n"                // src ip
+      "  ldxw r9, [r6+30]\n" +              // dst ip
+      mov_roundtrip("r8", "r4") +
+      // Flow key: (src ip, dst ip) packed into 8 bytes on the stack.
+      "  stxw [r10-8], r8\n"
+      "  stxw [r10-4], r9\n" +
+      zero_two_slots("r5", -12) +
+      stack_shuffle("r8", "r9", -24) +
+      "  ldmapfd r1, 0\n"                   // blocklist (hash)
+      "  mov64 r2, r10\n"
+      "  add64 r2, -8\n"
+      "  call 1\n"
+      "  jeq r0, 0, allow\n"
+      // Blocked: count the drop and drop.
+      "  mov64 r1, 1\n"
+      "  xadd64 [r0+0], r1\n"
+      "  mov64 r0, 1\n"
+      "  exit\n"
+      "allow:\n" +
+      dead_store("r5", -32) +
+      "  mov64 r8, 0\n"
+      "  mov64 r9, 1\n" +
+      counter_bump(1, "r8", -12, "r9", "skipcnt") +
+      "pass:\n"
+      "  mov64 r0, 2\n"
+      "  exit\n";
+  std::string o1 = "  mov64 r9, r1\n  mov64 r1, r9\n" +
+                   dead_store("r8", -40) + stack_shuffle("r8", "r8", -56) +
+                   o2;
+  Benchmark b;
+  b.name = "xdp_fw";
+  b.origin = "hxdp";
+  std::vector<MapDef> maps = {MapDef{"flow_block", MapKind::HASH, 8, 8, 256},
+                              MapDef{"pass_cnt", MapKind::ARRAY, 4, 8, 4}};
+  b.o1 = ebpf::assemble(o1, ProgType::XDP, maps);
+  b.o2 = ebpf::assemble(o2, ProgType::XDP, maps);
+  b.paper_o1 = 85;
+  b.paper_o2 = 72;
+  b.paper_k2 = 65;
+  return b;
+}
+
+// (16) xdp_map_access: per-CPU touch counter (Table 11 dead-store case).
+Benchmark xdp_map_access() {
+  std::string o2 =
+      "  call 8\n"                          // get_smp_processor_id
+      "  mov64 r6, r0\n"
+      "  and64 r6, 3\n" +
+      dead_store("r3", -8) +                // the exact Table-11 dead pair
+      mov_roundtrip("r6", "r7") +
+      "  stxw [r10-4], r6\n"
+      "  ldmapfd r1, 0\n"
+      "  mov64 r2, r10\n"
+      "  add64 r2, -4\n"
+      "  call 1\n"
+      "  jeq r0, 0, out\n"
+      "  mov64 r1, 1\n"
+      "  xadd64 [r0+0], r1\n"
+      "out:\n" +
+      dead_store("r4", -16) +
+      "  mov64 r0, 2\n"
+      "  exit\n";
+  std::string o1 = o2;
+  Benchmark b;
+  b.name = "xdp_map_access";
+  b.origin = "hxdp";
+  b.o1 = ebpf::assemble(
+      o1, ProgType::XDP,
+      {MapDef{"cpu_touch", MapKind::ARRAY, 4, 8, 4}});
+  b.o2 = ebpf::assemble(
+      o2, ProgType::XDP,
+      {MapDef{"cpu_touch", MapKind::ARRAY, 4, 8, 4}});
+  b.paper_o1 = 30;
+  b.paper_o2 = 30;
+  b.paper_k2 = 26;
+  return b;
+}
+
+}  // namespace
+
+std::vector<Benchmark> hxdp_benchmarks() { return {xdp_fw(), xdp_map_access()}; }
+
+}  // namespace k2::corpus

@@ -1,0 +1,124 @@
+// Internal helpers for composing corpus benchmarks from realistic BPF
+// idiom blocks. Each emitter returns assembler text; blocks are chosen so
+// the resulting programs (a) pass this repo's safety and kernel checkers
+// and (b) contain the optimization headroom the paper's Table 11 documents.
+#pragma once
+
+#include <string>
+
+namespace k2::corpus::idioms {
+
+// Bounds-checked XDP prologue: r6 = data, r7 = data_end, verifies
+// `need_bytes` of packet are accessible, else jumps to `drop_label`.
+// 5 instructions.
+inline std::string xdp_prologue(int need_bytes,
+                                const std::string& drop_label) {
+  return "  ldxdw r6, [r1+0]\n"
+         "  ldxdw r7, [r1+8]\n"
+         "  mov64 r2, r6\n"
+         "  add64 r2, " + std::to_string(need_bytes) + "\n"
+         "  jgt r2, r7, " + drop_label + "\n";
+}
+
+// The Table-11 xdp_pktcntr pattern: zero a register, then spill it as two
+// 32-bit stores K2 coalesces into one 64-bit immediate store. `reg` must be
+// a dead-afterwards scratch register. 3 instructions.
+inline std::string zero_two_slots(const std::string& reg, int off_hi) {
+  return "  mov64 " + reg + ", 0\n"
+         "  stxw [r10" + std::to_string(off_hi) + "], " + reg + "\n"
+         "  stxw [r10" + std::to_string(off_hi - 4) + "], " + reg + "\n";
+}
+
+// Array-map counter bump: writes `key_reg`'s low 32 bits as the key at
+// stack slot `key_off` and atomically adds `add_reg` to the value.
+// Clobbers r1, r2 (and r0). 7 instructions + label.
+inline std::string counter_bump(int map_fd, const std::string& key_reg,
+                                int key_off, const std::string& add_reg,
+                                const std::string& skip_label) {
+  return "  stxw [r10" + std::to_string(key_off) + "], " + key_reg + "\n"
+         "  ldmapfd r1, " + std::to_string(map_fd) + "\n"
+         "  mov64 r2, r10\n"
+         "  add64 r2, " + std::to_string(key_off) + "\n"
+         "  call 1\n"
+         "  jeq r0, 0, " + skip_label + "\n"
+         "  xadd64 [r0+0], " + add_reg + "\n" +
+         skip_label + ":\n";
+}
+
+// Non-atomic counter bump with the load-add-store shape K2 rewrites into a
+// single xadd (Table 11, sys_enter_open). 9 instructions + label.
+inline std::string counter_bump_naive(int map_fd, int key_off,
+                                      const std::string& skip_label) {
+  return "  ldmapfd r1, " + std::to_string(map_fd) + "\n"
+         "  mov64 r2, r10\n"
+         "  add64 r2, " + std::to_string(key_off) + "\n"
+         "  call 1\n"
+         "  jeq r0, 0, " + skip_label + "\n"
+         "  ldxdw r1, [r0+0]\n"
+         "  add64 r1, 1\n"
+         "  stxdw [r0+0], r1\n" +
+         skip_label + ":\n";
+}
+
+// Redundant register shuffle through the stack (identity). The K2 search
+// can remove the whole block; rule-based DCE cannot, because the stores
+// feed the loads. 8 instructions; uses slots off and off-8 and scratch r2/r3.
+inline std::string stack_shuffle(const std::string& rx,
+                                 const std::string& ry, int off) {
+  std::string o1 = std::to_string(off), o2 = std::to_string(off - 8);
+  return "  stxdw [r10" + o1 + "], " + rx + "\n"
+         "  stxdw [r10" + o2 + "], " + ry + "\n"
+         "  ldxdw r2, [r10" + o1 + "]\n"
+         "  ldxdw r3, [r10" + o2 + "]\n"
+         "  stxdw [r10" + o1 + "], r3\n"
+         "  stxdw [r10" + o2 + "], r2\n"
+         "  ldxdw " + ry + ", [r10" + o1 + "]\n"
+         "  ldxdw " + rx + ", [r10" + o2 + "]\n";
+}
+
+// Byte-wise MAC copy from stack to packet, the Table-11 xdp_fwd pattern:
+// three 16-bit loads each expanded into two 8-bit stores; K2 coalesces
+// into 32+16-bit moves. 12 instructions. Requires 6 packet bytes at
+// [r6+pkt_off, ...) verified accessible and 6 stack bytes at stk_off.
+inline std::string mac_copy_bytes(int stk_off, int pkt_off) {
+  std::string s;
+  for (int half = 0; half < 3; ++half) {
+    int so = stk_off + 2 * half;
+    int po = pkt_off + 2 * half;
+    s += "  ldxh r3, [r10" + std::to_string(so) + "]\n";
+    s += "  stxb [r6+" + std::to_string(po) + "], r3\n";
+    s += "  rsh64 r3, 8\n";
+    s += "  stxb [r6+" + std::to_string(po + 1) + "], r3\n";
+  }
+  return s;
+}
+
+// 6-byte MAC swap in the packet using byte loads/stores (xdp2's Table 11
+// pattern, byte-granularity variant). 6 iterations × 4 insns = 24 insns.
+// Requires 12 packet bytes accessible.
+inline std::string mac_swap_bytes() {
+  std::string s;
+  for (int i = 0; i < 6; ++i) {
+    s += "  ldxb r3, [r6+" + std::to_string(i) + "]\n";
+    s += "  ldxb r4, [r6+" + std::to_string(6 + i) + "]\n";
+    s += "  stxb [r6+" + std::to_string(i) + "], r4\n";
+    s += "  stxb [r6+" + std::to_string(6 + i) + "], r3\n";
+  }
+  return s;
+}
+
+// Dead scratch writes (Table 11, xdp_map_access): a zeroed register stored
+// to a stack slot nothing reads. 2 instructions.
+inline std::string dead_store(const std::string& reg, int off) {
+  return "  mov64 " + reg + ", 0\n"
+         "  stxb [r10" + std::to_string(off) + "], " + reg + "\n";
+}
+
+// Register round-trip (mov there and back); K2 removes both. 2 insns.
+inline std::string mov_roundtrip(const std::string& ra,
+                                 const std::string& rb) {
+  return "  mov64 " + rb + ", " + ra + "\n"
+         "  mov64 " + ra + ", " + rb + "\n";
+}
+
+}  // namespace k2::corpus::idioms

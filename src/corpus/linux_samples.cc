@@ -1,0 +1,532 @@
+// Benchmarks (1)-(13): Linux kernel BPF samples (tracepoints attached to
+// XDP internals, socket filters, and the xdp* sample programs).
+#include "corpus/corpus.h"
+#include "corpus/idioms.h"
+#include "ebpf/assembler.h"
+
+namespace k2::corpus {
+
+namespace {
+
+using ebpf::MapDef;
+using ebpf::MapKind;
+using ebpf::ProgType;
+using namespace idioms;
+
+MapDef counters(const std::string& name, uint32_t entries = 4) {
+  return MapDef{name, MapKind::ARRAY, 4, 8, entries};
+}
+
+Benchmark tp(const std::string& name, const std::string& o1,
+             const std::string& o2, std::vector<MapDef> maps, int p1, int p2,
+             int pk) {
+  Benchmark b;
+  b.name = name;
+  b.origin = "linux";
+  b.o1 = ebpf::assemble(o1, ProgType::TRACEPOINT, maps);
+  b.o2 = ebpf::assemble(o2, ProgType::TRACEPOINT, maps);
+  b.paper_o1 = p1;
+  b.paper_o2 = p2;
+  b.paper_k2 = pk;
+  return b;
+}
+
+Benchmark xdp(const std::string& name, const std::string& o1,
+              const std::string& o2, std::vector<MapDef> maps, int p1, int p2,
+              int pk, ProgType type = ProgType::XDP) {
+  Benchmark b;
+  b.name = name;
+  b.origin = "linux";
+  b.o1 = ebpf::assemble(o1, type, maps);
+  b.o2 = ebpf::assemble(o2, type, maps);
+  b.paper_o1 = p1;
+  b.paper_o2 = p2;
+  b.paper_k2 = pk;
+  return b;
+}
+
+// (1) xdp_exception: count XDP exceptions per action code.
+Benchmark xdp_exception() {
+  std::string body =
+      "  ldxdw r6, [r1+0]\n" +            // action code
+      mov_roundtrip("r6", "r8") +          // -O2 leftover
+      zero_two_slots("r3", -4) +           // Table-11 coalescable zeroing
+      "  mov64 r2, r6\n"
+      "  and64 r2, 3\n"
+      "  stxw [r10-8], r2\n"
+      "  ldmapfd r1, 0\n"
+      "  mov64 r2, r10\n"
+      "  add64 r2, -8\n"
+      "  call 1\n"
+      "  jeq r0, 0, out\n"
+      "  mov64 r1, 1\n"
+      "  xadd64 [r0+0], r1\n"
+      "out:\n"
+      "  mov64 r0, 0\n"
+      "  exit\n";
+  return tp("xdp_exception", body, body, {counters("exception_cnt")}, 18, 18,
+            16);
+}
+
+// (2) xdp_redirect_err: count redirect errors by error class.
+Benchmark xdp_redirect_err() {
+  std::string o2 =
+      "  ldxdw r6, [r1+0]\n"               // errno
+      "  ldxdw r7, [r1+8]\n" +             // ifindex (unused)
+      zero_two_slots("r3", -4) +
+      "  mov64 r2, r6\n"
+      "  and64 r2, 1\n"
+      "  stxw [r10-8], r2\n"
+      "  mov64 r9, r7\n"                   // dead shuffle
+      "  ldmapfd r1, 0\n"
+      "  mov64 r2, r10\n"
+      "  add64 r2, -8\n"
+      "  call 1\n"
+      "  jeq r0, 0, out\n"
+      "  mov64 r1, 1\n"
+      "  xadd64 [r0+0], r1\n"
+      "out:\n"
+      "  mov64 r0, 0\n"
+      "  exit\n";
+  std::string o1 = "  mov64 r8, r1\n  mov64 r1, r8\n" + o2;
+  return tp("xdp_redirect_err", o1, o2, {counters("redirect_err_cnt", 2)}, 19,
+            18, 16);
+}
+
+// (3) xdp_devmap_xmit: record packets sent / drops per devmap flush.
+Benchmark xdp_devmap_xmit() {
+  std::string body =
+      "  ldxdw r6, [r1+0]\n"               // sent
+      "  ldxdw r7, [r1+8]\n" +             // drops
+      stack_shuffle("r6", "r7", -16) +     // removable identity block
+      zero_two_slots("r3", -4) +
+      "  stw [r10-8], 0\n"                 // key 0: sent counter
+      "  ldmapfd r1, 0\n"
+      "  mov64 r2, r10\n"
+      "  add64 r2, -8\n"
+      "  call 1\n"
+      "  jeq r0, 0, second\n"
+      "  xadd64 [r0+0], r6\n"
+      "second:\n"
+      "  stw [r10-8], 1\n"                 // key 1: drop counter
+      "  ldmapfd r1, 0\n"
+      "  mov64 r2, r10\n"
+      "  add64 r2, -8\n"
+      "  call 1\n"
+      "  jeq r0, 0, out\n"
+      "  xadd64 [r0+0], r7\n"
+      "out:\n"
+      "  mov64 r0, 0\n"
+      "  exit\n";
+  return tp("xdp_devmap_xmit", body, body, {counters("devmap_xmit_cnt")}, 36,
+            36, 29);
+}
+
+// (4) xdp_cpumap_kthread: per-CPU processed-packet counter.
+Benchmark xdp_cpumap_kthread() {
+  std::string body =
+      "  call 8\n"                         // get_smp_processor_id
+      "  mov64 r6, r0\n"
+      "  and64 r6, 3\n" +
+      mov_roundtrip("r6", "r7") +
+      zero_two_slots("r3", -4) +
+      "  stxw [r10-8], r6\n" +
+      counter_bump_naive(0, -8, "out") +   // ldx/add/stx -> xadd headroom
+      "  mov64 r0, 0\n"
+      "  exit\n";
+  // counter_bump_naive needs the map handle loaded before the call; patch
+  // its first lines are already self-contained (ldmapfd inside).
+  return tp("xdp_cpumap_kthread", body, body, {counters("cpumap_cnt")}, 24,
+            24, 18);
+}
+
+// (5) xdp_cpumap_enqueue: enqueued + dropped counters per cpu.
+Benchmark xdp_cpumap_enqueue() {
+  std::string body =
+      "  ldxdw r6, [r1+0]\n"               // enqueued
+      "  ldxdw r7, [r1+8]\n" +             // dropped
+      zero_two_slots("r3", -4) +
+      "  stw [r10-8], 0\n"
+      "  ldmapfd r1, 0\n"
+      "  mov64 r2, r10\n"
+      "  add64 r2, -8\n"
+      "  call 1\n"
+      "  jeq r0, 0, second\n"
+      "  xadd64 [r0+0], r6\n"
+      "second:\n" +
+      mov_roundtrip("r7", "r8") +
+      "  stw [r10-8], 1\n"
+      "  ldmapfd r1, 0\n"
+      "  mov64 r2, r10\n"
+      "  add64 r2, -8\n"
+      "  call 1\n"
+      "  jeq r0, 0, out\n"
+      "  xadd64 [r0+0], r7\n"
+      "out:\n"
+      "  mov64 r0, 0\n"
+      "  exit\n";
+  return tp("xdp_cpumap_enqueue", body, body, {counters("cpumap_enq_cnt")},
+            26, 26, 21);
+}
+
+// (6) sys_enter_open: count open() syscalls (load-add-store headroom).
+Benchmark sys_enter_open() {
+  std::string body =
+      "  ldxdw r6, [r1+0]\n"               // flags argument
+      "  mov64 r7, 0\n"
+      "  stxw [r10-4], r7\n"               // key = 0
+      "  jne r6, 0, flagged\n" +
+      counter_bump_naive(0, -4, "out0") +
+      "  ja out\n"
+      "flagged:\n"
+      "  stw [r10-4], 1\n" +               // key = 1 for flagged opens
+      counter_bump_naive(0, -4, "out1") +
+      "out:\n"
+      "  mov64 r0, 0\n"
+      "  exit\n";
+  return tp("sys_enter_open", body, body, {counters("open_cnt", 2)}, 24, 24,
+            20);
+}
+
+// (7) socket/0: classic socket filter — accept TCP, reject the rest.
+Benchmark socket0() {
+  std::string o2 =
+      xdp_prologue(34, "rej") +
+      "  ldxh r2, [r6+12]\n"               // ethertype
+      "  be16 r2\n"                        // wire order
+      "  jne r2, 0x0800, rej\n" +
+      mov_roundtrip("r2", "r8") +
+      dead_store("r4", -8) +
+      "  ldxb r3, [r6+23]\n"               // ip proto
+      "  jne r3, 6, rej\n"                 // TCP
+      "  mov64 r0, 1\n"
+      "  exit\n"
+      "rej:\n"
+      "  mov64 r0, 0\n"
+      "  exit\n";
+  std::string o1 = "  mov64 r9, r1\n  mov64 r1, r9\n  mov64 r8, 0\n" + o2;
+  return xdp("socket/0", o1, o2, {}, 32, 29, 27, ProgType::SOCKET_FILTER);
+}
+
+// (8) socket/1: TCP destination-port filter.
+Benchmark socket1() {
+  std::string o2 =
+      xdp_prologue(38, "rej") +
+      "  ldxh r2, [r6+12]\n"
+      "  be16 r2\n"
+      "  jne r2, 0x0800, rej\n"
+      "  ldxb r3, [r6+23]\n"
+      "  jne r3, 6, rej\n" +
+      dead_store("r5", -8) +
+      "  ldxh r4, [r6+36]\n"               // dst port (no options assumed)
+      "  be16 r4\n" +
+      mov_roundtrip("r4", "r8") +
+      "  jeq r4, 80, acc\n"
+      "  jeq r4, 443, acc\n"
+      "  mov64 r0, 0\n"
+      "  exit\n"
+      "acc:\n"
+      "  mov64 r0, 1\n"
+      "  exit\n"
+      "rej:\n"
+      "  mov64 r0, 0\n"
+      "  exit\n";
+  std::string o1 = "  mov64 r9, r1\n  mov64 r1, r9\n  mov64 r8, 0\n" + o2;
+  return xdp("socket/1", o1, o2, {}, 35, 32, 30, ProgType::SOCKET_FILTER);
+}
+
+// (9) xdp_router_ipv4: route lookup + MAC rewrite + redirect.
+Benchmark xdp_router_ipv4() {
+  std::string o2 =
+      xdp_prologue(34, "pass") +
+      "  ldxh r2, [r6+12]\n"
+      "  be16 r2\n"
+      "  jne r2, 0x0800, pass\n"
+      "  ldxb r3, [r6+14]\n"               // version/ihl
+      "  and64 r3, 0xf\n"
+      "  jne r3, 5, pass\n"
+      "  ldxb r3, [r6+22]\n"               // ttl
+      "  jle r3, 1, drop\n"
+      "  ldxw r8, [r6+30]\n"               // dst ip
+      "  mov64 r2, r8\n"
+      "  and64 r2, 0xffffff\n"             // /24 prefix key
+      "  stxw [r10-4], r2\n" +
+      mov_roundtrip("r8", "r9") +
+      "  ldmapfd r1, 0\n"                  // route table (hash)
+      "  mov64 r2, r10\n"
+      "  add64 r2, -4\n"
+      "  call 1\n"
+      "  jeq r0, 0, pass\n"
+      "  ldxw r9, [r0+0]\n"                // nexthop index
+      "  stxw [r10-8], r9\n"
+      "  ldmapfd r1, 1\n"                  // neighbor table (array)
+      "  mov64 r2, r10\n"
+      "  add64 r2, -8\n"
+      "  call 1\n"
+      "  jeq r0, 0, pass\n"
+      // Stage new dst MAC on the stack (from neighbor entry), then the
+      // byte-wise copies K2 coalesces.
+      "  ldxdw r3, [r0+0]\n"
+      "  stxdw [r10-24], r3\n" +
+      zero_two_slots("r4", -28) +
+      mac_copy_bytes(-24, 0) +             // dst MAC
+      "  ldxh r3, [r10-24]\n"
+      "  stxh [r6+6], r3\n"                // src MAC begins (reuse low bytes)
+      "  ldxh r3, [r10-22]\n"
+      "  stxh [r6+8], r3\n"
+      "  ldxh r3, [r10-20]\n"
+      "  stxh [r6+10], r3\n"
+      // Decrement TTL with read-modify-write.
+      "  ldxb r3, [r6+22]\n"
+      "  sub64 r3, 1\n"
+      "  stxb [r6+22], r3\n" +
+      stack_shuffle("r8", "r9", -40) +
+      "  ldmapfd r1, 2\n"                  // devmap
+      "  mov64 r2, r9\n"
+      "  and64 r2, 7\n"
+      "  mov64 r3, 2\n"                    // flags: fallback XDP_PASS
+      "  call 51\n"
+      "  exit\n"
+      "drop:\n"
+      "  mov64 r0, 1\n"
+      "  exit\n"
+      "pass:\n"
+      "  mov64 r0, 2\n"
+      "  exit\n";
+  std::string o1 =
+      "  mov64 r9, r1\n  mov64 r1, r9\n" + std::string() +
+      xdp_prologue(34, "pass_pre") + "  ja cont\npass_pre:\n  ja pass\ncont:\n" +
+      o2;
+  Benchmark b;
+  b.name = "xdp_router_ipv4";
+  b.origin = "linux";
+  std::vector<MapDef> maps = {
+      MapDef{"route_tbl", MapKind::HASH, 4, 8, 256},
+      MapDef{"neigh_tbl", MapKind::ARRAY, 4, 8, 64},
+      MapDef{"tx_port", MapKind::DEVMAP, 4, 8, 8},
+  };
+  b.o1 = ebpf::assemble(o1, ProgType::XDP, maps);
+  b.o2 = ebpf::assemble(o2, ProgType::XDP, maps);
+  b.paper_o1 = 139;
+  b.paper_o2 = 111;
+  b.paper_k2 = 99;
+  return b;
+}
+
+// (10) xdp_redirect: swap MACs and redirect to a fixed port.
+Benchmark xdp_redirect() {
+  std::string o2 =
+      xdp_prologue(14, "drop") +
+      mac_swap_bytes() +
+      dead_store("r5", -8) +
+      "  mov64 r8, 0\n" +
+      counter_bump(0, "r8", -4, "r6", "skipcnt") +  // r6 misuse? counter +data
+      "  ldmapfd r1, 1\n"
+      "  mov64 r2, 0\n"
+      "  mov64 r3, 2\n"
+      "  call 51\n"
+      "  exit\n"
+      "drop:\n"
+      "  mov64 r0, 1\n"
+      "  exit\n";
+  // Fix: count packets (add 1), not the data pointer.
+  o2 =
+      xdp_prologue(14, "drop") +
+      mac_swap_bytes() +
+      dead_store("r5", -8) +
+      "  mov64 r8, 0\n"
+      "  mov64 r9, 1\n" +
+      counter_bump(0, "r8", -4, "r9", "skipcnt") +
+      "  ldmapfd r1, 1\n"
+      "  mov64 r2, 0\n"
+      "  mov64 r3, 2\n"
+      "  call 51\n"
+      "  exit\n"
+      "drop:\n"
+      "  mov64 r0, 1\n"
+      "  exit\n";
+  std::string o1 = "  mov64 r9, r1\n  mov64 r1, r9\n" + o2;
+  Benchmark b;
+  b.name = "xdp_redirect";
+  b.origin = "linux";
+  std::vector<MapDef> maps = {counters("redirect_cnt", 1),
+                              MapDef{"tx_port", MapKind::DEVMAP, 4, 8, 8}};
+  b.o1 = ebpf::assemble(o1, ProgType::XDP, maps);
+  b.o2 = ebpf::assemble(o2, ProgType::XDP, maps);
+  b.paper_o1 = 45;
+  b.paper_o2 = 43;
+  b.paper_k2 = 35;
+  return b;
+}
+
+// (11) xdp1: protocol counter, then drop.
+Benchmark xdp1() {
+  std::string o2 =
+      xdp_prologue(34, "drop") +
+      "  ldxh r2, [r6+12]\n"
+      "  be16 r2\n"
+      "  mov64 r8, 0\n"                    // default key: not-IP bucket
+      "  jne r2, 0x0800, count\n"
+      "  ldxb r3, [r6+14]\n"
+      "  and64 r3, 0xf\n"
+      "  jne r3, 5, count\n"
+      "  ldxb r8, [r6+23]\n"               // ip protocol as key
+      "count:\n" +
+      zero_two_slots("r4", -12) +
+      stack_shuffle("r8", "r6", -24) +
+      "  and64 r8, 255\n" +
+      "  mov64 r9, 1\n" +
+      counter_bump(0, "r8", -4, "r9", "skipcnt") +
+      mov_roundtrip("r8", "r7") +
+      dead_store("r5", -32) +
+      "drop:\n"
+      "  mov64 r0, 1\n"
+      "  exit\n";
+  std::string o1 =
+      "  mov64 r9, r1\n  mov64 r1, r9\n  mov64 r8, 0\n  mov64 r7, r8\n" + o2;
+  Benchmark b;
+  b.name = "xdp1_kern/xdp1";
+  b.origin = "linux";
+  b.o1 = ebpf::assemble(o1, ProgType::XDP, {counters("rxcnt", 256)});
+  b.o2 = ebpf::assemble(o2, ProgType::XDP, {counters("rxcnt", 256)});
+  b.paper_o1 = 72;
+  b.paper_o2 = 61;
+  b.paper_k2 = 56;
+  return b;
+}
+
+// (12) xdp2: xdp1 + MAC swap + TX.
+Benchmark xdp2() {
+  std::string o2 =
+      xdp_prologue(34, "drop") +
+      "  ldxh r2, [r6+12]\n"
+      "  be16 r2\n"
+      "  mov64 r8, 0\n"
+      "  jne r2, 0x0800, count\n"
+      "  ldxb r3, [r6+14]\n"
+      "  and64 r3, 0xf\n"
+      "  jne r3, 5, count\n"
+      "  ldxb r8, [r6+23]\n"
+      "count:\n" +
+      "  and64 r8, 255\n"
+      "  mov64 r9, 1\n" +
+      counter_bump(0, "r8", -4, "r9", "skipcnt") +
+      mac_swap_bytes() +                   // Table-11 swap pattern
+      dead_store("r5", -16) +
+      mov_roundtrip("r8", "r7") +
+      "  mov64 r0, 3\n"                    // XDP_TX
+      "  exit\n"
+      "drop:\n"
+      "  mov64 r0, 1\n"
+      "  exit\n";
+  std::string o1 = "  mov64 r9, r1\n  mov64 r1, r9\n  mov64 r8, 7\n"
+                   "  mov64 r7, 9\n" +
+                   stack_shuffle("r8", "r7", -48) + o2;
+  Benchmark b;
+  b.name = "xdp2_kern/xdp1";
+  b.origin = "linux";
+  b.o1 = ebpf::assemble(o1, ProgType::XDP, {counters("rxcnt", 256)});
+  b.o2 = ebpf::assemble(o2, ProgType::XDP, {counters("rxcnt", 256)});
+  b.paper_o1 = 93;
+  b.paper_o2 = 78;
+  b.paper_k2 = 71;
+  return b;
+}
+
+// (13) xdp_fwd: FIB forward: route + neighbor + TTL/csum + MAC rewrite.
+Benchmark xdp_fwd() {
+  std::string o2 =
+      xdp_prologue(34, "pass") +
+      "  ldxh r2, [r6+12]\n"
+      "  be16 r2\n"
+      "  jne r2, 0x0800, pass\n"
+      "  ldxb r3, [r6+14]\n"
+      "  and64 r3, 0xf\n"
+      "  jne r3, 5, pass\n"
+      "  ldxb r3, [r6+22]\n"
+      "  jle r3, 1, drop\n"
+      "  ldxw r8, [r6+30]\n"               // dst ip
+      "  ldxw r9, [r6+26]\n"               // src ip
+      "  stxw [r10-4], r8\n"
+      "  ldmapfd r1, 0\n"                  // fib (hash)
+      "  mov64 r2, r10\n"
+      "  add64 r2, -4\n"
+      "  call 1\n"
+      "  jeq r0, 0, pass\n"
+      "  ldxw r8, [r0+0]\n"                // nexthop id
+      "  and64 r8, 63\n"
+      "  stxw [r10-8], r8\n"
+      "  ldmapfd r1, 1\n"                  // neighbors (array)
+      "  mov64 r2, r10\n"
+      "  add64 r2, -8\n"
+      "  call 1\n"
+      "  jeq r0, 0, pass\n"
+      "  ldxdw r3, [r0+0]\n"               // smac||dmac packed
+      "  stxdw [r10-24], r3\n" +
+      zero_two_slots("r4", -28) +
+      // Old IP word for checksum diff.
+      "  ldxw r3, [r6+22]\n"
+      "  stxw [r10-32], r3\n"
+      // TTL decrement.
+      "  ldxb r3, [r6+22]\n"
+      "  sub64 r3, 1\n"
+      "  stxb [r6+22], r3\n"
+      // New IP word; csum_diff(old, 4, new, 4, ~old_csum) idiom.
+      "  ldxw r3, [r6+22]\n"
+      "  stxw [r10-36], r3\n"
+      "  mov64 r1, r10\n"
+      "  add64 r1, -32\n"
+      "  mov64 r2, 4\n"
+      "  mov64 r3, r10\n"
+      "  add64 r3, -36\n"
+      "  mov64 r4, 4\n"
+      "  mov64 r5, 0\n"
+      "  call 28\n"
+      "  stxh [r6+24], r0\n"               // write new checksum
+      + mac_copy_bytes(-24, 0)             // dst MAC byte-wise (Table 11)
+      + mac_copy_bytes(-22, 6)             // src MAC byte-wise
+      + stack_shuffle("r8", "r9", -48) +
+      mov_roundtrip("r8", "r7") +
+      "  ldmapfd r1, 2\n"
+      "  mov64 r2, r8\n"
+      "  and64 r2, 7\n"
+      "  mov64 r3, 2\n"
+      "  call 51\n"
+      "  exit\n"
+      "drop:\n"
+      "  mov64 r0, 1\n"
+      "  exit\n"
+      "pass:\n"
+      "  mov64 r0, 2\n"
+      "  exit\n";
+  std::string o1 = "  mov64 r9, r1\n  mov64 r1, r9\n  mov64 r8, 7\n"
+                   "  mov64 r7, 9\n" +
+                   stack_shuffle("r8", "r7", -56) +
+                   dead_store("r8", -60) + o2;
+  Benchmark b;
+  b.name = "xdp_fwd";
+  b.origin = "linux";
+  std::vector<MapDef> maps = {
+      MapDef{"fib", MapKind::HASH, 4, 8, 256},
+      MapDef{"neigh", MapKind::ARRAY, 4, 8, 64},
+      MapDef{"tx_port", MapKind::DEVMAP, 4, 8, 8},
+  };
+  b.o1 = ebpf::assemble(o1, ProgType::XDP, maps);
+  b.o2 = ebpf::assemble(o2, ProgType::XDP, maps);
+  b.paper_o1 = 170;
+  b.paper_o2 = 155;
+  b.paper_k2 = 128;
+  return b;
+}
+
+}  // namespace
+
+std::vector<Benchmark> linux_benchmarks() {
+  return {xdp_exception(),      xdp_redirect_err(), xdp_devmap_xmit(),
+          xdp_cpumap_kthread(), xdp_cpumap_enqueue(), sys_enter_open(),
+          socket0(),            socket1(),          xdp_router_ipv4(),
+          xdp_redirect(),       xdp1(),             xdp2(),
+          xdp_fwd()};
+}
+
+}  // namespace k2::corpus

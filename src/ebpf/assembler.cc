@@ -1,0 +1,382 @@
+#include "ebpf/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace k2::ebpf {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string r(s);
+  std::transform(r.begin(), r.end(), r.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return r;
+}
+
+struct Token {
+  std::string text;
+};
+
+// Splits a statement into mnemonic + comma-separated operand strings.
+struct Stmt {
+  int line;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  std::optional<std::string> label;  // set when the line is "name:"
+};
+
+std::string strip(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw AsmError("asm line " + std::to_string(line) + ": " + msg);
+}
+
+std::vector<Stmt> tokenize(std::string_view text) {
+  std::vector<Stmt> stmts;
+  int lineno = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view raw =
+        nl == std::string_view::npos ? text.substr(pos) : text.substr(pos, nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    lineno++;
+    // Strip comments.
+    std::string line(raw);
+    for (const char* c : {";", "#", "//"}) {
+      size_t p = line.find(c);
+      if (p != std::string::npos) line.resize(p);
+    }
+    line = strip(line);
+    if (line.empty()) continue;
+    if (line.back() == ':') {
+      Stmt s;
+      s.line = lineno;
+      s.label = strip(line.substr(0, line.size() - 1));
+      if (s.label->empty()) fail(lineno, "empty label");
+      stmts.push_back(std::move(s));
+      continue;
+    }
+    Stmt s;
+    s.line = lineno;
+    size_t sp = line.find_first_of(" \t");
+    s.mnemonic = lower(line.substr(0, sp));
+    if (sp != std::string::npos) {
+      std::string rest = strip(line.substr(sp));
+      size_t start = 0;
+      while (start <= rest.size() && !rest.empty()) {
+        size_t comma = rest.find(',', start);
+        std::string piece = comma == std::string::npos
+                                ? rest.substr(start)
+                                : rest.substr(start, comma - start);
+        s.operands.push_back(strip(piece));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+    stmts.push_back(std::move(s));
+  }
+  return stmts;
+}
+
+bool is_reg(const std::string& s) {
+  return s.size() >= 2 && s[0] == 'r' &&
+         std::all_of(s.begin() + 1, s.end(),
+                     [](unsigned char c) { return std::isdigit(c); });
+}
+
+uint8_t parse_reg(int line, const std::string& s) {
+  if (!is_reg(s)) fail(line, "expected register, got '" + s + "'");
+  int r = std::stoi(s.substr(1));
+  if (r > 10) fail(line, "register out of range: " + s);
+  return static_cast<uint8_t>(r);
+}
+
+int64_t parse_imm(int line, const std::string& s) {
+  try {
+    size_t used = 0;
+    long long v = std::stoll(s, &used, 0);  // handles 0x..., decimal, sign
+    if (used != s.size()) fail(line, "bad immediate '" + s + "'");
+    return v;
+  } catch (const AsmError&) {
+    throw;
+  } catch (...) {
+    fail(line, "bad immediate '" + s + "'");
+  }
+}
+
+// Parses "[rN+off]" / "[rN-off]" / "[rN]".
+void parse_mem(int line, const std::string& s, uint8_t* reg, int16_t* off) {
+  if (s.size() < 4 || s.front() != '[' || s.back() != ']')
+    fail(line, "expected memory operand [rN+off], got '" + s + "'");
+  std::string inner = strip(s.substr(1, s.size() - 2));
+  size_t p = inner.find_first_of("+-");
+  std::string regpart = strip(p == std::string::npos ? inner : inner.substr(0, p));
+  *reg = parse_reg(line, regpart);
+  if (p == std::string::npos) {
+    *off = 0;
+  } else {
+    int64_t v = parse_imm(line, strip(inner.substr(p)));
+    if (v < INT16_MIN || v > INT16_MAX) fail(line, "offset out of range");
+    *off = static_cast<int16_t>(v);
+  }
+}
+
+// Mnemonic tables.
+const std::map<std::string, AluOp>& alu_mnemonics64() {
+  static const std::map<std::string, AluOp> m = {
+      {"add64", AluOp::ADD}, {"sub64", AluOp::SUB}, {"mul64", AluOp::MUL},
+      {"div64", AluOp::DIV}, {"mod64", AluOp::MOD}, {"or64", AluOp::OR},
+      {"and64", AluOp::AND}, {"xor64", AluOp::XOR}, {"lsh64", AluOp::LSH},
+      {"rsh64", AluOp::RSH}, {"arsh64", AluOp::ARSH}, {"mov64", AluOp::MOV},
+  };
+  return m;
+}
+const std::map<std::string, AluOp>& alu_mnemonics32() {
+  static const std::map<std::string, AluOp> m = {
+      {"add32", AluOp::ADD}, {"sub32", AluOp::SUB}, {"mul32", AluOp::MUL},
+      {"div32", AluOp::DIV}, {"mod32", AluOp::MOD}, {"or32", AluOp::OR},
+      {"and32", AluOp::AND}, {"xor32", AluOp::XOR}, {"lsh32", AluOp::LSH},
+      {"rsh32", AluOp::RSH}, {"arsh32", AluOp::ARSH}, {"mov32", AluOp::MOV},
+  };
+  return m;
+}
+const std::map<std::string, JmpCond>& jmp_mnemonics() {
+  static const std::map<std::string, JmpCond> m = {
+      {"jeq", JmpCond::JEQ},   {"jne", JmpCond::JNE},
+      {"jgt", JmpCond::JGT},   {"jge", JmpCond::JGE},
+      {"jlt", JmpCond::JLT},   {"jle", JmpCond::JLE},
+      {"jsgt", JmpCond::JSGT}, {"jsge", JmpCond::JSGE},
+      {"jslt", JmpCond::JSLT}, {"jsle", JmpCond::JSLE},
+      {"jset", JmpCond::JSET},
+  };
+  return m;
+}
+const std::map<std::string, Opcode>& unary_mnemonics() {
+  static const std::map<std::string, Opcode> m = {
+      {"neg64", Opcode::NEG64}, {"neg32", Opcode::NEG32},
+      {"be16", Opcode::BE16},   {"be32", Opcode::BE32},
+      {"be64", Opcode::BE64},   {"le16", Opcode::LE16},
+      {"le32", Opcode::LE32},   {"le64", Opcode::LE64},
+  };
+  return m;
+}
+const std::map<std::string, Opcode>& ld_mnemonics() {
+  static const std::map<std::string, Opcode> m = {
+      {"ldxb", Opcode::LDXB},
+      {"ldxh", Opcode::LDXH},
+      {"ldxw", Opcode::LDXW},
+      {"ldxdw", Opcode::LDXDW},
+  };
+  return m;
+}
+const std::map<std::string, Opcode>& stx_mnemonics() {
+  static const std::map<std::string, Opcode> m = {
+      {"stxb", Opcode::STXB},     {"stxh", Opcode::STXH},
+      {"stxw", Opcode::STXW},     {"stxdw", Opcode::STXDW},
+      {"xadd32", Opcode::XADD32}, {"xadd64", Opcode::XADD64},
+  };
+  return m;
+}
+const std::map<std::string, Opcode>& st_mnemonics() {
+  static const std::map<std::string, Opcode> m = {
+      {"stb", Opcode::STB},
+      {"sth", Opcode::STH},
+      {"stw", Opcode::STW},
+      {"stdw", Opcode::STDW},
+  };
+  return m;
+}
+
+}  // namespace
+
+Program assemble(std::string_view text, ProgType type,
+                 std::vector<MapDef> maps) {
+  std::vector<Stmt> stmts = tokenize(text);
+
+  // Pass 1: assign instruction indices and record labels.
+  std::map<std::string, int> labels;
+  int index = 0;
+  for (const Stmt& s : stmts) {
+    if (s.label) {
+      if (labels.count(*s.label)) fail(s.line, "duplicate label " + *s.label);
+      labels[*s.label] = index;
+    } else {
+      index++;
+    }
+  }
+  const int total = index;
+
+  // Pass 2: emit instructions.
+  Program prog;
+  prog.type = type;
+  prog.maps = std::move(maps);
+  index = 0;
+  for (const Stmt& s : stmts) {
+    if (s.label) continue;
+    const auto need = [&](size_t n) {
+      if (s.operands.size() != n)
+        fail(s.line, s.mnemonic + " expects " + std::to_string(n) +
+                         " operands, got " + std::to_string(s.operands.size()));
+    };
+    // Resolves a jump target operand (label or +N/-N) to a relative offset.
+    const auto jump_off = [&](const std::string& t) -> int16_t {
+      int target;
+      if (!t.empty() && (t[0] == '+' || t[0] == '-' || std::isdigit(
+                                                           (unsigned char)t[0]))) {
+        target = index + 1 + static_cast<int>(parse_imm(s.line, t));
+      } else {
+        auto it = labels.find(t);
+        if (it == labels.end()) fail(s.line, "unknown label '" + t + "'");
+        target = it->second;
+      }
+      if (target < 0 || target > total)
+        fail(s.line, "jump target out of bounds");
+      return static_cast<int16_t>(target - index - 1);
+    };
+
+    Insn insn;
+    const std::string& m = s.mnemonic;
+    if (auto it = alu_mnemonics64().find(m); it != alu_mnemonics64().end()) {
+      need(2);
+      insn.dst = parse_reg(s.line, s.operands[0]);
+      if (is_reg(s.operands[1])) {
+        insn.op = compose_alu(it->second, /*is64=*/true, /*is_imm=*/false);
+        insn.src = parse_reg(s.line, s.operands[1]);
+      } else {
+        insn.op = compose_alu(it->second, true, true);
+        insn.imm = parse_imm(s.line, s.operands[1]);
+      }
+    } else if (auto it32 = alu_mnemonics32().find(m);
+               it32 != alu_mnemonics32().end()) {
+      need(2);
+      insn.dst = parse_reg(s.line, s.operands[0]);
+      if (is_reg(s.operands[1])) {
+        insn.op = compose_alu(it32->second, false, false);
+        insn.src = parse_reg(s.line, s.operands[1]);
+      } else {
+        insn.op = compose_alu(it32->second, false, true);
+        insn.imm = parse_imm(s.line, s.operands[1]);
+      }
+    } else if (auto itu = unary_mnemonics().find(m);
+               itu != unary_mnemonics().end()) {
+      need(1);
+      insn.op = itu->second;
+      insn.dst = parse_reg(s.line, s.operands[0]);
+    } else if (auto itj = jmp_mnemonics().find(m); itj != jmp_mnemonics().end()) {
+      need(3);
+      insn.dst = parse_reg(s.line, s.operands[0]);
+      if (is_reg(s.operands[1])) {
+        insn.op = compose_jmp(itj->second, /*is_imm=*/false);
+        insn.src = parse_reg(s.line, s.operands[1]);
+      } else {
+        insn.op = compose_jmp(itj->second, true);
+        insn.imm = parse_imm(s.line, s.operands[1]);
+      }
+      insn.off = jump_off(s.operands[2]);
+    } else if (m == "ja") {
+      need(1);
+      insn.op = Opcode::JA;
+      insn.off = jump_off(s.operands[0]);
+    } else if (auto itl = ld_mnemonics().find(m); itl != ld_mnemonics().end()) {
+      need(2);
+      insn.op = itl->second;
+      insn.dst = parse_reg(s.line, s.operands[0]);
+      parse_mem(s.line, s.operands[1], &insn.src, &insn.off);
+    } else if (auto itsx = stx_mnemonics().find(m);
+               itsx != stx_mnemonics().end()) {
+      need(2);
+      insn.op = itsx->second;
+      parse_mem(s.line, s.operands[0], &insn.dst, &insn.off);
+      insn.src = parse_reg(s.line, s.operands[1]);
+    } else if (auto itst = st_mnemonics().find(m);
+               itst != st_mnemonics().end()) {
+      need(2);
+      insn.op = itst->second;
+      parse_mem(s.line, s.operands[0], &insn.dst, &insn.off);
+      insn.imm = parse_imm(s.line, s.operands[1]);
+    } else if (m == "call") {
+      need(1);
+      insn.op = Opcode::CALL;
+      insn.imm = parse_imm(s.line, s.operands[0]);
+    } else if (m == "exit") {
+      need(0);
+      insn.op = Opcode::EXIT;
+    } else if (m == "lddw") {
+      need(2);
+      insn.op = Opcode::LDDW;
+      insn.dst = parse_reg(s.line, s.operands[0]);
+      insn.imm = parse_imm(s.line, s.operands[1]);
+    } else if (m == "ldmapfd") {
+      need(2);
+      insn.op = Opcode::LDMAPFD;
+      insn.dst = parse_reg(s.line, s.operands[0]);
+      insn.imm = parse_imm(s.line, s.operands[1]);
+    } else if (m == "nop") {
+      need(0);
+      insn.op = Opcode::NOP;
+    } else {
+      fail(s.line, "unknown mnemonic '" + m + "'");
+    }
+    // Canonicalize: non-LDDW immediates are 32 bits on the wire and
+    // sign-extended at use; store the sign-extended form so programs
+    // round-trip bit-exactly through the wire codec.
+    if (insn.op != Opcode::LDDW && insn.op != Opcode::LDMAPFD)
+      insn.imm = static_cast<int64_t>(static_cast<int32_t>(insn.imm));
+    prog.insns.push_back(insn);
+    index++;
+  }
+
+  if (auto err = validate_structure(prog)) throw AsmError(*err);
+  return prog;
+}
+
+std::string disassemble(const Program& prog) {
+  // Collect jump targets needing labels.
+  std::map<int, std::string> target_labels;
+  for (size_t i = 0; i < prog.insns.size(); ++i) {
+    const Insn& insn = prog.insns[i];
+    if (is_jump(insn.op)) {
+      int t = static_cast<int>(i) + 1 + insn.off;
+      if (!target_labels.count(t))
+        target_labels[t] = "L" + std::to_string(target_labels.size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i <= prog.insns.size(); ++i) {
+    if (auto it = target_labels.find(static_cast<int>(i));
+        it != target_labels.end())
+      os << it->second << ":\n";
+    if (i == prog.insns.size()) break;
+    const Insn& insn = prog.insns[i];
+    if (is_jump(insn.op)) {
+      int t = static_cast<int>(i) + 1 + insn.off;
+      JmpShape j;
+      std::ostringstream line;
+      if (insn.op == Opcode::JA) {
+        line << "ja " << target_labels[t];
+      } else {
+        decompose_jmp(insn.op, &j);
+        std::string base = to_string(insn);
+        // to_string prints "jeq r1, X, +off" — replace the trailing offset.
+        base.resize(base.rfind(", "));
+        line << base << ", " << target_labels[t];
+      }
+      os << "  " << line.str() << "\n";
+    } else {
+      os << "  " << to_string(insn) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace k2::ebpf

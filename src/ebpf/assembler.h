@@ -1,0 +1,43 @@
+// Textual BPF assembler / disassembler.
+//
+// Syntax (one instruction per line; ';', '#', and '//' start comments):
+//   mov64 r1, 0            ; ALU imm form
+//   add64 r1, r2           ; ALU reg form
+//   neg64 r1 / be16 r1     ; unary ALU
+//   ldxw r2, [r1+4]        ; loads
+//   stxdw [r10-8], r3      ; register stores
+//   stw [r10-4], 7         ; immediate stores
+//   xadd64 [r1+0], r2      ; atomic add
+//   jeq r1, 0, out         ; conditional jump to label (or +N offset)
+//   ja out
+//   call 1                 ; helper call by ID
+//   lddw r1, 0x1122334455  ; 64-bit immediate
+//   ldmapfd r1, 0          ; load map handle for map fd 0
+//   exit
+//   out:                   ; label definition
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ebpf/program.h"
+
+namespace k2::ebpf {
+
+struct AsmError : std::runtime_error {
+  explicit AsmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Assembles `text` into a program of hook type `type` with map definitions
+// `maps` (fd = index). Throws AsmError with a line-numbered message on
+// malformed input.
+Program assemble(std::string_view text, ProgType type = ProgType::XDP,
+                 std::vector<MapDef> maps = {});
+
+// Disassembles back to assembler-compatible text (labels synthesized for
+// jump targets).
+std::string disassemble(const Program& prog);
+
+}  // namespace k2::ebpf

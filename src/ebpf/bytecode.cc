@@ -1,0 +1,405 @@
+#include "ebpf/bytecode.h"
+
+#include <cstring>
+
+namespace k2::ebpf {
+
+namespace {
+
+// Instruction classes (linux/bpf_common.h).
+constexpr uint8_t BPF_LD = 0x00, BPF_LDX = 0x01, BPF_ST = 0x02,
+                  BPF_STX = 0x03, BPF_ALU = 0x04, BPF_JMP = 0x05,
+                  BPF_ALU64 = 0x07;
+// Size field.
+constexpr uint8_t BPF_W = 0x00, BPF_H = 0x08, BPF_B = 0x10, BPF_DW = 0x18;
+// Mode field.
+constexpr uint8_t BPF_IMM = 0x00, BPF_MEM = 0x60, BPF_XADD = 0xc0;
+// Source field.
+constexpr uint8_t BPF_K = 0x00, BPF_X = 0x08;
+// ALU ops.
+constexpr uint8_t BPF_ADD = 0x00, BPF_SUB = 0x10, BPF_MUL = 0x20,
+                  BPF_DIV = 0x30, BPF_OR = 0x40, BPF_AND = 0x50,
+                  BPF_LSH = 0x60, BPF_RSH = 0x70, BPF_NEG = 0x80,
+                  BPF_MOD = 0x90, BPF_XOR = 0xa0, BPF_MOV = 0xb0,
+                  BPF_ARSH = 0xc0, BPF_END = 0xd0;
+// JMP ops.
+constexpr uint8_t BPF_JA = 0x00, BPF_JEQ = 0x10, BPF_JGT = 0x20,
+                  BPF_JGE = 0x30, BPF_JSET = 0x40, BPF_JNE = 0x50,
+                  BPF_JSGT = 0x60, BPF_JSGE = 0x70, BPF_CALL = 0x80,
+                  BPF_EXIT = 0x90, BPF_JLT = 0xa0, BPF_JLE = 0xb0,
+                  BPF_JSLT = 0xc0, BPF_JSLE = 0xd0;
+// Endianness conversions: BPF_END with TO_LE (K) / TO_BE (X).
+constexpr uint8_t BPF_TO_LE = 0x00, BPF_TO_BE = 0x08;
+// Pseudo source register marking a map-fd immediate load.
+constexpr uint8_t BPF_PSEUDO_MAP_FD = 1;
+
+uint8_t alu_op_byte(AluOp op) {
+  switch (op) {
+    case AluOp::ADD: return BPF_ADD;
+    case AluOp::SUB: return BPF_SUB;
+    case AluOp::MUL: return BPF_MUL;
+    case AluOp::DIV: return BPF_DIV;
+    case AluOp::OR: return BPF_OR;
+    case AluOp::AND: return BPF_AND;
+    case AluOp::XOR: return BPF_XOR;
+    case AluOp::LSH: return BPF_LSH;
+    case AluOp::RSH: return BPF_RSH;
+    case AluOp::ARSH: return BPF_ARSH;
+    case AluOp::MOV: return BPF_MOV;
+    case AluOp::MOD: return BPF_MOD;
+  }
+  return 0;
+}
+
+std::optional<AluOp> alu_op_from(uint8_t b) {
+  switch (b & 0xf0) {
+    case BPF_ADD: return AluOp::ADD;
+    case BPF_SUB: return AluOp::SUB;
+    case BPF_MUL: return AluOp::MUL;
+    case BPF_DIV: return AluOp::DIV;
+    case BPF_OR: return AluOp::OR;
+    case BPF_AND: return AluOp::AND;
+    case BPF_XOR: return AluOp::XOR;
+    case BPF_LSH: return AluOp::LSH;
+    case BPF_RSH: return AluOp::RSH;
+    case BPF_ARSH: return AluOp::ARSH;
+    case BPF_MOV: return AluOp::MOV;
+    case BPF_MOD: return AluOp::MOD;
+    default: return std::nullopt;
+  }
+}
+
+uint8_t jmp_op_byte(JmpCond c) {
+  switch (c) {
+    case JmpCond::JEQ: return BPF_JEQ;
+    case JmpCond::JNE: return BPF_JNE;
+    case JmpCond::JGT: return BPF_JGT;
+    case JmpCond::JGE: return BPF_JGE;
+    case JmpCond::JLT: return BPF_JLT;
+    case JmpCond::JLE: return BPF_JLE;
+    case JmpCond::JSGT: return BPF_JSGT;
+    case JmpCond::JSGE: return BPF_JSGE;
+    case JmpCond::JSLT: return BPF_JSLT;
+    case JmpCond::JSLE: return BPF_JSLE;
+    case JmpCond::JSET: return BPF_JSET;
+  }
+  return 0;
+}
+
+std::optional<JmpCond> jmp_op_from(uint8_t b) {
+  switch (b & 0xf0) {
+    case BPF_JEQ: return JmpCond::JEQ;
+    case BPF_JNE: return JmpCond::JNE;
+    case BPF_JGT: return JmpCond::JGT;
+    case BPF_JGE: return JmpCond::JGE;
+    case BPF_JLT: return JmpCond::JLT;
+    case BPF_JLE: return JmpCond::JLE;
+    case BPF_JSGT: return JmpCond::JSGT;
+    case BPF_JSGE: return JmpCond::JSGE;
+    case BPF_JSLT: return JmpCond::JSLT;
+    case BPF_JSLE: return JmpCond::JSLE;
+    case BPF_JSET: return JmpCond::JSET;
+    default: return std::nullopt;
+  }
+}
+
+uint8_t size_byte(int width) {
+  switch (width) {
+    case 1: return BPF_B;
+    case 2: return BPF_H;
+    case 4: return BPF_W;
+    default: return BPF_DW;
+  }
+}
+
+int width_from_size(uint8_t b) {
+  switch (b & 0x18) {
+    case BPF_B: return 1;
+    case BPF_H: return 2;
+    case BPF_W: return 4;
+    default: return 8;
+  }
+}
+
+Opcode ld_opcode(int width) {
+  switch (width) {
+    case 1: return Opcode::LDXB;
+    case 2: return Opcode::LDXH;
+    case 4: return Opcode::LDXW;
+    default: return Opcode::LDXDW;
+  }
+}
+Opcode stx_opcode(int width) {
+  switch (width) {
+    case 1: return Opcode::STXB;
+    case 2: return Opcode::STXH;
+    case 4: return Opcode::STXW;
+    default: return Opcode::STXDW;
+  }
+}
+Opcode st_opcode(int width) {
+  switch (width) {
+    case 1: return Opcode::STB;
+    case 2: return Opcode::STH;
+    case 4: return Opcode::STW;
+    default: return Opcode::STDW;
+  }
+}
+
+}  // namespace
+
+std::vector<WireInsn> encode_wire(const Program& prog) {
+  // Jump offsets count *slots* on the wire but logical instructions in our
+  // IR; LDDW/LDMAPFD take two slots, so offsets must be retargeted.
+  const size_t n = prog.insns.size();
+  std::vector<int> slot_of(n + 1, 0);
+  {
+    int slot = 0;
+    for (size_t i = 0; i < n; ++i) {
+      slot_of[i] = slot;
+      slot += prog.insns[i].size_slots();
+    }
+    slot_of[n] = slot;
+  }
+
+  std::vector<WireInsn> out;
+  for (size_t idx = 0; idx < n; ++idx) {
+    const Insn& insn = prog.insns[idx];
+    WireInsn w;
+    w.dst_reg = insn.dst & 0xf;
+    w.src_reg = insn.src & 0xf;
+    w.off = insn.off;
+    w.imm = int32_t(insn.imm);
+    if (is_jump(insn.op)) {
+      size_t target = idx + 1 + size_t(int64_t(insn.off));
+      w.off = int16_t(slot_of[target] - (slot_of[idx] + 1));
+    }
+
+    AluShape a;
+    JmpShape j;
+    if (decompose_alu(insn.op, &a)) {
+      w.opcode = uint8_t((a.is64 ? BPF_ALU64 : BPF_ALU) |
+                         (a.is_imm ? BPF_K : BPF_X) | alu_op_byte(a.op));
+      if (a.is_imm) w.src_reg = 0;
+      out.push_back(w);
+      continue;
+    }
+    if (decompose_jmp(insn.op, &j)) {
+      w.opcode = uint8_t(BPF_JMP | (j.is_imm ? BPF_K : BPF_X) |
+                         jmp_op_byte(j.cond));
+      if (j.is_imm) w.src_reg = 0;
+      out.push_back(w);
+      continue;
+    }
+    switch (insn.op) {
+      case Opcode::NEG64:
+        w.opcode = BPF_ALU64 | BPF_NEG;
+        break;
+      case Opcode::NEG32:
+        w.opcode = BPF_ALU | BPF_NEG;
+        break;
+      case Opcode::BE16:
+      case Opcode::BE32:
+      case Opcode::BE64:
+        w.opcode = BPF_ALU | BPF_END | BPF_TO_BE;
+        w.imm = insn.op == Opcode::BE16 ? 16 : insn.op == Opcode::BE32 ? 32
+                                                                       : 64;
+        break;
+      case Opcode::LE16:
+      case Opcode::LE32:
+      case Opcode::LE64:
+        w.opcode = BPF_ALU | BPF_END | BPF_TO_LE;
+        w.imm = insn.op == Opcode::LE16 ? 16 : insn.op == Opcode::LE32 ? 32
+                                                                       : 64;
+        break;
+      case Opcode::JA:
+        w.opcode = BPF_JMP | BPF_JA;
+        break;
+      case Opcode::LDXB:
+      case Opcode::LDXH:
+      case Opcode::LDXW:
+      case Opcode::LDXDW:
+        w.opcode = uint8_t(BPF_LDX | BPF_MEM | size_byte(mem_width(insn.op)));
+        break;
+      case Opcode::STXB:
+      case Opcode::STXH:
+      case Opcode::STXW:
+      case Opcode::STXDW:
+        w.opcode = uint8_t(BPF_STX | BPF_MEM | size_byte(mem_width(insn.op)));
+        break;
+      case Opcode::STB:
+      case Opcode::STH:
+      case Opcode::STW:
+      case Opcode::STDW:
+        w.opcode = uint8_t(BPF_ST | BPF_MEM | size_byte(mem_width(insn.op)));
+        break;
+      case Opcode::XADD32:
+        w.opcode = BPF_STX | BPF_XADD | BPF_W;
+        break;
+      case Opcode::XADD64:
+        w.opcode = BPF_STX | BPF_XADD | BPF_DW;
+        break;
+      case Opcode::CALL:
+        w.opcode = BPF_JMP | BPF_CALL;
+        break;
+      case Opcode::EXIT:
+        w.opcode = BPF_JMP | BPF_EXIT;
+        break;
+      case Opcode::LDDW:
+      case Opcode::LDMAPFD: {
+        // Double-slot: imm64 split low/high; pseudo-src marks map fds.
+        w.opcode = BPF_LD | BPF_IMM | BPF_DW;
+        if (insn.op == Opcode::LDMAPFD) w.src_reg = BPF_PSEUDO_MAP_FD;
+        uint64_t v = uint64_t(insn.imm);
+        w.imm = int32_t(v & 0xffffffffull);
+        out.push_back(w);
+        WireInsn hi;
+        hi.imm = int32_t(v >> 32);
+        out.push_back(hi);
+        continue;
+      }
+      case Opcode::NOP:
+        throw std::invalid_argument(
+            "encode_wire: strip NOPs before encoding");
+      default:
+        throw std::invalid_argument("encode_wire: unencodable opcode");
+    }
+    out.push_back(w);
+  }
+  return out;
+}
+
+Program decode_wire(const std::vector<WireInsn>& slots, ProgType type,
+                    std::vector<MapDef> maps) {
+  Program prog;
+  prog.type = type;
+  prog.maps = std::move(maps);
+  // Wire slot index -> logical instruction index (LDDW compresses 2 -> 1),
+  // needed to retarget jump offsets.
+  std::vector<int> logical_at(slots.size() + 1, 0);
+  {
+    int logical = 0;
+    size_t i = 0;
+    while (i < slots.size()) {
+      logical_at[i] = logical;
+      uint8_t cls = slots[i].opcode & 0x07;
+      uint8_t mode = slots[i].opcode & 0xe0;
+      uint8_t size = slots[i].opcode & 0x18;
+      size_t step = (cls == BPF_LD && mode == BPF_IMM && size == BPF_DW) ? 2 : 1;
+      if (step == 2 && i + 1 < slots.size()) logical_at[i + 1] = logical;
+      i += step;
+      logical++;
+    }
+    logical_at[slots.size()] = logical;
+  }
+
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const WireInsn& w = slots[i];
+    Insn insn;
+    insn.dst = w.dst_reg;
+    insn.src = w.src_reg;
+    insn.off = w.off;
+    insn.imm = w.imm;
+    uint8_t cls = w.opcode & 0x07;
+    bool is_x = (w.opcode & BPF_X) != 0;
+
+    if (cls == BPF_ALU64 || cls == BPF_ALU) {
+      uint8_t opbits = w.opcode & 0xf0;
+      if (opbits == BPF_NEG) {
+        insn.op = cls == BPF_ALU64 ? Opcode::NEG64 : Opcode::NEG32;
+      } else if (opbits == BPF_END) {
+        bool to_be = is_x;
+        switch (w.imm) {
+          case 16: insn.op = to_be ? Opcode::BE16 : Opcode::LE16; break;
+          case 32: insn.op = to_be ? Opcode::BE32 : Opcode::LE32; break;
+          case 64: insn.op = to_be ? Opcode::BE64 : Opcode::LE64; break;
+          default: throw DecodeError("bad endian width");
+        }
+        insn.imm = 0;
+      } else {
+        auto op = alu_op_from(w.opcode);
+        if (!op) throw DecodeError("unknown ALU op");
+        insn.op = compose_alu(*op, cls == BPF_ALU64, !is_x);
+      }
+    } else if (cls == BPF_JMP) {
+      uint8_t opbits = w.opcode & 0xf0;
+      if (opbits == BPF_JA) {
+        insn.op = Opcode::JA;
+      } else if (opbits == BPF_CALL) {
+        insn.op = Opcode::CALL;
+      } else if (opbits == BPF_EXIT) {
+        insn.op = Opcode::EXIT;
+      } else {
+        auto c = jmp_op_from(w.opcode);
+        if (!c) throw DecodeError("unknown JMP op");
+        insn.op = compose_jmp(*c, !is_x);
+      }
+    } else if (cls == BPF_LDX) {
+      insn.op = ld_opcode(width_from_size(w.opcode));
+    } else if (cls == BPF_STX) {
+      if ((w.opcode & 0xe0) == BPF_XADD)
+        insn.op = width_from_size(w.opcode) == 4 ? Opcode::XADD32
+                                                 : Opcode::XADD64;
+      else
+        insn.op = stx_opcode(width_from_size(w.opcode));
+    } else if (cls == BPF_ST) {
+      insn.op = st_opcode(width_from_size(w.opcode));
+    } else if (cls == BPF_LD) {
+      if ((w.opcode & 0xe0) != BPF_IMM || (w.opcode & 0x18) != BPF_DW)
+        throw DecodeError("unsupported BPF_LD form");
+      if (i + 1 >= slots.size()) throw DecodeError("truncated LDDW pair");
+      uint64_t lo = uint32_t(w.imm);
+      uint64_t hi = uint32_t(slots[i + 1].imm);
+      insn.imm = int64_t(lo | (hi << 32));
+      insn.op = w.src_reg == BPF_PSEUDO_MAP_FD ? Opcode::LDMAPFD
+                                               : Opcode::LDDW;
+      insn.src = 0;
+      ++i;
+    } else {
+      throw DecodeError("unknown instruction class");
+    }
+
+    // Retarget jump offsets from slot space to logical space.
+    if (is_jump(insn.op)) {
+      size_t target_slot = i + 1 + size_t(int64_t(w.off));
+      if (target_slot > slots.size()) throw DecodeError("jump out of range");
+      insn.off = int16_t(logical_at[target_slot] -
+                         (logical_at[i] + 1));
+    }
+    prog.insns.push_back(insn);
+  }
+  return prog;
+}
+
+std::vector<uint8_t> to_bytes(const std::vector<WireInsn>& slots) {
+  std::vector<uint8_t> out;
+  out.reserve(slots.size() * 8);
+  for (const WireInsn& w : slots) {
+    out.push_back(w.opcode);
+    out.push_back(uint8_t(w.dst_reg | (w.src_reg << 4)));
+    out.push_back(uint8_t(w.off & 0xff));
+    out.push_back(uint8_t((w.off >> 8) & 0xff));
+    for (int b = 0; b < 4; ++b)
+      out.push_back(uint8_t((uint32_t(w.imm) >> (8 * b)) & 0xff));
+  }
+  return out;
+}
+
+std::vector<WireInsn> from_bytes(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() % 8 != 0) throw DecodeError("byte stream not slot-sized");
+  std::vector<WireInsn> out;
+  for (size_t i = 0; i < bytes.size(); i += 8) {
+    WireInsn w;
+    w.opcode = bytes[i];
+    w.dst_reg = bytes[i + 1] & 0xf;
+    w.src_reg = bytes[i + 1] >> 4;
+    w.off = int16_t(uint16_t(bytes[i + 2]) | (uint16_t(bytes[i + 3]) << 8));
+    uint32_t imm = 0;
+    for (int b = 0; b < 4; ++b) imm |= uint32_t(bytes[i + 4 + b]) << (8 * b);
+    w.imm = int32_t(imm);
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace k2::ebpf

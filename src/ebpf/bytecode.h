@@ -1,0 +1,53 @@
+// Kernel wire-format codec: translates between this repo's instruction
+// representation and the 8-byte `struct bpf_insn` encoding used by the
+// Linux UAPI (opcode byte = class | size/source | operation; LDDW and map-fd
+// loads occupy two slots with the immediate split across them).
+//
+// K2 consumes clang-compiled object code and emits drop-in replacements
+// (§7); this codec is the byte-level boundary. The paper notes that binary
+// encode/decode is "a significant source of compiler bugs" — hence the
+// exhaustive round-trip tests in tests/bytecode_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.h"
+
+namespace k2::ebpf {
+
+// One wire-format instruction slot (matches struct bpf_insn's layout
+// semantically; serialized little-endian).
+struct WireInsn {
+  uint8_t opcode = 0;
+  uint8_t dst_reg : 4;
+  uint8_t src_reg : 4;
+  int16_t off = 0;
+  int32_t imm = 0;
+
+  WireInsn() : dst_reg(0), src_reg(0) {}
+};
+
+struct DecodeError : std::runtime_error {
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Encodes to wire slots. NOPs must be stripped first (the kernel has no
+// NOP); throws std::invalid_argument if any remain.
+std::vector<WireInsn> encode_wire(const Program& prog);
+
+// Decodes wire slots back into a Program (maps/type supplied by caller).
+// Throws DecodeError on unknown opcodes or truncated LDDW pairs.
+Program decode_wire(const std::vector<WireInsn>& slots,
+                    ProgType type = ProgType::XDP,
+                    std::vector<MapDef> maps = {});
+
+// Flat byte serialization (8 bytes per slot, little-endian) — the contents
+// of an ELF .text section for a BPF program.
+std::vector<uint8_t> to_bytes(const std::vector<WireInsn>& slots);
+std::vector<WireInsn> from_bytes(const std::vector<uint8_t>& bytes);
+
+}  // namespace k2::ebpf

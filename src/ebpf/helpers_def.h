@@ -1,0 +1,61 @@
+// BPF helper function prototypes (IDs mirror the Linux UAPI where they
+// exist). The prototype table drives argument-count-aware liveness of CALL
+// instructions, the interpreter's dispatch, and the encoder's axioms.
+#pragma once
+
+#include <cstdint>
+
+namespace k2::ebpf {
+
+// Helper IDs (subset used by the corpus; values follow
+// include/uapi/linux/bpf.h).
+enum Helper : int32_t {
+  HELPER_MAP_LOOKUP = 1,   // void* bpf_map_lookup_elem(map, key*)
+  HELPER_MAP_UPDATE = 2,   // int bpf_map_update_elem(map, key*, value*, flags)
+  HELPER_MAP_DELETE = 3,   // int bpf_map_delete_elem(map, key*)
+  HELPER_KTIME_GET_NS = 5,       // u64 bpf_ktime_get_ns()
+  HELPER_GET_PRANDOM_U32 = 7,    // u32 bpf_get_prandom_u32()
+  HELPER_GET_SMP_PROC_ID = 8,    // u32 bpf_get_smp_processor_id()
+  HELPER_CSUM_DIFF = 28,         // s64 bpf_csum_diff(from*,fs,to*,ts,seed)
+  HELPER_XDP_ADJUST_HEAD = 44,   // int bpf_xdp_adjust_head(ctx, delta)
+  HELPER_REDIRECT_MAP = 51,      // int bpf_redirect_map(map, key, flags)
+};
+
+// What a helper returns, for pointer-type inference (§5 I) and the safety
+// checker's NULL-check enforcement (§6).
+enum class HelperRet : uint8_t {
+  INTEGER,             // scalar
+  MAP_VALUE_OR_NULL,   // pointer into the map's value memory, or NULL
+};
+
+struct HelperProto {
+  int32_t id;
+  const char* name;
+  int nargs;           // number of argument registers consumed (r1..rN)
+  HelperRet ret;
+  bool reads_map_fd;   // r1 must hold a map handle (from LDMAPFD)
+};
+
+// Returns nullptr for unknown helper IDs.
+inline const HelperProto* helper_proto(int64_t id) {
+  static constexpr HelperProto kProtos[] = {
+      {HELPER_MAP_LOOKUP, "bpf_map_lookup_elem", 2,
+       HelperRet::MAP_VALUE_OR_NULL, true},
+      {HELPER_MAP_UPDATE, "bpf_map_update_elem", 4, HelperRet::INTEGER, true},
+      {HELPER_MAP_DELETE, "bpf_map_delete_elem", 2, HelperRet::INTEGER, true},
+      {HELPER_KTIME_GET_NS, "bpf_ktime_get_ns", 0, HelperRet::INTEGER, false},
+      {HELPER_GET_PRANDOM_U32, "bpf_get_prandom_u32", 0, HelperRet::INTEGER,
+       false},
+      {HELPER_GET_SMP_PROC_ID, "bpf_get_smp_processor_id", 0,
+       HelperRet::INTEGER, false},
+      {HELPER_CSUM_DIFF, "bpf_csum_diff", 5, HelperRet::INTEGER, false},
+      {HELPER_XDP_ADJUST_HEAD, "bpf_xdp_adjust_head", 2, HelperRet::INTEGER,
+       false},
+      {HELPER_REDIRECT_MAP, "bpf_redirect_map", 3, HelperRet::INTEGER, true},
+  };
+  for (const auto& p : kProtos)
+    if (p.id == id) return &p;
+  return nullptr;
+}
+
+}  // namespace k2::ebpf

@@ -1,0 +1,337 @@
+#include "ebpf/insn.h"
+
+#include <array>
+#include <cassert>
+#include <sstream>
+
+namespace k2::ebpf {
+
+namespace {
+
+constexpr int kNumAluBinops = 12;
+constexpr int kAluRegionEnd = kNumAluBinops * 4;  // 48
+
+constexpr uint16_t reg_bit(int r) { return static_cast<uint16_t>(1u << r); }
+
+}  // namespace
+
+InsnClass insn_class(Opcode op) {
+  int v = static_cast<int>(op);
+  if (v < kAluRegionEnd) return InsnClass::ALU;
+  switch (op) {
+    case Opcode::NEG64:
+    case Opcode::NEG32:
+    case Opcode::BE16:
+    case Opcode::BE32:
+    case Opcode::BE64:
+    case Opcode::LE16:
+    case Opcode::LE32:
+    case Opcode::LE64:
+      return InsnClass::ALU;
+    case Opcode::JA:
+      return InsnClass::JMP;
+    case Opcode::LDXB:
+    case Opcode::LDXH:
+    case Opcode::LDXW:
+    case Opcode::LDXDW:
+      return InsnClass::LDX;
+    case Opcode::STXB:
+    case Opcode::STXH:
+    case Opcode::STXW:
+    case Opcode::STXDW:
+      return InsnClass::STX;
+    case Opcode::STB:
+    case Opcode::STH:
+    case Opcode::STW:
+    case Opcode::STDW:
+      return InsnClass::ST;
+    case Opcode::XADD32:
+    case Opcode::XADD64:
+      return InsnClass::XADD;
+    case Opcode::CALL:
+      return InsnClass::CALL;
+    case Opcode::EXIT:
+      return InsnClass::EXIT;
+    case Opcode::LDDW:
+    case Opcode::LDMAPFD:
+      return InsnClass::LD_IMM;
+    case Opcode::NOP:
+      return InsnClass::NOP;
+    default:
+      break;
+  }
+  // Conditional jumps occupy the contiguous region after JA.
+  int ja = static_cast<int>(Opcode::JA);
+  int jend = ja + 1 + 11 * 2;
+  if (v > ja && v < jend) return InsnClass::JMP;
+  assert(false && "unknown opcode");
+  return InsnClass::NOP;
+}
+
+bool decompose_alu(Opcode op, AluShape* shape) {
+  int v = static_cast<int>(op);
+  if (v >= kAluRegionEnd) return false;
+  shape->op = static_cast<AluOp>(v / 4);
+  int variant = v % 4;
+  shape->is64 = variant < 2;
+  shape->is_imm = (variant % 2) == 0;
+  return true;
+}
+
+bool decompose_jmp(Opcode op, JmpShape* shape) {
+  int v = static_cast<int>(op);
+  int base = static_cast<int>(Opcode::JEQ_IMM);
+  int end = base + 11 * 2;
+  if (v < base || v >= end) return false;
+  shape->cond = static_cast<JmpCond>((v - base) / 2);
+  shape->is_imm = ((v - base) % 2) == 0;
+  return true;
+}
+
+Opcode compose_alu(AluOp op, bool is64, bool is_imm) {
+  int variant = (is64 ? 0 : 2) + (is_imm ? 0 : 1);
+  return static_cast<Opcode>(static_cast<int>(op) * 4 + variant);
+}
+
+Opcode compose_jmp(JmpCond cond, bool is_imm) {
+  int base = static_cast<int>(Opcode::JEQ_IMM);
+  return static_cast<Opcode>(base + static_cast<int>(cond) * 2 +
+                             (is_imm ? 0 : 1));
+}
+
+int mem_width(Opcode op) {
+  switch (op) {
+    case Opcode::LDXB:
+    case Opcode::STXB:
+    case Opcode::STB:
+      return 1;
+    case Opcode::LDXH:
+    case Opcode::STXH:
+    case Opcode::STH:
+      return 2;
+    case Opcode::LDXW:
+    case Opcode::STXW:
+    case Opcode::STW:
+    case Opcode::XADD32:
+      return 4;
+    case Opcode::LDXDW:
+    case Opcode::STXDW:
+    case Opcode::STDW:
+    case Opcode::XADD64:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+uint16_t def_mask(const Insn& insn) {
+  AluShape a;
+  if (decompose_alu(insn.op, &a)) return reg_bit(insn.dst);
+  switch (insn_class(insn.op)) {
+    case InsnClass::ALU:  // NEG / endian
+      return reg_bit(insn.dst);
+    case InsnClass::LDX:
+    case InsnClass::LD_IMM:
+      return reg_bit(insn.dst);
+    case InsnClass::CALL:
+      // r0 defined; r1..r5 clobbered (scratch) per the BPF calling convention.
+      return reg_bit(0) | reg_bit(1) | reg_bit(2) | reg_bit(3) | reg_bit(4) |
+             reg_bit(5);
+    default:
+      return 0;
+  }
+}
+
+uint16_t use_mask(const Insn& insn) {
+  AluShape a;
+  if (decompose_alu(insn.op, &a)) {
+    uint16_t m = 0;
+    if (a.op != AluOp::MOV) m |= reg_bit(insn.dst);
+    if (!a.is_imm) m |= reg_bit(insn.src);
+    return m;
+  }
+  JmpShape j;
+  if (decompose_jmp(insn.op, &j)) {
+    uint16_t m = reg_bit(insn.dst);
+    if (!j.is_imm) m |= reg_bit(insn.src);
+    return m;
+  }
+  switch (insn.op) {
+    case Opcode::NEG64:
+    case Opcode::NEG32:
+    case Opcode::BE16:
+    case Opcode::BE32:
+    case Opcode::BE64:
+    case Opcode::LE16:
+    case Opcode::LE32:
+    case Opcode::LE64:
+      return reg_bit(insn.dst);
+    case Opcode::JA:
+    case Opcode::NOP:
+    case Opcode::LDDW:
+    case Opcode::LDMAPFD:
+      return 0;
+    case Opcode::LDXB:
+    case Opcode::LDXH:
+    case Opcode::LDXW:
+    case Opcode::LDXDW:
+      return reg_bit(insn.src);
+    case Opcode::STXB:
+    case Opcode::STXH:
+    case Opcode::STXW:
+    case Opcode::STXDW:
+    case Opcode::XADD32:
+    case Opcode::XADD64:
+      return reg_bit(insn.dst) | reg_bit(insn.src);
+    case Opcode::STB:
+    case Opcode::STH:
+    case Opcode::STW:
+    case Opcode::STDW:
+      return reg_bit(insn.dst);
+    case Opcode::CALL:
+      // Conservative: all five argument registers. The liveness pass narrows
+      // this with the helper prototype's argument count.
+      return reg_bit(1) | reg_bit(2) | reg_bit(3) | reg_bit(4) | reg_bit(5);
+    case Opcode::EXIT:
+      return reg_bit(0);
+    default:
+      return 0;
+  }
+}
+
+const char* mnemonic(Opcode op) {
+  static const std::array<const char*, static_cast<size_t>(
+                                           Opcode::NUM_OPCODES)>
+      kNames = [] {
+        std::array<const char*, static_cast<size_t>(Opcode::NUM_OPCODES)> n{};
+        auto set = [&n](Opcode o, const char* s) {
+          n[static_cast<size_t>(o)] = s;
+        };
+#define K2_A(op_)                                        \
+  set(Opcode::op_##64_IMM, #op_ "64");                   \
+  set(Opcode::op_##64_REG, #op_ "64");                   \
+  set(Opcode::op_##32_IMM, #op_ "32");                   \
+  set(Opcode::op_##32_REG, #op_ "32");
+        K2_ALU_BINOPS(K2_A)
+#undef K2_A
+#define K2_J(op_)                                        \
+  set(Opcode::op_##_IMM, #op_);                          \
+  set(Opcode::op_##_REG, #op_);
+        K2_JCONDS(K2_J)
+#undef K2_J
+        set(Opcode::NEG64, "NEG64");
+        set(Opcode::NEG32, "NEG32");
+        set(Opcode::BE16, "BE16");
+        set(Opcode::BE32, "BE32");
+        set(Opcode::BE64, "BE64");
+        set(Opcode::LE16, "LE16");
+        set(Opcode::LE32, "LE32");
+        set(Opcode::LE64, "LE64");
+        set(Opcode::JA, "JA");
+        set(Opcode::LDXB, "LDXB");
+        set(Opcode::LDXH, "LDXH");
+        set(Opcode::LDXW, "LDXW");
+        set(Opcode::LDXDW, "LDXDW");
+        set(Opcode::STXB, "STXB");
+        set(Opcode::STXH, "STXH");
+        set(Opcode::STXW, "STXW");
+        set(Opcode::STXDW, "STXDW");
+        set(Opcode::STB, "STB");
+        set(Opcode::STH, "STH");
+        set(Opcode::STW, "STW");
+        set(Opcode::STDW, "STDW");
+        set(Opcode::XADD32, "XADD32");
+        set(Opcode::XADD64, "XADD64");
+        set(Opcode::CALL, "CALL");
+        set(Opcode::EXIT, "EXIT");
+        set(Opcode::LDDW, "LDDW");
+        set(Opcode::LDMAPFD, "LDMAPFD");
+        set(Opcode::NOP, "NOP");
+        return n;
+      }();
+  const char* s = kNames[static_cast<size_t>(op)];
+  return s ? s : "?";
+}
+
+std::string to_string(const Insn& insn) {
+  std::ostringstream os;
+  auto lower = [](const char* s) {
+    std::string r;
+    for (const char* p = s; *p; ++p) r += static_cast<char>(tolower(*p));
+    return r;
+  };
+  std::string m = lower(mnemonic(insn.op));
+  AluShape a;
+  JmpShape j;
+  if (decompose_alu(insn.op, &a)) {
+    os << m << " r" << int(insn.dst) << ", ";
+    if (a.is_imm)
+      os << insn.imm;
+    else
+      os << "r" << int(insn.src);
+  } else if (decompose_jmp(insn.op, &j)) {
+    os << m << " r" << int(insn.dst) << ", ";
+    if (j.is_imm)
+      os << insn.imm;
+    else
+      os << "r" << int(insn.src);
+    os << ", +" << insn.off;
+  } else {
+    switch (insn.op) {
+      case Opcode::NEG64:
+      case Opcode::NEG32:
+      case Opcode::BE16:
+      case Opcode::BE32:
+      case Opcode::BE64:
+      case Opcode::LE16:
+      case Opcode::LE32:
+      case Opcode::LE64:
+        os << m << " r" << int(insn.dst);
+        break;
+      case Opcode::JA:
+        os << m << " +" << insn.off;
+        break;
+      case Opcode::LDXB:
+      case Opcode::LDXH:
+      case Opcode::LDXW:
+      case Opcode::LDXDW:
+        os << m << " r" << int(insn.dst) << ", [r" << int(insn.src)
+           << (insn.off >= 0 ? "+" : "") << insn.off << "]";
+        break;
+      case Opcode::STXB:
+      case Opcode::STXH:
+      case Opcode::STXW:
+      case Opcode::STXDW:
+      case Opcode::XADD32:
+      case Opcode::XADD64:
+        os << m << " [r" << int(insn.dst) << (insn.off >= 0 ? "+" : "")
+           << insn.off << "], r" << int(insn.src);
+        break;
+      case Opcode::STB:
+      case Opcode::STH:
+      case Opcode::STW:
+      case Opcode::STDW:
+        os << m << " [r" << int(insn.dst) << (insn.off >= 0 ? "+" : "")
+           << insn.off << "], " << insn.imm;
+        break;
+      case Opcode::CALL:
+        os << m << " " << insn.imm;
+        break;
+      case Opcode::EXIT:
+      case Opcode::NOP:
+        os << m;
+        break;
+      case Opcode::LDDW:
+        os << m << " r" << int(insn.dst) << ", " << insn.imm;
+        break;
+      case Opcode::LDMAPFD:
+        os << m << " r" << int(insn.dst) << ", " << insn.imm;
+        break;
+      default:
+        os << "?";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace k2::ebpf

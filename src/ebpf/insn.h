@@ -1,0 +1,170 @@
+// BPF instruction set definition.
+//
+// The instruction set mirrors the kernel's eBPF ISA (64-bit RISC, eleven
+// registers r0..r10, r10 = read-only stack pointer) for the subset exercised
+// by packet-processing programs: 32/64-bit ALU with immediate and register
+// operands, endianness conversions, loads/stores of 1/2/4/8 bytes, atomic
+// adds, forward jumps, helper calls, 64-bit immediate loads and map-fd loads.
+//
+// Two deliberate deviations from the wire format (documented in DESIGN.md):
+//  * LDDW / LDMAPFD occupy one logical slot here (two 8-byte slots on the
+//    wire); Insn::size_slots() accounts for the difference in size metrics.
+//  * An explicit NOP opcode exists so the synthesizer can shrink programs by
+//    nop-ing slots (the paper's rewrite rule 3); NOPs are stripped on output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace k2::ebpf {
+
+// The twelve ALU binary operations (MOV is unary-ish but shares the shape).
+#define K2_ALU_BINOPS(X) \
+  X(ADD) X(SUB) X(MUL) X(DIV) X(MOD) X(OR) X(AND) X(XOR) X(LSH) X(RSH) \
+  X(ARSH) X(MOV)
+
+// The eleven conditional-jump predicates.
+#define K2_JCONDS(X) \
+  X(JEQ) X(JNE) X(JGT) X(JGE) X(JLT) X(JLE) X(JSGT) X(JSGE) X(JSLT) \
+  X(JSLE) X(JSET)
+
+// Opcode layout (relied upon by the decomposition helpers below):
+//   [0, 48)  ALU binops, 4 consecutive per op: 64_IMM, 64_REG, 32_IMM, 32_REG
+//   then unary ALU, endian ops, JA, conditional jumps (IMM, REG pairs),
+//   memory ops, and the rest.
+enum class Opcode : uint16_t {
+#define K2_A(op) op##64_IMM, op##64_REG, op##32_IMM, op##32_REG,
+  K2_ALU_BINOPS(K2_A)
+#undef K2_A
+  NEG64,
+  NEG32,
+  BE16,
+  BE32,
+  BE64,
+  LE16,
+  LE32,
+  LE64,
+  JA,
+#define K2_J(op) op##_IMM, op##_REG,
+  K2_JCONDS(K2_J)
+#undef K2_J
+  LDXB,
+  LDXH,
+  LDXW,
+  LDXDW,
+  STXB,
+  STXH,
+  STXW,
+  STXDW,
+  STB,
+  STH,
+  STW,
+  STDW,
+  XADD32,
+  XADD64,
+  CALL,
+  EXIT,
+  LDDW,
+  LDMAPFD,
+  NOP,
+  NUM_OPCODES,
+};
+
+// Semantic ALU operation, independent of width / operand kind.
+enum class AluOp : uint8_t {
+#define K2_A(op) op,
+  K2_ALU_BINOPS(K2_A)
+#undef K2_A
+};
+
+// Semantic jump predicate, independent of operand kind.
+enum class JmpCond : uint8_t {
+#define K2_J(op) op,
+  K2_JCONDS(K2_J)
+#undef K2_J
+};
+
+// Coarse opcode class.
+enum class InsnClass : uint8_t {
+  ALU,       // binary/unary ALU including endian ops
+  JMP,       // JA and conditional jumps
+  LDX,       // register load from memory
+  STX,       // register store to memory
+  ST,        // immediate store to memory
+  XADD,      // atomic memory add
+  CALL,
+  EXIT,
+  LD_IMM,    // LDDW / LDMAPFD
+  NOP,
+};
+
+// A single BPF instruction. `off` is a branch offset in instructions for
+// jumps and a byte offset for memory accesses; `imm` is 64-bit wide so LDDW
+// needs no second slot.
+struct Insn {
+  Opcode op = Opcode::NOP;
+  uint8_t dst = 0;
+  uint8_t src = 0;
+  int16_t off = 0;
+  int64_t imm = 0;
+
+  friend bool operator==(const Insn&, const Insn&) = default;
+
+  // Number of 8-byte slots this instruction occupies in the kernel wire
+  // format (LDDW and LDMAPFD are double-slot instructions).
+  int size_slots() const {
+    return (op == Opcode::LDDW || op == Opcode::LDMAPFD) ? 2 : 1;
+  }
+};
+
+// ---- Classification ---------------------------------------------------
+
+InsnClass insn_class(Opcode op);
+
+// Decomposition of ALU binops. Returns false for non-binop opcodes
+// (NEG/endian ops are classified as ALU but are not binops).
+struct AluShape {
+  AluOp op;
+  bool is64;
+  bool is_imm;
+};
+bool decompose_alu(Opcode op, AluShape* shape);
+
+// Decomposition of conditional jumps (JA excluded).
+struct JmpShape {
+  JmpCond cond;
+  bool is_imm;
+};
+bool decompose_jmp(Opcode op, JmpShape* shape);
+
+// Compose the opcode back from its shape (inverse of decompose_*).
+Opcode compose_alu(AluOp op, bool is64, bool is_imm);
+Opcode compose_jmp(JmpCond cond, bool is_imm);
+
+// Width in bytes of a memory access (LDX/STX/ST/XADD); 0 for non-memory ops.
+int mem_width(Opcode op);
+
+inline bool is_jump(Opcode op) { return insn_class(op) == InsnClass::JMP; }
+inline bool is_cond_jump(Opcode op) {
+  return is_jump(op) && op != Opcode::JA;
+}
+inline bool is_mem_load(Opcode op) { return insn_class(op) == InsnClass::LDX; }
+inline bool is_mem_store(Opcode op) {
+  InsnClass c = insn_class(op);
+  return c == InsnClass::STX || c == InsnClass::ST || c == InsnClass::XADD;
+}
+inline bool is_mem_access(Opcode op) {
+  return is_mem_load(op) || is_mem_store(op);
+}
+
+// Register def/use sets, as bitmasks over r0..r10. CALL defs/uses depend on
+// the helper signature; these return the conservative ISA-level convention
+// (uses r1..r5, defs r0 and clobbers r1..r5). The liveness analysis refines
+// CALL uses via the helper prototype table.
+uint16_t def_mask(const Insn& insn);
+uint16_t use_mask(const Insn& insn);
+
+const char* mnemonic(Opcode op);
+std::string to_string(const Insn& insn);
+
+}  // namespace k2::ebpf

@@ -1,0 +1,88 @@
+#include "ebpf/program.h"
+
+#include <sstream>
+
+#include "ebpf/helpers_def.h"
+
+namespace k2::ebpf {
+
+int Program::size_slots() const {
+  int n = 0;
+  for (const auto& i : insns)
+    if (i.op != Opcode::NOP) n += i.size_slots();
+  return n;
+}
+
+int Program::num_real_insns() const {
+  int n = 0;
+  for (const auto& i : insns)
+    if (i.op != Opcode::NOP) n++;
+  return n;
+}
+
+Program Program::strip_nops() const {
+  Program out;
+  out.type = type;
+  out.maps = maps;
+  // new_index[i] = index of instruction i in the stripped program; NOPs map
+  // to the next real instruction (fall-through target).
+  std::vector<int> new_index(insns.size() + 1, 0);
+  int n = 0;
+  for (size_t i = 0; i < insns.size(); ++i) {
+    new_index[i] = n;
+    if (insns[i].op != Opcode::NOP) n++;
+  }
+  new_index[insns.size()] = n;
+  for (size_t i = 0; i < insns.size(); ++i) {
+    const Insn& in = insns[i];
+    if (in.op == Opcode::NOP) continue;
+    Insn out_insn = in;
+    if (is_jump(in.op)) {
+      int old_target = static_cast<int>(i) + 1 + in.off;
+      out_insn.off =
+          static_cast<int16_t>(new_index[old_target] - (new_index[i] + 1));
+    }
+    out.insns.push_back(out_insn);
+  }
+  return out;
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < insns.size(); ++i)
+    os << i << ": " << k2::ebpf::to_string(insns[i]) << "\n";
+  return os.str();
+}
+
+std::optional<std::string> validate_structure(const Program& prog) {
+  const int n = static_cast<int>(prog.insns.size());
+  if (n == 0) return "empty program";
+  bool has_exit = false;
+  for (int i = 0; i < n; ++i) {
+    const Insn& insn = prog.insns[i];
+    if (insn.dst > 10) return "bad dst register at " + std::to_string(i);
+    if (insn.src > 10) return "bad src register at " + std::to_string(i);
+    if (is_jump(insn.op)) {
+      int t = i + 1 + insn.off;
+      if (t < 0 || t >= n) return "jump out of bounds at " + std::to_string(i);
+    }
+    if (insn.op == Opcode::CALL) {
+      if (!helper_proto(insn.imm))
+        return "unknown helper " + std::to_string(insn.imm) + " at " +
+               std::to_string(i);
+    }
+    if (insn.op == Opcode::LDMAPFD) {
+      if (insn.imm < 0 || insn.imm >= static_cast<int64_t>(prog.maps.size()))
+        return "bad map fd at " + std::to_string(i);
+    }
+    if (insn.op == Opcode::EXIT) has_exit = true;
+    if (is_mem_access(insn.op) == false && insn.op != Opcode::NOP &&
+        insn.op != Opcode::JA && !is_jump(insn.op)) {
+      // nothing further
+    }
+  }
+  if (!has_exit) return "no exit instruction";
+  return std::nullopt;
+}
+
+}  // namespace k2::ebpf

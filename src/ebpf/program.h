@@ -1,0 +1,63 @@
+// BPF program container: instruction sequence + attached-map definitions +
+// program (hook) type. The hook type fixes the input/output conventions used
+// by the interpreter, the equivalence checker, and the safety checker (§7:
+// "can work with multiple BPF hooks, fixing the inputs and outputs
+// appropriately").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ebpf/insn.h"
+
+namespace k2::ebpf {
+
+// Hooks exercised by the paper's corpus: XDP (network device driver),
+// socket filters, and tracepoints (sys_enter_open, the katran counters).
+enum class ProgType : uint8_t {
+  XDP,
+  SOCKET_FILTER,
+  TRACEPOINT,
+};
+
+enum class MapKind : uint8_t {
+  HASH,
+  ARRAY,   // keys are u32 indices < max_entries; never absent
+  DEVMAP,  // used by redirect_map; behaves like ARRAY here
+};
+
+struct MapDef {
+  std::string name;
+  MapKind kind = MapKind::HASH;
+  uint32_t key_size = 4;    // bytes
+  uint32_t value_size = 8;  // bytes
+  uint32_t max_entries = 256;
+};
+
+struct Program {
+  ProgType type = ProgType::XDP;
+  std::vector<Insn> insns;
+  std::vector<MapDef> maps;  // index == map fd used by LDMAPFD
+
+  // Number of wire-format slots occupied by non-NOP instructions — the
+  // paper's "number of instructions" metric (Table 1).
+  int size_slots() const;
+
+  // Number of non-NOP instructions (logical length).
+  int num_real_insns() const;
+
+  // Returns a copy with NOPs removed and jump offsets re-targeted — the
+  // final output form handed to the kernel (DESIGN.md §4.2).
+  Program strip_nops() const;
+
+  std::string to_string() const;
+};
+
+// Structural validity: register indices <= 10, jump targets within program
+// bounds, known helper IDs, map fds valid, EXIT present. Returns an error
+// description, or nullopt when valid. (Semantic safety lives in k2::safety.)
+std::optional<std::string> validate_structure(const Program& prog);
+
+}  // namespace k2::ebpf

@@ -1,0 +1,170 @@
+// Shared, backend-parameterized semantics of the BPF ALU and jump
+// instructions.
+//
+// The paper (§7) encodes each instruction's semantics once and generates both
+// the interpreter and the verification-condition generator from that single
+// spec, "akin to solver-aided languages". We achieve the same by templating
+// the semantics over a Backend that supplies a 64-bit value type V, a boolean
+// type B, and primitive operations. Two backends exist:
+//   * ConcreteBackend (below): V = uint64_t, B = bool — drives the
+//     interpreter.
+//   * Z3Backend (verify/encoder.cc): V = z3::expr (bitvector 64), B =
+//     z3::expr (Bool) — drives the first-order-logic formula generator.
+//
+// Any divergence between execution and formalization is therefore a bug in
+// exactly one place. tests/semantics_soundness_test.cc cross-checks the two
+// backends on random programs/inputs, mirroring the paper's soundness suite.
+#pragma once
+
+#include <cstdint>
+
+#include "ebpf/insn.h"
+
+namespace k2::ebpf {
+
+// BPF sign-extends 32-bit immediates to 64 bits for ALU64/JMP64 operands.
+inline uint64_t sext32(int64_t imm) {
+  return static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(imm)));
+}
+
+// ---- Concrete backend --------------------------------------------------
+
+struct ConcreteBackend {
+  using V = uint64_t;
+  using B = bool;
+
+  V const_(uint64_t c) { return c; }
+  V add(V a, V b) { return a + b; }
+  V sub(V a, V b) { return a - b; }
+  V mul(V a, V b) { return a * b; }
+  // BPF semantics: division by zero yields 0; modulo by zero leaves the
+  // dividend unchanged (the kernel JIT emits exactly these run-time guards).
+  V udiv_total(V a, V b) { return b == 0 ? 0 : a / b; }
+  V urem_total(V a, V b) { return b == 0 ? a : a % b; }
+  V and_(V a, V b) { return a & b; }
+  V or_(V a, V b) { return a | b; }
+  V xor_(V a, V b) { return a ^ b; }
+  V shl(V a, V amt) { return a << amt; }
+  V lshr(V a, V amt) { return a >> amt; }
+  V ashr(V a, V amt) {
+    return static_cast<uint64_t>(static_cast<int64_t>(a) >>
+                                 static_cast<int64_t>(amt));
+  }
+  V lo32(V a) { return a & 0xffffffffull; }
+  V sext_lo32(V a) {
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(a & 0xffffffffull)));
+  }
+  V bswap16(V a) {
+    uint16_t x = static_cast<uint16_t>(a);
+    return static_cast<uint64_t>(static_cast<uint16_t>((x >> 8) | (x << 8)));
+  }
+  V bswap32(V a) { return __builtin_bswap32(static_cast<uint32_t>(a)); }
+  V bswap64(V a) { return __builtin_bswap64(a); }
+
+  B eq(V a, V b) { return a == b; }
+  B ne(V a, V b) { return a != b; }
+  B ult(V a, V b) { return a < b; }
+  B ule(V a, V b) { return a <= b; }
+  B ugt(V a, V b) { return a > b; }
+  B uge(V a, V b) { return a >= b; }
+  B slt(V a, V b) { return static_cast<int64_t>(a) < static_cast<int64_t>(b); }
+  B sle(V a, V b) {
+    return static_cast<int64_t>(a) <= static_cast<int64_t>(b);
+  }
+  B sgt(V a, V b) { return static_cast<int64_t>(a) > static_cast<int64_t>(b); }
+  B sge(V a, V b) {
+    return static_cast<int64_t>(a) >= static_cast<int64_t>(b);
+  }
+  B set(V a, V b) { return (a & b) != 0; }
+
+  V ite(B c, V a, V b) { return c ? a : b; }
+};
+
+// ---- Generic semantics -------------------------------------------------
+
+// Result of `op(dst, src)` with BPF width semantics (32-bit ops compute on
+// the low halves and zero-extend the 32-bit result).
+template <class BE>
+typename BE::V alu_apply(AluOp op, bool is64, typename BE::V dst,
+                         typename BE::V src, BE& be) {
+  using V = typename BE::V;
+  if (is64) {
+    V amt6 = be.and_(src, be.const_(63));
+    switch (op) {
+      case AluOp::ADD: return be.add(dst, src);
+      case AluOp::SUB: return be.sub(dst, src);
+      case AluOp::MUL: return be.mul(dst, src);
+      case AluOp::DIV: return be.udiv_total(dst, src);
+      case AluOp::MOD: return be.urem_total(dst, src);
+      case AluOp::OR: return be.or_(dst, src);
+      case AluOp::AND: return be.and_(dst, src);
+      case AluOp::XOR: return be.xor_(dst, src);
+      case AluOp::LSH: return be.shl(dst, amt6);
+      case AluOp::RSH: return be.lshr(dst, amt6);
+      case AluOp::ARSH: return be.ashr(dst, amt6);
+      case AluOp::MOV: return src;
+    }
+  } else {
+    V a = be.lo32(dst);
+    V b = be.lo32(src);
+    V amt5 = be.and_(src, be.const_(31));
+    switch (op) {
+      case AluOp::ADD: return be.lo32(be.add(a, b));
+      case AluOp::SUB: return be.lo32(be.sub(a, b));
+      case AluOp::MUL: return be.lo32(be.mul(a, b));
+      case AluOp::DIV: return be.lo32(be.udiv_total(a, b));
+      // mod32 by zero leaves the *truncated* dividend (zero-extended).
+      case AluOp::MOD: return be.lo32(be.urem_total(a, b));
+      case AluOp::OR: return be.or_(a, b);
+      case AluOp::AND: return be.and_(a, b);
+      case AluOp::XOR: return be.xor_(a, b);
+      case AluOp::LSH: return be.lo32(be.shl(a, amt5));
+      case AluOp::RSH: return be.lshr(a, amt5);
+      // arsh32: arithmetic shift of the signed low half, then zero-extend.
+      case AluOp::ARSH: return be.lo32(be.ashr(be.sext_lo32(a), amt5));
+      case AluOp::MOV: return b;
+    }
+  }
+  return be.const_(0);  // unreachable
+}
+
+// NEG and endianness conversions (unary ALU ops).
+template <class BE>
+typename BE::V alu_unary_apply(Opcode op, typename BE::V a, BE& be) {
+  switch (op) {
+    case Opcode::NEG64: return be.sub(be.const_(0), a);
+    case Opcode::NEG32: return be.lo32(be.sub(be.const_(0), be.lo32(a)));
+    // Host is little-endian (x86_64), as in the paper's testbed: to-BE swaps
+    // bytes, to-LE truncates to the operand width.
+    case Opcode::BE16: return be.bswap16(a);
+    case Opcode::BE32: return be.bswap32(a);
+    case Opcode::BE64: return be.bswap64(a);
+    case Opcode::LE16: return be.and_(a, be.const_(0xffff));
+    case Opcode::LE32: return be.lo32(a);
+    case Opcode::LE64: return a;
+    default: return a;
+  }
+}
+
+// Truth value of a conditional jump predicate over 64-bit operands.
+template <class BE>
+typename BE::B jmp_test(JmpCond c, typename BE::V a, typename BE::V b,
+                        BE& be) {
+  switch (c) {
+    case JmpCond::JEQ: return be.eq(a, b);
+    case JmpCond::JNE: return be.ne(a, b);
+    case JmpCond::JGT: return be.ugt(a, b);
+    case JmpCond::JGE: return be.uge(a, b);
+    case JmpCond::JLT: return be.ult(a, b);
+    case JmpCond::JLE: return be.ule(a, b);
+    case JmpCond::JSGT: return be.sgt(a, b);
+    case JmpCond::JSGE: return be.sge(a, b);
+    case JmpCond::JSLT: return be.slt(a, b);
+    case JmpCond::JSLE: return be.sle(a, b);
+    case JmpCond::JSET: return be.set(a, b);
+  }
+  return be.eq(a, a);  // unreachable
+}
+
+}  // namespace k2::ebpf

@@ -1,0 +1,151 @@
+#include "interp/helpers.h"
+
+#include <cstring>
+
+#include "ebpf/helpers_def.h"
+
+namespace k2::interp {
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+int map_fd_of(const Machine& m, uint64_t handle) {
+  if (handle < Machine::kMapHandleBase) return -1;
+  uint64_t fd = handle - Machine::kMapHandleBase;
+  if (fd >= m.maps.size()) return -1;
+  return static_cast<int>(fd);
+}
+
+void clobber_scratch(Machine& m) {
+  for (int r = 1; r <= 5; ++r) m.regs[r] = kScratchPoison + r;
+}
+
+// Folded 32-bit one's-complement sum over a buffer (bpf_csum_diff building
+// block). Buffer length must be a multiple of 4, as the kernel requires.
+uint64_t csum_words(const uint8_t* p, uint32_t len) {
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i + 4 <= len; i += 4) {
+    uint32_t w;
+    std::memcpy(&w, p + i, 4);
+    sum += w;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Fault call_helper(Machine& m, int64_t id) {
+  const ebpf::HelperProto* proto = ebpf::helper_proto(id);
+  if (!proto) return Fault::BAD_HELPER;
+  m.helper_calls++;
+  uint64_t r0 = 0;
+
+  switch (id) {
+    case ebpf::HELPER_MAP_LOOKUP: {
+      int fd = map_fd_of(m, m.regs[1]);
+      if (fd < 0) return Fault::BAD_MAP_FD;
+      MapRuntime& map = m.maps[fd];
+      uint8_t* key = m.resolve(m.regs[2], map.def().key_size);
+      if (!key) return Fault::OOB_ACCESS;
+      uint8_t* val = map.lookup(key);
+      r0 = val ? m.expose_map_value(fd, val, map.def().value_size) : 0;
+      break;
+    }
+    case ebpf::HELPER_MAP_UPDATE: {
+      int fd = map_fd_of(m, m.regs[1]);
+      if (fd < 0) return Fault::BAD_MAP_FD;
+      MapRuntime& map = m.maps[fd];
+      uint8_t* key = m.resolve(m.regs[2], map.def().key_size);
+      uint8_t* val = m.resolve(m.regs[3], map.def().value_size);
+      if (!key || !val) return Fault::OOB_ACCESS;
+      r0 = static_cast<uint64_t>(static_cast<int64_t>(map.update(key, val)));
+      break;
+    }
+    case ebpf::HELPER_MAP_DELETE: {
+      int fd = map_fd_of(m, m.regs[1]);
+      if (fd < 0) return Fault::BAD_MAP_FD;
+      MapRuntime& map = m.maps[fd];
+      uint8_t* key = m.resolve(m.regs[2], map.def().key_size);
+      if (!key) return Fault::OOB_ACCESS;
+      r0 = static_cast<uint64_t>(static_cast<int64_t>(map.erase(key)));
+      break;
+    }
+    case ebpf::HELPER_KTIME_GET_NS:
+      r0 = m.ktime_state;
+      m.ktime_state += 1000;  // monotone, 1us per observation
+      break;
+    case ebpf::HELPER_GET_PRANDOM_U32:
+      m.rand_state = splitmix64(m.rand_state);
+      r0 = m.rand_state & 0xffffffffull;
+      break;
+    case ebpf::HELPER_GET_SMP_PROC_ID:
+      r0 = m.cpu_id;
+      break;
+    case ebpf::HELPER_CSUM_DIFF: {
+      uint32_t from_size = static_cast<uint32_t>(m.regs[2]);
+      uint32_t to_size = static_cast<uint32_t>(m.regs[4]);
+      if (from_size % 4 || to_size % 4 || from_size > 512 || to_size > 512)
+        return Fault::BAD_HELPER;
+      uint64_t sum = static_cast<uint32_t>(m.regs[5]);
+      if (to_size) {
+        uint8_t* to = m.resolve(m.regs[3], to_size);
+        if (!to) return Fault::OOB_ACCESS;
+        sum += csum_words(to, to_size);
+      }
+      if (from_size) {
+        uint8_t* from = m.resolve(m.regs[1], from_size);
+        if (!from) return Fault::OOB_ACCESS;
+        sum += ~csum_words(from, from_size) & 0xffffffffull;
+      }
+      while (sum >> 32) sum = (sum & 0xffffffffull) + (sum >> 32);
+      r0 = sum;
+      break;
+    }
+    case ebpf::HELPER_XDP_ADJUST_HEAD: {
+      // r1 = ctx (ignored: single-packet machine), r2 = delta.
+      int64_t delta = static_cast<int64_t>(m.regs[2]);
+      uint64_t new_data = m.pkt_data + delta;
+      if (new_data < Machine::kPacketBase ||
+          new_data + 14 > m.pkt_data_end) {  // keep room for an Ethernet hdr
+        r0 = static_cast<uint64_t>(-1);
+        break;
+      }
+      m.pkt_data = new_data;
+      // Update the packet region and the ctx fields.
+      for (Region& r : m.regions) {
+        if (r.kind == Mem::PACKET) {
+          r.base = m.pkt_data;
+          r.size = static_cast<uint32_t>(m.pkt_data_end - m.pkt_data);
+          r.host = m.pkt_buf.data() + (m.pkt_data - Machine::kPacketBase);
+        }
+      }
+      std::memcpy(m.ctx.data(), &m.pkt_data, 8);
+      std::memcpy(m.ctx.data() + 8, &m.pkt_data_end, 8);
+      r0 = 0;
+      break;
+    }
+    case ebpf::HELPER_REDIRECT_MAP: {
+      int fd = map_fd_of(m, m.regs[1]);
+      if (fd < 0) return Fault::BAD_MAP_FD;
+      uint64_t key = m.regs[2];
+      uint64_t flags = m.regs[3];
+      r0 = key < m.maps[fd].def().max_entries ? 4 /*XDP_REDIRECT*/
+                                              : (flags & 0xffffffffull);
+      break;
+    }
+    default:
+      return Fault::BAD_HELPER;
+  }
+
+  clobber_scratch(m);
+  m.regs[0] = r0;
+  return Fault::NONE;
+}
+
+}  // namespace k2::interp

@@ -1,0 +1,27 @@
+// Runtime implementations of BPF kernel helper functions (§2.1, App. B.5).
+// Deterministic with respect to the InputSpec: "stateful" helpers (ktime,
+// prandom) derive their i-th return value from the input seeds and the call
+// index, matching the encoder's sequence-variable axiomatization.
+#pragma once
+
+#include <cstdint>
+
+#include "interp/state.h"
+
+namespace k2::interp {
+
+// splitmix64 step; the prandom helper threads this state (the FOL encoder
+// threads the identical function symbolically).
+uint64_t splitmix64(uint64_t x);
+
+// Value poisoned into r1..r5 after helper calls. Reading these registers
+// after a call is a safety violation (§6 property 3); the same constant is
+// used by the encoder so both sides stay bit-identical even on unsafe
+// programs (useful for differential testing).
+constexpr uint64_t kScratchPoison = 0xdeadbeefdeadbeefull;
+
+// Executes helper `id` against machine state `m` (arguments in r1..r5,
+// result in r0; r1..r5 clobbered). Returns Fault::NONE on success.
+Fault call_helper(Machine& m, int64_t id);
+
+}  // namespace k2::interp

@@ -1,0 +1,180 @@
+#include "interp/interpreter.h"
+
+#include <cstring>
+
+#include "ebpf/semantics.h"
+#include "interp/helpers.h"
+
+namespace k2::interp {
+
+using ebpf::AluShape;
+using ebpf::Insn;
+using ebpf::InsnClass;
+using ebpf::JmpShape;
+using ebpf::Opcode;
+
+RunResult run(const ebpf::Program& prog, const InputSpec& input,
+              const RunOptions& opt) {
+  RunResult res;
+  Machine m;
+  m.init(prog, input);
+  ebpf::ConcreteBackend be;
+
+  const auto fault = [&](Fault f, int pc) {
+    res.fault = f;
+    res.fault_pc = pc;
+    return res;
+  };
+  const auto finish = [&]() {
+    res.r0 = m.regs[0];
+    res.packet_out.assign(
+        m.pkt_buf.data() + (m.pkt_data - Machine::kPacketBase),
+        m.pkt_buf.data() + (m.pkt_data_end - Machine::kPacketBase));
+    for (size_t fd = 0; fd < m.maps.size(); ++fd)
+      res.maps_out[static_cast<int>(fd)] = m.maps[fd].contents();
+    return res;
+  };
+
+  int pc = 0;
+  const int n = static_cast<int>(prog.insns.size());
+  while (true) {
+    if (pc < 0 || pc >= n) return fault(Fault::BAD_INSN, pc);
+    if (res.insns_executed++ >= opt.max_insns)
+      return fault(Fault::STEP_LIMIT, pc);
+    const Insn& insn = prog.insns[pc];
+    if (opt.record_trace && insn.op != Opcode::NOP)
+      res.trace.push_back(static_cast<uint32_t>(pc));
+
+    AluShape a;
+    JmpShape j;
+    if (ebpf::decompose_alu(insn.op, &a)) {
+      uint64_t src = a.is_imm ? ebpf::sext32(insn.imm) : m.regs[insn.src];
+      m.regs[insn.dst] = ebpf::alu_apply(a.op, a.is64, m.regs[insn.dst], src, be);
+      pc++;
+      continue;
+    }
+    if (ebpf::decompose_jmp(insn.op, &j)) {
+      uint64_t lhs = m.regs[insn.dst];
+      uint64_t rhs = j.is_imm ? ebpf::sext32(insn.imm) : m.regs[insn.src];
+      if (ebpf::jmp_test(j.cond, lhs, rhs, be)) {
+        if (insn.off < 0) return fault(Fault::BACKWARD_JUMP, pc);
+        pc += 1 + insn.off;
+      } else {
+        pc++;
+      }
+      continue;
+    }
+
+    switch (insn.op) {
+      case Opcode::NEG64:
+      case Opcode::NEG32:
+      case Opcode::BE16:
+      case Opcode::BE32:
+      case Opcode::BE64:
+      case Opcode::LE16:
+      case Opcode::LE32:
+      case Opcode::LE64:
+        m.regs[insn.dst] = ebpf::alu_unary_apply(insn.op, m.regs[insn.dst], be);
+        pc++;
+        break;
+
+      case Opcode::JA:
+        if (insn.off < 0) return fault(Fault::BACKWARD_JUMP, pc);
+        pc += 1 + insn.off;
+        break;
+
+      case Opcode::LDXB:
+      case Opcode::LDXH:
+      case Opcode::LDXW:
+      case Opcode::LDXDW: {
+        uint32_t w = static_cast<uint32_t>(ebpf::mem_width(insn.op));
+        uint64_t addr = m.regs[insn.src] + insn.off;
+        if (addr < 0x1000) return fault(Fault::NULL_DEREF, pc);
+        uint8_t* p = m.resolve(addr, w);
+        if (!p) return fault(Fault::OOB_ACCESS, pc);
+        uint64_t v = 0;
+        std::memcpy(&v, p, w);  // little-endian host, as in the paper setup
+        m.regs[insn.dst] = v;
+        pc++;
+        break;
+      }
+
+      case Opcode::STXB:
+      case Opcode::STXH:
+      case Opcode::STXW:
+      case Opcode::STXDW:
+      case Opcode::STB:
+      case Opcode::STH:
+      case Opcode::STW:
+      case Opcode::STDW: {
+        uint32_t w = static_cast<uint32_t>(ebpf::mem_width(insn.op));
+        uint64_t addr = m.regs[insn.dst] + insn.off;
+        if (addr < 0x1000) return fault(Fault::NULL_DEREF, pc);
+        uint8_t* p = m.resolve(addr, w);
+        if (!p) return fault(Fault::OOB_ACCESS, pc);
+        uint64_t v = ebpf::insn_class(insn.op) == InsnClass::STX
+                         ? m.regs[insn.src]
+                         : ebpf::sext32(insn.imm);
+        std::memcpy(p, &v, w);
+        pc++;
+        break;
+      }
+
+      case Opcode::XADD32:
+      case Opcode::XADD64: {
+        uint32_t w = static_cast<uint32_t>(ebpf::mem_width(insn.op));
+        uint64_t addr = m.regs[insn.dst] + insn.off;
+        if (addr < 0x1000) return fault(Fault::NULL_DEREF, pc);
+        uint8_t* p = m.resolve(addr, w);
+        if (!p) return fault(Fault::OOB_ACCESS, pc);
+        uint64_t v = 0;
+        std::memcpy(&v, p, w);
+        v += m.regs[insn.src];
+        std::memcpy(p, &v, w);
+        pc++;
+        break;
+      }
+
+      case Opcode::CALL: {
+        Fault f = call_helper(m, insn.imm);
+        if (f != Fault::NONE) return fault(f, pc);
+        pc++;
+        break;
+      }
+
+      case Opcode::EXIT:
+        return finish();
+
+      case Opcode::LDDW:
+        m.regs[insn.dst] = static_cast<uint64_t>(insn.imm);
+        pc++;
+        break;
+
+      case Opcode::LDMAPFD:
+        m.regs[insn.dst] = Machine::kMapHandleBase +
+                           static_cast<uint64_t>(insn.imm);
+        pc++;
+        break;
+
+      case Opcode::NOP:
+        pc++;
+        break;
+
+      default:
+        return fault(Fault::BAD_INSN, pc);
+    }
+  }
+}
+
+bool outputs_equal(ebpf::ProgType type, const RunResult& a,
+                   const RunResult& b) {
+  if (a.fault != Fault::NONE || b.fault != Fault::NONE)
+    return a.fault == b.fault && a.fault == Fault::NONE;
+  if (a.r0 != b.r0) return false;
+  if (a.maps_out != b.maps_out) return false;
+  if (type != ebpf::ProgType::TRACEPOINT && a.packet_out != b.packet_out)
+    return false;
+  return true;
+}
+
+}  // namespace k2::interp

@@ -1,0 +1,22 @@
+// The BPF interpreter (§7): executes bytecode against an InputSpec and
+// reports all observable outputs plus any fault. Candidate programs from the
+// synthesizer are arbitrary bytecode, so every memory access is
+// bounds-checked and every anomaly becomes a Fault instead of undefined
+// behaviour — faults then surface as maximal error cost in the search (§3.2).
+#pragma once
+
+#include "ebpf/program.h"
+#include "interp/state.h"
+
+namespace k2::interp {
+
+RunResult run(const ebpf::Program& prog, const InputSpec& input,
+              const RunOptions& opt = {});
+
+// True when the two results are observably equal for the given hook type
+// (XDP/SOCKET_FILTER: r0 + packet + maps; TRACEPOINT: r0 + maps). A faulting
+// result never equals a non-faulting one.
+bool outputs_equal(ebpf::ProgType type, const RunResult& a,
+                   const RunResult& b);
+
+}  // namespace k2::interp

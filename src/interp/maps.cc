@@ -1,0 +1,74 @@
+#include "interp/maps.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace k2::interp {
+
+namespace {
+
+// ARRAY/DEVMAP keys are u32 indices in [0, max_entries).
+bool array_index(const ebpf::MapDef& def, const uint8_t* key, uint32_t* idx) {
+  uint32_t v = 0;
+  std::memcpy(&v, key, std::min<uint32_t>(def.key_size, 4));
+  *idx = v;
+  return v < def.max_entries;
+}
+
+}  // namespace
+
+MapRuntime::MapRuntime(const ebpf::MapDef& def) : def_(def) {
+  if (def_.kind != ebpf::MapKind::HASH) {
+    // Array-like maps are fully populated with zeroed values.
+    for (uint32_t i = 0; i < def_.max_entries; ++i) {
+      Bytes key(def_.key_size, 0);
+      std::memcpy(key.data(), &i, std::min<uint32_t>(def_.key_size, 4));
+      data_[key] = std::make_unique<Bytes>(def_.value_size, 0);
+    }
+  }
+}
+
+uint8_t* MapRuntime::lookup(const uint8_t* key) {
+  if (def_.kind != ebpf::MapKind::HASH) {
+    uint32_t idx;
+    if (!array_index(def_, key, &idx)) return nullptr;
+  }
+  Bytes k(key, key + def_.key_size);
+  auto it = data_.find(k);
+  return it == data_.end() ? nullptr : it->second->data();
+}
+
+int MapRuntime::update(const uint8_t* key, const uint8_t* value) {
+  if (def_.kind != ebpf::MapKind::HASH) {
+    uint32_t idx;
+    if (!array_index(def_, key, &idx)) return -ENOENT;
+    Bytes k(key, key + def_.key_size);
+    std::memcpy(data_[k]->data(), value, def_.value_size);
+    return 0;
+  }
+  Bytes k(key, key + def_.key_size);
+  auto it = data_.find(k);
+  if (it != data_.end()) {
+    std::memcpy(it->second->data(), value, def_.value_size);
+    return 0;
+  }
+  if (data_.size() >= def_.max_entries) return -E2BIG;
+  data_[k] = std::make_unique<Bytes>(value, value + def_.value_size);
+  return 0;
+}
+
+int MapRuntime::erase(const uint8_t* key) {
+  if (def_.kind != ebpf::MapKind::HASH) return -EINVAL;
+  Bytes k(key, key + def_.key_size);
+  return data_.erase(k) ? 0 : -ENOENT;
+}
+
+std::map<Bytes, Bytes> MapRuntime::contents() const {
+  std::map<Bytes, Bytes> out;
+  for (const auto& [k, v] : data_) out[k] = *v;
+  return out;
+}
+
+void MapRuntime::clear() { data_.clear(); }
+
+}  // namespace k2::interp

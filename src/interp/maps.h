@@ -1,0 +1,46 @@
+// Runtime implementation of BPF maps (the kernel's persistent key-value
+// stores reached through helper calls, §2.1). Value storage is
+// pointer-stable: bpf_map_lookup_elem returns a pointer that programs then
+// dereference with ordinary load/store instructions, so values must not move
+// while a program holds a pointer to them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ebpf/program.h"
+
+namespace k2::interp {
+
+using Bytes = std::vector<uint8_t>;
+
+class MapRuntime {
+ public:
+  explicit MapRuntime(const ebpf::MapDef& def);
+
+  const ebpf::MapDef& def() const { return def_; }
+
+  // Returns a stable pointer to value storage, or nullptr when the key is
+  // absent (HASH) / out of range (ARRAY/DEVMAP).
+  uint8_t* lookup(const uint8_t* key);
+
+  // 0 on success, negative errno on failure. ARRAY maps reject unknown keys.
+  int update(const uint8_t* key, const uint8_t* value);
+
+  // 0 on success, -ENOENT when absent; ARRAY maps reject deletion (-EINVAL).
+  int erase(const uint8_t* key);
+
+  // Deterministic snapshot of live entries for output comparison.
+  std::map<Bytes, Bytes> contents() const;
+
+  void clear();
+
+ private:
+  ebpf::MapDef def_;
+  // unique_ptr keeps value buffers pinned across rehashing/insertions.
+  std::map<Bytes, std::unique_ptr<Bytes>> data_;
+};
+
+}  // namespace k2::interp

@@ -1,0 +1,143 @@
+#include "interp/state.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace k2::interp {
+
+const char* mem_name(Mem m) {
+  switch (m) {
+    case Mem::STACK: return "stack";
+    case Mem::CTX: return "ctx";
+    case Mem::PACKET: return "packet";
+    case Mem::MAP_VALUE: return "map_value";
+    default: return "?";
+  }
+}
+
+const char* fault_name(Fault f) {
+  switch (f) {
+    case Fault::NONE: return "none";
+    case Fault::OOB_ACCESS: return "out-of-bounds access";
+    case Fault::NULL_DEREF: return "null dereference";
+    case Fault::BAD_HELPER: return "bad helper call";
+    case Fault::BAD_MAP_FD: return "bad map handle";
+    case Fault::BACKWARD_JUMP: return "backward jump";
+    case Fault::STEP_LIMIT: return "step limit exceeded";
+    case Fault::BAD_INSN: return "bad instruction / fell off end";
+    case Fault::STACK_MISALIGNED: return "misaligned stack access";
+    default: return "?";
+  }
+}
+
+std::string InputSpec::to_string() const {
+  std::ostringstream os;
+  os << "packet[" << packet.size() << "]=";
+  for (size_t i = 0; i < packet.size() && i < 32; ++i) {
+    char b[4];
+    snprintf(b, sizeof b, "%02x", packet[i]);
+    os << b;
+  }
+  if (packet.size() > 32) os << "...";
+  os << " ctx_args={" << ctx_args[0] << "," << ctx_args[1] << "}";
+  for (const auto& [fd, entries] : maps) {
+    os << " map" << fd << "{";
+    for (const auto& e : entries) {
+      os << "k:";
+      for (uint8_t b : e.key) {
+        char h[4];
+        snprintf(h, sizeof h, "%02x", b);
+        os << h;
+      }
+      os << "->";
+      for (uint8_t b : e.value) {
+        char h[4];
+        snprintf(h, sizeof h, "%02x", b);
+        os << h;
+      }
+      os << " ";
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+void Machine::init(const ebpf::Program& prog, const InputSpec& input) {
+  regs.fill(0);
+  stack.fill(0);
+  regions.clear();
+  maps.clear();
+  helper_calls = 0;
+  rand_state = input.prandom_seed;
+  ktime_state = input.ktime_base;
+  cpu_id = input.cpu_id;
+
+  // Stack: [kStackBase - 512, kStackBase), r10 = kStackBase.
+  regions.push_back(Region{Mem::STACK, kStackBase - 512, 512, stack.data()});
+  regs[10] = kStackBase;
+
+  // Packet with headroom for bpf_xdp_adjust_head.
+  pkt_headroom = kHeadroom;
+  pkt_buf.assign(pkt_headroom + input.packet.size(), 0);
+  std::memcpy(pkt_buf.data() + pkt_headroom, input.packet.data(),
+              input.packet.size());
+  pkt_data = kPacketBase + pkt_headroom;
+  pkt_data_end = pkt_data + input.packet.size();
+  regions.push_back(Region{Mem::PACKET, pkt_data,
+                           static_cast<uint32_t>(input.packet.size()),
+                           pkt_buf.data() + pkt_headroom});
+
+  // Context. XDP/SOCKET_FILTER: {u64 data, u64 data_end}; TRACEPOINT: two
+  // scalar arguments.
+  ctx.fill(0);
+  if (prog.type == ebpf::ProgType::TRACEPOINT) {
+    std::memcpy(ctx.data(), &input.ctx_args[0], 8);
+    std::memcpy(ctx.data() + 8, &input.ctx_args[1], 8);
+  } else {
+    std::memcpy(ctx.data(), &pkt_data, 8);
+    std::memcpy(ctx.data() + 8, &pkt_data_end, 8);
+  }
+  regions.push_back(Region{Mem::CTX, kCtxBase, 16, ctx.data()});
+  regs[1] = kCtxBase;
+
+  // Maps.
+  maps.reserve(prog.maps.size());
+  for (const auto& def : prog.maps) maps.emplace_back(def);
+  for (const auto& [fd, entries] : input.maps) {
+    if (fd < 0 || fd >= static_cast<int>(maps.size())) continue;
+    for (const auto& e : entries) {
+      Bytes k = e.key;
+      k.resize(maps[fd].def().key_size, 0);
+      Bytes v = e.value;
+      v.resize(maps[fd].def().value_size, 0);
+      maps[fd].update(k.data(), v.data());
+    }
+  }
+}
+
+uint8_t* Machine::resolve(uint64_t addr, uint32_t size, Mem* kind_out) {
+  for (const Region& r : regions) {
+    if (addr >= r.base && addr + size <= r.base + r.size &&
+        addr + size >= addr) {
+      if (kind_out) *kind_out = r.kind;
+      return r.host + (addr - r.base);
+    }
+  }
+  return nullptr;
+}
+
+uint64_t Machine::expose_map_value(int fd, uint8_t* host, uint32_t size) {
+  // Reuse an existing region if this value buffer was exposed before.
+  uint64_t count = 0;
+  for (const Region& r : regions) {
+    if (r.kind != Mem::MAP_VALUE) continue;
+    if (r.host == host) return r.base;
+    if (r.map_fd == fd) count++;
+  }
+  // Mirror the encoder's layout: per-fd subrange, 4 KiB aligned buffers.
+  uint64_t va = kMapValueBase + (uint64_t(fd) << 32) + ((count + 1) << 12);
+  regions.push_back(Region{Mem::MAP_VALUE, va, size, host, fd});
+  return va;
+}
+
+}  // namespace k2::interp

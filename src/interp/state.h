@@ -1,0 +1,137 @@
+// Machine state and program input/output specifications for the BPF
+// interpreter. An InputSpec is exactly a "test case" in the paper's sense
+// (§3): the program inputs that, together with the bytecode, determine all
+// observable outputs. Counterexamples extracted from Z3 models are converted
+// into InputSpecs and appended to the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.h"
+#include "interp/maps.h"
+
+namespace k2::interp {
+
+// Region kinds also used by the static type analysis and the FOL encoder.
+enum class Mem : uint8_t {
+  STACK,
+  CTX,
+  PACKET,
+  MAP_VALUE,
+  NUM_KINDS,
+};
+
+const char* mem_name(Mem m);
+
+struct MapEntryInit {
+  Bytes key;
+  Bytes value;
+  friend bool operator==(const MapEntryInit&, const MapEntryInit&) = default;
+};
+
+// A single test input. Programs are deterministic functions of an InputSpec:
+// helper nondeterminism (ktime, prandom) is derived from seeds, mirroring the
+// paper's treatment of stateful helpers ("state as part of the inputs").
+struct InputSpec {
+  std::vector<uint8_t> packet;                // input packet bytes
+  std::map<int, std::vector<MapEntryInit>> maps;  // fd -> initial entries
+  uint64_t prandom_seed = 0x853c49e6748fea9bull;
+  uint64_t ktime_base = 1'000'000'000ull;
+  uint32_t cpu_id = 0;
+  std::array<uint64_t, 2> ctx_args{0, 0};  // tracepoint/socket scalar args
+
+  std::string to_string() const;
+};
+
+enum class Fault : uint8_t {
+  NONE = 0,
+  OOB_ACCESS,        // load/store outside any accessible region
+  NULL_DEREF,        // access through NULL (e.g. unchecked map lookup)
+  BAD_HELPER,        // unknown helper id or bad helper arguments
+  BAD_MAP_FD,        // register does not hold a valid map handle
+  BACKWARD_JUMP,     // executed a jump with a negative target delta
+  STEP_LIMIT,        // too many instructions executed
+  BAD_INSN,          // NOP-executed/invalid opcode fell off program end
+  STACK_MISALIGNED,  // (reserved; alignment is enforced statically)
+};
+
+const char* fault_name(Fault f);
+
+// Everything observable about one execution. Which fields count as "output"
+// for equivalence depends on the hook type (§7): XDP compares r0 + packet +
+// maps; tracepoints compare r0 + maps.
+struct RunResult {
+  Fault fault = Fault::NONE;
+  int fault_pc = -1;
+  uint64_t r0 = 0;
+  std::vector<uint8_t> packet_out;
+  std::map<int, std::map<Bytes, Bytes>> maps_out;  // fd -> contents
+  uint64_t insns_executed = 0;
+  // Instruction index of every executed (non-NOP) instruction, recorded when
+  // RunOptions::record_trace is set; feeds the per-opcode latency model.
+  std::vector<uint32_t> trace;
+
+  bool ok() const { return fault == Fault::NONE; }
+};
+
+struct RunOptions {
+  uint64_t max_insns = 1u << 20;
+  bool record_trace = false;
+};
+
+// An addressable memory region in the running machine.
+struct Region {
+  Mem kind;
+  uint64_t base;   // virtual address as seen by the program
+  uint32_t size;
+  uint8_t* host;   // backing storage
+  int map_fd = -1; // for MAP_VALUE regions
+};
+
+// The live machine: registers, stack, packet buffer (with headroom for
+// bpf_xdp_adjust_head), ctx, map runtimes, and helper-determinism counters.
+struct Machine {
+  std::array<uint64_t, 11> regs{};
+  std::array<uint8_t, 512> stack{};
+  std::vector<uint8_t> pkt_buf;      // headroom + packet bytes
+  uint32_t pkt_headroom = 0;
+  uint64_t pkt_data = 0;             // VA of current data start
+  uint64_t pkt_data_end = 0;         // VA one past last packet byte
+  std::array<uint8_t, 16> ctx{};     // data/data_end (XDP) or scalar args
+  std::vector<MapRuntime> maps;
+  std::vector<Region> regions;
+  uint64_t helper_calls = 0;         // total helper invocations (stats)
+  // Threaded helper state: each ktime call returns the current state and
+  // advances it; each prandom call advances the splitmix64 state and returns
+  // its low 32 bits. The FOL encoder threads identical state variables, so
+  // the two sides agree exactly (App. B.5 "state as part of the inputs").
+  uint64_t rand_state = 0;
+  uint64_t ktime_state = 0;
+  uint32_t cpu_id = 0;
+
+  // Virtual address layout: disjoint, non-zero bases per region kind. The
+  // FOL encoder uses the same constants, so pointer values agree bit-exactly
+  // between execution and formalization.
+  static constexpr uint64_t kStackBase = 0x100000000000ull;   // grows down
+  static constexpr uint64_t kCtxBase = 0x200000000000ull;
+  static constexpr uint64_t kPacketBase = 0x300000000000ull;
+  static constexpr uint64_t kMapValueBase = 0x400000000000ull;
+  static constexpr uint64_t kMapHandleBase = 0x6d61700000000000ull;  // "map"
+  static constexpr uint32_t kHeadroom = 64;  // bpf_xdp_adjust_head slack
+
+  // Builds machine state for `prog` from `input`.
+  void init(const ebpf::Program& prog, const InputSpec& input);
+
+  // Resolves a guest VA range to host memory; nullptr if not fully inside
+  // one accessible region.
+  uint8_t* resolve(uint64_t addr, uint32_t size, Mem* kind_out = nullptr);
+
+  // Registers a map-value region (on successful lookup) and returns its VA.
+  uint64_t expose_map_value(int fd, uint8_t* host, uint32_t size);
+};
+
+}  // namespace k2::interp

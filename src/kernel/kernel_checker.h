@@ -1,0 +1,34 @@
+// A model of the Linux in-kernel BPF verifier ("the kernel checker", §2).
+//
+// This is the acceptance oracle for K2's post-processing pass (§6) and for
+// the Table-5 experiment: it is *deliberately implemented independently* of
+// K2's own safety checker — a path-exploring abstract interpreter in the
+// style of kernel/bpf/verifier.c, with per-register scalar ranges, stack
+// initialization tracking, packet-bounds refinement from data_end
+// comparisons, and the verifier's complexity budget (the 1M
+// visited-instruction limit that makes real programs "DNL", Table 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ebpf/program.h"
+
+namespace k2::kernel {
+
+struct CheckerOptions {
+  uint64_t complexity_limit = 1'000'000;  // visited instructions (fn. 2)
+  int max_insns = 4096;                   // classic program-size limit
+};
+
+struct CheckResult {
+  bool accepted = false;
+  std::string reason;        // rejection reason, empty when accepted
+  int insn = -1;
+  uint64_t insns_visited = 0;
+};
+
+CheckResult kernel_check(const ebpf::Program& prog,
+                         const CheckerOptions& opts = {});
+
+}  // namespace k2::kernel

@@ -1,0 +1,291 @@
+#include "safety/safety.h"
+
+#include "analysis/cfg.h"
+#include "analysis/liveness.h"
+#include "analysis/typeinfer.h"
+#include "ebpf/helpers_def.h"
+#include "verify/eqchecker.h"
+
+namespace k2::safety {
+
+namespace {
+
+using analysis::Rt;
+using ebpf::AluOp;
+using ebpf::AluShape;
+using ebpf::Insn;
+using ebpf::InsnClass;
+using ebpf::Opcode;
+using interp::Machine;
+
+struct Violation {
+  std::string reason;
+  int insn;
+};
+
+// ---- Static checks (§6: control flow safety, typing, alignment,
+// checker-specific constraints) ------------------------------------------
+
+std::optional<Violation> static_checks(const ebpf::Program& prog,
+                                       const analysis::Cfg& cfg,
+                                       const analysis::TypeInfo& ti) {
+  const int n = int(prog.insns.size());
+
+  if (auto err = ebpf::validate_structure(prog))
+    return Violation{*err, 0};
+  if (!cfg.loop_free)
+    return Violation{"control flow contains a back-edge (potential loop)", 0};
+  for (int b = 0; b < cfg.num_blocks(); ++b) {
+    const auto& blk = cfg.blocks[size_t(b)];
+    if (blk.start == blk.end) continue;
+    if (!cfg.reachable[size_t(b)]) {
+      // NOPs are stripped from outputs; a block of pure NOPs is not "code".
+      bool all_nop = true;
+      for (int i = blk.start; i < blk.end; ++i)
+        if (prog.insns[size_t(i)].op != Opcode::NOP) all_nop = false;
+      if (!all_nop)
+        return Violation{"unreachable basic block", blk.start};
+      continue;
+    }
+    // Every path must terminate at an EXIT: falling off the end is unsafe.
+    const Insn& last = prog.insns[size_t(blk.end - 1)];
+    if (blk.end == n && last.op != Opcode::EXIT && last.op != Opcode::JA &&
+        !ebpf::is_cond_jump(last.op))
+      return Violation{"control flow falls off the end", blk.end - 1};
+    if (blk.end == n && ebpf::is_cond_jump(last.op))
+      return Violation{"conditional fall-through off the end", blk.end - 1};
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const Insn& insn = prog.insns[size_t(i)];
+    if (insn.op == Opcode::NOP) continue;
+    int b = cfg.block_of[size_t(i)];
+    if (b < 0 || !cfg.reachable[size_t(b)]) continue;
+    const analysis::RegFile& rf = ti.before[size_t(i)];
+
+    // r10 is read-only.
+    if (ebpf::def_mask(insn) & (1u << 10))
+      return Violation{"write to read-only register r10", i};
+
+    // Uninitialized register reads (covers r1..r5 after helper calls, §6
+    // checker-specific property 3).
+    uint16_t uses = ebpf::use_mask(insn);
+    if (insn.op == Opcode::CALL) {
+      const ebpf::HelperProto* proto = ebpf::helper_proto(insn.imm);
+      if (!proto) return Violation{"unknown helper", i};
+      uses = 0;
+      for (int r = 1; r <= proto->nargs; ++r) uses |= uint16_t(1u << r);
+    }
+    for (int r = 0; r <= 10; ++r)
+      if ((uses & (1u << r)) && rf[size_t(r)].type == Rt::UNINIT)
+        return Violation{
+            "read of uninitialized register r" + std::to_string(r), i};
+
+    // ALU restrictions on pointers (§6 checker-specific property 1): only
+    // 64-bit ADD/SUB/MOV may touch pointer values.
+    AluShape a;
+    if (ebpf::decompose_alu(insn.op, &a)) {
+      bool dst_ptr = analysis::is_pointer(rf[insn.dst].type);
+      bool src_ptr = !a.is_imm && analysis::is_pointer(rf[insn.src].type);
+      bool allowed64 = a.is64 && (a.op == AluOp::ADD || a.op == AluOp::SUB ||
+                                  a.op == AluOp::MOV);
+      if ((dst_ptr || src_ptr) && !allowed64)
+        return Violation{"forbidden ALU operation on pointer", i};
+      // Pointer arithmetic must keep a trackable offset; adding two pointers
+      // or subtracting pointers of different regions is rejected.
+      if (dst_ptr && src_ptr && a.op == AluOp::ADD)
+        return Violation{"pointer + pointer arithmetic", i};
+      if (dst_ptr && src_ptr && a.op == AluOp::SUB &&
+          rf[insn.dst].type != rf[insn.src].type)
+        return Violation{"subtraction of pointers to different regions", i};
+    }
+    if ((insn.op == Opcode::NEG64 || insn.op == Opcode::NEG32 ||
+         ebpf::insn_class(insn.op) == InsnClass::ALU) &&
+        !ebpf::decompose_alu(insn.op, &a)) {
+      if (analysis::is_pointer(rf[insn.dst].type))
+        return Violation{"unary ALU on pointer", i};
+    }
+
+    // Memory access typing.
+    if (ebpf::is_mem_access(insn.op)) {
+      auto info = analysis::access_info(prog, ti, i);
+      int w = ebpf::mem_width(insn.op);
+      switch (info->region) {
+        case Rt::PTR_STACK:
+          if (!info->off_known)
+            return Violation{"stack access at unknown offset", i};
+          if (info->off < -analysis::kStackSize || info->off + w > 0)
+            return Violation{"stack access out of bounds", i};
+          // The checker mandates size-aligned stack accesses (§2.2 ex. 2).
+          if (info->off % w != 0)
+            return Violation{"misaligned stack access", i};
+          break;
+        case Rt::PTR_CTX:
+          if (ebpf::is_mem_store(insn.op))
+            return Violation{"store to context memory", i};  // §6 property 2
+          if (!info->off_known || info->off < 0 || info->off + w > 16 ||
+              info->off % w != 0)
+            return Violation{"bad context access", i};
+          break;
+        case Rt::PTR_PKT:
+          if (prog.type == ebpf::ProgType::TRACEPOINT)
+            return Violation{"packet access in tracepoint program", i};
+          break;  // bounds checked by the solver (path-sensitive)
+        case Rt::PTR_MAP_VALUE: {
+          if (!info->off_known)
+            return Violation{"map value access at unknown offset", i};
+          int vsize = info->map_fd >= 0 &&
+                              info->map_fd < int(prog.maps.size())
+                          ? int(prog.maps[size_t(info->map_fd)].value_size)
+                          : 0;
+          if (info->off < 0 || info->off + w > vsize)
+            return Violation{"map value access out of bounds", i};
+          break;
+        }
+        case Rt::PTR_MAP_VALUE_OR_NULL:
+          return Violation{"possibly-NULL map value dereference", i};
+        default:
+          return Violation{std::string("memory access via ") +
+                               analysis::rt_name(info->region),
+                           i};
+      }
+    }
+
+    // Helper argument typing.
+    if (insn.op == Opcode::CALL) {
+      const ebpf::HelperProto* proto = ebpf::helper_proto(insn.imm);
+      if (proto->reads_map_fd) {
+        if (rf[1].type != Rt::MAP_HANDLE || rf[1].map_fd < 0 ||
+            rf[1].map_fd >= int(prog.maps.size()))
+          return Violation{"helper requires a map handle in r1", i};
+      }
+      auto ptr_arg = [&](int r) -> std::optional<Violation> {
+        const analysis::RegState& rs = rf[size_t(r)];
+        if (rs.type != Rt::PTR_STACK && rs.type != Rt::PTR_PKT &&
+            rs.type != Rt::PTR_MAP_VALUE)
+          return Violation{"helper pointer argument r" + std::to_string(r) +
+                               " has wrong type",
+                           i};
+        if (rs.type == Rt::PTR_STACK && !rs.off_known)
+          return Violation{"helper stack argument at unknown offset", i};
+        return std::nullopt;
+      };
+      switch (insn.imm) {
+        case ebpf::HELPER_MAP_LOOKUP:
+        case ebpf::HELPER_MAP_DELETE:
+          if (auto v = ptr_arg(2)) return v;
+          break;
+        case ebpf::HELPER_MAP_UPDATE:
+          if (auto v = ptr_arg(2)) return v;
+          if (auto v = ptr_arg(3)) return v;
+          break;
+        case ebpf::HELPER_CSUM_DIFF: {
+          if (auto v = ptr_arg(1)) return v;
+          if (auto v = ptr_arg(3)) return v;
+          break;
+        }
+        case ebpf::HELPER_XDP_ADJUST_HEAD:
+          if (rf[1].type != Rt::PTR_CTX)
+            return Violation{"adjust_head requires ctx in r1", i};
+          break;
+        default:
+          break;
+      }
+    }
+
+    // Pointer leak: r0 must be a scalar at exit (§6).
+    if (insn.op == Opcode::EXIT && analysis::is_pointer(rf[0].type))
+      return Violation{"pointer leak: r0 holds a pointer at exit", i};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+SafetyResult check_safety(const ebpf::Program& prog,
+                          const SafetyOptions& opts) {
+  SafetyResult res;
+  analysis::Cfg cfg = analysis::build_cfg(prog);
+  analysis::TypeInfo ti = analysis::infer_types(prog, cfg);
+  if (!ti.ok) {
+    res.reason = "type inference failed (backward control flow?)";
+    return res;
+  }
+
+  if (auto v = static_checks(prog, cfg, ti)) {
+    res.reason = v->reason;
+    res.insn = v->insn;
+    return res;
+  }
+  if (!opts.run_solver_checks) {
+    res.safe = true;
+    return res;
+  }
+
+  // ---- Solver-backed checks: packet bounds (path-sensitive) and stack
+  // read-before-write (§6). ------------------------------------------------
+  z3::context c;
+  verify::World world(c, prog, opts.enc);
+  std::vector<z3::expr> witness;
+  for (size_t fd = 0; fd < prog.maps.size(); ++fd)
+    witness.push_back(world.fresh_bv("sk" + std::to_string(fd),
+                                     prog.maps[fd].key_size * 8));
+  verify::Encoded enc = verify::encode_program(world, prog, "safety", witness);
+  if (!enc.ok) {
+    res.reason = "not encodable: " + enc.error;
+    res.insn = enc.error_insn;
+    return res;
+  }
+
+  z3::solver s(c);
+  z3::params p(c);
+  p.set("timeout", opts.timeout_ms);
+  s.set(p);
+  for (const auto& a : world.axioms) s.add(a);
+  for (const auto& d : enc.defs) s.add(d);
+
+  const uint64_t data0 = Machine::kPacketBase + Machine::kHeadroom;
+  z3::expr data_end = c.bv_val(data0, 64) + world.pkt_len;
+  auto check_violation = [&](const z3::expr& cond, const std::string& why,
+                             int insn) -> bool {
+    s.push();
+    s.add(cond);
+    z3::check_result r = s.check();
+    if (r == z3::sat) {
+      res.reason = why;
+      res.insn = insn;
+      z3::model m = s.get_model();
+      res.cex = verify::input_from_model(world, m);
+      s.pop();
+      return true;
+    }
+    if (r == z3::unknown) {
+      res.reason = why + " (solver gave up; rejecting conservatively)";
+      res.insn = insn;
+      s.pop();
+      return true;
+    }
+    s.pop();
+    return false;
+  };
+
+  for (const verify::AccessRecord& ar : enc.accesses) {
+    if (ar.region != Rt::PTR_PKT) continue;  // others are statically checked
+    z3::expr lo = enc.has_adjust_head ? c.bv_val(Machine::kPacketBase, 64)
+                                      : c.bv_val(data0, 64);
+    z3::expr in_bounds =
+        z3::uge(ar.addr, lo) &&
+        z3::ule(ar.addr + c.bv_val(uint64_t(ar.width), 64), data_end);
+    if (check_violation(ar.pc && !in_bounds,
+                        "packet access may be out of bounds", ar.insn_idx))
+      return res;
+  }
+  for (const auto& [insn, cond] : enc.uncovered_stack_reads) {
+    if (check_violation(cond, "stack read before write", insn)) return res;
+  }
+
+  res.safe = true;
+  return res;
+}
+
+}  // namespace k2::safety

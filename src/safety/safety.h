@@ -1,0 +1,36 @@
+// K2's internal safety checker (§6): static control-flow and typing checks
+// plus first-order-logic queries for path-sensitive properties (packet
+// bounds, stack read-before-write). Unsafe programs come back with a safety
+// *counterexample* input whenever the violation was established by the
+// solver — the search loop adds it to the test suite so similar candidates
+// are pruned by the interpreter instead of the solver (§6, "to our
+// knowledge, K2 is the first to leverage counterexamples for both
+// correctness and safety during synthesis").
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ebpf/program.h"
+#include "interp/state.h"
+#include "verify/encoder.h"
+
+namespace k2::safety {
+
+struct SafetyOptions {
+  verify::EncoderOpts enc;
+  unsigned timeout_ms = 10000;
+  bool run_solver_checks = true;  // static-only mode for quick pruning
+};
+
+struct SafetyResult {
+  bool safe = false;
+  std::string reason;   // first violation, empty when safe
+  int insn = -1;
+  std::optional<interp::InputSpec> cex;  // input exhibiting the violation
+};
+
+SafetyResult check_safety(const ebpf::Program& prog,
+                          const SafetyOptions& opts = {});
+
+}  // namespace k2::safety

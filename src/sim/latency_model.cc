@@ -1,0 +1,80 @@
+#include "sim/latency_model.h"
+
+#include "ebpf/helpers_def.h"
+
+namespace k2::sim {
+
+namespace {
+
+constexpr double kCycle = 0.42;  // ns per cycle at 2.4 GHz
+
+double helper_cost_ns(int64_t id) {
+  switch (id) {
+    case ebpf::HELPER_MAP_LOOKUP: return 28.0;   // hash + bucket walk
+    case ebpf::HELPER_MAP_UPDATE: return 42.0;
+    case ebpf::HELPER_MAP_DELETE: return 35.0;
+    case ebpf::HELPER_KTIME_GET_NS: return 14.0; // clock read
+    case ebpf::HELPER_GET_PRANDOM_U32: return 9.0;
+    case ebpf::HELPER_GET_SMP_PROC_ID: return 3.0;
+    case ebpf::HELPER_CSUM_DIFF: return 18.0;
+    case ebpf::HELPER_XDP_ADJUST_HEAD: return 11.0;
+    case ebpf::HELPER_REDIRECT_MAP: return 22.0;
+    default: return 20.0;
+  }
+}
+
+}  // namespace
+
+double insn_cost_ns(const ebpf::Insn& insn) {
+  using ebpf::AluOp;
+  using ebpf::Opcode;
+  ebpf::AluShape a;
+  if (ebpf::decompose_alu(insn.op, &a)) {
+    switch (a.op) {
+      case AluOp::MUL: return 3 * kCycle;
+      case AluOp::DIV:
+      case AluOp::MOD: return 22 * kCycle;
+      default: return 1 * kCycle;
+    }
+  }
+  if (ebpf::is_cond_jump(insn.op)) return 1.5 * kCycle;  // branch + predictor
+  switch (insn.op) {
+    case Opcode::JA: return 1 * kCycle;
+    case Opcode::NEG64:
+    case Opcode::NEG32:
+    case Opcode::LE16:
+    case Opcode::LE32:
+    case Opcode::LE64: return 1 * kCycle;
+    case Opcode::BE16:
+    case Opcode::BE32:
+    case Opcode::BE64: return 1.5 * kCycle;  // bswap
+    case Opcode::LDXB:
+    case Opcode::LDXH:
+    case Opcode::LDXW:
+    case Opcode::LDXDW: return 4 * kCycle;   // L1 hit
+    case Opcode::STXB:
+    case Opcode::STXH:
+    case Opcode::STXW:
+    case Opcode::STXDW:
+    case Opcode::STB:
+    case Opcode::STH:
+    case Opcode::STW:
+    case Opcode::STDW: return 2 * kCycle;    // store buffer
+    case Opcode::XADD32:
+    case Opcode::XADD64: return 17 * kCycle; // locked RMW
+    case Opcode::CALL: return helper_cost_ns(insn.imm);
+    case Opcode::LDDW:
+    case Opcode::LDMAPFD: return 1 * kCycle;
+    case Opcode::EXIT: return 2 * kCycle;
+    case Opcode::NOP: return 0;
+    default: return 1 * kCycle;
+  }
+}
+
+double static_program_cost_ns(const ebpf::Program& prog) {
+  double total = 0;
+  for (const auto& insn : prog.insns) total += insn_cost_ns(insn);
+  return total;
+}
+
+}  // namespace k2::sim

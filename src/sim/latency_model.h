@@ -1,0 +1,30 @@
+// Per-opcode latency model (§3.2): the paper profiles every BPF opcode by
+// executing it millions of times on the target and uses the per-opcode
+// average exec(i) to estimate candidate latency (running candidates in the
+// kernel is impossible — the checker would reject most of them).
+//
+// We calibrate the table to x86_64-JIT-like costs on the paper's 2.4 GHz
+// Broadwell DUT (1 cycle ≈ 0.42 ns): single-cycle ALU, multi-cycle
+// multiply/divide, L1-hit loads, and measured-scale helper costs (hash-map
+// lookup dominated by hashing + bucket walk, etc.). Absolute numbers are
+// synthetic; the *relative* ordering across opcodes matches the hardware,
+// which is what the latency cost function needs.
+#pragma once
+
+#include "ebpf/program.h"
+
+namespace k2::sim {
+
+// Estimated execution cost of one instruction in nanoseconds. CALL costs
+// depend on the helper (imm).
+double insn_cost_ns(const ebpf::Insn& insn);
+
+// The paper's perf_lat(p): sum of exec(i) over all (non-NOP) instructions,
+// a purely static estimate used inside the search loop.
+double static_program_cost_ns(const ebpf::Program& prog);
+
+// Fixed per-packet driver/XDP dispatch overhead added on top of program
+// execution when simulating the testbed (RX descriptor handling, ...).
+constexpr double kDriverOverheadNs = 180.0;
+
+}  // namespace k2::sim

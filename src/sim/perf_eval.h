@@ -1,0 +1,26 @@
+// Trace-based per-packet cost: run a program over a workload in the
+// interpreter, price every executed instruction with the latency model, and
+// average. This is the "measured" side of the evaluation (Tables 2/3,
+// Fig. 2): where the paper runs the XDP program on hardware under T-Rex
+// load, we run it in the interpreter under a synthetic packet workload.
+#pragma once
+
+#include <vector>
+
+#include "ebpf/program.h"
+#include "interp/state.h"
+
+namespace k2::sim {
+
+// Deterministic synthetic workload for a program: `n` packet inputs with
+// varying sizes/headers plus map pre-population so lookups hit ~hit_rate.
+std::vector<interp::InputSpec> make_workload(const ebpf::Program& prog,
+                                             int n, uint64_t seed,
+                                             double hit_rate = 0.75);
+
+// Average per-packet service time (ns), including the fixed driver
+// overhead. Faulting inputs are skipped (safe programs never fault).
+double avg_packet_cost_ns(const ebpf::Program& prog,
+                          const std::vector<interp::InputSpec>& workload);
+
+}  // namespace k2::sim

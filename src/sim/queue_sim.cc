@@ -1,0 +1,71 @@
+#include "sim/queue_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <random>
+
+namespace k2::sim {
+
+LoadPoint simulate_load(double service_ns, double offered_mpps,
+                        const QueueSimOptions& opts) {
+  LoadPoint res;
+  res.offered_mpps = offered_mpps;
+  if (offered_mpps <= 0 || service_ns <= 0) return res;
+
+  std::mt19937_64 rng(opts.seed);
+  const double mean_interarrival_ns = 1000.0 / offered_mpps;  // ns per pkt
+  std::exponential_distribution<double> exp_dist(1.0 / mean_interarrival_ns);
+
+  // FIFO single server with a drop-tail ring: a packet arriving when
+  // `ring_size` packets are still in the system is dropped.
+  std::deque<double> departures;  // departure times of in-flight packets
+  double now = 0;
+  double server_free_at = 0;
+  uint64_t arrived = 0, dropped = 0, served = 0;
+  double latency_sum = 0;
+  uint64_t measured = 0;
+
+  for (uint64_t i = 0; i < opts.packets; ++i) {
+    now += exp_dist(rng);
+    arrived++;
+    while (!departures.empty() && departures.front() <= now)
+      departures.pop_front();
+    if (departures.size() >= opts.ring_size) {
+      dropped++;
+      continue;
+    }
+    double start = std::max(now, server_free_at);
+    double depart = start + service_ns;
+    server_free_at = depart;
+    departures.push_back(depart);
+    served++;
+    if (i >= opts.warmup) {
+      latency_sum += depart - now;
+      measured++;
+    }
+  }
+
+  res.drop_rate = arrived ? double(dropped) / double(arrived) : 0;
+  res.throughput_mpps = now > 0 ? double(served) * 1000.0 / now : 0;
+  res.avg_latency_us = measured ? latency_sum / double(measured) / 1000.0 : 0;
+  return res;
+}
+
+double find_mlffr(double service_ns, double loss_tolerance,
+                  const QueueSimOptions& opts) {
+  // Capacity bound: 1/service. Binary-search offered load below it.
+  double hi = 1000.0 / service_ns * 1.05;
+  double lo = 0.01;
+  for (int iter = 0; iter < 18; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    LoadPoint p = simulate_load(service_ns, mid, opts);
+    if (p.drop_rate <= loss_tolerance)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace k2::sim

@@ -1,0 +1,41 @@
+// Discrete-event simulation of the single-core XDP datapath — the repo's
+// substitute for the paper's CloudLab testbed (T-Rex traffic generator +
+// Mellanox CX-4 DUT, Fig. 2 of the paper; see DESIGN.md §1).
+//
+// Model: Poisson packet arrivals at an offered load, a finite RX descriptor
+// ring (drop-tail), and deterministic per-packet service time obtained from
+// the interpreter + latency model. This is an M/D/1/K queue; it reproduces
+// the latency-vs-load curve shape the paper measures (flat at low load, a
+// knee near capacity, saturation at the ring-bound latency) and the MLFFR
+// (RFC 2544) methodology: the largest offered load with (near-)zero loss.
+#pragma once
+
+#include <cstdint>
+
+namespace k2::sim {
+
+struct LoadPoint {
+  double offered_mpps = 0;
+  double throughput_mpps = 0;
+  double avg_latency_us = 0;
+  double drop_rate = 0;  // fraction of packets dropped
+};
+
+struct QueueSimOptions {
+  uint32_t ring_size = 512;       // RX descriptor ring (drop-tail)
+  uint64_t packets = 200'000;     // simulated packets per measurement
+  uint64_t warmup = 10'000;       // ignored for statistics
+  uint64_t seed = 0x5eed;
+};
+
+// Simulates one offered load (millions of packets per second) against a
+// deterministic per-packet service time (nanoseconds).
+LoadPoint simulate_load(double service_ns, double offered_mpps,
+                        const QueueSimOptions& opts = {});
+
+// Maximum loss-free forwarding rate (RFC 2544): binary search for the
+// largest offered load whose drop rate stays below `loss_tolerance`.
+double find_mlffr(double service_ns, double loss_tolerance = 0.001,
+                  const QueueSimOptions& opts = {});
+
+}  // namespace k2::sim

@@ -1,0 +1,47 @@
+#include "verify/cache.h"
+
+#include "analysis/dce.h"
+
+namespace k2::verify {
+
+uint64_t EqCache::key_for(const ebpf::Program& src,
+                          const ebpf::Program& cand) {
+  uint64_t h1 = analysis::program_hash(src);
+  uint64_t h2 = analysis::program_hash(analysis::canonicalize(cand));
+  // 64-bit mix (xorshift-multiply) of the two hashes.
+  uint64_t x = h1 ^ (h2 + 0x9e3779b97f4a7c15ull + (h1 << 6) + (h1 >> 2));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+
+std::optional<Verdict> EqCache::lookup(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    stats_.misses++;
+    return std::nullopt;
+  }
+  stats_.hits++;
+  return it->second;
+}
+
+void EqCache::insert(uint64_t key, Verdict v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.insertions++;
+  map_[key] = v;
+}
+
+EqCache::Stats EqCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void EqCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace k2::verify

@@ -1,0 +1,44 @@
+// Equivalence-checking outcome cache (optimization V, §5): candidates are
+// canonicalized by dead-code elimination, hashed, and looked up before any
+// solver call. The paper reports ≥93% of would-be solver queries eliminated
+// (Table 6); bench/table6_cache reproduces the measurement.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "ebpf/program.h"
+#include "verify/eqchecker.h"
+
+namespace k2::verify {
+
+class EqCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    double hit_rate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : double(hits) / double(total);
+    }
+  };
+
+  // Cache key: hash of the canonicalized candidate mixed with the source
+  // program's hash (one logical cache per source program).
+  static uint64_t key_for(const ebpf::Program& src, const ebpf::Program& cand);
+
+  std::optional<Verdict> lookup(uint64_t key);
+  void insert(uint64_t key, Verdict v);
+  Stats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Verdict> map_;
+  Stats stats_;
+};
+
+}  // namespace k2::verify

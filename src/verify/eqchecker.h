@@ -1,0 +1,50 @@
+// Full-program equivalence checking (§4): dispatches the satisfiability
+// query "inputs equal ∧ both programs' input-output behaviour ∧ outputs
+// differ" to Z3. SAT yields a counterexample input (converted back to an
+// interpreter InputSpec and added to the test suite by the search loop);
+// UNSAT proves input-output equivalence.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ebpf/program.h"
+#include "interp/state.h"
+#include "verify/encoder.h"
+
+namespace k2::verify {
+
+enum class Verdict : uint8_t {
+  EQUAL,
+  NOT_EQUAL,
+  UNKNOWN,      // solver timeout / gave up
+  ENCODE_FAIL,  // candidate not encodable (untypeable access etc.)
+};
+
+const char* verdict_name(Verdict v);
+
+struct EqOptions {
+  EncoderOpts enc;
+  unsigned timeout_ms = 20000;
+};
+
+struct EqResult {
+  Verdict verdict = Verdict::UNKNOWN;
+  std::optional<interp::InputSpec> cex;  // present when NOT_EQUAL
+  double encode_ms = 0;
+  double solve_ms = 0;
+  std::string detail;
+};
+
+// Checks input-output equivalence of `src` and `cand`. The two programs must
+// share the hook type and map definitions (candidates are rewrites of the
+// source, so they always do). Programs are assumed safe — the safety checker
+// runs first in the search loop (§6), so faults need not be modeled.
+EqResult check_equivalence(const ebpf::Program& src, const ebpf::Program& cand,
+                           const EqOptions& opts = {});
+
+// Extracts a concrete InputSpec from a model (also used by the safety
+// checker for safety counterexamples).
+interp::InputSpec input_from_model(const World& world, z3::model& model);
+
+}  // namespace k2::verify

@@ -1,0 +1,38 @@
+// Modular (window-based) verification — optimization IV (§5, App. C.2).
+//
+// A window is a contiguous straight-line instruction range inside one basic
+// block. The candidate program differs from the original only inside the
+// window. Verification uses a *stronger precondition* than a peephole
+// optimizer — live-in equality plus the concrete valuations inferred by the
+// static analysis (register values, pointer region/offsets at the window
+// boundary) — and a *weaker postcondition*: only variables live out of the
+// window (registers and stack bytes), plus externally-visible memory
+// (packet, map state), must agree.
+#pragma once
+
+#include "ebpf/insn.h"
+#include "verify/eqchecker.h"
+
+namespace k2::verify {
+
+struct WindowSpec {
+  int start = 0;  // [start, end) instruction indices in the original program
+  int end = 0;
+};
+
+// Selects windows for a program: maximal straight-line ranges within basic
+// blocks, chopped to at most `max_insns` instructions.
+std::vector<WindowSpec> select_windows(const ebpf::Program& prog,
+                                       int max_insns);
+
+// Checks whether replacing `win` of `orig` with `replacement` (straight-line
+// instructions; jumps/exit/adjust_head unsupported) preserves the program's
+// behaviour under the window verification conditions. ENCODE_FAIL is
+// returned for unsupported shapes — the caller falls back to full-program
+// equivalence checking.
+EqResult check_window_equivalence(const ebpf::Program& orig,
+                                  const WindowSpec& win,
+                                  const std::vector<ebpf::Insn>& replacement,
+                                  const EqOptions& opts = {});
+
+}  // namespace k2::verify

@@ -1,0 +1,77 @@
+// Z3 instantiation of the shared instruction semantics (ebpf/semantics.h).
+// The same templated alu_apply/jmp_test that drive the interpreter drive
+// this backend, so the interpreter and the verification-condition generator
+// cannot drift apart (§7).
+#pragma once
+
+#include <z3++.h>
+
+#include <cstdint>
+
+namespace k2::verify {
+
+struct Z3Backend {
+  z3::context& c;
+  using V = z3::expr;
+  using B = z3::expr;
+
+  explicit Z3Backend(z3::context& ctx) : c(ctx) {}
+
+  V const_(uint64_t v) { return c.bv_val(v, 64); }
+  V add(V a, V b) { return a + b; }
+  V sub(V a, V b) { return a - b; }
+  V mul(V a, V b) { return a * b; }
+  V udiv_total(V a, V b) {
+    return z3::ite(b == const_(0), const_(0), z3::udiv(a, b));
+  }
+  V urem_total(V a, V b) { return z3::ite(b == const_(0), a, z3::urem(a, b)); }
+  V and_(V a, V b) { return a & b; }
+  V or_(V a, V b) { return a | b; }
+  V xor_(V a, V b) { return a ^ b; }
+  V shl(V a, V b) { return z3::shl(a, b); }
+  V lshr(V a, V b) { return z3::lshr(a, b); }
+  V ashr(V a, V b) { return z3::ashr(a, b); }
+  V lo32(V a) { return z3::zext(a.extract(31, 0), 32); }
+  V sext_lo32(V a) { return z3::sext(a.extract(31, 0), 32); }
+  V bswap16(V a) {
+    return z3::zext(z3::concat(a.extract(7, 0), a.extract(15, 8)), 48);
+  }
+  V bswap32(V a) {
+    return z3::zext(
+        z3::concat(z3::concat(a.extract(7, 0), a.extract(15, 8)),
+                   z3::concat(a.extract(23, 16), a.extract(31, 24))),
+        32);
+  }
+  V bswap64(V a) {
+    z3::expr lo = z3::concat(z3::concat(a.extract(7, 0), a.extract(15, 8)),
+                             z3::concat(a.extract(23, 16), a.extract(31, 24)));
+    z3::expr hi =
+        z3::concat(z3::concat(a.extract(39, 32), a.extract(47, 40)),
+                   z3::concat(a.extract(55, 48), a.extract(63, 56)));
+    return z3::concat(lo, hi);
+  }
+
+  B eq(V a, V b) { return a == b; }
+  B ne(V a, V b) { return a != b; }
+  B ult(V a, V b) { return z3::ult(a, b); }
+  B ule(V a, V b) { return z3::ule(a, b); }
+  B ugt(V a, V b) { return z3::ugt(a, b); }
+  B uge(V a, V b) { return z3::uge(a, b); }
+  B slt(V a, V b) { return a < b; }
+  B sle(V a, V b) { return a <= b; }
+  B sgt(V a, V b) { return a > b; }
+  B sge(V a, V b) { return a >= b; }
+  B set(V a, V b) { return (a & b) != const_(0); }
+
+  V ite(B cond, V a, V b) { return z3::ite(cond, a, b); }
+
+  // splitmix64, the prandom sequence generator shared with the interpreter.
+  V splitmix(V x) {
+    x = x + const_(0x9e3779b97f4a7c15ull);
+    x = (x ^ lshr(x, const_(30))) * const_(0xbf58476d1ce4e5b9ull);
+    x = (x ^ lshr(x, const_(27))) * const_(0x94d049bb133111ebull);
+    return x ^ lshr(x, const_(31));
+  }
+};
+
+}  // namespace k2::verify

@@ -1,0 +1,160 @@
+// Wire-format codec: encode/decode round trips across every instruction
+// shape (the paper flags binary encode/decode as a classic bug source, §7).
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "ebpf/assembler.h"
+#include "ebpf/bytecode.h"
+#include "interp/interpreter.h"
+#include "sim/perf_eval.h"
+
+namespace k2::ebpf {
+namespace {
+
+void expect_round_trip(const Program& p) {
+  std::vector<WireInsn> wire = encode_wire(p);
+  Program back = decode_wire(wire, p.type, p.maps);
+  ASSERT_EQ(back.insns.size(), p.insns.size());
+  for (size_t i = 0; i < p.insns.size(); ++i)
+    EXPECT_EQ(back.insns[i], p.insns[i]) << "insn " << i << ": "
+                                         << to_string(p.insns[i]);
+  // Byte-level round trip too.
+  std::vector<uint8_t> bytes = to_bytes(wire);
+  EXPECT_EQ(bytes.size(), wire.size() * 8);
+  Program back2 = decode_wire(from_bytes(bytes), p.type, p.maps);
+  EXPECT_EQ(back2.insns, p.insns);
+}
+
+TEST(BytecodeTest, AllShapesRoundTrip) {
+  expect_round_trip(assemble(R"(
+    mov64 r1, -42
+    add64 r1, r2
+    sub32 r3, 7
+    mul32 r4, r5
+    div64 r1, 3
+    mod32 r2, 5
+    or64 r1, r2
+    and32 r3, 0xff
+    xor64 r4, r5
+    lsh64 r1, 3
+    rsh32 r2, 1
+    arsh64 r3, 2
+    neg64 r1
+    neg32 r2
+    be16 r3
+    be32 r4
+    be64 r5
+    le16 r3
+    le32 r4
+    le64 r5
+    ldxb r1, [r2+1]
+    ldxh r1, [r2+2]
+    ldxw r1, [r2+4]
+    ldxdw r1, [r2+8]
+    stxb [r10-1], r1
+    stxh [r10-2], r1
+    stxw [r10-4], r1
+    stxdw [r10-8], r1
+    stb [r10-1], 7
+    sth [r10-2], 7
+    stw [r10-4], 7
+    stdw [r10-8], 7
+    xadd32 [r10-4], r1
+    xadd64 [r10-8], r1
+    call 5
+    mov64 r0, 0
+    exit
+  )"));
+}
+
+TEST(BytecodeTest, DoubleSlotImmediates) {
+  Program p = assemble(
+      "lddw r1, 0x1122334455667788\n"
+      "lddw r2, -1\n"
+      "ldmapfd r3, 0\n"
+      "mov64 r0, 0\n"
+      "exit\n",
+      ProgType::XDP, {MapDef{"m", MapKind::HASH, 4, 8, 4}});
+  std::vector<WireInsn> wire = encode_wire(p);
+  EXPECT_EQ(wire.size(), 8u);  // 3 double-slot + 2 single
+  // Pseudo-map-fd marker present on the map load only.
+  EXPECT_EQ(wire[4].src_reg, 1);
+  EXPECT_EQ(wire[0].src_reg, 0);
+  expect_round_trip(p);
+}
+
+TEST(BytecodeTest, JumpOffsetsRetargetAcrossDoubleSlots) {
+  // A jump over an LDDW spans 3 wire slots but 2 logical instructions.
+  Program p = assemble(
+      "jeq r1, 0, tgt\n"
+      "lddw r2, 0x123456789a\n"
+      "mov64 r0, 1\n"
+      "tgt:\n"
+      "mov64 r0, 2\n"
+      "exit\n");
+  std::vector<WireInsn> wire = encode_wire(p);
+  EXPECT_EQ(wire[0].off, 3);  // wire offset spans the extra slot
+  Program back = decode_wire(wire);
+  EXPECT_EQ(back.insns[0].off, 2);  // logical offset restored
+  expect_round_trip(p);
+}
+
+TEST(BytecodeTest, RejectsNops) {
+  Program p = assemble("nop\nmov64 r0, 0\nexit\n");
+  EXPECT_THROW(encode_wire(p), std::invalid_argument);
+  EXPECT_NO_THROW(encode_wire(p.strip_nops()));
+}
+
+TEST(BytecodeTest, DecodeErrors) {
+  std::vector<WireInsn> bad(1);
+  bad[0].opcode = 0xff;
+  EXPECT_THROW(decode_wire(bad), DecodeError);
+  // Truncated LDDW pair.
+  Program p = assemble("lddw r1, 5\nexit\n");
+  std::vector<WireInsn> wire = encode_wire(p);
+  wire.pop_back();  // drop exit
+  wire.pop_back();  // drop hi slot
+  EXPECT_THROW(decode_wire(wire), DecodeError);
+  EXPECT_THROW(from_bytes(std::vector<uint8_t>(7)), DecodeError);
+}
+
+TEST(BytecodeTest, KnownKernelOpcodes) {
+  // Spot-check opcode bytes against the Linux UAPI values.
+  Program p = assemble(
+      "add64 r1, r2\n"    // BPF_ALU64|BPF_X|BPF_ADD = 0x0f
+      "mov64 r1, 5\n"     // BPF_ALU64|BPF_K|BPF_MOV = 0xb7
+      "ldxw r1, [r2+0]\n" // BPF_LDX|BPF_MEM|BPF_W  = 0x61
+      "stxdw [r10-8], r1\n" // BPF_STX|BPF_MEM|BPF_DW = 0x7b
+      "jeq r1, 0, +0\n"   // BPF_JMP|BPF_K|BPF_JEQ  = 0x15
+      "exit\n");          // BPF_JMP|BPF_EXIT       = 0x95
+  std::vector<WireInsn> wire = encode_wire(p);
+  EXPECT_EQ(wire[0].opcode, 0x0f);
+  EXPECT_EQ(wire[1].opcode, 0xb7);
+  EXPECT_EQ(wire[2].opcode, 0x61);
+  EXPECT_EQ(wire[3].opcode, 0x7b);
+  EXPECT_EQ(wire[4].opcode, 0x15);
+  EXPECT_EQ(wire[5].opcode, 0x95);
+}
+
+class CorpusWireSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusWireSweep, CorpusRoundTripsAndBehavesIdentically) {
+  const corpus::Benchmark& b =
+      corpus::all_benchmarks()[size_t(GetParam())];
+  Program stripped = b.o2.strip_nops();
+  std::vector<WireInsn> wire = encode_wire(stripped);
+  Program back = decode_wire(wire, stripped.type, stripped.maps);
+  EXPECT_EQ(back.insns, stripped.insns) << b.name;
+  // Behaviour is preserved through the codec.
+  for (const auto& in : sim::make_workload(stripped, 4, 0x51)) {
+    interp::RunResult r1 = interp::run(stripped, in);
+    interp::RunResult r2 = interp::run(back, in);
+    EXPECT_TRUE(interp::outputs_equal(stripped.type, r1, r2)) << b.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CorpusWireSweep,
+                         ::testing::Range(0, 19));
+
+}  // namespace
+}  // namespace k2::ebpf

@@ -1,0 +1,125 @@
+// End-to-end compiler driver: parallel chains, top-k, final re-verification
+// and kernel-checker post-processing (§6, §8).
+#include <gtest/gtest.h>
+
+#include "analysis/dce.h"
+#include "core/compiler.h"
+#include "ebpf/assembler.h"
+#include "interp/interpreter.h"
+#include "kernel/kernel_checker.h"
+
+namespace k2::core {
+namespace {
+
+using ebpf::assemble;
+
+CompileOptions quick_opts(uint64_t iters = 4000, int chains = 2) {
+  CompileOptions o;
+  o.iters_per_chain = iters;
+  o.num_chains = chains;
+  o.threads = 2;
+  o.eq.timeout_ms = 5000;
+  return o;
+}
+
+TEST(CompilerTest, OptimizesAndVerifiesSimpleProgram) {
+  ebpf::Program src = assemble(
+      "mov64 r3, 9\n"
+      "mov64 r4, r3\n"
+      "mov64 r5, r4\n"
+      "mov64 r0, 1\n"
+      "exit\n");
+  CompileResult res = compile(src, quick_opts());
+  ASSERT_TRUE(res.improved);
+  EXPECT_LT(res.best_perf, res.src_perf);
+  EXPECT_GE(res.kernel_accepted, 1);
+  EXPECT_EQ(res.kernel_rejected, 0);
+  // The output is a drop-in replacement: formally equal + checker-accepted.
+  EXPECT_EQ(verify::check_equivalence(src, res.best).verdict,
+            verify::Verdict::EQUAL);
+  EXPECT_TRUE(kernel::kernel_check(res.best).accepted);
+  // And behaviourally identical on fresh tests.
+  for (const auto& t : generate_tests(src, 16, 999)) {
+    auto a = interp::run(src, t);
+    auto b = interp::run(res.best, t);
+    EXPECT_TRUE(interp::outputs_equal(src.type, a, b));
+  }
+}
+
+TEST(CompilerTest, NoImprovementReturnsSource) {
+  ebpf::Program src = assemble("mov64 r0, 1\nexit\n");  // already minimal
+  CompileResult res = compile(src, quick_opts(1500));
+  EXPECT_FALSE(res.improved);
+  EXPECT_EQ(res.best.insns, src.strip_nops().insns);
+}
+
+TEST(CompilerTest, LatencyGoalPrefersCheaperOpcodes) {
+  // r0 = r6 * 8 with a known power of two: the latency goal should find
+  // shift or equivalent cheaper forms (mul is 3 cycles, shift 1).
+  ebpf::Program src = assemble(
+      "ldxdw r2, [r1+0]\n"
+      "ldxdw r3, [r1+8]\n"
+      "mov64 r4, r2\n"
+      "add64 r4, 2\n"
+      "jgt r4, r3, out\n"
+      "ldxb r6, [r2+0]\n"
+      "mul64 r6, 8\n"
+      "mov64 r0, r6\n"
+      "exit\n"
+      "out:\n"
+      "mov64 r0, 0\n"
+      "exit\n");
+  CompileOptions o = quick_opts(12000, 2);
+  o.goal = Goal::LATENCY;
+  CompileResult res = compile(src, o);
+  if (res.improved) {
+    EXPECT_LT(res.best_perf, res.src_perf);
+    EXPECT_EQ(verify::check_equivalence(src, res.best).verdict,
+              verify::Verdict::EQUAL);
+  }
+  // At minimum the driver must not regress the program.
+  EXPECT_LE(res.best_perf, res.src_perf);
+}
+
+TEST(CompilerTest, TopKAreDistinctVerifiedPrograms) {
+  ebpf::Program src = assemble(
+      "mov64 r3, 1\n"
+      "mov64 r4, 2\n"
+      "mov64 r5, 3\n"
+      "mov64 r0, 0\n"
+      "exit\n");
+  CompileOptions o = quick_opts(6000, 3);
+  o.top_k = 3;
+  CompileResult res = compile(src, o);
+  std::set<uint64_t> hashes;
+  for (const auto& p : res.top_k) {
+    EXPECT_EQ(verify::check_equivalence(src, p).verdict,
+              verify::Verdict::EQUAL);
+    hashes.insert(analysis::program_hash(p));
+  }
+  EXPECT_EQ(hashes.size(), res.top_k.size());  // deduped
+}
+
+TEST(CompilerTest, GenerateTestsIsDeterministic) {
+  ebpf::Program src = assemble("mov64 r0, 0\nexit\n");
+  auto a = generate_tests(src, 10, 42);
+  auto b = generate_tests(src, 10, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].packet, b[i].packet);
+    EXPECT_EQ(a[i].prandom_seed, b[i].prandom_seed);
+  }
+  auto c = generate_tests(src, 10, 43);
+  EXPECT_NE(a[0].packet, c[0].packet);
+}
+
+TEST(CompilerTest, CacheStatsReported) {
+  ebpf::Program src = assemble("mov64 r3, 9\nmov64 r0, 1\nexit\n");
+  CompileResult res = compile(src, quick_opts(3000, 2));
+  EXPECT_GT(res.cache.hits + res.cache.misses, 0u);
+  EXPECT_GT(res.total_proposals, 0u);
+  EXPECT_GT(res.final_tests, 0u);
+}
+
+}  // namespace
+}  // namespace k2::core

@@ -1,0 +1,115 @@
+// Corpus validity: all 19 benchmarks must assemble, execute fault-free on
+// generated workloads, pass K2's safety checker and the kernel checker
+// (except the deliberately-DNL balancer -O1), and be encodable for
+// equivalence checking.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "corpus/corpus.h"
+#include "interp/interpreter.h"
+#include "kernel/kernel_checker.h"
+#include "safety/safety.h"
+#include "sim/perf_eval.h"
+#include "verify/eqchecker.h"
+
+namespace k2::corpus {
+namespace {
+
+class CorpusSweep : public ::testing::TestWithParam<int> {
+ protected:
+  const Benchmark& bench() const {
+    return all_benchmarks()[size_t(GetParam())];
+  }
+};
+
+TEST_P(CorpusSweep, HasNineteenEntries) {
+  ASSERT_EQ(all_benchmarks().size(), 19u);
+}
+
+TEST_P(CorpusSweep, RunsFaultFreeOnWorkloads) {
+  const Benchmark& b = bench();
+  auto workload = sim::make_workload(b.o2, 24, 0x77);
+  for (const auto& in : workload) {
+    interp::RunResult r2 = interp::run(b.o2, in);
+    EXPECT_TRUE(r2.ok()) << b.name << " -O2: " << interp::fault_name(r2.fault)
+                         << " @" << r2.fault_pc;
+  }
+  for (const auto& t : core::generate_tests(b.o2, 12, 0x99)) {
+    interp::RunResult r = interp::run(b.o2, t);
+    EXPECT_TRUE(r.ok()) << b.name << ": " << interp::fault_name(r.fault)
+                        << " @" << r.fault_pc;
+  }
+}
+
+TEST_P(CorpusSweep, O1AndO2AreBehaviourallyEquivalent) {
+  const Benchmark& b = bench();
+  if (b.name == "xdp-balancer") GTEST_SKIP() << "-O1 is deliberately DNL";
+  for (const auto& in : sim::make_workload(b.o2, 16, 0x13)) {
+    interp::RunResult r1 = interp::run(b.o1, in);
+    interp::RunResult r2 = interp::run(b.o2, in);
+    EXPECT_TRUE(interp::outputs_equal(b.o2.type, r1, r2)) << b.name;
+  }
+}
+
+TEST_P(CorpusSweep, PassesK2SafetyChecker) {
+  const Benchmark& b = bench();
+  safety::SafetyOptions opts;
+  // The balancer's whole-program solver queries are exercised in benches;
+  // keep unit tests fast with static checks for it.
+  opts.run_solver_checks = b.o2.insns.size() < 300;
+  safety::SafetyResult r = safety::check_safety(b.o2, opts);
+  EXPECT_TRUE(r.safe) << b.name << ": " << r.reason << " @" << r.insn;
+}
+
+TEST_P(CorpusSweep, PassesKernelChecker) {
+  const Benchmark& b = bench();
+  kernel::CheckResult r = kernel::kernel_check(b.o2);
+  EXPECT_TRUE(r.accepted) << b.name << ": " << r.reason << " @" << r.insn;
+  if (b.name != "xdp-balancer") {
+    kernel::CheckResult r1 = kernel::kernel_check(b.o1);
+    EXPECT_TRUE(r1.accepted) << b.name << " -O1: " << r1.reason;
+  }
+}
+
+TEST_P(CorpusSweep, SelfEquivalenceEncodes) {
+  const Benchmark& b = bench();
+  if (b.o2.insns.size() > 200)
+    GTEST_SKIP() << "large program: covered by window tests / benches";
+  verify::EqResult r = verify::check_equivalence(b.o2, b.o2);
+  EXPECT_EQ(r.verdict, verify::Verdict::EQUAL)
+      << b.name << ": " << r.detail;
+}
+
+TEST_P(CorpusSweep, SizesAreInPaperBallpark) {
+  const Benchmark& b = bench();
+  if (b.paper_o2 <= 0) return;
+  double ratio = double(b.o2.size_slots()) / double(b.paper_o2);
+  EXPECT_GT(ratio, 0.5) << b.name << " too small vs paper";
+  EXPECT_LT(ratio, 2.0) << b.name << " too large vs paper";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CorpusSweep, ::testing::Range(0, 19));
+
+TEST(CorpusTest, LookupByName) {
+  EXPECT_EQ(benchmark("xdp_fwd").origin, "linux");
+  EXPECT_EQ(benchmark("xdp_pktcntr").origin, "facebook");
+  EXPECT_EQ(benchmark("xdp_fw").origin, "hxdp");
+  EXPECT_EQ(benchmark("recvmsg4").origin, "cilium");
+  EXPECT_THROW(benchmark("nope"), std::out_of_range);
+}
+
+TEST(CorpusTest, BalancerIsPaperScale) {
+  const Benchmark& b = benchmark("xdp-balancer");
+  EXPECT_GT(b.o2.size_slots(), 1500);
+  EXPECT_LT(b.o2.size_slots(), 2300);
+}
+
+TEST(CorpusTest, TracepointBenchmarksUseTracepointHook) {
+  EXPECT_EQ(benchmark("xdp_exception").o2.type, ebpf::ProgType::TRACEPOINT);
+  EXPECT_EQ(benchmark("sys_enter_open").o2.type, ebpf::ProgType::TRACEPOINT);
+  EXPECT_EQ(benchmark("socket/0").o2.type, ebpf::ProgType::SOCKET_FILTER);
+  EXPECT_EQ(benchmark("xdp_fwd").o2.type, ebpf::ProgType::XDP);
+}
+
+}  // namespace
+}  // namespace k2::corpus

@@ -1,0 +1,127 @@
+// Cost functions (§3.2): error-cost variants, diff functions, performance
+// costs, test suite behaviour.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "core/cost.h"
+#include "ebpf/assembler.h"
+#include "sim/latency_model.h"
+
+namespace k2::core {
+namespace {
+
+using ebpf::assemble;
+
+TEST(TestSuiteTest, SrcOutputsCachedAndDiffZeroOnSelf) {
+  ebpf::Program src = assemble("mov64 r0, 7\nexit\n");
+  TestSuite suite(src, generate_tests(src, 8, 1));
+  TestEval ev = run_tests(suite, src, SearchParams::Diff::ABS);
+  EXPECT_TRUE(ev.all_passed);
+  EXPECT_EQ(ev.diff_sum, 0.0);
+  EXPECT_EQ(ev.passed, int(suite.size()));
+}
+
+TEST(TestSuiteTest, DiffAbsVersusPop) {
+  ebpf::Program src = assemble("mov64 r0, 0\nexit\n");
+  ebpf::Program off_by_128 = assemble("mov64 r0, 128\nexit\n");
+  TestSuite suite(src, generate_tests(src, 4, 1));
+  TestEval abs = run_tests(suite, off_by_128, SearchParams::Diff::ABS);
+  TestEval pop = run_tests(suite, off_by_128, SearchParams::Diff::POP);
+  // |128-0| = 128 per test; popcount(128^0) = 1 per test.
+  EXPECT_EQ(abs.diff_sum, 128.0 * double(suite.size()));
+  EXPECT_EQ(pop.diff_sum, 1.0 * double(suite.size()));
+}
+
+TEST(TestSuiteTest, FaultsArePenalized) {
+  ebpf::Program src = assemble("mov64 r0, 0\nexit\n");
+  // Unconditional OOB stack read faults on every input.
+  ebpf::Program faulty = assemble("ldxdw r0, [r10+8]\nexit\n");
+  TestSuite suite(src, generate_tests(src, 4, 1));
+  TestEval ev = run_tests(suite, faulty, SearchParams::Diff::ABS);
+  EXPECT_FALSE(ev.all_passed);
+  EXPECT_GE(ev.diff_sum, TestSuite::kFaultPenalty * double(suite.size()));
+}
+
+TEST(TestSuiteTest, SideEffectsCount) {
+  ebpf::Program src = assemble(
+      "ldxdw r2, [r1+0]\n"
+      "ldxdw r3, [r1+8]\n"
+      "mov64 r4, r2\n"
+      "add64 r4, 1\n"
+      "jgt r4, r3, out\n"
+      "stb [r2+0], 1\n"
+      "out:\nmov64 r0, 0\nexit\n");
+  ebpf::Program no_write = assemble("mov64 r0, 0\nexit\n");
+  TestSuite suite(src, generate_tests(src, 4, 1));
+  TestEval ev = run_tests(suite, no_write, SearchParams::Diff::ABS);
+  EXPECT_FALSE(ev.all_passed);  // differing packet byte
+}
+
+TEST(TestSuiteTest, AddDeduplicates) {
+  ebpf::Program src = assemble("mov64 r0, 0\nexit\n");
+  TestSuite suite(src, generate_tests(src, 4, 1));
+  size_t n = suite.size();
+  suite.add(suite.test(0));
+  EXPECT_EQ(suite.size(), n);
+  interp::InputSpec fresh;
+  fresh.packet.assign(20, 0x55);
+  suite.add(fresh);
+  EXPECT_EQ(suite.size(), n + 1);
+}
+
+TEST(ErrorCostTest, VariantsMatchEquationOne) {
+  SearchParams p;
+  TestEval ev;
+  ev.diff_sum = 10;
+  ev.failed = 2;
+  ev.passed = 6;
+  // c=1, num_tests=failed
+  p.avg_by_tests = false;
+  p.count_passed = false;
+  double full = error_cost(p, ev, /*unequal=*/true);
+  EXPECT_DOUBLE_EQ(full, 10 + 2 + 1);
+  // c = 1/|T|
+  p.avg_by_tests = true;
+  EXPECT_DOUBLE_EQ(error_cost(p, ev, true), 10.0 / 8 + 2 + 1);
+  // num_tests = passed
+  p.count_passed = true;
+  EXPECT_DOUBLE_EQ(error_cost(p, ev, true), 10.0 / 8 + 6 + 1);
+  // equal programs have zero cost
+  TestEval clean;
+  clean.all_passed = true;
+  clean.passed = 8;
+  EXPECT_DOUBLE_EQ(error_cost(p, clean, false), 0.0);
+}
+
+TEST(PerfCostTest, InstCountUsesSlots) {
+  ebpf::Program small = assemble("mov64 r0, 0\nexit\n");
+  ebpf::Program big = assemble("lddw r1, 5\nmov64 r0, 0\nexit\n");
+  EXPECT_DOUBLE_EQ(perf_cost(Goal::INST_COUNT, big, small), 2.0);  // lddw = 2
+  EXPECT_DOUBLE_EQ(perf_cost(Goal::INST_COUNT, small, big), -2.0);
+}
+
+TEST(PerfCostTest, LatencyUsesOpcodeModel) {
+  ebpf::Program cheap = assemble("mov64 r0, 0\nexit\n");
+  ebpf::Program pricey = assemble("mov64 r0, 0\ndiv64 r0, 3\nexit\n");
+  EXPECT_GT(perf_cost(Goal::LATENCY, pricey, cheap), 0.0);
+  // A div costs more than a mov in any sane model.
+  ebpf::Insn divi = pricey.insns[1];
+  ebpf::Insn movi = pricey.insns[0];
+  EXPECT_GT(sim::insn_cost_ns(divi), sim::insn_cost_ns(movi));
+}
+
+TEST(ParamsTest, SettingsAreWellFormed) {
+  auto t8 = table8_settings();
+  ASSERT_EQ(t8.size(), 5u);
+  for (const auto& s : t8) {
+    double total = s.p_insn_replace + s.p_operand_replace + s.p_nop_replace +
+                   s.p_mem_exchange1 + s.p_mem_exchange2 + s.p_contiguous;
+    EXPECT_NEAR(total, 1.0, 1e-9) << s.name;
+  }
+  auto all = default_settings();
+  EXPECT_GE(all.size(), 8u);
+  EXPECT_LE(all.size(), 16u);
+}
+
+}  // namespace
+}  // namespace k2::core

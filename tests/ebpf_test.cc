@@ -1,0 +1,214 @@
+// Unit tests for the ISA substrate: opcode tables, instruction printing,
+// assembler round-trips, NOP stripping, structural validation.
+#include <gtest/gtest.h>
+
+#include "ebpf/assembler.h"
+#include "ebpf/insn.h"
+#include "ebpf/program.h"
+
+namespace k2::ebpf {
+namespace {
+
+TEST(OpcodeTest, AluDecomposeComposeRoundTrip) {
+  for (int op = 0; op < 12; ++op) {
+    for (bool is64 : {true, false}) {
+      for (bool is_imm : {true, false}) {
+        Opcode o = compose_alu(static_cast<AluOp>(op), is64, is_imm);
+        AluShape s;
+        ASSERT_TRUE(decompose_alu(o, &s));
+        EXPECT_EQ(static_cast<int>(s.op), op);
+        EXPECT_EQ(s.is64, is64);
+        EXPECT_EQ(s.is_imm, is_imm);
+      }
+    }
+  }
+}
+
+TEST(OpcodeTest, JmpDecomposeComposeRoundTrip) {
+  for (int c = 0; c < 11; ++c) {
+    for (bool is_imm : {true, false}) {
+      Opcode o = compose_jmp(static_cast<JmpCond>(c), is_imm);
+      JmpShape s;
+      ASSERT_TRUE(decompose_jmp(o, &s));
+      EXPECT_EQ(static_cast<int>(s.cond), c);
+      EXPECT_EQ(s.is_imm, is_imm);
+    }
+  }
+}
+
+TEST(OpcodeTest, NonAluOpcodesDoNotDecomposeAsAlu) {
+  AluShape s;
+  EXPECT_FALSE(decompose_alu(Opcode::LDXW, &s));
+  EXPECT_FALSE(decompose_alu(Opcode::JA, &s));
+  EXPECT_FALSE(decompose_alu(Opcode::NEG64, &s));
+  EXPECT_FALSE(decompose_alu(Opcode::EXIT, &s));
+}
+
+TEST(OpcodeTest, ClassesAreConsistent) {
+  EXPECT_EQ(insn_class(Opcode::ADD64_IMM), InsnClass::ALU);
+  EXPECT_EQ(insn_class(Opcode::MOV32_REG), InsnClass::ALU);
+  EXPECT_EQ(insn_class(Opcode::BE16), InsnClass::ALU);
+  EXPECT_EQ(insn_class(Opcode::JA), InsnClass::JMP);
+  EXPECT_EQ(insn_class(Opcode::JSLE_REG), InsnClass::JMP);
+  EXPECT_EQ(insn_class(Opcode::LDXDW), InsnClass::LDX);
+  EXPECT_EQ(insn_class(Opcode::STW), InsnClass::ST);
+  EXPECT_EQ(insn_class(Opcode::XADD64), InsnClass::XADD);
+  EXPECT_EQ(insn_class(Opcode::LDMAPFD), InsnClass::LD_IMM);
+}
+
+TEST(OpcodeTest, MemWidths) {
+  EXPECT_EQ(mem_width(Opcode::LDXB), 1);
+  EXPECT_EQ(mem_width(Opcode::LDXH), 2);
+  EXPECT_EQ(mem_width(Opcode::STW), 4);
+  EXPECT_EQ(mem_width(Opcode::STXDW), 8);
+  EXPECT_EQ(mem_width(Opcode::XADD32), 4);
+  EXPECT_EQ(mem_width(Opcode::ADD64_IMM), 0);
+}
+
+TEST(OpcodeTest, DefUseMasks) {
+  Insn add{Opcode::ADD64_REG, 1, 2, 0, 0};
+  EXPECT_EQ(def_mask(add), 1u << 1);
+  EXPECT_EQ(use_mask(add), (1u << 1) | (1u << 2));
+
+  Insn mov{Opcode::MOV64_REG, 3, 4, 0, 0};
+  EXPECT_EQ(use_mask(mov), 1u << 4);  // MOV does not read dst
+
+  Insn call{Opcode::CALL, 0, 0, 0, 1};
+  EXPECT_EQ(def_mask(call) & 1u, 1u);       // defines r0
+  EXPECT_NE(def_mask(call) & (1u << 3), 0u);  // clobbers r1..r5
+
+  Insn exit{Opcode::EXIT, 0, 0, 0, 0};
+  EXPECT_EQ(use_mask(exit), 1u);
+
+  Insn stx{Opcode::STXW, 10, 3, -4, 0};
+  EXPECT_EQ(def_mask(stx), 0u);
+  EXPECT_EQ(use_mask(stx), (1u << 10) | (1u << 3));
+}
+
+TEST(AssemblerTest, RoundTripsAllShapes) {
+  const char* text = R"(
+    mov64 r1, 42
+    add64 r1, r2
+    sub32 r3, -7
+    neg64 r4
+    be16 r5
+    ldxw r2, [r1+4]
+    stxdw [r10-8], r2
+    stw [r10-16], 99
+    xadd64 [r1+0], r2
+    jeq r1, 0, out
+    jgt r1, r2, out
+    ja out
+    lddw r3, 0x1122334455
+    call 5
+  out:
+    mov64 r0, 0
+    exit
+  )";
+  ebpf::Program p = assemble(text);
+  EXPECT_EQ(p.insns.size(), 16u);
+  // Disassemble and re-assemble: must be instruction-identical.
+  ebpf::Program p2 = assemble(disassemble(p));
+  EXPECT_EQ(p.insns, p2.insns);
+}
+
+TEST(AssemblerTest, LabelsResolveForwardOffsets) {
+  ebpf::Program p = assemble(
+      "jeq r1, 0, skip\n"
+      "mov64 r0, 1\n"
+      "skip:\n"
+      "mov64 r0, 2\n"
+      "exit\n");
+  EXPECT_EQ(p.insns[0].off, 1);
+}
+
+TEST(AssemblerTest, NumericOffsetsWork) {
+  ebpf::Program p = assemble("ja +1\nmov64 r0, 0\nmov64 r0, 1\nexit\n");
+  EXPECT_EQ(p.insns[0].off, 1);
+}
+
+TEST(AssemblerTest, RejectsMalformedInput) {
+  EXPECT_THROW(assemble("bogus r1, r2\nexit\n"), AsmError);
+  EXPECT_THROW(assemble("mov64 r11, 0\nexit\n"), AsmError);
+  EXPECT_THROW(assemble("jeq r1, 0, nowhere\nexit\n"), AsmError);
+  EXPECT_THROW(assemble("mov64 r1\nexit\n"), AsmError);
+  EXPECT_THROW(assemble("mov64 r0, 0\n"), AsmError);  // no exit
+}
+
+TEST(AssemblerTest, CommentsAndBlankLines) {
+  ebpf::Program p = assemble(
+      "; leading comment\n"
+      "mov64 r0, 0  ; trailing\n"
+      "# hash comment\n"
+      "// slashes\n"
+      "exit\n");
+  EXPECT_EQ(p.insns.size(), 2u);
+}
+
+TEST(ProgramTest, SizeSlotsCountsDoubleWideAndSkipsNops) {
+  ebpf::Program p = assemble(
+      "lddw r1, 7\n"
+      "nop\n"
+      "mov64 r0, 0\n"
+      "exit\n");
+  EXPECT_EQ(p.size_slots(), 4);       // lddw counts as 2
+  EXPECT_EQ(p.num_real_insns(), 3);
+}
+
+TEST(ProgramTest, StripNopsRetargetsJumps) {
+  ebpf::Program p = assemble(
+      "jeq r1, 0, out\n"
+      "nop\n"
+      "nop\n"
+      "mov64 r0, 1\n"
+      "out:\n"
+      "mov64 r0, 2\n"
+      "exit\n");
+  ebpf::Program s = p.strip_nops();
+  ASSERT_EQ(s.insns.size(), 4u);
+  // jeq must now skip exactly the one real instruction.
+  EXPECT_EQ(s.insns[0].off, 1);
+  EXPECT_TRUE(s.insns[1].op == Opcode::MOV64_IMM && s.insns[1].imm == 1);
+}
+
+TEST(ProgramTest, StripNopsAtJumpTarget) {
+  // A jump targeting a NOP must land on the following real instruction.
+  ebpf::Program p = assemble(
+      "ja tgt\n"
+      "mov64 r0, 9\n"
+      "tgt:\n"
+      "nop\n"
+      "mov64 r0, 1\n"
+      "exit\n");
+  ebpf::Program s = p.strip_nops();
+  ASSERT_EQ(s.insns.size(), 4u);
+  EXPECT_EQ(s.insns[0].off, 1);  // skips "mov64 r0, 9", lands on "mov64 r0, 1"
+}
+
+TEST(ProgramTest, ValidateCatchesStructuralErrors) {
+  ebpf::Program p;
+  p.insns.push_back(Insn{Opcode::JA, 0, 0, 5, 0});
+  p.insns.push_back(Insn{Opcode::EXIT, 0, 0, 0, 0});
+  EXPECT_TRUE(validate_structure(p).has_value());  // jump out of bounds
+
+  ebpf::Program q;
+  q.insns.push_back(Insn{Opcode::CALL, 0, 0, 0, 999});
+  q.insns.push_back(Insn{Opcode::EXIT, 0, 0, 0, 0});
+  EXPECT_TRUE(validate_structure(q).has_value());  // unknown helper
+
+  ebpf::Program r;
+  r.insns.push_back(Insn{Opcode::LDMAPFD, 1, 0, 0, 0});
+  r.insns.push_back(Insn{Opcode::EXIT, 0, 0, 0, 0});
+  EXPECT_TRUE(validate_structure(r).has_value());  // no such map fd
+}
+
+TEST(InsnTest, ToStringShapes) {
+  EXPECT_EQ(to_string(Insn{Opcode::ADD64_IMM, 1, 0, 0, 5}), "add64 r1, 5");
+  EXPECT_EQ(to_string(Insn{Opcode::LDXW, 2, 1, 4, 0}), "ldxw r2, [r1+4]");
+  EXPECT_EQ(to_string(Insn{Opcode::STXB, 10, 3, -8, 0}),
+            "stxb [r10-8], r3");
+  EXPECT_EQ(to_string(Insn{Opcode::EXIT, 0, 0, 0, 0}), "exit");
+}
+
+}  // namespace
+}  // namespace k2::ebpf

@@ -1,0 +1,378 @@
+// Interpreter semantics: per-opcode behaviour (parameterized sweeps),
+// memory bounds faulting, helper semantics, map runtime, output capture.
+#include <gtest/gtest.h>
+
+#include "ebpf/assembler.h"
+#include "interp/helpers.h"
+#include "interp/interpreter.h"
+
+namespace k2::interp {
+namespace {
+
+using ebpf::ProgType;
+
+RunResult run_asm(const std::string& body, InputSpec in = {},
+                  ProgType type = ProgType::XDP,
+                  std::vector<ebpf::MapDef> maps = {}) {
+  if (in.packet.empty()) in.packet.assign(64, 0);
+  return run(ebpf::assemble(body, type, std::move(maps)), in);
+}
+
+// ---- ALU sweeps ---------------------------------------------------------
+
+struct AluCase {
+  const char* body;
+  uint64_t expected;
+};
+
+class AluSweep : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluSweep, ComputesExpected) {
+  const AluCase& c = GetParam();
+  RunResult r = run_asm(std::string(c.body) + "\nexit\n");
+  ASSERT_TRUE(r.ok()) << fault_name(r.fault);
+  EXPECT_EQ(r.r0, c.expected) << c.body;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, AluSweep,
+    ::testing::Values(
+        AluCase{"mov64 r0, 5\nadd64 r0, 7", 12},
+        AluCase{"mov64 r0, 5\nsub64 r0, 7", uint64_t(-2)},
+        AluCase{"mov64 r0, -1\nadd32 r0, 1", 0},  // 32-bit wraps + zext
+        AluCase{"mov64 r0, 6\nmul64 r0, 7", 42},
+        AluCase{"mov64 r0, 42\ndiv64 r0, 5", 8},
+        AluCase{"mov64 r0, 42\ndiv64 r0, 0", 0},   // BPF: div 0 -> 0
+        AluCase{"mov64 r0, 42\nmod64 r0, 5", 2},
+        AluCase{"mov64 r0, 42\nmod64 r0, 0", 42},  // BPF: mod 0 -> dst
+        AluCase{"mov64 r0, 0xf0\nand64 r0, 0x1f", 0x10},
+        AluCase{"mov64 r0, 0xf0\nor64 r0, 0x0f", 0xff},
+        AluCase{"mov64 r0, 0xff\nxor64 r0, 0x0f", 0xf0},
+        AluCase{"mov64 r0, 1\nlsh64 r0, 63", 1ull << 63},
+        AluCase{"mov64 r0, 1\nlsh64 r0, 64", 1},  // shift amount masked &63
+        AluCase{"mov64 r0, -8\nrsh64 r0, 1", 0x7ffffffffffffffcull},
+        AluCase{"mov64 r0, -8\narsh64 r0, 1", uint64_t(-4)},
+        AluCase{"mov64 r0, -1\nmov32 r0, r0", 0xffffffffull},
+        AluCase{"mov64 r0, 7\nneg64 r0", uint64_t(-7)},
+        AluCase{"mov64 r0, 7\nneg32 r0", 0xfffffff9ull},
+        AluCase{"mov64 r0, -1\nrsh32 r0, 4", 0x0fffffffull},
+        AluCase{"mov64 r0, 0x80000000\narsh32 r0, 4", 0xf8000000ull},
+        AluCase{"mov64 r0, 21\nmul32 r0, 2", 42},
+        AluCase{"mov64 r0, 10\ndiv32 r0, 0", 0},
+        AluCase{"mov64 r0, 0x1234\nbe16 r0", 0x3412},
+        AluCase{"mov64 r0, 0x12345678\nbe32 r0", 0x78563412},
+        AluCase{"lddw r0, 0x1122334455667788\nbe64 r0",
+                0x8877665544332211ull},
+        AluCase{"lddw r0, 0x1122334455667788\nle32 r0", 0x55667788ull},
+        AluCase{"lddw r0, 0x1122334455667788\nle16 r0", 0x7788ull}));
+
+struct JmpCase {
+  const char* cond;   // e.g. "jgt r1, r2, t"
+  uint64_t a, b;
+  bool taken;
+};
+
+class JmpSweep : public ::testing::TestWithParam<JmpCase> {};
+
+TEST_P(JmpSweep, BranchesCorrectly) {
+  const JmpCase& c = GetParam();
+  std::string body = "lddw r1, " + std::to_string(int64_t(c.a)) + "\n" +
+                     "lddw r2, " + std::to_string(int64_t(c.b)) + "\n" +
+                     std::string(c.cond) +
+                     "\nmov64 r0, 0\nexit\nt:\nmov64 r0, 1\nexit\n";
+  RunResult r = run_asm(body);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, c.taken ? 1u : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Predicates, JmpSweep,
+    ::testing::Values(
+        JmpCase{"jeq r1, r2, t", 5, 5, true},
+        JmpCase{"jeq r1, r2, t", 5, 6, false},
+        JmpCase{"jne r1, r2, t", 5, 6, true},
+        JmpCase{"jgt r1, r2, t", uint64_t(-1), 1, true},   // unsigned
+        JmpCase{"jsgt r1, r2, t", uint64_t(-1), 1, false},  // signed
+        JmpCase{"jlt r1, r2, t", 1, uint64_t(-1), true},
+        JmpCase{"jslt r1, r2, t", uint64_t(-5), uint64_t(-1), true},
+        JmpCase{"jge r1, r2, t", 7, 7, true},
+        JmpCase{"jle r1, r2, t", 7, 7, true},
+        JmpCase{"jsge r1, r2, t", uint64_t(-1), uint64_t(-1), true},
+        JmpCase{"jsle r1, r2, t", uint64_t(-2), uint64_t(-1), true},
+        JmpCase{"jset r1, r2, t", 0b1100, 0b0100, true},
+        JmpCase{"jset r1, r2, t", 0b1000, 0b0100, false}));
+
+// ---- Memory -------------------------------------------------------------
+
+TEST(InterpMemory, StackStoreLoadRoundTrip) {
+  RunResult r = run_asm(
+      "lddw r1, 0x1122334455667788\n"
+      "stxdw [r10-8], r1\n"
+      "ldxw r0, [r10-8]\n"  // low word (little-endian)
+      "exit\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, 0x55667788u);
+}
+
+TEST(InterpMemory, ByteGranularityOverlap) {
+  RunResult r = run_asm(
+      "stdw [r10-8], 0\n"
+      "stb [r10-6], 0xab\n"
+      "ldxdw r0, [r10-8]\n"
+      "exit\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, 0xab0000ull);
+}
+
+TEST(InterpMemory, OutOfBoundsStackFaults) {
+  RunResult r = run_asm("ldxw r0, [r10-516]\nmov64 r0, 0\nexit\n");
+  EXPECT_EQ(r.fault, Fault::OOB_ACCESS);
+  r = run_asm("stxw [r10+0], r1\nmov64 r0, 0\nexit\n");
+  EXPECT_EQ(r.fault, Fault::OOB_ACCESS);  // [r10, r10+4) is above the stack
+}
+
+TEST(InterpMemory, PacketReadAndWrite) {
+  InputSpec in;
+  in.packet = {0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  RunResult r = run_asm(
+      "ldxdw r2, [r1+0]\n"   // data
+      "ldxdw r3, [r1+8]\n"   // data_end
+      "mov64 r4, r2\n"
+      "add64 r4, 4\n"
+      "jgt r4, r3, oob\n"
+      "ldxw r0, [r2+0]\n"
+      "stb [r2+0], 0x99\n"
+      "exit\n"
+      "oob:\n"
+      "mov64 r0, 0\n"
+      "exit\n",
+      in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, 0xefbeaddeu);
+  EXPECT_EQ(r.packet_out[0], 0x99);
+  EXPECT_EQ(r.packet_out[1], 0xad);
+}
+
+TEST(InterpMemory, PacketOutOfBoundsFaults) {
+  InputSpec in;
+  in.packet.assign(14, 0);
+  RunResult r = run_asm(
+      "ldxdw r2, [r1+0]\n"
+      "ldxw r0, [r2+20]\n"  // beyond the 14-byte packet
+      "exit\n",
+      in);
+  EXPECT_EQ(r.fault, Fault::OOB_ACCESS);
+}
+
+TEST(InterpMemory, NullDereferenceFaults) {
+  RunResult r = run_asm("mov64 r1, 0\nldxw r0, [r1+0]\nexit\n");
+  EXPECT_EQ(r.fault, Fault::NULL_DEREF);
+}
+
+TEST(InterpMemory, XaddAccumulates) {
+  RunResult r = run_asm(
+      "stdw [r10-8], 40\n"
+      "mov64 r1, 2\n"
+      "xadd64 [r10-8], r1\n"
+      "ldxdw r0, [r10-8]\n"
+      "exit\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, 42u);
+}
+
+// ---- Control flow ---------------------------------------------------------
+
+TEST(InterpControl, BackwardJumpFaults) {
+  ebpf::Program p;
+  p.insns.push_back(ebpf::Insn{ebpf::Opcode::JA, 0, 0, -1, 0});
+  p.insns.push_back(ebpf::Insn{ebpf::Opcode::EXIT, 0, 0, 0, 0});
+  InputSpec in;
+  in.packet.assign(14, 0);
+  RunResult r = run(p, in);
+  EXPECT_EQ(r.fault, Fault::BACKWARD_JUMP);
+}
+
+TEST(InterpControl, FallingOffEndFaults) {
+  ebpf::Program p;
+  p.insns.push_back(ebpf::Insn{ebpf::Opcode::MOV64_IMM, 0, 0, 0, 0});
+  p.insns.push_back(ebpf::Insn{ebpf::Opcode::EXIT, 0, 0, 0, 0});
+  p.insns[1].op = ebpf::Opcode::NOP;  // remove the exit
+  InputSpec in;
+  in.packet.assign(14, 0);
+  RunResult r = run(p, in);
+  EXPECT_EQ(r.fault, Fault::BAD_INSN);
+}
+
+// ---- Helpers / maps -------------------------------------------------------
+
+std::vector<ebpf::MapDef> one_hash_map() {
+  return {ebpf::MapDef{"m", ebpf::MapKind::HASH, 4, 8, 16}};
+}
+
+TEST(InterpHelpers, MapLookupMissReturnsNull) {
+  RunResult r = run_asm(
+      "stw [r10-4], 7\n"
+      "ldmapfd r1, 0\n"
+      "mov64 r2, r10\n"
+      "add64 r2, -4\n"
+      "call 1\n"
+      "exit\n",
+      {}, ProgType::XDP, one_hash_map());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, 0u);
+}
+
+TEST(InterpHelpers, MapUpdateThenLookupHits) {
+  RunResult r = run_asm(
+      "stw [r10-4], 7\n"
+      "stdw [r10-16], 1234\n"
+      "ldmapfd r1, 0\n"
+      "mov64 r2, r10\n"
+      "add64 r2, -4\n"
+      "mov64 r3, r10\n"
+      "add64 r3, -16\n"
+      "mov64 r4, 0\n"
+      "call 2\n"          // update
+      "ldmapfd r1, 0\n"
+      "mov64 r2, r10\n"
+      "add64 r2, -4\n"
+      "call 1\n"          // lookup
+      "jeq r0, 0, out\n"
+      "ldxdw r0, [r0+0]\n"
+      "out:\n"
+      "exit\n",
+      {}, ProgType::XDP, one_hash_map());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, 1234u);
+  // The final map state must contain the entry.
+  ASSERT_EQ(r.maps_out.at(0).size(), 1u);
+}
+
+TEST(InterpHelpers, MapDeleteRemovesKey) {
+  InputSpec in;
+  in.packet.assign(64, 0);
+  in.maps[0].push_back(MapEntryInit{{7, 0, 0, 0}, {1, 0, 0, 0, 0, 0, 0, 0}});
+  RunResult r = run_asm(
+      "stw [r10-4], 7\n"
+      "ldmapfd r1, 0\n"
+      "mov64 r2, r10\n"
+      "add64 r2, -4\n"
+      "call 3\n"          // delete
+      "mov64 r6, r0\n"
+      "stw [r10-4], 7\n"
+      "ldmapfd r1, 0\n"
+      "mov64 r2, r10\n"
+      "add64 r2, -4\n"
+      "call 1\n"          // lookup must miss now
+      "add64 r0, r6\n"    // r6 == 0 (delete succeeded), r0 == 0 (miss)
+      "exit\n",
+      in, ProgType::XDP, one_hash_map());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, 0u);
+  EXPECT_TRUE(r.maps_out.at(0).empty());
+}
+
+TEST(InterpHelpers, ScratchRegistersArePoisonedAfterCall) {
+  RunResult r = run_asm("call 7\nmov64 r0, r3\nexit\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, kScratchPoison + 3);
+}
+
+TEST(InterpHelpers, KtimeIsMonotoneAndSeeded) {
+  InputSpec in;
+  in.packet.assign(64, 0);
+  in.ktime_base = 5000;
+  RunResult r = run_asm(
+      "call 5\nmov64 r6, r0\ncall 5\nsub64 r0, r6\nexit\n", in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, 1000u);
+}
+
+TEST(InterpHelpers, PrandomThreadsSplitmixState) {
+  InputSpec in;
+  in.packet.assign(64, 0);
+  in.prandom_seed = 42;
+  RunResult r = run_asm("call 7\nexit\n", in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, splitmix64(42) & 0xffffffffull);
+}
+
+TEST(InterpHelpers, AdjustHeadMovesData) {
+  InputSpec in;
+  in.packet.assign(64, 1);
+  RunResult r = run_asm(
+      "mov64 r6, r1\n"     // ctx survives the call in a callee-saved reg
+      "mov64 r2, -4\n"     // extend head by 4 bytes
+      "call 44\n"
+      "jne r0, 0, out\n"
+      "ldxdw r2, [r6+0]\n"
+      "ldxdw r3, [r6+8]\n"
+      "mov64 r0, r3\n"
+      "sub64 r0, r2\n"     // new length
+      "out:\n"
+      "exit\n",
+      in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, 68u);
+  EXPECT_EQ(r.packet_out.size(), 68u);
+  EXPECT_EQ(r.packet_out[0], 0);  // headroom bytes are zero
+  EXPECT_EQ(r.packet_out[4], 1);
+}
+
+TEST(InterpHelpers, AdjustHeadRejectsOverrun) {
+  InputSpec in;
+  in.packet.assign(64, 1);
+  RunResult r = run_asm(
+      "mov64 r2, 60\n"  // would leave < 14 bytes
+      "call 44\n"
+      "exit\n",
+      in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.r0, uint64_t(-1));
+  EXPECT_EQ(r.packet_out.size(), 64u);  // unchanged
+}
+
+TEST(InterpHelpers, RedirectMapReturnsRedirectOrFlags) {
+  std::vector<ebpf::MapDef> maps = {
+      ebpf::MapDef{"dev", ebpf::MapKind::DEVMAP, 4, 8, 4}};
+  RunResult hit = run_asm(
+      "ldmapfd r1, 0\nmov64 r2, 2\nmov64 r3, 0\ncall 51\nexit\n", {},
+      ProgType::XDP, maps);
+  EXPECT_EQ(hit.r0, 4u);  // XDP_REDIRECT
+  RunResult miss = run_asm(
+      "ldmapfd r1, 0\nmov64 r2, 99\nmov64 r3, 2\ncall 51\nexit\n", {},
+      ProgType::XDP, maps);
+  EXPECT_EQ(miss.r0, 2u);  // falls back to flags
+}
+
+TEST(InterpOutputs, OutputsEqualChecksAllComponents) {
+  RunResult a, b;
+  a.r0 = b.r0 = 1;
+  a.packet_out = {1, 2};
+  b.packet_out = {1, 2};
+  EXPECT_TRUE(outputs_equal(ProgType::XDP, a, b));
+  b.packet_out[1] = 3;
+  EXPECT_FALSE(outputs_equal(ProgType::XDP, a, b));
+  EXPECT_TRUE(outputs_equal(ProgType::TRACEPOINT, a, b));  // pkt ignored
+  b.r0 = 2;
+  EXPECT_FALSE(outputs_equal(ProgType::TRACEPOINT, a, b));
+  RunResult faulted;
+  faulted.fault = Fault::OOB_ACCESS;
+  EXPECT_FALSE(outputs_equal(ProgType::XDP, a, faulted));
+}
+
+TEST(InterpTrace, RecordsExecutedInstructionIndexes) {
+  RunOptions opt;
+  opt.record_trace = true;
+  InputSpec in;
+  in.packet.assign(64, 0);
+  ebpf::Program p = ebpf::assemble("mov64 r0, 0\nnop\nexit\n");
+  RunResult r = run(p, in, opt);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.trace.size(), 2u);  // NOP not recorded
+  EXPECT_EQ(r.trace[0], 0u);
+  EXPECT_EQ(r.trace[1], 2u);
+}
+
+}  // namespace
+}  // namespace k2::interp

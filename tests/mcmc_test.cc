@@ -1,0 +1,139 @@
+// MCMC chain behaviour (§3): convergence on known-compressible programs,
+// counterexample feedback into the test suite, cache usage, safety gating.
+#include <gtest/gtest.h>
+
+#include "core/mcmc.h"
+#include "core/compiler.h"
+#include "ebpf/assembler.h"
+#include "interp/interpreter.h"
+
+namespace k2::core {
+namespace {
+
+using ebpf::assemble;
+
+ChainConfig quick_config(uint64_t iters, uint64_t seed) {
+  ChainConfig cfg;
+  cfg.iterations = iters;
+  cfg.seed = seed;
+  cfg.params = table8_settings()[0];
+  cfg.eq.timeout_ms = 5000;
+  return cfg;
+}
+
+TEST(McmcTest, FindsObviousDeadCode) {
+  // r3 is never used: the chain should NOP it out and verify equivalence.
+  ebpf::Program src = assemble(
+      "mov64 r3, 9\n"
+      "mov64 r4, 8\n"
+      "mov64 r0, 1\n"
+      "exit\n");
+  TestSuite suite(src, generate_tests(src, 8, 3));
+  verify::EqCache cache;
+  ChainResult r = run_chain(src, suite, cache, quick_config(3000, 5));
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_LT(r.best_perf, 0.0);
+  EXPECT_LE(r.best->num_real_insns(), 3);
+  // The best program is genuinely equivalent.
+  verify::EqResult eq = verify::check_equivalence(src, *r.best);
+  EXPECT_EQ(eq.verdict, verify::Verdict::EQUAL);
+}
+
+TEST(McmcTest, FindsStoreCoalescing) {
+  // The §9 Example 1 rewrite: two 32-bit stores -> one 64-bit store.
+  ebpf::Program src = assemble(
+      "mov64 r1, 0\n"
+      "stxw [r10-4], r1\n"
+      "stxw [r10-8], r1\n"
+      "ldxdw r0, [r10-8]\n"
+      "exit\n");
+  TestSuite suite(src, generate_tests(src, 8, 3));
+  verify::EqCache cache;
+  ChainResult best{};
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    ChainResult r = run_chain(src, suite, cache, quick_config(8000, seed));
+    if (r.best && (!best.best || r.best_perf < best.best_perf)) best = r;
+  }
+  ASSERT_TRUE(best.best.has_value());
+  EXPECT_LE(best.best->num_real_insns(), 4);
+}
+
+TEST(McmcTest, CounterexamplesGrowTestSuite) {
+  // Start with a single test that does not distinguish subtle rewrites;
+  // the verifier's counterexamples must be added to the suite (Fig. 1).
+  ebpf::Program src = ebpf::assemble(
+      "ldxdw r6, [r1+0]\n"
+      "and64 r6, 255\n"
+      "add64 r6, 1\n"
+      "mov64 r0, r6\n"
+      "exit\n",
+      ebpf::ProgType::TRACEPOINT);
+  std::vector<interp::InputSpec> one_test;
+  interp::InputSpec t;
+  t.packet.assign(32, 0);
+  t.ctx_args = {0, 0};  // r0 == 1 for this test; many rewrites agree
+  one_test.push_back(t);
+  TestSuite suite(src, std::move(one_test));
+  verify::EqCache cache;
+  size_t before = suite.size();
+  bool grew = false;
+  for (uint64_t seed : {17u, 18u, 19u}) {
+    run_chain(src, suite, cache, quick_config(4000, seed));
+    if (suite.size() > before) {
+      grew = true;
+      break;
+    }
+  }
+  // Candidates agreeing on ctx_arg0 == 0 but differing elsewhere produce
+  // counterexamples, which land in the shared suite.
+  EXPECT_TRUE(grew);
+}
+
+TEST(McmcTest, StatsAreCoherent) {
+  ebpf::Program src = assemble("mov64 r3, 9\nmov64 r0, 1\nexit\n");
+  TestSuite suite(src, generate_tests(src, 8, 3));
+  verify::EqCache cache;
+  ChainResult r = run_chain(src, suite, cache, quick_config(2000, 23));
+  EXPECT_EQ(r.stats.proposals, 2000u);
+  EXPECT_GT(r.stats.accepted, 0u);
+  EXPECT_GT(r.stats.test_prunes, 0u);
+  EXPECT_GE(r.stats.cache_hits + r.stats.solver_calls, 1u);
+  EXPECT_GT(r.stats.total_time_sec, 0.0);
+}
+
+TEST(McmcTest, CacheSharedAcrossChains) {
+  ebpf::Program src = assemble("mov64 r3, 9\nmov64 r0, 1\nexit\n");
+  TestSuite suite(src, generate_tests(src, 8, 3));
+  verify::EqCache cache;
+  run_chain(src, suite, cache, quick_config(2000, 31));
+  uint64_t misses_after_first = cache.stats().misses;
+  run_chain(src, suite, cache, quick_config(2000, 31));  // same seed
+  // The second identical chain should hit the cache heavily.
+  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_LT(cache.stats().misses - misses_after_first,
+            misses_after_first + 1);
+}
+
+TEST(McmcTest, WindowModeVerifiesThroughWindows) {
+  ebpf::Program src = assemble(
+      "mov64 r2, 1\n"
+      "mov64 r3, 2\n"
+      "add64 r2, r3\n"
+      "mov64 r4, 0\n"
+      "mov64 r0, r2\n"
+      "exit\n");
+  TestSuite suite(src, generate_tests(src, 8, 3));
+  verify::EqCache cache;
+  ChainConfig cfg = quick_config(6000, 37);
+  cfg.use_windows = true;
+  cfg.window_max_insns = 5;
+  ChainResult r = run_chain(src, suite, cache, cfg);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_LT(r.best_perf, 0.0);
+  // Whatever window mode found must survive whole-program verification.
+  verify::EqResult eq = verify::check_equivalence(src, *r.best);
+  EXPECT_EQ(eq.verdict, verify::Verdict::EQUAL);
+}
+
+}  // namespace
+}  // namespace k2::core

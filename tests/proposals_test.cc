@@ -1,0 +1,153 @@
+// Proposal generation (§3.1): structural invariants of mutated programs
+// under all six rewrite rules, window restriction, rule ablation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/proposals.h"
+#include "ebpf/assembler.h"
+
+namespace k2::core {
+namespace {
+
+using ebpf::assemble;
+
+ebpf::Program test_prog() {
+  return assemble(
+      "mov64 r2, 1\n"
+      "mov64 r3, 2\n"
+      "add64 r2, r3\n"
+      "stxdw [r10-8], r2\n"
+      "ldxdw r4, [r10-8]\n"
+      "jeq r4, 3, out\n"
+      "mov64 r4, 0\n"
+      "out:\n"
+      "mov64 r0, r4\n"
+      "exit\n");
+}
+
+TEST(ProposalTest, MutationsPreserveStructuralInvariants) {
+  ebpf::Program src = test_prog();
+  SearchParams params;
+  ProposalGen gen(src, params, ProposalRules{});
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    ebpf::Program cand = gen.propose(src, rng);
+    ASSERT_EQ(cand.insns.size(), src.insns.size());
+    for (size_t j = 0; j < cand.insns.size(); ++j) {
+      const ebpf::Insn& insn = cand.insns[j];
+      EXPECT_LE(insn.dst, 10);
+      EXPECT_LE(insn.src, 10);
+      if (ebpf::is_jump(insn.op)) {
+        int t = int(j) + 1 + insn.off;
+        EXPECT_GE(insn.off, 0) << "jumps must stay forward";
+        EXPECT_LT(t, int(cand.insns.size()));
+      }
+    }
+    // The final EXIT must survive every mutation.
+    EXPECT_EQ(cand.insns.back().op, ebpf::Opcode::EXIT);
+  }
+}
+
+TEST(ProposalTest, ProducesDiverseMutationKinds) {
+  ebpf::Program src = test_prog();
+  SearchParams params;
+  ProposalGen gen(src, params, ProposalRules{});
+  std::mt19937_64 rng(11);
+  bool saw_nop = false, saw_opcode_change = false, saw_operand_change = false;
+  for (int i = 0; i < 3000; ++i) {
+    ebpf::Program cand = gen.propose(src, rng);
+    for (size_t j = 0; j < cand.insns.size(); ++j) {
+      if (cand.insns[j] == src.insns[j]) continue;
+      if (cand.insns[j].op == ebpf::Opcode::NOP) saw_nop = true;
+      else if (cand.insns[j].op != src.insns[j].op) saw_opcode_change = true;
+      else saw_operand_change = true;
+    }
+  }
+  EXPECT_TRUE(saw_nop);
+  EXPECT_TRUE(saw_opcode_change);
+  EXPECT_TRUE(saw_operand_change);
+}
+
+TEST(ProposalTest, WindowModeOnlyTouchesWindow) {
+  ebpf::Program src = test_prog();
+  SearchParams params;
+  verify::WindowSpec win{1, 4};
+  ProposalGen gen(src, params, ProposalRules{}, win);
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    ebpf::Program cand = gen.propose(src, rng);
+    for (size_t j = 0; j < cand.insns.size(); ++j) {
+      if (int(j) < win.start || int(j) >= win.end)
+        EXPECT_EQ(cand.insns[j], src.insns[j]) << "mutated outside window";
+      // No control flow inside windows.
+      if (int(j) >= win.start && int(j) < win.end)
+        EXPECT_FALSE(ebpf::is_jump(cand.insns[j].op));
+    }
+  }
+}
+
+TEST(ProposalTest, MemExchangeChangesWidths) {
+  ebpf::Program src = test_prog();
+  SearchParams params;
+  // Force rule 4/5 by zeroing the others.
+  params.p_insn_replace = 0;
+  params.p_operand_replace = 0;
+  params.p_nop_replace = 0;
+  params.p_contiguous = 0;
+  params.p_mem_exchange1 = 0.5;
+  params.p_mem_exchange2 = 0.5;
+  ProposalGen gen(src, params, ProposalRules{});
+  std::mt19937_64 rng(17);
+  std::set<int> widths_seen;
+  for (int i = 0; i < 2000; ++i) {
+    ebpf::Program cand = gen.propose(src, rng);
+    for (size_t j = 0; j < cand.insns.size(); ++j)
+      if (ebpf::is_mem_access(cand.insns[j].op) &&
+          !(cand.insns[j] == src.insns[j]))
+        widths_seen.insert(ebpf::mem_width(cand.insns[j].op));
+  }
+  EXPECT_GE(widths_seen.size(), 3u);
+}
+
+TEST(ProposalTest, DisabledRulesFoldIntoGenericReplacement) {
+  ebpf::Program src = test_prog();
+  SearchParams params;
+  ProposalRules rules;
+  rules.mem_exchange1 = false;
+  rules.mem_exchange2 = false;
+  rules.contiguous = false;
+  ProposalGen gen(src, params, rules);
+  std::mt19937_64 rng(23);
+  // Must still produce valid proposals.
+  for (int i = 0; i < 500; ++i) {
+    ebpf::Program cand = gen.propose(src, rng);
+    EXPECT_EQ(cand.insns.size(), src.insns.size());
+  }
+}
+
+TEST(ProposalTest, OperandPoolsHarvestedFromSource) {
+  ebpf::Program src = assemble(
+      "mov64 r2, 31337\n"
+      "mov64 r0, 0\n"
+      "exit\n");
+  SearchParams params;
+  params.p_insn_replace = 1;
+  params.p_operand_replace = 0;
+  params.p_nop_replace = 0;
+  params.p_mem_exchange1 = 0;
+  params.p_mem_exchange2 = 0;
+  params.p_contiguous = 0;
+  ProposalGen gen(src, params, ProposalRules{});
+  std::mt19937_64 rng(29);
+  bool saw_pool_const = false;
+  for (int i = 0; i < 3000 && !saw_pool_const; ++i) {
+    ebpf::Program cand = gen.propose(src, rng);
+    for (const auto& insn : cand.insns)
+      if (insn.imm == 31337) saw_pool_const = true;
+  }
+  EXPECT_TRUE(saw_pool_const);
+}
+
+}  // namespace
+}  // namespace k2::core

@@ -1,0 +1,88 @@
+// Cross-cutting round-trip and determinism properties over the whole
+// corpus: disassemble→assemble identity, NOP-strip idempotence, DCE
+// soundness under workloads, and search reproducibility with fixed seeds.
+#include <gtest/gtest.h>
+
+#include "analysis/dce.h"
+#include "core/compiler.h"
+#include "corpus/corpus.h"
+#include "ebpf/assembler.h"
+#include "interp/interpreter.h"
+#include "sim/perf_eval.h"
+
+namespace k2 {
+namespace {
+
+class CorpusRoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  const corpus::Benchmark& bench() const {
+    return corpus::all_benchmarks()[size_t(GetParam())];
+  }
+};
+
+TEST_P(CorpusRoundTrip, DisassembleAssembleIdentity) {
+  const ebpf::Program& p = bench().o2;
+  ebpf::Program back =
+      ebpf::assemble(ebpf::disassemble(p), p.type, p.maps);
+  EXPECT_EQ(back.insns, p.insns) << bench().name;
+}
+
+TEST_P(CorpusRoundTrip, StripNopsIsIdempotentAndBehaviourPreserving) {
+  const ebpf::Program& p = bench().o2;
+  ebpf::Program s1 = p.strip_nops();
+  ebpf::Program s2 = s1.strip_nops();
+  EXPECT_EQ(s1.insns, s2.insns);
+  for (const auto& in : sim::make_workload(p, 6, 0xa11)) {
+    auto r1 = interp::run(p, in);
+    auto r2 = interp::run(s1, in);
+    EXPECT_TRUE(interp::outputs_equal(p.type, r1, r2)) << bench().name;
+  }
+}
+
+TEST_P(CorpusRoundTrip, DceIsBehaviourPreserving) {
+  const ebpf::Program& p = bench().o2;
+  ebpf::Program d = analysis::remove_dead_code(p).strip_nops();
+  EXPECT_LE(d.size_slots(), p.size_slots());
+  for (const auto& in : sim::make_workload(p, 6, 0xd0e)) {
+    auto r1 = interp::run(p, in);
+    auto r2 = interp::run(d, in);
+    EXPECT_TRUE(interp::outputs_equal(p.type, r1, r2)) << bench().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CorpusRoundTrip,
+                         ::testing::Range(0, 19));
+
+TEST(DeterminismTest, CompileIsReproducibleWithFixedSeed) {
+  ebpf::Program src = ebpf::assemble(
+      "mov64 r3, 9\n"
+      "mov64 r4, r3\n"
+      "mov64 r0, 1\n"
+      "exit\n");
+  core::CompileOptions o;
+  o.num_chains = 1;
+  o.threads = 1;
+  o.iters_per_chain = 2000;
+  o.seed = 777;
+  core::CompileResult a = core::compile(src, o);
+  core::CompileResult b = core::compile(src, o);
+  EXPECT_EQ(a.improved, b.improved);
+  EXPECT_EQ(a.best.insns, b.best.insns);
+  EXPECT_EQ(a.total_proposals, b.total_proposals);
+}
+
+TEST(DeterminismTest, InterpreterIsPure) {
+  const corpus::Benchmark& b = corpus::benchmark("xdp_fw");
+  auto w = sim::make_workload(b.o2, 8, 0xbee);
+  for (const auto& in : w) {
+    auto r1 = interp::run(b.o2, in);
+    auto r2 = interp::run(b.o2, in);
+    EXPECT_EQ(r1.r0, r2.r0);
+    EXPECT_EQ(r1.packet_out, r2.packet_out);
+    EXPECT_EQ(r1.maps_out, r2.maps_out);
+    EXPECT_EQ(r1.insns_executed, r2.insns_executed);
+  }
+}
+
+}  // namespace
+}  // namespace k2

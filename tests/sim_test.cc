@@ -1,0 +1,113 @@
+// Performance substrate: latency model sanity, queueing simulator shape
+// properties (the Fig. 2 curve invariants), MLFFR, workload generation.
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "ebpf/assembler.h"
+#include "sim/latency_model.h"
+#include "sim/perf_eval.h"
+#include "sim/queue_sim.h"
+
+namespace k2::sim {
+namespace {
+
+TEST(LatencyModelTest, RelativeOpcodeCosts) {
+  using ebpf::Insn;
+  using ebpf::Opcode;
+  Insn mov{Opcode::MOV64_IMM, 0, 0, 0, 0};
+  Insn div{Opcode::DIV64_REG, 0, 1, 0, 0};
+  Insn load{Opcode::LDXW, 0, 1, 0, 0};
+  Insn xadd{Opcode::XADD64, 1, 2, 0, 0};
+  Insn lookup{Opcode::CALL, 0, 0, 0, 1};
+  Insn nop{Opcode::NOP, 0, 0, 0, 0};
+  EXPECT_GT(insn_cost_ns(div), insn_cost_ns(mov));
+  EXPECT_GT(insn_cost_ns(load), insn_cost_ns(mov));
+  EXPECT_GT(insn_cost_ns(xadd), insn_cost_ns(load));   // locked RMW
+  EXPECT_GT(insn_cost_ns(lookup), insn_cost_ns(xadd)); // helper call
+  EXPECT_EQ(insn_cost_ns(nop), 0.0);
+}
+
+TEST(LatencyModelTest, StaticCostSumsInstructions) {
+  ebpf::Program p = ebpf::assemble("mov64 r0, 0\nmov64 r1, 1\nexit\n");
+  double c1 = static_program_cost_ns(p);
+  ebpf::Program q = ebpf::assemble("mov64 r0, 0\nexit\n");
+  EXPECT_GT(c1, static_program_cost_ns(q));
+}
+
+TEST(QueueSimTest, LowLoadLatencyIsServiceTime) {
+  // At 10% load, queueing is negligible: avg latency ~ service time.
+  LoadPoint p = simulate_load(/*service_ns=*/400, /*offered_mpps=*/0.25);
+  EXPECT_NEAR(p.avg_latency_us, 0.4, 0.1);
+  EXPECT_LT(p.drop_rate, 1e-4);
+  EXPECT_NEAR(p.throughput_mpps, 0.25, 0.02);
+}
+
+TEST(QueueSimTest, LatencyIncreasesMonotonicallyWithLoad) {
+  double service = 400;  // capacity 2.5 Mpps
+  double prev = 0;
+  for (double load : {0.5, 1.5, 2.2, 2.45}) {
+    LoadPoint p = simulate_load(service, load);
+    EXPECT_GT(p.avg_latency_us, prev) << "at load " << load;
+    prev = p.avg_latency_us;
+  }
+}
+
+TEST(QueueSimTest, SaturationDropsAndCapsThroughput) {
+  double service = 400;
+  LoadPoint p = simulate_load(service, /*offered=*/5.0);  // 2x capacity
+  EXPECT_GT(p.drop_rate, 0.3);
+  EXPECT_NEAR(p.throughput_mpps, 2.5, 0.15);
+  // Latency saturates near ring_size * service.
+  EXPECT_GT(p.avg_latency_us, 100.0);
+}
+
+TEST(QueueSimTest, MlffrTracksServiceTime) {
+  double fast = find_mlffr(/*service_ns=*/300);
+  double slow = find_mlffr(/*service_ns=*/400);
+  EXPECT_GT(fast, slow);
+  // MLFFR is close to (but below) the deterministic capacity bound.
+  EXPECT_LT(slow, 1000.0 / 400 * 1.01);
+  EXPECT_GT(slow, 1000.0 / 400 * 0.5);
+}
+
+TEST(PerfEvalTest, WorkloadIsDeterministicAndParseable) {
+  const auto& b = corpus::benchmark("xdp2_kern/xdp1");
+  auto w1 = make_workload(b.o2, 32, 7);
+  auto w2 = make_workload(b.o2, 32, 7);
+  ASSERT_EQ(w1.size(), 32u);
+  for (size_t i = 0; i < w1.size(); ++i)
+    EXPECT_EQ(w1[i].packet, w2[i].packet);
+  // Packets are IPv4 so the parse benchmarks take their main path.
+  EXPECT_EQ(w1[0].packet[12], 0x08);
+  EXPECT_EQ(w1[0].packet[14], 0x45);
+}
+
+TEST(PerfEvalTest, FewerInstructionsCheaperPerPacket) {
+  ebpf::Program big = ebpf::assemble(
+      "mov64 r2, 0\nadd64 r2, 1\nadd64 r2, 2\nadd64 r2, 3\n"
+      "div64 r2, 3\nmov64 r0, 2\nexit\n");
+  ebpf::Program small = ebpf::assemble("mov64 r0, 2\nexit\n");
+  auto w = make_workload(small, 16, 3);
+  EXPECT_GT(avg_packet_cost_ns(big, w), avg_packet_cost_ns(small, w));
+  // Both include the fixed driver overhead.
+  EXPECT_GT(avg_packet_cost_ns(small, w), kDriverOverheadNs);
+}
+
+TEST(PerfEvalTest, BranchyProgramCostReflectsTrace) {
+  // Cost counts executed instructions, not program size: a huge untaken
+  // branch contributes nothing.
+  ebpf::Program p = ebpf::assemble(
+      "mov64 r2, 0\n"
+      "jeq r2, 0, cheap\n"
+      "div64 r2, 3\ndiv64 r2, 3\ndiv64 r2, 3\ndiv64 r2, 3\n"
+      "cheap:\n"
+      "mov64 r0, 2\nexit\n");
+  ebpf::Program q = ebpf::assemble("mov64 r2, 0\nmov64 r0, 2\nexit\n");
+  auto w = make_workload(q, 8, 3);
+  double pc = avg_packet_cost_ns(p, w);
+  double qc = avg_packet_cost_ns(q, w);
+  EXPECT_LT(pc - qc, 2.0);  // only the branch itself differs
+}
+
+}  // namespace
+}  // namespace k2::sim

@@ -1,0 +1,178 @@
+// Modular (window) verification: liveness-weakened postconditions and
+// concrete-valuation-strengthened preconditions (§5 IV, App. C.2).
+#include <gtest/gtest.h>
+
+#include "ebpf/assembler.h"
+#include "verify/window.h"
+
+namespace k2::verify {
+namespace {
+
+using ebpf::assemble;
+using ebpf::Insn;
+using ebpf::Opcode;
+
+std::vector<Insn> asm_insns(const std::string& body) {
+  // Assemble with a trailing exit, then drop it.
+  ebpf::Program p = assemble(body + "exit\n");
+  p.insns.pop_back();
+  return p.insns;
+}
+
+TEST(WindowTest, SelectWindowsSkipsControlFlow) {
+  ebpf::Program p = assemble(
+      "mov64 r2, 1\n"
+      "add64 r2, 2\n"
+      "jeq r2, 3, out\n"
+      "mov64 r2, 4\n"
+      "mul64 r2, 5\n"
+      "out:\n"
+      "mov64 r0, r2\n"
+      "exit\n");
+  auto wins = select_windows(p, 8);
+  for (const auto& w : wins) {
+    for (int i = w.start; i < w.end; ++i) {
+      EXPECT_FALSE(ebpf::is_jump(p.insns[size_t(i)].op));
+      EXPECT_NE(p.insns[size_t(i)].op, Opcode::EXIT);
+    }
+  }
+  EXPECT_FALSE(wins.empty());
+}
+
+TEST(WindowTest, EquivalentRewriteAccepted) {
+  ebpf::Program p = assemble(
+      "mov64 r2, 1\n"
+      "mov64 r3, 2\n"
+      "add64 r2, r3\n"
+      "mov64 r0, r2\n"
+      "exit\n");
+  // Window [0,3): r2 = 1; r3 = 2; r2 += r3  ==>  r2 = 3; r3 = 2
+  auto repl = asm_insns("mov64 r2, 3\nmov64 r3, 2\n");
+  repl.push_back(Insn{});  // pad with NOP to keep later indices stable
+  EqResult r = check_window_equivalence(p, WindowSpec{0, 3}, repl);
+  EXPECT_EQ(r.verdict, Verdict::EQUAL) << r.detail;
+}
+
+TEST(WindowTest, LivenessWeakensPostcondition) {
+  // r3 is dead after the window, so a rewrite that changes r3 but keeps r2
+  // is window-equivalent (a peephole optimizer would reject it).
+  ebpf::Program p = assemble(
+      "mov64 r2, 1\n"
+      "mov64 r3, 2\n"
+      "add64 r2, r3\n"
+      "mov64 r0, r2\n"
+      "exit\n");
+  auto repl = asm_insns("mov64 r2, 3\nmov64 r3, 99\n");
+  repl.push_back(Insn{});
+  EqResult r = check_window_equivalence(p, WindowSpec{0, 3}, repl);
+  EXPECT_EQ(r.verdict, Verdict::EQUAL) << r.detail;
+}
+
+TEST(WindowTest, LiveRegisterChangeRejected) {
+  ebpf::Program p = assemble(
+      "mov64 r2, 1\n"
+      "mov64 r3, 2\n"
+      "add64 r2, r3\n"
+      "mov64 r0, r2\n"
+      "add64 r0, r3\n"   // r3 IS live out of the window here
+      "exit\n");
+  auto repl = asm_insns("mov64 r2, 3\nmov64 r3, 99\n");
+  repl.push_back(Insn{});
+  EqResult r = check_window_equivalence(p, WindowSpec{0, 3}, repl);
+  EXPECT_EQ(r.verdict, Verdict::NOT_EQUAL);
+}
+
+TEST(WindowTest, ConcreteValuationEnablesContextDependentRewrite) {
+  // §9 Example 2 shape: with r3 == 4 known at the window boundary,
+  // r2 *= r3 can become r2 <<= 2 — invalid in general, valid here.
+  ebpf::Program p = assemble(
+      "mov64 r3, 4\n"
+      "ldxdw r2, [r1+0]\n"  // hmm: r2 is a pointer; use a scalar instead
+      "mov64 r2, 21\n"
+      "mul64 r2, r3\n"
+      "mov64 r0, r2\n"
+      "exit\n");
+  auto repl = asm_insns("mov64 r2, 21\nlsh64 r2, 2\n");
+  EqResult r = check_window_equivalence(p, WindowSpec{2, 4}, repl);
+  EXPECT_EQ(r.verdict, Verdict::EQUAL) << r.detail;
+}
+
+TEST(WindowTest, ContextDependentRewriteRejectedWithoutPrecondition) {
+  // Same rewrite where r3 is unknown must be rejected.
+  ebpf::Program p = assemble(
+      "ldxdw r3, [r10-8]\n"  // unknown value (stack read)
+      "mov64 r2, 21\n"
+      "mul64 r2, r3\n"
+      "mov64 r0, r2\n"
+      "exit\n");
+  // Make the stack readable first so the program itself is fine.
+  p = assemble(
+      "stdw [r10-8], 4\n"
+      "mov64 r3, 9\n"       // r3 unknown? it's known... keep simple below
+      "mov64 r2, 21\n"
+      "mul64 r2, r3\n"
+      "mov64 r0, r2\n"
+      "exit\n");
+  // Window [2,4): under precondition r3 == 9, <<2 is NOT equivalent.
+  auto repl = asm_insns("mov64 r2, 21\nlsh64 r2, 2\n");
+  EqResult r = check_window_equivalence(p, WindowSpec{2, 4}, repl);
+  EXPECT_EQ(r.verdict, Verdict::NOT_EQUAL);
+}
+
+TEST(WindowTest, StackEffectsCompared) {
+  ebpf::Program p = assemble(
+      "mov64 r2, 7\n"
+      "stxdw [r10-8], r2\n"
+      "mov64 r2, 0\n"
+      "ldxdw r0, [r10-8]\n"
+      "exit\n");
+  // Window [0,3): must preserve the stored value since it is read later.
+  auto bad = asm_insns("mov64 r2, 7\nstxdw [r10-8], r2\nmov64 r2, 1\n");
+  // changes r2 which is dead, fine... but change the stored value instead:
+  bad = asm_insns("mov64 r2, 8\nstxdw [r10-8], r2\nmov64 r2, 0\n");
+  EqResult r = check_window_equivalence(p, WindowSpec{0, 3}, bad);
+  EXPECT_EQ(r.verdict, Verdict::NOT_EQUAL);
+
+  auto good = asm_insns("stdw [r10-8], 7\nmov64 r2, 0\nnop\n");
+  r = check_window_equivalence(p, WindowSpec{0, 3}, good);
+  EXPECT_EQ(r.verdict, Verdict::EQUAL) << r.detail;
+}
+
+TEST(WindowTest, MapValuePointerGroundedInOracle) {
+  std::vector<ebpf::MapDef> maps = {
+      ebpf::MapDef{"m", ebpf::MapKind::HASH, 4, 8, 16}};
+  ebpf::Program p = assemble(
+      "stw [r10-4], 1\n"
+      "ldmapfd r1, 0\n"
+      "mov64 r2, r10\n"
+      "add64 r2, -4\n"
+      "call 1\n"
+      "jeq r0, 0, out\n"
+      "ldxdw r3, [r0+0]\n"   // window: value load + add
+      "add64 r3, 0\n"
+      "mov64 r0, r3\n"
+      "out:\n"
+      "exit\n",
+      ebpf::ProgType::XDP, maps);
+  // Rewrite "r3 = *v; r3 += 0" -> "r3 = *v" (nop the add).
+  auto repl = asm_insns("ldxdw r3, [r0+0]\nnop\n");
+  EqResult r = check_window_equivalence(p, WindowSpec{6, 8}, repl);
+  EXPECT_EQ(r.verdict, Verdict::EQUAL) << r.detail;
+}
+
+TEST(WindowTest, UnsupportedShapesFallBack) {
+  ebpf::Program p = assemble(
+      "mov64 r2, 1\n"
+      "jeq r2, 1, out\n"
+      "mov64 r2, 2\n"
+      "out:\n"
+      "mov64 r0, r2\n"
+      "exit\n");
+  auto repl = asm_insns("mov64 r2, 1\nnop\n");
+  // Window overlapping a jump is refused (caller falls back to full check).
+  EqResult r = check_window_equivalence(p, WindowSpec{0, 2}, repl);
+  EXPECT_EQ(r.verdict, Verdict::ENCODE_FAIL);
+}
+
+}  // namespace
+}  // namespace k2::verify

@@ -1,0 +1,113 @@
+// k2c — the K2 compiler command-line driver.
+//
+// Reads a BPF assembly file, optimizes it with the synthesis pipeline, and
+// writes the optimized assembly (and optionally the kernel wire-format
+// bytes) — the "drop-in replacement" workflow of §7.
+//
+// Usage:
+//   k2c <input.s> [options]
+//     --goal=size|latency      optimization objective (default size)
+//     --iters=N                iterations per chain (default 10000)
+//     --chains=N               parallel Markov chains (default 4)
+//     --type=xdp|socket|trace  hook type (default xdp)
+//     --wire=<out.bin>         also emit wire-format bytecode
+//     --bench=<name>           optimize a corpus benchmark instead of a file
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/compiler.h"
+#include "corpus/corpus.h"
+#include "ebpf/assembler.h"
+#include "ebpf/bytecode.h"
+#include "kernel/kernel_checker.h"
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* key) {
+  size_t n = strlen(key);
+  for (int i = 1; i < argc; ++i)
+    if (strncmp(argv[i], key, n) == 0 && argv[i][n] == '=')
+      return argv[i] + n + 1;
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace k2;
+  if (argc < 2) {
+    fprintf(stderr,
+            "usage: k2c <input.s> [--goal=size|latency] [--iters=N] "
+            "[--chains=N] [--type=xdp|socket|trace] [--wire=out.bin] "
+            "[--bench=name]\n");
+    return 2;
+  }
+
+  ebpf::Program src;
+  try {
+    if (const char* bench = arg_value(argc, argv, "--bench")) {
+      src = corpus::benchmark(bench).o2;
+    } else {
+      std::ifstream in(argv[1]);
+      if (!in) {
+        fprintf(stderr, "k2c: cannot open %s\n", argv[1]);
+        return 2;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      ebpf::ProgType type = ebpf::ProgType::XDP;
+      if (const char* t = arg_value(argc, argv, "--type")) {
+        if (strcmp(t, "socket") == 0) type = ebpf::ProgType::SOCKET_FILTER;
+        if (strcmp(t, "trace") == 0) type = ebpf::ProgType::TRACEPOINT;
+      }
+      src = ebpf::assemble(ss.str(), type);
+    }
+  } catch (const std::exception& e) {
+    fprintf(stderr, "k2c: %s\n", e.what());
+    return 2;
+  }
+
+  core::CompileOptions opts;
+  if (const char* g = arg_value(argc, argv, "--goal"))
+    opts.goal = strcmp(g, "latency") == 0 ? core::Goal::LATENCY
+                                          : core::Goal::INST_COUNT;
+  if (const char* it = arg_value(argc, argv, "--iters"))
+    opts.iters_per_chain = strtoull(it, nullptr, 10);
+  else
+    opts.iters_per_chain = 10000;
+  if (const char* ch = arg_value(argc, argv, "--chains"))
+    opts.num_chains = atoi(ch);
+  opts.threads = opts.num_chains;
+
+  fprintf(stderr, "k2c: input %d instructions; searching (%d chains x %llu "
+                  "iterations)...\n",
+          src.size_slots(), opts.num_chains,
+          static_cast<unsigned long long>(opts.iters_per_chain));
+  core::CompileResult res = core::compile(src, opts);
+  fprintf(stderr,
+          "k2c: %s: %.0f -> %.0f %s (%llu proposals, %.1fs, cache %.0f%%)\n",
+          res.improved ? "improved" : "no improvement",
+          res.src_perf, res.best_perf,
+          opts.goal == core::Goal::INST_COUNT ? "slots" : "est. ns",
+          static_cast<unsigned long long>(res.total_proposals),
+          res.total_secs, res.cache.hit_rate() * 100);
+
+  kernel::CheckResult kc = kernel::kernel_check(res.best);
+  fprintf(stderr, "k2c: kernel checker: %s\n",
+          kc.accepted ? "ACCEPT" : kc.reason.c_str());
+
+  printf("%s", ebpf::disassemble(res.best).c_str());
+
+  if (const char* wire_path = arg_value(argc, argv, "--wire")) {
+    std::vector<uint8_t> bytes =
+        ebpf::to_bytes(ebpf::encode_wire(res.best));
+    std::ofstream out(wire_path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              std::streamsize(bytes.size()));
+    fprintf(stderr, "k2c: wrote %zu wire bytes to %s\n", bytes.size(),
+            wire_path);
+  }
+  return 0;
+}
