@@ -86,4 +86,24 @@ uint64_t program_hash(const ebpf::Program& prog) {
   return h;
 }
 
+uint64_t program_hash2(const ebpf::Program& prog) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  auto mix = [&h](uint64_t v) {
+    // splitmix64 round over (state ^ value): a different algebra than the
+    // byte-wise FNV above, so the two hashes collide independently.
+    uint64_t x = h ^ v;
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    h = x ^ (x >> 31);
+  };
+  for (const Insn& insn : prog.insns) {
+    mix(static_cast<uint64_t>(insn.op));
+    mix(insn.dst | (uint64_t(insn.src) << 8) |
+        (uint64_t(static_cast<uint16_t>(insn.off)) << 16));
+    mix(static_cast<uint64_t>(insn.imm));
+  }
+  return h;
+}
+
 }  // namespace k2::analysis

@@ -27,4 +27,9 @@ ebpf::Program canonicalize(const ebpf::Program& prog);
 // FNV-1a over the canonical instruction stream (cache key).
 uint64_t program_hash(const ebpf::Program& prog);
 
+// Second, independent hash (splitmix64 accumulation) over the same stream.
+// The equivalence cache stores it as a fingerprint next to each verdict so a
+// 64-bit collision in program_hash cannot surface a wrong cached Verdict.
+uint64_t program_hash2(const ebpf::Program& prog);
+
 }  // namespace k2::analysis

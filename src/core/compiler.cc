@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <thread>
+#include <unordered_map>
 
 #include "analysis/dce.h"
+#include "pipeline/thread_pool.h"
 #include "sim/perf_eval.h"
 #include "sim/latency_model.h"
 
@@ -19,6 +20,13 @@ double absolute_perf(Goal goal, const ebpf::Program& p) {
   return goal == Goal::INST_COUNT ? double(p.size_slots())
                                   : sim::static_program_cost_ns(p);
 }
+
+// Outcome of the final whole-program re-verification of one candidate.
+struct FinalVerify {
+  bool safe = false;
+  verify::Verdict verdict = verify::Verdict::UNKNOWN;
+  kernel::CheckResult kc;
+};
 
 }  // namespace
 
@@ -71,61 +79,121 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
     cfg.eq = opts.eq;
     cfg.safety = opts.safety;
     cfg.use_windows = use_windows;
+    cfg.reorder_tests = opts.reorder_tests;
+    cfg.early_exit = opts.early_exit;
     configs.push_back(cfg);
   }
 
-  std::vector<ChainResult> chain_results(configs.size());
-  std::vector<std::thread> workers;
-  std::atomic<size_t> next{0};
+  // One work-stealing pool drives both phases: the Markov chains and the
+  // final top-k re-verification below.
   int nthreads = std::max(1, std::min<int>(opts.threads, int(configs.size())));
-  for (int t = 0; t < nthreads; ++t) {
-    workers.emplace_back([&]() {
-      while (true) {
-        size_t i = next.fetch_add(1);
-        if (i >= configs.size()) break;
+  pipeline::ThreadPool pool(nthreads);
+
+  std::vector<ChainResult> chain_results(configs.size());
+  {
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < configs.size(); ++i)
+      tasks.push_back([&, i]() {
         chain_results[i] = run_chain(src, suite, cache, configs[i]);
-      }
-    });
+      });
+    pool.run_all(std::move(tasks));
   }
-  for (auto& w : workers) w.join();
 
   // Gather verified candidates across chains, best first.
   std::vector<std::pair<double, ebpf::Program>> all;
   for (const auto& cr : chain_results) {
     res.total_proposals += cr.stats.proposals;
     res.solver_calls += cr.stats.solver_calls;
+    res.early_exits += cr.stats.early_exits;
+    res.tests_executed += cr.stats.tests_executed;
+    res.tests_skipped += cr.stats.tests_skipped;
     for (const auto& c : cr.candidates) all.push_back(c);
-    if (cr.best &&
-        (res.iters_to_best == 0 || cr.stats.best_iter < res.iters_to_best)) {
-      // time/iterations of the chain that found the best program overall is
-      // fixed up below once the winner is known
-    }
   }
   std::sort(all.begin(), all.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
   // Final verification: whole-program equivalence + solver-backed safety on
   // the NOP-stripped output, then the kernel checker (post-processing, §6).
+  //
+  // Expensive checks are dispatched to the pool speculatively, a bounded
+  // window ahead of the consumer, and memoized by program hash; the
+  // consumer below replays the exact sequential control flow (skip filter,
+  // dedup, early break at top_k), so results and counters match a serial
+  // run — speculation only moves solver time onto idle workers.
+  // Canonicalization is lazy and memoized: the consumer usually breaks at
+  // top_k after a few candidates, so most entries are never needed.
+  std::vector<std::optional<ebpf::Program>> outs(all.size());
+  std::vector<uint64_t> hashes(all.size(), 0);
+  auto ensure_out = [&](size_t idx) -> const ebpf::Program& {
+    if (!outs[idx]) {
+      outs[idx] = analysis::remove_dead_code(all[idx].second).strip_nops();
+      hashes[idx] = analysis::program_hash(*outs[idx]);
+    }
+    return *outs[idx];
+  };
+
+  // `cancelled` turns still-queued speculative tasks into no-ops, and the
+  // drain guard keeps every submitted task's referents (`outs`, `src`,
+  // `opts`) alive until the task has actually run — the pool's destructor
+  // executes leftover queued work, which must not touch freed locals. An
+  // RAII guard rather than straight-line code so the drain also happens
+  // when a task exception (e.g. z3::exception) unwinds through get().
+  std::atomic<bool> cancelled{false};
+  std::unordered_map<uint64_t, std::shared_future<FinalVerify>> memo;
+  struct MemoDrain {
+    std::atomic<bool>& cancelled;
+    std::unordered_map<uint64_t, std::shared_future<FinalVerify>>& memo;
+    ~MemoDrain() {
+      cancelled.store(true, std::memory_order_release);
+      for (auto& [h, fut] : memo)
+        if (fut.valid()) fut.wait();
+    }
+  } drain{cancelled, memo};
+  auto ensure_submitted = [&](size_t idx) {
+    ensure_out(idx);
+    uint64_t h = hashes[idx];
+    if (memo.count(h)) return;
+    const ebpf::Program& out = *outs[idx];
+    memo.emplace(h, pool.submit([&src, &out, &opts, &cancelled]() {
+                        FinalVerify fv;
+                        if (cancelled.load(std::memory_order_acquire))
+                          return fv;
+                        safety::SafetyOptions sopt = opts.safety;
+                        sopt.run_solver_checks = true;
+                        fv.safe = safety::check_safety(out, sopt).safe;
+                        if (!fv.safe) return fv;
+                        fv.verdict =
+                            verify::check_equivalence(src, out, opts.eq)
+                                .verdict;
+                        if (fv.verdict != verify::Verdict::EQUAL) return fv;
+                        fv.kc = kernel::kernel_check(out);
+                        return fv;
+                      }).share());
+  };
+
+  const size_t lookahead = size_t(nthreads);
   std::vector<uint64_t> seen_hashes;
-  for (const auto& [perf, cand] : all) {
+  for (size_t i = 0; i < all.size(); ++i) {
     if (int(res.top_k.size()) >= opts.top_k) break;
-    ebpf::Program out = analysis::remove_dead_code(cand).strip_nops();
+    const ebpf::Program& out = ensure_out(i);
     if (out.size_slots() >= res.src_perf && opts.goal == Goal::INST_COUNT &&
         !res.top_k.empty())
       continue;
-    uint64_t h = analysis::program_hash(out);
+    uint64_t h = hashes[i];
     if (std::find(seen_hashes.begin(), seen_hashes.end(), h) !=
         seen_hashes.end())
       continue;
     seen_hashes.push_back(h);
 
-    safety::SafetyOptions sopt = opts.safety;
-    sopt.run_solver_checks = true;
-    if (!safety::check_safety(out, sopt).safe) continue;
-    verify::EqResult eq = verify::check_equivalence(src, out, opts.eq);
-    if (eq.verdict != verify::Verdict::EQUAL) continue;
-    kernel::CheckResult kc = kernel::kernel_check(out);
-    if (!kc.accepted) {
+    ensure_submitted(i);
+    for (size_t j = i + 1, ahead = 1; j < all.size() && ahead < lookahead;
+         ++j, ++ahead)
+      ensure_submitted(j);
+
+    FinalVerify fv = memo.at(h).get();
+    if (!fv.safe) continue;
+    if (fv.verdict != verify::Verdict::EQUAL) continue;
+    if (!fv.kc.accepted) {
       res.kernel_rejected++;
       continue;
     }

@@ -27,6 +27,9 @@ struct CompileOptions {
   verify::EqOptions eq;
   safety::SafetyOptions safety;
   int threads = 4;
+  // Evaluation-pipeline knobs, forwarded to every chain (see ChainConfig).
+  bool reorder_tests = true;
+  bool early_exit = true;
 };
 
 struct CompileResult {
@@ -44,6 +47,10 @@ struct CompileResult {
   uint64_t solver_calls = 0;
   uint64_t total_proposals = 0;
   size_t final_tests = 0;
+  // Evaluation-pipeline totals across chains.
+  uint64_t early_exits = 0;
+  uint64_t tests_executed = 0;
+  uint64_t tests_skipped = 0;
 
   // Kernel-checker post-processing statistics (Table 5).
   int kernel_accepted = 0;

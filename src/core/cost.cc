@@ -50,11 +50,13 @@ const interp::InputSpec& TestSuite::test(size_t i) const {
 
 double TestSuite::diff_on(size_t i, const interp::RunResult& cand,
                           SearchParams::Diff kind) const {
-  interp::RunResult src_res;
-  {
+  // Elements are append-only and never mutated after insertion, and the
+  // deque keeps references stable across concurrent add() calls — only the
+  // indexing itself needs the lock, not a copy of the result.
+  const interp::RunResult& src_res = [&]() -> const interp::RunResult& {
     std::lock_guard<std::mutex> lock(mu_);
-    src_res = src_out_[i];
-  }
+    return src_out_[i];
+  }();
   if (!cand.ok()) return kFaultPenalty;
   if (!src_res.ok()) return cand.ok() ? kFaultPenalty : 0;
 

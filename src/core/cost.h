@@ -5,6 +5,7 @@
 // safe is 0 / ERR_MAX.
 #pragma once
 
+#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -44,8 +45,11 @@ class TestSuite {
  private:
   ebpf::Program src_;
   mutable std::mutex mu_;
-  std::vector<interp::InputSpec> tests_;
-  std::vector<interp::RunResult> src_out_;
+  // Deques, not vectors: the suite is append-only and grows concurrently
+  // with readers, so element references handed out by test() must survive
+  // other threads' add() calls.
+  std::deque<interp::InputSpec> tests_;
+  std::deque<interp::RunResult> src_out_;
 };
 
 // Performance cost of `p` relative to `src` under the goal (§3.2: number of

@@ -3,27 +3,13 @@
 #include <chrono>
 #include <cmath>
 
-#include "interp/interpreter.h"
-#include "kernel/kernel_checker.h"
+#include "pipeline/eval_pipeline.h"
 
 namespace k2::core {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-constexpr double kErrMax = 100.0;  // safety cost of unsafe programs (§3.2)
-
-// True when `cand` differs from `orig` only inside [win.start, win.end).
-bool differs_only_in(const ebpf::Program& orig, const ebpf::Program& cand,
-                     const verify::WindowSpec& win) {
-  if (orig.insns.size() != cand.insns.size()) return false;
-  for (size_t i = 0; i < orig.insns.size(); ++i) {
-    bool inside = int(i) >= win.start && int(i) < win.end;
-    if (!inside && !(orig.insns[i] == cand.insns[i])) return false;
-  }
-  return true;
-}
 
 }  // namespace
 
@@ -40,77 +26,19 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
     if (windows.empty()) windows.push_back(verify::WindowSpec{0, 0});
   }
 
-  // Evaluates a candidate; returns (total_cost, verified_ok).
-  struct Eval {
-    double cost = 0;
-    bool verified = false;  // safe && formally equivalent
-  };
-  auto evaluate = [&](const ebpf::Program& cand,
-                      const std::optional<verify::WindowSpec>& win) -> Eval {
-    Eval ev;
-    TestEval te = run_tests(suite, cand, cfg.params.diff);
-    bool unequal = true;
-    double safe_cost = 0;
-    if (!te.all_passed) {
-      st.test_prunes++;
-    } else {
-      // Static safety first (cheap); solver-backed checks in full mode.
-      safety::SafetyOptions sopt = cfg.safety;
-      sopt.run_solver_checks = cfg.safety.run_solver_checks && !cfg.use_windows;
-      safety::SafetyResult sres = safety::check_safety(cand, sopt);
-      // Checker-specific constraints (§6): K2's FOL safety is more precise
-      // than the kernel checker (e.g. it knows packets are >= 14 bytes and
-      // that an uninitialized stack read whose value is dead is harmless),
-      // so a candidate can be K2-safe yet unloadable. Folding the checker's
-      // static rules into the safety cost here is the paper's "we added
-      // these checks on-demand, as we encountered programs that failed to
-      // load" — and it is what makes all final outputs pass the checker
-      // without post-filtering (Table 5).
-      if (sres.safe && !kernel::kernel_check(cand).accepted) {
-        sres.safe = false;
-        sres.reason = "rejected by checker-specific constraints";
-      }
-      if (!sres.safe) {
-        st.safety_rejects++;
-        safe_cost = kErrMax;
-        if (sres.cex) suite.add(*sres.cex);  // prune similar ones cheaply
-      } else {
-        uint64_t key = verify::EqCache::key_for(src, cand);
-        if (auto hit = cache.lookup(key)) {
-          st.cache_hits++;
-          unequal = *hit != verify::Verdict::EQUAL;
-        } else {
-          st.solver_calls++;
-          verify::EqResult eq;
-          if (win && differs_only_in(src, cand, *win)) {
-            std::vector<ebpf::Insn> repl(
-                cand.insns.begin() + win->start,
-                cand.insns.begin() + win->end);
-            eq = verify::check_window_equivalence(src, *win, repl, cfg.eq);
-            if (eq.verdict == verify::Verdict::ENCODE_FAIL)
-              eq = verify::check_equivalence(src, cand, cfg.eq);
-          } else {
-            eq = verify::check_equivalence(src, cand, cfg.eq);
-          }
-          cache.insert(key, eq.verdict);
-          unequal = eq.verdict != verify::Verdict::EQUAL;
-          if (eq.cex) {
-            // Only keep counterexamples the interpreter confirms, guarding
-            // against encoder/interpreter drift.
-            interp::RunResult r1 = interp::run(src, *eq.cex);
-            interp::RunResult r2 = interp::run(cand, *eq.cex);
-            if (!interp::outputs_equal(src.type, r1, r2)) suite.add(*eq.cex);
-          }
-        }
-        ev.verified = !unequal;
-      }
-    }
-    double err = error_cost(cfg.params, te, unequal);
-    double perf = perf_cost(cfg.goal, cand, src);
-    ev.cost = cfg.params.alpha * err + cfg.params.beta * perf +
-              cfg.params.gamma * safe_cost;
-    return ev;
-  };
+  // The propose→test→safety→cache→eqcheck→cost sequence lives in the
+  // evaluation pipeline; this loop owns only proposal generation and the
+  // Metropolis–Hastings accept decision.
+  pipeline::EvalConfig ecfg;
+  ecfg.params = cfg.params;
+  ecfg.goal = cfg.goal;
+  ecfg.eq = cfg.eq;
+  ecfg.safety = cfg.safety;
+  ecfg.window_mode = cfg.use_windows;
+  ecfg.reorder_tests = cfg.reorder_tests;
+  ecfg.early_exit = cfg.early_exit;
+  pipeline::EvalPipeline pipe(src, suite, cache, ecfg);
+  pipeline::ExecContext& ctx = pipeline::worker_context();
 
   auto consider_best = [&](const ebpf::Program& cand, uint64_t iter) {
     double perf = perf_cost(cfg.goal, cand, src);
@@ -136,7 +64,8 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   if (cfg.use_windows && !windows.empty() && windows[0].end > 0)
     cur_win = windows[0];
   ProposalGen gen(src, cfg.params, cfg.rules, cur_win);
-  Eval cur_eval = evaluate(cur, cur_win);
+  pipeline::Eval cur_eval =
+      pipe.evaluate(cur, cur_win, pipeline::RejectGate{}, ctx);
 
   for (uint64_t iter = 0; iter < cfg.iterations; ++iter) {
     if (cfg.use_windows && !windows.empty() && windows[0].end > 0 &&
@@ -150,18 +79,32 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
     st.proposals++;
     ebpf::Program cand = gen.propose(cur, rng);
     if (cand.insns == cur.insns) continue;
-    Eval cand_eval = evaluate(cand, cur_win);
+    // Draw the acceptance uniform before evaluating: evaluation consumes no
+    // randomness, so the RNG stream matches the legacy order, and the
+    // pipeline can prove mid-evaluation that this draw must reject.
+    double u = std::uniform_real_distribution<double>(0, 1)(rng);
+    pipeline::Eval cand_eval = pipe.evaluate(
+        cand, cur_win,
+        pipeline::RejectGate{cur_eval.cost, u, cfg.params.mcmc_beta}, ctx);
     if (cand_eval.verified) consider_best(cand, iter);
 
     double accept_prob =
         std::min(1.0, std::exp(-cfg.params.mcmc_beta *
                                (cand_eval.cost - cur_eval.cost)));
-    if (std::uniform_real_distribution<double>(0, 1)(rng) < accept_prob) {
+    if (u < accept_prob) {
       cur = std::move(cand);
       cur_eval = cand_eval;
       st.accepted++;
     }
   }
+  const pipeline::EvalStats& ps = pipe.stats();
+  st.test_prunes = ps.test_prunes;
+  st.safety_rejects = ps.safety_rejects;
+  st.solver_calls = ps.solver_calls;
+  st.cache_hits = ps.cache_hits;
+  st.early_exits = ps.early_exits;
+  st.tests_executed = ps.tests_executed;
+  st.tests_skipped = ps.tests_skipped;
   st.total_time_sec = std::chrono::duration<double>(Clock::now() - t0).count();
   return result;
 }

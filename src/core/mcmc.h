@@ -27,6 +27,12 @@ struct ChainConfig {
   // outputs are re-verified whole-program by the compiler driver.
   bool use_windows = false;
   int window_max_insns = 6;
+  // Evaluation-pipeline execution-order optimizations. Both are
+  // decision-preserving (same-seed chains make bit-identical accept/reject
+  // decisions); disabling them reproduces the legacy inline evaluation
+  // exactly, which the differential tests rely on.
+  bool reorder_tests = true;
+  bool early_exit = true;
 };
 
 struct ChainStats {
@@ -36,6 +42,11 @@ struct ChainStats {
   uint64_t safety_rejects = 0;
   uint64_t solver_calls = 0;    // equivalence queries actually discharged
   uint64_t cache_hits = 0;
+  // Pipeline observability (not part of the legacy-comparable set: the
+  // legacy inline evaluation by construction has zero early exits).
+  uint64_t early_exits = 0;
+  uint64_t tests_executed = 0;
+  uint64_t tests_skipped = 0;
   uint64_t best_iter = 0;
   double best_time_sec = 0;
   double total_time_sec = 0;

@@ -15,8 +15,13 @@ using ebpf::Opcode;
 
 RunResult run(const ebpf::Program& prog, const InputSpec& input,
               const RunOptions& opt) {
-  RunResult res;
   Machine m;
+  return run(prog, input, opt, m);
+}
+
+RunResult run(const ebpf::Program& prog, const InputSpec& input,
+              const RunOptions& opt, Machine& m) {
+  RunResult res;
   m.init(prog, input);
   ebpf::ConcreteBackend be;
 

@@ -13,6 +13,13 @@ namespace k2::interp {
 RunResult run(const ebpf::Program& prog, const InputSpec& input,
               const RunOptions& opt = {});
 
+// Same, but reusing caller-owned machine state. Machine::init re-fills `m`
+// for every call, so buffers (packet, regions, map runtimes) keep their
+// capacity across runs — the evaluation pipeline allocates one Machine per
+// worker instead of one per execution.
+RunResult run(const ebpf::Program& prog, const InputSpec& input,
+              const RunOptions& opt, Machine& m);
+
 // True when the two results are observably equal for the given hook type
 // (XDP/SOCKET_FILTER: r0 + packet + maps; TRACEPOINT: r0 + maps). A faulting
 // result never equals a non-faulting one.

@@ -1,0 +1,176 @@
+#include "pipeline/eval_pipeline.h"
+
+#include <cmath>
+
+#include "interp/interpreter.h"
+#include "kernel/kernel_checker.h"
+
+namespace k2::pipeline {
+
+namespace {
+
+constexpr double kErrMax = 100.0;  // safety cost of unsafe programs (§3.2)
+
+// Margin for the early-exit proof: the test-cost lower bound is compared
+// against the acceptance uniform with this much slack so floating-point
+// reordering of partial sums can never flip a decision the full evaluation
+// would have made differently.
+constexpr double kExitMargin = 1e-9;
+
+// True when `cand` differs from `orig` only inside [win.start, win.end).
+bool differs_only_in(const ebpf::Program& orig, const ebpf::Program& cand,
+                     const verify::WindowSpec& win) {
+  if (orig.insns.size() != cand.insns.size()) return false;
+  for (size_t i = 0; i < orig.insns.size(); ++i) {
+    bool inside = int(i) >= win.start && int(i) < win.end;
+    if (!inside && !(orig.insns[i] == cand.insns[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+EvalPipeline::EvalPipeline(const ebpf::Program& src, core::TestSuite& suite,
+                           verify::EqCache& cache, const EvalConfig& cfg)
+    : src_(src), suite_(suite), cache_(cache), cfg_(cfg) {}
+
+bool EvalPipeline::run_suite(const ebpf::Program& cand, double perf,
+                             const RejectGate& gate, ExecContext& ctx,
+                             core::TestEval& te) {
+  const size_t n = suite_.size();
+  while (order_.size() < n) order_.push_back(uint32_t(order_.size()));
+
+  ctx.diffs.assign(n, 0.0);
+  const double c_min =
+      cfg_.params.avg_by_tests && n > 0 ? 1.0 / double(n) : 1.0;
+  double running = 0;  // partial diff sum, execution order
+  size_t first_fail = size_t(-1);
+  bool exited = false;
+
+  for (size_t p = 0; p < n; ++p) {
+    uint32_t i = order_[p];
+    interp::RunResult r =
+        interp::run(cand, suite_.test(i), ctx.run_opts, ctx.machine);
+    double d = suite_.diff_on(i, r, cfg_.params.diff);
+    stats_.tests_executed++;
+    ctx.diffs[i] = d;
+    running += d;
+    if (d == 0) {
+      te.passed++;
+    } else {
+      te.failed++;
+      if (first_fail == size_t(-1)) first_fail = p;
+    }
+    // Provable rejection: even the cost lower bound (error term from the
+    // tests run so far, exact perf term, safety term >= 0) caps the
+    // acceptance probability strictly below the pre-drawn uniform. Gated on
+    // a failed test so fully-passing candidates always reach the verifier.
+    if (cfg_.early_exit && te.failed > 0 && gate.active() && p + 1 < n) {
+      double lb = cfg_.params.alpha * (c_min * running) +
+                  cfg_.params.beta * perf;
+      double p_ub =
+          std::min(1.0, std::exp(-gate.mcmc_beta * (lb - gate.cur_cost)));
+      if (gate.u > p_ub * (1.0 + kExitMargin)) {
+        stats_.tests_skipped += n - 1 - p;
+        exited = true;
+        break;
+      }
+    }
+  }
+
+  // Promote the killing test: the next doomed candidate dies on test one.
+  if (cfg_.reorder_tests && first_fail != size_t(-1) && first_fail > 0) {
+    uint32_t idx = order_[first_fail];
+    order_.erase(order_.begin() + ptrdiff_t(first_fail));
+    order_.insert(order_.begin(), idx);
+  }
+
+  if (!exited) {
+    // Sum in canonical suite order so the cost is bit-identical no matter
+    // what order the tests actually executed in.
+    te.diff_sum = 0;
+    for (size_t i = 0; i < n; ++i) te.diff_sum += ctx.diffs[i];
+    te.all_passed = te.failed == 0;
+  }
+  return exited;
+}
+
+Eval EvalPipeline::evaluate(const ebpf::Program& cand,
+                            const std::optional<verify::WindowSpec>& win,
+                            const RejectGate& gate, ExecContext& ctx) {
+  Eval ev;
+  double perf = core::perf_cost(cfg_.goal, cand, src_);
+  core::TestEval te;
+  if (run_suite(cand, perf, gate, ctx, te)) {
+    stats_.early_exits++;
+    stats_.test_prunes++;
+    ev.cost = kRejectedCost;
+    ev.rejected_early = true;
+    return ev;
+  }
+
+  bool unequal = true;
+  double safe_cost = 0;
+  if (!te.all_passed) {
+    stats_.test_prunes++;
+  } else {
+    // Static safety first (cheap); solver-backed checks in full mode.
+    safety::SafetyOptions sopt = cfg_.safety;
+    sopt.run_solver_checks =
+        cfg_.safety.run_solver_checks && !cfg_.window_mode;
+    safety::SafetyResult sres = safety::check_safety(cand, sopt);
+    // Checker-specific constraints (§6): K2's FOL safety is more precise
+    // than the kernel checker (e.g. it knows packets are >= 14 bytes and
+    // that an uninitialized stack read whose value is dead is harmless),
+    // so a candidate can be K2-safe yet unloadable. Folding the checker's
+    // static rules into the safety cost here is the paper's "we added
+    // these checks on-demand, as we encountered programs that failed to
+    // load" — and it is what makes all final outputs pass the checker
+    // without post-filtering (Table 5).
+    if (sres.safe && !kernel::kernel_check(cand).accepted) {
+      sres.safe = false;
+      sres.reason = "rejected by checker-specific constraints";
+    }
+    if (!sres.safe) {
+      stats_.safety_rejects++;
+      safe_cost = kErrMax;
+      if (sres.cex) suite_.add(*sres.cex);  // prune similar ones cheaply
+    } else {
+      verify::EqCache::Key key = verify::EqCache::key_for(src_, cand);
+      if (auto hit = cache_.lookup(key)) {
+        stats_.cache_hits++;
+        unequal = *hit != verify::Verdict::EQUAL;
+      } else {
+        stats_.solver_calls++;
+        verify::EqResult eq;
+        if (win && differs_only_in(src_, cand, *win)) {
+          std::vector<ebpf::Insn> repl(cand.insns.begin() + win->start,
+                                       cand.insns.begin() + win->end);
+          eq = verify::check_window_equivalence(src_, *win, repl, cfg_.eq);
+          if (eq.verdict == verify::Verdict::ENCODE_FAIL)
+            eq = verify::check_equivalence(src_, cand, cfg_.eq);
+        } else {
+          eq = verify::check_equivalence(src_, cand, cfg_.eq);
+        }
+        cache_.insert(key, eq.verdict);
+        unequal = eq.verdict != verify::Verdict::EQUAL;
+        if (eq.cex) {
+          // Only keep counterexamples the interpreter confirms, guarding
+          // against encoder/interpreter drift.
+          interp::RunResult r1 =
+              interp::run(src_, *eq.cex, ctx.run_opts, ctx.machine);
+          interp::RunResult r2 =
+              interp::run(cand, *eq.cex, ctx.run_opts, ctx.machine);
+          if (!interp::outputs_equal(src_.type, r1, r2)) suite_.add(*eq.cex);
+        }
+      }
+      ev.verified = !unequal;
+    }
+  }
+  double err = core::error_cost(cfg_.params, te, unequal);
+  ev.cost = cfg_.params.alpha * err + cfg_.params.beta * perf +
+            cfg_.params.gamma * safe_cost;
+  return ev;
+}
+
+}  // namespace k2::pipeline

@@ -1,0 +1,108 @@
+// The candidate evaluation pipeline (§3, Fig. 1): test-case pruning →
+// static + solver safety → cached equivalence checking → cost. Extracted
+// from the inline lambda that used to live in run_chain so the sequence is
+// a first-class, measurable subsystem shared by chains and re-verification.
+//
+// Two execution-order optimizations, both decision-preserving:
+//
+//  * Fail-first ordering. The pipeline keeps its own permutation of the
+//    shared suite and promotes the most-recently-killing test to the front,
+//    so doomed candidates die on interpreter time, not solver time.
+//
+//  * Provable-rejection early exit. The chain draws its acceptance
+//    uniform u *before* evaluation (the evaluation consumes no randomness,
+//    so the RNG stream is unchanged) and hands it to the pipeline. While
+//    tests execute, the pipeline tracks a lower bound on the final cost;
+//    once even that bound caps the acceptance probability strictly below u,
+//    the remaining tests cannot change the chain's decision and are
+//    skipped. Exit is only taken after at least one test has failed — a
+//    fully-passing candidate must still reach the verifier so best-program
+//    tracking is unaffected — and costs of fully-evaluated candidates are
+//    summed in canonical suite order, making same-seed chain decisions
+//    bit-identical to the legacy inline evaluation.
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "core/cost.h"
+#include "core/params.h"
+#include "pipeline/exec_context.h"
+#include "safety/safety.h"
+#include "verify/cache.h"
+#include "verify/window.h"
+
+namespace k2::pipeline {
+
+struct EvalConfig {
+  core::SearchParams params;
+  core::Goal goal = core::Goal::INST_COUNT;
+  verify::EqOptions eq;
+  safety::SafetyOptions safety;
+  // Window-mode search defers solver-backed safety to final re-verification
+  // (same rule the legacy inline evaluation applied).
+  bool window_mode = false;
+  bool reorder_tests = true;
+  bool early_exit = true;
+};
+
+struct EvalStats {
+  uint64_t test_prunes = 0;     // candidates killed by the test suite
+  uint64_t safety_rejects = 0;
+  uint64_t solver_calls = 0;    // equivalence queries actually discharged
+  uint64_t cache_hits = 0;
+  uint64_t early_exits = 0;     // test loops cut short by provable rejection
+  uint64_t tests_executed = 0;
+  uint64_t tests_skipped = 0;   // tests the early exit avoided
+};
+
+struct Eval {
+  double cost = 0;
+  bool verified = false;       // safe && formally equivalent
+  bool rejected_early = false; // cost is +inf sentinel, decision pinned
+};
+
+// The chain's pre-drawn accept decision, exposed to the pipeline so it can
+// prove rejection mid-evaluation. Inactive by default (u < 0).
+struct RejectGate {
+  double cur_cost = 0;  // cost of the chain's current program
+  double u = -1;        // the acceptance uniform for this proposal
+  double mcmc_beta = 0;
+  bool active() const { return u > 0 && mcmc_beta > 0; }
+};
+
+class EvalPipeline {
+ public:
+  EvalPipeline(const ebpf::Program& src, core::TestSuite& suite,
+               verify::EqCache& cache, const EvalConfig& cfg);
+
+  // Evaluates one candidate against the full chain: tests, safety (with the
+  // kernel-checker constraint fold-in, §6), cached equivalence (window
+  // query first when `win` covers the mutation), and the §3.2 cost.
+  // Counterexamples from the safety and equivalence checkers are appended
+  // to the shared suite, exactly as the legacy inline evaluation did.
+  Eval evaluate(const ebpf::Program& cand,
+                const std::optional<verify::WindowSpec>& win,
+                const RejectGate& gate, ExecContext& ctx);
+
+  const EvalStats& stats() const { return stats_; }
+
+  static constexpr double kRejectedCost =
+      std::numeric_limits<double>::infinity();
+
+ private:
+  // Runs the suite in fail-first order; fills te and ctx.diffs. Returns
+  // true when the loop exited early under `gate`.
+  bool run_suite(const ebpf::Program& cand, double perf,
+                 const RejectGate& gate, ExecContext& ctx,
+                 core::TestEval& te);
+
+  const ebpf::Program& src_;
+  core::TestSuite& suite_;
+  verify::EqCache& cache_;
+  EvalConfig cfg_;
+  EvalStats stats_;
+  std::vector<uint32_t> order_;  // fail-first permutation of suite indices
+};
+
+}  // namespace k2::pipeline

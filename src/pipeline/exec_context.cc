@@ -1,0 +1,10 @@
+#include "pipeline/exec_context.h"
+
+namespace k2::pipeline {
+
+ExecContext& worker_context() {
+  thread_local ExecContext ctx;
+  return ctx;
+}
+
+}  // namespace k2::pipeline

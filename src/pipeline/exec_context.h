@@ -1,0 +1,29 @@
+// Per-worker execution state for candidate evaluation. One ExecContext lives
+// per OS thread (see worker_context()); the interpreter Machine and the
+// per-test scratch vectors inside it are re-filled, never re-allocated, as
+// the worker evaluates millions of candidates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "interp/state.h"
+
+namespace k2::pipeline {
+
+struct ExecContext {
+  interp::Machine machine;
+  interp::RunOptions run_opts;
+  // Per-test diffs of the current candidate, indexed by the suite's
+  // canonical test index (execution may visit tests in a different order;
+  // costs are summed canonically for bit-stable results).
+  std::vector<double> diffs;
+};
+
+// The calling thread's ExecContext. Thread-local so both pool workers and
+// the driver thread (which helps drain the pool on small machines) reuse
+// their interpreter state across chains.
+ExecContext& worker_context();
+
+}  // namespace k2::pipeline

@@ -1,0 +1,74 @@
+// Work-stealing thread pool shared by the search driver: Markov chains and
+// final top-k re-verification are submitted as tasks instead of spawning raw
+// std::threads per call site. Each worker owns a deque; it pushes and pops
+// its own work LIFO (cache-warm) and steals FIFO from victims when empty, so
+// uneven task lengths (chains with very different solver loads) keep all
+// cores busy.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace k2::pipeline {
+
+class ThreadPool {
+ public:
+  // Spawns `nthreads` workers (clamped to >= 1).
+  explicit ThreadPool(int nthreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return int(workers_.size()); }
+
+  // Index of the calling pool worker in [0, size()), or -1 when called from
+  // a thread outside this pool. Used to key per-worker state.
+  int worker_index() const;
+
+  // Schedules `fn` and returns a future for its result. Safe to call from
+  // pool workers (the task goes on the caller's own deque).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  // Runs all `fns` on the pool and blocks until every one finished. The
+  // calling thread lends a hand by executing queued tasks instead of just
+  // sleeping, so a 1-thread pool still makes progress when called from the
+  // driver thread.
+  void run_all(std::vector<std::function<void()>> fns);
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> q;
+  };
+
+  void enqueue(std::function<void()> fn);
+  // Pops from own deque (back) or steals from a victim (front).
+  bool try_get_task(int self, std::function<void()>& out);
+  void worker_loop(int index);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<int> pending_{0};  // queued but not yet started tasks
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> rr_{0};  // round-robin cursor for external submits
+};
+
+}  // namespace k2::pipeline

@@ -4,11 +4,10 @@
 
 namespace k2::verify {
 
-uint64_t EqCache::key_for(const ebpf::Program& src,
-                          const ebpf::Program& cand) {
-  uint64_t h1 = analysis::program_hash(src);
-  uint64_t h2 = analysis::program_hash(analysis::canonicalize(cand));
-  // 64-bit mix (xorshift-multiply) of the two hashes.
+namespace {
+
+// 64-bit mix (xorshift-multiply) of two hashes.
+uint64_t mix64(uint64_t h1, uint64_t h2) {
   uint64_t x = h1 ^ (h2 + 0x9e3779b97f4a7c15ull + (h1 << 6) + (h1 >> 2));
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdull;
@@ -16,32 +15,62 @@ uint64_t EqCache::key_for(const ebpf::Program& src,
   return x;
 }
 
-std::optional<Verdict> EqCache::lookup(uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    stats_.misses++;
-    return std::nullopt;
-  }
-  stats_.hits++;
-  return it->second;
+}  // namespace
+
+EqCache::Key EqCache::key_for(const ebpf::Program& src,
+                              const ebpf::Program& cand) {
+  ebpf::Program canon = analysis::canonicalize(cand);
+  Key key;
+  key.hash = mix64(analysis::program_hash(src), analysis::program_hash(canon));
+  key.fp =
+      mix64(analysis::program_hash2(src), analysis::program_hash2(canon));
+  return key;
 }
 
-void EqCache::insert(uint64_t key, Verdict v) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.insertions++;
-  map_[key] = v;
+std::optional<Verdict> EqCache::lookup(const Key& key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(key.hash);
+  if (it == s.map.end()) {
+    s.stats.misses++;
+    return std::nullopt;
+  }
+  if (it->second.fp != key.fp) {
+    // Primary-key collision with a different program: answering would hand
+    // the caller the other program's verdict.
+    s.stats.collisions++;
+    s.stats.misses++;
+    return std::nullopt;
+  }
+  s.stats.hits++;
+  return it->second.verdict;
+}
+
+void EqCache::insert(const Key& key, Verdict v) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.stats.insertions++;
+  s.map[key.hash] = Entry{key.fp, v};  // collisions: last writer wins
 }
 
 EqCache::Stats EqCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats total;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total.hits += s.stats.hits;
+    total.misses += s.stats.misses;
+    total.insertions += s.stats.insertions;
+    total.collisions += s.stats.collisions;
+  }
+  return total;
 }
 
 void EqCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-  stats_ = Stats{};
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+    s.stats = Stats{};
+  }
 }
 
 }  // namespace k2::verify

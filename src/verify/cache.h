@@ -2,8 +2,17 @@
 // canonicalized by dead-code elimination, hashed, and looked up before any
 // solver call. The paper reports ≥93% of would-be solver queries eliminated
 // (Table 6); bench/table6_cache reproduces the measurement.
+//
+// Concurrency: the map is striped across kShards independently-locked
+// shards so parallel chains no longer serialize on one global mutex.
+// Correctness: every entry stores a second, algebraically-independent
+// fingerprint of the canonical program; a lookup whose primary 64-bit key
+// collides but whose fingerprint disagrees is reported as a miss instead of
+// surfacing another program's Verdict.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -20,25 +29,50 @@ class EqCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t insertions = 0;
+    uint64_t collisions = 0;  // primary-key hits rejected by fingerprint
     double hit_rate() const {
       uint64_t total = hits + misses;
       return total == 0 ? 0.0 : double(hits) / double(total);
     }
   };
 
-  // Cache key: hash of the canonicalized candidate mixed with the source
-  // program's hash (one logical cache per source program).
-  static uint64_t key_for(const ebpf::Program& src, const ebpf::Program& cand);
+  // Cache key: primary hash selects the shard and map slot; fp confirms the
+  // entry on hit. Both mix the canonicalized candidate with the source
+  // program (one logical cache per source program).
+  struct Key {
+    uint64_t hash = 0;
+    uint64_t fp = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
 
-  std::optional<Verdict> lookup(uint64_t key);
-  void insert(uint64_t key, Verdict v);
+  static Key key_for(const ebpf::Program& src, const ebpf::Program& cand);
+
+  std::optional<Verdict> lookup(const Key& key);
+  void insert(const Key& key, Verdict v);
   Stats stats() const;
   void clear();
 
+  static constexpr size_t kShards = 16;
+
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, Verdict> map_;
-  Stats stats_;
+  struct Entry {
+    uint64_t fp;
+    Verdict verdict;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;
+    Stats stats;  // guarded by mu; aggregated by stats()
+  };
+
+  Shard& shard_for(const Key& key) {
+    // Top bits: the low bits index the unordered_map's buckets.
+    static_assert((kShards & (kShards - 1)) == 0, "kShards: power of two");
+    constexpr int kShift = 64 - std::countr_zero(kShards);
+    return shards_[(key.hash >> kShift) & (kShards - 1)];
+  }
+
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace k2::verify

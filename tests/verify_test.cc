@@ -351,7 +351,7 @@ TEST(CacheTest, HitsAfterCanonicalization) {
   EXPECT_EQ(EqCache::key_for(src, c1), EqCache::key_for(src, c2));
 
   EqCache cache;
-  uint64_t k = EqCache::key_for(src, c1);
+  EqCache::Key k = EqCache::key_for(src, c1);
   EXPECT_FALSE(cache.lookup(k).has_value());
   cache.insert(k, Verdict::EQUAL);
   auto hit = cache.lookup(EqCache::key_for(src, c2));
@@ -366,6 +366,36 @@ TEST(CacheTest, DistinctProgramsDistinctKeys) {
   ebpf::Program c1 = assemble("mov64 r0, 1\nexit\n");
   ebpf::Program c2 = assemble("mov64 r0, 2\nexit\n");
   EXPECT_NE(EqCache::key_for(src, c1), EqCache::key_for(src, c2));
+}
+
+TEST(CacheTest, PrimaryHashCollisionDoesNotReturnWrongVerdict) {
+  // Simulate a 64-bit collision: same primary hash, different fingerprint.
+  // Before the fingerprint existed, the second program would have been
+  // handed the first program's verdict.
+  EqCache cache;
+  EqCache::Key a{0x1234567890abcdefull, 1};
+  EqCache::Key b{0x1234567890abcdefull, 2};
+  cache.insert(a, Verdict::EQUAL);
+  EXPECT_FALSE(cache.lookup(b).has_value());
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  // The colliding program's own verdict still round-trips.
+  auto hit = cache.lookup(a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Verdict::EQUAL);
+}
+
+TEST(CacheTest, FingerprintIsIndependentOfPrimaryHash) {
+  // Programs whose canonical forms differ must disagree in at least one of
+  // the two hashes; and equal canonical forms must agree in both.
+  ebpf::Program src = assemble("mov64 r0, 1\nexit\n");
+  ebpf::Program c1 = assemble("mov64 r3, 9\nmov64 r0, 1\nexit\n");
+  ebpf::Program c2 = assemble("mov64 r4, 2\nmov64 r0, 1\nexit\n");
+  EqCache::Key k1 = EqCache::key_for(src, c1);
+  EqCache::Key k2 = EqCache::key_for(src, c2);
+  EXPECT_EQ(k1.fp, k2.fp);  // same canonical program
+  ebpf::Program c3 = assemble("mov64 r0, 2\nexit\n");
+  EqCache::Key k3 = EqCache::key_for(src, c3);
+  EXPECT_NE(k1.fp, k3.fp);
 }
 
 // ---- Encoder ablations (correctness under all optimization settings) -------

@@ -93,6 +93,12 @@ int main(int argc, char** argv) {
           opts.goal == core::Goal::INST_COUNT ? "slots" : "est. ns",
           static_cast<unsigned long long>(res.total_proposals),
           res.total_secs, res.cache.hit_rate() * 100);
+  fprintf(stderr,
+          "k2c: pipeline: %llu tests run, %llu skipped by early exit "
+          "(%llu exits)\n",
+          static_cast<unsigned long long>(res.tests_executed),
+          static_cast<unsigned long long>(res.tests_skipped),
+          static_cast<unsigned long long>(res.early_exits));
 
   kernel::CheckResult kc = kernel::kernel_check(res.best);
   fprintf(stderr, "k2c: kernel checker: %s\n",
