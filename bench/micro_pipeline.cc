@@ -1,10 +1,23 @@
 // Micro-benchmark: evaluation-pipeline throughput (proposals/sec) —
-// single- vs multi-threaded chains over the work-stealing pool, and the
+// single- vs multi-threaded chains over the work-stealing pool, the
 // decision-preserving execution-order optimizations (fail-first tests +
-// provable-rejection early exit) on and off. ISSUE 1 acceptance: >= 1.5x
-// proposals/sec at 4 threads vs 1 thread on a >= 4-core machine.
+// provable-rejection early exit) on and off, and synchronous vs
+// asynchronous solver dispatch (ISSUE 2): equivalence queries overlapped
+// with chain progress via speculation, at 1/2/4 dedicated Z3 workers.
+//
+//   bench_micro_pipeline                    full sweep (sync + async rows)
+//   bench_micro_pipeline --solver-workers N sync baseline vs async at N
+//
+// ISSUE 1 acceptance: >= 1.5x proposals/sec at 4 threads vs 1 thread on a
+// >= 4-core machine. ISSUE 2 adds solver-queue depth and speculation
+// outcome columns; async throughput gains need real hardware parallelism
+// AND solver-bound workloads (on a 1-core container, read the speculation/
+// rollback/queue columns, not wall-clock).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -16,11 +29,13 @@ struct Run {
   const char* label;
   int threads;
   bool opts_on;
+  int solver_workers;
   core::CompileResult res;
 };
 
 core::CompileResult run_once(const ebpf::Program& src, int threads,
-                             bool opts_on, uint64_t iters) {
+                             bool opts_on, int solver_workers,
+                             uint64_t iters) {
   core::CompileOptions o;
   o.goal = core::Goal::INST_COUNT;
   o.iters_per_chain = iters;
@@ -31,6 +46,7 @@ core::CompileResult run_once(const ebpf::Program& src, int threads,
   o.settings = core::table8_settings();
   o.reorder_tests = opts_on;
   o.early_exit = opts_on;
+  o.solver_workers = solver_workers;
   return core::compile(src, o);
 }
 
@@ -38,9 +54,28 @@ double proposals_per_sec(const core::CompileResult& r) {
   return r.total_secs > 0 ? double(r.total_proposals) / r.total_secs : 0;
 }
 
+void print_row(const Run& r) {
+  printf("%-30s %4d %4d %12.0f %12llu %8llu %8llu %6llu %10s\n", r.label,
+         r.threads, r.solver_workers, proposals_per_sec(r.res),
+         (unsigned long long)r.res.tests_skipped,
+         (unsigned long long)r.res.speculations,
+         (unsigned long long)r.res.rollbacks,
+         (unsigned long long)r.res.solver_queue_peak,
+         bench::pct(r.res.cache.hit_rate()).c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int requested_workers = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "--solver-workers") && i + 1 < argc) {
+      requested_workers = atoi(argv[++i]);
+    } else if (!strncmp(argv[i], "--solver-workers=", 17)) {
+      requested_workers = atoi(argv[i] + 17);
+    }
+  }
+
   const ebpf::Program& src = corpus::benchmark("xdp_map_access").o2;
   uint64_t iters = bench::scaled(4000);
 
@@ -48,25 +83,34 @@ int main() {
          (unsigned long long)iters, src.num_real_insns(),
          std::thread::hardware_concurrency());
   bench::hr();
-  printf("%-34s %10s %12s %14s %12s %12s\n", "configuration", "threads",
-         "proposals/s", "tests skipped", "early exits", "cache hit%");
+  printf("%-30s %4s %4s %12s %12s %8s %8s %6s %10s\n", "configuration",
+         "thr", "slv", "proposals/s", "tests skip", "specs", "rollbk",
+         "qpeak", "cache hit%");
   bench::hr();
 
-  Run runs[] = {
-      {"legacy order (no reorder/exit)", 1, false, {}},
-      {"pipeline (reorder + early exit)", 1, true, {}},
-      {"pipeline (reorder + early exit)", 4, true, {}},
-  };
+  std::vector<Run> runs;
+  if (requested_workers >= 0) {
+    // Focused comparison: sync baseline vs async at the requested pool size
+    // (pool size 0 degenerates to two identical sync runs).
+    runs.push_back({"pipeline sync", 4, true, 0, {}});
+    runs.push_back({"pipeline async", 4, true, requested_workers, {}});
+  } else {
+    runs.push_back({"legacy order (no reorder/exit)", 1, false, 0, {}});
+    runs.push_back({"pipeline sync", 1, true, 0, {}});
+    runs.push_back({"pipeline sync", 4, true, 0, {}});
+    runs.push_back({"pipeline async", 4, true, 1, {}});
+    runs.push_back({"pipeline async", 4, true, 2, {}});
+    runs.push_back({"pipeline async", 4, true, 4, {}});
+  }
+
   double base = 0, multi = 0;
   for (Run& r : runs) {
-    r.res = run_once(src, r.threads, r.opts_on, iters);
-    double pps = proposals_per_sec(r.res);
-    if (r.threads == 1 && r.opts_on) base = pps;
-    if (r.threads == 4 && r.opts_on) multi = pps;
-    printf("%-34s %10d %12.0f %14llu %12llu %11s\n", r.label, r.threads, pps,
-           (unsigned long long)r.res.tests_skipped,
-           (unsigned long long)r.res.early_exits,
-           bench::pct(r.res.cache.hit_rate()).c_str());
+    r.res = run_once(src, r.threads, r.opts_on, r.solver_workers, iters);
+    if (r.threads == 1 && r.opts_on && r.solver_workers == 0)
+      base = proposals_per_sec(r.res);
+    if (r.threads == 4 && r.opts_on && r.solver_workers == 0)
+      multi = proposals_per_sec(r.res);
+    print_row(r);
   }
   bench::hr();
   if (base > 0)

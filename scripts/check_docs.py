@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Documentation checks, run by the CI docs job and locally.
+
+1. Dead-link check: every relative link in every tracked *.md file must
+   point at an existing file or directory (anchors are stripped; absolute
+   URLs and mailto: are ignored).
+2. Reproduction-table coverage: every bench/table*.cc and bench/fig*.cc
+   binary must be mentioned in README.md's table (as bench_<name>), so the
+   paper-reproduction map can never silently rot.
+
+Exit code 0 = clean; 1 = problems (each printed on its own line).
+"""
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — excluding images is unnecessary; they obey the same rule.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def tracked_markdown():
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md", "**/*.md"],
+        cwd=ROOT, capture_output=True, text=True, check=True)
+    return sorted(set(out.stdout.split()))
+
+
+def check_links(md_files):
+    problems = []
+    for md in md_files:
+        base = os.path.dirname(os.path.join(ROOT, md))
+        with open(os.path.join(ROOT, md), encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                for target in LINK_RE.findall(line):
+                    if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                        continue
+                    path = target.split("#", 1)[0]
+                    if not path:  # pure in-page anchor
+                        continue
+                    if not os.path.exists(os.path.normpath(
+                            os.path.join(base, path))):
+                        problems.append(
+                            f"{md}:{lineno}: dead relative link: {target}")
+    return problems
+
+
+def check_bench_coverage():
+    problems = []
+    readme_path = os.path.join(ROOT, "README.md")
+    if not os.path.exists(readme_path):
+        return ["README.md is missing"]
+    with open(readme_path, encoding="utf-8") as f:
+        readme = f.read()
+    bench_dir = os.path.join(ROOT, "bench")
+    for fn in sorted(os.listdir(bench_dir)):
+        m = re.match(r"(table\d+_\w+|fig\d+_\w+)\.cc$", fn)
+        if not m:
+            continue
+        binary = f"bench_{m.group(1)}"
+        if binary not in readme:
+            problems.append(
+                f"README.md: reproduction table is missing {binary} "
+                f"(from bench/{fn})")
+    return problems
+
+
+def main():
+    problems = check_links(tracked_markdown())
+    problems += check_bench_coverage()
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s)")
+        return 1
+    print("docs OK: links resolve, README covers every bench table binary")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

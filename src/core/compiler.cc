@@ -68,6 +68,13 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
                          ? *opts.force_windows
                          : src.num_real_insns() > opts.window_threshold;
 
+  // Dedicated Z3 worker pool (async mode only): separate from the chain
+  // thread pool below, because a solver call parks its thread for up to the
+  // full per-query budget. Declared before the chains so it outlives every
+  // in-flight query; with 0 workers it is inert and chains run the
+  // synchronous PR 1 path.
+  verify::AsyncSolverDispatcher dispatcher(std::max(0, opts.solver_workers));
+
   std::vector<ChainConfig> configs;
   for (int i = 0; i < opts.num_chains; ++i) {
     ChainConfig cfg;
@@ -81,6 +88,8 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
     cfg.use_windows = use_windows;
     cfg.reorder_tests = opts.reorder_tests;
     cfg.early_exit = opts.early_exit;
+    cfg.dispatcher = dispatcher.async() ? &dispatcher : nullptr;
+    cfg.speculation_depth = opts.speculation_depth;
     configs.push_back(cfg);
   }
 
@@ -107,7 +116,17 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
     res.early_exits += cr.stats.early_exits;
     res.tests_executed += cr.stats.tests_executed;
     res.tests_skipped += cr.stats.tests_skipped;
+    res.speculations += cr.stats.speculations;
+    res.pending_joins += cr.stats.pending_joins;
+    res.rollbacks += cr.stats.rollbacks;
+    res.discarded_proposals += cr.stats.discarded_proposals;
     for (const auto& c : cr.candidates) all.push_back(c);
+  }
+  {
+    verify::AsyncSolverDispatcher::Stats ds = dispatcher.stats();
+    res.solver_queue_peak = ds.queue_peak;
+    res.solver_timeouts = ds.timeouts;
+    res.solver_abandoned = ds.abandoned;
   }
   std::sort(all.begin(), all.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });

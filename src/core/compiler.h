@@ -30,6 +30,12 @@ struct CompileOptions {
   // Evaluation-pipeline knobs, forwarded to every chain (see ChainConfig).
   bool reorder_tests = true;
   bool early_exit = true;
+  // Async solver dispatch (ISSUE 2): number of dedicated Z3 worker threads
+  // shared by all chains. 0 = synchronous equivalence checking, bit-identical
+  // to PR 1. With workers, chains speculate past in-flight verdicts under a
+  // bounded undo-log (speculation_depth frames per chain; see core/mcmc.h).
+  int solver_workers = 0;
+  int speculation_depth = 4;
 };
 
 struct CompileResult {
@@ -51,6 +57,14 @@ struct CompileResult {
   uint64_t early_exits = 0;
   uint64_t tests_executed = 0;
   uint64_t tests_skipped = 0;
+  // Async solver dispatch totals (all zero when solver_workers == 0).
+  uint64_t speculations = 0;        // chain decisions made on pending verdicts
+  uint64_t pending_joins = 0;       // queries deduplicated across chains
+  uint64_t rollbacks = 0;           // speculations contradicted by the solver
+  uint64_t discarded_proposals = 0; // proposals undone by those rollbacks
+  uint64_t solver_queue_peak = 0;   // high-water mark of the dispatch queue
+  uint64_t solver_timeouts = 0;     // async queries that returned UNKNOWN
+  uint64_t solver_abandoned = 0;    // cancelled queries skipped before solving
 
   // Kernel-checker post-processing statistics (Table 5).
   int kernel_accepted = 0;

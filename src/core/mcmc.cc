@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <deque>
 
 #include "pipeline/eval_pipeline.h"
 
@@ -27,8 +28,9 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   }
 
   // The propose→test→safety→cache→eqcheck→cost sequence lives in the
-  // evaluation pipeline; this loop owns only proposal generation and the
-  // Metropolis–Hastings accept decision.
+  // evaluation pipeline; this loop owns only proposal generation, the
+  // Metropolis–Hastings accept decision, and (in async mode) the undo-log
+  // that lets the chain run ahead of in-flight solver verdicts.
   pipeline::EvalConfig ecfg;
   ecfg.params = cfg.params;
   ecfg.goal = cfg.goal;
@@ -37,8 +39,16 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   ecfg.window_mode = cfg.use_windows;
   ecfg.reorder_tests = cfg.reorder_tests;
   ecfg.early_exit = cfg.early_exit;
+  ecfg.dispatcher = cfg.dispatcher;
   pipeline::EvalPipeline pipe(src, suite, cache, ecfg);
   pipeline::ExecContext& ctx = pipeline::worker_context();
+
+  // Max in-flight speculated verdicts. Zero = fully synchronous chain,
+  // bit-identical to PR 1 (the pipeline never sees a PendingEq slot).
+  const size_t spec_depth =
+      cfg.dispatcher && cfg.dispatcher->async() && cfg.speculation_depth > 0
+          ? size_t(cfg.speculation_depth)
+          : 0;
 
   auto consider_best = [&](const ebpf::Program& cand, uint64_t iter) {
     double perf = perf_cost(cfg.goal, cand, src);
@@ -67,7 +77,86 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   pipeline::Eval cur_eval =
       pipe.evaluate(cur, cur_win, pipeline::RejectGate{}, ctx);
 
-  for (uint64_t iter = 0; iter < cfg.iterations; ++iter) {
+  // One undo-log entry: the speculated decision plus a snapshot of every
+  // piece of chain state that decision (and everything after it) may have
+  // touched. The candidate itself lives in pending.cand.
+  struct SpecFrame {
+    uint64_t iter;  // iteration index of the speculated decision
+    double u;       // its pre-drawn acceptance uniform
+    pipeline::PendingEq pending;
+    // Snapshot taken immediately before applying the speculative decision:
+    ebpf::Program cur;
+    pipeline::Eval cur_eval;
+    std::mt19937_64 rng;  // post-draw, so the replay consumes no randomness
+    size_t win_idx;
+    std::optional<verify::WindowSpec> cur_win;
+    std::optional<ebpf::Program> best;
+    double best_perf;
+    std::vector<std::pair<double, ebpf::Program>> candidates;
+    uint64_t proposals, accepted, best_iter;
+    double best_time_sec;
+  };
+  std::deque<SpecFrame> frames;  // in-flight speculations, oldest first
+
+  uint64_t iter = 0;
+
+  // Retires the oldest speculation given its corrected evaluation. When the
+  // solver confirmed the not-equal assumption the decision already made is
+  // exactly the decision the verdict implies (same test results, same cost),
+  // so the frame is simply dropped. When the solver says EQUAL the chain is
+  // rolled back to the frame's snapshot, the decision is replayed with the
+  // true (lower) cost, and every younger in-flight query is cancelled —
+  // their issuing states no longer exist.
+  auto retire_head = [&](pipeline::Eval fin) {
+    SpecFrame f = std::move(frames.front());
+    frames.pop_front();
+    if (!fin.verified) return;
+    st.rollbacks++;
+    st.discarded_proposals += st.proposals - f.proposals;
+    for (auto& g : frames) pipe.cancel(g.pending);
+    frames.clear();
+    cur = std::move(f.cur);
+    cur_eval = f.cur_eval;
+    rng = f.rng;
+    win_idx = f.win_idx;
+    cur_win = f.cur_win;
+    gen = ProposalGen(src, cfg.params, cfg.rules, cur_win);
+    result.best = std::move(f.best);
+    result.best_perf = f.best_perf;
+    result.candidates = std::move(f.candidates);
+    st.proposals = f.proposals;
+    st.accepted = f.accepted;
+    st.best_iter = f.best_iter;
+    st.best_time_sec = f.best_time_sec;
+    // Replay the retired iteration's tail with the real verdict.
+    consider_best(f.pending.cand, f.iter);
+    double accept_prob = std::min(
+        1.0, std::exp(-cfg.params.mcmc_beta * (fin.cost - cur_eval.cost)));
+    if (f.u < accept_prob) {
+      cur = std::move(f.pending.cand);
+      cur_eval = fin;
+      st.accepted++;
+    }
+    iter = f.iter + 1;
+  };
+
+  while (iter < cfg.iterations || !frames.empty()) {
+    // Retire whatever resolved, oldest first, without blocking.
+    while (!frames.empty()) {
+      std::optional<pipeline::Eval> fin =
+          pipe.poll(frames.front().pending, ctx);
+      if (!fin) break;
+      retire_head(std::move(*fin));
+    }
+    // Undo-log full, or out of fresh proposals: block on the oldest
+    // verdict (backpressure toward the solver pool).
+    if (!frames.empty() &&
+        (frames.size() >= spec_depth || iter >= cfg.iterations)) {
+      retire_head(pipe.resolve(frames.front().pending, ctx));
+      continue;  // a rollback may have rewound iter; re-check everything
+    }
+    if (iter >= cfg.iterations) continue;
+
     if (cfg.use_windows && !windows.empty() && windows[0].end > 0 &&
         iter > 0 && iter % iters_per_window == 0 &&
         win_idx + 1 < windows.size()) {
@@ -78,24 +167,59 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
     }
     st.proposals++;
     ebpf::Program cand = gen.propose(cur, rng);
-    if (cand.insns == cur.insns) continue;
+    if (cand.insns == cur.insns) {
+      iter++;
+      continue;
+    }
     // Draw the acceptance uniform before evaluating: evaluation consumes no
     // randomness, so the RNG stream matches the legacy order, and the
     // pipeline can prove mid-evaluation that this draw must reject.
     double u = std::uniform_real_distribution<double>(0, 1)(rng);
+    pipeline::PendingEq pending;
     pipeline::Eval cand_eval = pipe.evaluate(
         cand, cur_win,
-        pipeline::RejectGate{cur_eval.cost, u, cfg.params.mcmc_beta}, ctx);
-    if (cand_eval.verified) consider_best(cand, iter);
-
-    double accept_prob =
-        std::min(1.0, std::exp(-cfg.params.mcmc_beta *
-                               (cand_eval.cost - cur_eval.cost)));
-    if (u < accept_prob) {
-      cur = std::move(cand);
-      cur_eval = cand_eval;
-      st.accepted++;
+        pipeline::RejectGate{cur_eval.cost, u, cfg.params.mcmc_beta}, ctx,
+        spec_depth > 0 ? &pending : nullptr);
+    if (cand_eval.pending) {
+      // Verdict in flight: snapshot, then decide under the not-equal
+      // assumption and keep going.
+      SpecFrame f;
+      f.iter = iter;
+      f.u = u;
+      f.pending = std::move(pending);
+      f.cur = cur;
+      f.cur_eval = cur_eval;
+      f.rng = rng;
+      f.win_idx = win_idx;
+      f.cur_win = cur_win;
+      f.best = result.best;
+      f.best_perf = result.best_perf;
+      f.candidates = result.candidates;
+      f.proposals = st.proposals;
+      f.accepted = st.accepted;
+      f.best_iter = st.best_iter;
+      f.best_time_sec = st.best_time_sec;
+      double accept_prob = std::min(
+          1.0,
+          std::exp(-cfg.params.mcmc_beta * (cand_eval.cost - cur_eval.cost)));
+      if (u < accept_prob) {
+        cur = std::move(cand);  // f.pending.cand keeps the rollback copy
+        cur_eval = cand_eval;
+        st.accepted++;
+      }
+      frames.push_back(std::move(f));
+    } else {
+      if (cand_eval.verified) consider_best(cand, iter);
+      double accept_prob = std::min(
+          1.0,
+          std::exp(-cfg.params.mcmc_beta * (cand_eval.cost - cur_eval.cost)));
+      if (u < accept_prob) {
+        cur = std::move(cand);
+        cur_eval = cand_eval;
+        st.accepted++;
+      }
     }
+    iter++;
   }
   const pipeline::EvalStats& ps = pipe.stats();
   st.test_prunes = ps.test_prunes;
@@ -105,6 +229,8 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   st.early_exits = ps.early_exits;
   st.tests_executed = ps.tests_executed;
   st.tests_skipped = ps.tests_skipped;
+  st.speculations = ps.speculations;
+  st.pending_joins = ps.pending_joins;
   st.total_time_sec = std::chrono::duration<double>(Clock::now() - t0).count();
   return result;
 }

@@ -2,6 +2,19 @@
 // safety checking → (cached) equivalence checking → cost → accept/reject.
 // Counterexamples from both the equivalence checker and the safety checker
 // flow back into the shared test suite (Fig. 1).
+//
+// Speculative solver dispatch (ISSUE 2): with an AsyncSolverDispatcher
+// wired in, a candidate whose equivalence verdict is still in flight does
+// not stall the chain. The chain decides speculatively under the rejected
+// (not-equal) assumption — the statistically common outcome — and pushes an
+// undo-log frame snapshotting everything the decision touched (current
+// program, cost, RNG state, window cursor, best-candidate trajectory,
+// decision counters). Frames retire strictly in issue order: a verdict of
+// "not equal" confirms the speculation and the frame is dropped; a verdict
+// of EQUAL rolls the chain back to the frame's snapshot, replays the
+// decision with the true verdict, and cancels every younger in-flight
+// query. The undo-log is bounded by speculation_depth; a full log blocks
+// the chain on its oldest verdict (backpressure toward the solver pool).
 #pragma once
 
 #include <optional>
@@ -11,6 +24,7 @@
 #include "core/proposals.h"
 #include "safety/safety.h"
 #include "verify/cache.h"
+#include "verify/solver_dispatch.h"
 #include "verify/window.h"
 
 namespace k2::core {
@@ -33,20 +47,35 @@ struct ChainConfig {
   // exactly, which the differential tests rely on.
   bool reorder_tests = true;
   bool early_exit = true;
+  // Async solver dispatch: null or a zero-worker dispatcher keeps the chain
+  // fully synchronous (bit-identical to PR 1). With workers, equivalence
+  // queries overlap chain progress under speculation (see file comment);
+  // speculation_depth bounds the undo-log (in-flight verdicts per chain).
+  verify::AsyncSolverDispatcher* dispatcher = nullptr;
+  int speculation_depth = 4;
 };
 
 struct ChainStats {
-  uint64_t proposals = 0;
+  uint64_t proposals = 0;  // retired proposals (mis-speculated work excluded)
   uint64_t accepted = 0;
   uint64_t test_prunes = 0;     // proposals killed by the test suite
   uint64_t safety_rejects = 0;
-  uint64_t solver_calls = 0;    // equivalence queries actually discharged
+  // Equivalence queries sent to the solver: solved inline in sync mode;
+  // counted at submit time in async mode, where a few may later be
+  // cancelled and abandoned unsolved (CompileResult::solver_abandoned).
+  uint64_t solver_calls = 0;
   uint64_t cache_hits = 0;
   // Pipeline observability (not part of the legacy-comparable set: the
-  // legacy inline evaluation by construction has zero early exits).
+  // legacy inline evaluation by construction has zero early exits). These
+  // count work actually performed, including work later rolled back.
   uint64_t early_exits = 0;
   uint64_t tests_executed = 0;
   uint64_t tests_skipped = 0;
+  // Speculation observability (async mode only; all zero in sync mode).
+  uint64_t speculations = 0;        // decisions made on a pending verdict
+  uint64_t pending_joins = 0;       // queries shared with another chain
+  uint64_t rollbacks = 0;           // speculations the solver contradicted
+  uint64_t discarded_proposals = 0; // proposals undone by those rollbacks
   uint64_t best_iter = 0;
   double best_time_sec = 0;
   double total_time_sec = 0;

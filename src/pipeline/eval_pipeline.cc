@@ -28,6 +28,28 @@ bool differs_only_in(const ebpf::Program& orig, const ebpf::Program& cand,
   return true;
 }
 
+// The one equivalence-query policy, shared by the sync path, the
+// fingerprint-collision fallback, and the deferred async solve (which is
+// why this is a free function over copies/references it is given, not a
+// pipeline member: the closure may outlive the pipeline): window-scoped
+// check first when the mutation fits the window, whole-program fallback on
+// ENCODE_FAIL or when it doesn't.
+verify::EqResult solve_eq_query(const ebpf::Program& src,
+                                const ebpf::Program& cand,
+                                const std::optional<verify::WindowSpec>& win,
+                                const verify::EqOptions& opts) {
+  if (win && differs_only_in(src, cand, *win)) {
+    std::vector<ebpf::Insn> repl(cand.insns.begin() + win->start,
+                                 cand.insns.begin() + win->end);
+    verify::EqResult eq =
+        verify::check_window_equivalence(src, *win, repl, opts);
+    if (eq.verdict == verify::Verdict::ENCODE_FAIL)
+      eq = verify::check_equivalence(src, cand, opts);
+    return eq;
+  }
+  return verify::check_equivalence(src, cand, opts);
+}
+
 }  // namespace
 
 EvalPipeline::EvalPipeline(const ebpf::Program& src, core::TestSuite& suite,
@@ -97,7 +119,8 @@ bool EvalPipeline::run_suite(const ebpf::Program& cand, double perf,
 
 Eval EvalPipeline::evaluate(const ebpf::Program& cand,
                             const std::optional<verify::WindowSpec>& win,
-                            const RejectGate& gate, ExecContext& ctx) {
+                            const RejectGate& gate, ExecContext& ctx,
+                            PendingEq* pending) {
   Eval ev;
   double perf = core::perf_cost(cfg_.goal, cand, src_);
   core::TestEval te;
@@ -135,6 +158,48 @@ Eval EvalPipeline::evaluate(const ebpf::Program& cand,
       stats_.safety_rejects++;
       safe_cost = kErrMax;
       if (sres.cex) suite_.add(*sres.cex);  // prune similar ones cheaply
+    } else if (pending && cfg_.dispatcher && cfg_.dispatcher->async()) {
+      // Asynchronous dispatch: claim the cache slot; on a miss, queue the
+      // solver call (or join another chain's identical in-flight query) and
+      // return speculatively under the not-equal assumption.
+      verify::EqCache::Key key = verify::EqCache::key_for(src_, cand);
+      verify::EqCache::Claim cl = cache_.claim(key);
+      if (cl.verdict) {
+        stats_.cache_hits++;
+        unequal = *cl.verdict != verify::Verdict::EQUAL;
+        ev.verified = !unequal;
+      } else if (!cl.pending) {
+        // The 64-bit slot is busy with a different program's in-flight
+        // query (fingerprint collision): solve synchronously, uncached.
+        stats_.solver_calls++;
+        verify::EqResult eq = solve_eq_query(src_, cand, win, cfg_.eq);
+        unequal = eq.verdict != verify::Verdict::EQUAL;
+        if (eq.cex) confirm_cex(cand, *eq.cex, ctx);
+        ev.verified = !unequal;
+      } else {
+        if (cl.owner) {
+          stats_.solver_calls++;
+          // The deferred solve owns copies of everything it reads except
+          // `src_`, which outlives the dispatcher (both live for the whole
+          // compile) — the pipeline itself may not, so nothing captures
+          // `this`.
+          cfg_.dispatcher->submit(
+              cache_, key, cl.pending,
+              [&src = src_, cand_copy = cand, win, eqopts = cfg_.eq]() {
+                return solve_eq_query(src, cand_copy, win, eqopts);
+              });
+        } else {
+          stats_.pending_joins++;
+        }
+        stats_.speculations++;
+        pending->ticket = cl.pending;
+        pending->key = key;
+        pending->cand = cand;
+        pending->te = te;
+        pending->perf = perf;
+        ev.pending = true;
+        // `unequal` stays true: the speculative cost assumes NOT_EQUAL.
+      }
     } else {
       verify::EqCache::Key key = verify::EqCache::key_for(src_, cand);
       if (auto hit = cache_.lookup(key)) {
@@ -142,27 +207,10 @@ Eval EvalPipeline::evaluate(const ebpf::Program& cand,
         unequal = *hit != verify::Verdict::EQUAL;
       } else {
         stats_.solver_calls++;
-        verify::EqResult eq;
-        if (win && differs_only_in(src_, cand, *win)) {
-          std::vector<ebpf::Insn> repl(cand.insns.begin() + win->start,
-                                       cand.insns.begin() + win->end);
-          eq = verify::check_window_equivalence(src_, *win, repl, cfg_.eq);
-          if (eq.verdict == verify::Verdict::ENCODE_FAIL)
-            eq = verify::check_equivalence(src_, cand, cfg_.eq);
-        } else {
-          eq = verify::check_equivalence(src_, cand, cfg_.eq);
-        }
+        verify::EqResult eq = solve_eq_query(src_, cand, win, cfg_.eq);
         cache_.insert(key, eq.verdict);
         unequal = eq.verdict != verify::Verdict::EQUAL;
-        if (eq.cex) {
-          // Only keep counterexamples the interpreter confirms, guarding
-          // against encoder/interpreter drift.
-          interp::RunResult r1 =
-              interp::run(src_, *eq.cex, ctx.run_opts, ctx.machine);
-          interp::RunResult r2 =
-              interp::run(cand, *eq.cex, ctx.run_opts, ctx.machine);
-          if (!interp::outputs_equal(src_.type, r1, r2)) suite_.add(*eq.cex);
-        }
+        if (eq.cex) confirm_cex(cand, *eq.cex, ctx);
       }
       ev.verified = !unequal;
     }
@@ -171,6 +219,48 @@ Eval EvalPipeline::evaluate(const ebpf::Program& cand,
   ev.cost = cfg_.params.alpha * err + cfg_.params.beta * perf +
             cfg_.params.gamma * safe_cost;
   return ev;
+}
+
+void EvalPipeline::confirm_cex(const ebpf::Program& cand,
+                               const interp::InputSpec& cex,
+                               ExecContext& ctx) {
+  // Only keep counterexamples the interpreter confirms, guarding against
+  // encoder/interpreter drift.
+  interp::RunResult r1 = interp::run(src_, cex, ctx.run_opts, ctx.machine);
+  interp::RunResult r2 = interp::run(cand, cex, ctx.run_opts, ctx.machine);
+  if (!interp::outputs_equal(src_.type, r1, r2)) suite_.add(cex);
+}
+
+Eval EvalPipeline::finalize(PendingEq& p, const verify::EqResult& eq,
+                            ExecContext& ctx) {
+  bool unequal = eq.verdict != verify::Verdict::EQUAL;
+  // Chains sharing one query each confirm against their own candidate.
+  if (eq.cex) confirm_cex(p.cand, *eq.cex, ctx);
+  Eval ev;
+  // The candidate reached the verifier, so it passed every test and the
+  // safety checker: the γ·safe term is zero and te/perf are unchanged from
+  // dispatch time — only the equivalence term needed the real verdict.
+  double err = core::error_cost(cfg_.params, p.te, unequal);
+  ev.cost = cfg_.params.alpha * err + cfg_.params.beta * p.perf;
+  ev.verified = !unequal;
+  p.ticket.reset();
+  return ev;
+}
+
+std::optional<Eval> EvalPipeline::poll(PendingEq& p, ExecContext& ctx) {
+  std::optional<verify::EqResult> r = p.ticket->poll();
+  if (!r) return std::nullopt;
+  return finalize(p, *r, ctx);
+}
+
+Eval EvalPipeline::resolve(PendingEq& p, ExecContext& ctx) {
+  verify::EqResult r = p.ticket->wait();
+  return finalize(p, r, ctx);
+}
+
+void EvalPipeline::cancel(PendingEq& p) {
+  if (cfg_.dispatcher) cfg_.dispatcher->cancel(p.ticket);
+  p.ticket.reset();
 }
 
 }  // namespace k2::pipeline

@@ -20,6 +20,26 @@
 //    tracking is unaffected — and costs of fully-evaluated candidates are
 //    summed in canonical suite order, making same-seed chain decisions
 //    bit-identical to the legacy inline evaluation.
+//
+// Asynchronous solver dispatch (ISSUE 2): when an AsyncSolverDispatcher is
+// wired in and the caller passes a PendingEq out-parameter, an equivalence
+// query that misses the cache no longer blocks. evaluate() submits the
+// query to the solver pool (or joins another chain's identical in-flight
+// query via the cache's PendingVerdict) and returns a *speculative* Eval —
+// cost computed under the assumption the verdict will be "not equal", the
+// statistically common outcome, with Eval::pending set. The chain keeps
+// proposing from that assumption and later retires the speculation through
+// poll()/resolve(), which deliver the corrected Eval once the real verdict
+// lands (the chain rolls back via its undo-log if the solver says EQUAL —
+// see core/mcmc.cc). cancel() detaches a speculation whose chain state was
+// rolled away.
+//
+// Thread-safety: an EvalPipeline instance belongs to ONE chain (thread).
+// evaluate()/poll()/resolve()/cancel() and stats() must be called from that
+// thread only; the shared TestSuite, EqCache and AsyncSolverDispatcher they
+// touch are themselves thread-safe. evaluate() blocks on Z3 only in the
+// synchronous path; poll() never blocks; resolve() blocks until the solver
+// pool publishes the verdict.
 #pragma once
 
 #include <limits>
@@ -30,6 +50,7 @@
 #include "pipeline/exec_context.h"
 #include "safety/safety.h"
 #include "verify/cache.h"
+#include "verify/solver_dispatch.h"
 #include "verify/window.h"
 
 namespace k2::pipeline {
@@ -44,22 +65,33 @@ struct EvalConfig {
   bool window_mode = false;
   bool reorder_tests = true;
   bool early_exit = true;
+  // Non-null + dispatcher->async(): equivalence queries go through the
+  // solver pool when the caller opts in per-call (see evaluate()). Null or
+  // a zero-worker dispatcher reproduces the synchronous PR 1 path exactly.
+  verify::AsyncSolverDispatcher* dispatcher = nullptr;
 };
 
 struct EvalStats {
   uint64_t test_prunes = 0;     // candidates killed by the test suite
   uint64_t safety_rejects = 0;
-  uint64_t solver_calls = 0;    // equivalence queries actually discharged
+  uint64_t solver_calls = 0;    // queries solved inline (sync) or submitted
+                                // to the dispatcher (async; submit-time
+                                // count — cancellation may abandon a few)
   uint64_t cache_hits = 0;
   uint64_t early_exits = 0;     // test loops cut short by provable rejection
   uint64_t tests_executed = 0;
   uint64_t tests_skipped = 0;   // tests the early exit avoided
+  // Async dispatch observability:
+  uint64_t speculations = 0;    // evaluations returned with pending verdicts
+  uint64_t pending_joins = 0;   // queries shared with another chain in flight
 };
 
 struct Eval {
   double cost = 0;
   bool verified = false;       // safe && formally equivalent
   bool rejected_early = false; // cost is +inf sentinel, decision pinned
+  bool pending = false;        // async: cost assumes NOT_EQUAL; verdict in
+                               // flight, retire via poll()/resolve()
 };
 
 // The chain's pre-drawn accept decision, exposed to the pipeline so it can
@@ -69,6 +101,21 @@ struct RejectGate {
   double u = -1;        // the acceptance uniform for this proposal
   double mcmc_beta = 0;
   bool active() const { return u > 0 && mcmc_beta > 0; }
+};
+
+// Handle for one speculated equivalence verdict: the in-flight query plus
+// everything finalize needs to turn the real verdict into a corrected Eval
+// (the test evaluation and perf term were computed before dispatch and do
+// not change). Obtained from evaluate(); consumed by exactly one of
+// poll()-returning-a-value, resolve(), or cancel().
+struct PendingEq {
+  verify::PendingHandle ticket;
+  verify::EqCache::Key key;
+  ebpf::Program cand;  // this chain's candidate, for cex confirmation —
+                       // chains sharing one query confirm against their own
+  core::TestEval te;
+  double perf = 0;
+  bool valid() const { return ticket != nullptr; }
 };
 
 class EvalPipeline {
@@ -81,9 +128,30 @@ class EvalPipeline {
   // query first when `win` covers the mutation), and the §3.2 cost.
   // Counterexamples from the safety and equivalence checkers are appended
   // to the shared suite, exactly as the legacy inline evaluation did.
+  //
+  // `pending` opts into asynchronous dispatch: when non-null and a
+  // dispatcher with workers is configured, a cache-missing equivalence
+  // query is submitted to the solver pool instead of blocking, `*pending`
+  // is filled, and the returned Eval carries `pending == true` with the
+  // cost computed under the rejected (not-equal) assumption. With a null
+  // `pending` (or no dispatcher) the call is fully synchronous and
+  // bit-identical to the PR 1 pipeline.
   Eval evaluate(const ebpf::Program& cand,
                 const std::optional<verify::WindowSpec>& win,
-                const RejectGate& gate, ExecContext& ctx);
+                const RejectGate& gate, ExecContext& ctx,
+                PendingEq* pending = nullptr);
+
+  // Retires a speculation. poll() never blocks: nullopt while the solver is
+  // still working, the corrected Eval once the verdict landed. resolve()
+  // blocks until the verdict lands. Both confirm and append the solver's
+  // counterexample (if any) to the shared suite, then invalidate `p`.
+  std::optional<Eval> poll(PendingEq& p, ExecContext& ctx);
+  Eval resolve(PendingEq& p, ExecContext& ctx);
+
+  // Abandons a speculation whose chain state was rolled back: detaches this
+  // chain from the in-flight query (the query itself is skipped only when
+  // no other chain still waits on it) and invalidates `p`.
+  void cancel(PendingEq& p);
 
   const EvalStats& stats() const { return stats_; }
 
@@ -96,6 +164,14 @@ class EvalPipeline {
   bool run_suite(const ebpf::Program& cand, double perf,
                  const RejectGate& gate, ExecContext& ctx,
                  core::TestEval& te);
+
+  // Appends a solver counterexample to the shared suite iff the interpreter
+  // confirms the disagreement between src_ and `cand`.
+  void confirm_cex(const ebpf::Program& cand, const interp::InputSpec& cex,
+                   ExecContext& ctx);
+
+  // Turns the real verdict into the corrected Eval for a speculation.
+  Eval finalize(PendingEq& p, const verify::EqResult& eq, ExecContext& ctx);
 
   const ebpf::Program& src_;
   core::TestSuite& suite_;

@@ -2,6 +2,12 @@
 // per OS thread (see worker_context()); the interpreter Machine and the
 // per-test scratch vectors inside it are re-filled, never re-allocated, as
 // the worker evaluates millions of candidates.
+//
+// Thread-safety: an ExecContext is NOT thread-safe and never shared —
+// worker_context() hands each thread its own instance, and references must
+// not be passed across threads (solver workers never touch one: the async
+// dispatch path re-runs counterexamples on the chain's own context at
+// speculation-retire time, see EvalPipeline::poll/resolve).
 #pragma once
 
 #include <cstdint>

@@ -4,6 +4,19 @@
 // its own work LIFO (cache-warm) and steals FIFO from victims when empty, so
 // uneven task lengths (chains with very different solver loads) keep all
 // cores busy.
+//
+// This pool is for CPU-bound work only. Tasks that park their thread for
+// long stretches (Z3 equivalence queries) belong on the dedicated
+// verify::AsyncSolverDispatcher pool instead — a handful of hard solver
+// calls here would starve every chain.
+//
+// Thread-safety: submit() and run_all() are safe from any thread, including
+// pool workers (a worker's submission lands on its own deque; run_all's
+// caller lends a hand draining the queue instead of sleeping, so nested use
+// cannot deadlock). submit() never blocks on task execution; run_all()
+// blocks until every passed task finished. The destructor executes any
+// still-queued tasks before joining, so submitted closures must stay valid
+// until their future is ready or the pool is destroyed.
 #pragma once
 
 #include <condition_variable>

@@ -17,6 +17,39 @@ uint64_t mix64(uint64_t h1, uint64_t h2) {
 
 }  // namespace
 
+// ---- PendingVerdict --------------------------------------------------------
+
+std::optional<EqResult> PendingVerdict::poll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::DONE) return std::nullopt;
+  return result_;
+}
+
+EqResult PendingVerdict::wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return state_ == State::DONE; });
+  return *result_;
+}
+
+PendingVerdict::State PendingVerdict::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+void PendingVerdict::join() {
+  std::lock_guard<std::mutex> lock(mu_);
+  waiters_++;
+  cancelled_ = false;  // a fresh waiter revives a not-yet-abandoned cancel
+}
+
+void PendingVerdict::release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (waiters_ > 0) waiters_--;
+  if (waiters_ == 0 && state_ == State::WAITING) cancelled_ = true;
+}
+
+// ---- EqCache ---------------------------------------------------------------
+
 EqCache::Key EqCache::key_for(const ebpf::Program& src,
                               const ebpf::Program& cand) {
   ebpf::Program canon = analysis::canonicalize(cand);
@@ -31,7 +64,8 @@ std::optional<Verdict> EqCache::lookup(const Key& key) {
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.map.find(key.hash);
-  if (it == s.map.end()) {
+  if (it == s.map.end() || it->second.pending != nullptr) {
+    // Absent, or still in flight: the synchronous path does not wait.
     s.stats.misses++;
     return std::nullopt;
   }
@@ -50,7 +84,83 @@ void EqCache::insert(const Key& key, Verdict v) {
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
   s.stats.insertions++;
-  s.map[key.hash] = Entry{key.fp, v};  // collisions: last writer wins
+  s.map[key.hash] = Entry{key.fp, v, nullptr};  // collisions: last writer wins
+}
+
+EqCache::Claim EqCache::claim(const Key& key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  Claim cl;
+  auto it = s.map.find(key.hash);
+  if (it != s.map.end()) {
+    if (it->second.pending) {
+      if (it->second.fp == key.fp) {
+        // The same program's query is in flight: share it.
+        it->second.pending->join();
+        s.stats.pending_joins++;
+        cl.pending = it->second.pending;
+        return cl;
+      }
+      // Primary-key collision with a DIFFERENT program's in-flight query:
+      // joining would adopt that program's verdict — the exact wrong-verdict
+      // hole the fingerprint exists to close. The slot is busy, so the
+      // caller must solve without the cache (empty Claim).
+      s.stats.collisions++;
+      s.stats.misses++;
+      return cl;
+    }
+    if (it->second.fp == key.fp) {
+      s.stats.hits++;
+      cl.verdict = it->second.verdict;
+      return cl;
+    }
+    s.stats.collisions++;
+    // Fall through: treat as a miss and take ownership of the slot.
+  }
+  s.stats.misses++;
+  cl.pending = std::make_shared<PendingVerdict>();
+  cl.owner = true;
+  s.map[key.hash] = Entry{key.fp, Verdict::UNKNOWN, cl.pending};
+  return cl;
+}
+
+void EqCache::publish(const Key& key, const PendingHandle& pv, EqResult r) {
+  Shard& s = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key.hash);
+    // Only touch the slot if it still backs this query (a sync insert() may
+    // have overwritten it meanwhile).
+    if (it != s.map.end() && it->second.pending == pv) {
+      if (r.verdict == Verdict::UNKNOWN) {
+        // Solver budget exhausted: transient, do not poison the cache.
+        s.map.erase(it);
+      } else {
+        s.stats.insertions++;
+        it->second.verdict = r.verdict;
+        it->second.pending = nullptr;
+      }
+    }
+    std::lock_guard<std::mutex> plock(pv->mu_);
+    pv->state_ = PendingVerdict::State::DONE;
+    pv->result_ = std::move(r);
+  }
+  pv->cv_.notify_all();
+}
+
+bool EqCache::acquire_for_solve(const Key& key, const PendingHandle& pv) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::lock_guard<std::mutex> plock(pv->mu_);
+  if (pv->state_ == PendingVerdict::State::WAITING && !pv->cancelled_) {
+    pv->state_ = PendingVerdict::State::RUNNING;
+    return true;
+  }
+  pv->state_ = PendingVerdict::State::ABANDONED;
+  auto it = s.map.find(key.hash);
+  if (it != s.map.end() && it->second.pending == pv) s.map.erase(it);
+  s.stats.pending_abandons++;
+  return false;
 }
 
 EqCache::Stats EqCache::stats() const {
@@ -61,6 +171,8 @@ EqCache::Stats EqCache::stats() const {
     total.misses += s.stats.misses;
     total.insertions += s.stats.insertions;
     total.collisions += s.stats.collisions;
+    total.pending_joins += s.stats.pending_joins;
+    total.pending_abandons += s.stats.pending_abandons;
   }
   return total;
 }

@@ -9,11 +9,46 @@
 // fingerprint of the canonical program; a lookup whose primary 64-bit key
 // collides but whose fingerprint disagrees is reported as a miss instead of
 // surfacing another program's Verdict.
+//
+// Pending verdicts (async solver dispatch): besides resolved Verdicts, an
+// entry can hold an in-flight query. `claim()` is the async entry point: it
+// returns either a resolved verdict (hit), ownership of a fresh
+// PendingVerdict the caller must dispatch and later publish()/abandon(), or
+// a shared handle to another chain's in-flight query — so concurrent chains
+// hitting the same program hash wait on ONE solver query instead of
+// duplicating it. The legacy lookup()/insert() pair is untouched and remains
+// the synchronous path (it treats pending entries as misses).
+//
+// Verdict lifecycle of a PendingVerdict (state guarded by its mutex):
+//
+//   WAITING ──(worker starts solving)──────────────→ RUNNING ──→ DONE
+//      │                                                          ▲
+//      └──(every waiter cancelled, worker popped it)→ ABANDONED   │
+//                                                     publish() ──┘
+//
+//   * WAITING: queued behind the dispatcher; join() attaches more waiters,
+//     and a join resurrects a cancel that has not yet been acted on.
+//   * RUNNING: a solver worker is inside Z3; cancellation no longer stops
+//     the query (Z3 is not interruptible mid-check here) but the result is
+//     still published — the work is useful to later lookups.
+//   * DONE: publish() stored the EqResult and woke all waiters. EQUAL /
+//     NOT_EQUAL / ENCODE_FAIL verdicts are promoted to resolved cache
+//     entries; UNKNOWN (solver timeout / gave up) deliberately is NOT — a
+//     transient budget exhaustion must not poison the cache, so the entry is
+//     erased and the key is immediately re-dispatchable.
+//   * ABANDONED: all waiters cancelled before a worker picked the query up;
+//     the cache entry is erased, so the next claim() re-owns the key.
+//
+// Thread-safety: every public method is safe to call from any thread. Lock
+// order is shard mutex → PendingVerdict mutex; PendingVerdict methods that
+// take only their own mutex (poll/wait/join/release) never touch shard state.
 #pragma once
 
 #include <array>
 #include <bit>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -23,6 +58,43 @@
 
 namespace k2::verify {
 
+// One in-flight (or just-resolved) equivalence query, shared between the
+// owning chain, any chains that joined it, and the solver worker.
+class PendingVerdict {
+ public:
+  enum class State : uint8_t { WAITING, RUNNING, DONE, ABANDONED };
+
+  // Non-blocking: the result, once publish() ran; nullopt before that.
+  // ABANDONED queries never produce a result (callers that cancelled hold
+  // no further interest in the key and must re-claim() to retry).
+  std::optional<EqResult> poll() const;
+
+  // Blocks until publish() delivers the result. Must not be called on a
+  // query the caller has cancelled (it could block forever once ABANDONED).
+  EqResult wait() const;
+
+  State state() const;
+
+ private:
+  friend class EqCache;
+  friend class AsyncSolverDispatcher;
+
+  // Attach one more waiter; resurrects a not-yet-abandoned cancel.
+  void join();
+  // Detach one waiter; the last waiter to leave a WAITING query marks it
+  // cancelled so the dispatcher skips it (and the key becomes free again).
+  void release();
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  State state_ = State::WAITING;  // guarded by mu_
+  bool cancelled_ = false;        // guarded by mu_
+  int waiters_ = 1;               // guarded by mu_
+  std::optional<EqResult> result_;  // set once, at DONE; guarded by mu_
+};
+
+using PendingHandle = std::shared_ptr<PendingVerdict>;
+
 class EqCache {
  public:
   struct Stats {
@@ -30,6 +102,9 @@ class EqCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t collisions = 0;  // primary-key hits rejected by fingerprint
+    // Async-path observability:
+    uint64_t pending_joins = 0;     // claims that attached to an in-flight query
+    uint64_t pending_abandons = 0;  // cancelled queries erased before running
     double hit_rate() const {
       uint64_t total = hits + misses;
       return total == 0 ? 0.0 : double(hits) / double(total);
@@ -47,8 +122,42 @@ class EqCache {
 
   static Key key_for(const ebpf::Program& src, const ebpf::Program& cand);
 
+  // ---- Synchronous path (PR 1 behavior, bit-identical) --------------------
+  // lookup() counts a pending entry as a miss; insert() overwrites whatever
+  // is there, including a pending marker (the orphaned query still resolves
+  // for its waiters but no longer backs the cache slot).
   std::optional<Verdict> lookup(const Key& key);
   void insert(const Key& key, Verdict v);
+
+  // ---- Asynchronous path --------------------------------------------------
+  // Result of claim(): a resolved hit (verdict set), ownership of a fresh
+  // in-flight slot (owner == true, dispatch `pending`), a join of another
+  // chain's identical in-flight query (pending set, owner false), or — when
+  // the 64-bit slot is busy with a *different* program's in-flight query
+  // (fingerprint mismatch) — completely empty: the caller must fall back to
+  // solving synchronously without the cache.
+  struct Claim {
+    std::optional<Verdict> verdict;  // resolved hit
+    PendingHandle pending;           // the query to dispatch (owner) or join
+    bool owner = false;  // true: caller must dispatch `pending` and ensure
+                         // publish() or abandonment eventually happens
+  };
+  Claim claim(const Key& key);
+
+  // Resolve `pv` with `r` and wake every waiter. Promotes conclusive
+  // verdicts (EQUAL / NOT_EQUAL / ENCODE_FAIL) to resolved entries; erases
+  // the entry on UNKNOWN so solver-budget exhaustion never poisons the
+  // cache. Safe if the slot was overwritten by a sync insert() meanwhile.
+  void publish(const Key& key, const PendingHandle& pv, EqResult r);
+
+  // Worker-side, called exactly once per dequeued query: atomically either
+  // moves it WAITING→RUNNING (returns true; the caller must solve and
+  // publish()) or abandons a fully-cancelled query and erases its slot so
+  // the key becomes claimable again (returns false; skip the solve). One
+  // atomic step — a cancel/join racing between "check cancelled" and "mark
+  // running" could otherwise strand the slot as pending forever.
+  bool acquire_for_solve(const Key& key, const PendingHandle& pv);
+
   Stats stats() const;
   void clear();
 
@@ -58,6 +167,7 @@ class EqCache {
   struct Entry {
     uint64_t fp;
     Verdict verdict;
+    PendingHandle pending;  // non-null ⇒ verdict not yet meaningful
   };
   struct Shard {
     mutable std::mutex mu;

@@ -99,6 +99,7 @@ EqResult check_equivalence(const ebpf::Program& src, const ebpf::Program& cand,
   z3::solver s(c);
   z3::params p(c);
   p.set("timeout", opts.timeout_ms);
+  if (opts.memory_max_mb) p.set("max_memory", opts.memory_max_mb);
   s.set(p);
   for (const auto& a : world.axioms) s.add(a);
   for (const auto& d : e1.defs) s.add(d);

@@ -23,9 +23,18 @@ enum class Verdict : uint8_t {
 
 const char* verdict_name(Verdict v);
 
+// Per-query solver budgets. `timeout_ms` bounds wall-clock time inside one
+// Z3 check; `memory_max_mb` bounds that check's Z3 heap (0 = unlimited).
+// Exhausting either budget yields Verdict::UNKNOWN, which callers treat as
+// "not proven equal". The async dispatch path never caches UNKNOWN (see
+// EqCache::publish in verify/cache.h), so a starved query can be retried
+// under the same key; the synchronous path deliberately keeps PR 1's
+// cache-every-verdict behavior — it is differentially pinned bit-identical
+// to the legacy inline evaluation, UNKNOWNs included.
 struct EqOptions {
   EncoderOpts enc;
   unsigned timeout_ms = 20000;
+  unsigned memory_max_mb = 0;
 };
 
 struct EqResult {
@@ -40,6 +49,11 @@ struct EqResult {
 // share the hook type and map definitions (candidates are rewrites of the
 // source, so they always do). Programs are assumed safe — the safety checker
 // runs first in the search loop (§6), so faults need not be modeled.
+//
+// Blocking + thread-safety: blocks the calling thread for up to the
+// timeout_ms budget inside one Z3 check. Each call owns a private
+// z3::context, so concurrent calls from different threads (the
+// AsyncSolverDispatcher workers) are safe and independent.
 EqResult check_equivalence(const ebpf::Program& src, const ebpf::Program& cand,
                            const EqOptions& opts = {});
 

@@ -1,0 +1,92 @@
+#include "verify/solver_dispatch.h"
+
+namespace k2::verify {
+
+AsyncSolverDispatcher::AsyncSolverDispatcher(int workers) {
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+AsyncSolverDispatcher::~AsyncSolverDispatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  // No workers (sync mode) or tasks submitted after stop: drain here so
+  // every queued PendingVerdict still reaches a terminal state.
+  Task t;
+  while (next_task(t)) run_task(t);
+}
+
+void AsyncSolverDispatcher::submit(EqCache& cache, const EqCache::Key& key,
+                                   PendingHandle pv, Solve solve) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Task{&cache, key, std::move(pv), std::move(solve)});
+    stats_.submitted++;
+    stats_.queue_depth = queue_.size();
+    if (stats_.queue_depth > stats_.queue_peak)
+      stats_.queue_peak = stats_.queue_depth;
+  }
+  cv_.notify_one();
+}
+
+void AsyncSolverDispatcher::cancel(const PendingHandle& pv) {
+  if (pv) pv->release();
+}
+
+AsyncSolverDispatcher::Stats AsyncSolverDispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool AsyncSolverDispatcher::next_task(Task& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  stats_.queue_depth = queue_.size();
+  return true;
+}
+
+void AsyncSolverDispatcher::run_task(Task& t) {
+  if (!t.cache->acquire_for_solve(t.key, t.pv)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.abandoned++;
+    return;
+  }
+  EqResult r;
+  try {
+    r = t.solve();
+  } catch (const std::exception& e) {
+    // A solver exception (e.g. z3::exception on resource exhaustion) must
+    // not take down the worker or strand the waiters: map it to UNKNOWN,
+    // which is never cached, so the query stays retryable.
+    r.verdict = Verdict::UNKNOWN;
+    r.detail = e.what();
+  }
+  bool timed_out = r.verdict == Verdict::UNKNOWN;
+  t.cache->publish(t.key, t.pv, std::move(r));
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.completed++;
+  if (timed_out) stats_.timeouts++;
+}
+
+void AsyncSolverDispatcher::worker_loop() {
+  for (;;) {
+    Task t;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      t = std::move(queue_.front());
+      queue_.pop_front();
+      stats_.queue_depth = queue_.size();
+    }
+    run_task(t);
+  }
+}
+
+}  // namespace k2::verify

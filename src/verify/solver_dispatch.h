@@ -1,0 +1,101 @@
+// Asynchronous Z3 dispatch: equivalence queries become tasks on a dedicated
+// solver worker pool instead of blocking the Markov chain that issued them.
+//
+// Why a second pool: the chain ThreadPool (src/pipeline/thread_pool.h) is
+// sized to hardware threads and its tasks are CPU-bound interpreter work; a
+// Z3 query parks a thread for up to its full timeout budget. Running solver
+// calls on the chain pool would let a handful of hard queries starve every
+// chain. Solver workers are therefore separate plain threads that only ever
+// pop queued queries, run them under the per-query budgets carried in their
+// EqOptions (timeout_ms, memory_max_mb), and publish the result into the
+// EqCache — waking every chain that joined the query's PendingVerdict.
+//
+// Cancellation: a chain whose speculation was rolled back releases its
+// interest in the query. A WAITING query whose last waiter left is skipped
+// when a worker pops it (and its cache slot erased, so the key is
+// immediately re-dispatchable); a query that already reached RUNNING cannot
+// be interrupted mid-Z3-check, so its result is published anyway — the
+// completed work still benefits later cache lookups.
+//
+// Thread-safety: all public methods are safe from any thread. submit() and
+// cancel() never block on solver work; ~AsyncSolverDispatcher drains the
+// queue (running or abandoning every task) and joins the workers, so no
+// PendingVerdict is left WAITING forever. A dispatcher constructed with
+// zero workers is inert (`async() == false`); callers use it as the switch
+// between the synchronous PR 1 path and asynchronous dispatch.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "verify/cache.h"
+
+namespace k2::verify {
+
+class AsyncSolverDispatcher {
+ public:
+  // The deferred solver call. Runs on a solver worker thread; must be
+  // self-contained (own its candidate program and options) and must respect
+  // the per-query budgets itself (check_equivalence already does).
+  using Solve = std::function<EqResult()>;
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;   // queries actually solved (incl. timeouts)
+    uint64_t abandoned = 0;   // cancelled before any worker picked them up
+    uint64_t timeouts = 0;    // completed queries that returned UNKNOWN
+    uint64_t queue_depth = 0;  // tasks queued right now
+    uint64_t queue_peak = 0;   // high-water mark of queue_depth
+  };
+
+  // Spawns `workers` solver threads; 0 means synchronous mode (submit() must
+  // not be called — callers check async() first).
+  explicit AsyncSolverDispatcher(int workers);
+  ~AsyncSolverDispatcher();
+
+  AsyncSolverDispatcher(const AsyncSolverDispatcher&) = delete;
+  AsyncSolverDispatcher& operator=(const AsyncSolverDispatcher&) = delete;
+
+  int workers() const { return int(workers_.size()); }
+  bool async() const { return !workers_.empty(); }
+
+  // Enqueues the query owned by `pv` (obtained from EqCache::claim() with
+  // owner == true). A worker will run `solve` and publish the result into
+  // `cache` under `key`. Never blocks on solver work.
+  void submit(EqCache& cache, const EqCache::Key& key, PendingHandle pv,
+              Solve solve);
+
+  // Detaches one waiter from `pv` (the handle a chain got from claim()/
+  // submit()). When the last waiter of a still-WAITING query leaves, the
+  // query is marked cancelled and will be abandoned instead of solved.
+  void cancel(const PendingHandle& pv);
+
+  Stats stats() const;
+
+ private:
+  struct Task {
+    EqCache* cache;
+    EqCache::Key key;
+    PendingHandle pv;
+    Solve solve;
+  };
+
+  void worker_loop();
+  // Pops the next task or returns false when stopping with an empty queue.
+  bool next_task(Task& out);
+  void run_task(Task& t);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;  // guarded by mu_
+  Stats stats_;             // guarded by mu_
+  bool stop_ = false;       // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace k2::verify

@@ -201,6 +201,7 @@ EqResult check_window_equivalence(const ebpf::Program& orig,
   z3::solver s(c);
   z3::params p(c);
   p.set("timeout", opts.timeout_ms);
+  if (opts.memory_max_mb) p.set("max_memory", opts.memory_max_mb);
   s.set(p);
   for (const auto& a : world.axioms) s.add(a);
   for (const auto& pre : preconds) s.add(pre);

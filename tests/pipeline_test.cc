@@ -258,6 +258,88 @@ TEST(EvalPipelineDifferential, OptimizationsActuallyEngage) {
 }
 
 // ---------------------------------------------------------------------------
+// Async solver dispatch (ISSUE 2): pool size 0 must stay bit-identical to
+// the PR 1 sync path; with workers, speculation must retire every frame and
+// anything it reports as best must be genuinely equivalent.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncDispatchChain, ZeroWorkerPoolIsBitIdenticalToLegacy) {
+  const ebpf::Program& src = corpus::benchmark("xdp_exception").o2;
+  ChainConfig cfg = diff_config(1200, 7, false);
+  verify::AsyncSolverDispatcher dispatcher(0);  // sync mode
+  cfg.dispatcher = &dispatcher;
+
+  TestSuite suite_a(src, generate_tests(src, 8, 3));
+  verify::EqCache cache_a;
+  ChainResult legacy = run_chain_legacy(src, suite_a, cache_a, cfg);
+
+  TestSuite suite_b(src, generate_tests(src, 8, 3));
+  verify::EqCache cache_b;
+  ChainResult piped = run_chain(src, suite_b, cache_b, cfg);
+
+  expect_same_decisions(legacy, piped, "zero-worker dispatcher");
+  EXPECT_EQ(suite_a.size(), suite_b.size());
+  EXPECT_EQ(piped.stats.speculations, 0u);
+  EXPECT_EQ(piped.stats.rollbacks, 0u);
+}
+
+TEST(AsyncDispatchChain, SpeculativeChainRetiresEveryFrameAndStaysSound) {
+  // xdp_pktcntr reliably produces verifier traffic (it has removable
+  // instructions), so the chain must speculate; and because this is a
+  // single chain, its first EQUAL verdict can only arrive through a
+  // speculated pending query — i.e. finding any improvement implies at
+  // least one rollback happened and was replayed correctly.
+  const ebpf::Program& src = corpus::benchmark("xdp_pktcntr").o2;
+  ChainConfig cfg = diff_config(2000, 9, false);
+  verify::AsyncSolverDispatcher dispatcher(2);
+  cfg.dispatcher = &dispatcher;
+  cfg.speculation_depth = 3;
+
+  TestSuite suite(src, generate_tests(src, 8, 3));
+  verify::EqCache cache;
+  ChainResult r = run_chain(src, suite, cache, cfg);
+
+  // The retired timeline is complete: every iteration decided exactly once.
+  EXPECT_EQ(r.stats.proposals, cfg.iterations);
+  EXPECT_GT(r.stats.speculations, 0u);
+  EXPECT_GE(r.stats.speculations, r.stats.rollbacks);
+  if (r.best) {
+    EXPECT_GE(r.stats.rollbacks, 1u);
+    verify::EqOptions eq;
+    eq.timeout_ms = 20000;
+    EXPECT_EQ(verify::check_equivalence(src, *r.best, eq).verdict,
+              verify::Verdict::EQUAL);
+  }
+}
+
+TEST(AsyncDispatchChain, CompileDriverRunsChainsOverSolverPool) {
+  // End to end through core::compile: multiple chains share the dispatcher
+  // and the pending-verdict dedup; final outputs are whole-program
+  // re-verified by the driver, so a surviving top_k is a soundness check on
+  // the whole speculative machinery.
+  const ebpf::Program& src = corpus::benchmark("xdp_pktcntr").o2;
+  CompileOptions o;
+  o.iters_per_chain = 800;
+  o.num_chains = 2;
+  o.threads = 2;
+  o.top_k = 1;
+  o.eq.timeout_ms = 10000;
+  o.settings = table8_settings();
+  o.solver_workers = 2;
+  o.speculation_depth = 4;
+  CompileResult res = compile(src, o);
+
+  EXPECT_EQ(res.total_proposals, 2u * 800u);
+  EXPECT_GT(res.speculations, 0u);
+  for (const auto& out : res.top_k) {
+    verify::EqOptions eq;
+    eq.timeout_ms = 20000;
+    EXPECT_EQ(verify::check_equivalence(src, out, eq).verdict,
+              verify::Verdict::EQUAL);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // ThreadPool.
 // ---------------------------------------------------------------------------
 

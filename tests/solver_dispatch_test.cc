@@ -1,0 +1,300 @@
+// Async solver dispatch (ISSUE 2): the EqCache pending-verdict lifecycle
+// (claim/join/publish/abandon), solver-budget semantics (UNKNOWN results
+// never poison the cache), cancellation + re-dispatch, and dispatcher
+// shutdown draining. Solver calls are injected closures so every path is
+// deterministic — the Z3-backed end of the pipe is covered by
+// pipeline_test.cc's chain-level tests.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "verify/cache.h"
+#include "verify/solver_dispatch.h"
+
+namespace k2::verify {
+namespace {
+
+EqCache::Key key_of(uint64_t n) {
+  return EqCache::Key{n * 0x9e3779b97f4a7c15ull + 1, n + 1};
+}
+
+EqResult result_of(Verdict v) {
+  EqResult r;
+  r.verdict = v;
+  return r;
+}
+
+// Polls `cond` for up to two seconds — dispatcher stats are updated after
+// publish(), so a waiter can observe the verdict slightly before the
+// counters move.
+template <typename F>
+bool eventually(F cond) {
+  for (int i = 0; i < 200; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return cond();
+}
+
+// ---------------------------------------------------------------------------
+// PendingVerdict lifecycle in the cache, no dispatcher involved.
+// ---------------------------------------------------------------------------
+
+TEST(EqCachePendingTest, ClaimMissOwnsThenPublishResolves) {
+  EqCache cache;
+  EqCache::Key key = key_of(1);
+
+  EqCache::Claim cl = cache.claim(key);
+  ASSERT_TRUE(cl.owner);
+  ASSERT_NE(cl.pending, nullptr);
+  EXPECT_FALSE(cl.verdict.has_value());
+  EXPECT_FALSE(cl.pending->poll().has_value());
+  // The sync path must not see the in-flight entry as a verdict.
+  EXPECT_FALSE(cache.lookup(key).has_value());
+
+  cache.publish(key, cl.pending, result_of(Verdict::EQUAL));
+  ASSERT_TRUE(cl.pending->poll().has_value());
+  EXPECT_EQ(cl.pending->poll()->verdict, Verdict::EQUAL);
+
+  // Promoted to a resolved entry: both paths hit.
+  EXPECT_EQ(cache.lookup(key), Verdict::EQUAL);
+  EqCache::Claim again = cache.claim(key);
+  EXPECT_FALSE(again.owner);
+  ASSERT_TRUE(again.verdict.has_value());
+  EXPECT_EQ(*again.verdict, Verdict::EQUAL);
+}
+
+TEST(EqCachePendingTest, ConcurrentClaimsShareOneInFlightQuery) {
+  EqCache cache;
+  EqCache::Key key = key_of(2);
+
+  EqCache::Claim owner = cache.claim(key);
+  ASSERT_TRUE(owner.owner);
+  EqCache::Claim join = cache.claim(key);
+  EXPECT_FALSE(join.owner);
+  EXPECT_FALSE(join.verdict.has_value());
+  ASSERT_EQ(join.pending, owner.pending);  // ONE query, two waiters
+
+  // A second chain blocks in wait() until the owner's worker publishes.
+  std::future<EqResult> waiter = std::async(
+      std::launch::async, [&join] { return join.pending->wait(); });
+  cache.publish(key, owner.pending, result_of(Verdict::NOT_EQUAL));
+  EXPECT_EQ(waiter.get().verdict, Verdict::NOT_EQUAL);
+
+  EXPECT_EQ(cache.stats().pending_joins, 1u);
+}
+
+TEST(EqCachePendingTest, UnknownVerdictDoesNotPoisonCache) {
+  EqCache cache;
+  EqCache::Key key = key_of(3);
+
+  EqCache::Claim cl = cache.claim(key);
+  ASSERT_TRUE(cl.owner);
+  cache.publish(key, cl.pending, result_of(Verdict::UNKNOWN));
+
+  // Waiters still get the UNKNOWN (their speculation retires unchanged)...
+  ASSERT_TRUE(cl.pending->poll().has_value());
+  EXPECT_EQ(cl.pending->poll()->verdict, Verdict::UNKNOWN);
+  // ...but the cache forgot the key: no resolved entry, and the next claim
+  // re-owns it — a timed-out budget is transient, not a verdict.
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EqCache::Claim again = cache.claim(key);
+  EXPECT_TRUE(again.owner);
+}
+
+TEST(EqCachePendingTest, FingerprintMismatchNeverJoinsAnotherProgramsQuery) {
+  EqCache cache;
+  EqCache::Key a{42, 1000};  // two programs colliding in the 64-bit hash
+  EqCache::Key b{42, 2000};
+
+  EqCache::Claim owner = cache.claim(a);
+  ASSERT_TRUE(owner.owner);
+  // Joining b onto a's in-flight query would adopt a's verdict for b —
+  // the wrong-verdict hole the fingerprint closes. The claim comes back
+  // empty: solve synchronously, without the cache.
+  EqCache::Claim busy = cache.claim(b);
+  EXPECT_FALSE(busy.owner);
+  EXPECT_EQ(busy.pending, nullptr);
+  EXPECT_FALSE(busy.verdict.has_value());
+  EXPECT_GE(cache.stats().collisions, 1u);
+  EXPECT_EQ(cache.stats().pending_joins, 0u);
+
+  // a's query is unaffected.
+  cache.publish(a, owner.pending, result_of(Verdict::EQUAL));
+  EXPECT_EQ(cache.lookup(a), Verdict::EQUAL);
+  EXPECT_FALSE(cache.lookup(b).has_value());
+}
+
+TEST(EqCachePendingTest, SyncInsertOverridesOrphanedPendingSlot) {
+  EqCache cache;
+  EqCache::Key key = key_of(4);
+  EqCache::Claim cl = cache.claim(key);
+  ASSERT_TRUE(cl.owner);
+
+  // A synchronous chain resolves the same key first (mixed-mode callers).
+  cache.insert(key, Verdict::NOT_EQUAL);
+  EXPECT_EQ(cache.lookup(key), Verdict::NOT_EQUAL);
+
+  // The orphaned query still completes for its waiters without clobbering
+  // the resolved slot.
+  cache.publish(key, cl.pending, result_of(Verdict::EQUAL));
+  EXPECT_EQ(cl.pending->poll()->verdict, Verdict::EQUAL);
+  EXPECT_EQ(cache.lookup(key), Verdict::NOT_EQUAL);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher: budgets, cancellation, shutdown.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncSolverDispatcherTest, ZeroWorkersMeansSynchronousMode) {
+  AsyncSolverDispatcher d(0);
+  EXPECT_FALSE(d.async());
+  EXPECT_EQ(d.workers(), 0);
+}
+
+TEST(AsyncSolverDispatcherTest, SubmittedQueryPublishesIntoCache) {
+  EqCache cache;
+  AsyncSolverDispatcher d(1);
+  EqCache::Key key = key_of(5);
+  EqCache::Claim cl = cache.claim(key);
+  ASSERT_TRUE(cl.owner);
+
+  d.submit(cache, key, cl.pending,
+           [] { return result_of(Verdict::EQUAL); });
+  EXPECT_EQ(cl.pending->wait().verdict, Verdict::EQUAL);
+  EXPECT_EQ(cache.lookup(key), Verdict::EQUAL);
+  EXPECT_TRUE(eventually([&] { return d.stats().completed == 1; }));
+  EXPECT_EQ(d.stats().timeouts, 0u);
+}
+
+TEST(AsyncSolverDispatcherTest, TimedOutQueryCountsAndStaysRetryable) {
+  EqCache cache;
+  AsyncSolverDispatcher d(1);
+  EqCache::Key key = key_of(6);
+  EqCache::Claim cl = cache.claim(key);
+  ASSERT_TRUE(cl.owner);
+
+  // A solver that exhausted its timeout/memory budget returns UNKNOWN.
+  d.submit(cache, key, cl.pending,
+           [] { return result_of(Verdict::UNKNOWN); });
+  EXPECT_EQ(cl.pending->wait().verdict, Verdict::UNKNOWN);
+  EXPECT_TRUE(eventually([&] { return d.stats().timeouts == 1; }));
+  // Not poisoned: the key is immediately re-dispatchable.
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_TRUE(cache.claim(key).owner);
+}
+
+TEST(AsyncSolverDispatcherTest, ThrowingSolveBecomesUnknown) {
+  EqCache cache;
+  AsyncSolverDispatcher d(1);
+  EqCache::Key key = key_of(7);
+  EqCache::Claim cl = cache.claim(key);
+  ASSERT_TRUE(cl.owner);
+
+  d.submit(cache, key, cl.pending, []() -> EqResult {
+    throw std::runtime_error("z3 blew its memory budget");
+  });
+  EqResult r = cl.pending->wait();
+  EXPECT_EQ(r.verdict, Verdict::UNKNOWN);
+  EXPECT_NE(r.detail.find("memory budget"), std::string::npos);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+TEST(AsyncSolverDispatcherTest, CancelledPendingQueryIsRedispatchable) {
+  EqCache cache;
+  AsyncSolverDispatcher d(1);
+
+  // Park the single worker on a gate so the next submission stays queued.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  EqCache::Key blocker_key = key_of(8);
+  EqCache::Claim blocker = cache.claim(blocker_key);
+  d.submit(cache, blocker_key, blocker.pending, [opened] {
+    opened.wait();
+    return result_of(Verdict::EQUAL);
+  });
+
+  EqCache::Key key = key_of(9);
+  EqCache::Claim cl = cache.claim(key);
+  ASSERT_TRUE(cl.owner);
+  bool solved = false;
+  d.submit(cache, key, cl.pending, [&solved] {
+    solved = true;
+    return result_of(Verdict::EQUAL);
+  });
+  EXPECT_GE(d.stats().queue_peak, 1u);
+
+  // The chain rolls its speculation back and walks away before any worker
+  // picked the query up.
+  d.cancel(cl.pending);
+  gate.set_value();
+
+  EXPECT_TRUE(eventually([&] { return d.stats().abandoned == 1; }));
+  EXPECT_FALSE(solved);  // skipped, not solved
+  EXPECT_EQ(cl.pending->state(), PendingVerdict::State::ABANDONED);
+  EXPECT_EQ(cache.stats().pending_abandons, 1u);
+
+  // Re-dispatch: the key is claimable again and the fresh query completes.
+  EqCache::Claim fresh = cache.claim(key);
+  ASSERT_TRUE(fresh.owner);
+  d.submit(cache, key, fresh.pending,
+           [] { return result_of(Verdict::NOT_EQUAL); });
+  EXPECT_EQ(fresh.pending->wait().verdict, Verdict::NOT_EQUAL);
+  EXPECT_EQ(cache.lookup(key), Verdict::NOT_EQUAL);
+}
+
+TEST(AsyncSolverDispatcherTest, LateJoinResurrectsCancelledQuery) {
+  EqCache cache;
+  AsyncSolverDispatcher d(1);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  EqCache::Key blocker_key = key_of(10);
+  EqCache::Claim blocker = cache.claim(blocker_key);
+  d.submit(cache, blocker_key, blocker.pending, [opened] {
+    opened.wait();
+    return result_of(Verdict::EQUAL);
+  });
+
+  EqCache::Key key = key_of(11);
+  EqCache::Claim cl = cache.claim(key);
+  d.submit(cache, key, cl.pending,
+           [] { return result_of(Verdict::EQUAL); });
+  d.cancel(cl.pending);
+
+  // Another chain claims the key before the worker acted on the cancel:
+  // the still-queued query is revived instead of duplicated.
+  EqCache::Claim revived = cache.claim(key);
+  EXPECT_FALSE(revived.owner);
+  ASSERT_EQ(revived.pending, cl.pending);
+
+  gate.set_value();
+  EXPECT_EQ(revived.pending->wait().verdict, Verdict::EQUAL);
+  EXPECT_EQ(cache.lookup(key), Verdict::EQUAL);
+  EXPECT_EQ(d.stats().abandoned, 0u);
+}
+
+TEST(AsyncSolverDispatcherTest, DestructorDrainsQueuedQueries) {
+  EqCache cache;
+  EqCache::Key key = key_of(12);
+  EqCache::Claim cl = cache.claim(key);
+  {
+    AsyncSolverDispatcher d(2);
+    for (int i = 0; i < 8; ++i) {
+      EqCache::Key k = key_of(100 + uint64_t(i));
+      EqCache::Claim c = cache.claim(k);
+      d.submit(cache, k, c.pending,
+               [] { return result_of(Verdict::NOT_EQUAL); });
+    }
+    d.submit(cache, key, cl.pending,
+             [] { return result_of(Verdict::EQUAL); });
+  }  // join: every queued query must have reached a terminal state
+  ASSERT_TRUE(cl.pending->poll().has_value());
+  EXPECT_EQ(cl.pending->poll()->verdict, Verdict::EQUAL);
+  EXPECT_EQ(cache.lookup(key), Verdict::EQUAL);
+}
+
+}  // namespace
+}  // namespace k2::verify

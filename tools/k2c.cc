@@ -12,6 +12,8 @@
 //     --type=xdp|socket|trace  hook type (default xdp)
 //     --wire=<out.bin>         also emit wire-format bytecode
 //     --bench=<name>           optimize a corpus benchmark instead of a file
+//     --solver-workers=N       dedicated Z3 threads for async equivalence
+//                              dispatch (default 0 = synchronous)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -80,6 +82,8 @@ int main(int argc, char** argv) {
   if (const char* ch = arg_value(argc, argv, "--chains"))
     opts.num_chains = atoi(ch);
   opts.threads = opts.num_chains;
+  if (const char* sw = arg_value(argc, argv, "--solver-workers"))
+    opts.solver_workers = atoi(sw);
 
   fprintf(stderr, "k2c: input %d instructions; searching (%d chains x %llu "
                   "iterations)...\n",
@@ -99,6 +103,14 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(res.tests_executed),
           static_cast<unsigned long long>(res.tests_skipped),
           static_cast<unsigned long long>(res.early_exits));
+  if (opts.solver_workers > 0)
+    fprintf(stderr,
+            "k2c: async dispatch: %llu speculations (%llu rollbacks, "
+            "%llu shared queries), solver queue peak %llu\n",
+            static_cast<unsigned long long>(res.speculations),
+            static_cast<unsigned long long>(res.rollbacks),
+            static_cast<unsigned long long>(res.pending_joins),
+            static_cast<unsigned long long>(res.solver_queue_peak));
 
   kernel::CheckResult kc = kernel::kernel_check(res.best);
   fprintf(stderr, "k2c: kernel checker: %s\n",
