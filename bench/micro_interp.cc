@@ -1,35 +1,181 @@
 // Micro-benchmark: interpreter throughput over corpus programs (§7 — the
 // interpreter sits in the innermost search loop, executing every proposal
-// against the full test suite).
-#include <benchmark/benchmark.h>
+// against the full test suite). Compares the legacy switch interpreter
+// (per-run Machine::init, per-instruction opcode classification) against
+// the pre-decoded fast interpreter (decode once + computed-goto dispatch +
+// dirty-region machine reset), after first checking the two produce
+// bit-identical results on the measured workload.
+//
+//   bench_micro_interp                 full run, human-readable table
+//   bench_micro_interp --smoke         short CI mode
+//   bench_micro_interp --json out.json machine-readable results
+//   bench_micro_interp --min-speedup X exit 1 if the geometric-mean
+//                                      decoded/legacy speedup falls below X
+//                                      (the CI perf tripwire)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
 
-#include "corpus/corpus.h"
+#include "bench_util.h"
+#include "interp/fast_interp.h"
 #include "interp/interpreter.h"
 #include "sim/perf_eval.h"
 
 namespace {
 
-void BM_Interpret(benchmark::State& state, const std::string& name) {
-  const k2::corpus::Benchmark& b = k2::corpus::benchmark(name);
-  auto workload = k2::sim::make_workload(b.o2, 16, 42);
-  size_t i = 0;
-  uint64_t insns = 0;
-  for (auto _ : state) {
-    k2::interp::RunResult r =
-        k2::interp::run(b.o2, workload[i++ % workload.size()]);
-    benchmark::DoNotOptimize(r.r0);
-    insns += r.insns_executed;
+using namespace k2;
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::string name;
+  double legacy_eps = 0;   // executions per second
+  double decoded_eps = 0;
+  double decoded_ips = 0;  // instructions per second (decoded path)
+  double speedup = 0;
+};
+
+bool results_equal(const interp::RunResult& a, const interp::RunResult& b) {
+  return a.fault == b.fault && a.fault_pc == b.fault_pc && a.r0 == b.r0 &&
+         a.insns_executed == b.insns_executed &&
+         a.packet_out == b.packet_out && a.maps_out == b.maps_out;
+}
+
+Row measure(const std::string& name, uint64_t iters) {
+  const corpus::Benchmark& b = corpus::benchmark(name);
+  std::vector<interp::InputSpec> workload = sim::make_workload(b.o2, 16, 42);
+  interp::RunOptions opt;
+
+  // Bit-identity sanity on the exact measured workload.
+  interp::SuiteRunner runner;
+  runner.prepare(b.o2);
+  for (const interp::InputSpec& in : workload) {
+    interp::RunResult legacy = interp::run(b.o2, in, opt);
+    if (!results_equal(legacy, runner.run_one(in, opt))) {
+      fprintf(stderr, "FATAL: decoded interpreter diverged on %s\n",
+              name.c_str());
+      exit(1);
+    }
   }
-  state.counters["insns/s"] = benchmark::Counter(
-      double(insns), benchmark::Counter::kIsRate);
+
+  Row row;
+  row.name = name;
+  uint64_t sink = 0;
+
+  {
+    // Legacy baseline exactly as the pre-refactor pipeline ran it: reused
+    // Machine, full re-init per run.
+    interp::Machine m;
+    auto t0 = Clock::now();
+    for (uint64_t i = 0; i < iters; ++i) {
+      interp::RunResult r =
+          interp::run(b.o2, workload[i % workload.size()], opt, m);
+      sink ^= r.r0 + r.insns_executed;
+    }
+    double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    row.legacy_eps = secs > 0 ? double(iters) / secs : 0;
+  }
+  {
+    uint64_t insns = 0;
+    auto t0 = Clock::now();
+    for (uint64_t i = 0; i < iters; ++i) {
+      const interp::RunResult& r =
+          runner.run_one(workload[i % workload.size()], opt);
+      sink ^= r.r0;
+      insns += r.insns_executed;
+    }
+    double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    row.decoded_eps = secs > 0 ? double(iters) / secs : 0;
+    row.decoded_ips = secs > 0 ? double(insns) / secs : 0;
+  }
+  if (sink == 0xdeadbeef) fprintf(stderr, "(unlikely)\n");  // keep `sink` live
+  row.speedup = row.legacy_eps > 0 ? row.decoded_eps / row.legacy_eps : 0;
+  return row;
 }
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_Interpret, xdp_exception, std::string("xdp_exception"));
-BENCHMARK_CAPTURE(BM_Interpret, xdp2, std::string("xdp2_kern/xdp1"));
-BENCHMARK_CAPTURE(BM_Interpret, xdp_fwd, std::string("xdp_fwd"));
-BENCHMARK_CAPTURE(BM_Interpret, recvmsg4, std::string("recvmsg4"));
-BENCHMARK_CAPTURE(BM_Interpret, balancer, std::string("xdp-balancer"));
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  double min_speedup = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "--smoke")) {
+      smoke = true;
+    } else if (!strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!strncmp(argv[i], "--json=", 7)) {
+      json_path = argv[i] + 7;
+    } else if (!strcmp(argv[i], "--min-speedup") && i + 1 < argc) {
+      min_speedup = atof(argv[++i]);
+    } else if (!strncmp(argv[i], "--min-speedup=", 14)) {
+      min_speedup = atof(argv[i] + 14);
+    } else {
+      // Loud failure: a typo here would otherwise silently disarm the
+      // --min-speedup CI tripwire.
+      fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
 
-BENCHMARK_MAIN();
+  std::vector<std::string> names = {"xdp_exception", "xdp2_kern/xdp1",
+                                    "xdp_fwd", "recvmsg4", "xdp_map_access"};
+  if (bench::full_mode()) names.push_back("xdp-balancer");
+  uint64_t iters = bench::scaled(smoke ? 4000 : 100000);
+
+  printf("micro_interp: %llu executions per row, single thread\n",
+         (unsigned long long)iters);
+  bench::hr();
+  printf("%-20s %16s %16s %16s %9s\n", "program", "legacy execs/s",
+         "decoded execs/s", "decoded insns/s", "speedup");
+  bench::hr();
+
+  std::vector<Row> rows;
+  double log_sum = 0;
+  for (const std::string& name : names) {
+    Row r = measure(name, iters);
+    printf("%-20s %16.0f %16.0f %16.0f %8.2fx\n", r.name.c_str(),
+           r.legacy_eps, r.decoded_eps, r.decoded_ips, r.speedup);
+    log_sum += std::log(r.speedup);
+    rows.push_back(std::move(r));
+  }
+  double geomean = std::exp(log_sum / double(rows.size()));
+  bench::hr();
+  printf("geomean decoded/legacy speedup: %.2fx\n", geomean);
+
+  if (json_path) {
+    FILE* f = fopen(json_path, "w");
+    if (!f) {
+      fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    fprintf(f, "{\n  \"bench\": \"micro_interp\",\n  \"smoke\": %s,\n",
+            smoke ? "true" : "false");
+    fprintf(f, "  \"iters_per_row\": %llu,\n  \"results\": [\n",
+            (unsigned long long)iters);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      fprintf(f,
+              "    {\"name\": \"%s\", \"legacy_execs_per_sec\": %.0f, "
+              "\"decoded_execs_per_sec\": %.0f, "
+              "\"decoded_insns_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
+              r.name.c_str(), r.legacy_eps, r.decoded_eps, r.decoded_ips,
+              r.speedup, i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(f, "  ],\n  \"geomean_speedup\": %.3f\n}\n", geomean);
+    fclose(f);
+    printf("wrote %s\n", json_path);
+  }
+
+  if (min_speedup > 0 && geomean < min_speedup) {
+    fprintf(stderr,
+            "FAIL: geomean speedup %.2fx below required %.2fx — decode-path "
+            "perf regression\n",
+            geomean, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -7,6 +7,8 @@
 //
 //   bench_micro_pipeline                    full sweep (sync + async rows)
 //   bench_micro_pipeline --solver-workers N sync baseline vs async at N
+//   bench_micro_pipeline --smoke            short CI mode (sync rows only)
+//   bench_micro_pipeline --json out.json    machine-readable results
 //
 // ISSUE 1 acceptance: >= 1.5x proposals/sec at 4 threads vs 1 thread on a
 // >= 4-core machine. ISSUE 2 adds solver-queue depth and speculation
@@ -68,16 +70,24 @@ void print_row(const Run& r) {
 
 int main(int argc, char** argv) {
   int requested_workers = -1;
+  bool smoke = false;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (!strcmp(argv[i], "--solver-workers") && i + 1 < argc) {
       requested_workers = atoi(argv[++i]);
     } else if (!strncmp(argv[i], "--solver-workers=", 17)) {
       requested_workers = atoi(argv[i] + 17);
+    } else if (!strcmp(argv[i], "--smoke")) {
+      smoke = true;
+    } else if (!strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!strncmp(argv[i], "--json=", 7)) {
+      json_path = argv[i] + 7;
     }
   }
 
   const ebpf::Program& src = corpus::benchmark("xdp_map_access").o2;
-  uint64_t iters = bench::scaled(4000);
+  uint64_t iters = bench::scaled(smoke ? 400 : 4000);
 
   printf("micro_pipeline: 4 chains x %llu iters on xdp_map_access (%d real insns), host has %u hardware threads\n",
          (unsigned long long)iters, src.num_real_insns(),
@@ -94,6 +104,9 @@ int main(int argc, char** argv) {
     // (pool size 0 degenerates to two identical sync runs).
     runs.push_back({"pipeline sync", 4, true, 0, {}});
     runs.push_back({"pipeline async", 4, true, requested_workers, {}});
+  } else if (smoke) {
+    runs.push_back({"legacy order (no reorder/exit)", 1, false, 0, {}});
+    runs.push_back({"pipeline sync", 1, true, 0, {}});
   } else {
     runs.push_back({"legacy order (no reorder/exit)", 1, false, 0, {}});
     runs.push_back({"pipeline sync", 1, true, 0, {}});
@@ -113,8 +126,41 @@ int main(int argc, char** argv) {
     print_row(r);
   }
   bench::hr();
-  if (base > 0)
+  if (base > 0 && multi > 0)
     printf("4-thread speedup over 1-thread: %.2fx (meaningful only with >= 4 hardware threads)\n",
            multi / base);
+
+  if (json_path) {
+    FILE* f = fopen(json_path, "w");
+    if (!f) {
+      fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    fprintf(f, "{\n  \"bench\": \"micro_pipeline\",\n  \"smoke\": %s,\n",
+            smoke ? "true" : "false");
+    fprintf(f, "  \"iters_per_chain\": %llu,\n  \"results\": [\n",
+            (unsigned long long)iters);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const Run& r = runs[i];
+      fprintf(f,
+              "    {\"label\": \"%s\", \"threads\": %d, "
+              "\"solver_workers\": %d, \"proposals_per_sec\": %.1f, "
+              "\"tests_executed\": %llu, \"tests_skipped\": %llu, "
+              "\"early_exits\": %llu, \"speculations\": %llu, "
+              "\"rollbacks\": %llu, \"solver_queue_peak\": %llu, "
+              "\"cache_hit_rate\": %.4f}%s\n",
+              r.label, r.threads, r.solver_workers, proposals_per_sec(r.res),
+              (unsigned long long)r.res.tests_executed,
+              (unsigned long long)r.res.tests_skipped,
+              (unsigned long long)r.res.early_exits,
+              (unsigned long long)r.res.speculations,
+              (unsigned long long)r.res.rollbacks,
+              (unsigned long long)r.res.solver_queue_peak,
+              r.res.cache.hit_rate(), i + 1 < runs.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    printf("wrote %s\n", json_path);
+  }
   return 0;
 }

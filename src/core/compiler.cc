@@ -85,6 +85,7 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
     cfg.seed = opts.seed * 1000003u + uint64_t(i) * 7919u + 17;
     cfg.eq = opts.eq;
     cfg.safety = opts.safety;
+    cfg.max_insns = opts.max_insns;
     cfg.use_windows = use_windows;
     cfg.reorder_tests = opts.reorder_tests;
     cfg.early_exit = opts.early_exit;

@@ -26,6 +26,11 @@ struct CompileOptions {
   ProposalRules rules;
   verify::EqOptions eq;
   safety::SafetyOptions safety;
+  // Interpreter step budget per candidate test execution
+  // (RunOptions::max_insns; k2c --max-insns=N). Applies to candidate
+  // evaluation; the suite's cached source outputs use the interpreter
+  // default so a budget change cannot silently redefine expected outputs.
+  uint64_t max_insns = 1u << 20;
   int threads = 4;
   // Evaluation-pipeline knobs, forwarded to every chain (see ChainConfig).
   bool reorder_tests = true;

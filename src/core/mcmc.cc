@@ -39,6 +39,7 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   ecfg.window_mode = cfg.use_windows;
   ecfg.reorder_tests = cfg.reorder_tests;
   ecfg.early_exit = cfg.early_exit;
+  ecfg.max_insns = cfg.max_insns;
   ecfg.dispatcher = cfg.dispatcher;
   pipeline::EvalPipeline pipe(src, suite, cache, ecfg);
   pipeline::ExecContext& ctx = pipeline::worker_context();
@@ -115,6 +116,9 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
     st.discarded_proposals += st.proposals - f.proposals;
     for (auto& g : frames) pipe.cancel(g.pending);
     frames.clear();
+    // The chain's current program jumps back to an older snapshot: the
+    // worker's incrementally-patched decoded program no longer tracks it.
+    ctx.runner.invalidate();
     cur = std::move(f.cur);
     cur_eval = f.cur_eval;
     rng = f.rng;
@@ -166,7 +170,8 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
       // `cur` carries accepted rewrites of earlier windows forward.
     }
     st.proposals++;
-    ebpf::Program cand = gen.propose(cur, rng);
+    ebpf::InsnRange touched;
+    ebpf::Program cand = gen.propose(cur, rng, &touched);
     if (cand.insns == cur.insns) {
       iter++;
       continue;
@@ -179,7 +184,7 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
     pipeline::Eval cand_eval = pipe.evaluate(
         cand, cur_win,
         pipeline::RejectGate{cur_eval.cost, u, cfg.params.mcmc_beta}, ctx,
-        spec_depth > 0 ? &pending : nullptr);
+        spec_depth > 0 ? &pending : nullptr, &touched);
     if (cand_eval.pending) {
       // Verdict in flight: snapshot, then decide under the not-equal
       // assumption and keep going.

@@ -37,6 +37,8 @@ struct ChainConfig {
   uint64_t seed = 1;
   verify::EqOptions eq;
   safety::SafetyOptions safety;
+  // Interpreter step budget per test execution (RunOptions::max_insns).
+  uint64_t max_insns = 1u << 20;
   // Modular verification (§5 IV): mutate and verify within windows. Final
   // outputs are re-verified whole-program by the compiler driver.
   bool use_windows = false;

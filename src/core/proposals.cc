@@ -142,10 +142,15 @@ Insn ProposalGen::random_insn(const ebpf::Program& cur, int pos,
 }
 
 ebpf::Program ProposalGen::propose(const ebpf::Program& cur,
-                                   std::mt19937_64& rng) const {
+                                   std::mt19937_64& rng,
+                                   ebpf::InsnRange* touched) const {
   ebpf::Program next = cur;
+  if (touched) *touched = ebpf::InsnRange{};
   int pos = random_position(cur, rng);
   if (pos < 0) return next;
+  // Every rule below rewrites the slot at `pos`; rule 6 may extend to the
+  // next slot and widens the range when it does.
+  if (touched) *touched = ebpf::InsnRange{pos, pos + 1};
   Insn& insn = next.insns[size_t(pos)];
 
   // Pick a rule by the configured probabilities; disabled domain-specific
@@ -261,8 +266,10 @@ ebpf::Program ProposalGen::propose(const ebpf::Program& cur,
   insn = random_insn(next, pos, rng);
   int hi = window_ ? std::min(window_->end, int(next.insns.size()))
                    : int(next.insns.size());
-  if (pos + 1 < hi && next.insns[size_t(pos + 1)].op != Opcode::EXIT)
+  if (pos + 1 < hi && next.insns[size_t(pos + 1)].op != Opcode::EXIT) {
     next.insns[size_t(pos + 1)] = random_insn(next, pos + 1, rng);
+    if (touched) touched->end = pos + 2;
+  }
   return next;
 }
 

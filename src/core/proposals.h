@@ -31,7 +31,12 @@ class ProposalGen {
 
   // Returns a mutated copy of `cur`. Proposals are symmetric, so the
   // Metropolis–Hastings transition-probability ratio is 1 (§3.3).
-  ebpf::Program propose(const ebpf::Program& cur, std::mt19937_64& rng) const;
+  // When `touched` is non-null it receives the instruction range this
+  // proposal mutated (1–2 slots; empty when no mutation happened), which
+  // lets the execution layer patch its pre-decoded program instead of
+  // re-decoding the whole candidate.
+  ebpf::Program propose(const ebpf::Program& cur, std::mt19937_64& rng,
+                        ebpf::InsnRange* touched = nullptr) const;
 
  private:
   ebpf::Insn random_insn(const ebpf::Program& cur, int pos,

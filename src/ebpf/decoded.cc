@@ -1,0 +1,116 @@
+#include "ebpf/decoded.h"
+
+#include "ebpf/semantics.h"
+
+namespace k2::ebpf {
+
+DecodedInsn decode_insn(const Insn& insn, int pc) {
+  DecodedInsn d;
+  d.dst = insn.dst;
+  d.src = insn.src;
+  d.off = insn.off;
+  d.orig_op = static_cast<uint16_t>(insn.op);
+
+  // Mirror the legacy interpreter's classification order exactly: ALU binop
+  // decomposition first, then conditional jumps, then the explicit opcodes;
+  // anything left is BAD (the legacy switch's default case).
+  AluShape a;
+  JmpShape j;
+  if (decompose_alu(insn.op, &a)) {
+    d.eop = a.is64 ? (a.is_imm ? ExecOp::ALU64_IMM : ExecOp::ALU64_REG)
+                   : (a.is_imm ? ExecOp::ALU32_IMM : ExecOp::ALU32_REG);
+    d.sub = static_cast<uint8_t>(a.op);
+    d.imm = sext32(insn.imm);
+    return d;
+  }
+  if (decompose_jmp(insn.op, &j)) {
+    d.eop = j.is_imm ? ExecOp::JMP_IMM : ExecOp::JMP_REG;
+    d.sub = static_cast<uint8_t>(j.cond);
+    d.imm = sext32(insn.imm);
+    d.target = pc + 1 + insn.off;
+    return d;
+  }
+
+  switch (insn.op) {
+    case Opcode::NEG64:
+    case Opcode::NEG32:
+    case Opcode::BE16:
+    case Opcode::BE32:
+    case Opcode::BE64:
+    case Opcode::LE16:
+    case Opcode::LE32:
+    case Opcode::LE64:
+      d.eop = ExecOp::ALU_UNARY;
+      return d;
+    case Opcode::JA:
+      d.eop = ExecOp::JA;
+      d.target = pc + 1 + insn.off;
+      return d;
+    case Opcode::LDXB:
+    case Opcode::LDXH:
+    case Opcode::LDXW:
+    case Opcode::LDXDW:
+      d.eop = ExecOp::LDX;
+      d.sub = static_cast<uint8_t>(mem_width(insn.op));
+      return d;
+    case Opcode::STXB:
+    case Opcode::STXH:
+    case Opcode::STXW:
+    case Opcode::STXDW:
+      d.eop = ExecOp::STX;
+      d.sub = static_cast<uint8_t>(mem_width(insn.op));
+      return d;
+    case Opcode::STB:
+    case Opcode::STH:
+    case Opcode::STW:
+    case Opcode::STDW:
+      d.eop = ExecOp::ST;
+      d.sub = static_cast<uint8_t>(mem_width(insn.op));
+      d.imm = sext32(insn.imm);
+      return d;
+    case Opcode::XADD32:
+    case Opcode::XADD64:
+      d.eop = ExecOp::XADD;
+      d.sub = static_cast<uint8_t>(mem_width(insn.op));
+      return d;
+    case Opcode::CALL:
+      d.eop = ExecOp::CALL;
+      d.imm = static_cast<uint64_t>(insn.imm);
+      d.helper = helper_proto(insn.imm);
+      return d;
+    case Opcode::EXIT:
+      d.eop = ExecOp::EXIT;
+      return d;
+    case Opcode::LDDW:
+      d.eop = ExecOp::LDDW;
+      d.imm = static_cast<uint64_t>(insn.imm);
+      return d;
+    case Opcode::LDMAPFD:
+      d.eop = ExecOp::LDMAPFD;
+      d.imm = static_cast<uint64_t>(insn.imm);
+      return d;
+    case Opcode::NOP:
+      d.eop = ExecOp::NOP;
+      return d;
+    default:
+      d.eop = ExecOp::BAD;
+      return d;
+  }
+}
+
+void DecodedProgram::decode(const Program& p) {
+  type = p.type;
+  insns.resize(p.insns.size());
+  for (size_t i = 0; i < p.insns.size(); ++i)
+    insns[i] = decode_insn(p.insns[i], static_cast<int>(i));
+}
+
+void DecodedProgram::patch(const Program& p, InsnRange r) {
+  int n = static_cast<int>(insns.size());
+  int lo = r.start < 0 ? 0 : r.start;
+  int hi = r.end > n ? n : r.end;
+  for (int i = lo; i < hi; ++i)
+    insns[size_t(i)] = decode_insn(p.insns[size_t(i)], i);
+}
+
+}  // namespace k2::ebpf

@@ -1,0 +1,85 @@
+// Pre-decoded program form for the fast interpreter (§7: the interpreter
+// sits in the innermost search loop, so every cycle of per-instruction
+// re-classification is paid ~hundreds of thousands of times per proposal
+// batch). A DecodedInsn carries everything the execution loop needs,
+// resolved once at decode time instead of once per executed instruction:
+//
+//  * the opcode decomposed into a dense ExecOp dispatch kind plus a `sub`
+//    operand (AluOp / JmpCond / memory width),
+//  * 32-bit immediates already sign-extended the way the ALU/JMP/ST
+//    semantics require,
+//  * jump targets resolved to absolute instruction indices,
+//  * CALL helper IDs resolved to their HelperProto entry,
+//  * LDMAPFD map references kept as direct fd indices.
+//
+// Because every field of a DecodedInsn depends only on its own Insn and its
+// own position (jump targets are pc-relative), a proposal that mutates
+// instructions [start, end) invalidates exactly those decoded slots —
+// patch() re-decodes just the touched range, which is what makes the
+// decode-once/execute-many scheme profitable under MCMC search where each
+// candidate differs from its predecessor in 1–2 instructions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ebpf/helpers_def.h"
+#include "ebpf/program.h"
+
+namespace k2::ebpf {
+
+// Dense dispatch kind: one entry per execution-loop handler.
+enum class ExecOp : uint8_t {
+  ALU64_IMM,  // sub = AluOp, imm pre-sign-extended
+  ALU64_REG,
+  ALU32_IMM,
+  ALU32_REG,
+  ALU_UNARY,  // NEG/endian; orig_op selects the operation
+  JA,
+  JMP_IMM,  // sub = JmpCond, imm pre-sign-extended, target resolved
+  JMP_REG,
+  LDX,   // sub = access width in bytes
+  STX,
+  ST,    // imm pre-sign-extended store value
+  XADD,
+  CALL,  // imm = helper id, helper = resolved prototype (null: unknown)
+  EXIT,
+  LDDW,     // imm = raw 64-bit immediate
+  LDMAPFD,  // imm = map fd index (the interpreter forms the handle VA)
+  NOP,
+  BAD,  // invalid opcode: executing it faults, exactly like the legacy
+        // interpreter's default case
+  NUM_EXEC_OPS,
+};
+
+struct DecodedInsn {
+  ExecOp eop = ExecOp::BAD;
+  uint8_t sub = 0;   // AluOp / JmpCond / memory width in bytes
+  uint8_t dst = 0;
+  uint8_t src = 0;
+  int16_t off = 0;       // memory byte offset; branch delta for jumps
+  uint16_t orig_op = 0;  // the ebpf::Opcode this slot was decoded from
+  int32_t target = 0;    // absolute branch target (pc + 1 + off) for jumps
+  uint64_t imm = 0;      // operand, pre-sign-extended where semantics demand
+  const HelperProto* helper = nullptr;  // CALL only
+
+  friend bool operator==(const DecodedInsn&, const DecodedInsn&) = default;
+};
+
+// Decode of `insn` at instruction index `pc` (targets are pc-relative).
+DecodedInsn decode_insn(const Insn& insn, int pc);
+
+// A program in decoded form. decode() rebuilds everything; patch()
+// re-decodes only [r.start, r.end) and requires the instruction count to be
+// unchanged (K2 proposals never grow or shrink the slot vector — they
+// replace instructions in place, NOP included).
+struct DecodedProgram {
+  ProgType type = ProgType::XDP;
+  std::vector<DecodedInsn> insns;
+
+  void decode(const Program& p);
+  void patch(const Program& p, InsnRange r);
+  size_t size() const { return insns.size(); }
+};
+
+}  // namespace k2::ebpf

@@ -34,6 +34,25 @@ struct MapDef {
   uint32_t key_size = 4;    // bytes
   uint32_t value_size = 8;  // bytes
   uint32_t max_entries = 256;
+
+  friend bool operator==(const MapDef&, const MapDef&) = default;
+};
+
+// Half-open instruction index range [start, end). Proposals report the range
+// they mutated so decoded forms (ebpf/decoded.h) can be patched instead of
+// rebuilt.
+struct InsnRange {
+  int start = 0;
+  int end = 0;
+  bool empty() const { return end <= start; }
+  // Smallest range covering both (patching extra in-between slots is always
+  // harmless: a decoded slot is a pure function of its Insn and index).
+  static InsnRange hull(InsnRange a, InsnRange b) {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    return InsnRange{a.start < b.start ? a.start : b.start,
+                     a.end > b.end ? a.end : b.end};
+  }
 };
 
 struct Program {

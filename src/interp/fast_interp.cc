@@ -1,0 +1,313 @@
+#include "interp/fast_interp.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "ebpf/semantics.h"
+#include "interp/helpers.h"
+#include "interp/interpreter.h"
+
+// Computed-goto (labels-as-values) dispatch when the compiler supports it;
+// a plain switch otherwise. Both share the same handler bodies through the
+// K2_CASE/K2_NEXT macros, so the two dispatch strategies cannot drift.
+#if defined(__GNUC__) || defined(__clang__)
+#define K2_COMPUTED_GOTO 1
+#else
+#define K2_COMPUTED_GOTO 0
+#endif
+
+namespace k2::interp {
+
+using ebpf::ExecOp;
+
+void SuiteRunner::prepare(const ebpf::Program& p,
+                          const ebpf::InsnRange* touched) {
+  if (!valid_ || !touched || dp_.insns.size() != p.insns.size() ||
+      dp_.type != p.type) {
+    dp_.decode(p);
+    if (m_.bind(p.type, p.maps)) snapshot_valid_ = false;
+    valid_ = true;
+    // With touched == null, `p` is the chain's base program and the next
+    // candidate differs from it only inside its own touched range. With
+    // touched non-null (full decode forced by invalidate()), `p` is a
+    // *candidate* — base + *touched — and if it gets rejected the next
+    // candidate still differs from the decoded form inside *touched, so
+    // the range must seed the hull like any other proposal's.
+    last_touched_ = touched ? *touched : ebpf::InsnRange{};
+    return;
+  }
+  // Incremental patch. Consecutive candidates both derive from the chain's
+  // current program: the previous candidate differed from it only inside
+  // last_touched_ (whether it was accepted or rejected), the new one only
+  // inside *touched, so the hull of the two ranges covers every slot where
+  // the decoded form can disagree with `p`.
+  dp_.patch(p, ebpf::InsnRange::hull(last_touched_, *touched));
+  last_touched_ = *touched;
+#ifndef NDEBUG
+  for (size_t i = 0; i < p.insns.size(); ++i)
+    assert(dp_.insns[i] == ebpf::decode_insn(p.insns[i], int(i)) &&
+           "incremental patch diverged from a full re-decode");
+#endif
+}
+
+const RunResult& SuiteRunner::run_one(const InputSpec& input,
+                                      const RunOptions& opt) {
+  assert(valid_ && "SuiteRunner::prepare must be called first");
+  return exec(input, opt);
+}
+
+SuiteOutcome SuiteRunner::run_suite(std::span<const SuiteTest> tests,
+                                    bool until_first_fail,
+                                    const RunOptions& opt,
+                                    ResultSink on_result) {
+  assert(valid_ && "SuiteRunner::prepare must be called first");
+  SuiteOutcome out;
+  for (uint32_t i = 0; i < tests.size(); ++i) {
+    const RunResult& r = exec(*tests[i].input, opt);
+    out.executed++;
+    const bool failed =
+        tests[i].expected && !outputs_equal(dp_.type, r, *tests[i].expected);
+    if (failed && out.first_fail < 0) out.first_fail = int32_t(i);
+    if (on_result && !on_result(i, r)) break;
+    if (until_first_fail && failed) break;
+  }
+  return out;
+}
+
+const RunResult& SuiteRunner::exec(const InputSpec& input,
+                                   const RunOptions& opt) {
+  Machine& m = m_;
+  m.reset(input);
+  RunResult& res = scratch_;
+  res.fault = Fault::NONE;
+  res.fault_pc = -1;
+  res.r0 = 0;
+  res.insns_executed = 0;
+  res.trace.clear();
+
+  const ebpf::DecodedInsn* const insns = dp_.insns.data();
+  const int n = static_cast<int>(dp_.insns.size());
+  const uint64_t max_insns = opt.max_insns;
+  const bool rec = opt.record_trace;
+  ebpf::ConcreteBackend be;
+  const ebpf::DecodedInsn* d = nullptr;
+  int pc = 0;
+
+  const auto fault_out = [&](Fault f, int at) -> RunResult& {
+    res.fault = f;
+    res.fault_pc = at;
+    // The legacy interpreter returns a default-constructed result on fault:
+    // no packet or map outputs. Park the snapshot nodes in their runtimes'
+    // pools rather than freeing them — the next clean run's full merge
+    // takes them back.
+    res.packet_out.clear();
+    for (size_t fd = 0; fd < m.maps.size(); ++fd) {
+      auto it = res.maps_out.find(static_cast<int>(fd));
+      if (it != res.maps_out.end()) m.maps[fd].park_snapshot(it->second);
+    }
+    res.maps_out.clear();
+    snapshot_valid_ = false;
+    return res;
+  };
+  const auto finish = [&]() -> RunResult& {
+    res.r0 = m.regs[0];
+    res.packet_out.assign(
+        m.pkt_buf.data() + (m.pkt_data - Machine::kPacketBase),
+        m.pkt_buf.data() + (m.pkt_data_end - Machine::kPacketBase));
+    const bool full = !snapshot_valid_;
+    // A rebind can shrink the map count; drop snapshot entries for fds the
+    // current program does not have.
+    while (res.maps_out.size() > m.maps.size())
+      res.maps_out.erase(std::prev(res.maps_out.end()));
+    for (size_t fd = 0; fd < m.maps.size(); ++fd)
+      m.maps[fd].snapshot_into(res.maps_out[static_cast<int>(fd)], full);
+    snapshot_valid_ = true;
+    return res;
+  };
+
+#if K2_COMPUTED_GOTO
+  // One entry per ExecOp, in declaration order.
+  static const void* const kJump[] = {
+      &&L_ALU64_IMM, &&L_ALU64_REG, &&L_ALU32_IMM, &&L_ALU32_REG,
+      &&L_ALU_UNARY, &&L_JA,        &&L_JMP_IMM,   &&L_JMP_REG,
+      &&L_LDX,       &&L_STX,       &&L_ST,        &&L_XADD,
+      &&L_CALL,      &&L_EXIT,      &&L_LDDW,      &&L_LDMAPFD,
+      &&L_NOP,       &&L_BAD};
+  static_assert(sizeof(kJump) / sizeof(kJump[0]) ==
+                size_t(ExecOp::NUM_EXEC_OPS));
+#define K2_CASE(name) L_##name:
+#define K2_NEXT()                                                  \
+  do {                                                             \
+    if (pc < 0 || pc >= n) return fault_out(Fault::BAD_INSN, pc);  \
+    if (res.insns_executed++ >= max_insns)                         \
+      return fault_out(Fault::STEP_LIMIT, pc);                     \
+    d = insns + pc;                                                \
+    if (rec && d->eop != ExecOp::NOP)                              \
+      res.trace.push_back(static_cast<uint32_t>(pc));              \
+    goto* kJump[size_t(d->eop)];                                   \
+  } while (0)
+  K2_NEXT();
+#else
+#define K2_CASE(name) case ExecOp::name:
+#define K2_NEXT() break
+  for (;;) {
+    if (pc < 0 || pc >= n) return fault_out(Fault::BAD_INSN, pc);
+    if (res.insns_executed++ >= max_insns)
+      return fault_out(Fault::STEP_LIMIT, pc);
+    d = insns + pc;
+    if (rec && d->eop != ExecOp::NOP)
+      res.trace.push_back(static_cast<uint32_t>(pc));
+    switch (d->eop) {
+#endif
+
+  K2_CASE(ALU64_IMM) {
+    m.regs[d->dst] =
+        ebpf::alu_apply(ebpf::AluOp(d->sub), true, m.regs[d->dst], d->imm, be);
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(ALU64_REG) {
+    m.regs[d->dst] = ebpf::alu_apply(ebpf::AluOp(d->sub), true, m.regs[d->dst],
+                                     m.regs[d->src], be);
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(ALU32_IMM) {
+    m.regs[d->dst] =
+        ebpf::alu_apply(ebpf::AluOp(d->sub), false, m.regs[d->dst], d->imm, be);
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(ALU32_REG) {
+    m.regs[d->dst] = ebpf::alu_apply(ebpf::AluOp(d->sub), false,
+                                     m.regs[d->dst], m.regs[d->src], be);
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(ALU_UNARY) {
+    m.regs[d->dst] =
+        ebpf::alu_unary_apply(ebpf::Opcode(d->orig_op), m.regs[d->dst], be);
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(JA) {
+    if (d->off < 0) return fault_out(Fault::BACKWARD_JUMP, pc);
+    pc = d->target;
+    K2_NEXT();
+  }
+  K2_CASE(JMP_IMM) {
+    if (ebpf::jmp_test(ebpf::JmpCond(d->sub), m.regs[d->dst], d->imm, be)) {
+      if (d->off < 0) return fault_out(Fault::BACKWARD_JUMP, pc);
+      pc = d->target;
+    } else {
+      pc++;
+    }
+    K2_NEXT();
+  }
+  K2_CASE(JMP_REG) {
+    if (ebpf::jmp_test(ebpf::JmpCond(d->sub), m.regs[d->dst], m.regs[d->src],
+                       be)) {
+      if (d->off < 0) return fault_out(Fault::BACKWARD_JUMP, pc);
+      pc = d->target;
+    } else {
+      pc++;
+    }
+    K2_NEXT();
+  }
+  K2_CASE(LDX) {
+    const uint32_t w = d->sub;
+    const uint64_t addr = m.regs[d->src] + static_cast<uint64_t>(
+                                               static_cast<int64_t>(d->off));
+    if (addr < 0x1000) return fault_out(Fault::NULL_DEREF, pc);
+    const uint8_t* p = m.resolve(addr, w);
+    if (!p) return fault_out(Fault::OOB_ACCESS, pc);
+    uint64_t v = 0;
+    std::memcpy(&v, p, w);  // little-endian host, as in the paper setup
+    m.regs[d->dst] = v;
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(STX) {
+    const uint32_t w = d->sub;
+    const uint64_t addr = m.regs[d->dst] + static_cast<uint64_t>(
+                                               static_cast<int64_t>(d->off));
+    if (addr < 0x1000) return fault_out(Fault::NULL_DEREF, pc);
+    Mem kind;
+    uint8_t* p = m.resolve(addr, w, &kind);
+    if (!p) return fault_out(Fault::OOB_ACCESS, pc);
+    std::memcpy(p, &m.regs[d->src], w);
+    if (kind == Mem::STACK) m.note_stack_write(addr, w);
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(ST) {
+    const uint32_t w = d->sub;
+    const uint64_t addr = m.regs[d->dst] + static_cast<uint64_t>(
+                                               static_cast<int64_t>(d->off));
+    if (addr < 0x1000) return fault_out(Fault::NULL_DEREF, pc);
+    Mem kind;
+    uint8_t* p = m.resolve(addr, w, &kind);
+    if (!p) return fault_out(Fault::OOB_ACCESS, pc);
+    std::memcpy(p, &d->imm, w);
+    if (kind == Mem::STACK) m.note_stack_write(addr, w);
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(XADD) {
+    const uint32_t w = d->sub;
+    const uint64_t addr = m.regs[d->dst] + static_cast<uint64_t>(
+                                               static_cast<int64_t>(d->off));
+    if (addr < 0x1000) return fault_out(Fault::NULL_DEREF, pc);
+    Mem kind;
+    uint8_t* p = m.resolve(addr, w, &kind);
+    if (!p) return fault_out(Fault::OOB_ACCESS, pc);
+    uint64_t v = 0;
+    std::memcpy(&v, p, w);
+    v += m.regs[d->src];
+    std::memcpy(p, &v, w);
+    if (kind == Mem::STACK) m.note_stack_write(addr, w);
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(CALL) {
+    if (!d->helper) return fault_out(Fault::BAD_HELPER, pc);
+    const Fault f = call_helper_resolved(m, static_cast<int64_t>(d->imm));
+    if (f != Fault::NONE) return fault_out(f, pc);
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(EXIT) { return finish(); }
+  K2_CASE(LDDW) {
+    m.regs[d->dst] = d->imm;
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(LDMAPFD) {
+    m.regs[d->dst] = Machine::kMapHandleBase + d->imm;
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(NOP) {
+    pc++;
+    K2_NEXT();
+  }
+  K2_CASE(BAD) { return fault_out(Fault::BAD_INSN, pc); }
+
+#if !K2_COMPUTED_GOTO
+      default:
+        return fault_out(Fault::BAD_INSN, pc);
+    }
+  }
+#endif
+#undef K2_CASE
+#undef K2_NEXT
+}
+
+RunResult run_decoded(const ebpf::Program& prog, const InputSpec& input,
+                      const RunOptions& opt) {
+  SuiteRunner runner;
+  runner.prepare(prog);
+  return runner.run_one(input, opt);
+}
+
+}  // namespace k2::interp

@@ -1,0 +1,124 @@
+// The fast interpreter: decode once, execute many (§7 optimization II in
+// spirit — the interpreter is the innermost loop of the search, executing
+// every proposal against the whole test suite).
+//
+// Produces RunResults bit-identical to the legacy switch interpreter in
+// interpreter.h (enforced by the differential fuzz in
+// tests/decoded_interp_test.cc); the speed comes from three structural
+// changes, not from semantic shortcuts:
+//
+//  * Pre-decoded programs (ebpf::DecodedProgram) with computed-goto/table
+//    dispatch — per-instruction classification, sign-extension and jump
+//    target arithmetic are paid once per proposal, not once per executed
+//    instruction. Falls back to a switch when the compiler lacks
+//    label-as-value support.
+//  * Incremental re-decode: prepare() patches only the instruction range a
+//    proposal touched (plus the previous proposal's range, which covers the
+//    reject-revert case) instead of re-decoding the whole program.
+//  * Arena-backed machine reuse: Machine::bind/reset with dirty-region
+//    reset, and a reused RunResult whose map snapshot is maintained
+//    incrementally. Steady-state executions perform no heap allocation.
+//
+// Thread-safety: a SuiteRunner is single-threaded state, one per worker
+// (it lives inside pipeline::ExecContext).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+
+#include "ebpf/decoded.h"
+#include "interp/state.h"
+
+namespace k2::interp {
+
+// One test of a batch: the input plus (optionally) the expected result used
+// by until_first_fail pruning. Pointers must stay valid for the batch (the
+// shared TestSuite hands out stable references).
+struct SuiteTest {
+  const InputSpec* input = nullptr;
+  const RunResult* expected = nullptr;  // null: never counted as a fail
+};
+
+struct SuiteOutcome {
+  uint32_t executed = 0;   // tests actually run
+  int32_t first_fail = -1; // batch position of the first mismatch, -1 if none
+};
+
+// Non-owning callable reference for the per-result batch callback
+// (function_ref): run_suite sits in the hottest loop of the search, so
+// std::function's type erasure — a possible heap allocation per evaluated
+// candidate — is unwelcome. The referenced callable must outlive the
+// run_suite call, which is always true for call-site lambdas.
+class ResultSink {
+ public:
+  ResultSink() = default;
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<F>, ResultSink>>>
+  ResultSink(F&& f)  // NOLINT: implicit by design, mirrors function_ref
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, uint32_t i, const RunResult& r) {
+          return bool((*static_cast<std::remove_reference_t<F>*>(obj))(i, r));
+        }) {}
+  explicit operator bool() const { return call_ != nullptr; }
+  bool operator()(uint32_t i, const RunResult& r) const {
+    return call_(obj_, i, r);
+  }
+
+ private:
+  void* obj_ = nullptr;
+  bool (*call_)(void*, uint32_t, const RunResult&) = nullptr;
+};
+
+class SuiteRunner {
+ public:
+  // Syncs the decoded form to `p`. With `touched` non-null and `p` the same
+  // shape as the previously prepared program, only the union of `touched`
+  // and the previous call's range is re-decoded (K2 proposals mutate 1-2
+  // instructions; consecutive candidates differ from the decoded base only
+  // inside those ranges, whether the previous proposal was accepted or
+  // rejected). Pass null after any discontinuous program change — or call
+  // invalidate() — to force a full decode.
+  void prepare(const ebpf::Program& p,
+               const ebpf::InsnRange* touched = nullptr);
+
+  // Drops the incremental-decode state (e.g. after a speculative-chain
+  // rollback rewound the current program); the next prepare() re-decodes.
+  void invalidate() { valid_ = false; }
+
+  // Executes one input against the prepared program. The returned reference
+  // points at internal scratch reused by the next run/run_suite call; it is
+  // bit-identical to what interp::run(prog, input, opt) would return.
+  const RunResult& run_one(const InputSpec& input, const RunOptions& opt);
+
+  // Batched suite execution — the EvalPipeline entry point. Runs each test
+  // in order with dirty-region machine reuse. After each execution,
+  // `on_result` (if set) observes the batch position and result and returns
+  // false to stop the batch (the pipeline's provable-rejection early exit).
+  // With until_first_fail, the batch also stops after the first test whose
+  // result differs from its expected output (interp::outputs_equal).
+  SuiteOutcome run_suite(std::span<const SuiteTest> tests,
+                         bool until_first_fail, const RunOptions& opt,
+                         ResultSink on_result = {});
+
+  Machine& machine() { return m_; }
+  const ebpf::DecodedProgram& decoded() const { return dp_; }
+
+ private:
+  const RunResult& exec(const InputSpec& input, const RunOptions& opt);
+
+  ebpf::DecodedProgram dp_;
+  ebpf::InsnRange last_touched_{};
+  bool valid_ = false;
+  bool snapshot_valid_ = false;  // scratch_.maps_out holds the last snapshot
+  Machine m_;
+  RunResult scratch_;
+};
+
+// Convenience: one-shot decoded execution (decode + bind + run). For hot
+// loops use a SuiteRunner so decode and machine state amortize.
+RunResult run_decoded(const ebpf::Program& prog, const InputSpec& input,
+                      const RunOptions& opt = {});
+
+}  // namespace k2::interp

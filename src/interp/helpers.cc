@@ -41,8 +41,11 @@ uint64_t csum_words(const uint8_t* p, uint32_t len) {
 }  // namespace
 
 Fault call_helper(Machine& m, int64_t id) {
-  const ebpf::HelperProto* proto = ebpf::helper_proto(id);
-  if (!proto) return Fault::BAD_HELPER;
+  if (!ebpf::helper_proto(id)) return Fault::BAD_HELPER;
+  return call_helper_resolved(m, id);
+}
+
+Fault call_helper_resolved(Machine& m, int64_t id) {
   m.helper_calls++;
   uint64_t r0 = 0;
 

@@ -24,4 +24,10 @@ constexpr uint64_t kScratchPoison = 0xdeadbeefdeadbeefull;
 // result in r0; r1..r5 clobbered). Returns Fault::NONE on success.
 Fault call_helper(Machine& m, int64_t id);
 
+// Same, for an `id` already known to have a prototype — the fast
+// interpreter resolves helper references at decode time and skips the
+// per-call table lookup (an unknown id is a BAD_HELPER fault *before* the
+// helper-call counter increments, exactly like call_helper).
+Fault call_helper_resolved(Machine& m, int64_t id);
+
 }  // namespace k2::interp

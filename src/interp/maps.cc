@@ -17,58 +17,172 @@ bool array_index(const ebpf::MapDef& def, const uint8_t* key, uint32_t* idx) {
 
 }  // namespace
 
+// Sorted merge of the live table into an existing snapshot map, reusing its
+// nodes and value-buffer capacity; keys leaving the snapshot park their
+// nodes in out_pool_ and keys entering it take them back, so steady-state
+// keyset churn allocates nothing.
+void MapRuntime::merge_live_into(std::map<Bytes, Bytes>& out) {
+  auto oit = out.begin();
+  for (auto dit = data_.begin(); dit != data_.end(); ++dit) {
+    while (oit != out.end() && oit->first < dit->first) {
+      auto next = std::next(oit);
+      out_pool_.push_back(out.extract(oit));
+      oit = next;
+    }
+    if (oit != out.end() && oit->first == dit->first) {
+      oit->second = *dit->second.value;
+    } else if (!out_pool_.empty()) {
+      auto nh = std::move(out_pool_.back());
+      out_pool_.pop_back();
+      nh.key() = dit->first;
+      nh.mapped() = *dit->second.value;
+      oit = out.insert(oit, std::move(nh));
+    } else {
+      oit = out.emplace_hint(oit, dit->first, *dit->second.value);
+    }
+    ++oit;
+  }
+  while (oit != out.end()) {
+    auto next = std::next(oit);
+    out_pool_.push_back(out.extract(oit));
+    oit = next;
+  }
+}
+
 MapRuntime::MapRuntime(const ebpf::MapDef& def) : def_(def) {
-  if (def_.kind != ebpf::MapKind::HASH) {
+  if (is_array()) {
     // Array-like maps are fully populated with zeroed values.
     for (uint32_t i = 0; i < def_.max_entries; ++i) {
       Bytes key(def_.key_size, 0);
       std::memcpy(key.data(), &i, std::min<uint32_t>(def_.key_size, 4));
-      data_[key] = std::make_unique<Bytes>(def_.value_size, 0);
+      data_[std::move(key)].value = std::make_unique<Bytes>(def_.value_size, 0);
     }
   }
 }
 
+void MapRuntime::mark(Table::iterator it) {
+  Entry& e = it->second;
+  if (!e.run_dirty) {
+    e.run_dirty = true;
+    run_dirty_.push_back(it);
+  }
+  if (!e.snap_stale) {
+    e.snap_stale = true;
+    snap_stale_.push_back(it);
+  }
+}
+
 uint8_t* MapRuntime::lookup(const uint8_t* key) {
-  if (def_.kind != ebpf::MapKind::HASH) {
+  if (is_array()) {
     uint32_t idx;
     if (!array_index(def_, key, &idx)) return nullptr;
   }
-  Bytes k(key, key + def_.key_size);
+  // Transparent-ish find without allocating a key: std::map with Bytes keys
+  // has no heterogeneous lookup for raw byte ranges, so reuse a scratch key.
+  thread_local Bytes k;
+  k.assign(key, key + def_.key_size);
   auto it = data_.find(k);
-  return it == data_.end() ? nullptr : it->second->data();
+  if (it == data_.end()) return nullptr;
+  // The caller may write through the returned pointer (that is the whole
+  // point of bpf_map_lookup_elem), so the entry is dirty from here on.
+  if (is_array()) mark(it);
+  return it->second.value->data();
 }
 
 int MapRuntime::update(const uint8_t* key, const uint8_t* value) {
-  if (def_.kind != ebpf::MapKind::HASH) {
+  thread_local Bytes k;
+  if (is_array()) {
     uint32_t idx;
     if (!array_index(def_, key, &idx)) return -ENOENT;
-    Bytes k(key, key + def_.key_size);
-    std::memcpy(data_[k]->data(), value, def_.value_size);
+    k.assign(key, key + def_.key_size);
+    auto it = data_.find(k);
+    if (it == data_.end()) return -ENOENT;  // key_size > 4 with stray bytes
+    std::memcpy(it->second.value->data(), value, def_.value_size);
+    mark(it);
     return 0;
   }
-  Bytes k(key, key + def_.key_size);
+  k.assign(key, key + def_.key_size);
   auto it = data_.find(k);
   if (it != data_.end()) {
-    std::memcpy(it->second->data(), value, def_.value_size);
+    std::memcpy(it->second.value->data(), value, def_.value_size);
     return 0;
   }
   if (data_.size() >= def_.max_entries) return -E2BIG;
-  data_[k] = std::make_unique<Bytes>(value, value + def_.value_size);
+  if (!pool_.empty()) {
+    Table::node_type nh = std::move(pool_.back());
+    pool_.pop_back();
+    nh.key() = k;  // capacity-reusing assign
+    nh.mapped().value->assign(value, value + def_.value_size);
+    nh.mapped().run_dirty = false;
+    nh.mapped().snap_stale = false;
+    data_.insert(std::move(nh));
+  } else {
+    data_[k].value = std::make_unique<Bytes>(value, value + def_.value_size);
+  }
   return 0;
 }
 
 int MapRuntime::erase(const uint8_t* key) {
-  if (def_.kind != ebpf::MapKind::HASH) return -EINVAL;
-  Bytes k(key, key + def_.key_size);
-  return data_.erase(k) ? 0 : -ENOENT;
+  if (is_array()) return -EINVAL;
+  thread_local Bytes k;
+  k.assign(key, key + def_.key_size);
+  auto it = data_.find(k);
+  if (it == data_.end()) return -ENOENT;
+  pool_.push_back(data_.extract(it));
+  return 0;
+}
+
+void MapRuntime::reset() {
+  if (is_array()) {
+    for (Table::iterator it : run_dirty_) {
+      Entry& e = it->second;
+      std::memset(e.value->data(), 0, e.value->size());
+      e.run_dirty = false;
+      // The restore changes the entry relative to the last snapshot too.
+      if (!e.snap_stale) {
+        e.snap_stale = true;
+        snap_stale_.push_back(it);
+      }
+    }
+    run_dirty_.clear();
+  } else {
+    // Default hash contents are empty; park every node for reuse.
+    while (!data_.empty()) pool_.push_back(data_.extract(data_.begin()));
+  }
+}
+
+void MapRuntime::snapshot_into(std::map<Bytes, Bytes>& out, bool full) {
+  if (!is_array()) {
+    // Every live hash entry was (re-)inserted since the last reset; the
+    // keysets are small, so a full sorted merge is the simple exact answer.
+    merge_live_into(out);
+    return;
+  }
+  if (full) {
+    merge_live_into(out);
+  } else {
+    // `out` holds the previous snapshot verbatim: refresh only what changed.
+    for (Table::iterator it : snap_stale_) {
+      auto oit = out.find(it->first);
+      if (oit != out.end()) oit->second = *it->second.value;
+    }
+  }
+  for (Table::iterator it : snap_stale_) it->second.snap_stale = false;
+  snap_stale_.clear();
 }
 
 std::map<Bytes, Bytes> MapRuntime::contents() const {
   std::map<Bytes, Bytes> out;
-  for (const auto& [k, v] : data_) out[k] = *v;
+  for (const auto& [k, e] : data_) out[k] = *e.value;
   return out;
 }
 
-void MapRuntime::clear() { data_.clear(); }
+void MapRuntime::clear() {
+  data_.clear();
+  run_dirty_.clear();
+  snap_stale_.clear();
+  pool_.clear();
+  out_pool_.clear();
+}
 
 }  // namespace k2::interp

@@ -3,6 +3,15 @@
 // pointer-stable: bpf_map_lookup_elem returns a pointer that programs then
 // dereference with ordinary load/store instructions, so values must not move
 // while a program holds a pointer to them.
+//
+// Built for the decode-once/execute-many loop: a MapRuntime is constructed
+// once per bound program and then *reset* between runs instead of being
+// rebuilt. reset() restores the default contents touching only what the
+// previous run dirtied (array-like maps re-zero just the entries that were
+// looked up or updated; hash maps recycle their nodes through a free pool),
+// and snapshot_into() maintains an output snapshot incrementally, copying
+// only entries that changed since the previous snapshot. Steady-state runs
+// perform no heap allocation (tests/alloc_guard_test.cc enforces this).
 #pragma once
 
 #include <cstdint>
@@ -23,7 +32,8 @@ class MapRuntime {
   const ebpf::MapDef& def() const { return def_; }
 
   // Returns a stable pointer to value storage, or nullptr when the key is
-  // absent (HASH) / out of range (ARRAY/DEVMAP).
+  // absent (HASH) / out of range (ARRAY/DEVMAP). The entry is conservatively
+  // marked dirty: the caller may write through the returned pointer.
   uint8_t* lookup(const uint8_t* key);
 
   // 0 on success, negative errno on failure. ARRAY maps reject unknown keys.
@@ -35,12 +45,51 @@ class MapRuntime {
   // Deterministic snapshot of live entries for output comparison.
   std::map<Bytes, Bytes> contents() const;
 
+  // Restores the default contents (all-zero values for ARRAY/DEVMAP, empty
+  // for HASH), undoing only what was dirtied since construction or the last
+  // reset. Allocation-free: hash nodes and their value buffers are parked in
+  // a pool and recycled by later update() calls.
+  void reset();
+
+  // Merge-copies the live contents into `out`, reusing its nodes and value
+  // buffers. With full == false, array-like maps refresh only the entries
+  // dirtied since the previous snapshot_into() call — valid only when `out`
+  // still holds that previous snapshot verbatim. full == true rebuilds the
+  // keyset (first snapshot, or `out` was cleared/reused elsewhere).
+  void snapshot_into(std::map<Bytes, Bytes>& out, bool full);
+
+  // Empties `out` (a snapshot this runtime produced), parking its nodes in
+  // the recycle pool instead of freeing them — the fault path uses this so
+  // a faulting run between clean runs does not destroy the pooled
+  // allocation-free steady state.
+  void park_snapshot(std::map<Bytes, Bytes>& out) {
+    while (!out.empty()) out_pool_.push_back(out.extract(out.begin()));
+  }
+
   void clear();
 
  private:
+  struct Entry {
+    // unique_ptr keeps value buffers pinned while nodes move through the
+    // free pool; the buffer itself is recycled with the node.
+    std::unique_ptr<Bytes> value;
+    bool run_dirty = false;   // touched since the last reset()
+    bool snap_stale = false;  // changed since the last snapshot_into()
+  };
+  using Table = std::map<Bytes, Entry>;
+
+  void mark(Table::iterator it);
+  bool is_array() const { return def_.kind != ebpf::MapKind::HASH; }
+  void merge_live_into(std::map<Bytes, Bytes>& out);
+
   ebpf::MapDef def_;
-  // unique_ptr keeps value buffers pinned across rehashing/insertions.
-  std::map<Bytes, std::unique_ptr<Bytes>> data_;
+  Table data_;
+  std::vector<Table::iterator> run_dirty_;   // ARRAY: entries to re-zero
+  std::vector<Table::iterator> snap_stale_;  // ARRAY: entries to re-copy
+  std::vector<Table::node_type> pool_;       // HASH: recycled nodes
+  // Recycled nodes of the snapshot map this runtime merges into, so keyset
+  // churn across runs (hash entries coming and going) stays allocation-free.
+  std::vector<std::map<Bytes, Bytes>::node_type> out_pool_;
 };
 
 }  // namespace k2::interp

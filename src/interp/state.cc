@@ -1,9 +1,12 @@
 #include "interp/state.h"
 
+#include <cassert>
 #include <cstring>
 #include <sstream>
 
 namespace k2::interp {
+
+std::atomic<uint64_t> g_heap_allocs{0};
 
 const char* mem_name(Mem m) {
   switch (m) {
@@ -63,6 +66,11 @@ std::string InputSpec::to_string() const {
 }
 
 void Machine::init(const ebpf::Program& prog, const InputSpec& input) {
+  // The legacy path rebuilds everything; whatever the fast path tracked
+  // about this machine no longer holds.
+  fast_bound = false;
+  stack_dirty_lo = 0;
+  stack_dirty_hi = 512;
   regs.fill(0);
   stack.fill(0);
   regions.clear();
@@ -113,6 +121,87 @@ void Machine::init(const ebpf::Program& prog, const InputSpec& input) {
       maps[fd].update(k.data(), v.data());
     }
   }
+}
+
+bool Machine::bind(ebpf::ProgType type, const std::vector<ebpf::MapDef>& defs) {
+  if (fast_bound && bound_type == type && bound_defs == defs) return false;
+  maps.clear();
+  maps.reserve(defs.size());
+  for (const auto& def : defs) maps.emplace_back(def);
+  bound_type = type;
+  bound_defs = defs;
+  fast_bound = true;
+  // Prior machine state is unknown (fresh machine, or one the legacy path
+  // used): force a full stack re-zero on the next reset.
+  stack_dirty_lo = 0;
+  stack_dirty_hi = 512;
+  return true;
+}
+
+void Machine::reset(const InputSpec& input) {
+#ifndef NDEBUG
+  const uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+#endif
+  regs.fill(0);
+  // Re-zero only the stack window the previous run wrote.
+  if (stack_dirty_hi > stack_dirty_lo)
+    std::memset(stack.data() + stack_dirty_lo, 0,
+                stack_dirty_hi - stack_dirty_lo);
+  stack_dirty_lo = 512;
+  stack_dirty_hi = 0;
+  helper_calls = 0;
+  rand_state = input.prandom_seed;
+  ktime_state = input.ktime_base;
+  cpu_id = input.cpu_id;
+
+  // Same region layout and order as init().
+  regions.clear();
+  regions.push_back(Region{Mem::STACK, kStackBase - 512, 512, stack.data()});
+  regs[10] = kStackBase;
+
+  pkt_headroom = kHeadroom;
+  const size_t need = pkt_headroom + input.packet.size();
+  if (pkt_buf.size() != need) pkt_buf.resize(need);
+  // The packet area is fully overwritten below; only the headroom needs
+  // re-zeroing (bpf_xdp_adjust_head can expose it to stores).
+  std::memset(pkt_buf.data(), 0, pkt_headroom);
+  std::memcpy(pkt_buf.data() + pkt_headroom, input.packet.data(),
+              input.packet.size());
+  pkt_data = kPacketBase + pkt_headroom;
+  pkt_data_end = pkt_data + input.packet.size();
+  regions.push_back(Region{Mem::PACKET, pkt_data,
+                           static_cast<uint32_t>(input.packet.size()),
+                           pkt_buf.data() + pkt_headroom});
+
+  ctx.fill(0);
+  if (bound_type == ebpf::ProgType::TRACEPOINT) {
+    std::memcpy(ctx.data(), &input.ctx_args[0], 8);
+    std::memcpy(ctx.data() + 8, &input.ctx_args[1], 8);
+  } else {
+    std::memcpy(ctx.data(), &pkt_data, 8);
+    std::memcpy(ctx.data() + 8, &pkt_data_end, 8);
+  }
+  regions.push_back(Region{Mem::CTX, kCtxBase, 16, ctx.data()});
+  regs[1] = kCtxBase;
+
+  // Maps: restore defaults for whatever the last run touched, then apply
+  // this input's entries through reused padding buffers.
+  for (MapRuntime& rt : maps) rt.reset();
+  for (const auto& [fd, entries] : input.maps) {
+    if (fd < 0 || fd >= static_cast<int>(maps.size())) continue;
+    for (const auto& e : entries) {
+      key_scratch_.assign(e.key.begin(), e.key.end());
+      key_scratch_.resize(maps[size_t(fd)].def().key_size, 0);
+      val_scratch_.assign(e.value.begin(), e.value.end());
+      val_scratch_.resize(maps[size_t(fd)].def().value_size, 0);
+      maps[size_t(fd)].update(key_scratch_.data(), val_scratch_.data());
+    }
+  }
+#ifndef NDEBUG
+  if (alloc_guard_armed)
+    assert(g_heap_allocs.load(std::memory_order_relaxed) == allocs_before &&
+           "Machine::reset allocated on the steady-state path");
+#endif
 }
 
 uint8_t* Machine::resolve(uint64_t addr, uint32_t size, Mem* kind_out) {

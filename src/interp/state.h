@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -83,6 +84,13 @@ struct RunOptions {
   bool record_trace = false;
 };
 
+// Debug-build allocation guard. Binaries that replace the global operator
+// new/delete (tests/alloc_guard_test.cc) bump this on every heap allocation;
+// Machine::reset asserts it stays flat while the guard is armed, proving the
+// steady-state path re-fills capacity instead of allocating. In binaries
+// without the replacement the counter never moves and the assert is inert.
+extern std::atomic<uint64_t> g_heap_allocs;
+
 // An addressable memory region in the running machine.
 struct Region {
   Mem kind;
@@ -123,8 +131,43 @@ struct Machine {
   static constexpr uint64_t kMapHandleBase = 0x6d61700000000000ull;  // "map"
   static constexpr uint32_t kHeadroom = 64;  // bpf_xdp_adjust_head slack
 
-  // Builds machine state for `prog` from `input`.
+  // Builds machine state for `prog` from `input`, reconstructing the map
+  // runtimes from scratch — the legacy per-run path. Invalidates any fast
+  // binding (see bind/reset below).
   void init(const ebpf::Program& prog, const InputSpec& input);
+
+  // ---- Decode-once/execute-many path --------------------------------------
+  // bind() attaches the machine to a program family (hook type + map
+  // definitions), constructing the map runtimes once; reset() then re-fills
+  // the machine for each input, undoing only what the previous run dirtied:
+  // the written stack window is re-zeroed, the packet headroom is re-zeroed,
+  // map runtimes restore just their touched entries, and every buffer reuses
+  // its capacity. On the steady-state path reset() performs zero heap
+  // allocations (asserted when the allocation guard is armed).
+  // Proposals never change a candidate's maps, so bind() is a cheap no-op
+  // whenever the definitions match the current binding.
+  // Returns true when the binding was (re)built, false for the no-op case.
+  bool bind(ebpf::ProgType type, const std::vector<ebpf::MapDef>& defs);
+  void reset(const InputSpec& input);
+
+  // Records a store into the stack region so reset() can re-zero exactly the
+  // written window (called by the fast interpreter's store handlers).
+  void note_stack_write(uint64_t addr, uint32_t size) {
+    uint32_t lo = static_cast<uint32_t>(addr - (kStackBase - 512));
+    uint32_t hi = lo + size;
+    if (lo < stack_dirty_lo) stack_dirty_lo = lo;
+    if (hi > stack_dirty_hi) stack_dirty_hi = hi;
+  }
+
+  // Arms the debug allocation-count assertion inside reset().
+  void arm_alloc_guard(bool on) { alloc_guard_armed = on; }
+
+  bool fast_bound = false;
+  ebpf::ProgType bound_type = ebpf::ProgType::XDP;
+  std::vector<ebpf::MapDef> bound_defs;
+  uint32_t stack_dirty_lo = 0;   // dirty stack window [lo, hi)
+  uint32_t stack_dirty_hi = 512;
+  bool alloc_guard_armed = false;
 
   // Resolves a guest VA range to host memory; nullptr if not fully inside
   // one accessible region.
@@ -132,6 +175,9 @@ struct Machine {
 
   // Registers a map-value region (on successful lookup) and returns its VA.
   uint64_t expose_map_value(int fd, uint8_t* host, uint32_t size);
+
+ private:
+  Bytes key_scratch_, val_scratch_;  // reused padding buffers for reset()
 };
 
 }  // namespace k2::interp

@@ -58,47 +58,63 @@ EvalPipeline::EvalPipeline(const ebpf::Program& src, core::TestSuite& suite,
 
 bool EvalPipeline::run_suite(const ebpf::Program& cand, double perf,
                              const RejectGate& gate, ExecContext& ctx,
-                             core::TestEval& te) {
+                             core::TestEval& te,
+                             const ebpf::InsnRange* touched) {
   const size_t n = suite_.size();
   while (order_.size() < n) order_.push_back(uint32_t(order_.size()));
 
   ctx.diffs.assign(n, 0.0);
+  ctx.run_opts.max_insns = cfg_.max_insns;
+  // Decode once (or patch the 1-2 slots the proposal touched), then run the
+  // whole batch through the fast interpreter with arena-backed machine
+  // reuse. Suite references are stable (append-only deques), so the batch
+  // holds plain pointers.
+  ctx.runner.prepare(cand, touched);
+  ctx.batch.clear();
+  for (size_t p = 0; p < n; ++p)
+    ctx.batch.push_back(interp::SuiteTest{&suite_.test(order_[p]), nullptr});
+
   const double c_min =
       cfg_.params.avg_by_tests && n > 0 ? 1.0 / double(n) : 1.0;
   double running = 0;  // partial diff sum, execution order
   size_t first_fail = size_t(-1);
   bool exited = false;
 
-  for (size_t p = 0; p < n; ++p) {
-    uint32_t i = order_[p];
-    interp::RunResult r =
-        interp::run(cand, suite_.test(i), ctx.run_opts, ctx.machine);
-    double d = suite_.diff_on(i, r, cfg_.params.diff);
-    stats_.tests_executed++;
-    ctx.diffs[i] = d;
-    running += d;
-    if (d == 0) {
-      te.passed++;
-    } else {
-      te.failed++;
-      if (first_fail == size_t(-1)) first_fail = p;
-    }
-    // Provable rejection: even the cost lower bound (error term from the
-    // tests run so far, exact perf term, safety term >= 0) caps the
-    // acceptance probability strictly below the pre-drawn uniform. Gated on
-    // a failed test so fully-passing candidates always reach the verifier.
-    if (cfg_.early_exit && te.failed > 0 && gate.active() && p + 1 < n) {
-      double lb = cfg_.params.alpha * (c_min * running) +
-                  cfg_.params.beta * perf;
-      double p_ub =
-          std::min(1.0, std::exp(-gate.mcmc_beta * (lb - gate.cur_cost)));
-      if (gate.u > p_ub * (1.0 + kExitMargin)) {
-        stats_.tests_skipped += n - 1 - p;
-        exited = true;
-        break;
-      }
-    }
-  }
+  // Per-test bookkeeping and the provable-rejection gate live in the batch
+  // callback; returning false is the early exit. The decision arithmetic is
+  // unchanged from the per-test interp::run loop this replaces.
+  ctx.runner.run_suite(
+      ctx.batch, /*until_first_fail=*/false, ctx.run_opts,
+      [&](uint32_t p, const interp::RunResult& r) -> bool {
+        uint32_t i = order_[p];
+        double d = suite_.diff_on(i, r, cfg_.params.diff);
+        stats_.tests_executed++;
+        ctx.diffs[i] = d;
+        running += d;
+        if (d == 0) {
+          te.passed++;
+        } else {
+          te.failed++;
+          if (first_fail == size_t(-1)) first_fail = p;
+        }
+        // Provable rejection: even the cost lower bound (error term from
+        // the tests run so far, exact perf term, safety term >= 0) caps the
+        // acceptance probability strictly below the pre-drawn uniform.
+        // Gated on a failed test so fully-passing candidates always reach
+        // the verifier.
+        if (cfg_.early_exit && te.failed > 0 && gate.active() && p + 1 < n) {
+          double lb = cfg_.params.alpha * (c_min * running) +
+                      cfg_.params.beta * perf;
+          double p_ub =
+              std::min(1.0, std::exp(-gate.mcmc_beta * (lb - gate.cur_cost)));
+          if (gate.u > p_ub * (1.0 + kExitMargin)) {
+            stats_.tests_skipped += n - 1 - p;
+            exited = true;
+            return false;
+          }
+        }
+        return true;
+      });
 
   // Promote the killing test: the next doomed candidate dies on test one.
   if (cfg_.reorder_tests && first_fail != size_t(-1) && first_fail > 0) {
@@ -120,11 +136,12 @@ bool EvalPipeline::run_suite(const ebpf::Program& cand, double perf,
 Eval EvalPipeline::evaluate(const ebpf::Program& cand,
                             const std::optional<verify::WindowSpec>& win,
                             const RejectGate& gate, ExecContext& ctx,
-                            PendingEq* pending) {
+                            PendingEq* pending,
+                            const ebpf::InsnRange* touched) {
   Eval ev;
   double perf = core::perf_cost(cfg_.goal, cand, src_);
   core::TestEval te;
-  if (run_suite(cand, perf, gate, ctx, te)) {
+  if (run_suite(cand, perf, gate, ctx, te, touched)) {
     stats_.early_exits++;
     stats_.test_prunes++;
     ev.cost = kRejectedCost;

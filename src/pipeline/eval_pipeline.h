@@ -65,6 +65,9 @@ struct EvalConfig {
   bool window_mode = false;
   bool reorder_tests = true;
   bool early_exit = true;
+  // Interpreter step budget per test execution (RunOptions::max_insns),
+  // plumbed from CompileOptions / k2c --max-insns.
+  uint64_t max_insns = 1u << 20;
   // Non-null + dispatcher->async(): equivalence queries go through the
   // solver pool when the caller opts in per-call (see evaluate()). Null or
   // a zero-worker dispatcher reproduces the synchronous PR 1 path exactly.
@@ -136,10 +139,18 @@ class EvalPipeline {
   // cost computed under the rejected (not-equal) assumption. With a null
   // `pending` (or no dispatcher) the call is fully synchronous and
   // bit-identical to the PR 1 pipeline.
+  //
+  // `touched` is the instruction range the proposal mutated (from
+  // ProposalGen::propose): the per-worker decoded program is patched in
+  // place instead of re-decoded. Null forces a full decode — required for
+  // the first evaluation of a chain and after any discontinuous program
+  // change (the chain's speculative rollback calls ctx.runner.invalidate()
+  // for the same reason).
   Eval evaluate(const ebpf::Program& cand,
                 const std::optional<verify::WindowSpec>& win,
                 const RejectGate& gate, ExecContext& ctx,
-                PendingEq* pending = nullptr);
+                PendingEq* pending = nullptr,
+                const ebpf::InsnRange* touched = nullptr);
 
   // Retires a speculation. poll() never blocks: nullopt while the solver is
   // still working, the corrected Eval once the verdict landed. resolve()
@@ -159,11 +170,13 @@ class EvalPipeline {
       std::numeric_limits<double>::infinity();
 
  private:
-  // Runs the suite in fail-first order; fills te and ctx.diffs. Returns
-  // true when the loop exited early under `gate`.
+  // Runs the suite in fail-first order through the batched fast-interpreter
+  // entry point (interp::SuiteRunner::run_suite over the pre-decoded
+  // candidate); fills te and ctx.diffs. Returns true when the loop exited
+  // early under `gate`.
   bool run_suite(const ebpf::Program& cand, double perf,
                  const RejectGate& gate, ExecContext& ctx,
-                 core::TestEval& te);
+                 core::TestEval& te, const ebpf::InsnRange* touched);
 
   // Appends a solver counterexample to the shared suite iff the interpreter
   // confirms the disagreement between src_ and `cand`.

@@ -13,14 +13,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "interp/fast_interp.h"
 #include "interp/interpreter.h"
 #include "interp/state.h"
 
 namespace k2::pipeline {
 
 struct ExecContext {
+  // Legacy-interpreter machine, used for the cold paths (counterexample
+  // confirmation) — kept separate from the runner's machine so those runs
+  // never disturb the fast path's dirty-region bookkeeping.
   interp::Machine machine;
   interp::RunOptions run_opts;
+  // The decode-once/execute-many engine for the hot suite loop: holds the
+  // incrementally-patched DecodedProgram and its arena-backed machine.
+  interp::SuiteRunner runner;
+  // Reused batch buffer for SuiteRunner::run_suite.
+  std::vector<interp::SuiteTest> batch;
   // Per-test diffs of the current candidate, indexed by the suite's
   // canonical test index (execution may visit tests in a different order;
   // costs are summed canonically for bit-stable results).

@@ -1,0 +1,138 @@
+// Steady-state allocation guard (ISSUE 3 satellite): once warmed up, the
+// fast-interpreter execution path — Machine::reset (packet buffer, regions,
+// map runtimes), the run loop, and the incremental RunResult snapshot —
+// must perform ZERO heap allocations per run. This binary replaces the
+// global operator new/delete to count every allocation and measures the
+// counter across repeated executions; Machine::reset additionally asserts
+// the counter stays flat in debug builds once the guard is armed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "core/compiler.h"
+#include "corpus/corpus.h"
+#include "interp/fast_interp.h"
+#include "interp/interpreter.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every path into the heap bumps the shared counter the
+// interpreter's debug guard watches.
+// ---------------------------------------------------------------------------
+
+namespace {
+void* counted_alloc(std::size_t sz) {
+  k2::interp::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* counted_aligned_alloc(std::size_t sz, std::size_t al) {
+  k2::interp::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (sz % al) sz += al - sz % al;
+  if (void* p = std::aligned_alloc(al, sz ? sz : al)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t sz) { return counted_alloc(sz); }
+void* operator new[](std::size_t sz) { return counted_alloc(sz); }
+void* operator new(std::size_t sz, std::align_val_t al) {
+  return counted_aligned_alloc(sz, std::size_t(al));
+}
+void* operator new[](std::size_t sz, std::align_val_t al) {
+  return counted_aligned_alloc(sz, std::size_t(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace k2::interp {
+namespace {
+
+uint64_t allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+// Programs with both hash and array map traffic plus adjust_head exercise
+// every arena: packet buffer + headroom, regions, map runtimes, node pools.
+void steady_state_check(const char* bench_name) {
+  SCOPED_TRACE(bench_name);
+  const corpus::Benchmark& b = corpus::benchmark(bench_name);
+  auto tests = core::generate_tests(b.o2, 12, 0xa110c);
+
+  SuiteRunner runner;
+  runner.prepare(b.o2);
+  RunOptions opt;
+
+  // Warm-up: two full passes grow every buffer/pool to its high-water mark.
+  for (int pass = 0; pass < 2; ++pass)
+    for (const InputSpec& in : tests) runner.run_one(in, opt);
+
+  // Steady state: from here on, nothing may allocate.
+  runner.machine().arm_alloc_guard(true);
+  const uint64_t before = allocs();
+  for (int pass = 0; pass < 3; ++pass)
+    for (const InputSpec& in : tests) runner.run_one(in, opt);
+  const uint64_t after = allocs();
+  runner.machine().arm_alloc_guard(false);
+  EXPECT_EQ(after, before)
+      << (after - before) << " heap allocations on the steady-state path";
+
+  // The allocation-free path still produces bit-identical results.
+  for (const InputSpec& in : tests) {
+    RunResult legacy = run(b.o2, in, opt);
+    const RunResult& fast = runner.run_one(in, opt);
+    EXPECT_EQ(legacy.fault, fast.fault);
+    EXPECT_EQ(legacy.r0, fast.r0);
+    EXPECT_TRUE(legacy.maps_out == fast.maps_out);
+    EXPECT_TRUE(legacy.packet_out == fast.packet_out);
+  }
+}
+
+TEST(AllocGuard, MapHeavyProgramRunsAllocationFree) {
+  steady_state_check("xdp_map_access");
+}
+
+TEST(AllocGuard, CorpusProgramsRunAllocationFree) {
+  steady_state_check("xdp_exception");
+  steady_state_check("xdp2_kern/xdp1");
+  steady_state_check("recvmsg4");
+}
+
+TEST(AllocGuard, BatchedSuiteRunsAllocationFree) {
+  const corpus::Benchmark& b = corpus::benchmark("xdp_exception");
+  auto tests = core::generate_tests(b.o2, 12, 0xbeef);
+  SuiteRunner runner;
+  runner.prepare(b.o2);
+  std::vector<SuiteTest> batch;
+  for (const auto& t : tests) batch.push_back(SuiteTest{&t, nullptr});
+
+  for (int pass = 0; pass < 2; ++pass) runner.run_suite(batch, false, {});
+  const uint64_t before = allocs();
+  for (int pass = 0; pass < 3; ++pass) {
+    SuiteOutcome out = runner.run_suite(batch, false, {});
+    EXPECT_EQ(out.executed, batch.size());
+  }
+  EXPECT_EQ(allocs(), before);
+}
+
+TEST(AllocGuard, CounterActuallyCounts) {
+  // Meta-check: the replaced operator new really feeds the guard (otherwise
+  // every other expectation in this file is vacuous).
+  const uint64_t before = allocs();
+  auto* p = new std::vector<int>(1024);
+  EXPECT_GT(allocs(), before);
+  delete p;
+}
+
+}  // namespace
+}  // namespace k2::interp

@@ -14,6 +14,8 @@
 //     --bench=<name>           optimize a corpus benchmark instead of a file
 //     --solver-workers=N       dedicated Z3 threads for async equivalence
 //                              dispatch (default 0 = synchronous)
+//     --max-insns=N            interpreter step budget per test execution
+//                              (default 1048576)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -84,6 +86,13 @@ int main(int argc, char** argv) {
   opts.threads = opts.num_chains;
   if (const char* sw = arg_value(argc, argv, "--solver-workers"))
     opts.solver_workers = atoi(sw);
+  if (const char* mi = arg_value(argc, argv, "--max-insns")) {
+    opts.max_insns = strtoull(mi, nullptr, 10);
+    if (opts.max_insns == 0) {
+      fprintf(stderr, "k2c: --max-insns must be positive\n");
+      return 2;
+    }
+  }
 
   fprintf(stderr, "k2c: input %d instructions; searching (%d chains x %llu "
                   "iterations)...\n",
