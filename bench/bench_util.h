@@ -10,12 +10,23 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/compiler.h"
 #include "corpus/corpus.h"
 
 namespace k2::bench {
+
+// --key=value lookup over argv (shared by the bench CLIs; tools/k2c.cc
+// carries its own copy to stay free of bench headers).
+inline const char* arg_value(int argc, char** argv, const char* key) {
+  size_t n = strlen(key);
+  for (int i = 1; i < argc; ++i)
+    if (strncmp(argv[i], key, n) == 0 && argv[i][n] == '=')
+      return argv[i] + n + 1;
+  return nullptr;
+}
 
 inline double scale() {
   const char* s = std::getenv("K2_BENCH_SCALE");

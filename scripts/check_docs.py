@@ -7,6 +7,9 @@
 2. Reproduction-table coverage: every bench/table*.cc and bench/fig*.cc
    binary must be mentioned in README.md's table (as bench_<name>), so the
    paper-reproduction map can never silently rot.
+3. CLI-flag coverage: every --flag string literal parsed by tools/k2c.cc
+   (via arg_value/has_flag) must appear in README.md, so a new flag cannot
+   land undocumented.
 
 Exit code 0 = clean; 1 = problems (each printed on its own line).
 """
@@ -68,15 +71,48 @@ def check_bench_coverage():
     return problems
 
 
+def k2c_flags():
+    """Flags tools/k2c.cc actually parses: --names inside string literals.
+
+    Restricting the scan to string literals keeps prose like the '--' in
+    comments out; scanning the whole literal set (usage text included) is
+    harmless because usage and parsing share the same names.
+    """
+    src_path = os.path.join(ROOT, "tools", "k2c.cc")
+    with open(src_path, encoding="utf-8") as f:
+        src = f.read()
+    flags = set()
+    for literal in re.findall(r'"((?:[^"\\]|\\.)*)"', src):
+        flags.update(re.findall(r"--[a-z][a-z0-9-]*", literal))
+    return sorted(flags)
+
+
+def check_flag_coverage():
+    problems = []
+    readme_path = os.path.join(ROOT, "README.md")
+    if not os.path.exists(readme_path):
+        return ["README.md is missing"]
+    with open(readme_path, encoding="utf-8") as f:
+        readme = f.read()
+    for flag in k2c_flags():
+        if flag not in readme:
+            problems.append(
+                f"README.md: k2c flag {flag} (parsed in tools/k2c.cc) is "
+                f"undocumented")
+    return problems
+
+
 def main():
     problems = check_links(tracked_markdown())
     problems += check_bench_coverage()
+    problems += check_flag_coverage()
     for p in problems:
         print(p)
     if problems:
         print(f"\n{len(problems)} documentation problem(s)")
         return 1
-    print("docs OK: links resolve, README covers every bench table binary")
+    print("docs OK: links resolve, README covers every bench table binary "
+          "and every k2c flag")
     return 0
 
 

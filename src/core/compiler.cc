@@ -3,23 +3,19 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <unordered_map>
 
 #include "analysis/dce.h"
 #include "pipeline/thread_pool.h"
 #include "sim/perf_eval.h"
-#include "sim/latency_model.h"
+#include "sim/perf_model.h"
 
 namespace k2::core {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-double absolute_perf(Goal goal, const ebpf::Program& p) {
-  return goal == Goal::INST_COUNT ? double(p.size_slots())
-                                  : sim::static_program_cost_ns(p);
-}
 
 // Outcome of the final whole-program re-verification of one candidate.
 struct FinalVerify {
@@ -28,7 +24,47 @@ struct FinalVerify {
   kernel::CheckResult kc;
 };
 
+// Final verification of one NOP-stripped candidate: solver-backed safety,
+// whole-program equivalence, then the kernel checker (post-processing, §6).
+// Pure function of its arguments — memoizable by program hash and safe to
+// run on any thread.
+FinalVerify final_verify(const ebpf::Program& src, const ebpf::Program& out,
+                         const CompileOptions& opts) {
+  FinalVerify fv;
+  safety::SafetyOptions sopt = opts.safety;
+  sopt.run_solver_checks = true;
+  fv.safe = safety::check_safety(out, sopt).safe;
+  if (!fv.safe) return fv;
+  fv.verdict = verify::check_equivalence(src, out, opts.eq).verdict;
+  if (fv.verdict != verify::Verdict::EQUAL) return fv;
+  fv.kc = kernel::kernel_check(out);
+  return fv;
+}
+
+// This run's contribution to a (possibly shared) cache: counters are
+// monotone, so the delta against the entry snapshot is exact as long as no
+// other run touches the cache concurrently (the batch layer serializes
+// same-cache jobs; a run-local cache starts at zero so the delta is the
+// full stats).
+verify::EqCache::Stats stats_delta(const verify::EqCache::Stats& after,
+                                   const verify::EqCache::Stats& before) {
+  verify::EqCache::Stats d;
+  d.hits = after.hits - before.hits;
+  d.misses = after.misses - before.misses;
+  d.insertions = after.insertions - before.insertions;
+  d.collisions = after.collisions - before.collisions;
+  d.pending_joins = after.pending_joins - before.pending_joins;
+  d.pending_abandons = after.pending_abandons - before.pending_abandons;
+  return d;
+}
+
 }  // namespace
+
+sim::PerfModelKind resolved_perf_model(const CompileOptions& opts) {
+  return opts.perf_model.value_or(opts.goal == Goal::LATENCY
+                                      ? sim::PerfModelKind::STATIC_LATENCY
+                                      : sim::PerfModelKind::INST_COUNT);
+}
 
 std::vector<interp::InputSpec> generate_tests(const ebpf::Program& src, int n,
                                               uint64_t seed) {
@@ -52,14 +88,27 @@ std::vector<interp::InputSpec> generate_tests(const ebpf::Program& src, int n,
 }
 
 CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
+  return compile(src, opts, CompileServices{});
+}
+
+CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
+                      const CompileServices& svc) {
   auto t0 = Clock::now();
   CompileResult res;
   res.best = src.strip_nops();
-  res.src_perf = absolute_perf(opts.goal, src);
+
+  sim::PerfModelKind pm_kind = resolved_perf_model(opts);
+  std::unique_ptr<sim::PerfModel> perf_model =
+      sim::make_perf_model(pm_kind, src, opts.seed);
+  res.src_perf = perf_model->absolute(src);
   res.best_perf = res.src_perf;
 
   TestSuite suite(src, generate_tests(src, opts.num_initial_tests, opts.seed));
-  verify::EqCache cache;
+
+  // Shared-or-local services (see CompileServices).
+  verify::EqCache local_cache;
+  verify::EqCache& cache = svc.cache ? *svc.cache : local_cache;
+  const verify::EqCache::Stats cache_before = cache.stats();
 
   std::vector<SearchParams> settings =
       opts.settings.empty() ? default_settings() : opts.settings;
@@ -72,8 +121,13 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
   // thread pool below, because a solver call parks its thread for up to the
   // full per-query budget. Declared before the chains so it outlives every
   // in-flight query; with 0 workers it is inert and chains run the
-  // synchronous PR 1 path.
-  verify::AsyncSolverDispatcher dispatcher(std::max(0, opts.solver_workers));
+  // synchronous PR 1 path. An externally-shared dispatcher (batch mode)
+  // already outlives the whole batch.
+  std::optional<verify::AsyncSolverDispatcher> local_dispatcher;
+  if (!svc.dispatcher)
+    local_dispatcher.emplace(std::max(0, opts.solver_workers));
+  verify::AsyncSolverDispatcher& dispatcher =
+      svc.dispatcher ? *svc.dispatcher : *local_dispatcher;
 
   std::vector<ChainConfig> configs;
   for (int i = 0; i < opts.num_chains; ++i) {
@@ -91,22 +145,30 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
     cfg.early_exit = opts.early_exit;
     cfg.dispatcher = dispatcher.async() ? &dispatcher : nullptr;
     cfg.speculation_depth = opts.speculation_depth;
+    cfg.perf_model = perf_model.get();
     configs.push_back(cfg);
   }
 
-  // One work-stealing pool drives both phases: the Markov chains and the
-  // final top-k re-verification below.
-  int nthreads = std::max(1, std::min<int>(opts.threads, int(configs.size())));
-  pipeline::ThreadPool pool(nthreads);
-
+  // Chain execution. Parallel mode: one work-stealing pool drives both the
+  // Markov chains and the final top-k re-verification below. Sequential
+  // mode (batch jobs): chains run in index order on this thread, so the
+  // shared suite and cache evolve identically on every same-seed run — the
+  // batch layer parallelizes across jobs instead.
   std::vector<ChainResult> chain_results(configs.size());
-  {
+  std::optional<pipeline::ThreadPool> pool;
+  int nthreads = 1;
+  if (svc.sequential) {
+    for (size_t i = 0; i < configs.size(); ++i)
+      chain_results[i] = run_chain(src, suite, cache, configs[i]);
+  } else {
+    nthreads = std::max(1, std::min<int>(opts.threads, int(configs.size())));
+    pool.emplace(nthreads);
     std::vector<std::function<void()>> tasks;
     for (size_t i = 0; i < configs.size(); ++i)
       tasks.push_back([&, i]() {
         chain_results[i] = run_chain(src, suite, cache, configs[i]);
       });
-    pool.run_all(std::move(tasks));
+    pool->run_all(std::move(tasks));
   }
 
   // Gather verified candidates across chains, best first.
@@ -123,7 +185,10 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
     res.discarded_proposals += cr.stats.discarded_proposals;
     for (const auto& c : cr.candidates) all.push_back(c);
   }
-  {
+  if (!svc.dispatcher) {
+    // Dispatcher-level counters are only meaningful per run when the
+    // dispatcher is run-local; a shared dispatcher aggregates across every
+    // sharing run and is reported batch-wide by its owner.
     verify::AsyncSolverDispatcher::Stats ds = dispatcher.stats();
     res.solver_queue_peak = ds.queue_peak;
     res.solver_timeouts = ds.timeouts;
@@ -132,14 +197,18 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
   std::sort(all.begin(), all.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  // Final verification: whole-program equivalence + solver-backed safety on
-  // the NOP-stripped output, then the kernel checker (post-processing, §6).
+  // Final verification of the gathered candidates. The consumer loop below
+  // replays the exact sequential control flow (skip filter, dedup, early
+  // break at top_k) in both modes; fetch(i) hides where the FinalVerify
+  // comes from:
   //
-  // Expensive checks are dispatched to the pool speculatively, a bounded
-  // window ahead of the consumer, and memoized by program hash; the
-  // consumer below replays the exact sequential control flow (skip filter,
-  // dedup, early break at top_k), so results and counters match a serial
-  // run — speculation only moves solver time onto idle workers.
+  //  * Parallel mode: expensive checks are dispatched to the pool
+  //    speculatively, a bounded window ahead of the consumer, and memoized
+  //    by program hash — results and counters match a serial run,
+  //    speculation only moves solver time onto idle workers.
+  //  * Sequential mode: computed inline (memoized by hash), keeping the
+  //    run single-threaded and deterministic.
+  //
   // Canonicalization is lazy and memoized: the consumer usually breaks at
   // top_k after a few candidates, so most entries are never needed.
   std::vector<std::optional<ebpf::Program>> outs(all.size());
@@ -152,14 +221,16 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
     return *outs[idx];
   };
 
-  // `cancelled` turns still-queued speculative tasks into no-ops, and the
-  // drain guard keeps every submitted task's referents (`outs`, `src`,
-  // `opts`) alive until the task has actually run — the pool's destructor
-  // executes leftover queued work, which must not touch freed locals. An
-  // RAII guard rather than straight-line code so the drain also happens
-  // when a task exception (e.g. z3::exception) unwinds through get().
+  // Parallel-mode machinery. `cancelled` turns still-queued speculative
+  // tasks into no-ops, and the drain guard keeps every submitted task's
+  // referents (`outs`, `src`, `opts`) alive until the task has actually run
+  // — the pool's destructor executes leftover queued work, which must not
+  // touch freed locals. An RAII guard rather than straight-line code so the
+  // drain also happens when a task exception (e.g. z3::exception) unwinds
+  // through get(). Both are inert in sequential mode.
   std::atomic<bool> cancelled{false};
   std::unordered_map<uint64_t, std::shared_future<FinalVerify>> memo;
+  std::unordered_map<uint64_t, FinalVerify> seq_memo;
   struct MemoDrain {
     std::atomic<bool>& cancelled;
     std::unordered_map<uint64_t, std::shared_future<FinalVerify>>& memo;
@@ -174,30 +245,35 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
     uint64_t h = hashes[idx];
     if (memo.count(h)) return;
     const ebpf::Program& out = *outs[idx];
-    memo.emplace(h, pool.submit([&src, &out, &opts, &cancelled]() {
-                        FinalVerify fv;
+    memo.emplace(h, pool->submit([&src, &out, &opts, &cancelled]() {
                         if (cancelled.load(std::memory_order_acquire))
-                          return fv;
-                        safety::SafetyOptions sopt = opts.safety;
-                        sopt.run_solver_checks = true;
-                        fv.safe = safety::check_safety(out, sopt).safe;
-                        if (!fv.safe) return fv;
-                        fv.verdict =
-                            verify::check_equivalence(src, out, opts.eq)
-                                .verdict;
-                        if (fv.verdict != verify::Verdict::EQUAL) return fv;
-                        fv.kc = kernel::kernel_check(out);
-                        return fv;
+                          return FinalVerify{};
+                        return final_verify(src, out, opts);
                       }).share());
   };
 
   const size_t lookahead = size_t(nthreads);
+  auto fetch = [&](size_t idx) -> FinalVerify {
+    if (svc.sequential) {
+      uint64_t h = hashes[idx];
+      auto it = seq_memo.find(h);
+      if (it == seq_memo.end())
+        it = seq_memo.emplace(h, final_verify(src, *outs[idx], opts)).first;
+      return it->second;
+    }
+    ensure_submitted(idx);
+    for (size_t j = idx + 1, ahead = 1; j < all.size() && ahead < lookahead;
+         ++j, ++ahead)
+      ensure_submitted(j);
+    return memo.at(hashes[idx]).get();
+  };
+
   std::vector<uint64_t> seen_hashes;
   for (size_t i = 0; i < all.size(); ++i) {
     if (int(res.top_k.size()) >= opts.top_k) break;
     const ebpf::Program& out = ensure_out(i);
-    if (out.size_slots() >= res.src_perf && opts.goal == Goal::INST_COUNT &&
-        !res.top_k.empty())
+    if (out.size_slots() >= res.src_perf &&
+        pm_kind == sim::PerfModelKind::INST_COUNT && !res.top_k.empty())
       continue;
     uint64_t h = hashes[i];
     if (std::find(seen_hashes.begin(), seen_hashes.end(), h) !=
@@ -205,12 +281,7 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
       continue;
     seen_hashes.push_back(h);
 
-    ensure_submitted(i);
-    for (size_t j = i + 1, ahead = 1; j < all.size() && ahead < lookahead;
-         ++j, ++ahead)
-      ensure_submitted(j);
-
-    FinalVerify fv = memo.at(h).get();
+    FinalVerify fv = fetch(i);
     if (!fv.safe) continue;
     if (fv.verdict != verify::Verdict::EQUAL) continue;
     if (!fv.kc.accepted) {
@@ -222,7 +293,7 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
   }
 
   if (!res.top_k.empty()) {
-    double bp = absolute_perf(opts.goal, res.top_k[0]);
+    double bp = perf_model->absolute(res.top_k[0]);
     if (bp < res.src_perf) {
       res.best = res.top_k[0];
       res.best_perf = bp;
@@ -243,7 +314,7 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts) {
     }
   }
 
-  res.cache = cache.stats();
+  res.cache = stats_delta(cache.stats(), cache_before);
   res.final_tests = suite.size();
   res.total_secs = std::chrono::duration<double>(Clock::now() - t0).count();
   return res;

@@ -9,6 +9,10 @@
 #include "core/mcmc.h"
 #include "kernel/kernel_checker.h"
 
+namespace k2::sim {
+enum class PerfModelKind : uint8_t;
+}
+
 namespace k2::core {
 
 struct CompileOptions {
@@ -41,6 +45,47 @@ struct CompileOptions {
   // bounded undo-log (speculation_depth frames per chain; see core/mcmc.h).
   int solver_workers = 0;
   int speculation_depth = 4;
+  // Performance-model backend for the cost stage (sim/perf_model.h). Unset
+  // derives the backend from `goal` — INST_COUNT for Goal::INST_COUNT,
+  // STATIC_LATENCY for Goal::LATENCY — which is bit-identical to the
+  // pre-backend perf_cost path. PerfModelKind::TRACE_LATENCY selects the
+  // interpreter-traced workload estimator (k2c --perf-model=latency) and
+  // should be paired with Goal::LATENCY.
+  std::optional<sim::PerfModelKind> perf_model;
+};
+
+// Externally-owned services a compile run plugs into instead of building
+// its own — how core::BatchCompiler shares one solver pool and one
+// per-benchmark equivalence cache across many benchmark×setting jobs.
+// Null members are replaced by run-local instances, so a
+// default-constructed CompileServices reproduces the standalone
+// compile(src, opts) behavior exactly.
+//
+// Lifetime: every non-null service must outlive the compile() call; the
+// dispatcher must outlive every in-flight query it was handed (it joins its
+// workers on destruction).
+struct CompileServices {
+  // Shared async Z3 pool. When external, the dispatcher-level counters
+  // (CompileResult::solver_queue_peak/solver_timeouts/solver_abandoned)
+  // are left at zero — they aggregate across every sharing run and are
+  // reported batch-wide by the owner instead.
+  verify::AsyncSolverDispatcher* dispatcher = nullptr;
+  // Shared equivalence-outcome cache. CompileResult::cache reports this
+  // run's delta (stats-after minus stats-before), so sharing runs that
+  // execute sequentially still get exact per-run numbers.
+  verify::EqCache* cache = nullptr;
+  // Deterministic single-threaded mode: chains run in index order on the
+  // calling thread and final re-verification runs inline (no thread pool is
+  // created), so a same-seed run produces bit-identical decisions, programs
+  // and counters on every invocation — regardless of how many such runs
+  // execute concurrently on other threads. This is what makes batch results
+  // reproducible across shard orders and --threads values; the trade is
+  // that one run no longer parallelizes internally (the batch layer shards
+  // *across* runs instead). Wall-clock fields (total_secs, secs_to_best)
+  // are exempt from the determinism guarantee. Requires solver_workers ==
+  // 0 for full determinism: speculative async verdict timing is inherently
+  // scheduling-dependent.
+  bool sequential = false;
 };
 
 struct CompileResult {
@@ -76,6 +121,13 @@ struct CompileResult {
   int kernel_rejected = 0;
 };
 
+// The perf-model backend a compile with these options actually uses: the
+// explicit CompileOptions::perf_model when set, else derived from the goal
+// (INST_COUNT for Goal::INST_COUNT, STATIC_LATENCY for Goal::LATENCY — the
+// bit-identical pre-backend behavior). The single source of truth shared by
+// compile(), the batch report's perf_model field, and the k2c banner.
+sim::PerfModelKind resolved_perf_model(const CompileOptions& opts);
+
 // Deterministic initial test generation (§3: "evaluated against a suite of
 // automatically-generated test cases").
 std::vector<interp::InputSpec> generate_tests(const ebpf::Program& src, int n,
@@ -83,5 +135,10 @@ std::vector<interp::InputSpec> generate_tests(const ebpf::Program& src, int n,
 
 CompileResult compile(const ebpf::Program& src,
                       const CompileOptions& opts = {});
+
+// Same, but running against externally-owned shared services (see
+// CompileServices). compile(src, opts) is compile(src, opts, {}).
+CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
+                      const CompileServices& svc);
 
 }  // namespace k2::core

@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "pipeline/eval_pipeline.h"
+#include "sim/perf_model.h"
 
 namespace k2::core {
 
@@ -41,6 +42,7 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   ecfg.early_exit = cfg.early_exit;
   ecfg.max_insns = cfg.max_insns;
   ecfg.dispatcher = cfg.dispatcher;
+  ecfg.perf_model = cfg.perf_model;
   pipeline::EvalPipeline pipe(src, suite, cache, ecfg);
   pipeline::ExecContext& ctx = pipeline::worker_context();
 
@@ -52,7 +54,9 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
           : 0;
 
   auto consider_best = [&](const ebpf::Program& cand, uint64_t iter) {
-    double perf = perf_cost(cfg.goal, cand, src);
+    double perf = cfg.perf_model
+                      ? cfg.perf_model->relative(cand, src, &ctx.machine)
+                      : perf_cost(cfg.goal, cand, src);
     if (!result.best || perf < result.best_perf) {
       result.best = cand;
       result.best_perf = perf;

@@ -27,6 +27,10 @@
 #include "verify/solver_dispatch.h"
 #include "verify/window.h"
 
+namespace k2::sim {
+class PerfModel;
+}
+
 namespace k2::core {
 
 struct ChainConfig {
@@ -55,6 +59,11 @@ struct ChainConfig {
   // speculation_depth bounds the undo-log (in-flight verdicts per chain).
   verify::AsyncSolverDispatcher* dispatcher = nullptr;
   int speculation_depth = 4;
+  // Pluggable perf(p) backend (sim/perf_model.h), shared read-only by every
+  // chain of a compile run; must outlive the chain and match `goal`. Null
+  // falls back to core::perf_cost(goal, ...), which is bit-identical for
+  // the INST_COUNT and STATIC_LATENCY kinds.
+  const sim::PerfModel* perf_model = nullptr;
 };
 
 struct ChainStats {

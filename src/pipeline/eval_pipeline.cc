@@ -4,6 +4,7 @@
 
 #include "interp/interpreter.h"
 #include "kernel/kernel_checker.h"
+#include "sim/perf_model.h"
 
 namespace k2::pipeline {
 
@@ -139,7 +140,13 @@ Eval EvalPipeline::evaluate(const ebpf::Program& cand,
                             PendingEq* pending,
                             const ebpf::InsnRange* touched) {
   Eval ev;
-  double perf = core::perf_cost(cfg_.goal, cand, src_);
+  // The perf term comes from the pluggable backend when one is wired in;
+  // ctx.machine is lent as scratch so trace-based backends reuse the
+  // worker's interpreter state (the legacy machine, not the runner's, so
+  // workload runs never disturb the fast path's dirty-region bookkeeping).
+  double perf = cfg_.perf_model
+                    ? cfg_.perf_model->relative(cand, src_, &ctx.machine)
+                    : core::perf_cost(cfg_.goal, cand, src_);
   core::TestEval te;
   if (run_suite(cand, perf, gate, ctx, te, touched)) {
     stats_.early_exits++;

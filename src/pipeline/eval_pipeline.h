@@ -53,6 +53,10 @@
 #include "verify/solver_dispatch.h"
 #include "verify/window.h"
 
+namespace k2::sim {
+class PerfModel;
+}
+
 namespace k2::pipeline {
 
 struct EvalConfig {
@@ -72,6 +76,11 @@ struct EvalConfig {
   // solver pool when the caller opts in per-call (see evaluate()). Null or
   // a zero-worker dispatcher reproduces the synchronous PR 1 path exactly.
   verify::AsyncSolverDispatcher* dispatcher = nullptr;
+  // Pluggable perf(p) backend for the cost stage (sim/perf_model.h). The
+  // model must outlive the pipeline and be goal-consistent with `goal`.
+  // Null falls back to core::perf_cost(goal, ...) — bit-identical to the
+  // INST_COUNT / STATIC_LATENCY backends, so legacy callers are unchanged.
+  const sim::PerfModel* perf_model = nullptr;
 };
 
 struct EvalStats {

@@ -54,15 +54,24 @@ std::vector<interp::InputSpec> make_workload(const ebpf::Program& prog,
   return out;
 }
 
-double avg_packet_cost_ns(const ebpf::Program& prog,
-                          const std::vector<interp::InputSpec>& workload) {
+namespace {
+
+// fault_cost_ns < 0 skips faulting inputs (verified-program averaging);
+// >= 0 charges them that cost (unverified-candidate pricing).
+template <typename RunFn>
+double avg_packet_cost_impl(const ebpf::Program& prog,
+                            const std::vector<interp::InputSpec>& workload,
+                            RunFn&& run_one, double fault_cost_ns) {
   double total = 0;
   uint64_t counted = 0;
-  interp::RunOptions ropt;
-  ropt.record_trace = true;
   for (const auto& in : workload) {
-    interp::RunResult r = interp::run(prog, in, ropt);
-    if (!r.ok()) continue;
+    interp::RunResult r = run_one(in);
+    if (!r.ok()) {
+      if (fault_cost_ns < 0) continue;
+      total += fault_cost_ns;
+      counted++;
+      continue;
+    }
     double cost = kDriverOverheadNs;
     for (uint32_t idx : r.trace) cost += insn_cost_ns(prog.insns[idx]);
     total += cost;
@@ -70,6 +79,44 @@ double avg_packet_cost_ns(const ebpf::Program& prog,
   }
   if (counted == 0) return 0;
   return total / double(counted);
+}
+
+}  // namespace
+
+double avg_packet_cost_ns(const ebpf::Program& prog,
+                          const std::vector<interp::InputSpec>& workload) {
+  interp::RunOptions ropt;
+  ropt.record_trace = true;
+  return avg_packet_cost_impl(
+      prog, workload,
+      [&](const interp::InputSpec& in) { return interp::run(prog, in, ropt); },
+      /*fault_cost_ns=*/-1);
+}
+
+double avg_packet_cost_ns(const ebpf::Program& prog,
+                          const std::vector<interp::InputSpec>& workload,
+                          interp::Machine& m) {
+  interp::RunOptions ropt;
+  ropt.record_trace = true;
+  return avg_packet_cost_impl(
+      prog, workload,
+      [&](const interp::InputSpec& in) {
+        return interp::run(prog, in, ropt, m);
+      },
+      /*fault_cost_ns=*/-1);
+}
+
+double avg_packet_cost_ns(const ebpf::Program& prog,
+                          const std::vector<interp::InputSpec>& workload,
+                          interp::Machine& m, double fault_cost_ns) {
+  interp::RunOptions ropt;
+  ropt.record_trace = true;
+  return avg_packet_cost_impl(
+      prog, workload,
+      [&](const interp::InputSpec& in) {
+        return interp::run(prog, in, ropt, m);
+      },
+      fault_cost_ns);
 }
 
 }  // namespace k2::sim

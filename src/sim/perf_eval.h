@@ -23,4 +23,20 @@ std::vector<interp::InputSpec> make_workload(const ebpf::Program& prog,
 double avg_packet_cost_ns(const ebpf::Program& prog,
                           const std::vector<interp::InputSpec>& workload);
 
+// Same, but reusing caller-owned machine state across the workload runs so
+// hot-path callers (the TRACE_LATENCY perf-model backend) pay no per-call
+// machine construction.
+double avg_packet_cost_ns(const ebpf::Program& prog,
+                          const std::vector<interp::InputSpec>& workload,
+                          interp::Machine& m);
+
+// Same, but charging `fault_cost_ns` for every faulting input instead of
+// skipping it. The skip-faults variants above assume verified programs
+// (Tables 2/3: faults cannot happen); this one is for pricing *unverified*
+// candidates — skipping faults there would reward fault-introducing
+// mutations with a lower (even zero) average.
+double avg_packet_cost_ns(const ebpf::Program& prog,
+                          const std::vector<interp::InputSpec>& workload,
+                          interp::Machine& m, double fault_cost_ns);
+
 }  // namespace k2::sim

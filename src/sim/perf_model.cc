@@ -1,0 +1,119 @@
+#include "sim/perf_model.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "interp/interpreter.h"
+#include "sim/latency_model.h"
+#include "sim/perf_eval.h"
+
+namespace k2::sim {
+
+const char* to_string(PerfModelKind kind) {
+  switch (kind) {
+    case PerfModelKind::INST_COUNT:
+      return "insts";
+    case PerfModelKind::STATIC_LATENCY:
+      return "static-latency";
+    case PerfModelKind::TRACE_LATENCY:
+      return "latency";
+  }
+  return "?";
+}
+
+bool perf_model_kind_from_string(const char* name, PerfModelKind* out) {
+  if (!name || !out) return false;
+  for (PerfModelKind k : {PerfModelKind::INST_COUNT,
+                          PerfModelKind::STATIC_LATENCY,
+                          PerfModelKind::TRACE_LATENCY}) {
+    if (strcmp(name, to_string(k)) == 0) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// perf_inst: the candidate's size in wire slots. The double(size) -
+// double(size) arithmetic in relative() is exactly core::perf_cost's, which
+// is what keeps this backend bit-identical to the pre-refactor path.
+class InstCountModel final : public PerfModel {
+ public:
+  PerfModelKind kind() const override { return PerfModelKind::INST_COUNT; }
+  double absolute(const ebpf::Program& p, interp::Machine*) const override {
+    return double(p.size_slots());
+  }
+};
+
+// perf_lat: the static per-opcode sum of the latency table.
+class StaticLatencyModel final : public PerfModel {
+ public:
+  PerfModelKind kind() const override {
+    return PerfModelKind::STATIC_LATENCY;
+  }
+  double absolute(const ebpf::Program& p, interp::Machine*) const override {
+    return static_program_cost_ns(p);
+  }
+};
+
+// Trace-based estimate over a workload fixed at construction: the workload
+// is derived from the *source* program (its maps and typical packet shapes)
+// so every candidate is priced against identical inputs, and the source's
+// own cost is precomputed so relative() executes only the candidate.
+//
+// Unlike the Tables 2/3 usage of avg_packet_cost_ns (verified programs,
+// faults impossible), this backend prices arbitrary unverified candidates
+// mid-search — a faulting run must be charged, not skipped, or mutations
+// that introduce faults would be rewarded with a lower (even zero)
+// average. kFaultCostNs dominates any real per-packet cost by orders of
+// magnitude, so a candidate faulting on even one input prices worse than
+// every fault-free one.
+class TraceLatencyModel final : public PerfModel {
+ public:
+  static constexpr double kFaultCostNs = 1e6;
+
+  TraceLatencyModel(const ebpf::Program& src, uint64_t seed, int n)
+      : workload_(make_workload(src, n, seed)), src_cost_([&] {
+          interp::Machine m;
+          return avg_packet_cost_ns(src, workload_, m, kFaultCostNs);
+        }()) {}
+
+  PerfModelKind kind() const override { return PerfModelKind::TRACE_LATENCY; }
+
+  double absolute(const ebpf::Program& p,
+                  interp::Machine* scratch) const override {
+    if (scratch) return avg_packet_cost_ns(p, workload_, *scratch, kFaultCostNs);
+    interp::Machine local;
+    return avg_packet_cost_ns(p, workload_, local, kFaultCostNs);
+  }
+
+  double relative(const ebpf::Program& cand, const ebpf::Program&,
+                  interp::Machine* scratch) const override {
+    return absolute(cand, scratch) - src_cost_;
+  }
+
+ private:
+  const std::vector<interp::InputSpec> workload_;
+  const double src_cost_;
+};
+
+}  // namespace
+
+std::unique_ptr<PerfModel> make_perf_model(PerfModelKind kind,
+                                           const ebpf::Program& src,
+                                           uint64_t seed, int workload_size) {
+  switch (kind) {
+    case PerfModelKind::INST_COUNT:
+      return std::make_unique<InstCountModel>();
+    case PerfModelKind::STATIC_LATENCY:
+      return std::make_unique<StaticLatencyModel>();
+    case PerfModelKind::TRACE_LATENCY:
+      return std::make_unique<TraceLatencyModel>(
+          src, seed, workload_size > 0 ? workload_size : 32);
+  }
+  throw std::invalid_argument("unknown PerfModelKind");
+}
+
+}  // namespace k2::sim

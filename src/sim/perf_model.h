@@ -1,0 +1,109 @@
+// Pluggable performance-model backends for the candidate cost stage (§3.2,
+// perf(p)). The paper's cost function prices a candidate either by its
+// instruction count (perf_inst) or by an estimated latency; this interface
+// makes the estimator a first-class backend that the evaluation pipeline
+// consumes through its cost stage instead of hard-coding the two formulas in
+// core/cost.cc, so new estimators (cycle-accurate models, hardware counters,
+// learned predictors) plug in without touching the search loop.
+//
+// Backends:
+//
+//  * INST_COUNT      — program size in wire slots (the paper's perf_inst).
+//                      Bit-identical to the pre-refactor
+//                      core::perf_cost(Goal::INST_COUNT, ...) path; the
+//                      differential tests in tests/perf_model_test.cc
+//                      enforce this.
+//  * STATIC_LATENCY  — Σ exec(i) over all non-NOP instructions using the
+//                      per-opcode latency table (the paper's perf_lat, and
+//                      the pre-refactor Goal::LATENCY path — also enforced
+//                      bit-identical).
+//  * TRACE_LATENCY   — trace-based estimate: run the candidate over a fixed
+//                      synthetic workload (sim::make_workload seeded from
+//                      the *source* program) in the interpreter and price
+//                      every executed instruction (sim::avg_packet_cost_ns).
+//                      This is the "measured" estimator of Tables 2/3: it
+//                      sees branches actually taken, so dead-but-present
+//                      code is free and hot loops cost what they execute.
+//                      Faulting runs are charged a dominating penalty
+//                      (candidates are unverified mid-search; skipping
+//                      faults would reward fault-introducing mutations).
+//
+// Contracts (required of every backend, relied on by the pipeline):
+//
+//  * Thread-safety: absolute()/relative() are const and safe to call
+//    concurrently from any number of chain workers. Backends are immutable
+//    after construction (TRACE_LATENCY precomputes its workload and the
+//    source program's cost in the factory).
+//  * Blocking: absolute() never blocks on locks or I/O. INST_COUNT and
+//    STATIC_LATENCY are O(|p|) arithmetic; TRACE_LATENCY executes the
+//    candidate |workload| times in the bounded interpreter (microseconds,
+//    not milliseconds — still cheap next to a Z3 query, but callers on the
+//    per-proposal hot path should prefer the static backends).
+//  * Determinism: for a fixed (kind, source program, seed), absolute(p)
+//    returns bit-identical doubles for equal programs on every call, on
+//    every thread, in every process — batch-report determinism across
+//    shard orders and thread counts (core::BatchCompiler) depends on this.
+//    No backend may read wall-clock time, global RNGs, or hardware state.
+//
+// The optional interp::Machine parameter lets per-worker callers
+// (pipeline::ExecContext) lend their reusable interpreter state to
+// trace-based backends so steady-state costing performs no per-call
+// machine construction; passing nullptr is always correct, merely slower.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ebpf/program.h"
+
+namespace k2::interp {
+struct Machine;
+}
+
+namespace k2::sim {
+
+// Top-level (not nested) so headers can forward-declare it.
+enum class PerfModelKind : uint8_t {
+  INST_COUNT,      // wire slots (paper perf_inst)
+  STATIC_LATENCY,  // static per-opcode sum (paper perf_lat)
+  TRACE_LATENCY,   // interpreter-traced workload average (Tables 2/3 style)
+};
+
+// Canonical CLI/report names: "insts", "static-latency", "latency".
+const char* to_string(PerfModelKind kind);
+// Inverse of to_string; returns false on unknown names.
+bool perf_model_kind_from_string(const char* name, PerfModelKind* out);
+
+class PerfModel {
+ public:
+  virtual ~PerfModel() = default;
+
+  virtual PerfModelKind kind() const = 0;
+  const char* name() const { return to_string(kind()); }
+
+  // Absolute metric of `p` (slots, or estimated nanoseconds per packet).
+  // `scratch` optionally lends caller-owned interpreter state to
+  // trace-based backends; see the file comment for the contract.
+  virtual double absolute(const ebpf::Program& p,
+                          interp::Machine* scratch = nullptr) const = 0;
+
+  // The pipeline's perf term: absolute(cand) - absolute(src) (negative =
+  // candidate better), matching core::perf_cost's convention. Backends that
+  // fix the source at construction time (TRACE_LATENCY) use their cached
+  // source cost, so `src` must be the program the model was built for.
+  virtual double relative(const ebpf::Program& cand, const ebpf::Program& src,
+                          interp::Machine* scratch = nullptr) const {
+    return absolute(cand, scratch) - absolute(src, scratch);
+  }
+};
+
+// Builds a backend for optimizing `src`. `seed` and `workload_size` only
+// affect TRACE_LATENCY (the synthetic workload is make_workload(src,
+// workload_size, seed)); the static backends ignore them. Never returns
+// null; the result is immutable and safe to share across threads.
+std::unique_ptr<PerfModel> make_perf_model(PerfModelKind kind,
+                                           const ebpf::Program& src,
+                                           uint64_t seed,
+                                           int workload_size = 32);
+
+}  // namespace k2::sim

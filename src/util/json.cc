@@ -1,0 +1,403 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace k2::util {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string("json: ") + what);
+}
+
+[[noreturn]] void fail_at(const char* what, size_t pos) {
+  throw std::runtime_error(std::string("json: ") + what + " at byte " +
+                           std::to_string(pos));
+}
+
+void escape_to(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (uint8_t(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void number_to(double d, std::string& out) {
+  if (!std::isfinite(d)) {  // not representable in JSON
+    out += "null";
+    return;
+  }
+  char buf[64];
+  snprintf(buf, sizeof buf, "%.*g",
+           std::numeric_limits<double>::max_digits10, d);
+  out += buf;
+  // Keep a marker of double-ness so the value parses back as a double.
+  if (out.find_first_of(".eE", out.size() - strlen(buf)) == std::string::npos)
+    out += ".0";
+}
+
+// ---- parser ---------------------------------------------------------------
+
+struct Parser {
+  std::string_view s;
+  size_t pos = 0;
+
+  bool eof() const { return pos >= s.size(); }
+  char peek() const { return s[pos]; }
+
+  void skip_ws() {
+    while (!eof() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                      s[pos] == '\r'))
+      pos++;
+  }
+
+  void expect(char c) {
+    if (eof() || s[pos] != c)
+      fail_at("expected character", pos);
+    pos++;
+  }
+
+  bool consume_lit(std::string_view lit) {
+    if (s.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    if (eof()) fail_at("unexpected end of input", pos);
+    char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (c == 't') {
+      if (!consume_lit("true")) fail_at("bad literal", pos);
+      return Json(true);
+    }
+    if (c == 'f') {
+      if (!consume_lit("false")) fail_at("bad literal", pos);
+      return Json(false);
+    }
+    if (c == 'n') {
+      if (!consume_lit("null")) fail_at("bad literal", pos);
+      return Json(nullptr);
+    }
+    return parse_number();
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      pos++;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (eof()) fail_at("unterminated object", pos);
+      if (peek() == ',') {
+        pos++;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(obj));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      pos++;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (eof()) fail_at("unterminated array", pos);
+      if (peek() == ',') {
+        pos++;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) fail_at("unterminated string", pos);
+      char c = s[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (uint8_t(c) < 0x20) fail_at("raw control character", pos - 1);
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail_at("unterminated escape", pos);
+      char e = s[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > s.size()) fail_at("truncated \\u escape", pos);
+          uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= uint32_t(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= uint32_t(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= uint32_t(h - 'A' + 10);
+            else fail_at("bad \\u escape", pos - 1);
+          }
+          // Encode the code point as UTF-8 (surrogate pairs: decode the
+          // low half when present; a lone surrogate becomes U+FFFD).
+          if (cp >= 0xd800 && cp <= 0xdbff && pos + 6 <= s.size() &&
+              s[pos] == '\\' && s[pos + 1] == 'u') {
+            uint32_t lo = 0;
+            bool ok = true;
+            for (int i = 0; i < 4 && ok; ++i) {
+              char h = s[pos + 2 + size_t(i)];
+              lo <<= 4;
+              if (h >= '0' && h <= '9') lo |= uint32_t(h - '0');
+              else if (h >= 'a' && h <= 'f') lo |= uint32_t(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') lo |= uint32_t(h - 'A' + 10);
+              else ok = false;
+            }
+            if (ok && lo >= 0xdc00 && lo <= 0xdfff) {
+              cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+              pos += 6;
+            }
+          }
+          if (cp >= 0xd800 && cp <= 0xdfff) cp = 0xfffd;
+          if (cp < 0x80) {
+            out.push_back(char(cp));
+          } else if (cp < 0x800) {
+            out.push_back(char(0xc0 | (cp >> 6)));
+            out.push_back(char(0x80 | (cp & 0x3f)));
+          } else if (cp < 0x10000) {
+            out.push_back(char(0xe0 | (cp >> 12)));
+            out.push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(char(0x80 | (cp & 0x3f)));
+          } else {
+            out.push_back(char(0xf0 | (cp >> 18)));
+            out.push_back(char(0x80 | ((cp >> 12) & 0x3f)));
+            out.push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(char(0x80 | (cp & 0x3f)));
+          }
+          break;
+        }
+        default:
+          fail_at("bad escape", pos - 1);
+      }
+    }
+  }
+
+  Json parse_number() {
+    // Exactly the JSON grammar: -? (0 | [1-9][0-9]*) ('.' [0-9]+)?
+    // ([eE] [+-]? [0-9]+)? — no leading zeros, no bare '.', no empty
+    // exponent.
+    size_t start = pos;
+    if (!eof() && peek() == '-') pos++;
+    if (eof() || !isdigit(uint8_t(peek()))) fail_at("bad number", start);
+    if (peek() == '0') {
+      pos++;
+      if (!eof() && isdigit(uint8_t(peek())))
+        fail_at("leading zero in number", start);
+    } else {
+      while (!eof() && isdigit(uint8_t(peek()))) pos++;
+    }
+    bool is_double = false;
+    if (!eof() && peek() == '.') {
+      is_double = true;
+      pos++;
+      if (eof() || !isdigit(uint8_t(peek())))
+        fail_at("digit required after decimal point", pos);
+      while (!eof() && isdigit(uint8_t(peek()))) pos++;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      is_double = true;
+      pos++;
+      if (!eof() && (peek() == '+' || peek() == '-')) pos++;
+      if (eof() || !isdigit(uint8_t(peek())))
+        fail_at("digit required in exponent", pos);
+      while (!eof() && isdigit(uint8_t(peek()))) pos++;
+    }
+    std::string_view tok = s.substr(start, pos - start);
+    if (!is_double) {
+      int64_t i = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Json(i);
+      // Integer overflow: fall through to double.
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || p != tok.data() + tok.size())
+      fail_at("bad number", start);
+    return Json(d);
+  }
+};
+
+void dump_to(const Json& j, std::string& out, int indent, int depth);
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(size_t(indent) * size_t(depth), ' ');
+}
+
+void dump_to(const Json& j, std::string& out, int indent, int depth) {
+  if (j.is_null()) {
+    out += "null";
+  } else if (j.is_bool()) {
+    out += j.as_bool() ? "true" : "false";
+  } else if (j.is_int()) {
+    out += std::to_string(j.as_int());
+  } else if (j.is_double()) {
+    number_to(j.as_double(), out);
+  } else if (j.is_string()) {
+    escape_to(j.as_string(), out);
+  } else if (j.is_array()) {
+    const Json::Array& a = j.as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i) out.push_back(',');
+      newline_indent(out, indent, depth + 1);
+      dump_to(a[i], out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out.push_back(']');
+  } else {
+    const Json::Object& o = j.as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    for (size_t i = 0; i < o.size(); ++i) {
+      if (i) out.push_back(',');
+      newline_indent(out, indent, depth + 1);
+      escape_to(o[i].first, out);
+      out.push_back(':');
+      if (indent >= 0) out.push_back(' ');
+      dump_to(o[i].second, out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) fail("not a bool");
+  return std::get<bool>(v_);
+}
+
+int64_t Json::as_int() const {
+  if (!is_int()) fail("not an integer");
+  return std::get<int64_t>(v_);
+}
+
+double Json::as_double() const {
+  if (is_int()) return double(std::get<int64_t>(v_));
+  if (!is_double()) fail("not a number");
+  return std::get<double>(v_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) fail("not a string");
+  return std::get<std::string>(v_);
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) fail("not an array");
+  return std::get<Array>(v_);
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) fail("not an object");
+  return std::get<Object>(v_);
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (const Json* j = get(key)) return *j;
+  fail(("missing key: " + std::string(key)).c_str());
+}
+
+const Json* Json::get(std::string_view key) const {
+  if (!is_object()) fail("not an object");
+  for (const auto& [k, v] : std::get<Object>(v_))
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  if (is_null()) v_ = Object{};
+  if (!is_object()) fail("set() on non-object");
+  std::get<Object>(v_).emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  if (is_null()) v_ = Array{};
+  if (!is_array()) fail("push_back() on non-array");
+  std::get<Array>(v_).push_back(std::move(value));
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(*this, out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) {
+  Parser p{text};
+  Json j = p.parse_value();
+  p.skip_ws();
+  if (!p.eof()) fail_at("trailing garbage", p.pos);
+  return j;
+}
+
+}  // namespace k2::util

@@ -1,0 +1,99 @@
+// Minimal JSON value type with a serializer and a strict recursive-descent
+// parser — just enough for structured machine-readable reports
+// (core::BatchCompiler's --report output, the bench --json files) to be
+// emitted AND re-read without an external dependency, so report schemas can
+// be round-trip tested.
+//
+// Representation choices that matter to report fidelity:
+//
+//  * Numbers keep integer-ness: a value written from int64_t/uint64_t
+//    serializes without a decimal point and parses back as an integer, so
+//    64-bit counters round-trip bit-exactly (doubles would silently lose
+//    precision past 2^53). Caveat: integers are stored as int64_t, so a
+//    uint64_t >= 2^63 serializes as its two's-complement negative — it
+//    still round-trips through as_uint(), but external readers see a
+//    negative number. Doubles serialize with max_digits10 precision, so
+//    finite doubles also round-trip bit-exactly. NaN/Inf are not
+//    representable in JSON and serialize as null.
+//  * Objects preserve insertion order (vector of pairs, not a map): report
+//    diffs stay stable and schema-ordered.
+//
+// Thread-safety: Json is a value type with no global state; distinct values
+// are independent. parse()/dump() do not block. parse() throws
+// std::runtime_error with a byte offset on malformed input; it accepts
+// exactly the JSON grammar (no comments, no trailing commas).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace k2::util {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(int i) : v_(int64_t(i)) {}
+  Json(int64_t i) : v_(i) {}
+  // Values >= 2^63 wrap to negative on the wire; see the file comment.
+  Json(uint64_t u) : v_(int64_t(u)) {}
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  // Typed accessors; throw std::runtime_error on kind mismatch (as_double
+  // accepts integers, as_int accepts only integers).
+  bool as_bool() const;
+  int64_t as_int() const;
+  uint64_t as_uint() const { return uint64_t(as_int()); }
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  // Object field lookup (first match); throws std::runtime_error when the
+  // value is not an object or the key is absent. get() returns nullptr
+  // instead of throwing.
+  const Json& at(std::string_view key) const;
+  const Json* get(std::string_view key) const;
+
+  // Object/array builders.
+  void set(std::string key, Json value);  // appends (no key dedup)
+  void push_back(Json value);
+
+  // Serialization. indent < 0: compact one-line form; indent >= 0: pretty,
+  // `indent` spaces per level.
+  std::string dump(int indent = -1) const;
+
+  // Strict parser; throws std::runtime_error (message includes the byte
+  // offset) on any deviation from the JSON grammar or trailing garbage.
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const { return v_ == other.v_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      v_;
+};
+
+}  // namespace k2::util

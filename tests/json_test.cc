@@ -1,0 +1,115 @@
+// util::Json: serializer/parser round-trips, integer preservation, strict
+// grammar errors — the foundation the batch-report schema test builds on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/json.h"
+
+namespace k2::util {
+namespace {
+
+TEST(JsonTest, ScalarRoundTrips) {
+  EXPECT_EQ(Json::parse("null").dump(), "null");
+  EXPECT_EQ(Json::parse("true").dump(), "true");
+  EXPECT_EQ(Json::parse("false").dump(), "false");
+  EXPECT_EQ(Json::parse("0").dump(), "0");
+  EXPECT_EQ(Json::parse("-7").dump(), "-7");
+  EXPECT_EQ(Json::parse("\"hi\"").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, IntegersStayIntegers) {
+  // 2^63 - 1 survives exactly; a double would round it.
+  Json j = Json::parse("9223372036854775807");
+  ASSERT_TRUE(j.is_int());
+  EXPECT_EQ(j.as_int(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(j.dump(), "9223372036854775807");
+  // Round-trip through dump + parse preserves integer-ness.
+  Json k = Json(uint64_t(1) << 53);
+  EXPECT_EQ(Json::parse(k.dump()).as_int(), int64_t(1) << 53);
+}
+
+TEST(JsonTest, DoublesRoundTripBitExactly) {
+  for (double d : {0.5, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.0, 3.9817658}) {
+    Json j(d);
+    Json back = Json::parse(j.dump());
+    ASSERT_TRUE(back.is_double()) << j.dump();
+    EXPECT_EQ(back.as_double(), d) << j.dump();
+  }
+  // Whole-valued doubles keep a ".0" marker so they parse back as doubles.
+  EXPECT_EQ(Json(2.0).dump(), "2.0");
+  EXPECT_TRUE(Json::parse(Json(2.0).dump()).is_double());
+  // Non-finite values are not representable; they serialize as null.
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(JsonTest, StringEscapes) {
+  Json j(std::string("a\"b\\c\n\t\x01z"));
+  EXPECT_EQ(j.dump(), "\"a\\\"b\\\\c\\n\\t\\u0001z\"");
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), j.as_string());
+  // \u escapes decode to UTF-8, including surrogate pairs.
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ObjectsPreserveOrderAndNest) {
+  Json j;
+  j.set("z", 1);
+  j.set("a", Json(Json::Array{Json(1), Json("two"), Json(nullptr)}));
+  Json inner;
+  inner.set("k", true);
+  j.set("m", std::move(inner));
+  EXPECT_EQ(j.dump(), "{\"z\":1,\"a\":[1,\"two\",null],\"m\":{\"k\":true}}");
+  Json back = Json::parse(j.dump());
+  EXPECT_EQ(back, j);
+  EXPECT_EQ(back.at("a").as_array()[1].as_string(), "two");
+  EXPECT_EQ(back.get("missing"), nullptr);
+  EXPECT_THROW(back.at("missing"), std::runtime_error);
+}
+
+TEST(JsonTest, PrettyPrintParsesBack) {
+  Json j = Json::parse(R"({"a": [1, 2, {"b": "c"}], "d": 0.25})");
+  std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), j);
+}
+
+TEST(JsonTest, StrictErrors) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{'a':1}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1 2"), std::runtime_error);       // trailing
+  EXPECT_THROW(Json::parse("\"ab"), std::runtime_error);      // unterminated
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"\\x\""), std::runtime_error);   // bad escape
+  // Strict number grammar: no leading zeros, no bare '.', no empty
+  // exponent, no lone '-'.
+  EXPECT_THROW(Json::parse("01"), std::runtime_error);
+  EXPECT_THROW(Json::parse("-01"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1."), std::runtime_error);
+  EXPECT_THROW(Json::parse("1.e3"), std::runtime_error);
+  EXPECT_THROW(Json::parse(".5"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1e"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1e+"), std::runtime_error);
+  EXPECT_THROW(Json::parse("-"), std::runtime_error);
+  // ...while every well-formed shape still parses.
+  EXPECT_EQ(Json::parse("-0").as_int(), 0);
+  EXPECT_EQ(Json::parse("0.5").as_double(), 0.5);
+  EXPECT_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("1.5E-2").as_double(), 0.015);
+}
+
+TEST(JsonTest, TypeMismatchThrows) {
+  Json j(int64_t(3));
+  EXPECT_THROW(j.as_string(), std::runtime_error);
+  EXPECT_THROW(j.as_bool(), std::runtime_error);
+  EXPECT_THROW(j.as_array(), std::runtime_error);
+  EXPECT_EQ(j.as_double(), 3.0);  // int widens to double
+  EXPECT_THROW(Json(0.5).as_int(), std::runtime_error);  // but not back
+}
+
+}  // namespace
+}  // namespace k2::util

@@ -1,0 +1,174 @@
+// Pluggable perf-model backends (sim/perf_model.h): bit-identity of the
+// INST_COUNT / STATIC_LATENCY backends against the pre-refactor perf_cost
+// path (the ISSUE 4 acceptance bar), determinism of the trace backend, and
+// a same-seed compile differential proving the wired-in backend changes
+// nothing for the default goals.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "core/cost.h"
+#include "corpus/corpus.h"
+#include "ebpf/assembler.h"
+#include "interp/state.h"
+#include "sim/latency_model.h"
+#include "sim/perf_eval.h"
+#include "sim/perf_model.h"
+
+namespace k2::sim {
+namespace {
+
+using ebpf::assemble;
+
+TEST(PerfModelTest, KindNamesRoundTrip) {
+  for (PerfModelKind k : {PerfModelKind::INST_COUNT,
+                          PerfModelKind::STATIC_LATENCY,
+                          PerfModelKind::TRACE_LATENCY}) {
+    PerfModelKind back;
+    ASSERT_TRUE(perf_model_kind_from_string(to_string(k), &back));
+    EXPECT_EQ(back, k);
+  }
+  PerfModelKind k;
+  EXPECT_FALSE(perf_model_kind_from_string("bogus", &k));
+  EXPECT_FALSE(perf_model_kind_from_string(nullptr, &k));
+}
+
+// The acceptance bar: INST_COUNT reproduces core::perf_cost bit-identically
+// on the whole current corpus (absolute values and relative costs, O1 and
+// O2 variants both directions).
+TEST(PerfModelTest, InstCountBitIdenticalToPerfCostOnCorpus) {
+  for (const corpus::Benchmark& b : corpus::all_benchmarks()) {
+    auto m = make_perf_model(PerfModelKind::INST_COUNT, b.o2, 1);
+    EXPECT_EQ(m->absolute(b.o2), double(b.o2.size_slots())) << b.name;
+    EXPECT_EQ(m->absolute(b.o1), double(b.o1.size_slots())) << b.name;
+    EXPECT_EQ(m->relative(b.o1, b.o2),
+              core::perf_cost(core::Goal::INST_COUNT, b.o1, b.o2))
+        << b.name;
+    EXPECT_EQ(m->relative(b.o2, b.o1),
+              core::perf_cost(core::Goal::INST_COUNT, b.o2, b.o1))
+        << b.name;
+  }
+}
+
+TEST(PerfModelTest, StaticLatencyBitIdenticalToPerfCostOnCorpus) {
+  for (const corpus::Benchmark& b : corpus::all_benchmarks()) {
+    auto m = make_perf_model(PerfModelKind::STATIC_LATENCY, b.o2, 1);
+    EXPECT_EQ(m->absolute(b.o2), static_program_cost_ns(b.o2)) << b.name;
+    EXPECT_EQ(m->relative(b.o1, b.o2),
+              core::perf_cost(core::Goal::LATENCY, b.o1, b.o2))
+        << b.name;
+  }
+}
+
+TEST(PerfModelTest, TraceLatencyDeterministicAndScratchInvariant) {
+  const corpus::Benchmark& b = corpus::benchmark("xdp_map_access");
+  auto m1 = make_perf_model(PerfModelKind::TRACE_LATENCY, b.o2, 42);
+  auto m2 = make_perf_model(PerfModelKind::TRACE_LATENCY, b.o2, 42);
+  // Same (source, seed) → bit-identical costs on every call, from separate
+  // model instances, with or without a lent scratch machine. Batch
+  // determinism across threads relies on exactly this.
+  double base = m1->absolute(b.o2);
+  EXPECT_GT(base, 0);
+  EXPECT_EQ(m2->absolute(b.o2), base);
+  interp::Machine scratch;
+  EXPECT_EQ(m1->absolute(b.o2, &scratch), base);
+  EXPECT_EQ(m1->relative(b.o1, b.o2, &scratch), m2->relative(b.o1, b.o2));
+}
+
+TEST(PerfModelTest, TraceLatencySeesExecutionNotText) {
+  // Two programs of identical slot count: one exits immediately, one does
+  // the same plus a never-taken-but-priced-when-executed helper call would
+  // be unfair — instead use straight-line work that executes.
+  ebpf::Program cheap = assemble(
+      "mov64 r0, 2\nnop\nnop\nnop\nnop\nnop\nnop\nnop\nexit\n");
+  ebpf::Program pricey = assemble(
+      "mov64 r0, 2\n"
+      "mul64 r1, 3\nmul64 r1, 3\nmul64 r1, 3\nmul64 r1, 3\n"
+      "mul64 r1, 3\nmul64 r1, 3\nmul64 r1, 3\n"
+      "exit\n");
+  auto m = make_perf_model(PerfModelKind::TRACE_LATENCY, cheap, 7);
+  // NOPs never execute in the trace; the multiplies do.
+  EXPECT_GT(m->absolute(pricey), m->absolute(cheap));
+  // Unlike the static estimate, the trace prices cheap's executed path the
+  // same as a 2-insn exit stub (the zero-cost NOPs add nothing).
+  ebpf::Program stub = assemble("mov64 r0, 2\nexit\n");
+  EXPECT_EQ(m->absolute(cheap), m->absolute(stub));
+}
+
+TEST(PerfModelTest, TraceLatencyChargesFaultsInsteadOfSkipping) {
+  ebpf::Program src = assemble("mov64 r0, 2\nexit\n");
+  // Unconditional OOB stack read: faults on every workload input. The cost
+  // stage prices unverified candidates, so this must be the *worst* price,
+  // not a free (skipped-to-zero) one.
+  ebpf::Program faulty = assemble("ldxdw r0, [r10+8]\nexit\n");
+  auto m = make_perf_model(PerfModelKind::TRACE_LATENCY, src, 7);
+  EXPECT_GT(m->absolute(faulty), m->absolute(src));
+  EXPECT_GT(m->relative(faulty, src), 0);
+}
+
+// Wiring differential: a same-seed sequential compile with the backend
+// explicitly set must be bit-identical to one with the backend derived
+// from the goal (i.e. the pre-refactor behavior), for both default goals.
+TEST(PerfModelTest, CompileDifferentialExplicitVsDerivedBackend) {
+  ebpf::Program src = assemble(
+      "mov64 r3, 9\n"
+      "mov64 r4, r3\n"
+      "mov64 r5, r4\n"
+      "mov64 r0, 1\n"
+      "exit\n");
+  core::CompileServices seq;
+  seq.sequential = true;
+  for (auto [goal, kind] :
+       {std::pair{core::Goal::INST_COUNT, PerfModelKind::INST_COUNT},
+        std::pair{core::Goal::LATENCY, PerfModelKind::STATIC_LATENCY}}) {
+    core::CompileOptions a;
+    a.goal = goal;
+    a.iters_per_chain = 800;
+    a.num_chains = 2;
+    core::CompileOptions b = a;
+    b.perf_model = kind;
+    core::CompileResult ra = core::compile(src, a, seq);
+    core::CompileResult rb = core::compile(src, b, seq);
+    EXPECT_EQ(ra.improved, rb.improved);
+    EXPECT_EQ(ra.src_perf, rb.src_perf);
+    EXPECT_EQ(ra.best_perf, rb.best_perf);
+    EXPECT_EQ(ra.best.insns, rb.best.insns);
+    EXPECT_EQ(ra.total_proposals, rb.total_proposals);
+    EXPECT_EQ(ra.solver_calls, rb.solver_calls);
+    EXPECT_EQ(ra.tests_executed, rb.tests_executed);
+    EXPECT_EQ(ra.iters_to_best, rb.iters_to_best);
+  }
+}
+
+// The trace backend is selectable end-to-end: a latency-goal compile over
+// it still produces a verified drop-in replacement, and its perf numbers
+// are in trace units (ns averages including the driver overhead).
+TEST(PerfModelTest, TraceLatencyCompilesEndToEnd) {
+  ebpf::Program src = assemble(
+      "mov64 r3, 9\n"
+      "mov64 r4, r3\n"
+      "mov64 r5, r4\n"
+      "mov64 r0, 1\n"
+      "exit\n");
+  core::CompileOptions o;
+  o.goal = core::Goal::LATENCY;
+  o.perf_model = PerfModelKind::TRACE_LATENCY;
+  o.iters_per_chain = 600;
+  o.num_chains = 2;
+  core::CompileServices seq;
+  seq.sequential = true;
+  core::CompileResult res = core::compile(src, o, seq);
+  EXPECT_GT(res.src_perf, kDriverOverheadNs);
+  if (res.improved) {
+    EXPECT_LT(res.best_perf, res.src_perf);
+    EXPECT_EQ(verify::check_equivalence(src, res.best).verdict,
+              verify::Verdict::EQUAL);
+  }
+  // Same-seed determinism holds for the trace backend too (fixed workload).
+  core::CompileResult res2 = core::compile(src, o, seq);
+  EXPECT_EQ(res.best.insns, res2.best.insns);
+  EXPECT_EQ(res.best_perf, res2.best_perf);
+  EXPECT_EQ(res.total_proposals, res2.total_proposals);
+}
+
+}  // namespace
+}  // namespace k2::sim

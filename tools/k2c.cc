@@ -1,17 +1,37 @@
 // k2c — the K2 compiler command-line driver.
 //
-// Reads a BPF assembly file, optimizes it with the synthesis pipeline, and
-// writes the optimized assembly (and optionally the kernel wire-format
-// bytes) — the "drop-in replacement" workflow of §7.
+// Single-program mode reads a BPF assembly file (or a corpus benchmark),
+// optimizes it with the synthesis pipeline, and writes the optimized
+// assembly (and optionally the kernel wire-format bytes) — the "drop-in
+// replacement" workflow of §7. Batch mode (--corpus) drives the
+// corpus-sharded orchestrator over many benchmarks in one process, sharing
+// one thread pool, one solver dispatcher and per-benchmark equivalence
+// caches, and emits a structured JSON report (--report).
 //
 // Usage:
-//   k2c <input.s> [options]
+//   k2c <input.s> [options]            single-program mode
+//   k2c --corpus[=name1,name2] [options]   batch mode
 //     --goal=size|latency      optimization objective (default size)
+//     --perf-model=insts|latency|static-latency
+//                              perf(p) backend for the cost stage: insts =
+//                              wire slots (implies --goal=size), latency =
+//                              interpreter-traced workload estimate,
+//                              static-latency = per-opcode static sum (both
+//                              imply --goal=latency); overrides --goal
 //     --iters=N                iterations per chain (default 10000)
 //     --chains=N               parallel Markov chains (default 4)
+//     --threads=N              worker threads (chain pool in single mode,
+//                              benchmark-shard pool in batch mode; batch
+//                              results are bit-identical across values)
 //     --type=xdp|socket|trace  hook type (default xdp)
 //     --wire=<out.bin>         also emit wire-format bytecode
-//     --bench=<name>           optimize a corpus benchmark instead of a file
+//     --bench=<name>           optimize one corpus benchmark instead of a file
+//     --corpus[=n1,n2,...]     batch mode: compile the named corpus
+//                              benchmarks (no value = all 19)
+//     --sweep=table8|full      batch mode: one job per benchmark×setting
+//                              (5 Table 8 settings / all 16; default: one
+//                              job per benchmark)
+//     --report=<out.json>      batch mode: write the JSON report here
 //     --solver-workers=N       dedicated Z3 threads for async equivalence
 //                              dispatch (default 0 = synchronous)
 //     --max-insns=N            interpreter step budget per test execution
@@ -21,11 +41,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/batch_compiler.h"
 #include "core/compiler.h"
 #include "corpus/corpus.h"
 #include "ebpf/assembler.h"
 #include "ebpf/bytecode.h"
 #include "kernel/kernel_checker.h"
+#include "sim/perf_model.h"
 
 namespace {
 
@@ -37,17 +59,161 @@ const char* arg_value(int argc, char** argv, const char* key) {
   return nullptr;
 }
 
+// True when `key` is present, bare or with a =value.
+bool has_flag(int argc, char** argv, const char* key) {
+  size_t n = strlen(key);
+  for (int i = 1; i < argc; ++i)
+    if (strncmp(argv[i], key, n) == 0 &&
+        (argv[i][n] == '\0' || argv[i][n] == '='))
+      return true;
+  return false;
+}
+
+std::vector<std::string> split_csv(const char* s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ','))
+    if (!tok.empty()) out.push_back(tok);
+  return out;
+}
+
+void usage() {
+  fprintf(stderr,
+          "usage: k2c <input.s> [--goal=size|latency] "
+          "[--perf-model=insts|latency|static-latency] [--iters=N] "
+          "[--chains=N] [--threads=N] [--type=xdp|socket|trace] "
+          "[--wire=out.bin] [--bench=name]\n"
+          "       k2c --corpus[=n1,n2] [--sweep=table8|full] "
+          "[--report=out.json] [options]\n");
+}
+
+// Shared search knobs for both modes. Returns false on a bad value.
+bool parse_common(int argc, char** argv, k2::core::CompileOptions* opts) {
+  using namespace k2;
+  if (const char* g = arg_value(argc, argv, "--goal"))
+    opts->goal = strcmp(g, "latency") == 0 ? core::Goal::LATENCY
+                                           : core::Goal::INST_COUNT;
+  if (const char* pm = arg_value(argc, argv, "--perf-model")) {
+    sim::PerfModelKind kind;
+    if (!sim::perf_model_kind_from_string(pm, &kind)) {
+      fprintf(stderr,
+              "k2c: unknown --perf-model '%s' (insts, latency, "
+              "static-latency)\n",
+              pm);
+      return false;
+    }
+    opts->perf_model = kind;
+    // The backend implies the goal: slot counting is the size objective,
+    // both latency estimators are the latency objective.
+    opts->goal = kind == sim::PerfModelKind::INST_COUNT
+                     ? core::Goal::INST_COUNT
+                     : core::Goal::LATENCY;
+  }
+  if (const char* it = arg_value(argc, argv, "--iters"))
+    opts->iters_per_chain = strtoull(it, nullptr, 10);
+  else
+    opts->iters_per_chain = 10000;
+  if (const char* ch = arg_value(argc, argv, "--chains"))
+    opts->num_chains = atoi(ch);
+  if (const char* sw = arg_value(argc, argv, "--solver-workers"))
+    opts->solver_workers = atoi(sw);
+  if (const char* mi = arg_value(argc, argv, "--max-insns")) {
+    opts->max_insns = strtoull(mi, nullptr, 10);
+    if (opts->max_insns == 0) {
+      fprintf(stderr, "k2c: --max-insns must be positive\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_batch(int argc, char** argv) {
+  using namespace k2;
+  core::BatchOptions bopts;
+  if (!parse_common(argc, argv, &bopts.base)) return 2;
+  if (const char* names = arg_value(argc, argv, "--corpus"))
+    bopts.benchmarks = split_csv(names);
+  if (const char* sweep = arg_value(argc, argv, "--sweep")) {
+    if (strcmp(sweep, "table8") == 0)
+      bopts.sweep = core::table8_settings();
+    else if (strcmp(sweep, "full") == 0)
+      bopts.sweep = core::default_settings();
+    else {
+      fprintf(stderr, "k2c: unknown --sweep '%s' (table8, full)\n", sweep);
+      return 2;
+    }
+  }
+  bopts.threads = 4;
+  if (const char* th = arg_value(argc, argv, "--threads"))
+    bopts.threads = atoi(th);
+
+  size_t njobs = (bopts.benchmarks.empty() ? corpus::all_benchmarks().size()
+                                           : bopts.benchmarks.size()) *
+                 (bopts.sweep.empty() ? 1 : bopts.sweep.size());
+  fprintf(stderr,
+          "k2c: batch: %zu jobs (%zu benchmarks), %d shard threads, "
+          "%d solver workers, perf model %s\n",
+          njobs,
+          bopts.benchmarks.empty() ? corpus::all_benchmarks().size()
+                                   : bopts.benchmarks.size(),
+          bopts.threads, bopts.base.solver_workers,
+          sim::to_string(core::resolved_perf_model(bopts.base)));
+
+  core::BatchReport report;
+  try {
+    report = core::BatchCompiler(bopts).run();
+  } catch (const std::exception& e) {
+    fprintf(stderr, "k2c: batch failed: %s\n", e.what());
+    return 2;
+  }
+
+  // Human-readable summary on stderr; the machine-readable report on disk.
+  for (const core::BatchBenchmarkResult& b : report.benchmarks) {
+    if (!b.error.empty()) {
+      fprintf(stderr, "k2c:   %-22s ERROR: %s\n", b.name.c_str(),
+              b.error.c_str());
+      continue;
+    }
+    fprintf(stderr,
+            "k2c:   %-22s %4d -> %4d slots (paper K2 %d)%s  [%.1fs]\n",
+            b.name.c_str(), b.src_slots, b.best_slots, b.paper_k2,
+            b.improved ? "" : "  no improvement", b.wall_secs);
+  }
+  fprintf(stderr,
+          "k2c: batch done in %.1fs: %llu proposals, %llu solver calls, "
+          "cache %llu/%llu hits\n",
+          report.wall_secs,
+          static_cast<unsigned long long>(report.totals.proposals),
+          static_cast<unsigned long long>(report.totals.solver_calls),
+          static_cast<unsigned long long>(report.totals.cache_hits),
+          static_cast<unsigned long long>(report.totals.cache_hits +
+                                          report.totals.cache_misses));
+
+  std::string json = report.to_json().dump(2);
+  if (const char* path = arg_value(argc, argv, "--report")) {
+    std::ofstream out(path);
+    if (!out) {
+      fprintf(stderr, "k2c: cannot write %s\n", path);
+      return 2;
+    }
+    out << json << "\n";
+    fprintf(stderr, "k2c: wrote report to %s\n", path);
+  } else {
+    printf("%s\n", json.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace k2;
   if (argc < 2) {
-    fprintf(stderr,
-            "usage: k2c <input.s> [--goal=size|latency] [--iters=N] "
-            "[--chains=N] [--type=xdp|socket|trace] [--wire=out.bin] "
-            "[--bench=name]\n");
+    usage();
     return 2;
   }
+  if (has_flag(argc, argv, "--corpus")) return run_batch(argc, argv);
 
   ebpf::Program src;
   try {
@@ -74,25 +240,10 @@ int main(int argc, char** argv) {
   }
 
   core::CompileOptions opts;
-  if (const char* g = arg_value(argc, argv, "--goal"))
-    opts.goal = strcmp(g, "latency") == 0 ? core::Goal::LATENCY
-                                          : core::Goal::INST_COUNT;
-  if (const char* it = arg_value(argc, argv, "--iters"))
-    opts.iters_per_chain = strtoull(it, nullptr, 10);
-  else
-    opts.iters_per_chain = 10000;
-  if (const char* ch = arg_value(argc, argv, "--chains"))
-    opts.num_chains = atoi(ch);
+  if (!parse_common(argc, argv, &opts)) return 2;
   opts.threads = opts.num_chains;
-  if (const char* sw = arg_value(argc, argv, "--solver-workers"))
-    opts.solver_workers = atoi(sw);
-  if (const char* mi = arg_value(argc, argv, "--max-insns")) {
-    opts.max_insns = strtoull(mi, nullptr, 10);
-    if (opts.max_insns == 0) {
-      fprintf(stderr, "k2c: --max-insns must be positive\n");
-      return 2;
-    }
-  }
+  if (const char* th = arg_value(argc, argv, "--threads"))
+    opts.threads = atoi(th);
 
   fprintf(stderr, "k2c: input %d instructions; searching (%d chains x %llu "
                   "iterations)...\n",
