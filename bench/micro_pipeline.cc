@@ -1,9 +1,11 @@
 // Micro-benchmark: evaluation-pipeline throughput (proposals/sec) —
-// single- vs multi-threaded chains over the work-stealing pool, the
-// decision-preserving execution-order optimizations (fail-first tests +
-// provable-rejection early exit) on and off, and synchronous vs
-// asynchronous solver dispatch (ISSUE 2): equivalence queries overlapped
-// with chain progress via speculation, at 1/2/4 dedicated Z3 workers.
+// single- vs multi-threaded chains, the decision-preserving execution-order
+// optimizations (fail-first tests + provable-rejection early exit) on and
+// off, and synchronous vs asynchronous solver dispatch (ISSUE 2) at 1/2/4
+// dedicated Z3 workers. Since ISSUE 5 every run goes through the service
+// API (api::CompilerService) — the same entry point k2c and `k2c serve`
+// use — with multi-thread rows as non-deterministic jobs (parallel chains
+// inside the job).
 //
 //   bench_micro_pipeline                    full sweep (sync + async rows)
 //   bench_micro_pipeline --solver-workers N sync baseline vs async at N
@@ -17,11 +19,13 @@
 // rollback/queue columns, not wall-clock).
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <thread>
 #include <vector>
 
+#include "api/request.h"
+#include "api/service.h"
 #include "bench_util.h"
+#include "util/flags.h"
 
 namespace {
 
@@ -35,21 +39,40 @@ struct Run {
   core::CompileResult res;
 };
 
-core::CompileResult run_once(const ebpf::Program& src, int threads,
-                             bool opts_on, int solver_workers,
+core::CompileResult run_once(int threads, bool opts_on, int solver_workers,
                              uint64_t iters) {
-  core::CompileOptions o;
-  o.goal = core::Goal::INST_COUNT;
-  o.iters_per_chain = iters;
-  o.num_chains = 4;
-  o.threads = threads;
-  o.top_k = 1;
-  o.eq.timeout_ms = 10000;
-  o.settings = core::table8_settings();
-  o.reorder_tests = opts_on;
-  o.early_exit = opts_on;
-  o.solver_workers = solver_workers;
-  return core::compile(src, o);
+  api::CompileRequest req =
+      api::CompileRequest::for_benchmark("xdp_map_access");
+  req.goal = core::Goal::INST_COUNT;
+  req.iters_per_chain = iters;
+  req.num_chains = 4;
+  req.threads = threads;
+  req.top_k = 1;
+  req.eq_timeout_ms = 10000;
+  req.settings = api::CompileRequest::Settings::TABLE8;
+  req.reorder_tests = opts_on;
+  req.early_exit = opts_on;
+  req.solver_workers = solver_workers;
+  // Thread scaling is the point of this bench: chains run on the job's
+  // pool, trading the sequential-mode determinism guarantee for speed.
+  req.deterministic = false;
+
+  api::ServiceOptions sopts;
+  sopts.threads = threads;
+  sopts.solver_workers = solver_workers;
+  api::CompilerService service(sopts);
+  api::JobHandle job = service.submit(std::move(req));
+  job.wait();
+  api::CompileResponse resp = job.response();
+  if (resp.state != api::JobState::DONE) {
+    fprintf(stderr, "bench_micro_pipeline: job %s %s: %s\n",
+            resp.job_id.c_str(), api::to_string(resp.state),
+            resp.error.c_str());
+    exit(1);
+  }
+  // Dispatcher-level counters are filled per job by the service (owner-
+  // reports rule), so the response is complete as-is.
+  return *resp.single;
 }
 
 double proposals_per_sec(const core::CompileResult& r) {
@@ -69,22 +92,25 @@ void print_row(const Run& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int requested_workers = -1;
-  bool smoke = false;
-  const char* json_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (!strcmp(argv[i], "--solver-workers") && i + 1 < argc) {
-      requested_workers = atoi(argv[++i]);
-    } else if (!strncmp(argv[i], "--solver-workers=", 17)) {
-      requested_workers = atoi(argv[i] + 17);
-    } else if (!strcmp(argv[i], "--smoke")) {
-      smoke = true;
-    } else if (!strcmp(argv[i], "--json") && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (!strncmp(argv[i], "--json=", 7)) {
-      json_path = argv[i] + 7;
-    }
+  using T = util::FlagSpec::Type;
+  util::Flags f({
+      {"solver-workers", T::INT, "-1",
+       "focused comparison: sync baseline vs async at this pool size", ""},
+      {"smoke", T::BOOL, "", "short CI mode (sync rows only)", ""},
+      {"json", T::STRING, "", "write machine-readable results here", ""},
+  });
+  std::string error;
+  if (!f.parse(argc, argv, &error)) {
+    fprintf(stderr, "bench_micro_pipeline: %s\n", error.c_str());
+    return 2;
   }
+  if (f.help_requested()) {
+    fputs(f.help("usage: bench_micro_pipeline [options]").c_str(), stdout);
+    return 0;
+  }
+  int requested_workers = int(f.num("solver-workers"));
+  bool smoke = f.flag("smoke");
+  std::string json_path = f.str("json");
 
   const ebpf::Program& src = corpus::benchmark("xdp_map_access").o2;
   uint64_t iters = bench::scaled(smoke ? 400 : 4000);
@@ -118,7 +144,7 @@ int main(int argc, char** argv) {
 
   double base = 0, multi = 0;
   for (Run& r : runs) {
-    r.res = run_once(src, r.threads, r.opts_on, r.solver_workers, iters);
+    r.res = run_once(r.threads, r.opts_on, r.solver_workers, iters);
     if (r.threads == 1 && r.opts_on && r.solver_workers == 0)
       base = proposals_per_sec(r.res);
     if (r.threads == 4 && r.opts_on && r.solver_workers == 0)
@@ -130,19 +156,19 @@ int main(int argc, char** argv) {
     printf("4-thread speedup over 1-thread: %.2fx (meaningful only with >= 4 hardware threads)\n",
            multi / base);
 
-  if (json_path) {
-    FILE* f = fopen(json_path, "w");
-    if (!f) {
-      fprintf(stderr, "cannot write %s\n", json_path);
+  if (!json_path.empty()) {
+    FILE* jf = fopen(json_path.c_str(), "w");
+    if (!jf) {
+      fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    fprintf(f, "{\n  \"bench\": \"micro_pipeline\",\n  \"smoke\": %s,\n",
+    fprintf(jf, "{\n  \"bench\": \"micro_pipeline\",\n  \"smoke\": %s,\n",
             smoke ? "true" : "false");
-    fprintf(f, "  \"iters_per_chain\": %llu,\n  \"results\": [\n",
+    fprintf(jf, "  \"iters_per_chain\": %llu,\n  \"results\": [\n",
             (unsigned long long)iters);
     for (size_t i = 0; i < runs.size(); ++i) {
       const Run& r = runs[i];
-      fprintf(f,
+      fprintf(jf,
               "    {\"label\": \"%s\", \"threads\": %d, "
               "\"solver_workers\": %d, \"proposals_per_sec\": %.1f, "
               "\"tests_executed\": %llu, \"tests_skipped\": %llu, "
@@ -158,9 +184,9 @@ int main(int argc, char** argv) {
               (unsigned long long)r.res.solver_queue_peak,
               r.res.cache.hit_rate(), i + 1 < runs.size() ? "," : "");
     }
-    fprintf(f, "  ]\n}\n");
-    fclose(f);
-    printf("wrote %s\n", json_path);
+    fprintf(jf, "  ]\n}\n");
+    fclose(jf);
+    printf("wrote %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -1,11 +1,12 @@
-// Table 1: program compactness — now driven end-to-end through the
-// corpus-sharded batch orchestrator (core::BatchCompiler): every benchmark
-// is a job sharded over one shared thread pool with one shared solver
-// dispatcher, exactly the `k2c --corpus` path, and the table is printed
-// from the structured BatchReport. Absolute parity with the paper is not
-// expected at bench-scale iteration budgets (K2_BENCH_SCALE raises them);
-// the shape — K2 always at or below the best clang variant, single-digit to
-// ~25% compression — is the reproduction target.
+// Table 1: program compactness — driven end-to-end through the service
+// API (api::CompilerService, since ISSUE 5): the whole corpus is ONE batch
+// job submitted exactly the way `k2c --corpus` and `k2c serve` submit it,
+// benchmark tasks sharded over the service's shared thread pool + solver
+// dispatcher, and the table printed from the structured BatchReport in the
+// job's CompileResponse. Absolute parity with the paper is not expected at
+// bench-scale iteration budgets (K2_BENCH_SCALE raises them); the shape —
+// K2 always at or below the best clang variant, single-digit to ~25%
+// compression — is the reproduction target.
 //
 // Flags: --threads=N (shard width; results are bit-identical across
 // values), --report=out.json (also write the batch JSON report),
@@ -13,14 +14,61 @@
 #include <cstdio>
 #include <fstream>
 
+#include "api/request.h"
+#include "api/service.h"
 #include "bench_util.h"
-#include "core/batch_compiler.h"
 #include "kernel/kernel_checker.h"
+#include "util/flags.h"
 
 using namespace k2;
-using bench::arg_value;
+
+namespace {
+
+// One batch job through the service front door.
+core::BatchReport run_batch(api::CompilerService& service,
+                            std::vector<std::string> benchmarks,
+                            uint64_t iters, int threads, int solver_workers) {
+  api::CompileRequest req =
+      api::CompileRequest::for_corpus(std::move(benchmarks));
+  req.goal = core::Goal::INST_COUNT;
+  req.iters_per_chain = iters;
+  req.num_chains = 4;
+  req.eq_timeout_ms = 10000;
+  req.settings = api::CompileRequest::Settings::TABLE8;
+  req.threads = threads;
+  req.solver_workers = solver_workers;
+  api::JobHandle job = service.submit(std::move(req));
+  job.wait();
+  api::CompileResponse resp = job.response();
+  if (resp.state != api::JobState::DONE)
+    throw std::runtime_error("batch job " + resp.job_id + " " +
+                             std::string(api::to_string(resp.state)) + ": " +
+                             resp.error);
+  return *resp.batch;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  using T = util::FlagSpec::Type;
+  util::Flags f({
+      {"threads", T::INT, "4",
+       "shard width (results are bit-identical across values)", ""},
+      {"solver-workers", T::INT, "0",
+       "shared async Z3 pool (trades determinism for speed)", ""},
+      {"report", T::STRING, "", "also write the batch JSON report here", ""},
+  });
+  std::string error;
+  if (!f.parse(argc, argv, &error)) {
+    fprintf(stderr, "bench_table1_compaction: %s\n", error.c_str());
+    return 2;
+  }
+  if (f.help_requested()) {
+    fputs(f.help("usage: bench_table1_compaction [options]").c_str(),
+          stdout);
+    return 0;
+  }
+
   printf("Table 1: instruction-count reduction over the best clang variant\n");
   printf("(paper cols: -O1/-O2/K2/compression; DNL = did not load)\n");
   bench::hr('=');
@@ -29,30 +77,28 @@ int main(int argc, char** argv) {
          "time(s)", "iters");
   bench::hr();
 
-  core::BatchOptions bopts;
-  bopts.base.goal = core::Goal::INST_COUNT;
-  bopts.base.iters_per_chain = bench::scaled(6000);
-  bopts.base.num_chains = 4;
-  bopts.base.eq.timeout_ms = 10000;
-  bopts.base.settings = core::table8_settings();
-  bopts.threads = 4;
-  if (const char* th = arg_value(argc, argv, "--threads"))
-    bopts.threads = atoi(th);
-  if (const char* sw = arg_value(argc, argv, "--solver-workers"))
-    bopts.base.solver_workers = atoi(sw);
-  for (const corpus::Benchmark& b : corpus::all_benchmarks())
-    if (b.name != "xdp-balancer") bopts.benchmarks.push_back(b.name);
+  int threads = int(f.num("threads"));
+  int solver_workers = int(f.num("solver-workers"));
+  api::ServiceOptions sopts;
+  sopts.threads = threads;
+  sopts.solver_workers = solver_workers;
+  api::CompilerService service(sopts);
 
-  core::BatchReport report = core::BatchCompiler(bopts).run();
+  std::vector<std::string> names;
+  for (const corpus::Benchmark& b : corpus::all_benchmarks())
+    if (b.name != "xdp-balancer") names.push_back(b.name);
+
+  core::BatchReport report = run_batch(service, std::move(names),
+                                       bench::scaled(6000), threads,
+                                       solver_workers);
 
   if (bench::full_mode()) {
     // The 1.8k-instruction balancer gets its historical, smaller budget (a
     // uniform 6000 iters/chain would triple its share of the run); it is a
-    // second one-benchmark batch whose row and totals are merged below.
-    core::BatchOptions bal = bopts;
-    bal.benchmarks = {"xdp-balancer"};
-    bal.base.iters_per_chain = bench::scaled(2000);
-    core::BatchReport br = core::BatchCompiler(bal).run();
+    // second one-benchmark job whose row and totals are merged below.
+    core::BatchReport br =
+        run_batch(service, {"xdp-balancer"}, bench::scaled(2000), threads,
+                  solver_workers);
     report.benchmarks.push_back(br.benchmarks.at(0));
     report.wall_secs += br.wall_secs;
     core::BatchTotals& t = report.totals;
@@ -149,14 +195,14 @@ int main(int argc, char** argv) {
   printf("note: run with K2_BENCH_SCALE>1 and K2_BENCH_FULL=1 for longer, "
          "paper-scale searches.\n");
 
-  if (const char* path = arg_value(argc, argv, "--report")) {
-    std::ofstream out(path);
+  if (f.has("report")) {
+    std::ofstream out(f.str("report"));
     if (!out) {
-      fprintf(stderr, "cannot write %s\n", path);
+      fprintf(stderr, "cannot write %s\n", f.str("report").c_str());
       return 1;
     }
     out << report.to_json().dump(2) << "\n";
-    printf("wrote JSON report to %s\n", path);
+    printf("wrote JSON report to %s\n", f.str("report").c_str());
   }
   return 0;
 }

@@ -7,9 +7,13 @@
 2. Reproduction-table coverage: every bench/table*.cc and bench/fig*.cc
    binary must be mentioned in README.md's table (as bench_<name>), so the
    paper-reproduction map can never silently rot.
-3. CLI-flag coverage: every --flag string literal parsed by tools/k2c.cc
-   (via arg_value/has_flag) must appear in README.md, so a new flag cannot
-   land undocumented.
+3. CLI-flag coverage: every k2c flag — both --flag string literals and
+   names declared in the util::Flags table — must appear in README.md, so
+   a new flag cannot land undocumented.
+4. Request-schema coverage: every CompileRequest JSON field declared in
+   src/api/ (the kRequestFields whitelist between the
+   docs:request-fields-begin/end markers) must appear in docs/API.md, so
+   the wire schema reference can never silently rot.
 
 Exit code 0 = clean; 1 = problems (each printed on its own line).
 """
@@ -72,11 +76,12 @@ def check_bench_coverage():
 
 
 def k2c_flags():
-    """Flags tools/k2c.cc actually parses: --names inside string literals.
+    """Flags tools/k2c.cc actually parses.
 
-    Restricting the scan to string literals keeps prose like the '--' in
-    comments out; scanning the whole literal set (usage text included) is
-    harmless because usage and parsing share the same names.
+    Two sources: --names inside string literals (usage text; harmless
+    over-collection because usage and parsing share names) and the
+    util::Flags declaration table, where each spec's first string literal
+    is the flag name (``{"goal", T::STRING, ...}``).
     """
     src_path = os.path.join(ROOT, "tools", "k2c.cc")
     with open(src_path, encoding="utf-8") as f:
@@ -84,7 +89,49 @@ def k2c_flags():
     flags = set()
     for literal in re.findall(r'"((?:[^"\\]|\\.)*)"', src):
         flags.update(re.findall(r"--[a-z][a-z0-9-]*", literal))
+    for name in re.findall(r'\{"([a-z][a-z0-9-]*)",\s*T::', src):
+        flags.add("--" + name)
     return sorted(flags)
+
+
+def request_fields():
+    """CompileRequest JSON fields: the kRequestFields whitelist in src/api.
+
+    The markers scope the scan to the single source of truth the strict
+    parser itself checks unknown fields against, so this list cannot drift
+    from the code.
+    """
+    fields = []
+    api_dir = os.path.join(ROOT, "src", "api")
+    for fn in sorted(os.listdir(api_dir)):
+        if not fn.endswith((".cc", ".h")):
+            continue
+        with open(os.path.join(api_dir, fn), encoding="utf-8") as f:
+            src = f.read()
+        m = re.search(r"docs:request-fields-begin(.*?)docs:request-fields-end",
+                      src, re.S)
+        if m:
+            fields.extend(re.findall(r'"([a-z_][a-z0-9_]*)"', m.group(1)))
+    return fields
+
+
+def check_request_field_coverage():
+    fields = request_fields()
+    if not fields:
+        return ["src/api: no docs:request-fields-begin/end block found "
+                "(the CompileRequest field whitelist must be marker-scoped)"]
+    api_md_path = os.path.join(ROOT, "docs", "API.md")
+    if not os.path.exists(api_md_path):
+        return ["docs/API.md is missing"]
+    with open(api_md_path, encoding="utf-8") as f:
+        api_md = f.read()
+    problems = []
+    for field in fields:
+        if f"`{field}`" not in api_md:
+            problems.append(
+                f"docs/API.md: CompileRequest field `{field}` (declared in "
+                f"src/api/) is undocumented")
+    return problems
 
 
 def check_flag_coverage():
@@ -106,13 +153,14 @@ def main():
     problems = check_links(tracked_markdown())
     problems += check_bench_coverage()
     problems += check_flag_coverage()
+    problems += check_request_field_coverage()
     for p in problems:
         print(p)
     if problems:
         print(f"\n{len(problems)} documentation problem(s)")
         return 1
     print("docs OK: links resolve, README covers every bench table binary "
-          "and every k2c flag")
+          "and every k2c flag, docs/API.md covers every CompileRequest field")
     return 0
 
 

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI smoke for `k2c serve --stdio`: pipes a submit/status/events/cancel/
+shutdown conversation into the serve loop and asserts every reply and
+every event is schema-valid JSON with the contracts docs/API.md states
+(monotonic seq, QUEUED->RUNNING->terminal, cancel lands in CANCELLED).
+
+Usage: serve_smoke.py [path/to/k2c]   (default ./build/k2c)
+Exit 0 = protocol healthy; non-zero with a message otherwise.
+"""
+import json
+import subprocess
+import sys
+
+K2C = sys.argv[1] if len(sys.argv) > 1 else "./build/k2c"
+
+SCRIPT = [
+    {"op": "hello"},
+    # Job 1: small, runs to completion.
+    {"op": "submit", "request": {
+        "schema": "k2-compile/v1", "mode": "single",
+        "benchmark": "xdp_pktcntr", "iters_per_chain": 300,
+        "num_chains": 2, "eq_timeout_ms": 10000}},
+    {"op": "wait", "job": "job-1"},
+    {"op": "status", "job": "job-1"},
+    {"op": "events", "job": "job-1", "after": 0},
+    {"op": "result", "job": "job-1"},
+    # Job 2: effectively unbounded -> must be cancellable promptly.
+    {"op": "submit", "request": {
+        "schema": "k2-compile/v1", "mode": "single",
+        "benchmark": "xdp_map_access", "iters_per_chain": 50000000,
+        "num_chains": 2}},
+    {"op": "cancel", "job": "job-2"},
+    {"op": "wait", "job": "job-2"},
+    # Validation must reject bad enum strings with $.paths, not default.
+    {"op": "submit", "request": {
+        "schema": "k2-compile/v1", "mode": "single",
+        "benchmark": "xdp_pktcntr", "perf_model": "bogus"}},
+    {"op": "shutdown"},
+]
+
+
+def fail(msg):
+    print(f"serve smoke FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    stdin = "".join(json.dumps(line) + "\n" for line in SCRIPT)
+    proc = subprocess.run([K2C, "serve", "--stdio"], input=stdin,
+                          capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"k2c serve exited {proc.returncode}:\n{proc.stderr}")
+
+    replies = []
+    for lineno, line in enumerate(proc.stdout.splitlines(), 1):
+        try:
+            replies.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"reply line {lineno} is not valid JSON ({e}): {line!r}")
+    if len(replies) != len(SCRIPT):
+        fail(f"expected {len(SCRIPT)} replies, got {len(replies)}")
+
+    (hello, submit1, wait1, status1, events1, result1,
+     submit2, cancel2, wait2, badsubmit, shutdown) = replies
+
+    if not hello.get("ok") or hello.get("protocol") != "k2-serve/v1":
+        fail(f"hello: {hello}")
+    if not submit1.get("ok") or submit1.get("job") != "job-1":
+        fail(f"submit1: {submit1}")
+    if wait1.get("state") != "DONE":
+        fail(f"job-1 should finish DONE: {wait1}")
+    if status1.get("state") != "DONE" or status1.get("events", 0) < 3:
+        fail(f"status1: {status1}")
+
+    events = events1.get("events", [])
+    if len(events) < 3:
+        fail(f"job-1 produced too few events: {events1}")
+    last_seq = 0
+    for ev in events:
+        if ev.get("schema") != "k2-event/v1":
+            fail(f"event without schema stamp: {ev}")
+        if ev.get("job") != "job-1":
+            fail(f"event for wrong job: {ev}")
+        if ev.get("seq", 0) <= last_seq:
+            fail(f"event seq not monotonic at {ev}")
+        last_seq = ev["seq"]
+        if ev.get("type") not in ("state", "tick", "best", "job_done"):
+            fail(f"unknown event type: {ev}")
+    states = [e["state"] for e in events if e["type"] == "state"]
+    if states[:2] != ["QUEUED", "RUNNING"] or states[-1] != "DONE":
+        fail(f"job-1 state trajectory: {states}")
+
+    result = result1.get("result", {})
+    if result.get("schema") != "k2-compile/v1" or result.get("state") != "DONE":
+        fail(f"result1: {result1}")
+    if result.get("single", {}).get("proposals", 0) <= 0:
+        fail(f"job-1 did no work: {result1}")
+
+    if not submit2.get("ok") or submit2.get("job") != "job-2":
+        fail(f"submit2: {submit2}")
+    if not cancel2.get("ok") or not cancel2.get("cancel_accepted"):
+        fail(f"cancel2: {cancel2}")
+    if wait2.get("state") != "CANCELLED":
+        fail(f"job-2 should land CANCELLED: {wait2}")
+
+    if badsubmit.get("ok"):
+        fail(f"bogus perf_model must be rejected: {badsubmit}")
+    paths = [d.get("path") for d in badsubmit.get("diagnostics", [])]
+    if "$.perf_model" not in paths:
+        fail(f"diagnostics must carry $.perf_model: {badsubmit}")
+
+    if not shutdown.get("ok") or not shutdown.get("shutdown"):
+        fail(f"shutdown: {shutdown}")
+
+    print(f"serve smoke OK: {len(replies)} replies, {len(events)} "
+          f"schema-valid events, cancel landed CANCELLED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,442 @@
+#include "api/request.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "corpus/corpus.h"
+#include "ebpf/assembler.h"
+#include "sim/perf_model.h"
+
+namespace k2::api {
+
+namespace {
+
+// Every field a k2-compile/v1 request may carry — the whitelist the strict
+// parser checks unknown fields against, and the list scripts/check_docs.py
+// scans to enforce that docs/API.md documents each one. Keep one name per
+// line between the markers.
+// docs:request-fields-begin
+const char* const kRequestFields[] = {
+    "schema",
+    "mode",
+    "benchmark",
+    "program_asm",
+    "prog_type",
+    "corpus",
+    "sweep",
+    "goal",
+    "perf_model",
+    "settings",
+    "iters_per_chain",
+    "num_chains",
+    "top_k",
+    "num_initial_tests",
+    "seed",
+    "windows",
+    "max_insns",
+    "eq_timeout_ms",
+    "reorder_tests",
+    "early_exit",
+    "threads",
+    "solver_workers",
+    "speculation_depth",
+    "deterministic",
+};
+// docs:request-fields-end
+
+bool known_field(const std::string& name) {
+  for (const char* f : kRequestFields)
+    if (name == f) return true;
+  return false;
+}
+
+std::string join_diags(const std::vector<Diagnostic>& diags) {
+  std::string out = "invalid CompileRequest:";
+  for (const Diagnostic& d : diags) out += "\n  " + d.str();
+  return out;
+}
+
+// Collects diagnostics while pulling typed values out of the request
+// object; every getter records a problem instead of throwing so the caller
+// sees ALL problems at once.
+struct FieldReader {
+  const util::Json& j;
+  std::vector<Diagnostic>& diags;
+
+  void fail(const std::string& field, std::string msg) {
+    diags.push_back({"$." + field, std::move(msg)});
+  }
+
+  const util::Json* find(const std::string& field) {
+    return j.get(field);
+  }
+
+  void read_bool(const std::string& field, bool* out) {
+    const util::Json* v = find(field);
+    if (!v) return;
+    if (!v->is_bool()) return fail(field, "expected a boolean");
+    *out = v->as_bool();
+  }
+
+  void read_uint(const std::string& field, uint64_t* out, uint64_t min,
+                 uint64_t max) {
+    const util::Json* v = find(field);
+    if (!v) return;
+    if (!v->is_int()) return fail(field, "expected a non-negative integer");
+    // util::Json carries uint64 as two's-complement int64 (values >= 2^63
+    // appear negative on the wire — see util/json.h); a full-range field
+    // (max == UINT64_MAX) accepts the wrap so to_json output always parses
+    // back. Range-bounded fields reject negatives outright.
+    if (v->as_int() < 0 && max != UINT64_MAX)
+      return fail(field, "expected a non-negative integer");
+    uint64_t u = v->as_uint();
+    if (u < min || u > max)
+      return fail(field, "out of range [" + std::to_string(min) + ", " +
+                             std::to_string(max) + "]: got " +
+                             std::to_string(u));
+    *out = u;
+  }
+
+  void read_int(const std::string& field, int* out, int min, int max) {
+    const util::Json* v = find(field);
+    if (!v) return;
+    if (!v->is_int()) return fail(field, "expected an integer");
+    int64_t i = v->as_int();
+    if (i < min || i > max)
+      return fail(field, "out of range [" + std::to_string(min) + ", " +
+                             std::to_string(max) + "]: got " +
+                             std::to_string(i));
+    *out = int(i);
+  }
+
+  void read_string(const std::string& field, std::string* out) {
+    const util::Json* v = find(field);
+    if (!v) return;
+    if (!v->is_string()) return fail(field, "expected a string");
+    *out = v->as_string();
+  }
+
+  // Strict enum: the value must be one of `values` (no silent fallback —
+  // the whole point of request-time validation; see ISSUE 5's footgun fix).
+  // Returns the matched index or -1 after recording a diagnostic.
+  int read_enum(const std::string& field,
+                const std::vector<std::string>& values, int def) {
+    const util::Json* v = find(field);
+    if (!v) return def;
+    if (!v->is_string()) {
+      fail(field, "expected a string");
+      return -1;
+    }
+    const std::string& s = v->as_string();
+    for (size_t i = 0; i < values.size(); ++i)
+      if (s == values[i]) return int(i);
+    std::string expected;
+    for (size_t i = 0; i < values.size(); ++i)
+      expected += (i ? "|" : "") + values[i];
+    fail(field, "unknown value '" + s + "' (expected " + expected + ")");
+    return -1;
+  }
+};
+
+}  // namespace
+
+ValidationError::ValidationError(std::vector<Diagnostic> diags)
+    : std::runtime_error(join_diags(diags)), diags_(std::move(diags)) {}
+
+const char* to_string(CompileRequest::Mode m) {
+  return m == CompileRequest::Mode::BATCH ? "batch" : "single";
+}
+const char* to_string(CompileRequest::Sweep s) {
+  switch (s) {
+    case CompileRequest::Sweep::TABLE8: return "table8";
+    case CompileRequest::Sweep::FULL: return "full";
+    default: return "none";
+  }
+}
+const char* to_string(CompileRequest::Settings s) {
+  return s == CompileRequest::Settings::TABLE8 ? "table8" : "default";
+}
+const char* to_string(CompileRequest::Windows w) {
+  switch (w) {
+    case CompileRequest::Windows::ON: return "on";
+    case CompileRequest::Windows::OFF: return "off";
+    default: return "auto";
+  }
+}
+
+CompileRequest CompileRequest::for_benchmark(std::string name) {
+  CompileRequest r;
+  r.mode = Mode::SINGLE;
+  r.benchmark = std::move(name);
+  return r;
+}
+
+CompileRequest CompileRequest::for_program(std::string asm_text,
+                                           std::string type) {
+  CompileRequest r;
+  r.mode = Mode::SINGLE;
+  r.program_asm = std::move(asm_text);
+  r.prog_type = std::move(type);
+  return r;
+}
+
+CompileRequest CompileRequest::for_corpus(std::vector<std::string> names) {
+  CompileRequest r;
+  r.mode = Mode::BATCH;
+  r.corpus = std::move(names);
+  return r;
+}
+
+std::vector<Diagnostic> CompileRequest::validate() const {
+  std::vector<Diagnostic> diags;
+  auto fail = [&](const char* path, std::string msg) {
+    diags.push_back({path, std::move(msg)});
+  };
+
+  if (mode == Mode::SINGLE) {
+    if (benchmark.empty() && program_asm.empty())
+      fail("$.benchmark",
+           "single mode needs a source: set benchmark or program_asm");
+    if (!benchmark.empty() && !program_asm.empty())
+      fail("$.benchmark", "benchmark and program_asm are mutually exclusive");
+    if (!corpus.empty())
+      fail("$.corpus", "corpus is a batch-mode field");
+    if (sweep != Sweep::NONE)
+      fail("$.sweep", "sweep is a batch-mode field");
+    if (!benchmark.empty()) {
+      try {
+        corpus::benchmark(benchmark);
+      } catch (const std::out_of_range&) {
+        fail("$.benchmark", "unknown corpus benchmark '" + benchmark + "'");
+      }
+    }
+    if (prog_type != "xdp" && prog_type != "socket" && prog_type != "trace")
+      fail("$.prog_type", "unknown value '" + prog_type +
+                              "' (expected xdp|socket|trace)");
+  } else {
+    if (!benchmark.empty() || !program_asm.empty())
+      fail("$.benchmark",
+           "benchmark/program_asm are single-mode fields; use corpus");
+    for (const std::string& name : corpus) {
+      try {
+        corpus::benchmark(name);
+      } catch (const std::out_of_range&) {
+        fail("$.corpus", "unknown corpus benchmark '" + name + "'");
+      }
+    }
+  }
+
+  if (iters_per_chain < 1 || iters_per_chain > 100'000'000)
+    fail("$.iters_per_chain", "out of range [1, 100000000]");
+  if (num_chains < 1 || num_chains > 64)
+    fail("$.num_chains", "out of range [1, 64]");
+  if (top_k < 1 || top_k > 16) fail("$.top_k", "out of range [1, 16]");
+  if (num_initial_tests < 1 || num_initial_tests > 1024)
+    fail("$.num_initial_tests", "out of range [1, 1024]");
+  if (max_insns < 1) fail("$.max_insns", "must be positive");
+  if (threads < 1 || threads > 256) fail("$.threads", "out of range [1, 256]");
+  if (solver_workers < 0 || solver_workers > 64)
+    fail("$.solver_workers", "out of range [0, 64]");
+  if (speculation_depth < 1 || speculation_depth > 64)
+    fail("$.speculation_depth", "out of range [1, 64]");
+  if (perf_model) {
+    // The backend implies the goal (same rule the CLI applies): a
+    // mismatched pair is a contradiction, not a preference.
+    bool size_model = *perf_model == sim::PerfModelKind::INST_COUNT;
+    if (size_model != (goal == core::Goal::INST_COUNT))
+      fail("$.perf_model",
+           std::string("backend '") + sim::to_string(*perf_model) +
+               "' contradicts goal '" +
+               (goal == core::Goal::INST_COUNT ? "size" : "latency") + "'");
+  }
+  return diags;
+}
+
+void CompileRequest::validate_or_throw() const {
+  std::vector<Diagnostic> diags = validate();
+  if (!diags.empty()) throw ValidationError(std::move(diags));
+}
+
+util::Json CompileRequest::to_json() const {
+  util::Json j;
+  j.set("schema", kCompileSchema);
+  j.set("mode", to_string(mode));
+  if (mode == Mode::SINGLE) {
+    if (!benchmark.empty()) j.set("benchmark", benchmark);
+    if (!program_asm.empty()) {
+      j.set("program_asm", program_asm);
+      j.set("prog_type", prog_type);
+    }
+  } else {
+    util::Json names{util::Json::Array{}};
+    for (const std::string& n : corpus) names.push_back(n);
+    j.set("corpus", std::move(names));
+    j.set("sweep", to_string(sweep));
+  }
+  j.set("goal", goal == core::Goal::LATENCY ? "latency" : "size");
+  if (perf_model) j.set("perf_model", sim::to_string(*perf_model));
+  j.set("settings", to_string(settings));
+  j.set("iters_per_chain", iters_per_chain);
+  j.set("num_chains", int64_t(num_chains));
+  j.set("top_k", int64_t(top_k));
+  j.set("num_initial_tests", int64_t(num_initial_tests));
+  j.set("seed", seed);
+  j.set("windows", to_string(windows));
+  j.set("max_insns", max_insns);
+  j.set("eq_timeout_ms", uint64_t(eq_timeout_ms));
+  j.set("reorder_tests", reorder_tests);
+  j.set("early_exit", early_exit);
+  j.set("threads", int64_t(threads));
+  j.set("solver_workers", int64_t(solver_workers));
+  j.set("speculation_depth", int64_t(speculation_depth));
+  j.set("deterministic", deterministic);
+  return j;
+}
+
+CompileRequest CompileRequest::from_json(const util::Json& j) {
+  std::vector<Diagnostic> diags;
+  if (!j.is_object())
+    throw ValidationError(
+        std::vector<Diagnostic>{{"$", "expected a JSON object"}});
+
+  // Unknown fields are hard errors: a typo'd knob must never silently run
+  // with the default it meant to override.
+  for (const auto& [name, value] : j.as_object())
+    if (!known_field(name))
+      diags.push_back({"$." + name, "unknown field"});
+
+  FieldReader rd{j, diags};
+
+  std::string schema;
+  rd.read_string("schema", &schema);
+  if (schema.empty())
+    rd.fail("schema", "missing (expected '" + std::string(kCompileSchema) +
+                          "')");
+  else if (schema != kCompileSchema)
+    rd.fail("schema", "version mismatch: found '" + schema +
+                          "', this build reads only '" + kCompileSchema + "'");
+
+  CompileRequest r;
+  switch (rd.read_enum("mode", {"single", "batch"}, 0)) {
+    case 1: r.mode = Mode::BATCH; break;
+    default: r.mode = Mode::SINGLE; break;
+  }
+
+  rd.read_string("benchmark", &r.benchmark);
+  rd.read_string("program_asm", &r.program_asm);
+  switch (rd.read_enum("prog_type", {"xdp", "socket", "trace"}, 0)) {
+    case 1: r.prog_type = "socket"; break;
+    case 2: r.prog_type = "trace"; break;
+    default: r.prog_type = "xdp"; break;
+  }
+
+  if (const util::Json* names = rd.find("corpus")) {
+    if (!names->is_array()) {
+      rd.fail("corpus", "expected an array of benchmark names");
+    } else {
+      for (const util::Json& n : names->as_array()) {
+        if (!n.is_string()) {
+          rd.fail("corpus", "expected an array of benchmark names");
+          break;
+        }
+        r.corpus.push_back(n.as_string());
+      }
+    }
+  }
+  switch (rd.read_enum("sweep", {"none", "table8", "full"}, 0)) {
+    case 1: r.sweep = Sweep::TABLE8; break;
+    case 2: r.sweep = Sweep::FULL; break;
+    default: r.sweep = Sweep::NONE; break;
+  }
+
+  switch (rd.read_enum("goal", {"size", "latency"}, 0)) {
+    case 1: r.goal = core::Goal::LATENCY; break;
+    default: r.goal = core::Goal::INST_COUNT; break;
+  }
+  if (const util::Json* pm = rd.find("perf_model")) {
+    if (!pm->is_string()) {
+      rd.fail("perf_model", "expected a string");
+    } else {
+      sim::PerfModelKind kind;
+      if (!sim::perf_model_kind_from_string(pm->as_string().c_str(), &kind))
+        rd.fail("perf_model", "unknown value '" + pm->as_string() +
+                                  "' (expected insts|latency|static-latency)");
+      else
+        r.perf_model = kind;
+    }
+  }
+  switch (rd.read_enum("settings", {"default", "table8"}, 0)) {
+    case 1: r.settings = Settings::TABLE8; break;
+    default: r.settings = Settings::DEFAULT; break;
+  }
+  switch (rd.read_enum("windows", {"auto", "on", "off"}, 0)) {
+    case 1: r.windows = Windows::ON; break;
+    case 2: r.windows = Windows::OFF; break;
+    default: r.windows = Windows::AUTO; break;
+  }
+
+  rd.read_uint("iters_per_chain", &r.iters_per_chain, 1, 100'000'000);
+  rd.read_int("num_chains", &r.num_chains, 1, 64);
+  rd.read_int("top_k", &r.top_k, 1, 16);
+  rd.read_int("num_initial_tests", &r.num_initial_tests, 1, 1024);
+  rd.read_uint("seed", &r.seed, 0, UINT64_MAX);
+  rd.read_uint("max_insns", &r.max_insns, 1, UINT64_MAX);
+  uint64_t eq_ms = r.eq_timeout_ms;
+  rd.read_uint("eq_timeout_ms", &eq_ms, 1, 3'600'000);
+  r.eq_timeout_ms = unsigned(eq_ms);
+  rd.read_bool("reorder_tests", &r.reorder_tests);
+  rd.read_bool("early_exit", &r.early_exit);
+  rd.read_int("threads", &r.threads, 1, 256);
+  rd.read_int("solver_workers", &r.solver_workers, 0, 64);
+  rd.read_int("speculation_depth", &r.speculation_depth, 1, 64);
+  rd.read_bool("deterministic", &r.deterministic);
+
+  if (diags.empty())
+    for (Diagnostic& d : r.validate()) diags.push_back(std::move(d));
+  if (!diags.empty()) throw ValidationError(std::move(diags));
+  return r;
+}
+
+core::CompileOptions CompileRequest::to_compile_options() const {
+  core::CompileOptions o;
+  o.goal = goal;
+  o.perf_model = perf_model;
+  if (settings == Settings::TABLE8) o.settings = core::table8_settings();
+  o.iters_per_chain = iters_per_chain;
+  o.num_chains = num_chains;
+  o.top_k = top_k;
+  o.num_initial_tests = num_initial_tests;
+  o.seed = seed;
+  if (windows != Windows::AUTO) o.force_windows = windows == Windows::ON;
+  o.max_insns = max_insns;
+  o.eq.timeout_ms = eq_timeout_ms;
+  o.reorder_tests = reorder_tests;
+  o.early_exit = early_exit;
+  o.threads = threads;
+  o.solver_workers = solver_workers;
+  o.speculation_depth = speculation_depth;
+  return o;
+}
+
+core::BatchOptions CompileRequest::to_batch_options() const {
+  core::BatchOptions b;
+  b.benchmarks = corpus;
+  b.base = to_compile_options();
+  switch (sweep) {
+    case Sweep::TABLE8: b.sweep = core::table8_settings(); break;
+    case Sweep::FULL: b.sweep = core::default_settings(); break;
+    case Sweep::NONE: break;
+  }
+  b.threads = threads;
+  return b;
+}
+
+ebpf::Program CompileRequest::resolve_program() const {
+  if (!benchmark.empty()) return corpus::benchmark(benchmark).o2;
+  ebpf::ProgType type = ebpf::ProgType::XDP;
+  if (prog_type == "socket") type = ebpf::ProgType::SOCKET_FILTER;
+  if (prog_type == "trace") type = ebpf::ProgType::TRACEPOINT;
+  return ebpf::assemble(program_asm, type);
+}
+
+}  // namespace k2::api

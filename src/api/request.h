@@ -1,0 +1,155 @@
+// api::CompileRequest — the one versioned, validated description of a unit
+// of compilation work (schema k2-compile/v1). It subsumes what used to be
+// scattered across core::CompileOptions, core::BatchOptions and ~20
+// hand-parsed k2c flags: a request is either
+//
+//   * single mode — one source program (inline BPF assembly or a corpus
+//     benchmark name) optimized by one search run, or
+//   * batch mode — a set of corpus benchmarks × an optional parameter-
+//     setting sweep, driven by the corpus-sharded batch orchestrator,
+//
+// and carries every search knob with its default. Requests are built
+// either from JSON (strict: unknown fields, bad types, out-of-range values
+// and unknown enum strings are all hard errors with `$.field` paths — no
+// silent fallback to defaults, ever) or through the typed fluent builder
+// (CompileRequest::for_benchmark("xdp_fw").iters(5000).chains(2)), and
+// round-trip through to_json()/from_json() exactly.
+//
+// This header is the TOP of the layer stack: src/api depends on core and
+// below, never the reverse (the one exception is the dependency-free
+// constants header api/schema.h).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/batch_compiler.h"
+#include "core/compiler.h"
+#include "util/json.h"
+
+namespace k2::api {
+
+// One validation problem: a JSON-pointer-ish field path ("$.iters_per_chain")
+// plus a human-readable message.
+struct Diagnostic {
+  std::string path;
+  std::string message;
+  std::string str() const { return path + ": " + message; }
+};
+
+// Thrown by from_json()/validate-or-throw paths; carries every diagnostic
+// found (not just the first), joined in what().
+class ValidationError : public std::runtime_error {
+ public:
+  explicit ValidationError(std::vector<Diagnostic> diags);
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+struct CompileRequest {
+  enum class Mode : uint8_t { SINGLE, BATCH };
+  enum class Sweep : uint8_t { NONE, TABLE8, FULL };
+  enum class Settings : uint8_t { DEFAULT, TABLE8 };
+  enum class Windows : uint8_t { AUTO, ON, OFF };
+
+  Mode mode = Mode::SINGLE;
+
+  // -- single mode: exactly one of `benchmark` / `program_asm` is set.
+  std::string benchmark;            // corpus benchmark name
+  std::string program_asm;          // inline BPF assembly
+  std::string prog_type = "xdp";    // xdp | socket | trace (program_asm only)
+
+  // -- batch mode
+  std::vector<std::string> corpus;  // benchmark names; empty = all 19
+  Sweep sweep = Sweep::NONE;        // one job per benchmark×setting
+
+  // -- search knobs (both modes; defaults mirror core::CompileOptions)
+  core::Goal goal = core::Goal::INST_COUNT;
+  std::optional<sim::PerfModelKind> perf_model;  // unset = derived from goal
+  Settings settings = Settings::DEFAULT;
+  uint64_t iters_per_chain = 10'000;
+  int num_chains = 4;
+  int top_k = 1;
+  int num_initial_tests = 24;
+  uint64_t seed = 0x6b32;
+  Windows windows = Windows::AUTO;
+  uint64_t max_insns = 1u << 20;
+  unsigned eq_timeout_ms = 20'000;
+  bool reorder_tests = true;
+  bool early_exit = true;
+
+  // -- execution shape
+  // threads: batch shard width / chain-pool width for non-deterministic
+  // single jobs. solver_workers: dedicated async Z3 threads (0 = sync).
+  int threads = 4;
+  int solver_workers = 0;
+  int speculation_depth = 4;
+  // Deterministic single jobs run their chains sequentially
+  // (core::CompileServices::sequential) so same-seed results are
+  // bit-identical to a direct sequential core::compile — the service
+  // default, and what the differential tests pin. false trades that for
+  // chain-level parallelism inside the job. Batch jobs are always
+  // deterministic per job (the batch layer parallelizes across jobs).
+  bool deterministic = true;
+
+  // ---- typed builder -------------------------------------------------------
+  static CompileRequest for_benchmark(std::string name);
+  static CompileRequest for_program(std::string asm_text,
+                                    std::string type = "xdp");
+  static CompileRequest for_corpus(std::vector<std::string> names = {});
+
+  CompileRequest& with_goal(core::Goal g) { goal = g; return *this; }
+  CompileRequest& with_perf_model(sim::PerfModelKind k) {
+    perf_model = k;
+    return *this;
+  }
+  CompileRequest& iters(uint64_t n) { iters_per_chain = n; return *this; }
+  CompileRequest& chains(int n) { num_chains = n; return *this; }
+  CompileRequest& with_seed(uint64_t s) { seed = s; return *this; }
+  CompileRequest& with_top_k(int k) { top_k = k; return *this; }
+  CompileRequest& with_threads(int n) { threads = n; return *this; }
+  CompileRequest& with_solver_workers(int n) {
+    solver_workers = n;
+    return *this;
+  }
+  CompileRequest& with_sweep(Sweep s) { sweep = s; return *this; }
+  CompileRequest& with_settings(Settings s) { settings = s; return *this; }
+  CompileRequest& parallel_chains(bool on = true) {
+    deterministic = !on;
+    return *this;
+  }
+
+  // ---- validation ----------------------------------------------------------
+  // Structural + range validation of the typed fields (mode/source
+  // consistency, positive budgets, bounded widths, resolvable corpus
+  // names). Empty result = valid. from_json() additionally rejects unknown
+  // fields and unknown enum strings before the typed checks run.
+  std::vector<Diagnostic> validate() const;
+  void validate_or_throw() const;  // throws ValidationError
+
+  // ---- JSON ----------------------------------------------------------------
+  util::Json to_json() const;
+  // Strict parse: schema version, field names, types, enum strings and
+  // ranges are all enforced; throws ValidationError listing every problem
+  // with its $.path. to_json()/from_json() are exact inverses.
+  static CompileRequest from_json(const util::Json& j);
+
+  // ---- lowering to the engine ----------------------------------------------
+  // Both assume validate() passed. to_compile_options() is the single-mode
+  // lowering; to_batch_options() the batch-mode one.
+  core::CompileOptions to_compile_options() const;
+  core::BatchOptions to_batch_options() const;
+  // Resolves the single-mode source program (assembles program_asm or looks
+  // up the corpus benchmark).
+  ebpf::Program resolve_program() const;
+};
+
+const char* to_string(CompileRequest::Mode m);
+const char* to_string(CompileRequest::Sweep s);
+const char* to_string(CompileRequest::Settings s);
+const char* to_string(CompileRequest::Windows w);
+
+}  // namespace k2::api

@@ -1,0 +1,74 @@
+#include "api/response.h"
+
+#include <stdexcept>
+
+#include "api/schema.h"
+
+namespace k2::api {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::QUEUED: return "QUEUED";
+    case JobState::RUNNING: return "RUNNING";
+    case JobState::DONE: return "DONE";
+    case JobState::FAILED: return "FAILED";
+    case JobState::CANCELLED: return "CANCELLED";
+  }
+  return "QUEUED";
+}
+
+bool job_state_from_string(const std::string& s, JobState* out) {
+  for (JobState st : {JobState::QUEUED, JobState::RUNNING, JobState::DONE,
+                      JobState::FAILED, JobState::CANCELLED}) {
+    if (s == to_string(st)) {
+      *out = st;
+      return true;
+    }
+  }
+  return false;
+}
+
+util::Json CompileResponse::to_json() const {
+  util::Json j;
+  j.set("schema", kCompileSchema);
+  j.set("kind", "response");
+  j.set("job", job_id);
+  j.set("state", to_string(state));
+  j.set("error", error);
+  j.set("wall_secs", wall_secs);
+  if (single) {
+    util::Json s = core::compile_result_to_json(*single);
+    s.set("best_slots", int64_t(best_slots));
+    s.set("best_asm", best_asm);
+    j.set("single", std::move(s));
+  }
+  if (batch) j.set("batch", batch->to_json());
+  return j;
+}
+
+CompileResponse CompileResponse::from_json(const util::Json& j) {
+  if (j.at("schema").as_string() != kCompileSchema)
+    throw std::runtime_error(
+        "CompileResponse: schema version mismatch: found '" +
+        j.at("schema").as_string() + "', this build reads only '" +
+        std::string(kCompileSchema) + "'");
+  if (j.at("kind").as_string() != "response")
+    throw std::runtime_error("CompileResponse: kind is not 'response'");
+  CompileResponse r;
+  r.job_id = j.at("job").as_string();
+  if (!job_state_from_string(j.at("state").as_string(), &r.state))
+    throw std::runtime_error("CompileResponse: unknown state '" +
+                             j.at("state").as_string() + "'");
+  r.error = j.at("error").as_string();
+  r.wall_secs = j.at("wall_secs").as_double();
+  if (const util::Json* s = j.get("single")) {
+    r.single = core::compile_result_from_json(*s);
+    r.best_asm = s->at("best_asm").as_string();
+    r.best_slots = int(s->at("best_slots").as_int());
+  }
+  if (const util::Json* b = j.get("batch"))
+    r.batch = core::BatchReport::from_json(*b);
+  return r;
+}
+
+}  // namespace k2::api

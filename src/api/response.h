@@ -1,0 +1,47 @@
+// api::CompileResponse — the versioned result of one job (schema
+// k2-compile/v1, kind "response"). A response is terminal-state only: the
+// service fills it when a job reaches DONE, FAILED or CANCELLED; progress
+// along the way travels in the event stream (api/service.h), not here.
+//
+// Single-mode responses embed the CompileResult metrics plus the winning
+// program as disassembly (programs travel as text on the wire, exactly like
+// BatchReport::best_asm); batch-mode responses embed the full
+// k2-batch-report/v1 object. to_json()/from_json() are exact inverses over
+// everything written — from_json restores metrics and disassembly, not
+// executable ebpf::Program objects.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/batch_compiler.h"
+#include "util/json.h"
+
+namespace k2::api {
+
+enum class JobState : uint8_t { QUEUED, RUNNING, DONE, FAILED, CANCELLED };
+
+const char* to_string(JobState s);
+// Inverse of to_string; returns false on unknown names.
+bool job_state_from_string(const std::string& s, JobState* out);
+
+struct CompileResponse {
+  std::string job_id;
+  JobState state = JobState::QUEUED;  // terminal in practice
+  std::string error;                  // FAILED: what()
+  double wall_secs = 0;               // submit → terminal
+
+  // Exactly one is set on success (matching the request's mode); both are
+  // empty on FAILED and on a job cancelled before it started.
+  std::optional<core::CompileResult> single;
+  std::string best_asm;  // single mode: disassembly of CompileResult::best
+  int best_slots = 0;    // single mode: CompileResult::best.size_slots()
+  std::optional<core::BatchReport> batch;
+
+  util::Json to_json() const;
+  // Strict: schema/kind enforced; throws std::runtime_error (with the
+  // BatchReport version message for embedded batch mismatches).
+  static CompileResponse from_json(const util::Json& j);
+};
+
+}  // namespace k2::api

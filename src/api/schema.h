@@ -1,0 +1,32 @@
+// The single home of every wire-schema version string the system speaks.
+// Bump a constant here (v1 → v2) and every producer stamps the new version
+// while every consumer rejects the old one with a clear error — no version
+// string is ever written out from anywhere else.
+//
+// This header is deliberately dependency-free (constants only) so that any
+// layer — including src/core, which sits *below* src/api in the layer
+// stack — can name a schema version without inverting the architecture.
+// Everything else in src/api is strictly top-of-stack.
+#pragma once
+
+namespace k2::api {
+
+// api::CompileRequest / api::CompileResponse (src/api/request.h,
+// src/api/response.h). One family version for the pair: a request and its
+// response always travel together, distinguished by the "kind" field.
+inline constexpr const char* kCompileSchema = "k2-compile/v1";
+
+// core::BatchReport (src/core/batch_compiler.h): the structured JSON
+// report of a corpus batch (`k2c --corpus --report out.json`), embedded
+// verbatim as the "batch" member of a batch-mode CompileResponse.
+inline constexpr const char* kBatchReportSchema = "k2-batch-report/v1";
+
+// api::Event (src/api/service.h): one entry of a job's progress/event
+// stream, as emitted by `k2c serve` and JobHandle::poll().
+inline constexpr const char* kEventSchema = "k2-event/v1";
+
+// The newline-delimited-JSON control protocol `k2c serve` speaks
+// (src/api/serve.h); sent back in every hello/shutdown reply.
+inline constexpr const char* kServeProtocol = "k2-serve/v1";
+
+}  // namespace k2::api

@@ -1,0 +1,236 @@
+#include "api/serve.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "api/schema.h"
+
+namespace k2::api {
+
+namespace {
+
+util::Json ok_reply() {
+  util::Json j;
+  j.set("ok", true);
+  return j;
+}
+
+util::Json error_reply(const std::string& msg) {
+  util::Json j;
+  j.set("ok", false);
+  j.set("error", msg);
+  return j;
+}
+
+util::Json validation_reply(const ValidationError& e) {
+  util::Json j;
+  j.set("ok", false);
+  j.set("error", "invalid request");
+  util::Json diags{util::Json::Array{}};
+  for (const Diagnostic& d : e.diagnostics()) {
+    util::Json dj;
+    dj.set("path", d.path);
+    dj.set("message", d.message);
+    diags.push_back(std::move(dj));
+  }
+  j.set("diagnostics", std::move(diags));
+  return j;
+}
+
+// Shared status shape for the status/wait/cancel replies. `events` is the
+// total emitted (== last_seq); both O(1), no event-ring copy.
+util::Json status_reply(const JobHandle& job) {
+  util::Json j = ok_reply();
+  j.set("job", job.id());
+  j.set("state", to_string(job.state()));
+  uint64_t last = job.last_seq();
+  j.set("events", last);
+  j.set("last_seq", last);
+  return j;
+}
+
+}  // namespace
+
+std::string ServeLoop::handle(const std::string& line, bool* stop) {
+  util::Json req;
+  try {
+    req = util::Json::parse(line);
+  } catch (const std::exception& e) {
+    return error_reply(std::string("malformed JSON: ") + e.what()).dump();
+  }
+
+  try {
+    if (!req.is_object() || !req.get("op") || !req.at("op").is_string())
+      return error_reply("expected an object with a string 'op'").dump();
+    const std::string& op = req.at("op").as_string();
+
+    if (op == "hello") {
+      util::Json j = ok_reply();
+      j.set("protocol", kServeProtocol);
+      j.set("request_schema", kCompileSchema);
+      j.set("event_schema", kEventSchema);
+      util::Json ops{util::Json::Array{}};
+      for (const char* o : {"hello", "submit", "status", "events", "result",
+                            "wait", "cancel", "shutdown"})
+        ops.push_back(o);
+      j.set("ops", std::move(ops));
+      return j.dump();
+    }
+    if (op == "shutdown") {
+      *stop = true;
+      service_.shutdown(/*cancel_running=*/true);
+      util::Json j = ok_reply();
+      j.set("protocol", kServeProtocol);
+      j.set("shutdown", true);
+      return j.dump();
+    }
+    if (op == "submit") {
+      const util::Json* r = req.get("request");
+      if (!r) return error_reply("submit needs a 'request' object").dump();
+      CompileRequest creq = CompileRequest::from_json(*r);  // ValidationError
+      JobHandle job = service_.submit(std::move(creq));
+      util::Json j = ok_reply();
+      j.set("job", job.id());
+      j.set("state", to_string(job.state()));
+      return j.dump();
+    }
+
+    // Everything below addresses an existing job.
+    const util::Json* jid = req.get("job");
+    if (!jid || !jid->is_string())
+      return error_reply("op '" + op + "' needs a string 'job'").dump();
+    JobHandle job = service_.find(jid->as_string());
+    if (!job.valid())
+      return error_reply("unknown job '" + jid->as_string() + "'").dump();
+
+    if (op == "status") return status_reply(job).dump();
+    if (op == "wait") {
+      job.wait();
+      return status_reply(job).dump();
+    }
+    if (op == "cancel") {
+      bool accepted = job.cancel();
+      util::Json j = status_reply(job);
+      j.set("cancel_accepted", accepted);
+      return j.dump();
+    }
+    if (op == "events") {
+      uint64_t after = 0;
+      if (const util::Json* a = req.get("after")) after = a->as_uint();
+      util::Json j = ok_reply();
+      j.set("job", job.id());
+      util::Json evs{util::Json::Array{}};
+      for (const Event& e : job.poll(after)) evs.push_back(event_to_json(e));
+      j.set("events", std::move(evs));
+      return j.dump();
+    }
+    if (op == "result") {
+      if (!job.terminal())
+        return error_reply("job '" + job.id() + "' is still " +
+                           to_string(job.state()))
+            .dump();
+      util::Json j = ok_reply();
+      j.set("result", job.response().to_json());
+      return j.dump();
+    }
+    return error_reply("unknown op '" + op + "'").dump();
+  } catch (const ValidationError& e) {
+    return validation_reply(e).dump();
+  } catch (const std::exception& e) {
+    return error_reply(e.what()).dump();
+  }
+}
+
+size_t ServeLoop::run(std::istream& in, std::ostream& out) {
+  size_t handled = 0;
+  std::string line;
+  bool stop = false;
+  while (!stop && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle(line, &stop) << "\n";
+    out.flush();
+    handled++;
+  }
+  return handled;
+}
+
+// Writes the whole reply, retrying EINTR and short writes; MSG_NOSIGNAL so
+// a client that disconnected mid-reply surfaces as EPIPE instead of a
+// process-killing SIGPIPE. Returns false when the client is gone.
+static bool write_all(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t w = send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    off += size_t(w);
+  }
+  return true;
+}
+
+int serve_unix_socket(CompilerService& service, const std::string& path) {
+  int listener = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) return errno;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    close(listener);
+    return ENAMETOOLONG;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  unlink(path.c_str());  // replace a stale socket file
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listener, 4) < 0) {
+    int err = errno;
+    close(listener);
+    return err;
+  }
+
+  // One client at a time: every connection pumps lines through the same
+  // handler the stdio path uses, over the shared (thread-safe) service; a
+  // client's shutdown op ends serving entirely.
+  ServeLoop loop(service);
+  bool stop = false;
+  while (!stop) {
+    int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      close(listener);
+      return err;
+    }
+    char chunk[4096];
+    std::string pending;
+    bool client_gone = false;
+    ssize_t n;
+    while (!stop && !client_gone &&
+           (n = read(fd, chunk, sizeof chunk)) > 0) {
+      pending.append(chunk, size_t(n));
+      size_t pos;
+      while (!stop && !client_gone &&
+             (pos = pending.find('\n')) != std::string::npos) {
+        std::string line = pending.substr(0, pos);
+        pending.erase(0, pos + 1);
+        if (line.empty()) continue;
+        if (!write_all(fd, loop.handle(line, &stop) + "\n"))
+          client_gone = true;  // drop this client, keep serving
+      }
+    }
+    // A final request without a trailing newline still counts (matching
+    // the stdio path's getline semantics).
+    if (!stop && !client_gone && !pending.empty())
+      write_all(fd, loop.handle(pending, &stop) + "\n");
+    close(fd);
+  }
+  close(listener);
+  return 0;
+}
+
+}  // namespace k2::api

@@ -1,0 +1,64 @@
+// `k2c serve` — the long-running service mode: a newline-delimited-JSON
+// (NDJSON) control protocol over stdio or a unix-domain socket, fronting
+// one api::CompilerService. One request object per line in, one reply
+// object per line out, in request order (protocol k2-serve/v1; the full
+// wire grammar with a worked netcat example lives in docs/API.md).
+//
+// Ops:
+//   {"op":"hello"}                         → capabilities + protocol version
+//   {"op":"submit","request":{...}}        → {"ok":true,"job":"job-1",...}
+//   {"op":"status","job":"job-1"}          → state + event count
+//   {"op":"events","job":"job-1","after":N}→ events with seq > N
+//   {"op":"result","job":"job-1"}          → terminal CompileResponse
+//   {"op":"wait","job":"job-1"}            → blocks until terminal, → status
+//   {"op":"cancel","job":"job-1"}          → requests cooperative cancel
+//   {"op":"shutdown"}                      → cancels live jobs, ends the loop
+//
+// Every reply carries "ok"; failures carry "error" (and "diagnostics" with
+// $.field paths for invalid submissions) instead of closing the
+// connection. Malformed JSON lines get an error reply too — the loop only
+// ends on shutdown or EOF.
+//
+// The loop is synchronous and single-connection by design: it blocks on
+// one line at a time while submitted jobs make progress on the service's
+// pool in the background, which is exactly the shape a supervisor pipe or
+// a socat/netcat session wants. (Concurrent clients would each run their
+// own ServeLoop over a shared CompilerService; the service is fully
+// thread-safe.)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "api/service.h"
+
+namespace k2::api {
+
+class ServeLoop {
+ public:
+  // The service must outlive the loop.
+  explicit ServeLoop(CompilerService& service) : service_(service) {}
+
+  // Handles ONE request line and returns the reply line (no trailing
+  // newline). Sets *stop on shutdown. Never throws — every failure becomes
+  // an {"ok":false,...} reply. Transport-agnostic: run() and the socket
+  // server are both thin line pumps over this.
+  std::string handle(const std::string& line, bool* stop);
+
+  // Reads NDJSON requests from `in`, writes NDJSON replies to `out` (one
+  // line per reply, flushed), until {"op":"shutdown"} or EOF. Returns the
+  // number of requests handled. On shutdown, cancels and joins every live
+  // job before returning.
+  size_t run(std::istream& in, std::ostream& out);
+
+ private:
+  CompilerService& service_;
+};
+
+// Serves clients on a unix-domain socket at `path` (created fresh; an
+// existing file at `path` is replaced). Accepts one client at a time, runs
+// a ServeLoop over the connection, and returns when a client sends
+// shutdown. Returns 0 on success, non-zero errno-style on socket errors.
+int serve_unix_socket(CompilerService& service, const std::string& path);
+
+}  // namespace k2::api

@@ -1,0 +1,166 @@
+// api::CompilerService — the session-based front door of the compilation
+// engine: submit() turns a validated CompileRequest into an asynchronous
+// job (QUEUED → RUNNING → DONE | FAILED | CANCELLED), many jobs share ONE
+// work-stealing ThreadPool and ONE AsyncSolverDispatcher, and every job
+// exposes a monotonic progress/event stream plus cooperative cancel().
+// `k2c`, `k2c serve`, and the bench drivers are all clients of this class;
+// nothing above src/api constructs core::compile/BatchCompiler directly.
+//
+// Scheduling model (and why): the unit of admission is the JOB. Submitted
+// jobs are enqueued round-robin over the pool's worker deques (FIFO per
+// deque, work-stealing across them), so with W workers at most W jobs make
+// progress at once and later submissions wait their turn instead of
+// oversubscribing — fair in admission order. Inside a job the engine runs
+// deterministically sequential by default (chains in index order; batch
+// jobs shard benchmark tasks over the SAME shared pool via nested
+// run_all, which the pool supports re-entrantly), so one job cannot starve
+// the others except by using its fair share of workers.
+//
+// Determinism: a deterministic (default) job's results are bit-identical
+// to a direct sequential core::compile / BatchCompiler::run with the same
+// options — independent of how many other jobs run concurrently, in what
+// order jobs were submitted, or the service pool width — because each job
+// gets a fresh per-job EqCache (single mode) or per-benchmark caches
+// (batch mode, inside BatchCompiler) and shares only the stateless pool
+// and the solver dispatcher. Requires solver_workers == 0, as everywhere.
+// Enforced by tests/api_service_test.cc (shuffled-submission differential).
+//
+// Cancellation: cancel() sets the job's flag; the engine observes it at
+// chain-iteration checkpoints, before each candidate evaluation
+// (EvalPipeline), between final-verification candidates, and between batch
+// jobs — so a cancel lands within one chain-iteration checkpoint, never
+// mid-Z3-query. In-flight speculative solver queries are released; once
+// the dispatcher drains, the job's EqCache holds zero pending verdicts
+// (JobHandle::pending_eq_queries, asserted by the cancellation test).
+//
+// Thread-safety: every public method of CompilerService and JobHandle is
+// safe from any thread. Event callbacks run inline on engine worker
+// threads and must be fast, non-blocking, and thread-safe.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/request.h"
+#include "api/response.h"
+#include "pipeline/thread_pool.h"
+#include "util/json.h"
+#include "verify/cache.h"
+#include "verify/solver_dispatch.h"
+
+namespace k2::api {
+
+// One entry of a job's progress stream. `seq` is monotonically increasing
+// per job starting at 1 with no gaps (a bounded ring may age entries out of
+// poll()'s reach, but the numbering never skips), so consumers can resume
+// from the last seq they saw.
+struct Event {
+  uint64_t seq = 0;
+  std::string job_id;
+  std::string type;  // state | tick | best | job_done
+  double t_sec = 0;  // seconds since the job was submitted
+  util::Json data;   // type-specific payload (see docs/API.md)
+};
+
+util::Json event_to_json(const Event& e);  // stamps k2-event/v1
+
+using EventFn = std::function<void(const Event&)>;
+
+struct ServiceOptions {
+  int threads = 4;           // shared pool width (jobs + batch benchmark tasks)
+  int solver_workers = 0;    // shared async Z3 pool (0 = synchronous)
+  uint64_t tick_every = 512; // chain iterations between tick events
+  size_t max_events_per_job = 4096;  // event ring bound (oldest aged out)
+};
+
+class CompilerService;
+
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return job_ != nullptr; }
+  const std::string& id() const;
+  JobState state() const;
+  bool terminal() const;
+
+  // Requests cooperative cancellation; returns false when the job already
+  // reached a terminal state (too late — the result stands). Idempotent.
+  bool cancel();
+
+  // Blocks until the job reaches DONE / FAILED / CANCELLED.
+  void wait() const;
+
+  // Events with seq > after, oldest first. Never blocks.
+  std::vector<Event> poll(uint64_t after = 0) const;
+
+  // Seq of the newest event (== total events emitted; 0 before the first).
+  // O(1), unlike poll() which copies — status endpoints use this.
+  uint64_t last_seq() const;
+
+  // The terminal response; throws std::logic_error before terminal().
+  CompileResponse response() const;
+
+  // Pending (in-flight) equivalence verdicts still parked in this job's
+  // cache — the cancellation-leak observable. Always 0 for batch jobs
+  // (their per-benchmark caches live and die inside the run) and for
+  // solver_workers == 0.
+  size_t pending_eq_queries() const;
+
+ private:
+  friend class CompilerService;
+  struct Job;
+  explicit JobHandle(std::shared_ptr<Job> job) : job_(std::move(job)) {}
+  std::shared_ptr<Job> job_;
+};
+
+class CompilerService {
+ public:
+  explicit CompilerService(ServiceOptions opts = {});
+  // Cancels every live job and joins all work before returning.
+  ~CompilerService();
+
+  CompilerService(const CompilerService&) = delete;
+  CompilerService& operator=(const CompilerService&) = delete;
+
+  // Validates the request (throws ValidationError listing every problem),
+  // assigns a job id ("job-<n>"), enqueues it, and returns immediately.
+  // `cb`, when set, receives every event of this job inline from engine
+  // threads, in seq order.
+  JobHandle submit(CompileRequest req, EventFn cb = nullptr);
+
+  // Lookup by id; invalid handle when unknown.
+  JobHandle find(const std::string& job_id) const;
+  std::vector<std::string> job_ids() const;
+
+  // Jobs not yet terminal (queued or running).
+  size_t active_jobs() const;
+  // True when no job is queued or running AND the solver queue is empty —
+  // "workers idle" as observed by the cancellation test.
+  bool idle() const;
+
+  verify::AsyncSolverDispatcher::Stats solver_stats() const;
+  const ServiceOptions& options() const { return opts_; }
+
+  // Cancels all non-terminal jobs (when `cancel_running`) and blocks until
+  // every job is terminal. submit() after shutdown() throws.
+  void shutdown(bool cancel_running = true);
+
+ private:
+  void run_job(std::shared_ptr<JobHandle::Job> job);
+  void finish(const std::shared_ptr<JobHandle::Job>& job, JobState terminal);
+
+  ServiceOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<JobHandle::Job>> jobs_;  // submit order
+  uint64_t next_id_ = 1;
+  bool shutdown_ = false;
+  // Dispatcher before pool: the pool's destructor runs still-queued job
+  // tasks, which may touch the dispatcher — it must still be alive.
+  verify::AsyncSolverDispatcher dispatcher_;
+  pipeline::ThreadPool pool_;
+};
+
+}  // namespace k2::api

@@ -20,69 +20,19 @@ using Clock = std::chrono::steady_clock;
 // tests/batch_compiler_test.cc fails on any asymmetry.
 
 util::Json job_to_json(const BatchJobResult& jr) {
-  const CompileResult& r = jr.result;
   util::Json j;
   j.set("setting", jr.setting);
-  j.set("improved", r.improved);
-  j.set("src_perf", r.src_perf);
-  j.set("best_perf", r.best_perf);
   j.set("best_slots", int64_t(jr.best_slots));
-  j.set("iters_to_best", r.iters_to_best);
-  j.set("secs_to_best", r.secs_to_best);
-  j.set("wall_secs", r.total_secs);
-  j.set("final_tests", uint64_t(r.final_tests));
-  j.set("proposals", r.total_proposals);
-  j.set("solver_calls", r.solver_calls);
-  util::Json cache;
-  cache.set("hits", r.cache.hits);
-  cache.set("misses", r.cache.misses);
-  cache.set("insertions", r.cache.insertions);
-  cache.set("collisions", r.cache.collisions);
-  cache.set("pending_joins", r.cache.pending_joins);
-  cache.set("pending_abandons", r.cache.pending_abandons);
-  j.set("cache", std::move(cache));
-  j.set("early_exits", r.early_exits);
-  j.set("tests_executed", r.tests_executed);
-  j.set("tests_skipped", r.tests_skipped);
-  j.set("speculations", r.speculations);
-  j.set("pending_joins", r.pending_joins);
-  j.set("rollbacks", r.rollbacks);
-  j.set("discarded_proposals", r.discarded_proposals);
-  j.set("kernel_accepted", int64_t(r.kernel_accepted));
-  j.set("kernel_rejected", int64_t(r.kernel_rejected));
+  const util::Json result = compile_result_to_json(jr.result);
+  for (const auto& [key, value] : result.as_object()) j.set(key, value);
   return j;
 }
 
 BatchJobResult job_from_json(const util::Json& j) {
   BatchJobResult jr;
-  CompileResult& r = jr.result;
   jr.setting = j.at("setting").as_string();
-  r.improved = j.at("improved").as_bool();
-  r.src_perf = j.at("src_perf").as_double();
-  r.best_perf = j.at("best_perf").as_double();
   jr.best_slots = int(j.at("best_slots").as_int());
-  r.iters_to_best = j.at("iters_to_best").as_uint();
-  r.secs_to_best = j.at("secs_to_best").as_double();
-  r.total_secs = j.at("wall_secs").as_double();
-  r.final_tests = size_t(j.at("final_tests").as_uint());
-  r.total_proposals = j.at("proposals").as_uint();
-  r.solver_calls = j.at("solver_calls").as_uint();
-  const util::Json& cache = j.at("cache");
-  r.cache.hits = cache.at("hits").as_uint();
-  r.cache.misses = cache.at("misses").as_uint();
-  r.cache.insertions = cache.at("insertions").as_uint();
-  r.cache.collisions = cache.at("collisions").as_uint();
-  r.cache.pending_joins = cache.at("pending_joins").as_uint();
-  r.cache.pending_abandons = cache.at("pending_abandons").as_uint();
-  r.early_exits = j.at("early_exits").as_uint();
-  r.tests_executed = j.at("tests_executed").as_uint();
-  r.tests_skipped = j.at("tests_skipped").as_uint();
-  r.speculations = j.at("speculations").as_uint();
-  r.pending_joins = j.at("pending_joins").as_uint();
-  r.rollbacks = j.at("rollbacks").as_uint();
-  r.discarded_proposals = j.at("discarded_proposals").as_uint();
-  r.kernel_accepted = int(j.at("kernel_accepted").as_int());
-  r.kernel_rejected = int(j.at("kernel_rejected").as_int());
+  jr.result = compile_result_from_json(j);
   return jr;
 }
 
@@ -170,6 +120,82 @@ BatchTotals totals_from_json(const util::Json& j) {
 
 }  // namespace
 
+util::Json compile_result_to_json(const CompileResult& r) {
+  util::Json j;
+  j.set("improved", r.improved);
+  j.set("cancelled", r.cancelled);
+  j.set("src_perf", r.src_perf);
+  j.set("best_perf", r.best_perf);
+  j.set("iters_to_best", r.iters_to_best);
+  j.set("secs_to_best", r.secs_to_best);
+  j.set("wall_secs", r.total_secs);
+  j.set("final_tests", uint64_t(r.final_tests));
+  j.set("proposals", r.total_proposals);
+  j.set("solver_calls", r.solver_calls);
+  util::Json cache;
+  cache.set("hits", r.cache.hits);
+  cache.set("misses", r.cache.misses);
+  cache.set("insertions", r.cache.insertions);
+  cache.set("collisions", r.cache.collisions);
+  cache.set("pending_joins", r.cache.pending_joins);
+  cache.set("pending_abandons", r.cache.pending_abandons);
+  j.set("cache", std::move(cache));
+  j.set("early_exits", r.early_exits);
+  j.set("tests_executed", r.tests_executed);
+  j.set("tests_skipped", r.tests_skipped);
+  j.set("speculations", r.speculations);
+  j.set("pending_joins", r.pending_joins);
+  j.set("rollbacks", r.rollbacks);
+  j.set("discarded_proposals", r.discarded_proposals);
+  j.set("solver_queue_peak", r.solver_queue_peak);
+  j.set("solver_timeouts", r.solver_timeouts);
+  j.set("solver_abandoned", r.solver_abandoned);
+  j.set("kernel_accepted", int64_t(r.kernel_accepted));
+  j.set("kernel_rejected", int64_t(r.kernel_rejected));
+  return j;
+}
+
+// Fields added to the schema after its first release parse as optional
+// with their zero defaults, so reports written by older builds that stamp
+// the same version keep parsing (additive evolution); to_json always
+// writes them, so round-trips stay exact.
+CompileResult compile_result_from_json(const util::Json& j) {
+  CompileResult r;
+  r.improved = j.at("improved").as_bool();
+  if (const util::Json* c = j.get("cancelled")) r.cancelled = c->as_bool();
+  r.src_perf = j.at("src_perf").as_double();
+  r.best_perf = j.at("best_perf").as_double();
+  r.iters_to_best = j.at("iters_to_best").as_uint();
+  r.secs_to_best = j.at("secs_to_best").as_double();
+  r.total_secs = j.at("wall_secs").as_double();
+  r.final_tests = size_t(j.at("final_tests").as_uint());
+  r.total_proposals = j.at("proposals").as_uint();
+  r.solver_calls = j.at("solver_calls").as_uint();
+  const util::Json& cache = j.at("cache");
+  r.cache.hits = cache.at("hits").as_uint();
+  r.cache.misses = cache.at("misses").as_uint();
+  r.cache.insertions = cache.at("insertions").as_uint();
+  r.cache.collisions = cache.at("collisions").as_uint();
+  r.cache.pending_joins = cache.at("pending_joins").as_uint();
+  r.cache.pending_abandons = cache.at("pending_abandons").as_uint();
+  r.early_exits = j.at("early_exits").as_uint();
+  r.tests_executed = j.at("tests_executed").as_uint();
+  r.tests_skipped = j.at("tests_skipped").as_uint();
+  r.speculations = j.at("speculations").as_uint();
+  r.pending_joins = j.at("pending_joins").as_uint();
+  r.rollbacks = j.at("rollbacks").as_uint();
+  r.discarded_proposals = j.at("discarded_proposals").as_uint();
+  if (const util::Json* v = j.get("solver_queue_peak"))
+    r.solver_queue_peak = v->as_uint();
+  if (const util::Json* v = j.get("solver_timeouts"))
+    r.solver_timeouts = v->as_uint();
+  if (const util::Json* v = j.get("solver_abandoned"))
+    r.solver_abandoned = v->as_uint();
+  r.kernel_accepted = int(j.at("kernel_accepted").as_int());
+  r.kernel_rejected = int(j.at("kernel_rejected").as_int());
+  return r;
+}
+
 util::Json BatchReport::to_json() const {
   util::Json j;
   j.set("schema", kSchema);
@@ -177,6 +203,7 @@ util::Json BatchReport::to_json() const {
   j.set("threads", int64_t(threads));
   j.set("seed", seed);
   j.set("wall_secs", wall_secs);
+  j.set("cancelled", cancelled);
   j.set("totals", totals_to_json(totals));
   util::Json bs;
   for (const BatchBenchmarkResult& b : benchmarks)
@@ -188,13 +215,15 @@ util::Json BatchReport::to_json() const {
 
 BatchReport BatchReport::from_json(const util::Json& j) {
   if (j.at("schema").as_string() != kSchema)
-    throw std::runtime_error("BatchReport: unknown schema " +
-                             j.at("schema").as_string());
+    throw std::runtime_error("BatchReport: schema version mismatch: found '" +
+                             j.at("schema").as_string() + "', this build " +
+                             "reads only '" + std::string(kSchema) + "'");
   BatchReport r;
   r.perf_model = j.at("perf_model").as_string();
   r.threads = int(j.at("threads").as_int());
   r.seed = j.at("seed").as_uint();
   r.wall_secs = j.at("wall_secs").as_double();
+  if (const util::Json* c = j.get("cancelled")) r.cancelled = c->as_bool();
   r.totals = totals_from_json(j.at("totals"));
   for (const util::Json& b : j.at("benchmarks").as_array())
     r.benchmarks.push_back(benchmark_from_json(b));
@@ -203,10 +232,14 @@ BatchReport BatchReport::from_json(const util::Json& j) {
 
 BatchCompiler::BatchCompiler(BatchOptions opts) : opts_(std::move(opts)) {}
 
-BatchReport BatchCompiler::run() {
+BatchReport BatchCompiler::run(const BatchServices& bsvc) {
   if (ran_) throw std::logic_error("BatchCompiler::run() is single-use");
   ran_ = true;
   auto t0 = Clock::now();
+
+  auto is_cancelled = [&bsvc]() {
+    return bsvc.cancel && bsvc.cancel->load(std::memory_order_relaxed);
+  };
 
   // Resolve every benchmark up front so an unknown name fails fast, before
   // any solver time is spent.
@@ -225,12 +258,16 @@ BatchReport BatchCompiler::run() {
   report.perf_model = sim::to_string(resolved_perf_model(opts_.base));
   report.benchmarks.resize(selected.size());
 
-  // The two shared services: one Z3 worker pool for the whole batch, one
+  // The two shared services — run-local unless the caller injected its own
+  // (BatchServices): one Z3 worker pool for the whole batch, one
   // equivalence cache per benchmark (jobs of a benchmark share source
   // program and therefore query keys; different benchmarks never collide
   // usefully, and separate caches keep benchmark tasks contention-free).
-  verify::AsyncSolverDispatcher dispatcher(
-      std::max(0, opts_.base.solver_workers));
+  std::optional<verify::AsyncSolverDispatcher> local_dispatcher;
+  if (!bsvc.dispatcher)
+    local_dispatcher.emplace(std::max(0, opts_.base.solver_workers));
+  verify::AsyncSolverDispatcher& dispatcher =
+      bsvc.dispatcher ? *bsvc.dispatcher : *local_dispatcher;
   std::vector<std::unique_ptr<verify::EqCache>> caches;
   for (size_t i = 0; i < selected.size(); ++i)
     caches.push_back(std::make_unique<verify::EqCache>());
@@ -247,6 +284,10 @@ BatchReport BatchCompiler::run() {
     try {
       size_t njobs = opts_.sweep.empty() ? 1 : opts_.sweep.size();
       for (size_t ji = 0; ji < njobs; ++ji) {
+        if (is_cancelled()) {
+          out.error = "cancelled";
+          break;
+        }
         CompileOptions o = opts_.base;
         BatchJobResult jr;
         if (!opts_.sweep.empty()) {
@@ -257,9 +298,38 @@ BatchReport BatchCompiler::run() {
         svc.dispatcher = &dispatcher;
         svc.cache = caches[bi].get();
         svc.sequential = true;
+        svc.cancel = bsvc.cancel;
+        svc.tick_every = bsvc.tick_every;
+        if (bsvc.progress) {
+          // Tag chain-level events with the job they belong to.
+          svc.progress = [&bsvc, &b, &jr](const ProgressEvent& e) {
+            ProgressEvent tagged = e;
+            tagged.benchmark = b.name;
+            tagged.setting = jr.setting;
+            bsvc.progress(tagged);
+          };
+        }
         jr.result = compile(b.o2, o, svc);
         jr.best_slots = jr.result.best.size_slots();
+        bool job_cancelled = jr.result.cancelled;
+        if (bsvc.progress && !job_cancelled) {
+          ProgressEvent done;
+          done.kind = ProgressEvent::Kind::JOB_DONE;
+          done.benchmark = b.name;
+          done.setting = jr.setting;
+          done.improved = jr.result.improved;
+          done.perf = jr.result.best_perf;
+          done.wall_secs = jr.result.total_secs;
+          done.cache_hits = jr.result.cache.hits;
+          done.cache_misses = jr.result.cache.misses;
+          done.solver_calls = jr.result.solver_calls;
+          bsvc.progress(done);
+        }
         out.jobs.push_back(std::move(jr));
+        if (job_cancelled) {
+          out.error = "cancelled";
+          break;
+        }
       }
     } catch (const std::exception& e) {
       out.error = e.what();
@@ -287,10 +357,15 @@ BatchReport BatchCompiler::run() {
     out.wall_secs = std::chrono::duration<double>(Clock::now() - bt0).count();
   };
 
-  // Shard the benchmark tasks over the one shared pool. run_all's caller
-  // helps drain, so threads=1 still gets the driver thread working.
+  // Shard the benchmark tasks over the one shared pool (run-local unless
+  // injected). run_all's caller helps drain, so threads=1 still gets the
+  // driver thread working, and calling from inside a pool worker (the
+  // service layer's batch jobs) cannot deadlock.
   {
-    pipeline::ThreadPool pool(report.threads);
+    std::optional<pipeline::ThreadPool> local_pool;
+    if (!bsvc.pool) local_pool.emplace(report.threads);
+    pipeline::ThreadPool& pool = bsvc.pool ? *bsvc.pool : *local_pool;
+    if (bsvc.pool) report.threads = pool.size();
     std::vector<std::function<void()>> tasks;
     for (size_t bi = 0; bi < selected.size(); ++bi)
       tasks.push_back([&run_benchmark, bi]() { run_benchmark(bi); });
@@ -317,11 +392,17 @@ BatchReport BatchCompiler::run() {
       report.totals.kernel_rejected += r.kernel_rejected;
     }
   }
-  verify::AsyncSolverDispatcher::Stats ds = dispatcher.stats();
-  report.totals.solver_queue_peak = ds.queue_peak;
-  report.totals.solver_timeouts = ds.timeouts;
-  report.totals.solver_abandoned = ds.abandoned;
+  if (!bsvc.dispatcher) {
+    // Dispatcher-level counters are per-batch only when the dispatcher is
+    // run-local; a shared one aggregates across every sharing run and is
+    // reported by its owner (see BatchServices).
+    verify::AsyncSolverDispatcher::Stats ds = dispatcher.stats();
+    report.totals.solver_queue_peak = ds.queue_peak;
+    report.totals.solver_timeouts = ds.timeouts;
+    report.totals.solver_abandoned = ds.abandoned;
+  }
 
+  report.cancelled = is_cancelled();
   report.wall_secs = std::chrono::duration<double>(Clock::now() - t0).count();
   return report;
 }

@@ -39,8 +39,13 @@
 #include <string>
 #include <vector>
 
+#include "api/schema.h"
 #include "core/compiler.h"
 #include "util/json.h"
+
+namespace k2::pipeline {
+class ThreadPool;
+}
 
 namespace k2::core {
 
@@ -111,18 +116,64 @@ struct BatchTotals {
 // it finds on disk. from_json() restores metrics and the disassembly text,
 // not executable ebpf::Program objects (programs travel as best_asm).
 struct BatchReport {
-  static constexpr const char* kSchema = "k2-batch-report/v1";
+  // The version every report stamps and from_json enforces; the constant
+  // itself lives in the one schema-version header (src/api/schema.h).
+  static constexpr const char* kSchema = api::kBatchReportSchema;
 
   std::string perf_model;  // sim::to_string of the backend used
   int threads = 1;
   uint64_t seed = 0;
   double wall_secs = 0;
+  // True when the batch was stopped by BatchServices::cancel: benchmarks
+  // that never ran (or were stopped mid-run) carry error == "cancelled" and
+  // possibly partial job lists.
+  bool cancelled = false;
   BatchTotals totals;
   std::vector<BatchBenchmarkResult> benchmarks;
 
   util::Json to_json() const;
-  // Throws std::runtime_error on schema mismatch or missing fields.
+  // Throws std::runtime_error naming the expected and found versions on a
+  // schema mismatch (never best-effort parses another version), and on
+  // missing or mistyped fields. Fields added to v1 after its first release
+  // (cancelled, per-job solver counters) parse as optional with zero
+  // defaults so older same-version reports keep parsing.
   static BatchReport from_json(const util::Json& j);
+};
+
+// CompileResult <-> JSON, shared by the batch report's per-job entries and
+// the service layer's single-job CompileResponse so the two stay one
+// schema. to_json()/from_json() are exact inverses over everything written
+// (metrics and counters; programs are not serialized here — they travel as
+// disassembly at the layer above).
+util::Json compile_result_to_json(const CompileResult& r);
+CompileResult compile_result_from_json(const util::Json& j);
+
+// Externally-owned services a batch run plugs into — how the service layer
+// (api::CompilerService) runs many batch jobs over ONE pool and ONE solver
+// dispatcher. Null members are replaced by run-local instances, so a
+// default-constructed BatchServices reproduces standalone run() exactly.
+// Every non-null member must outlive the run() call.
+struct BatchServices {
+  // Shared work-stealing pool the benchmark tasks shard over; replaces the
+  // run-local pool of BatchOptions::threads workers. run() still blocks its
+  // caller (which lends a hand draining), so nesting inside a pool worker
+  // is safe — the pool supports re-entrant run_all.
+  pipeline::ThreadPool* pool = nullptr;
+  // Shared async Z3 pool; replaces the run-local dispatcher sized by
+  // base.solver_workers. Dispatcher-level counters in BatchTotals
+  // (queue peak, timeouts, abandoned) are left at zero when external —
+  // they aggregate across every sharing run and belong to the owner.
+  verify::AsyncSolverDispatcher* dispatcher = nullptr;
+  // Cooperative cancellation: checked before every benchmark job and
+  // propagated into each compile (see CompileServices::cancel). Benchmarks
+  // stopped or skipped record error == "cancelled".
+  const std::atomic<bool>* cancel = nullptr;
+  // Progress observation: per-chain CHAIN_TICK/NEW_BEST events from inside
+  // jobs (tagged with benchmark/setting) plus one JOB_DONE per finished
+  // benchmark×setting job carrying its stats delta and wall time. Must be
+  // thread-safe; exempt from the determinism guarantee only in timing.
+  ProgressFn progress;
+  uint64_t tick_every = 1024;
 };
 
 class BatchCompiler {
@@ -133,7 +184,10 @@ class BatchCompiler {
   // thread helps drain the pool). Single-use: call run() once. A failing
   // benchmark task (e.g. a Z3 exception) is recorded in its
   // BatchBenchmarkResult::error instead of aborting the batch.
-  BatchReport run();
+  BatchReport run() { return run(BatchServices{}); }
+
+  // Same, but plugging into externally-owned services (see BatchServices).
+  BatchReport run(const BatchServices& svc);
 
  private:
   BatchOptions opts_;

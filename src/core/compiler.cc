@@ -146,6 +146,10 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
     cfg.dispatcher = dispatcher.async() ? &dispatcher : nullptr;
     cfg.speculation_depth = opts.speculation_depth;
     cfg.perf_model = perf_model.get();
+    cfg.cancel = svc.cancel;
+    cfg.progress = svc.progress ? &svc.progress : nullptr;
+    cfg.tick_every = svc.tick_every;
+    cfg.chain_index = i;
     configs.push_back(cfg);
   }
 
@@ -155,14 +159,23 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
   // shared suite and cache evolve identically on every same-seed run — the
   // batch layer parallelizes across jobs instead.
   std::vector<ChainResult> chain_results(configs.size());
-  std::optional<pipeline::ThreadPool> pool;
+  std::optional<pipeline::ThreadPool> local_pool;
+  pipeline::ThreadPool* pool = nullptr;
   int nthreads = 1;
   if (svc.sequential) {
-    for (size_t i = 0; i < configs.size(); ++i)
+    for (size_t i = 0; i < configs.size(); ++i) {
+      if (svc.cancel && svc.cancel->load(std::memory_order_relaxed)) break;
       chain_results[i] = run_chain(src, suite, cache, configs[i]);
+    }
   } else {
-    nthreads = std::max(1, std::min<int>(opts.threads, int(configs.size())));
-    pool.emplace(nthreads);
+    if (svc.pool) {
+      pool = svc.pool;
+    } else {
+      local_pool.emplace(
+          std::max(1, std::min<int>(opts.threads, int(configs.size()))));
+      pool = &*local_pool;
+    }
+    nthreads = pool->size();
     std::vector<std::function<void()>> tasks;
     for (size_t i = 0; i < configs.size(); ++i)
       tasks.push_back([&, i]() {
@@ -270,6 +283,9 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
 
   std::vector<uint64_t> seen_hashes;
   for (size_t i = 0; i < all.size(); ++i) {
+    // Cancellation checkpoint: each remaining candidate costs up to a full
+    // Z3 re-verification. top_k keeps only candidates already verified.
+    if (svc.cancel && svc.cancel->load(std::memory_order_relaxed)) break;
     if (int(res.top_k.size()) >= opts.top_k) break;
     const ebpf::Program& out = ensure_out(i);
     if (out.size_slots() >= res.src_perf &&
@@ -314,6 +330,8 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
     }
   }
 
+  res.cancelled =
+      svc.cancel && svc.cancel->load(std::memory_order_relaxed);
   res.cache = stats_delta(cache.stats(), cache_before);
   res.final_tests = suite.size();
   res.total_secs = std::chrono::duration<double>(Clock::now() - t0).count();

@@ -4,13 +4,19 @@
 // post-processing pass (§6).
 #pragma once
 
+#include <atomic>
 #include <optional>
 
 #include "core/mcmc.h"
+#include "core/progress.h"
 #include "kernel/kernel_checker.h"
 
 namespace k2::sim {
 enum class PerfModelKind : uint8_t;
+}
+
+namespace k2::pipeline {
+class ThreadPool;
 }
 
 namespace k2::core {
@@ -74,6 +80,12 @@ struct CompileServices {
   // run's delta (stats-after minus stats-before), so sharing runs that
   // execute sequentially still get exact per-run numbers.
   verify::EqCache* cache = nullptr;
+  // Shared work-stealing pool for parallel-mode chain execution and final
+  // re-verification, replacing the run-local pool of `opts.threads`
+  // workers — so a service hosting many jobs keeps ONE pool process-wide
+  // instead of nesting pools. Ignored in sequential mode. run_all is
+  // re-entrant, so a compile() running *on* a worker of this pool is safe.
+  pipeline::ThreadPool* pool = nullptr;
   // Deterministic single-threaded mode: chains run in index order on the
   // calling thread and final re-verification runs inline (no thread pool is
   // created), so a same-seed run produces bit-identical decisions, programs
@@ -86,11 +98,33 @@ struct CompileServices {
   // 0 for full determinism: speculative async verdict timing is inherently
   // scheduling-dependent.
   bool sequential = false;
+  // Cooperative cancellation (api::CompilerService::cancel). Non-null: the
+  // run checks the flag at chain-iteration checkpoints, before each
+  // candidate evaluation, and between final-verification candidates; once
+  // set, chains stop within one iteration, in-flight speculative solver
+  // queries are released, and compile() returns a partial CompileResult
+  // with `cancelled == true` (best-so-far NOT re-verified — callers must
+  // treat a cancelled result as unverified). Checking the flag consumes no
+  // randomness, so an unset flag leaves results bit-identical.
+  const std::atomic<bool>* cancel = nullptr;
+  // Progress observation (core/progress.h): CHAIN_TICK every `tick_every`
+  // chain iterations plus NEW_BEST on best-candidate improvements. Must be
+  // thread-safe (chains run concurrently unless `sequential`) and is exempt
+  // from the determinism guarantee only in its own invocation timing —
+  // attaching it never changes search results. Empty = no events.
+  ProgressFn progress;
+  uint64_t tick_every = 1024;
 };
 
 struct CompileResult {
   ebpf::Program best;          // NOP-stripped; == src when nothing improved
   bool improved = false;
+  // True when the run was stopped by CompileServices::cancel before
+  // completing. Counters are the partial totals at the stop point; `best`
+  // falls back to the (stripped) source and `top_k` holds only candidates
+  // that finished full re-verification before the stop — never unverified
+  // programs.
+  bool cancelled = false;
   std::vector<ebpf::Program> top_k;  // fully re-verified, checker-accepted
 
   double src_perf = 0;   // absolute metric of the source (slots or est. ns)

@@ -43,6 +43,7 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   ecfg.max_insns = cfg.max_insns;
   ecfg.dispatcher = cfg.dispatcher;
   ecfg.perf_model = cfg.perf_model;
+  ecfg.cancel = cfg.cancel;
   pipeline::EvalPipeline pipe(src, suite, cache, ecfg);
   pipeline::ExecContext& ctx = pipeline::worker_context();
 
@@ -66,6 +67,15 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
       result.candidates.emplace_back(perf, cand);
       if (result.candidates.size() > 16)
         result.candidates.erase(result.candidates.begin());
+      if (cfg.progress && *cfg.progress) {
+        ProgressEvent ev;
+        ev.kind = ProgressEvent::Kind::NEW_BEST;
+        ev.chain = cfg.chain_index;
+        ev.iter = iter;
+        ev.proposals = st.proposals;
+        ev.perf = perf;
+        (*cfg.progress)(ev);
+      }
     }
   };
 
@@ -104,6 +114,7 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   std::deque<SpecFrame> frames;  // in-flight speculations, oldest first
 
   uint64_t iter = 0;
+  uint64_t last_tick = 0;  // dedupes ticks while the undo-log drains
 
   // Retires the oldest speculation given its corrected evaluation. When the
   // solver confirmed the not-equal assumption the decision already made is
@@ -149,6 +160,42 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   };
 
   while (iter < cfg.iterations || !frames.empty()) {
+    // Cooperative cancellation checkpoint: once per iteration. Every
+    // in-flight speculative query is released (the dispatcher abandons
+    // still-queued ones, so no PendingVerdict is left waiting), the
+    // speculated tail of the trajectory is discarded, and the chain returns
+    // its last non-speculative state. A never-set flag costs one relaxed
+    // atomic load and changes nothing.
+    if (cfg.cancel && cfg.cancel->load(std::memory_order_relaxed)) {
+      if (!frames.empty()) {
+        for (auto& g : frames) pipe.cancel(g.pending);
+        SpecFrame& oldest = frames.front();
+        ctx.runner.invalidate();
+        cur = std::move(oldest.cur);
+        cur_eval = oldest.cur_eval;
+        result.best = std::move(oldest.best);
+        result.best_perf = oldest.best_perf;
+        result.candidates = std::move(oldest.candidates);
+        st.proposals = oldest.proposals;
+        st.accepted = oldest.accepted;
+        st.best_iter = oldest.best_iter;
+        st.best_time_sec = oldest.best_time_sec;
+        frames.clear();
+      }
+      break;
+    }
+    if (cfg.progress && *cfg.progress && cfg.tick_every > 0 && iter > 0 &&
+        iter < cfg.iterations && iter % cfg.tick_every == 0 &&
+        iter != last_tick) {
+      last_tick = iter;
+      ProgressEvent ev;
+      ev.kind = ProgressEvent::Kind::CHAIN_TICK;
+      ev.chain = cfg.chain_index;
+      ev.iter = iter;
+      ev.proposals = st.proposals;
+      ev.perf = result.best ? result.best_perf : 0;
+      (*cfg.progress)(ev);
+    }
     // Retire whatever resolved, oldest first, without blocking.
     while (!frames.empty()) {
       std::optional<pipeline::Eval> fin =

@@ -17,10 +17,12 @@
 // the chain on its oldest verdict (backpressure toward the solver pool).
 #pragma once
 
+#include <atomic>
 #include <optional>
 
 #include "core/cost.h"
 #include "core/params.h"
+#include "core/progress.h"
 #include "core/proposals.h"
 #include "safety/safety.h"
 #include "verify/cache.h"
@@ -64,6 +66,17 @@ struct ChainConfig {
   // falls back to core::perf_cost(goal, ...), which is bit-identical for
   // the INST_COUNT and STATIC_LATENCY kinds.
   const sim::PerfModel* perf_model = nullptr;
+  // Cooperative cancellation + progress (see CompileServices). The chain
+  // checks `cancel` once per iteration and stops within one checkpoint,
+  // cancelling its in-flight speculative queries; `progress` (shared
+  // read-only across chains, must be thread-safe) gets a CHAIN_TICK every
+  // `tick_every` iterations and a NEW_BEST per best-candidate improvement,
+  // tagged with `chain_index`. Neither consumes randomness or alters
+  // decisions. Null/empty = inert.
+  const std::atomic<bool>* cancel = nullptr;
+  const ProgressFn* progress = nullptr;
+  uint64_t tick_every = 0;  // 0 = no ticks
+  int chain_index = -1;
 };
 
 struct ChainStats {

@@ -1,0 +1,53 @@
+// Progress observation for long-running compiles: a small event vocabulary
+// the search driver emits through an injected callback, consumed by the
+// service layer (src/api) to build per-job event streams. Deliberately a
+// leaf header (no dependency above util) so every layer from core up can
+// speak it without inverting the layer stack.
+//
+// Determinism contract: emitting progress events never changes search
+// decisions — events are pure observations (no RNG draws, no mutation of
+// chain state), so a run with a progress sink attached produces bit-identical
+// results to the same run without one. Enforced by the service differential
+// test (tests/api_service_test.cc).
+//
+// Thread-safety contract for sinks: chains run concurrently (unless
+// CompileServices::sequential), so a ProgressFn must be safe to invoke from
+// any number of threads at once. It must also be fast and non-blocking —
+// it runs inline on the chain hot path, once per `tick_every` iterations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace k2::core {
+
+struct ProgressEvent {
+  enum class Kind : uint8_t {
+    CHAIN_TICK,  // a chain passed an iteration checkpoint
+    NEW_BEST,    // a chain found a new best verified candidate
+    JOB_DONE,    // a batch benchmark×setting job finished (batch mode only)
+  };
+  Kind kind = Kind::CHAIN_TICK;
+
+  // CHAIN_TICK / NEW_BEST: which chain, where it is, what it has done.
+  int chain = -1;
+  uint64_t iter = 0;
+  uint64_t proposals = 0;  // retired proposals so far (this chain)
+  double perf = 0;         // NEW_BEST: relative perf of the new best
+                           // (negative = better than source); JOB_DONE:
+                           // absolute best_perf of the finished job
+
+  // JOB_DONE: identity and stats delta of the finished batch job.
+  std::string benchmark;
+  std::string setting;
+  bool improved = false;
+  double wall_secs = 0;
+  uint64_t cache_hits = 0;    // this job's cache-stats delta
+  uint64_t cache_misses = 0;
+  uint64_t solver_calls = 0;
+};
+
+using ProgressFn = std::function<void(const ProgressEvent&)>;
+
+}  // namespace k2::core

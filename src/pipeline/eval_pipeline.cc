@@ -140,6 +140,13 @@ Eval EvalPipeline::evaluate(const ebpf::Program& cand,
                             PendingEq* pending,
                             const ebpf::InsnRange* touched) {
   Eval ev;
+  // Cancellation checkpoint: a cancelled run's decisions no longer matter,
+  // so skip the test suite and — the expensive part — any solver query.
+  if (cfg_.cancel && cfg_.cancel->load(std::memory_order_relaxed)) {
+    ev.cost = kRejectedCost;
+    ev.rejected_early = true;
+    return ev;
+  }
   // The perf term comes from the pluggable backend when one is wired in;
   // ctx.machine is lent as scratch so trace-based backends reuse the
   // worker's interpreter state (the legacy machine, not the runner's, so

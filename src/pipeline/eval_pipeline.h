@@ -42,6 +42,7 @@
 // pool publishes the verdict.
 #pragma once
 
+#include <atomic>
 #include <limits>
 #include <optional>
 
@@ -81,6 +82,12 @@ struct EvalConfig {
   // Null falls back to core::perf_cost(goal, ...) — bit-identical to the
   // INST_COUNT / STATIC_LATENCY backends, so legacy callers are unchanged.
   const sim::PerfModel* perf_model = nullptr;
+  // Cooperative cancellation checkpoint (api::CompilerService): when the
+  // flag is set, evaluate() returns a rejected Eval immediately instead of
+  // running tests or (crucially) a Z3 query that could park the thread for
+  // its full timeout budget. The flag is only consulted, never written; an
+  // unset flag leaves evaluation bit-identical.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct EvalStats {

@@ -1,0 +1,240 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace k2::util {
+
+namespace {
+
+bool parse_int(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long long v = strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_uint(const std::string& s, uint64_t* out) {
+  if (s.empty() || s[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool enum_allows(const std::string& values, const std::string& v) {
+  if (values.empty()) return true;
+  size_t start = 0;
+  while (start <= values.size()) {
+    size_t bar = values.find('|', start);
+    size_t end = bar == std::string::npos ? values.size() : bar;
+    if (values.compare(start, end - start, v) == 0) return true;
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+Flags::Flags(std::vector<FlagSpec> specs) : specs_(std::move(specs)) {}
+
+const FlagSpec* Flags::spec_for(const std::string& name) const {
+  for (const FlagSpec& s : specs_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+bool Flags::set_value(const FlagSpec& spec, const std::string& value,
+                      std::string* error) {
+  switch (spec.type) {
+    case FlagSpec::Type::INT: {
+      int64_t v;
+      if (!parse_int(value, &v)) {
+        *error = "--" + spec.name + ": expected an integer, got '" + value +
+                 "'";
+        return false;
+      }
+      break;
+    }
+    case FlagSpec::Type::UINT: {
+      uint64_t v;
+      if (!parse_uint(value, &v)) {
+        *error = "--" + spec.name + ": expected a non-negative integer, " +
+                 "got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case FlagSpec::Type::DOUBLE: {
+      double v;
+      if (!parse_double(value, &v)) {
+        *error = "--" + spec.name + ": expected a number, got '" + value +
+                 "'";
+        return false;
+      }
+      break;
+    }
+    case FlagSpec::Type::BOOL:
+      *error = "--" + spec.name + " takes no value";
+      return false;
+    case FlagSpec::Type::STRING:
+    case FlagSpec::Type::OPT_STRING:
+      break;
+  }
+  if (!enum_allows(spec.values, value) &&
+      (spec.type == FlagSpec::Type::STRING ||
+       spec.type == FlagSpec::Type::OPT_STRING)) {
+    *error = "--" + spec.name + ": unknown value '" + value + "' (expected " +
+             spec.values + ")";
+    return false;
+  }
+  record(spec.name, value);
+  return true;
+}
+
+// Repeated flags are last-wins (the shell convention: append an override
+// to the end of a long command line and it takes effect).
+void Flags::record(const std::string& name, std::string value) {
+  for (auto& [n, v] : set_) {
+    if (n == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  set_.emplace_back(name, std::move(value));
+}
+
+bool Flags::parse(int argc, char** argv, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--help" || arg == "-h" || arg == "--h") {
+      help_requested_ = true;
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const FlagSpec* spec = spec_for(name);
+    if (!spec) {
+      *error = "unknown flag --" + name + " (see --help)";
+      return false;
+    }
+    if (!has_value) {
+      switch (spec->type) {
+        case FlagSpec::Type::BOOL:
+        case FlagSpec::Type::OPT_STRING:
+          record(name, "");
+          continue;
+        default:
+          // `--name value` form: take the next argv entry.
+          if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+            *error = "--" + name + " needs a value";
+            return false;
+          }
+          value = argv[++i];
+          break;
+      }
+    }
+    if (!set_value(*spec, value, error)) return false;
+  }
+  return true;
+}
+
+bool Flags::has(const std::string& name) const {
+  for (const auto& [n, v] : set_)
+    if (n == name) return true;
+  return false;
+}
+
+std::string Flags::str(const std::string& name) const {
+  const FlagSpec* spec = spec_for(name);
+  if (!spec) throw std::logic_error("Flags: undeclared flag --" + name);
+  for (const auto& [n, v] : set_)
+    if (n == name) return v;
+  return spec->def;
+}
+
+int64_t Flags::num(const std::string& name) const {
+  std::string v = str(name);
+  int64_t out = 0;
+  if (!v.empty()) parse_int(v, &out);
+  return out;
+}
+
+uint64_t Flags::unum(const std::string& name) const {
+  std::string v = str(name);
+  uint64_t out = 0;
+  if (!v.empty()) parse_uint(v, &out);
+  return out;
+}
+
+double Flags::dnum(const std::string& name) const {
+  std::string v = str(name);
+  double out = 0;
+  if (!v.empty()) parse_double(v, &out);
+  return out;
+}
+
+bool Flags::flag(const std::string& name) const {
+  const FlagSpec* spec = spec_for(name);
+  if (!spec) throw std::logic_error("Flags: undeclared flag --" + name);
+  return has(name);
+}
+
+std::string Flags::help(const std::string& usage) const {
+  std::string out = usage;
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  out += "\noptions:\n";
+  for (const FlagSpec& s : specs_) {
+    std::string left = "  --" + s.name;
+    if (!s.values.empty())
+      left += "=" + s.values;
+    else
+      switch (s.type) {
+        case FlagSpec::Type::INT:
+        case FlagSpec::Type::UINT: left += "=N"; break;
+        case FlagSpec::Type::DOUBLE: left += "=X"; break;
+        case FlagSpec::Type::STRING: left += "=<value>"; break;
+        case FlagSpec::Type::OPT_STRING: left += "[=<value>]"; break;
+        case FlagSpec::Type::BOOL: break;
+      }
+    if (left.size() < 34)
+      left.resize(34, ' ');
+    else
+      left += ' ';
+    out += left + s.help;
+    if (!s.def.empty()) out += " (default " + s.def + ")";
+    out += '\n';
+  }
+  out += "  --help                          show this help\n";
+  return out;
+}
+
+}  // namespace k2::util

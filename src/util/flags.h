@@ -1,0 +1,81 @@
+// Table-driven command-line flag parsing, shared by tools/k2c and the
+// bench binaries: each option is declared ONCE (name, type, default, help,
+// allowed enum values) and the table drives parsing, strict validation and
+// generated --help output. Replaces the hand-rolled `--flag=value` string
+// scans that had three copies and two footguns: unknown flags were silently
+// ignored (a `--iter=` typo ran 10k default iterations) and some bad enum
+// values silently fell back to defaults. Both are hard errors here.
+//
+// Accepted syntax: `--name=value`, `--name value`, bare `--name` for BOOL
+// and OPT_STRING flags, and `--help`. Anything starting with `--` that is
+// not in the table is an error; anything else is a positional argument.
+// Repeated flags are last-wins (the shell convention). Note: OPT_STRING
+// never consumes a following bare word (`--corpus xdp_fw` leaves `xdp_fw`
+// positional), so mode drivers must reject unexpected positionals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace k2::util {
+
+struct FlagSpec {
+  enum class Type {
+    BOOL,        // present/absent; no value accepted
+    INT,         // int64, strict full-string parse
+    UINT,        // uint64, strict full-string parse
+    DOUBLE,      // double, strict full-string parse
+    STRING,      // required value
+    OPT_STRING,  // value optional: bare `--corpus` or `--corpus=a,b`
+  };
+  std::string name;  // without the leading "--"
+  Type type = Type::STRING;
+  std::string def;   // default, as text (shown in --help; "" = none)
+  std::string help;  // one-line description
+  // ENUM restriction for STRING/OPT_STRING: "a|b|c" means the value must
+  // be one of a, b, c — anything else is a parse error, never a fallback.
+  std::string values;
+};
+
+class Flags {
+ public:
+  explicit Flags(std::vector<FlagSpec> specs);
+
+  // Parses argv[1..). Returns false and fills *error on: an undeclared
+  // --flag, a missing value, a value that does not parse as the declared
+  // type, or an enum value outside `values`. `--help` parses successfully;
+  // check help_requested().
+  bool parse(int argc, char** argv, std::string* error);
+
+  bool has(const std::string& name) const;   // explicitly set on the line
+  bool help_requested() const { return help_requested_; }
+
+  // Typed accessors: the parsed value when set, else the declared default
+  // ("" / 0 / false when the default is empty). Throw std::logic_error for
+  // names not in the table — a misspelled lookup is a programming bug.
+  std::string str(const std::string& name) const;
+  int64_t num(const std::string& name) const;
+  uint64_t unum(const std::string& name) const;
+  double dnum(const std::string& name) const;
+  bool flag(const std::string& name) const;  // BOOL: present?
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Generated --help text: usage head, then one aligned row per flag with
+  // its values/type, default and description.
+  std::string help(const std::string& usage) const;
+
+ private:
+  const FlagSpec* spec_for(const std::string& name) const;
+  bool set_value(const FlagSpec& spec, const std::string& value,
+                 std::string* error);
+  void record(const std::string& name, std::string value);  // last-wins
+
+  std::vector<FlagSpec> specs_;
+  std::vector<std::pair<std::string, std::string>> set_;  // name → raw value
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace k2::util

@@ -177,6 +177,16 @@ EqCache::Stats EqCache::stats() const {
   return total;
 }
 
+size_t EqCache::pending_count() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [hash, entry] : s.map)
+      if (entry.pending) n++;
+  }
+  return n;
+}
+
 void EqCache::clear() {
   for (Shard& s : shards_) {
     std::lock_guard<std::mutex> lock(s.mu);

@@ -159,6 +159,14 @@ class EqCache {
   bool acquire_for_solve(const Key& key, const PendingHandle& pv);
 
   Stats stats() const;
+
+  // Number of entries currently holding an in-flight (pending) verdict —
+  // the cancellation-leak observable: after a job is cancelled and the
+  // dispatcher drained, this must return to zero (every query either
+  // published or was abandoned and erased). O(entries); diagnostics and
+  // tests, not hot paths.
+  size_t pending_count() const;
+
   void clear();
 
   static constexpr size_t kShards = 16;

@@ -1,0 +1,155 @@
+// util::Flags — the table-driven flag parser shared by k2c and the bench
+// binaries. The contract under test: every option declared once; unknown
+// flags, malformed values and out-of-table enum strings are hard errors
+// (never silent fallbacks); --help is generated from the table.
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace k2 {
+namespace {
+
+using util::FlagSpec;
+using util::Flags;
+using T = FlagSpec::Type;
+
+Flags k2c_like_flags() {
+  return Flags({
+      {"goal", T::STRING, "size", "objective", "size|latency"},
+      {"iters", T::UINT, "10000", "iterations per chain", ""},
+      {"chains", T::INT, "4", "parallel chains", ""},
+      {"corpus", T::OPT_STRING, "", "batch benchmarks", ""},
+      {"smoke", T::BOOL, "", "short mode", ""},
+      {"scale", T::DOUBLE, "1.0", "budget multiplier", ""},
+  });
+}
+
+// argv helper: fabricates a mutable argv from string literals.
+template <size_t N>
+bool parse(Flags& f, const char* (&args)[N], std::string* err) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return f.parse(int(argv.size()), argv.data(), err);
+}
+
+TEST(Flags, ParsesBothValueSyntaxesAndPositionals) {
+  Flags f = k2c_like_flags();
+  std::string err;
+  const char* args[] = {"input.s", "--iters=500",  "--chains", "2",
+                        "--smoke", "--goal=latency"};
+  ASSERT_TRUE(parse(f, args, &err)) << err;
+  EXPECT_EQ(f.unum("iters"), 500u);
+  EXPECT_EQ(f.num("chains"), 2);
+  EXPECT_TRUE(f.flag("smoke"));
+  EXPECT_EQ(f.str("goal"), "latency");
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "input.s");
+}
+
+TEST(Flags, DefaultsApplyWhenUnset) {
+  Flags f = k2c_like_flags();
+  std::string err;
+  const char* args[] = {"input.s"};
+  ASSERT_TRUE(parse(f, args, &err)) << err;
+  EXPECT_EQ(f.unum("iters"), 10000u);
+  EXPECT_EQ(f.str("goal"), "size");
+  EXPECT_DOUBLE_EQ(f.dnum("scale"), 1.0);
+  EXPECT_FALSE(f.has("iters"));
+  EXPECT_FALSE(f.flag("smoke"));
+}
+
+TEST(Flags, UnknownFlagIsAHardError) {
+  Flags f = k2c_like_flags();
+  std::string err;
+  const char* args[] = {"--iter=100"};  // the classic silent typo
+  EXPECT_FALSE(parse(f, args, &err));
+  EXPECT_NE(err.find("--iter"), std::string::npos) << err;
+}
+
+TEST(Flags, MalformedValuesAreHardErrors) {
+  {
+    Flags f = k2c_like_flags();
+    std::string err;
+    const char* args[] = {"--iters=lots"};
+    EXPECT_FALSE(parse(f, args, &err));
+    EXPECT_NE(err.find("--iters"), std::string::npos) << err;
+  }
+  {
+    Flags f = k2c_like_flags();
+    std::string err;
+    const char* args[] = {"--iters=-5"};  // UINT rejects negatives
+    EXPECT_FALSE(parse(f, args, &err));
+  }
+  {
+    Flags f = k2c_like_flags();
+    std::string err;
+    const char* args[] = {"--chains"};  // missing value
+    EXPECT_FALSE(parse(f, args, &err));
+    EXPECT_NE(err.find("needs a value"), std::string::npos) << err;
+  }
+  {
+    Flags f = k2c_like_flags();
+    std::string err;
+    const char* args[] = {"--smoke=yes"};  // BOOL takes no value
+    EXPECT_FALSE(parse(f, args, &err));
+  }
+}
+
+TEST(Flags, EnumValuesOutsideTheTableAreHardErrors) {
+  Flags f = k2c_like_flags();
+  std::string err;
+  const char* args[] = {"--goal=speed"};
+  EXPECT_FALSE(parse(f, args, &err));
+  EXPECT_NE(err.find("size|latency"), std::string::npos) << err;
+}
+
+TEST(Flags, OptStringIsBareOrValued) {
+  {
+    Flags f = k2c_like_flags();
+    std::string err;
+    const char* args[] = {"--corpus"};
+    ASSERT_TRUE(parse(f, args, &err)) << err;
+    EXPECT_TRUE(f.has("corpus"));
+    EXPECT_EQ(f.str("corpus"), "");
+  }
+  {
+    Flags f = k2c_like_flags();
+    std::string err;
+    const char* args[] = {"--corpus=a,b"};
+    ASSERT_TRUE(parse(f, args, &err)) << err;
+    EXPECT_EQ(f.str("corpus"), "a,b");
+  }
+}
+
+TEST(Flags, GeneratedHelpCoversEveryDeclaredFlag) {
+  Flags f = k2c_like_flags();
+  std::string err;
+  const char* args[] = {"--help"};
+  ASSERT_TRUE(parse(f, args, &err)) << err;
+  EXPECT_TRUE(f.help_requested());
+  std::string h = f.help("usage: test");
+  for (const char* name :
+       {"--goal", "--iters", "--chains", "--corpus", "--smoke", "--scale"})
+    EXPECT_NE(h.find(name), std::string::npos) << "help missing " << name;
+  EXPECT_NE(h.find("size|latency"), std::string::npos);
+  EXPECT_NE(h.find("default 10000"), std::string::npos);
+}
+
+TEST(Flags, RepeatedFlagsAreLastWins) {
+  Flags f = k2c_like_flags();
+  std::string err;
+  const char* args[] = {"--iters=100", "--goal=size", "--iters=200",
+                        "--goal=latency"};
+  ASSERT_TRUE(parse(f, args, &err)) << err;
+  EXPECT_EQ(f.unum("iters"), 200u);
+  EXPECT_EQ(f.str("goal"), "latency");
+}
+
+TEST(Flags, UndeclaredLookupIsAProgrammingError) {
+  Flags f = k2c_like_flags();
+  EXPECT_THROW(f.str("no-such-flag"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace k2

@@ -1,172 +1,281 @@
-// k2c — the K2 compiler command-line driver.
+// k2c — the K2 compiler command-line driver, a thin client of the
+// service-facing compilation API (src/api). Every mode builds a validated
+// api::CompileRequest and goes through api::CompilerService — there is
+// exactly one way into the engine.
 //
-// Single-program mode reads a BPF assembly file (or a corpus benchmark),
-// optimizes it with the synthesis pipeline, and writes the optimized
-// assembly (and optionally the kernel wire-format bytes) — the "drop-in
-// replacement" workflow of §7. Batch mode (--corpus) drives the
-// corpus-sharded orchestrator over many benchmarks in one process, sharing
-// one thread pool, one solver dispatcher and per-benchmark equivalence
-// caches, and emits a structured JSON report (--report).
+//   k2c <input.s> [options]              one-shot single-program mode: read
+//                                        BPF assembly (or --bench=<name>),
+//                                        optimize, print the optimized
+//                                        assembly (§7's drop-in workflow)
+//   k2c --corpus[=n1,n2] [options]       batch mode: the corpus-sharded
+//                                        orchestrator; --report writes the
+//                                        k2-batch-report/v1 JSON
+//   k2c serve --stdio|--socket=<path>    long-running service mode speaking
+//                                        newline-delimited JSON (see
+//                                        docs/API.md for the wire protocol)
 //
-// Usage:
-//   k2c <input.s> [options]            single-program mode
-//   k2c --corpus[=name1,name2] [options]   batch mode
-//     --goal=size|latency      optimization objective (default size)
-//     --perf-model=insts|latency|static-latency
-//                              perf(p) backend for the cost stage: insts =
-//                              wire slots (implies --goal=size), latency =
-//                              interpreter-traced workload estimate,
-//                              static-latency = per-opcode static sum (both
-//                              imply --goal=latency); overrides --goal
-//     --iters=N                iterations per chain (default 10000)
-//     --chains=N               parallel Markov chains (default 4)
-//     --threads=N              worker threads (chain pool in single mode,
-//                              benchmark-shard pool in batch mode; batch
-//                              results are bit-identical across values)
-//     --type=xdp|socket|trace  hook type (default xdp)
-//     --wire=<out.bin>         also emit wire-format bytecode
-//     --bench=<name>           optimize one corpus benchmark instead of a file
-//     --corpus[=n1,n2,...]     batch mode: compile the named corpus
-//                              benchmarks (no value = all 19)
-//     --sweep=table8|full      batch mode: one job per benchmark×setting
-//                              (5 Table 8 settings / all 16; default: one
-//                              job per benchmark)
-//     --report=<out.json>      batch mode: write the JSON report here
-//     --solver-workers=N       dedicated Z3 threads for async equivalence
-//                              dispatch (default 0 = synchronous)
-//     --max-insns=N            interpreter step budget per test execution
-//                              (default 1048576)
+// Flags are declared once in the table below (util::Flags): unknown flags,
+// malformed values and unknown enum strings are hard errors — nothing
+// silently falls back to a default. `k2c --help` prints the generated
+// reference.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
-#include "core/batch_compiler.h"
-#include "core/compiler.h"
+#include "api/request.h"
+#include "api/serve.h"
+#include "api/service.h"
 #include "corpus/corpus.h"
-#include "ebpf/assembler.h"
 #include "ebpf/bytecode.h"
-#include "kernel/kernel_checker.h"
 #include "sim/perf_model.h"
+#include "util/flags.h"
 
 namespace {
 
-const char* arg_value(int argc, char** argv, const char* key) {
-  size_t n = strlen(key);
-  for (int i = 1; i < argc; ++i)
-    if (strncmp(argv[i], key, n) == 0 && argv[i][n] == '=')
-      return argv[i] + n + 1;
-  return nullptr;
+using namespace k2;
+
+util::Flags make_flags() {
+  using T = util::FlagSpec::Type;
+  return util::Flags({
+      {"goal", T::STRING, "size", "optimization objective", "size|latency"},
+      {"perf-model", T::STRING, "",
+       "perf(p) backend: insts = wire slots (goal size), latency = "
+       "interpreter-traced estimate, static-latency = per-opcode sum "
+       "(both goal latency)",
+       "insts|latency|static-latency"},
+      {"iters", T::UINT, "10000", "iterations per chain", ""},
+      {"chains", T::INT, "4", "parallel Markov chains", ""},
+      {"threads", T::INT, "4",
+       "worker threads (chain pool in single mode with --parallel, "
+       "benchmark-shard pool in batch mode)",
+       ""},
+      {"type", T::STRING, "xdp", "hook type for assembly input",
+       "xdp|socket|trace"},
+      {"wire", T::STRING, "", "also emit wire-format bytecode here", ""},
+      {"bench", T::STRING, "",
+       "optimize one corpus benchmark instead of a file", ""},
+      {"corpus", T::OPT_STRING, "",
+       "batch mode: compile the named corpus benchmarks (no value = all 19)",
+       ""},
+      {"sweep", T::STRING, "",
+       "batch mode: one job per benchmark x setting (5 Table 8 settings / "
+       "all 16)",
+       "table8|full"},
+      {"settings", T::STRING, "default",
+       "search-parameter settings the chains cycle through",
+       "default|table8"},
+      {"report", T::STRING, "", "batch mode: write the JSON report here",
+       ""},
+      {"seed", T::UINT, "27442", "search seed (same seed = same result)",
+       ""},
+      {"top-k", T::INT, "1", "fully re-verified candidates to keep", ""},
+      {"solver-workers", T::INT, "0",
+       "dedicated Z3 threads for async equivalence dispatch (0 = "
+       "synchronous)",
+       ""},
+      {"max-insns", T::UINT, "1048576",
+       "interpreter step budget per test execution", ""},
+      {"parallel", T::BOOL, "",
+       "single mode: run chains on a thread pool (faster, gives up same-"
+       "seed determinism)",
+       ""},
+      {"progress", T::BOOL, "",
+       "stream progress events (ticks, new bests) to stderr", ""},
+      {"stdio", T::BOOL, "", "serve mode: speak NDJSON on stdin/stdout", ""},
+      {"socket", T::STRING, "",
+       "serve mode: listen on this unix-domain socket path", ""},
+  });
 }
 
-// True when `key` is present, bare or with a =value.
-bool has_flag(int argc, char** argv, const char* key) {
-  size_t n = strlen(key);
-  for (int i = 1; i < argc; ++i)
-    if (strncmp(argv[i], key, n) == 0 &&
-        (argv[i][n] == '\0' || argv[i][n] == '='))
-      return true;
-  return false;
-}
+const char* kUsage =
+    "usage: k2c <input.s> [options]            one-shot single-program mode\n"
+    "       k2c --bench=<name> [options]       one-shot on a corpus benchmark\n"
+    "       k2c --corpus[=n1,n2,...] [options] batch mode (JSON report)\n"
+    "       k2c serve --stdio|--socket=<path>  long-running NDJSON service\n";
 
-std::vector<std::string> split_csv(const char* s) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string tok;
-  while (std::getline(ss, tok, ','))
-    if (!tok.empty()) out.push_back(tok);
-  return out;
-}
-
-void usage() {
-  fprintf(stderr,
-          "usage: k2c <input.s> [--goal=size|latency] "
-          "[--perf-model=insts|latency|static-latency] [--iters=N] "
-          "[--chains=N] [--threads=N] [--type=xdp|socket|trace] "
-          "[--wire=out.bin] [--bench=name]\n"
-          "       k2c --corpus[=n1,n2] [--sweep=table8|full] "
-          "[--report=out.json] [options]\n");
-}
-
-// Shared search knobs for both modes. Returns false on a bad value.
-bool parse_common(int argc, char** argv, k2::core::CompileOptions* opts) {
-  using namespace k2;
-  if (const char* g = arg_value(argc, argv, "--goal"))
-    opts->goal = strcmp(g, "latency") == 0 ? core::Goal::LATENCY
-                                           : core::Goal::INST_COUNT;
-  if (const char* pm = arg_value(argc, argv, "--perf-model")) {
+// Shared search knobs → request fields (both modes).
+void apply_common(const util::Flags& f, api::CompileRequest* req) {
+  req->goal = f.str("goal") == "latency" ? core::Goal::LATENCY
+                                         : core::Goal::INST_COUNT;
+  if (f.has("perf-model")) {
     sim::PerfModelKind kind;
-    if (!sim::perf_model_kind_from_string(pm, &kind)) {
-      fprintf(stderr,
-              "k2c: unknown --perf-model '%s' (insts, latency, "
-              "static-latency)\n",
-              pm);
-      return false;
-    }
-    opts->perf_model = kind;
-    // The backend implies the goal: slot counting is the size objective,
-    // both latency estimators are the latency objective.
-    opts->goal = kind == sim::PerfModelKind::INST_COUNT
-                     ? core::Goal::INST_COUNT
-                     : core::Goal::LATENCY;
+    // The table already validated the enum string; the backend implies the
+    // goal: slot counting is the size objective, both latency estimators
+    // are the latency objective.
+    sim::perf_model_kind_from_string(f.str("perf-model").c_str(), &kind);
+    req->perf_model = kind;
+    req->goal = kind == sim::PerfModelKind::INST_COUNT
+                    ? core::Goal::INST_COUNT
+                    : core::Goal::LATENCY;
   }
-  if (const char* it = arg_value(argc, argv, "--iters"))
-    opts->iters_per_chain = strtoull(it, nullptr, 10);
-  else
-    opts->iters_per_chain = 10000;
-  if (const char* ch = arg_value(argc, argv, "--chains"))
-    opts->num_chains = atoi(ch);
-  if (const char* sw = arg_value(argc, argv, "--solver-workers"))
-    opts->solver_workers = atoi(sw);
-  if (const char* mi = arg_value(argc, argv, "--max-insns")) {
-    opts->max_insns = strtoull(mi, nullptr, 10);
-    if (opts->max_insns == 0) {
-      fprintf(stderr, "k2c: --max-insns must be positive\n");
-      return false;
-    }
-  }
-  return true;
+  if (f.str("settings") == "table8")
+    req->settings = api::CompileRequest::Settings::TABLE8;
+  req->iters_per_chain = f.unum("iters");
+  req->num_chains = int(f.num("chains"));
+  req->threads = int(f.num("threads"));
+  req->seed = f.unum("seed");
+  req->top_k = int(f.num("top-k"));
+  req->solver_workers = int(f.num("solver-workers"));
+  req->max_insns = f.unum("max-insns");
 }
 
-int run_batch(int argc, char** argv) {
-  using namespace k2;
-  core::BatchOptions bopts;
-  if (!parse_common(argc, argv, &bopts.base)) return 2;
-  if (const char* names = arg_value(argc, argv, "--corpus"))
-    bopts.benchmarks = split_csv(names);
-  if (const char* sweep = arg_value(argc, argv, "--sweep")) {
-    if (strcmp(sweep, "table8") == 0)
-      bopts.sweep = core::table8_settings();
-    else if (strcmp(sweep, "full") == 0)
-      bopts.sweep = core::default_settings();
-    else {
-      fprintf(stderr, "k2c: unknown --sweep '%s' (table8, full)\n", sweep);
+// Progress events → human-readable stderr lines (--progress).
+void print_event(const api::Event& e) {
+  if (e.type == "tick") {
+    fprintf(stderr, "k2c: [%s] chain %lld iter %llu (%llu proposals)\n",
+            e.job_id.c_str(),
+            static_cast<long long>(e.data.at("chain").as_int()),
+            static_cast<unsigned long long>(e.data.at("iter").as_uint()),
+            static_cast<unsigned long long>(e.data.at("proposals").as_uint()));
+  } else if (e.type == "best") {
+    fprintf(stderr, "k2c: [%s] new best at iter %llu (perf %+.1f)\n",
+            e.job_id.c_str(),
+            static_cast<unsigned long long>(e.data.at("iter").as_uint()),
+            e.data.at("perf").as_double());
+  } else if (e.type == "job_done") {
+    fprintf(stderr, "k2c: [%s] job %s/%s done in %.1fs%s\n", e.job_id.c_str(),
+            e.data.get("benchmark") ? e.data.at("benchmark").as_string().c_str()
+                                    : "-",
+            e.data.get("setting") && !e.data.at("setting").as_string().empty()
+                ? e.data.at("setting").as_string().c_str()
+                : "base",
+            e.data.at("wall_secs").as_double(),
+            e.data.at("improved").as_bool() ? "" : " (no improvement)");
+  }
+}
+
+int run_single(const util::Flags& f) {
+  api::CompileRequest req;
+  if (f.has("bench")) {
+    req = api::CompileRequest::for_benchmark(f.str("bench"));
+  } else {
+    if (f.positional().empty()) {
+      fputs(kUsage, stderr);
       return 2;
     }
+    std::ifstream in(f.positional()[0]);
+    if (!in) {
+      fprintf(stderr, "k2c: cannot open %s\n", f.positional()[0].c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    req = api::CompileRequest::for_program(ss.str(), f.str("type"));
   }
-  bopts.threads = 4;
-  if (const char* th = arg_value(argc, argv, "--threads"))
-    bopts.threads = atoi(th);
+  apply_common(f, &req);
+  req.deterministic = !f.flag("parallel");
+  const bool latency_goal = req.goal == core::Goal::LATENCY;
 
-  size_t njobs = (bopts.benchmarks.empty() ? corpus::all_benchmarks().size()
-                                           : bopts.benchmarks.size()) *
-                 (bopts.sweep.empty() ? 1 : bopts.sweep.size());
+  api::CompilerService service({/*threads=*/req.threads,
+                                /*solver_workers=*/req.solver_workers});
+  api::JobHandle job;
+  try {
+    job = service.submit(std::move(req),
+                         f.flag("progress") ? print_event : api::EventFn{});
+  } catch (const api::ValidationError& e) {
+    fprintf(stderr, "k2c: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    fprintf(stderr, "k2c: %s\n", e.what());
+    return 2;
+  }
+  job.wait();
+  api::CompileResponse resp = job.response();
+  if (resp.state == api::JobState::FAILED) {
+    fprintf(stderr, "k2c: %s\n", resp.error.c_str());
+    return 2;
+  }
+  const core::CompileResult& res = *resp.single;
+
+  fprintf(stderr,
+          "k2c: %s: %.0f -> %.0f %s (%llu proposals, %.1fs, cache %.0f%%)\n",
+          res.improved ? "improved" : "no improvement", res.src_perf,
+          res.best_perf, latency_goal ? "est. ns" : "slots",
+          static_cast<unsigned long long>(res.total_proposals),
+          res.total_secs, res.cache.hit_rate() * 100);
+  fprintf(stderr,
+          "k2c: pipeline: %llu tests run, %llu skipped by early exit "
+          "(%llu exits)\n",
+          static_cast<unsigned long long>(res.tests_executed),
+          static_cast<unsigned long long>(res.tests_skipped),
+          static_cast<unsigned long long>(res.early_exits));
+  if (res.speculations > 0)
+    fprintf(stderr,
+            "k2c: async dispatch: %llu speculations (%llu rollbacks, "
+            "%llu shared queries), solver queue peak %llu\n",
+            static_cast<unsigned long long>(res.speculations),
+            static_cast<unsigned long long>(res.rollbacks),
+            static_cast<unsigned long long>(res.pending_joins),
+            static_cast<unsigned long long>(res.solver_queue_peak));
+  fprintf(stderr, "k2c: kernel checker: %d accepted, %d rejected during "
+                  "final verification\n",
+          res.kernel_accepted, res.kernel_rejected);
+
+  printf("%s", resp.best_asm.c_str());
+
+  if (f.has("wire")) {
+    // The in-process response still carries the verified program (with its
+    // map table and hook type — disassembly alone loses both), so the wire
+    // bytes derive from exactly the program that was re-verified.
+    std::vector<uint8_t> bytes =
+        ebpf::to_bytes(ebpf::encode_wire(res.best));
+    std::ofstream out(f.str("wire"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              std::streamsize(bytes.size()));
+    fprintf(stderr, "k2c: wrote %zu wire bytes to %s\n", bytes.size(),
+            f.str("wire").c_str());
+  }
+  return 0;
+}
+
+int run_batch(const util::Flags& f) {
+  std::vector<std::string> names;
+  {
+    std::stringstream ss(f.str("corpus"));
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+      if (!tok.empty()) names.push_back(tok);
+  }
+  api::CompileRequest req = api::CompileRequest::for_corpus(std::move(names));
+  apply_common(f, &req);
+  if (f.has("sweep"))
+    req.sweep = f.str("sweep") == "table8"
+                    ? api::CompileRequest::Sweep::TABLE8
+                    : api::CompileRequest::Sweep::FULL;
+
+  size_t nbench = req.corpus.empty() ? corpus::all_benchmarks().size()
+                                     : req.corpus.size();
+  size_t njobs =
+      nbench * (req.sweep == api::CompileRequest::Sweep::NONE
+                    ? 1
+                    : (req.sweep == api::CompileRequest::Sweep::TABLE8
+                           ? core::table8_settings().size()
+                           : core::default_settings().size()));
   fprintf(stderr,
           "k2c: batch: %zu jobs (%zu benchmarks), %d shard threads, "
           "%d solver workers, perf model %s\n",
-          njobs,
-          bopts.benchmarks.empty() ? corpus::all_benchmarks().size()
-                                   : bopts.benchmarks.size(),
-          bopts.threads, bopts.base.solver_workers,
-          sim::to_string(core::resolved_perf_model(bopts.base)));
+          njobs, nbench, req.threads, req.solver_workers,
+          sim::to_string(core::resolved_perf_model(req.to_compile_options())));
 
-  core::BatchReport report;
+  api::CompilerService service({/*threads=*/req.threads,
+                                /*solver_workers=*/req.solver_workers});
+  api::JobHandle job;
   try {
-    report = core::BatchCompiler(bopts).run();
+    job = service.submit(std::move(req),
+                         f.flag("progress") ? print_event : api::EventFn{});
   } catch (const std::exception& e) {
-    fprintf(stderr, "k2c: batch failed: %s\n", e.what());
+    fprintf(stderr, "k2c: %s\n", e.what());
     return 2;
   }
+  job.wait();
+  api::CompileResponse resp = job.response();
+  if (resp.state == api::JobState::FAILED) {
+    fprintf(stderr, "k2c: batch failed: %s\n", resp.error.c_str());
+    return 2;
+  }
+  const core::BatchReport& report = *resp.batch;
 
   // Human-readable summary on stderr; the machine-readable report on disk.
   for (const core::BatchBenchmarkResult& b : report.benchmarks) {
@@ -191,101 +300,86 @@ int run_batch(int argc, char** argv) {
                                           report.totals.cache_misses));
 
   std::string json = report.to_json().dump(2);
-  if (const char* path = arg_value(argc, argv, "--report")) {
-    std::ofstream out(path);
+  if (f.has("report")) {
+    std::ofstream out(f.str("report"));
     if (!out) {
-      fprintf(stderr, "k2c: cannot write %s\n", path);
+      fprintf(stderr, "k2c: cannot write %s\n", f.str("report").c_str());
       return 2;
     }
     out << json << "\n";
-    fprintf(stderr, "k2c: wrote report to %s\n", path);
+    fprintf(stderr, "k2c: wrote report to %s\n", f.str("report").c_str());
   } else {
     printf("%s\n", json.c_str());
   }
   return 0;
 }
 
+int run_serve(const util::Flags& f) {
+  api::ServiceOptions sopts;
+  sopts.threads = int(f.num("threads"));
+  sopts.solver_workers = int(f.num("solver-workers"));
+  api::CompilerService service(sopts);
+
+  if (f.has("socket")) {
+    fprintf(stderr, "k2c: serving NDJSON on unix socket %s (%d threads)\n",
+            f.str("socket").c_str(), sopts.threads);
+    int err = api::serve_unix_socket(service, f.str("socket"));
+    if (err != 0) {
+      fprintf(stderr, "k2c: serve: socket error: %s\n", strerror(err));
+      return 2;
+    }
+    return 0;
+  }
+  if (!f.flag("stdio")) {
+    fprintf(stderr, "k2c: serve needs --stdio or --socket=<path>\n");
+    return 2;
+  }
+  fprintf(stderr, "k2c: serving NDJSON on stdio (%d threads); send "
+                  "{\"op\":\"shutdown\"} to stop\n",
+          sopts.threads);
+  api::ServeLoop loop(service);
+  loop.run(std::cin, std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace k2;
-  if (argc < 2) {
-    usage();
+  util::Flags f = make_flags();
+  std::string error;
+  if (!f.parse(argc, argv, &error)) {
+    fprintf(stderr, "k2c: %s\n", error.c_str());
     return 2;
   }
-  if (has_flag(argc, argv, "--corpus")) return run_batch(argc, argv);
-
-  ebpf::Program src;
-  try {
-    if (const char* bench = arg_value(argc, argv, "--bench")) {
-      src = corpus::benchmark(bench).o2;
-    } else {
-      std::ifstream in(argv[1]);
-      if (!in) {
-        fprintf(stderr, "k2c: cannot open %s\n", argv[1]);
-        return 2;
-      }
-      std::stringstream ss;
-      ss << in.rdbuf();
-      ebpf::ProgType type = ebpf::ProgType::XDP;
-      if (const char* t = arg_value(argc, argv, "--type")) {
-        if (strcmp(t, "socket") == 0) type = ebpf::ProgType::SOCKET_FILTER;
-        if (strcmp(t, "trace") == 0) type = ebpf::ProgType::TRACEPOINT;
-      }
-      src = ebpf::assemble(ss.str(), type);
-    }
-  } catch (const std::exception& e) {
-    fprintf(stderr, "k2c: %s\n", e.what());
+  if (f.help_requested()) {
+    fputs(f.help(kUsage).c_str(), stdout);
+    return 0;
+  }
+  // Stray arguments are hard errors, same as unknown flags: `--corpus
+  // xdp_fw` (value-less OPT_STRING followed by a positional) must not
+  // silently run the full 19-benchmark corpus.
+  auto reject_positionals = [&](size_t allowed, const char* mode) {
+    if (f.positional().size() <= allowed) return false;
+    fprintf(stderr, "k2c: unexpected argument '%s' in %s mode (see --help)\n",
+            f.positional()[allowed].c_str(), mode);
+    return true;
+  };
+  if (!f.positional().empty() && f.positional()[0] == "serve") {
+    if (reject_positionals(1, "serve")) return 2;
+    return run_serve(f);
+  }
+  if (f.has("corpus")) {
+    if (reject_positionals(0, "batch")) return 2;
+    return run_batch(f);
+  }
+  if (f.has("bench")) {
+    if (reject_positionals(0, "--bench")) return 2;
+    return run_single(f);
+  }
+  if (f.positional().empty()) {
+    fputs(kUsage, stderr);
     return 2;
   }
-
-  core::CompileOptions opts;
-  if (!parse_common(argc, argv, &opts)) return 2;
-  opts.threads = opts.num_chains;
-  if (const char* th = arg_value(argc, argv, "--threads"))
-    opts.threads = atoi(th);
-
-  fprintf(stderr, "k2c: input %d instructions; searching (%d chains x %llu "
-                  "iterations)...\n",
-          src.size_slots(), opts.num_chains,
-          static_cast<unsigned long long>(opts.iters_per_chain));
-  core::CompileResult res = core::compile(src, opts);
-  fprintf(stderr,
-          "k2c: %s: %.0f -> %.0f %s (%llu proposals, %.1fs, cache %.0f%%)\n",
-          res.improved ? "improved" : "no improvement",
-          res.src_perf, res.best_perf,
-          opts.goal == core::Goal::INST_COUNT ? "slots" : "est. ns",
-          static_cast<unsigned long long>(res.total_proposals),
-          res.total_secs, res.cache.hit_rate() * 100);
-  fprintf(stderr,
-          "k2c: pipeline: %llu tests run, %llu skipped by early exit "
-          "(%llu exits)\n",
-          static_cast<unsigned long long>(res.tests_executed),
-          static_cast<unsigned long long>(res.tests_skipped),
-          static_cast<unsigned long long>(res.early_exits));
-  if (opts.solver_workers > 0)
-    fprintf(stderr,
-            "k2c: async dispatch: %llu speculations (%llu rollbacks, "
-            "%llu shared queries), solver queue peak %llu\n",
-            static_cast<unsigned long long>(res.speculations),
-            static_cast<unsigned long long>(res.rollbacks),
-            static_cast<unsigned long long>(res.pending_joins),
-            static_cast<unsigned long long>(res.solver_queue_peak));
-
-  kernel::CheckResult kc = kernel::kernel_check(res.best);
-  fprintf(stderr, "k2c: kernel checker: %s\n",
-          kc.accepted ? "ACCEPT" : kc.reason.c_str());
-
-  printf("%s", ebpf::disassemble(res.best).c_str());
-
-  if (const char* wire_path = arg_value(argc, argv, "--wire")) {
-    std::vector<uint8_t> bytes =
-        ebpf::to_bytes(ebpf::encode_wire(res.best));
-    std::ofstream out(wire_path, std::ios::binary);
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              std::streamsize(bytes.size()));
-    fprintf(stderr, "k2c: wrote %zu wire bytes to %s\n", bytes.size(),
-            wire_path);
-  }
-  return 0;
+  if (reject_positionals(1, "single-program")) return 2;
+  return run_single(f);
 }
