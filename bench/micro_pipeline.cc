@@ -174,7 +174,8 @@ int main(int argc, char** argv) {
               "\"tests_executed\": %llu, \"tests_skipped\": %llu, "
               "\"early_exits\": %llu, \"speculations\": %llu, "
               "\"rollbacks\": %llu, \"solver_queue_peak\": %llu, "
-              "\"cache_hit_rate\": %.4f}%s\n",
+              "\"cache_hit_rate\": %.4f, \"cache_disk_hits\": %llu, "
+              "\"cache_disk_loaded\": %llu, \"cache_disk_writes\": %llu}%s\n",
               r.label, r.threads, r.solver_workers, proposals_per_sec(r.res),
               (unsigned long long)r.res.tests_executed,
               (unsigned long long)r.res.tests_skipped,
@@ -182,7 +183,10 @@ int main(int argc, char** argv) {
               (unsigned long long)r.res.speculations,
               (unsigned long long)r.res.rollbacks,
               (unsigned long long)r.res.solver_queue_peak,
-              r.res.cache.hit_rate(), i + 1 < runs.size() ? "," : "");
+              r.res.cache.hit_rate(), (unsigned long long)r.res.cache.disk_hits,
+              (unsigned long long)r.res.cache.disk_loaded,
+              (unsigned long long)r.res.cache.disk_writes,
+              i + 1 < runs.size() ? "," : "");
     }
     fprintf(jf, "  ]\n}\n");
     fclose(jf);

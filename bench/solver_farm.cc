@@ -1,0 +1,220 @@
+// Solver-farm / persistent-cache benchmark: cold vs. warm wall-clock and
+// Z3-invocation counts for the on-disk equivalence cache (k2-eqcache/v1),
+// plus a remote-worker row exercising the k2-solve/v1 backend against an
+// in-process solve-worker over a socketpair.
+//
+//   bench_solver_farm                 default budgets
+//   bench_solver_farm --smoke         short CI mode
+//   bench_solver_farm --json out.json machine-readable results
+//
+// Shape target: the warm run issues ZERO solver calls for settled pairs
+// (every would-be query is a disk-tier hit) and lands on the bit-identical
+// winner, and the remote row's winner matches the local rows (the remote
+// backend runs literally the same solve_query_local policy).
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/flags.h"
+#include "verify/solve_protocol.h"
+#include "verify/solver_backend.h"
+
+namespace {
+
+using namespace k2;
+
+struct Row {
+  const char* label;
+  double wall_ms = 0;
+  core::CompileResult res;
+};
+
+core::CompileOptions base_options(uint64_t iters) {
+  core::CompileOptions o;
+  o.goal = core::Goal::INST_COUNT;
+  o.iters_per_chain = iters;
+  o.num_chains = 2;
+  o.top_k = 1;
+  o.eq.timeout_ms = 10000;
+  o.settings = core::table8_settings();
+  return o;
+}
+
+Row run_once(const char* label, const ebpf::Program& src,
+             const core::CompileOptions& opts,
+             verify::SolverBackend* backend = nullptr) {
+  Row row;
+  row.label = label;
+  core::CompileServices svc;
+  svc.sequential = true;  // bit-identical decisions across the rows
+  svc.backend = backend;
+  auto t0 = std::chrono::steady_clock::now();
+  row.res = core::compile(src, opts, svc);
+  row.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return row;
+}
+
+void print_row(const Row& r) {
+  printf("%-24s %10.0f %8llu %8llu %8llu %9llu %9llu %8llu\n", r.label,
+         r.wall_ms, (unsigned long long)r.res.solver_calls,
+         (unsigned long long)r.res.cache.hits,
+         (unsigned long long)r.res.cache.misses,
+         (unsigned long long)r.res.cache.disk_hits,
+         (unsigned long long)r.res.cache.disk_loaded,
+         (unsigned long long)r.res.cache.disk_writes);
+}
+
+std::string winner_key(const core::CompileResult& r) {
+  return verify::program_to_json(r.best).dump();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using T = util::FlagSpec::Type;
+  util::Flags f({
+      {"smoke", T::BOOL, "", "short CI mode", ""},
+      {"json", T::STRING, "", "write machine-readable results here", ""},
+  });
+  std::string error;
+  if (!f.parse(argc, argv, &error)) {
+    fprintf(stderr, "bench_solver_farm: %s\n", error.c_str());
+    return 2;
+  }
+  if (f.help_requested()) {
+    fputs(f.help("usage: bench_solver_farm [options]").c_str(), stdout);
+    return 0;
+  }
+  bool smoke = f.flag("smoke");
+  std::string json_path = f.str("json");
+  uint64_t iters = bench::scaled(smoke ? 400 : 3000);
+
+  const ebpf::Program& src = corpus::benchmark("xdp_map_access").o2;
+
+  char tmpl[] = "/tmp/k2_solver_farm.XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  if (!dir) {
+    fprintf(stderr, "bench_solver_farm: mkdtemp failed\n");
+    return 1;
+  }
+  std::string cache_dir = std::string(dir) + "/eqcache";
+
+  printf("solver_farm: 2 chains x %llu iters on xdp_map_access, cache at %s\n",
+         (unsigned long long)iters, cache_dir.c_str());
+  bench::hr();
+  printf("%-24s %10s %8s %8s %8s %9s %9s %8s\n", "configuration", "wall ms",
+         "z3 calls", "mem hit", "miss", "disk hit", "disk ld", "disk wr");
+  bench::hr();
+
+  std::vector<Row> rows;
+
+  core::CompileOptions opts = base_options(iters);
+  opts.cache_dir = cache_dir;
+  rows.push_back(run_once("local cold (empty cache)", src, opts));
+  print_row(rows.back());
+  rows.push_back(run_once("local warm (same cache)", src, opts));
+  print_row(rows.back());
+
+  // Remote row: an in-process solve-worker on one end of a socketpair, the
+  // compile talking to it through the fd:N endpoint form. Same query policy,
+  // so the winner must match the local rows bit for bit.
+  {
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      fprintf(stderr, "bench_solver_farm: socketpair failed\n");
+      return 1;
+    }
+    std::thread worker_thread([fd = sv[1]] {
+      verify::SolveWorker worker;
+      std::string pending;
+      char chunk[4096];
+      ssize_t n;
+      bool stop = false;
+      while (!stop && (n = read(fd, chunk, sizeof chunk)) > 0) {
+        pending.append(chunk, size_t(n));
+        size_t pos;
+        while (!stop && (pos = pending.find('\n')) != std::string::npos) {
+          std::string line = pending.substr(0, pos);
+          pending.erase(0, pos + 1);
+          if (line.empty()) continue;
+          std::string reply = worker.handle_line(line, &stop) + "\n";
+          size_t off = 0;
+          while (off < reply.size()) {
+            ssize_t w = write(fd, reply.data() + off, reply.size() - off);
+            if (w <= 0) { stop = true; break; }
+            off += size_t(w);
+          }
+        }
+      }
+      close(fd);
+    });
+
+    core::CompileOptions ropts = base_options(iters);
+    ropts.solver_endpoints = {"fd:" + std::to_string(sv[0])};
+    verify::RemoteSolverBackend::Options bo;
+    bo.endpoints = ropts.solver_endpoints;
+    verify::RemoteSolverBackend backend(bo);
+    rows.push_back(run_once("remote (1 worker, cold)", src, ropts, &backend));
+    print_row(rows.back());
+    verify::RemoteSolverBackend::Stats rs = backend.stats();
+    bench::hr();
+    printf("remote backend: %llu solved remotely, %llu endpoint failures, "
+           "%llu local fallbacks\n",
+           (unsigned long long)rs.remote_solved,
+           (unsigned long long)rs.remote_failed,
+           (unsigned long long)rs.local_fallbacks);
+    shutdown(sv[0], SHUT_RDWR);  // backend keeps its fd; unstick the worker
+    worker_thread.join();
+  }
+
+  bool warm_zero_solver = rows[1].res.solver_calls == 0;
+  bool winners_match = winner_key(rows[0].res) == winner_key(rows[1].res) &&
+                       winner_key(rows[0].res) == winner_key(rows[2].res);
+  printf("warm run solver calls: %llu (target 0); winners %s across rows\n",
+         (unsigned long long)rows[1].res.solver_calls,
+         winners_match ? "IDENTICAL" : "DIFFER");
+
+  if (!json_path.empty()) {
+    FILE* jf = fopen(json_path.c_str(), "w");
+    if (!jf) {
+      fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    fprintf(jf, "{\n  \"bench\": \"solver_farm\",\n  \"smoke\": %s,\n",
+            smoke ? "true" : "false");
+    fprintf(jf, "  \"iters_per_chain\": %llu,\n", (unsigned long long)iters);
+    fprintf(jf, "  \"warm_zero_solver_calls\": %s,\n",
+            warm_zero_solver ? "true" : "false");
+    fprintf(jf, "  \"winners_identical\": %s,\n",
+            winners_match ? "true" : "false");
+    fprintf(jf, "  \"results\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      fprintf(jf,
+              "    {\"label\": \"%s\", \"wall_ms\": %.1f, "
+              "\"solver_calls\": %llu, \"cache_hits\": %llu, "
+              "\"cache_misses\": %llu, \"disk_hits\": %llu, "
+              "\"disk_loaded\": %llu, \"disk_writes\": %llu}%s\n",
+              r.label, r.wall_ms, (unsigned long long)r.res.solver_calls,
+              (unsigned long long)r.res.cache.hits,
+              (unsigned long long)r.res.cache.misses,
+              (unsigned long long)r.res.cache.disk_hits,
+              (unsigned long long)r.res.cache.disk_loaded,
+              (unsigned long long)r.res.cache.disk_writes,
+              i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(jf, "  ]\n}\n");
+    fclose(jf);
+    printf("wrote %s\n", json_path.c_str());
+  }
+  return winners_match ? 0 : 1;
+}

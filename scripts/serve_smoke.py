@@ -35,6 +35,7 @@ SCRIPT = [
     {"op": "submit", "request": {
         "schema": "k2-compile/v1", "mode": "single",
         "benchmark": "xdp_pktcntr", "perf_model": "bogus"}},
+    {"op": "stats"},
     {"op": "shutdown"},
 ]
 
@@ -61,7 +62,7 @@ def main():
         fail(f"expected {len(SCRIPT)} replies, got {len(replies)}")
 
     (hello, submit1, wait1, status1, events1, result1,
-     submit2, cancel2, wait2, badsubmit, shutdown) = replies
+     submit2, cancel2, wait2, badsubmit, stats, shutdown) = replies
 
     if not hello.get("ok") or hello.get("protocol") != "k2-serve/v1":
         fail(f"hello: {hello}")
@@ -109,11 +110,26 @@ def main():
     if "$.perf_model" not in paths:
         fail(f"diagnostics must carry $.perf_model: {badsubmit}")
 
+    if not stats.get("ok"):
+        fail(f"stats: {stats}")
+    if stats.get("jobs", {}).get("total") != 2:
+        fail(f"stats must count the two accepted jobs: {stats}")
+    for section in ("jobs", "solver", "cache"):
+        if section not in stats:
+            fail(f"stats is missing its '{section}' section: {stats}")
+    if "workers" not in stats["solver"] or "hits" not in stats["cache"]:
+        fail(f"stats sections missing counters: {stats}")
+
     if not shutdown.get("ok") or not shutdown.get("shutdown"):
         fail(f"shutdown: {shutdown}")
+    # The no-leaked-verdicts invariant: a clean shutdown drained the solver
+    # queue, so no job cache may still hold an in-flight verdict.
+    if shutdown.get("pending_eq") != 0:
+        fail(f"shutdown must drain to pending_eq == 0: {shutdown}")
 
     print(f"serve smoke OK: {len(replies)} replies, {len(events)} "
-          f"schema-valid events, cancel landed CANCELLED")
+          f"schema-valid events, cancel landed CANCELLED, "
+          f"shutdown drained clean")
     return 0
 
 

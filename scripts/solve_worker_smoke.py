@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI smoke for `k2c solve-worker --stdio`: drives one k2-solve/v1
+conversation through the worker and asserts the protocol contracts from
+docs/API.md — hello advertises the protocol, solve answers with a verdict
+(and a counterexample for inequivalent pairs), malformed lines get error
+replies instead of killing the loop, and shutdown ends the session.
+
+Programs ride the parse-only "asm" form so the smoke stays readable.
+
+Usage: solve_worker_smoke.py [path/to/k2c]   (default ./build/k2c)
+Exit 0 = protocol healthy; non-zero with a message otherwise.
+"""
+import json
+import subprocess
+import sys
+
+K2C = sys.argv[1] if len(sys.argv) > 1 else "./build/k2c"
+
+EQ = {"timeout_ms": 10000}
+
+SCRIPT = [
+    json.dumps({"op": "hello"}),
+    # Equivalent pair: mul-by-4 vs shift-by-2.
+    json.dumps({"op": "solve", "id": 1,
+                "src": {"asm": "ldxdw r0, [r1+0]\nmul64 r0, 4\nexit\n",
+                        "type": "xdp"},
+                "cand": {"asm": "ldxdw r0, [r1+0]\nlsh64 r0, 2\nexit\n",
+                         "type": "xdp"},
+                "eq": EQ}),
+    # Inequivalent pair: must come back NOT_EQUAL with a counterexample.
+    json.dumps({"op": "solve", "id": 2,
+                "src": {"asm": "mov64 r0, 1\nexit\n", "type": "xdp"},
+                "cand": {"asm": "mov64 r0, 2\nexit\n", "type": "xdp"},
+                "eq": EQ}),
+    "this line is not JSON",
+    json.dumps({"op": "no_such_op"}),
+    json.dumps({"op": "cancel", "id": 2}),
+    json.dumps({"op": "shutdown"}),
+]
+
+
+def fail(msg):
+    print(f"solve-worker smoke FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    stdin = "".join(line + "\n" for line in SCRIPT)
+    proc = subprocess.run([K2C, "solve-worker", "--stdio"], input=stdin,
+                          capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"k2c solve-worker exited {proc.returncode}:\n{proc.stderr}")
+
+    replies = []
+    for lineno, line in enumerate(proc.stdout.splitlines(), 1):
+        try:
+            replies.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"reply line {lineno} is not valid JSON ({e}): {line!r}")
+    if len(replies) != len(SCRIPT):
+        fail(f"expected {len(SCRIPT)} replies, got {len(replies)}")
+
+    hello, eq, ne, malformed, unknown, cancel, shutdown = replies
+
+    if not hello.get("ok") or hello.get("protocol") != "k2-solve/v1":
+        fail(f"hello: {hello}")
+    if "solve" not in hello.get("ops", []):
+        fail(f"hello must advertise the solve op: {hello}")
+
+    if not eq.get("ok") or eq.get("id") != 1 or eq.get("verdict") != "equal":
+        fail(f"equivalent pair: {eq}")
+    if not ne.get("ok") or ne.get("id") != 2:
+        fail(f"inequivalent pair: {ne}")
+    if ne.get("verdict") != "not-equal" or "cex" not in ne:
+        fail(f"NOT_EQUAL must carry a counterexample: {ne}")
+    if not isinstance(ne["cex"].get("packet"), str):
+        fail(f"counterexample packet must be a hex byte string: {ne}")
+
+    if malformed.get("ok") or "error" not in malformed:
+        fail(f"malformed line must get an error reply: {malformed}")
+    if unknown.get("ok") or "error" not in unknown:
+        fail(f"unknown op must get an error reply: {unknown}")
+    if not cancel.get("ok") or cancel.get("cancelled") is not False:
+        fail(f"cancel acks with cancelled=false: {cancel}")
+    if not shutdown.get("ok"):
+        fail(f"shutdown: {shutdown}")
+
+    print("solve-worker smoke OK: verdicts equal/not_equal with cex, "
+          "errors survived, shutdown clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

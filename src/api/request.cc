@@ -41,6 +41,9 @@ const char* const kRequestFields[] = {
     "solver_workers",
     "speculation_depth",
     "deterministic",
+    "cache_dir",
+    "solver_endpoints",
+    "portfolio",
 };
 // docs:request-fields-end
 
@@ -239,6 +242,10 @@ std::vector<Diagnostic> CompileRequest::validate() const {
     fail("$.solver_workers", "out of range [0, 64]");
   if (speculation_depth < 1 || speculation_depth > 64)
     fail("$.speculation_depth", "out of range [1, 64]");
+  if (portfolio < 1 || portfolio > 16)
+    fail("$.portfolio", "out of range [1, 16]");
+  for (const std::string& ep : solver_endpoints)
+    if (ep.empty()) fail("$.solver_endpoints", "endpoint must be non-empty");
   if (perf_model) {
     // The backend implies the goal (same rule the CLI applies): a
     // mismatched pair is a contradiction, not a preference.
@@ -290,6 +297,13 @@ util::Json CompileRequest::to_json() const {
   j.set("solver_workers", int64_t(solver_workers));
   j.set("speculation_depth", int64_t(speculation_depth));
   j.set("deterministic", deterministic);
+  if (!cache_dir.empty()) j.set("cache_dir", cache_dir);
+  if (!solver_endpoints.empty()) {
+    util::Json eps{util::Json::Array{}};
+    for (const std::string& ep : solver_endpoints) eps.push_back(ep);
+    j.set("solver_endpoints", std::move(eps));
+  }
+  j.set("portfolio", int64_t(portfolio));
   return j;
 }
 
@@ -390,6 +404,21 @@ CompileRequest CompileRequest::from_json(const util::Json& j) {
   rd.read_int("solver_workers", &r.solver_workers, 0, 64);
   rd.read_int("speculation_depth", &r.speculation_depth, 1, 64);
   rd.read_bool("deterministic", &r.deterministic);
+  rd.read_string("cache_dir", &r.cache_dir);
+  if (const util::Json* eps = rd.find("solver_endpoints")) {
+    if (!eps->is_array()) {
+      rd.fail("solver_endpoints", "expected an array of endpoint paths");
+    } else {
+      for (const util::Json& ep : eps->as_array()) {
+        if (!ep.is_string()) {
+          rd.fail("solver_endpoints", "expected an array of endpoint paths");
+          break;
+        }
+        r.solver_endpoints.push_back(ep.as_string());
+      }
+    }
+  }
+  rd.read_int("portfolio", &r.portfolio, 1, 16);
 
   if (diags.empty())
     for (Diagnostic& d : r.validate()) diags.push_back(std::move(d));
@@ -415,6 +444,9 @@ core::CompileOptions CompileRequest::to_compile_options() const {
   o.threads = threads;
   o.solver_workers = solver_workers;
   o.speculation_depth = speculation_depth;
+  o.cache_dir = cache_dir;
+  o.solver_endpoints = solver_endpoints;
+  o.portfolio = portfolio;
   return o;
 }
 

@@ -94,6 +94,17 @@ struct CompileRequest {
   // chain-level parallelism inside the job. Batch jobs are always
   // deterministic per job (the batch layer parallelizes across jobs).
   bool deterministic = true;
+  // Persistent equivalence-cache directory (CompileOptions::cache_dir):
+  // settled verdicts load from disk at job start and write through on every
+  // solve, so a repeated identical request warm-starts with zero Z3 queries
+  // for already-settled pairs. Empty = memory-only cache.
+  std::string cache_dir;
+  // Remote solver farm (CompileOptions::solver_endpoints): unix-socket
+  // paths of k2-solve/v1 workers. Empty = solve in-process.
+  std::vector<std::string> solver_endpoints;
+  // Portfolio width over those endpoints (first definitive verdict wins;
+  // > 1 trades determinism for latency).
+  int portfolio = 1;
 
   // ---- typed builder -------------------------------------------------------
   static CompileRequest for_benchmark(std::string name);

@@ -29,4 +29,13 @@ inline constexpr const char* kEventSchema = "k2-event/v1";
 // (src/api/serve.h); sent back in every hello/shutdown reply.
 inline constexpr const char* kServeProtocol = "k2-serve/v1";
 
+// The newline-delimited-JSON solve protocol spoken between a
+// RemoteSolverBackend and `k2c solve-worker` processes
+// (src/verify/solve_protocol.h); sent back in every hello reply.
+inline constexpr const char* kSolveProtocol = "k2-solve/v1";
+
+// The on-disk persistent equivalence-cache store format
+// (src/verify/cache_store.h): the header line of every shard file.
+inline constexpr const char* kEqCacheSchema = "k2-eqcache/v1";
+
 }  // namespace k2::api

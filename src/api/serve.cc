@@ -77,9 +77,61 @@ std::string ServeLoop::handle(const std::string& line, bool* stop) {
       j.set("event_schema", kEventSchema);
       util::Json ops{util::Json::Array{}};
       for (const char* o : {"hello", "submit", "status", "events", "result",
-                            "wait", "cancel", "shutdown"})
+                            "wait", "cancel", "stats", "shutdown"})
         ops.push_back(o);
       j.set("ops", std::move(ops));
+      return j.dump();
+    }
+    if (op == "stats") {
+      util::Json j = ok_reply();
+      util::Json jobs;
+      jobs.set("total", uint64_t(service_.job_ids().size()));
+      jobs.set("active", uint64_t(service_.active_jobs()));
+      j.set("jobs", std::move(jobs));
+      verify::AsyncSolverDispatcher::Stats ds = service_.solver_stats();
+      util::Json solver;
+      solver.set("workers", int64_t(service_.options().solver_workers));
+      solver.set("submitted", ds.submitted);
+      solver.set("completed", ds.completed);
+      solver.set("abandoned", ds.abandoned);
+      solver.set("timeouts", ds.timeouts);
+      solver.set("queue_depth", ds.queue_depth);
+      solver.set("queue_peak", ds.queue_peak);
+      j.set("solver", std::move(solver));
+      verify::EqCache::Stats cs = service_.cache_stats();
+      util::Json cache;
+      cache.set("hits", cs.hits);
+      cache.set("misses", cs.misses);
+      cache.set("insertions", cs.insertions);
+      cache.set("collisions", cs.collisions);
+      cache.set("pending_joins", cs.pending_joins);
+      cache.set("pending_abandons", cs.pending_abandons);
+      cache.set("disk_hits", cs.disk_hits);
+      cache.set("disk_loaded", cs.disk_loaded);
+      cache.set("disk_writes", cs.disk_writes);
+      cache.set("pending", uint64_t(service_.pending_eq_queries()));
+      j.set("cache", std::move(cache));
+      if (const verify::CacheStore* st = service_.store()) {
+        verify::CacheStore::Stats ss = st->stats();
+        util::Json store;
+        store.set("dir", st->dir());
+        store.set("records", uint64_t(st->records().size()));
+        store.set("loaded", ss.loaded);
+        store.set("dropped", ss.dropped);
+        store.set("appended", ss.appended);
+        store.set("reset_shards", ss.reset_shards);
+        j.set("store", std::move(store));
+      }
+      if (verify::RemoteSolverBackend* rb = service_.remote_backend()) {
+        verify::RemoteSolverBackend::Stats rs = rb->stats();
+        util::Json remote;
+        remote.set("live_endpoints", int64_t(rb->live_endpoints()));
+        remote.set("remote_solved", rs.remote_solved);
+        remote.set("remote_failed", rs.remote_failed);
+        remote.set("local_fallbacks", rs.local_fallbacks);
+        remote.set("portfolio_races", rs.portfolio_races);
+        j.set("remote", std::move(remote));
+      }
       return j.dump();
     }
     if (op == "shutdown") {
@@ -88,6 +140,9 @@ std::string ServeLoop::handle(const std::string& line, bool* stop) {
       util::Json j = ok_reply();
       j.set("protocol", kServeProtocol);
       j.set("shutdown", true);
+      // The no-leaked-verdicts invariant: shutdown() drained the solver
+      // queue, so every job cache holds zero in-flight verdicts.
+      j.set("pending_eq", uint64_t(service_.pending_eq_queries()));
       return j.dump();
     }
     if (op == "submit") {
@@ -174,7 +229,8 @@ static bool write_all(int fd, const std::string& data) {
   return true;
 }
 
-int serve_unix_socket(CompilerService& service, const std::string& path) {
+int serve_lines_on_unix_socket(const std::string& path,
+                               const LineHandler& handler) {
   int listener = socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) return errno;
 
@@ -193,10 +249,8 @@ int serve_unix_socket(CompilerService& service, const std::string& path) {
     return err;
   }
 
-  // One client at a time: every connection pumps lines through the same
-  // handler the stdio path uses, over the shared (thread-safe) service; a
-  // client's shutdown op ends serving entirely.
-  ServeLoop loop(service);
+  // One client at a time: every connection pumps lines through the one
+  // handler; a handler that sets *stop ends serving entirely.
   bool stop = false;
   while (!stop) {
     int fd = accept(listener, nullptr, nullptr);
@@ -219,18 +273,27 @@ int serve_unix_socket(CompilerService& service, const std::string& path) {
         std::string line = pending.substr(0, pos);
         pending.erase(0, pos + 1);
         if (line.empty()) continue;
-        if (!write_all(fd, loop.handle(line, &stop) + "\n"))
+        if (!write_all(fd, handler(line, &stop) + "\n"))
           client_gone = true;  // drop this client, keep serving
       }
     }
     // A final request without a trailing newline still counts (matching
     // the stdio path's getline semantics).
     if (!stop && !client_gone && !pending.empty())
-      write_all(fd, loop.handle(pending, &stop) + "\n");
+      write_all(fd, handler(pending, &stop) + "\n");
     close(fd);
   }
   close(listener);
   return 0;
+}
+
+int serve_unix_socket(CompilerService& service, const std::string& path) {
+  ServeLoop loop(service);
+  return serve_lines_on_unix_socket(
+      path,
+      [&loop](const std::string& line, bool* stop) {
+        return loop.handle(line, stop);
+      });
 }
 
 }  // namespace k2::api

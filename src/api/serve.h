@@ -12,7 +12,13 @@
 //   {"op":"result","job":"job-1"}          → terminal CompileResponse
 //   {"op":"wait","job":"job-1"}            → blocks until terminal, → status
 //   {"op":"cancel","job":"job-1"}          → requests cooperative cancel
-//   {"op":"shutdown"}                      → cancels live jobs, ends the loop
+//   {"op":"stats"}                         → service counters: jobs, solver
+//                                            queue, cache tiers (memory +
+//                                            disk), store and solver farm
+//   {"op":"shutdown"}                      → cancels live jobs, drains the
+//                                            solver queue, ends the loop;
+//                                            reply reports pending_eq (0 on
+//                                            a clean shutdown)
 //
 // Every reply carries "ok"; failures carry "error" (and "diagnostics" with
 // $.field paths for invalid submissions) instead of closing the
@@ -27,12 +33,26 @@
 // thread-safe.)
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
 #include "api/service.h"
 
 namespace k2::api {
+
+// One NDJSON request line in → one reply line out (no trailing newline);
+// sets *stop to end the session. The transport-agnostic shape shared by
+// ServeLoop::handle and verify::SolveWorker::handle_line.
+using LineHandler = std::function<std::string(const std::string&, bool*)>;
+
+// Generic single-client NDJSON unix-socket server: binds `path` (replacing
+// any existing file), accepts one client at a time, pumps each line
+// through `handler`, and returns when a handler sets *stop. Returns 0 on
+// success, errno-style on socket errors. Both `k2c serve --socket` and
+// `k2c solve-worker --socket` are thin wrappers over this.
+int serve_lines_on_unix_socket(const std::string& path,
+                               const LineHandler& handler);
 
 class ServeLoop {
  public:

@@ -28,6 +28,14 @@ struct JobHandle::Job {
   std::deque<Event> events;                // guarded by mu (bounded ring)
   uint64_t next_seq = 1;                   // guarded by mu
   CompileResponse resp;                    // guarded by mu; set at terminal
+  // Job-level overrides of the service-wide store/backend (request-level
+  // cache_dir / solver_endpoints). Owned by the job, not stack-allocated in
+  // run_job: a cancelled speculation's task can sit in the shared
+  // dispatcher queue past run_job's return, and jobs_ outlives the
+  // dispatcher, so Job members outlive every drained task. Declared before
+  // `cache` so the cache (which writes through to the store) dies first.
+  std::optional<verify::CacheStore> store;
+  std::optional<verify::RemoteSolverBackend> backend;
   // Single-mode jobs own their equivalence cache so pending-verdict counts
   // stay observable after cancellation (batch jobs use per-benchmark
   // caches inside BatchCompiler::run).
@@ -128,7 +136,20 @@ size_t JobHandle::pending_eq_queries() const {
 CompilerService::CompilerService(ServiceOptions opts)
     : opts_(opts),
       dispatcher_(std::max(0, opts.solver_workers)),
-      pool_(std::max(1, opts.threads)) {}
+      pool_(std::max(1, opts.threads)) {
+  if (!opts_.cache_dir.empty()) {
+    store_.emplace();
+    std::string err;
+    if (!store_->open(opts_.cache_dir, &err))
+      throw std::runtime_error("cache_dir '" + opts_.cache_dir + "': " + err);
+  }
+  if (!opts_.solver_endpoints.empty()) {
+    verify::RemoteSolverBackend::Options bo;
+    bo.endpoints = opts_.solver_endpoints;
+    bo.portfolio = std::max(1, opts_.portfolio);
+    backend_.emplace(bo);
+  }
+}
 
 CompilerService::~CompilerService() { shutdown(/*cancel_running=*/true); }
 
@@ -240,9 +261,40 @@ void CompilerService::run_job(std::shared_ptr<JobHandle::Job> job) {
       core::CompileOptions copts = job->req.to_compile_options();
       if (!dispatcher) copts.solver_workers = 0;
       job->cache = std::make_shared<verify::EqCache>();
+      // Persistent store: a request-level cache_dir overrides the
+      // service-wide store. The attach happens here (not in compile())
+      // because the cache is job-owned — external to the engine.
+      verify::CacheStore* store = store_ ? &*store_ : nullptr;
+      if (!job->req.cache_dir.empty()) {
+        job->store.emplace();
+        std::string err;
+        if (!job->store->open(job->req.cache_dir, &err))
+          throw std::runtime_error("cache_dir '" + job->req.cache_dir +
+                                   "': " + err);
+        store = &*job->store;
+      }
+      if (store) {
+        bool uw = copts.force_windows
+                      ? *copts.force_windows
+                      : src.num_real_insns() > copts.window_threshold;
+        job->cache->attach_store(
+            store,
+            verify::CacheStore::options_fingerprint(copts.eq, uw));
+      }
+      // Remote backend: request-level endpoints override the service-wide
+      // backend. Job-owned for the same lifetime reason as the store.
+      verify::SolverBackend* backend = backend_ ? &*backend_ : nullptr;
+      if (!job->req.solver_endpoints.empty()) {
+        verify::RemoteSolverBackend::Options bo;
+        bo.endpoints = job->req.solver_endpoints;
+        bo.portfolio = std::max(1, job->req.portfolio);
+        job->backend.emplace(bo);
+        backend = &*job->backend;
+      }
       core::CompileServices svc;
       svc.dispatcher = dispatcher;
       svc.cache = job->cache.get();
+      svc.backend = backend;
       svc.sequential = job->req.deterministic;
       // Parallel-chain jobs shard their chains over the service pool
       // (re-entrant run_all) instead of nesting a second pool.
@@ -270,6 +322,15 @@ void CompilerService::run_job(std::shared_ptr<JobHandle::Job> job) {
       core::BatchServices bsvc;
       bsvc.pool = &pool_;
       bsvc.dispatcher = dispatcher;
+      // A request-level cache_dir / endpoint list takes precedence: leave
+      // the shared service handle null so the batch builds its own from
+      // base.cache_dir / base.solver_endpoints (safe — batch run() drains
+      // the dispatcher before its locals die).
+      bsvc.store =
+          job->req.cache_dir.empty() && store_ ? &*store_ : nullptr;
+      bsvc.backend = job->req.solver_endpoints.empty() && backend_
+                         ? &*backend_
+                         : nullptr;
       bsvc.cancel = &job->cancel_flag;
       bsvc.progress = progress;
       bsvc.tick_every = opts_.tick_every;
@@ -332,6 +393,41 @@ verify::AsyncSolverDispatcher::Stats CompilerService::solver_stats() const {
   return dispatcher_.stats();
 }
 
+size_t CompilerService::pending_eq_queries() const {
+  std::vector<std::shared_ptr<JobHandle::Job>> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs = jobs_;
+  }
+  size_t n = 0;
+  for (const auto& job : jobs)
+    if (job->cache) n += job->cache->pending_count();
+  return n;
+}
+
+verify::EqCache::Stats CompilerService::cache_stats() const {
+  std::vector<std::shared_ptr<JobHandle::Job>> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs = jobs_;
+  }
+  verify::EqCache::Stats total;
+  for (const auto& job : jobs) {
+    if (!job->cache) continue;
+    verify::EqCache::Stats s = job->cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insertions += s.insertions;
+    total.collisions += s.collisions;
+    total.pending_joins += s.pending_joins;
+    total.pending_abandons += s.pending_abandons;
+    total.disk_hits += s.disk_hits;
+    total.disk_loaded += s.disk_loaded;
+    total.disk_writes += s.disk_writes;
+  }
+  return total;
+}
+
 void CompilerService::shutdown(bool cancel_running) {
   std::vector<std::shared_ptr<JobHandle::Job>> jobs;
   {
@@ -346,6 +442,10 @@ void CompilerService::shutdown(bool cancel_running) {
     std::unique_lock<std::mutex> lock(job->mu);
     job->cv.wait(lock, [&] { return job->terminal_locked(); });
   }
+  // Every job is terminal; settle queued/in-flight solver tasks (abandoning
+  // released speculations) so pending_eq_queries() reads 0 on clean exit
+  // and no task outlives the jobs it points into.
+  dispatcher_.drain();
 }
 
 }  // namespace k2::api

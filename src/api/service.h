@@ -48,6 +48,8 @@
 #include "pipeline/thread_pool.h"
 #include "util/json.h"
 #include "verify/cache.h"
+#include "verify/cache_store.h"
+#include "verify/solver_backend.h"
 #include "verify/solver_dispatch.h"
 
 namespace k2::api {
@@ -73,6 +75,16 @@ struct ServiceOptions {
   int solver_workers = 0;    // shared async Z3 pool (0 = synchronous)
   uint64_t tick_every = 512; // chain iterations between tick events
   size_t max_events_per_job = 4096;  // event ring bound (oldest aged out)
+  // Service-wide persistent equivalence-cache directory (k2c serve
+  // --cache-dir): every job without a request-level cache_dir attaches to
+  // this one store, so repeated identical requests warm-start across the
+  // service's lifetime. Empty = memory-only. The constructor throws when
+  // the store cannot be opened.
+  std::string cache_dir;
+  // Service-wide solver-farm endpoints (k2c serve --solver-endpoints); a
+  // request-level solver_endpoints list overrides per job.
+  std::vector<std::string> solver_endpoints;
+  int portfolio = 1;  // portfolio width over those endpoints
 };
 
 class CompilerService;
@@ -144,8 +156,28 @@ class CompilerService {
   verify::AsyncSolverDispatcher::Stats solver_stats() const;
   const ServiceOptions& options() const { return opts_; }
 
-  // Cancels all non-terminal jobs (when `cancel_running`) and blocks until
-  // every job is terminal. submit() after shutdown() throws.
+  // Pending (in-flight) equivalence verdicts summed over every job-owned
+  // cache. 0 after a clean shutdown — the no-leaked-verdicts invariant
+  // `k2c serve` asserts before exiting.
+  size_t pending_eq_queries() const;
+  // Aggregated equivalence-cache statistics across all job-owned caches
+  // (batch jobs' per-benchmark caches live and die inside their run and
+  // are reported in the batch report instead).
+  verify::EqCache::Stats cache_stats() const;
+  // The service-wide persistent store / remote backend, null when not
+  // configured (see ServiceOptions). For observability (the serve `stats`
+  // verb); job-level overrides are not reachable here.
+  const verify::CacheStore* store() const {
+    return store_ ? &*store_ : nullptr;
+  }
+  verify::RemoteSolverBackend* remote_backend() {
+    return backend_ ? &*backend_ : nullptr;
+  }
+
+  // Cancels all non-terminal jobs (when `cancel_running`), blocks until
+  // every job is terminal, then drains the solver dispatcher so no queued
+  // or in-flight query outlives the service's observable state. submit()
+  // after shutdown() throws.
   void shutdown(bool cancel_running = true);
 
  private:
@@ -157,6 +189,10 @@ class CompilerService {
   std::vector<std::shared_ptr<JobHandle::Job>> jobs_;  // submit order
   uint64_t next_id_ = 1;
   bool shutdown_ = false;
+  // Store and backend before the dispatcher: the dispatcher's destructor
+  // drains queued tasks, which may still publish verdicts through them.
+  std::optional<verify::CacheStore> store_;
+  std::optional<verify::RemoteSolverBackend> backend_;
   // Dispatcher before pool: the pool's destructor runs still-queued job
   // tasks, which may touch the dispatcher — it must still be alive.
   verify::AsyncSolverDispatcher dispatcher_;

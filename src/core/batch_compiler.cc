@@ -7,6 +7,7 @@
 #include "ebpf/assembler.h"
 #include "pipeline/thread_pool.h"
 #include "sim/perf_model.h"
+#include "verify/cache_store.h"
 
 namespace k2::core {
 
@@ -95,6 +96,9 @@ util::Json totals_to_json(const BatchTotals& t) {
   j.set("solver_abandoned", t.solver_abandoned);
   j.set("kernel_accepted", t.kernel_accepted);
   j.set("kernel_rejected", t.kernel_rejected);
+  j.set("disk_hits", t.disk_hits);
+  j.set("disk_loaded", t.disk_loaded);
+  j.set("disk_writes", t.disk_writes);
   return j;
 }
 
@@ -115,6 +119,9 @@ BatchTotals totals_from_json(const util::Json& j) {
   t.solver_abandoned = j.at("solver_abandoned").as_uint();
   t.kernel_accepted = j.at("kernel_accepted").as_int();
   t.kernel_rejected = j.at("kernel_rejected").as_int();
+  if (const util::Json* v = j.get("disk_hits")) t.disk_hits = v->as_uint();
+  if (const util::Json* v = j.get("disk_loaded")) t.disk_loaded = v->as_uint();
+  if (const util::Json* v = j.get("disk_writes")) t.disk_writes = v->as_uint();
   return t;
 }
 
@@ -139,6 +146,9 @@ util::Json compile_result_to_json(const CompileResult& r) {
   cache.set("collisions", r.cache.collisions);
   cache.set("pending_joins", r.cache.pending_joins);
   cache.set("pending_abandons", r.cache.pending_abandons);
+  cache.set("disk_hits", r.cache.disk_hits);
+  cache.set("disk_loaded", r.cache.disk_loaded);
+  cache.set("disk_writes", r.cache.disk_writes);
   j.set("cache", std::move(cache));
   j.set("early_exits", r.early_exits);
   j.set("tests_executed", r.tests_executed);
@@ -178,6 +188,12 @@ CompileResult compile_result_from_json(const util::Json& j) {
   r.cache.collisions = cache.at("collisions").as_uint();
   r.cache.pending_joins = cache.at("pending_joins").as_uint();
   r.cache.pending_abandons = cache.at("pending_abandons").as_uint();
+  if (const util::Json* v = cache.get("disk_hits"))
+    r.cache.disk_hits = v->as_uint();
+  if (const util::Json* v = cache.get("disk_loaded"))
+    r.cache.disk_loaded = v->as_uint();
+  if (const util::Json* v = cache.get("disk_writes"))
+    r.cache.disk_writes = v->as_uint();
   r.early_exits = j.at("early_exits").as_uint();
   r.tests_executed = j.at("tests_executed").as_uint();
   r.tests_skipped = j.at("tests_skipped").as_uint();
@@ -258,6 +274,34 @@ BatchReport BatchCompiler::run(const BatchServices& bsvc) {
   report.perf_model = sim::to_string(resolved_perf_model(opts_.base));
   report.benchmarks.resize(selected.size());
 
+  // Persistent cache store: ONE store shared by every per-benchmark cache
+  // (records from different benchmarks never share a key; the options
+  // fingerprint additionally pins each record to the window-mode resolution
+  // of the benchmark that produced it). Declared before the dispatcher so
+  // write-through appends from late-publishing workers cannot dangle.
+  std::optional<verify::CacheStore> local_store;
+  verify::CacheStore* store = bsvc.store;
+  if (!store && !opts_.base.cache_dir.empty()) {
+    local_store.emplace();
+    std::string err;
+    if (!local_store->open(opts_.base.cache_dir, &err))
+      throw std::runtime_error("cache_dir '" + opts_.base.cache_dir +
+                               "': " + err);
+    store = &*local_store;
+  }
+
+  // Remote solver backend: ONE connection set shared by every job, so the
+  // per-endpoint sockets are dialed once per batch, not once per job.
+  std::optional<verify::RemoteSolverBackend> local_backend;
+  verify::SolverBackend* backend = bsvc.backend;
+  if (!backend && !opts_.base.solver_endpoints.empty()) {
+    verify::RemoteSolverBackend::Options bo;
+    bo.endpoints = opts_.base.solver_endpoints;
+    bo.portfolio = std::max(1, opts_.base.portfolio);
+    local_backend.emplace(bo);
+    backend = &*local_backend;
+  }
+
   // The two shared services — run-local unless the caller injected its own
   // (BatchServices): one Z3 worker pool for the whole batch, one
   // equivalence cache per benchmark (jobs of a benchmark share source
@@ -269,8 +313,19 @@ BatchReport BatchCompiler::run(const BatchServices& bsvc) {
   verify::AsyncSolverDispatcher& dispatcher =
       bsvc.dispatcher ? *bsvc.dispatcher : *local_dispatcher;
   std::vector<std::unique_ptr<verify::EqCache>> caches;
-  for (size_t i = 0; i < selected.size(); ++i)
+  for (size_t i = 0; i < selected.size(); ++i) {
     caches.push_back(std::make_unique<verify::EqCache>());
+    if (store) {
+      // The fingerprint binds persisted verdicts to the encoder options AND
+      // the window-mode resolution — the same rule compile() applies.
+      bool uw = opts_.base.force_windows
+                    ? *opts_.base.force_windows
+                    : selected[i]->o2.num_real_insns() >
+                          opts_.base.window_threshold;
+      caches.back()->attach_store(
+          store, verify::CacheStore::options_fingerprint(opts_.base.eq, uw));
+    }
+  }
 
   auto run_benchmark = [&](size_t bi) {
     auto bt0 = Clock::now();
@@ -297,6 +352,7 @@ BatchReport BatchCompiler::run(const BatchServices& bsvc) {
         CompileServices svc;
         svc.dispatcher = &dispatcher;
         svc.cache = caches[bi].get();
+        svc.backend = backend;
         svc.sequential = true;
         svc.cancel = bsvc.cancel;
         svc.tick_every = bsvc.tick_every;
@@ -390,8 +446,19 @@ BatchReport BatchCompiler::run(const BatchServices& bsvc) {
       report.totals.pending_joins += r.pending_joins;
       report.totals.kernel_accepted += r.kernel_accepted;
       report.totals.kernel_rejected += r.kernel_rejected;
+      report.totals.disk_hits += r.cache.disk_hits;
+      report.totals.disk_writes += r.cache.disk_writes;
     }
   }
+  // disk_loaded is counted at attach time — before any job's delta window
+  // opens — so it is read from the caches, not summed over jobs.
+  for (const auto& c : caches)
+    report.totals.disk_loaded += c->stats().disk_loaded;
+  // Settle every still-queued solver task (cancelled speculations included)
+  // while the per-benchmark caches — and the batch-local store/backend —
+  // are still alive. Unconditional: with a shared dispatcher a queued task
+  // holding pointers into this run must not outlive it.
+  dispatcher.drain();
   if (!bsvc.dispatcher) {
     // Dispatcher-level counters are per-batch only when the dispatcher is
     // run-local; a shared one aggregates across every sharing run and is

@@ -108,6 +108,10 @@ struct BatchTotals {
   uint64_t solver_abandoned = 0;
   int64_t kernel_accepted = 0;
   int64_t kernel_rejected = 0;
+  // Persistent-cache (disk tier) aggregates; all zero without a cache_dir.
+  uint64_t disk_hits = 0;    // cache hits answered by store-seeded entries
+  uint64_t disk_loaded = 0;  // entries seeded from disk across all caches
+  uint64_t disk_writes = 0;  // verdicts written through to the store
 };
 
 // The structured report (--report out.json). to_json()/from_json() are
@@ -164,6 +168,15 @@ struct BatchServices {
   // (queue peak, timeouts, abandoned) are left at zero when external —
   // they aggregate across every sharing run and belong to the owner.
   verify::AsyncSolverDispatcher* dispatcher = nullptr;
+  // Shared solver backend routing chain-level equivalence queries of every
+  // job (verify/solver_backend.h); replaces the run-local backend built
+  // from base.solver_endpoints. Final re-verification stays local either
+  // way.
+  verify::SolverBackend* backend = nullptr;
+  // Shared persistent cache store, already opened by the owner; replaces
+  // the run-local store built from base.cache_dir. Attached to every
+  // per-benchmark cache (with that benchmark's options fingerprint).
+  verify::CacheStore* store = nullptr;
   // Cooperative cancellation: checked before every benchmark job and
   // propagated into each compile (see CompileServices::cancel). Benchmarks
   // stopped or skipped record error == "cancelled".

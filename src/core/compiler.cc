@@ -4,12 +4,14 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "analysis/dce.h"
 #include "pipeline/thread_pool.h"
 #include "sim/perf_eval.h"
 #include "sim/perf_model.h"
+#include "verify/cache_store.h"
 
 namespace k2::core {
 
@@ -55,6 +57,9 @@ verify::EqCache::Stats stats_delta(const verify::EqCache::Stats& after,
   d.collisions = after.collisions - before.collisions;
   d.pending_joins = after.pending_joins - before.pending_joins;
   d.pending_abandons = after.pending_abandons - before.pending_abandons;
+  d.disk_hits = after.disk_hits - before.disk_hits;
+  d.disk_loaded = after.disk_loaded - before.disk_loaded;
+  d.disk_writes = after.disk_writes - before.disk_writes;
   return d;
 }
 
@@ -105,17 +110,49 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
 
   TestSuite suite(src, generate_tests(src, opts.num_initial_tests, opts.seed));
 
-  // Shared-or-local services (see CompileServices).
-  verify::EqCache local_cache;
-  verify::EqCache& cache = svc.cache ? *svc.cache : local_cache;
-  const verify::EqCache::Stats cache_before = cache.stats();
-
   std::vector<SearchParams> settings =
       opts.settings.empty() ? default_settings() : opts.settings;
 
   bool use_windows = opts.force_windows
                          ? *opts.force_windows
                          : src.num_real_insns() > opts.window_threshold;
+
+  // Persistent equivalence-cache store (cache_dir). Declared before the
+  // cache so write-through appends can never outlive the store. An explicit
+  // --cache-dir that cannot be opened fails loudly: silently degrading to
+  // cold solving would mask the very misconfiguration the flag exists to
+  // catch. An externally-shared cache persists (or not) under its owner's
+  // policy — its store was attached before this run began.
+  std::optional<verify::CacheStore> local_store;
+  verify::CacheStore* store = svc.store;
+  if (!store && !svc.cache && !opts.cache_dir.empty()) {
+    local_store.emplace();
+    std::string err;
+    if (!local_store->open(opts.cache_dir, &err))
+      throw std::runtime_error("cache_dir '" + opts.cache_dir + "': " + err);
+    store = &*local_store;
+  }
+
+  // Shared-or-local services (see CompileServices).
+  verify::EqCache local_cache;
+  verify::EqCache& cache = svc.cache ? *svc.cache : local_cache;
+  const verify::EqCache::Stats cache_before = cache.stats();
+  if (store && !svc.cache)
+    cache.attach_store(
+        store, verify::CacheStore::options_fingerprint(opts.eq, use_windows));
+
+  // Remote solver backend (solver_endpoints). Declared before the
+  // dispatcher so the backend outlives every in-flight query routed
+  // through it (the run-local dispatcher drains on destruction first).
+  std::optional<verify::RemoteSolverBackend> local_backend;
+  verify::SolverBackend* backend = svc.backend;
+  if (!backend && !opts.solver_endpoints.empty()) {
+    verify::RemoteSolverBackend::Options bo;
+    bo.endpoints = opts.solver_endpoints;
+    bo.portfolio = std::max(1, opts.portfolio);
+    local_backend.emplace(bo);
+    backend = &*local_backend;
+  }
 
   // Dedicated Z3 worker pool (async mode only): separate from the chain
   // thread pool below, because a solver call parks its thread for up to the
@@ -144,6 +181,7 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
     cfg.reorder_tests = opts.reorder_tests;
     cfg.early_exit = opts.early_exit;
     cfg.dispatcher = dispatcher.async() ? &dispatcher : nullptr;
+    cfg.backend = backend;
     cfg.speculation_depth = opts.speculation_depth;
     cfg.perf_model = perf_model.get();
     cfg.cancel = svc.cancel;

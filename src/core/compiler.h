@@ -58,6 +58,24 @@ struct CompileOptions {
   // interpreter-traced workload estimator (k2c --perf-model=latency) and
   // should be paired with Goal::LATENCY.
   std::optional<sim::PerfModelKind> perf_model;
+  // Persistent equivalence-cache directory (k2c --cache-dir). Non-empty:
+  // settled verdicts are loaded from disk at start and written through on
+  // every solve, so a repeated identical run warm-starts with zero Z3
+  // queries for already-settled pairs. Ignored when CompileServices::cache
+  // is external — the cache's owner decides whether/where it persists.
+  // A store that fails to open is an error (compile() throws): an explicit
+  // cache request silently falling back to cold solving would be the worst
+  // of both worlds.
+  std::string cache_dir;
+  // Remote solver farm (k2c --solver-endpoints): unix-socket paths (or
+  // "fd:N" for tests) of k2-solve/v1 workers. Empty = all equivalence
+  // queries solve in-process, bit-identical to earlier PRs. Ignored when
+  // CompileServices::backend is external.
+  std::vector<std::string> solver_endpoints;
+  // Portfolio width for the remote backend: race each query on up to this
+  // many endpoints with varied Z3 tactic configs; first definitive verdict
+  // wins. > 1 trades run-to-run determinism for latency.
+  int portfolio = 1;
 };
 
 // Externally-owned services a compile run plugs into instead of building
@@ -80,6 +98,17 @@ struct CompileServices {
   // run's delta (stats-after minus stats-before), so sharing runs that
   // execute sequentially still get exact per-run numbers.
   verify::EqCache* cache = nullptr;
+  // Shared solver backend (verify/solver_backend.h) routing chain-level
+  // equivalence queries, e.g. one RemoteSolverBackend over a solver farm.
+  // Null + empty opts.solver_endpoints = in-process solve_query_local.
+  // Final re-verification always solves locally regardless — remote
+  // workers are untrusted accelerators, not part of the trust anchor.
+  verify::SolverBackend* backend = nullptr;
+  // Shared persistent cache store already opened by the owner. When set it
+  // is attached to the run-local cache (no-op if `cache` is also external —
+  // the external cache's owner attaches stores itself). Overrides
+  // opts.cache_dir.
+  verify::CacheStore* store = nullptr;
   // Shared work-stealing pool for parallel-mode chain execution and final
   // re-verification, replacing the run-local pool of `opts.threads`
   // workers — so a service hosting many jobs keeps ONE pool process-wide

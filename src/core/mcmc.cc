@@ -42,6 +42,7 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   ecfg.early_exit = cfg.early_exit;
   ecfg.max_insns = cfg.max_insns;
   ecfg.dispatcher = cfg.dispatcher;
+  ecfg.backend = cfg.backend;
   ecfg.perf_model = cfg.perf_model;
   ecfg.cancel = cfg.cancel;
   pipeline::EvalPipeline pipe(src, suite, cache, ecfg);

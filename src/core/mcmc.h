@@ -61,6 +61,11 @@ struct ChainConfig {
   // speculation_depth bounds the undo-log (in-flight verdicts per chain).
   verify::AsyncSolverDispatcher* dispatcher = nullptr;
   int speculation_depth = 4;
+  // Solver backend for equivalence queries (verify/solver_backend.h): null
+  // solves in-process (bit-identical to the inline policy); a remote
+  // backend farms queries to solve-worker processes. Shared by every chain;
+  // must outlive the run.
+  verify::SolverBackend* backend = nullptr;
   // Pluggable perf(p) backend (sim/perf_model.h), shared read-only by every
   // chain of a compile run; must outlive the chain and match `goal`. Null
   // falls back to core::perf_cost(goal, ...), which is bit-identical for

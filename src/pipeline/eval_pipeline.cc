@@ -18,37 +18,20 @@ constexpr double kErrMax = 100.0;  // safety cost of unsafe programs (§3.2)
 // would have made differently.
 constexpr double kExitMargin = 1e-9;
 
-// True when `cand` differs from `orig` only inside [win.start, win.end).
-bool differs_only_in(const ebpf::Program& orig, const ebpf::Program& cand,
-                     const verify::WindowSpec& win) {
-  if (orig.insns.size() != cand.insns.size()) return false;
-  for (size_t i = 0; i < orig.insns.size(); ++i) {
-    bool inside = int(i) >= win.start && int(i) < win.end;
-    if (!inside && !(orig.insns[i] == cand.insns[i])) return false;
-  }
-  return true;
-}
-
-// The one equivalence-query policy, shared by the sync path, the
-// fingerprint-collision fallback, and the deferred async solve (which is
-// why this is a free function over copies/references it is given, not a
-// pipeline member: the closure may outlive the pipeline): window-scoped
-// check first when the mutation fits the window, whole-program fallback on
-// ENCODE_FAIL or when it doesn't.
-verify::EqResult solve_eq_query(const ebpf::Program& src,
-                                const ebpf::Program& cand,
-                                const std::optional<verify::WindowSpec>& win,
-                                const verify::EqOptions& opts) {
-  if (win && differs_only_in(src, cand, *win)) {
-    std::vector<ebpf::Insn> repl(cand.insns.begin() + win->start,
-                                 cand.insns.begin() + win->end);
-    verify::EqResult eq =
-        verify::check_window_equivalence(src, *win, repl, opts);
-    if (eq.verdict == verify::Verdict::ENCODE_FAIL)
-      eq = verify::check_equivalence(src, cand, opts);
-    return eq;
-  }
-  return verify::check_equivalence(src, cand, opts);
+// One equivalence question in its self-contained form; the query policy
+// itself (window first, whole-program fallback) lives in
+// verify::solve_query_local so the sync path, the dispatcher workers, and
+// remote solve-workers run literally the same code.
+verify::SolveQuery make_query(const ebpf::Program& src,
+                              const ebpf::Program& cand,
+                              const std::optional<verify::WindowSpec>& win,
+                              const verify::EqOptions& opts) {
+  verify::SolveQuery q;
+  q.src = src;
+  q.cand = cand;
+  q.win = win;
+  q.eq = opts;
+  return q;
 }
 
 }  // namespace
@@ -197,28 +180,31 @@ Eval EvalPipeline::evaluate(const ebpf::Program& cand,
       verify::EqCache::Claim cl = cache_.claim(key);
       if (cl.verdict) {
         stats_.cache_hits++;
+        // A disk-tier NOT_EQUAL hit replays the persisted counterexample
+        // exactly once — the suite evolves as if the cold run's solve had
+        // just happened here.
+        if (cl.replay_cex) confirm_cex(cand, *cl.replay_cex, ctx);
         unequal = *cl.verdict != verify::Verdict::EQUAL;
         ev.verified = !unequal;
       } else if (!cl.pending) {
         // The 64-bit slot is busy with a different program's in-flight
         // query (fingerprint collision): solve synchronously, uncached.
         stats_.solver_calls++;
-        verify::EqResult eq = solve_eq_query(src_, cand, win, cfg_.eq);
+        verify::SolveQuery q = make_query(src_, cand, win, cfg_.eq);
+        verify::EqResult eq =
+            cfg_.backend ? cfg_.backend->solve(q) : verify::solve_query_local(q);
         unequal = eq.verdict != verify::Verdict::EQUAL;
         if (eq.cex) confirm_cex(cand, *eq.cex, ctx);
         ev.verified = !unequal;
       } else {
         if (cl.owner) {
           stats_.solver_calls++;
-          // The deferred solve owns copies of everything it reads except
-          // `src_`, which outlives the dispatcher (both live for the whole
-          // compile) — the pipeline itself may not, so nothing captures
-          // `this`.
-          cfg_.dispatcher->submit(
-              cache_, key, cl.pending,
-              [&src = src_, cand_copy = cand, win, eqopts = cfg_.eq]() {
-                return solve_eq_query(src, cand_copy, win, eqopts);
-              });
+          // The deferred solve is a self-contained SolveQuery (owns copies
+          // of both programs), so nothing captures `this` — the pipeline
+          // may die before the worker runs it.
+          cfg_.dispatcher->submit(cache_, key, cl.pending,
+                                  make_query(src_, cand, win, cfg_.eq),
+                                  cfg_.backend);
         } else {
           stats_.pending_joins++;
         }
@@ -233,13 +219,18 @@ Eval EvalPipeline::evaluate(const ebpf::Program& cand,
       }
     } else {
       verify::EqCache::Key key = verify::EqCache::key_for(src_, cand);
-      if (auto hit = cache_.lookup(key)) {
+      verify::EqCache::Hit hinfo;
+      if (auto hit = cache_.lookup(key, &hinfo)) {
         stats_.cache_hits++;
+        // Disk-tier replay-once (see the async branch above).
+        if (hinfo.replay_cex) confirm_cex(cand, *hinfo.replay_cex, ctx);
         unequal = *hit != verify::Verdict::EQUAL;
       } else {
         stats_.solver_calls++;
-        verify::EqResult eq = solve_eq_query(src_, cand, win, cfg_.eq);
-        cache_.insert(key, eq.verdict);
+        verify::SolveQuery q = make_query(src_, cand, win, cfg_.eq);
+        verify::EqResult eq =
+            cfg_.backend ? cfg_.backend->solve(q) : verify::solve_query_local(q);
+        cache_.insert(key, eq.verdict, eq.cex ? &*eq.cex : nullptr);
         unequal = eq.verdict != verify::Verdict::EQUAL;
         if (eq.cex) confirm_cex(cand, *eq.cex, ctx);
       }

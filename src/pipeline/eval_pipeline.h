@@ -77,6 +77,12 @@ struct EvalConfig {
   // solver pool when the caller opts in per-call (see evaluate()). Null or
   // a zero-worker dispatcher reproduces the synchronous PR 1 path exactly.
   verify::AsyncSolverDispatcher* dispatcher = nullptr;
+  // Where equivalence queries actually solve (verify/solver_backend.h):
+  // null runs solve_query_local in-process — bit-identical to the legacy
+  // inline policy; a RemoteSolverBackend farms queries to solve-worker
+  // processes. Applies to both the synchronous path and dispatched tasks.
+  // Final re-verification (core/compiler.cc) ignores it by design.
+  verify::SolverBackend* backend = nullptr;
   // Pluggable perf(p) backend for the cost stage (sim/perf_model.h). The
   // model must outlive the pipeline and be goal-consistent with `goal`.
   // Null falls back to core::perf_cost(goal, ...) — bit-identical to the

@@ -1,6 +1,7 @@
 #include "verify/cache.h"
 
 #include "analysis/dce.h"
+#include "verify/cache_store.h"
 
 namespace k2::verify {
 
@@ -60,7 +61,7 @@ EqCache::Key EqCache::key_for(const ebpf::Program& src,
   return key;
 }
 
-std::optional<Verdict> EqCache::lookup(const Key& key) {
+std::optional<Verdict> EqCache::lookup(const Key& key, Hit* info) {
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.map.find(key.hash);
@@ -77,14 +78,30 @@ std::optional<Verdict> EqCache::lookup(const Key& key) {
     return std::nullopt;
   }
   s.stats.hits++;
+  if (it->second.disk) s.stats.disk_hits++;
+  if (info) {
+    info->from_disk = it->second.disk;
+    // Replay-once: the persisted counterexample is handed to the first hit
+    // and cleared, mirroring the single solve that produced it cold.
+    info->replay_cex = std::move(it->second.cex);
+    it->second.cex = nullptr;
+  }
   return it->second.verdict;
 }
 
-void EqCache::insert(const Key& key, Verdict v) {
+void EqCache::insert(const Key& key, Verdict v, const interp::InputSpec* cex) {
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lock(s.mu);
-  s.stats.insertions++;
-  s.map[key.hash] = Entry{key.fp, v, nullptr};  // collisions: last writer wins
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.stats.insertions++;
+    s.map[key.hash] = Entry{key.fp, v, nullptr};  // collisions: last writer wins
+    if (store_ && v != Verdict::UNKNOWN) s.stats.disk_writes++;
+  }
+  // Write-through outside the shard lock: the store has its own striping,
+  // and a slow disk must not serialize cache readers. UNKNOWN stays
+  // memory-only (and the store refuses it anyway).
+  if (store_ && v != Verdict::UNKNOWN)
+    store_->append(key.hash, key.fp, store_ofp_, v, cex);
 }
 
 EqCache::Claim EqCache::claim(const Key& key) {
@@ -111,7 +128,11 @@ EqCache::Claim EqCache::claim(const Key& key) {
     }
     if (it->second.fp == key.fp) {
       s.stats.hits++;
+      if (it->second.disk) s.stats.disk_hits++;
       cl.verdict = it->second.verdict;
+      cl.from_disk = it->second.disk;
+      cl.replay_cex = std::move(it->second.cex);  // replay-once (see lookup)
+      it->second.cex = nullptr;
       return cl;
     }
     s.stats.collisions++;
@@ -126,6 +147,13 @@ EqCache::Claim EqCache::claim(const Key& key) {
 
 void EqCache::publish(const Key& key, const PendingHandle& pv, EqResult r) {
   Shard& s = shard_for(key);
+  // Capture what write-through needs before the result is moved into the
+  // PendingVerdict. Persisting does not depend on the slot still backing
+  // this query: the verdict is settled either way.
+  const bool persist = store_ && r.verdict != Verdict::UNKNOWN;
+  const Verdict verdict = r.verdict;
+  std::optional<interp::InputSpec> cex_copy;
+  if (persist && r.cex) cex_copy = *r.cex;
   {
     std::lock_guard<std::mutex> lock(s.mu);
     auto it = s.map.find(key.hash);
@@ -141,11 +169,15 @@ void EqCache::publish(const Key& key, const PendingHandle& pv, EqResult r) {
         it->second.pending = nullptr;
       }
     }
+    if (persist) s.stats.disk_writes++;
     std::lock_guard<std::mutex> plock(pv->mu_);
     pv->state_ = PendingVerdict::State::DONE;
     pv->result_ = std::move(r);
   }
   pv->cv_.notify_all();
+  if (persist)
+    store_->append(key.hash, key.fp, store_ofp_, verdict,
+                   cex_copy ? &*cex_copy : nullptr);
 }
 
 bool EqCache::acquire_for_solve(const Key& key, const PendingHandle& pv) {
@@ -163,6 +195,26 @@ bool EqCache::acquire_for_solve(const Key& key, const PendingHandle& pv) {
   return false;
 }
 
+void EqCache::attach_store(CacheStore* store, uint64_t ofp) {
+  store_ = store;
+  store_ofp_ = ofp;
+  if (!store) return;
+  uint64_t loaded = 0;
+  for (const CacheStore::Record& rec : store->records()) {
+    if (rec.ofp != ofp) continue;  // settled under a different configuration
+    Key key{rec.hash, rec.fp};
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    // Last writer wins on duplicate hashes, mirroring insert(); the
+    // fingerprint stays alongside and is confirmed on every hit.
+    s.map[key.hash] = Entry{rec.fp, rec.verdict, nullptr, true, rec.cex};
+    loaded++;
+  }
+  // Attribute the seeded count to shard 0: Stats are only ever aggregated.
+  std::lock_guard<std::mutex> lock(shards_[0].mu);
+  shards_[0].stats.disk_loaded += loaded;
+}
+
 EqCache::Stats EqCache::stats() const {
   Stats total;
   for (const Shard& s : shards_) {
@@ -173,6 +225,9 @@ EqCache::Stats EqCache::stats() const {
     total.collisions += s.stats.collisions;
     total.pending_joins += s.stats.pending_joins;
     total.pending_abandons += s.stats.pending_abandons;
+    total.disk_hits += s.stats.disk_hits;
+    total.disk_loaded += s.stats.disk_loaded;
+    total.disk_writes += s.stats.disk_writes;
   }
   return total;
 }

@@ -58,6 +58,8 @@
 
 namespace k2::verify {
 
+class CacheStore;
+
 // One in-flight (or just-resolved) equivalence query, shared between the
 // owning chain, any chains that joined it, and the solver worker.
 class PendingVerdict {
@@ -105,6 +107,13 @@ class EqCache {
     // Async-path observability:
     uint64_t pending_joins = 0;     // claims that attached to an in-flight query
     uint64_t pending_abandons = 0;  // cancelled queries erased before running
+    // Disk-tier observability (attach_store): hits split by which tier the
+    // answering entry came from — disk_hits counts hits on entries seeded
+    // from the persistent store (the warm-start signal), hits - disk_hits is
+    // the memory tier. disk_loaded/disk_writes measure the store traffic.
+    uint64_t disk_hits = 0;
+    uint64_t disk_loaded = 0;  // entries seeded from the store at attach
+    uint64_t disk_writes = 0;  // settled verdicts written through
     double hit_rate() const {
       uint64_t total = hits + misses;
       return total == 0 ? 0.0 : double(hits) / double(total);
@@ -126,8 +135,21 @@ class EqCache {
   // lookup() counts a pending entry as a miss; insert() overwrites whatever
   // is there, including a pending marker (the orphaned query still resolves
   // for its waiters but no longer backs the cache slot).
-  std::optional<Verdict> lookup(const Key& key);
-  void insert(const Key& key, Verdict v);
+  //
+  // Disk tier: when `info` is non-null it reports whether the hit came from
+  // a store-seeded entry, and — exactly once per disk-seeded NOT_EQUAL
+  // entry — hands back the persisted solver counterexample so the caller
+  // can replay its confirmation into the test suite (reproducing the cold
+  // run's suite evolution bit-for-bit; see cache_store.h). insert() carries
+  // the counterexample for write-through; conclusive verdicts reach the
+  // attached store, UNKNOWN stays memory-only (PR 2 invariant).
+  struct Hit {
+    bool from_disk = false;
+    std::shared_ptr<interp::InputSpec> replay_cex;  // replay-once, see above
+  };
+  std::optional<Verdict> lookup(const Key& key, Hit* info = nullptr);
+  void insert(const Key& key, Verdict v,
+              const interp::InputSpec* cex = nullptr);
 
   // ---- Asynchronous path --------------------------------------------------
   // Result of claim(): a resolved hit (verdict set), ownership of a fresh
@@ -141,6 +163,8 @@ class EqCache {
     PendingHandle pending;           // the query to dispatch (owner) or join
     bool owner = false;  // true: caller must dispatch `pending` and ensure
                          // publish() or abandonment eventually happens
+    bool from_disk = false;          // resolved hit served by the disk tier
+    std::shared_ptr<interp::InputSpec> replay_cex;  // see lookup()
   };
   Claim claim(const Key& key);
 
@@ -157,6 +181,14 @@ class EqCache {
   // atomic step — a cancel/join racing between "check cancelled" and "mark
   // running" could otherwise strand the slot as pending forever.
   bool acquire_for_solve(const Key& key, const PendingHandle& pv);
+
+  // Wires in the persistent tier (verify/cache_store.h): seeds the in-memory
+  // shards with every store record whose options fingerprint matches `ofp`
+  // (fingerprints are confirmed again on every hit, so a primary-hash
+  // collision on disk can never surface a wrong verdict), and from then on
+  // writes settled verdicts through to the store. The store must outlive the
+  // cache. Call once, before the cache is shared with other threads.
+  void attach_store(CacheStore* store, uint64_t ofp);
 
   Stats stats() const;
 
@@ -176,6 +208,8 @@ class EqCache {
     uint64_t fp;
     Verdict verdict;
     PendingHandle pending;  // non-null ⇒ verdict not yet meaningful
+    bool disk = false;      // seeded from the persistent store
+    std::shared_ptr<interp::InputSpec> cex;  // disk NOT_EQUAL, until replayed
   };
   struct Shard {
     mutable std::mutex mu;
@@ -191,6 +225,8 @@ class EqCache {
   }
 
   std::array<Shard, kShards> shards_;
+  CacheStore* store_ = nullptr;  // null: memory-only (the default)
+  uint64_t store_ofp_ = 0;
 };
 
 }  // namespace k2::verify

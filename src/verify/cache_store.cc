@@ -1,0 +1,224 @@
+#include "verify/cache_store.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <bit>
+#include <string_view>
+
+#include "api/schema.h"
+#include "util/json.h"
+#include "verify/solve_protocol.h"
+
+namespace k2::verify {
+
+namespace {
+
+uint64_t fnv1a64(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= uint8_t(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string shard_path(const std::string& dir, size_t idx) {
+  char name[32];
+  snprintf(name, sizeof(name), "/shard-%02zu", idx);
+  return dir + name;
+}
+
+std::string header_line() {
+  util::Json h{util::Json::Object{}};
+  h.set("schema", api::kEqCacheSchema);
+  return h.dump();
+}
+
+bool write_all(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += size_t(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t CacheStore::shard_index(uint64_t hash) {
+  static_assert((kShards & (kShards - 1)) == 0, "kShards: power of two");
+  constexpr int kShift = 64 - std::countr_zero(kShards);
+  return (hash >> kShift) & (kShards - 1);
+}
+
+CacheStore::~CacheStore() {
+  if (!shards_) return;
+  for (size_t i = 0; i < kShards; ++i)
+    if (shards_[i].fd >= 0) ::close(shards_[i].fd);
+}
+
+bool CacheStore::open(const std::string& dir, std::string* error) {
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    if (error)
+      *error = "cannot create cache dir " + dir + ": " + strerror(errno);
+    return false;
+  }
+  const std::string header = header_line();
+  shards_ = std::make_unique<ShardFile[]>(kShards);
+  for (size_t i = 0; i < kShards; ++i) {
+    const std::string path = shard_path(dir, i);
+    // Read the whole shard file and keep the longest valid prefix.
+    std::string contents;
+    {
+      int fd = ::open(path.c_str(), O_RDONLY | O_CREAT, 0666);
+      if (fd < 0) {
+        if (error)
+          *error = "cannot open " + path + ": " + strerror(errno);
+        return false;
+      }
+      char buf[1 << 16];
+      ssize_t n;
+      while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+        contents.append(buf, size_t(n));
+      ::close(fd);
+    }
+
+    size_t valid_end = 0;  // byte offset one past the last valid line
+    bool reset = false;
+    size_t pos = 0;
+    size_t line_no = 0;
+    while (pos < contents.size()) {
+      size_t nl = contents.find('\n', pos);
+      if (nl == std::string::npos) break;  // torn tail (no newline): drop
+      std::string_view line(contents.data() + pos, nl - pos);
+      line_no++;
+      if (line_no == 1) {
+        if (line != header) {
+          // Missing or foreign-version header: the whole file is unusable
+          // under this schema. Reset it — verdicts are recomputable.
+          reset = true;
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          stats_.reset_shards++;
+        }
+        pos = nl + 1;
+        if (reset) break;
+        valid_end = pos;
+        continue;
+      }
+      Record rec;
+      bool ok = false;
+      try {
+        util::Json j = util::Json::parse(line);
+        const util::Json& body = j.at("rec");
+        // The checksum covers the re-serialized record body; Json preserves
+        // field order and integer-ness, so a clean line round-trips to the
+        // exact bytes that were summed at append time.
+        if (j.at("ck").as_uint() == fnv1a64(body.dump())) {
+          rec.hash = body.at("h").as_uint();
+          rec.fp = body.at("fp").as_uint();
+          rec.ofp = body.at("ofp").as_uint();
+          if (verdict_from_name(body.at("v").as_string(), &rec.verdict) &&
+              rec.verdict != Verdict::UNKNOWN) {
+            if (const util::Json* c = body.get("cex"))
+              rec.cex = std::make_shared<interp::InputSpec>(
+                  input_spec_from_json(*c));
+            ok = true;
+          }
+        }
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      if (!ok) break;  // first bad line: drop it and everything after
+      records_.push_back(std::move(rec));
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.loaded++;
+      }
+      pos = nl + 1;
+      valid_end = pos;
+    }
+    if (!reset && valid_end < contents.size()) {
+      // Count the dropped tail (for observability) before healing it away.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      for (size_t p = valid_end; p < contents.size(); ++p)
+        if (contents[p] == '\n') stats_.dropped++;
+      if (contents.back() != '\n') stats_.dropped++;  // torn final line
+    }
+
+    // Re-materialize the file: reset (header only), heal (truncate to the
+    // valid prefix), or just ensure the header exists in a fresh file.
+    if (reset || valid_end == 0) {
+      int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+      if (fd < 0 || !write_all(fd, header.c_str(), header.size()) ||
+          !write_all(fd, "\n", 1)) {
+        if (fd >= 0) ::close(fd);
+        if (error)
+          *error = "cannot initialize " + path + ": " + strerror(errno);
+        return false;
+      }
+      ::close(fd);
+    } else if (valid_end < contents.size()) {
+      if (::truncate(path.c_str(), off_t(valid_end)) != 0) {
+        if (error)
+          *error = "cannot truncate " + path + ": " + strerror(errno);
+        return false;
+      }
+    }
+
+    shards_[i].fd = ::open(path.c_str(), O_WRONLY | O_APPEND, 0666);
+    if (shards_[i].fd < 0) {
+      if (error)
+        *error = "cannot reopen " + path + ": " + strerror(errno);
+      return false;
+    }
+  }
+  dir_ = dir;
+  return true;
+}
+
+void CacheStore::append(uint64_t hash, uint64_t fp, uint64_t ofp, Verdict v,
+                        const interp::InputSpec* cex) {
+  if (!is_open() || v == Verdict::UNKNOWN) return;
+  util::Json body{util::Json::Object{}};
+  body.set("h", hash);
+  body.set("fp", fp);
+  body.set("ofp", ofp);
+  body.set("v", verdict_name(v));
+  if (v == Verdict::NOT_EQUAL && cex) body.set("cex", input_spec_to_json(*cex));
+  std::string body_str = body.dump();
+  util::Json line{util::Json::Object{}};
+  line.set("ck", fnv1a64(body_str));
+  line.set("rec", std::move(body));
+  std::string out = line.dump();
+  out.push_back('\n');
+  ShardFile& sf = shards_[shard_index(hash)];
+  std::lock_guard<std::mutex> lock(sf.mu);
+  // One write() per record: O_APPEND makes the offset positioning atomic,
+  // so concurrent appenders (other threads or processes sharing the dir)
+  // never interleave mid-line.
+  if (write_all(sf.fd, out.data(), out.size())) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.appended++;
+  }
+}
+
+CacheStore::Stats CacheStore::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+uint64_t CacheStore::options_fingerprint(const EqOptions& eq,
+                                         bool window_mode) {
+  std::string s = eq_options_to_json(eq).dump();
+  s += window_mode ? "|window" : "|whole";
+  return fnv1a64(s);
+}
+
+}  // namespace k2::verify

@@ -1,0 +1,111 @@
+// Persistent tier of the equivalence-outcome cache (k2-eqcache/v1): an
+// append-only, sharded NDJSON log on disk, so verdicts survive the process
+// and repeated jobs on the same corpus warm-start with zero Z3 invocations
+// for previously-settled pairs.
+//
+// Layout: `dir/shard-NN` for NN in [0, kShards), sharded by the same
+// primary-hash bits as EqCache's in-memory shards. Line 1 of every file is
+// the versioned header {"schema":"k2-eqcache/v1"}; every following line is
+// one record {"ck":<fnv64>,"rec":{"h":…,"fp":…,"ofp":…,"v":"equal|
+// not-equal|encode-fail","cex":{…}?}} — primary hash, independent
+// fingerprint (confirmed on every disk hit, closing the same 64-bit
+// collision hole the in-memory fingerprint closes), an options fingerprint
+// binding the verdict to the encoder configuration + verification mode that
+// produced it, the verdict, and (NOT_EQUAL only) the solver counterexample.
+// UNKNOWN verdicts are never written: a transient budget exhaustion must
+// not poison the cache across runs any more than within one (the PR 2
+// invariant).
+//
+// Crash safety: appends are single O_APPEND write()s (atomic end-of-file
+// positioning, so concurrent appenders — e.g. batch shards sharing one
+// --cache-dir — interleave whole lines). The loader keeps the longest valid
+// prefix of each shard file: the first malformed, checksum-failed, or
+// truncated line and everything after it is dropped and the file truncated
+// back to the valid prefix, self-healing a torn tail from a crash mid-
+// append. A header that is missing or names another schema version resets
+// the whole shard file — cache contents are always recomputable, so an
+// unreadable store costs Z3 time, never correctness.
+//
+// Thread-safety: open() is single-threaded setup; append() is safe from any
+// thread (per-shard-file mutexes). records() is immutable after open().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "interp/state.h"
+#include "verify/eqchecker.h"
+
+namespace k2::verify {
+
+class CacheStore {
+ public:
+  struct Record {
+    uint64_t hash = 0;
+    uint64_t fp = 0;
+    uint64_t ofp = 0;  // options fingerprint (see options_fingerprint)
+    Verdict verdict = Verdict::UNKNOWN;
+    std::shared_ptr<interp::InputSpec> cex;  // NOT_EQUAL records only
+  };
+
+  struct Stats {
+    uint64_t loaded = 0;        // valid records read by open()
+    uint64_t dropped = 0;       // torn/corrupt tail lines discarded
+    uint64_t appended = 0;      // records written by this process
+    uint64_t reset_shards = 0;  // shard files reset (bad/old header)
+  };
+
+  CacheStore() = default;
+  ~CacheStore();
+  CacheStore(const CacheStore&) = delete;
+  CacheStore& operator=(const CacheStore&) = delete;
+
+  // Creates `dir` if needed, loads (and self-heals) every shard file, and
+  // opens them for appending. False + *error on an unusable directory.
+  // Must be called exactly once, before any append().
+  bool open(const std::string& dir, std::string* error);
+
+  bool is_open() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  // Everything open() recovered, load order. Duplicate (hash) records are
+  // possible (concurrent cold runs); consumers apply last-writer-wins.
+  const std::vector<Record>& records() const { return records_; }
+
+  // Appends one settled verdict. UNKNOWN is silently refused (never
+  // persisted); `cex` may be null (it only travels with NOT_EQUAL).
+  void append(uint64_t hash, uint64_t fp, uint64_t ofp, Verdict v,
+              const interp::InputSpec* cex);
+
+  Stats stats() const;
+
+  // Fingerprint of everything outside the cache key that a persisted
+  // verdict depends on: the full encoder/solver option set and whether
+  // window-scoped verification was in use. Records whose fingerprint does
+  // not match the current run's are skipped at load — a store populated
+  // under different options misses, it never answers wrongly.
+  static uint64_t options_fingerprint(const EqOptions& eq, bool window_mode);
+
+  // Must match EqCache::kShards (the shard index is derived from the same
+  // hash bits).
+  static constexpr size_t kShards = 16;
+
+ private:
+  struct ShardFile {
+    int fd = -1;  // O_APPEND descriptor; guarded by mu
+    std::mutex mu;
+  };
+
+  static size_t shard_index(uint64_t hash);
+
+  std::string dir_;
+  std::vector<Record> records_;
+  std::unique_ptr<ShardFile[]> shards_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace k2::verify

@@ -1,0 +1,361 @@
+#include "verify/solve_protocol.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "api/schema.h"
+#include "ebpf/assembler.h"
+#include "verify/solver_backend.h"
+
+namespace k2::verify {
+
+namespace {
+
+const char* prog_type_name(ebpf::ProgType t) {
+  switch (t) {
+    case ebpf::ProgType::SOCKET_FILTER: return "socket";
+    case ebpf::ProgType::TRACEPOINT: return "trace";
+    default: return "xdp";
+  }
+}
+
+ebpf::ProgType prog_type_from(const std::string& s) {
+  if (s == "xdp") return ebpf::ProgType::XDP;
+  if (s == "socket") return ebpf::ProgType::SOCKET_FILTER;
+  if (s == "trace") return ebpf::ProgType::TRACEPOINT;
+  throw std::runtime_error("unknown program type '" + s + "'");
+}
+
+const char* map_kind_name(ebpf::MapKind k) {
+  switch (k) {
+    case ebpf::MapKind::ARRAY: return "array";
+    case ebpf::MapKind::DEVMAP: return "devmap";
+    default: return "hash";
+  }
+}
+
+ebpf::MapKind map_kind_from(const std::string& s) {
+  if (s == "hash") return ebpf::MapKind::HASH;
+  if (s == "array") return ebpf::MapKind::ARRAY;
+  if (s == "devmap") return ebpf::MapKind::DEVMAP;
+  throw std::runtime_error("unknown map kind '" + s + "'");
+}
+
+std::vector<ebpf::MapDef> maps_from_json(const util::Json& arr) {
+  std::vector<ebpf::MapDef> maps;
+  for (const util::Json& m : arr.as_array()) {
+    ebpf::MapDef def;
+    def.name = m.at("name").as_string();
+    def.kind = map_kind_from(m.at("kind").as_string());
+    def.key_size = uint32_t(m.at("key_size").as_int());
+    def.value_size = uint32_t(m.at("value_size").as_int());
+    def.max_entries = uint32_t(m.at("max_entries").as_int());
+    maps.push_back(std::move(def));
+  }
+  return maps;
+}
+
+// Checked narrowing for instruction fields coming off the wire.
+int64_t field_in_range(const util::Json& v, int64_t lo, int64_t hi,
+                       const char* what) {
+  int64_t x = v.as_int();
+  if (x < lo || x > hi)
+    throw std::runtime_error(std::string("instruction field ") + what +
+                             " out of range");
+  return x;
+}
+
+}  // namespace
+
+// ---- hex -------------------------------------------------------------------
+
+std::string hex_encode(const std::vector<uint8_t>& bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string s;
+  s.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    s.push_back(kHex[b >> 4]);
+    s.push_back(kHex[b & 0xf]);
+  }
+  return s;
+}
+
+std::vector<uint8_t> hex_decode(std::string_view hex) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  if (hex.size() % 2 != 0)
+    throw std::runtime_error("hex string has odd length");
+  std::vector<uint8_t> bytes;
+  bytes.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw std::runtime_error("non-hex byte string");
+    bytes.push_back(uint8_t(hi << 4 | lo));
+  }
+  return bytes;
+}
+
+// ---- verdict ---------------------------------------------------------------
+
+bool verdict_from_name(std::string_view name, Verdict* out) {
+  for (Verdict v : {Verdict::EQUAL, Verdict::NOT_EQUAL, Verdict::UNKNOWN,
+                    Verdict::ENCODE_FAIL}) {
+    if (name == verdict_name(v)) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- Program ---------------------------------------------------------------
+
+util::Json program_to_json(const ebpf::Program& prog) {
+  util::Json j{util::Json::Object{}};
+  j.set("type", prog_type_name(prog.type));
+  util::Json insns{util::Json::Array{}};
+  for (const ebpf::Insn& i : prog.insns) {
+    util::Json row{util::Json::Array{}};
+    row.push_back(int64_t(i.op));
+    row.push_back(int64_t(i.dst));
+    row.push_back(int64_t(i.src));
+    row.push_back(int64_t(i.off));
+    row.push_back(i.imm);
+    insns.push_back(std::move(row));
+  }
+  j.set("insns", std::move(insns));
+  util::Json maps{util::Json::Array{}};
+  for (const ebpf::MapDef& m : prog.maps) {
+    util::Json mj{util::Json::Object{}};
+    mj.set("name", m.name);
+    mj.set("kind", map_kind_name(m.kind));
+    mj.set("key_size", int64_t(m.key_size));
+    mj.set("value_size", int64_t(m.value_size));
+    mj.set("max_entries", int64_t(m.max_entries));
+    maps.push_back(std::move(mj));
+  }
+  j.set("maps", std::move(maps));
+  return j;
+}
+
+ebpf::Program program_from_json(const util::Json& j) {
+  ebpf::ProgType type = ebpf::ProgType::XDP;
+  if (const util::Json* t = j.get("type")) type = prog_type_from(t->as_string());
+  std::vector<ebpf::MapDef> maps;
+  if (const util::Json* m = j.get("maps")) maps = maps_from_json(*m);
+  // Alternate encoding for hand-written protocol tests: textual assembly.
+  if (const util::Json* a = j.get("asm"))
+    return ebpf::assemble(a->as_string(), type, std::move(maps));
+  ebpf::Program prog;
+  prog.type = type;
+  prog.maps = std::move(maps);
+  for (const util::Json& row : j.at("insns").as_array()) {
+    const util::Json::Array& f = row.as_array();
+    if (f.size() != 5)
+      throw std::runtime_error("instruction row needs 5 fields");
+    ebpf::Insn insn;
+    insn.op = ebpf::Opcode(field_in_range(
+        f[0], 0, int64_t(ebpf::Opcode::NUM_OPCODES) - 1, "op"));
+    insn.dst = uint8_t(field_in_range(f[1], 0, 10, "dst"));
+    insn.src = uint8_t(field_in_range(f[2], 0, 10, "src"));
+    insn.off = int16_t(field_in_range(f[3], INT16_MIN, INT16_MAX, "off"));
+    insn.imm = f[4].as_int();
+    prog.insns.push_back(insn);
+  }
+  return prog;
+}
+
+// ---- InputSpec -------------------------------------------------------------
+
+util::Json input_spec_to_json(const interp::InputSpec& in) {
+  util::Json j{util::Json::Object{}};
+  j.set("packet", hex_encode(in.packet));
+  util::Json maps{util::Json::Array{}};
+  for (const auto& [fd, entries] : in.maps) {
+    util::Json mj{util::Json::Object{}};
+    mj.set("fd", int64_t(fd));
+    util::Json ej{util::Json::Array{}};
+    for (const interp::MapEntryInit& e : entries) {
+      util::Json rec{util::Json::Object{}};
+      rec.set("key", hex_encode(e.key));
+      rec.set("value", hex_encode(e.value));
+      ej.push_back(std::move(rec));
+    }
+    mj.set("entries", std::move(ej));
+    maps.push_back(std::move(mj));
+  }
+  j.set("maps", std::move(maps));
+  j.set("prandom_seed", in.prandom_seed);
+  j.set("ktime_base", in.ktime_base);
+  j.set("cpu_id", uint64_t(in.cpu_id));
+  util::Json args{util::Json::Array{}};
+  args.push_back(in.ctx_args[0]);
+  args.push_back(in.ctx_args[1]);
+  j.set("ctx_args", std::move(args));
+  return j;
+}
+
+interp::InputSpec input_spec_from_json(const util::Json& j) {
+  interp::InputSpec in;
+  in.packet = hex_decode(j.at("packet").as_string());
+  if (const util::Json* maps = j.get("maps")) {
+    for (const util::Json& mj : maps->as_array()) {
+      std::vector<interp::MapEntryInit>& entries =
+          in.maps[int(mj.at("fd").as_int())];
+      for (const util::Json& rec : mj.at("entries").as_array())
+        entries.push_back(
+            interp::MapEntryInit{hex_decode(rec.at("key").as_string()),
+                                 hex_decode(rec.at("value").as_string())});
+    }
+  }
+  if (const util::Json* v = j.get("prandom_seed")) in.prandom_seed = v->as_uint();
+  if (const util::Json* v = j.get("ktime_base")) in.ktime_base = v->as_uint();
+  if (const util::Json* v = j.get("cpu_id")) in.cpu_id = uint32_t(v->as_uint());
+  if (const util::Json* v = j.get("ctx_args")) {
+    const util::Json::Array& a = v->as_array();
+    if (a.size() != 2) throw std::runtime_error("ctx_args needs 2 entries");
+    in.ctx_args[0] = a[0].as_uint();
+    in.ctx_args[1] = a[1].as_uint();
+  }
+  return in;
+}
+
+// ---- EqOptions -------------------------------------------------------------
+
+util::Json eq_options_to_json(const EqOptions& opts) {
+  util::Json j{util::Json::Object{}};
+  j.set("timeout_ms", int64_t(opts.timeout_ms));
+  j.set("memory_max_mb", int64_t(opts.memory_max_mb));
+  j.set("mem_tc", opts.enc.mem_type_concretization);
+  j.set("map_tc", opts.enc.map_type_concretization);
+  j.set("off_tc", opts.enc.offset_concretization);
+  j.set("max_pkt", int64_t(opts.enc.max_pkt));
+  j.set("min_pkt", int64_t(opts.enc.min_pkt));
+  j.set("symbolic_stack_init", opts.enc.symbolic_stack_init);
+  return j;
+}
+
+EqOptions eq_options_from_json(const util::Json& j) {
+  EqOptions opts;
+  if (const util::Json* v = j.get("timeout_ms"))
+    opts.timeout_ms = unsigned(v->as_int());
+  if (const util::Json* v = j.get("memory_max_mb"))
+    opts.memory_max_mb = unsigned(v->as_int());
+  if (const util::Json* v = j.get("mem_tc"))
+    opts.enc.mem_type_concretization = v->as_bool();
+  if (const util::Json* v = j.get("map_tc"))
+    opts.enc.map_type_concretization = v->as_bool();
+  if (const util::Json* v = j.get("off_tc"))
+    opts.enc.offset_concretization = v->as_bool();
+  if (const util::Json* v = j.get("max_pkt")) opts.enc.max_pkt = int(v->as_int());
+  if (const util::Json* v = j.get("min_pkt")) opts.enc.min_pkt = int(v->as_int());
+  if (const util::Json* v = j.get("symbolic_stack_init"))
+    opts.enc.symbolic_stack_init = v->as_bool();
+  return opts;
+}
+
+// ---- EqResult --------------------------------------------------------------
+
+util::Json eq_result_to_json(const EqResult& r) {
+  util::Json j{util::Json::Object{}};
+  j.set("verdict", verdict_name(r.verdict));
+  if (r.cex) j.set("cex", input_spec_to_json(*r.cex));
+  j.set("encode_ms", r.encode_ms);
+  j.set("solve_ms", r.solve_ms);
+  j.set("detail", r.detail);
+  return j;
+}
+
+EqResult eq_result_from_json(const util::Json& j) {
+  EqResult r;
+  if (!verdict_from_name(j.at("verdict").as_string(), &r.verdict))
+    throw std::runtime_error("unknown verdict '" +
+                             j.at("verdict").as_string() + "'");
+  if (const util::Json* c = j.get("cex")) r.cex = input_spec_from_json(*c);
+  if (const util::Json* v = j.get("encode_ms")) r.encode_ms = v->as_double();
+  if (const util::Json* v = j.get("solve_ms")) r.solve_ms = v->as_double();
+  if (const util::Json* v = j.get("detail")) r.detail = v->as_string();
+  return r;
+}
+
+// ---- SolveWorker -----------------------------------------------------------
+
+std::string SolveWorker::handle_line(const std::string& line, bool* stop) {
+  util::Json reply{util::Json::Object{}};
+  try {
+    util::Json req = util::Json::parse(line);
+    const std::string& op = req.at("op").as_string();
+    if (const util::Json* id = req.get("id")) reply.set("id", *id);
+    if (op == "hello") {
+      reply.set("ok", true);
+      reply.set("protocol", api::kSolveProtocol);
+      util::Json ops{util::Json::Array{}};
+      for (const char* o : {"hello", "solve", "cancel", "shutdown"})
+        ops.push_back(o);
+      reply.set("ops", std::move(ops));
+      return reply.dump();
+    }
+    if (op == "shutdown") {
+      reply.set("ok", true);
+      *stop = true;
+      return reply.dump();
+    }
+    if (op == "cancel") {
+      // One query at a time: whatever this cancel names was already
+      // answered by the time the line was read.
+      reply.set("ok", true);
+      reply.set("cancelled", false);
+      return reply.dump();
+    }
+    if (op == "solve") {
+      SolveQuery q;
+      q.src = program_from_json(req.at("src"));
+      q.cand = program_from_json(req.at("cand"));
+      if (const util::Json* w = req.get("win"))
+        q.win = WindowSpec{int(w->at("start").as_int()),
+                           int(w->at("end").as_int())};
+      if (const util::Json* e = req.get("eq")) q.eq = eq_options_from_json(*e);
+      EqResult r;
+      try {
+        r = solve_query_local(q);
+      } catch (const std::exception& e) {
+        // Same guard as the dispatcher workers: a solver exception becomes
+        // UNKNOWN (never cached), not a dead worker.
+        r.verdict = Verdict::UNKNOWN;
+        r.detail = e.what();
+      }
+      stats_.solved++;
+      util::Json body = eq_result_to_json(r);
+      reply.set("ok", true);
+      for (const auto& [k, v] : body.as_object()) reply.set(k, v);
+      return reply.dump();
+    }
+    throw std::runtime_error("unknown op '" + op + "'");
+  } catch (const std::exception& e) {
+    stats_.errors++;
+    util::Json err{util::Json::Object{}};
+    err.set("ok", false);
+    err.set("error", e.what());
+    return err.dump();
+  }
+}
+
+size_t SolveWorker::run(std::istream& in, std::ostream& out) {
+  size_t handled = 0;
+  std::string line;
+  bool stop = false;
+  while (!stop && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle_line(line, &stop) << "\n";
+    out.flush();
+    handled++;
+  }
+  return handled;
+}
+
+}  // namespace k2::verify

@@ -1,0 +1,103 @@
+// The `k2-solve/v1` wire protocol: newline-delimited JSON spoken between a
+// RemoteSolverBackend (client side, src/verify/solver_backend.h) and a
+// `k2c solve-worker` process (server side, the SolveWorker below). One
+// request object per line in, one reply object per line out, in request
+// order — the same NDJSON discipline as `k2c serve` (k2-serve/v1), so both
+// protocols ride the same transport pumps (stdio or a unix-domain socket).
+//
+// Ops:
+//   {"op":"hello"}                       → {"ok":true,"protocol":
+//                                           "k2-solve/v1","ops":[...]}
+//   {"op":"solve","id":N,"src":P,"cand":P,
+//    "win":{"start":s,"end":e}?,"eq":O}  → {"ok":true,"id":N,"verdict":
+//                                           "equal|not-equal|unknown|
+//                                           encode-fail","cex":I?,
+//                                           "encode_ms":d,"solve_ms":d,
+//                                           "detail":str}
+//   {"op":"cancel","id":N}               → {"ok":true,"id":N,
+//                                           "cancelled":false}
+//   {"op":"shutdown"}                    → {"ok":true} and the loop ends
+//
+// The worker is synchronous (one query at a time, blocking inside Z3 for up
+// to the query's own timeout budget), so by the time a cancel line is read
+// the solve it names has already been answered — cancel exists for protocol
+// completeness and always acks with "cancelled":false. Malformed lines and
+// unknown ops get {"ok":false,"error":...} replies; the loop only ends on
+// shutdown or EOF.
+//
+// Program encoding P: {"type":"xdp|socket|trace","insns":[[op,dst,src,off,
+// imm],...],"maps":[{"name",...}]} — or, accepted on parse only, {"asm":
+// "...","type":...,"maps":[...]} assembled via ebpf::assemble (hand-written
+// protocol smokes want readable programs). InputSpec encoding I uses
+// lowercase-hex byte strings. All converters below are exact inverses on
+// the canonical (non-asm) encoding and throw std::runtime_error on
+// malformed input; they are shared with the on-disk equivalence-cache store
+// (verify/cache_store.h), which persists counterexamples in the same
+// format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "ebpf/program.h"
+#include "interp/state.h"
+#include "util/json.h"
+#include "verify/eqchecker.h"
+
+namespace k2::verify {
+
+// ---- JSON converters (wire protocol + cache store) -------------------------
+
+util::Json program_to_json(const ebpf::Program& prog);
+ebpf::Program program_from_json(const util::Json& j);
+
+util::Json input_spec_to_json(const interp::InputSpec& in);
+interp::InputSpec input_spec_from_json(const util::Json& j);
+
+util::Json eq_options_to_json(const EqOptions& opts);
+EqOptions eq_options_from_json(const util::Json& j);
+
+// The full EqResult as reply fields (verdict/cex/encode_ms/solve_ms/detail),
+// merged into an existing reply object by the worker.
+util::Json eq_result_to_json(const EqResult& r);
+EqResult eq_result_from_json(const util::Json& j);
+
+// Inverse of verdict_name(); false on an unknown string.
+bool verdict_from_name(std::string_view name, Verdict* out);
+
+// Lowercase-hex byte strings (the byte encoding used on the wire and in the
+// cache store). decode throws std::runtime_error on odd length / non-hex.
+std::string hex_encode(const std::vector<uint8_t>& bytes);
+std::vector<uint8_t> hex_decode(std::string_view hex);
+
+// ---- Worker side -----------------------------------------------------------
+
+// The solve-worker request loop: stateless, one line in → one line out.
+// Solving runs in-process via solve_query_local (solver_backend.h) — a
+// worker is exactly one remote incarnation of the local solving policy.
+class SolveWorker {
+ public:
+  struct Stats {
+    uint64_t solved = 0;  // solve ops answered (any verdict)
+    uint64_t errors = 0;  // malformed lines / unknown ops
+  };
+
+  // Handles ONE request line and returns the reply line (no trailing
+  // newline). Sets *stop on shutdown. Never throws — every failure becomes
+  // an {"ok":false,...} reply.
+  std::string handle_line(const std::string& line, bool* stop);
+
+  // Reads NDJSON requests from `in`, writes NDJSON replies to `out` (one
+  // line per reply, flushed — the client blocks on each reply), until
+  // shutdown or EOF. Returns the number of lines handled.
+  size_t run(std::istream& in, std::ostream& out);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Stats stats_;
+};
+
+}  // namespace k2::verify

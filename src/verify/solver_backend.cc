@@ -1,0 +1,388 @@
+#include "verify/solver_backend.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "api/schema.h"
+#include "util/json.h"
+#include "verify/solve_protocol.h"
+
+namespace k2::verify {
+
+namespace {
+
+// True when `cand` differs from `orig` only inside [win.start, win.end).
+bool differs_only_in(const ebpf::Program& orig, const ebpf::Program& cand,
+                     const WindowSpec& win) {
+  if (orig.insns.size() != cand.insns.size()) return false;
+  for (size_t i = 0; i < orig.insns.size(); ++i) {
+    bool inside = int(i) >= win.start && int(i) < win.end;
+    if (!inside && !(orig.insns[i] == cand.insns[i])) return false;
+  }
+  return true;
+}
+
+// Writes one NDJSON line. MSG_NOSIGNAL keeps a dead worker from raising
+// SIGPIPE; non-socket fds (a test pipe) fall back to plain write().
+bool send_line(int fd, const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  size_t off = 0;
+  while (off < out.size()) {
+    ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK)
+      n = ::write(fd, out.data() + off, out.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += size_t(n);
+  }
+  return true;
+}
+
+// Reads one NDJSON line into *line with a wall-clock deadline; leftover
+// bytes stay in `buf` for the next reply. False on EOF, error, or deadline.
+bool recv_line(int fd, std::string& buf, unsigned deadline_ms,
+               std::string* line) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms);
+  for (;;) {
+    size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      *line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      return true;
+    }
+    long left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+    if (left <= 0) return false;
+    struct pollfd p = {fd, POLLIN, 0};
+    int pr = ::poll(&p, 1, int(left));
+    if (pr < 0 && errno == EINTR) continue;
+    if (pr <= 0) return false;
+    char tmp[4096];
+    ssize_t n = ::read(fd, tmp, sizeof tmp);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buf.append(tmp, size_t(n));
+  }
+}
+
+// Encoder-tactic variations for portfolio racers. Index 0 is always the
+// caller's unmodified configuration, so its verdict is the one a
+// single-endpoint run would have produced.
+void apply_tactic(int racer, EncoderOpts* enc) {
+  switch (racer % 4) {
+    case 1: enc->offset_concretization = false; break;
+    case 2: enc->mem_type_concretization = false; break;
+    case 3: enc->map_type_concretization = false; break;
+    default: break;  // racer 0: unmodified
+  }
+}
+
+bool definitive(Verdict v) {
+  return v == Verdict::EQUAL || v == Verdict::NOT_EQUAL;
+}
+
+}  // namespace
+
+EqResult solve_query_local(const SolveQuery& q) {
+  if (q.win && differs_only_in(q.src, q.cand, *q.win)) {
+    std::vector<ebpf::Insn> repl(q.cand.insns.begin() + q.win->start,
+                                 q.cand.insns.begin() + q.win->end);
+    EqResult eq = check_window_equivalence(q.src, *q.win, repl, q.eq);
+    if (eq.verdict == Verdict::ENCODE_FAIL)
+      eq = check_equivalence(q.src, q.cand, q.eq);
+    return eq;
+  }
+  return check_equivalence(q.src, q.cand, q.eq);
+}
+
+// ---- RemoteSolverBackend ---------------------------------------------------
+
+RemoteSolverBackend::RemoteSolverBackend(Options opts)
+    : opts_(std::move(opts)) {
+  for (const std::string& spec : opts_.endpoints) {
+    auto ep = std::make_unique<Endpoint>();
+    ep->spec = spec;
+    eps_.push_back(std::move(ep));
+  }
+}
+
+RemoteSolverBackend::~RemoteSolverBackend() {
+  {
+    std::unique_lock<std::mutex> lock(racers_mu_);
+    racers_cv_.wait(lock, [this] { return active_racers_ == 0; });
+  }
+  for (auto& ep : eps_) {
+    std::lock_guard<std::mutex> lock(ep->mu);
+    if (ep->fd >= 0) ::close(ep->fd);
+    ep->fd = -1;
+  }
+}
+
+void RemoteSolverBackend::mark_dead(Endpoint& ep) {
+  if (ep.fd >= 0) ::close(ep.fd);
+  ep.fd = -1;
+  ep.rdbuf.clear();
+  ep.dead.store(true, std::memory_order_relaxed);
+}
+
+bool RemoteSolverBackend::ensure_connected(Endpoint& ep) {
+  if (ep.dead.load(std::memory_order_relaxed)) return false;
+  if (ep.fd >= 0) return true;
+  int fd = -1;
+  if (ep.spec.rfind("fd:", 0) == 0) {
+    fd = std::atoi(ep.spec.c_str() + 3);
+  } else {
+    std::string path = ep.spec;
+    if (path.rfind("unix:", 0) == 0) path = path.substr(5);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      mark_dead(ep);
+      return false;
+    }
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      mark_dead(ep);
+      return false;
+    }
+    memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      mark_dead(ep);
+      return false;
+    }
+  }
+  ep.fd = fd;
+  // Handshake: the worker must speak exactly our protocol version.
+  std::string line;
+  if (!send_line(ep.fd, "{\"op\":\"hello\"}") ||
+      !recv_line(ep.fd, ep.rdbuf, opts_.reply_slack_ms, &line)) {
+    mark_dead(ep);
+    return false;
+  }
+  try {
+    util::Json hello = util::Json::parse(line);
+    if (!hello.at("ok").as_bool() ||
+        hello.at("protocol").as_string() != api::kSolveProtocol) {
+      mark_dead(ep);
+      return false;
+    }
+  } catch (const std::exception&) {
+    mark_dead(ep);
+    return false;
+  }
+  return true;
+}
+
+bool RemoteSolverBackend::solve_on(Endpoint& ep, const SolveQuery& q,
+                                   EqResult* out) {
+  if (!ensure_connected(ep)) return false;
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    id = next_id_++;
+  }
+  util::Json req{util::Json::Object{}};
+  req.set("op", "solve");
+  req.set("id", id);
+  req.set("src", program_to_json(q.src));
+  req.set("cand", program_to_json(q.cand));
+  if (q.win) {
+    util::Json w{util::Json::Object{}};
+    w.set("start", int64_t(q.win->start));
+    w.set("end", int64_t(q.win->end));
+    req.set("win", std::move(w));
+  }
+  req.set("eq", eq_options_to_json(q.eq));
+  std::string line;
+  if (!send_line(ep.fd, req.dump()) ||
+      !recv_line(ep.fd, ep.rdbuf, q.eq.timeout_ms + opts_.reply_slack_ms,
+                 &line)) {
+    // Dead or wedged worker: once a reply is missed the connection can no
+    // longer be trusted to stay in request/reply sync.
+    mark_dead(ep);
+    return false;
+  }
+  try {
+    util::Json reply = util::Json::parse(line);
+    if (!reply.at("ok").as_bool() || reply.at("id").as_uint() != id) {
+      mark_dead(ep);
+      return false;
+    }
+    *out = eq_result_from_json(reply);
+  } catch (const std::exception&) {
+    mark_dead(ep);
+    return false;
+  }
+  return true;
+}
+
+EqResult RemoteSolverBackend::solve_single(const SolveQuery& q) {
+  // Keep trying live endpoints until one answers or none are left. An idle
+  // endpoint (try_lock) is preferred; otherwise wait for the first live one
+  // in order — endpoints serve one query at a time.
+  for (;;) {
+    Endpoint* picked = nullptr;
+    std::unique_lock<std::mutex> picked_lock;
+    for (auto& ep : eps_) {
+      if (ep->dead.load(std::memory_order_relaxed)) continue;
+      std::unique_lock<std::mutex> lock(ep->mu, std::try_to_lock);
+      if (lock.owns_lock() && !ep->dead.load(std::memory_order_relaxed)) {
+        picked = ep.get();
+        picked_lock = std::move(lock);
+        break;
+      }
+    }
+    if (!picked) {
+      for (auto& ep : eps_) {
+        if (ep->dead.load(std::memory_order_relaxed)) continue;
+        std::unique_lock<std::mutex> lock(ep->mu);
+        if (!ep->dead.load(std::memory_order_relaxed)) {
+          picked = ep.get();
+          picked_lock = std::move(lock);
+          break;
+        }
+      }
+    }
+    if (!picked) break;  // every endpoint is dead
+    EqResult r;
+    if (solve_on(*picked, q, &r)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.remote_solved++;
+      return r;
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.remote_failed++;
+  }
+  if (opts_.fallback_local) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.local_fallbacks++;
+    }
+    return solve_query_local(q);
+  }
+  EqResult r;
+  r.verdict = Verdict::UNKNOWN;
+  r.detail = "no live solver endpoints";
+  return r;
+}
+
+EqResult RemoteSolverBackend::solve_portfolio(const SolveQuery& q) {
+  // Pick up to `portfolio` distinct non-dead endpoints to race.
+  std::vector<Endpoint*> racers;
+  for (auto& ep : eps_) {
+    if (int(racers.size()) >= opts_.portfolio) break;
+    if (!ep->dead.load(std::memory_order_relaxed)) racers.push_back(ep.get());
+  }
+  if (racers.size() <= 1) return solve_single(q);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.portfolio_races++;
+  }
+
+  struct Race {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<EqResult> winner;           // first definitive verdict
+    std::vector<std::optional<EqResult>> by_racer;
+    int finished = 0;
+    int total = 0;
+  };
+  auto race = std::make_shared<Race>();
+  race->by_racer.resize(racers.size());
+  race->total = int(racers.size());
+
+  {
+    std::lock_guard<std::mutex> lock(racers_mu_);
+    active_racers_ += int(racers.size());
+  }
+  for (size_t i = 0; i < racers.size(); ++i) {
+    Endpoint* ep = racers[i];
+    SolveQuery qi = q;
+    apply_tactic(int(i), &qi.eq.enc);
+    std::thread([this, ep, qi = std::move(qi), race, i] {
+      EqResult r;
+      bool ok;
+      {
+        std::unique_lock<std::mutex> lock(ep->mu);
+        ok = solve_on(*ep, qi, &r);
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (ok)
+          stats_.remote_solved++;
+        else
+          stats_.remote_failed++;
+      }
+      {
+        std::lock_guard<std::mutex> lock(race->mu);
+        race->finished++;
+        if (ok) {
+          if (!race->winner && definitive(r.verdict)) race->winner = r;
+          race->by_racer[i] = std::move(r);
+        }
+      }
+      race->cv.notify_all();
+      {
+        std::lock_guard<std::mutex> lock(racers_mu_);
+        active_racers_--;
+      }
+      racers_cv_.notify_all();
+    }).detach();
+  }
+
+  std::unique_lock<std::mutex> lock(race->mu);
+  race->cv.wait(lock, [&race] {
+    return race->winner.has_value() || race->finished == race->total;
+  });
+  if (race->winner) return *race->winner;
+  // No racer produced EQUAL / NOT_EQUAL: prefer the primary (unmodified)
+  // configuration's result, then any result, then the local fallback.
+  if (race->by_racer[0]) return *race->by_racer[0];
+  for (const std::optional<EqResult>& r : race->by_racer)
+    if (r) return *r;
+  lock.unlock();
+  if (opts_.fallback_local) {
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.local_fallbacks++;
+    }
+    return solve_query_local(q);
+  }
+  EqResult r;
+  r.verdict = Verdict::UNKNOWN;
+  r.detail = "portfolio: every endpoint failed";
+  return r;
+}
+
+EqResult RemoteSolverBackend::solve(const SolveQuery& q) {
+  if (opts_.portfolio > 1 && eps_.size() > 1) return solve_portfolio(q);
+  return solve_single(q);
+}
+
+RemoteSolverBackend::Stats RemoteSolverBackend::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+int RemoteSolverBackend::live_endpoints() const {
+  int n = 0;
+  for (const auto& ep : eps_)
+    if (!ep->dead.load(std::memory_order_relaxed)) n++;
+  return n;
+}
+
+}  // namespace k2::verify

@@ -1,0 +1,152 @@
+// Pluggable solver backends: where an equivalence query actually runs.
+//
+// A SolveQuery is the self-contained, serializable form of one equivalence
+// question — source program, candidate, optional window, per-query budgets.
+// solve_query_local() is the one query policy every backend ultimately
+// implements (window-scoped check first when the mutation fits the window,
+// whole-program fallback on ENCODE_FAIL); it used to live inline in the
+// evaluation pipeline and moved here so the in-process path, the solver
+// worker pool, and remote solve-workers all run literally the same code —
+// which is what makes the remote backend bit-identical to local solving.
+//
+// RemoteSolverBackend farms queries out to `k2c solve-worker` processes
+// over the k2-solve/v1 NDJSON protocol (verify/solve_protocol.h). Failure
+// policy: a worker that dies, answers garbage, or misses its reply deadline
+// is marked dead and the query moves to the next live endpoint; when no
+// endpoint is left the query degrades to solve_query_local() in the calling
+// thread — a lost worker slows solving down, it never wedges a chain or
+// changes a verdict. Final re-verification (core/compiler.cc) never goes
+// through a backend at all: remote workers are untrusted accelerators, the
+// local solver remains the trust anchor for every shipped program.
+//
+// Portfolio dispatch (opts.portfolio > 1): each query is raced across up to
+// N endpoints, each running a different encoder-tactic variation; the first
+// EQUAL / NOT_EQUAL verdict wins and the losing replies are discarded when
+// they arrive (workers are synchronous, so a too-late cancel is not sent).
+// Portfolio mode trades the same-seed determinism contract for latency —
+// callers that need bit-identical runs keep portfolio == 1.
+//
+// Thread-safety: solve() is safe from any thread (dispatcher workers and
+// sequential chains alike). One endpoint serves one query at a time (its
+// mutex covers the full request/reply exchange); concurrent queries spread
+// across endpoints or wait their turn.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.h"
+#include "verify/eqchecker.h"
+#include "verify/window.h"
+
+namespace k2::verify {
+
+// One equivalence question, self-contained (owns its programs) so it can be
+// queued, serialized, or solved on any thread without aliasing chain state.
+struct SolveQuery {
+  ebpf::Program src;
+  ebpf::Program cand;
+  std::optional<WindowSpec> win;
+  EqOptions eq;
+};
+
+// The one equivalence-query policy: window-scoped check first when the
+// candidate differs from the source only inside the window, whole-program
+// fallback on ENCODE_FAIL or when it doesn't. Blocking (up to the budgets
+// in q.eq); thread-safe — each call owns a private z3::context.
+EqResult solve_query_local(const SolveQuery& q);
+
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+  virtual const char* name() const = 0;
+  // Answers one query. Must be callable from any thread, must respect the
+  // budgets carried in q.eq, and must not throw (map failures to UNKNOWN —
+  // the dispatcher additionally guards, but sync callers do not).
+  virtual EqResult solve(const SolveQuery& q) = 0;
+};
+
+// The in-process backend: delegates to solve_query_local. A null backend
+// pointer means the same thing everywhere this type appears; this class
+// exists so tests can always hold a non-null SolverBackend*.
+class LocalSolverBackend final : public SolverBackend {
+ public:
+  const char* name() const override { return "local"; }
+  EqResult solve(const SolveQuery& q) override { return solve_query_local(q); }
+};
+
+// Client side of k2-solve/v1: connects lazily to solve-worker endpoints,
+// performs the hello handshake, and exchanges one solve line per query.
+class RemoteSolverBackend final : public SolverBackend {
+ public:
+  struct Options {
+    // Endpoint syntax: a unix-domain socket path (optionally prefixed
+    // "unix:"), or "fd:N" for an already-connected descriptor (tests hand
+    // over one end of a socketpair). Order is the retry order.
+    std::vector<std::string> endpoints;
+    // Race each query across up to this many endpoints with varied encoder
+    // tactics; 1 = plain single-endpoint dispatch (deterministic).
+    int portfolio = 1;
+    // Solve locally when every endpoint is dead (the degrade-don't-wedge
+    // policy). Tests disable it to observe pure endpoint failures.
+    bool fallback_local = true;
+    // Reply deadline = query timeout_ms + this slack (encode time, wire
+    // time, worker scheduling). A worker that misses the deadline is dead:
+    // its connection can no longer be trusted to stay in sync.
+    unsigned reply_slack_ms = 10000;
+  };
+
+  struct Stats {
+    uint64_t remote_solved = 0;    // queries answered by a worker
+    uint64_t remote_failed = 0;    // endpoint failures observed (per attempt)
+    uint64_t local_fallbacks = 0;  // queries degraded to solve_query_local
+    uint64_t portfolio_races = 0;  // queries raced across >1 endpoint
+  };
+
+  explicit RemoteSolverBackend(Options opts);
+  ~RemoteSolverBackend() override;  // joins in-flight racer threads
+
+  const char* name() const override { return "remote"; }
+  EqResult solve(const SolveQuery& q) override;
+
+  Stats stats() const;
+  // Endpoints not (yet) marked dead; counts unconnected-but-untried ones.
+  int live_endpoints() const;
+
+ private:
+  struct Endpoint {
+    std::string spec;
+    int fd = -1;         // guarded by mu
+    std::string rdbuf;   // reply bytes past the last newline; guarded by mu
+    std::atomic<bool> dead{false};
+    std::mutex mu;       // held across one full request/reply exchange
+  };
+
+  // One request/reply exchange on `ep` (connecting + handshaking first if
+  // needed). Returns false on any endpoint failure (ep is then dead).
+  bool solve_on(Endpoint& ep, const SolveQuery& q, EqResult* out);
+  bool ensure_connected(Endpoint& ep);  // ep.mu held by caller
+  void mark_dead(Endpoint& ep);         // ep.mu held by caller
+  EqResult solve_single(const SolveQuery& q);
+  EqResult solve_portfolio(const SolveQuery& q);
+
+  Options opts_;
+  std::vector<std::unique_ptr<Endpoint>> eps_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+  uint64_t next_id_ = 1;  // guarded by stats_mu_
+  // Portfolio racers are detached (the winner returns before the losers'
+  // replies land); the destructor waits for this to reach zero so no racer
+  // outlives the backend.
+  mutable std::mutex racers_mu_;
+  std::condition_variable racers_cv_;
+  int active_racers_ = 0;  // guarded by racers_mu_
+};
+
+}  // namespace k2::verify

@@ -33,6 +33,26 @@ void AsyncSolverDispatcher::submit(EqCache& cache, const EqCache::Key& key,
   cv_.notify_one();
 }
 
+void AsyncSolverDispatcher::submit(EqCache& cache, const EqCache::Key& key,
+                                   PendingHandle pv, SolveQuery query,
+                                   SolverBackend* backend) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Task{&cache, key, std::move(pv), Solve{},
+                          std::move(query), backend});
+    stats_.submitted++;
+    stats_.queue_depth = queue_.size();
+    if (stats_.queue_depth > stats_.queue_peak)
+      stats_.queue_peak = stats_.queue_depth;
+  }
+  cv_.notify_one();
+}
+
+void AsyncSolverDispatcher::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+}
+
 void AsyncSolverDispatcher::cancel(const PendingHandle& pv) {
   if (pv) pv->release();
 }
@@ -59,7 +79,11 @@ void AsyncSolverDispatcher::run_task(Task& t) {
   }
   EqResult r;
   try {
-    r = t.solve();
+    if (t.query)
+      r = t.backend ? t.backend->solve(*t.query)
+                    : solve_query_local(*t.query);
+    else
+      r = t.solve();
   } catch (const std::exception& e) {
     // A solver exception (e.g. z3::exception on resource exhaustion) must
     // not take down the worker or strand the waiters: map it to UNKNOWN,
@@ -84,8 +108,14 @@ void AsyncSolverDispatcher::worker_loop() {
       t = std::move(queue_.front());
       queue_.pop_front();
       stats_.queue_depth = queue_.size();
+      inflight_++;
     }
     run_task(t);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_--;
+    }
+    cv_.notify_all();  // wakes drain() (and fellow workers, harmlessly)
   }
 }
 

@@ -30,10 +30,12 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "verify/cache.h"
+#include "verify/solver_backend.h"
 
 namespace k2::verify {
 
@@ -70,6 +72,19 @@ class AsyncSolverDispatcher {
   void submit(EqCache& cache, const EqCache::Key& key, PendingHandle pv,
               Solve solve);
 
+  // Same, but with the query in its first-class serializable form: a worker
+  // routes it through `backend` (null = solve_query_local). This is the
+  // path the evaluation pipeline uses; the closure overload remains for
+  // callers with bespoke solve logic.
+  void submit(EqCache& cache, const EqCache::Key& key, PendingHandle pv,
+              SolveQuery query, SolverBackend* backend);
+
+  // Blocks until every queued task has been run or abandoned and no worker
+  // is mid-task — the clean-shutdown barrier (k2c serve drains before
+  // exiting so no PendingVerdict outlives the service). Tasks submitted
+  // while draining extend the wait.
+  void drain();
+
   // Detaches one waiter from `pv` (the handle a chain got from claim()/
   // submit()). When the last waiter of a still-WAITING query leaves, the
   // query is marked cancelled and will be abandoned instead of solved.
@@ -82,7 +97,9 @@ class AsyncSolverDispatcher {
     EqCache* cache;
     EqCache::Key key;
     PendingHandle pv;
-    Solve solve;
+    Solve solve;  // empty when `query` carries the work
+    std::optional<SolveQuery> query;
+    SolverBackend* backend = nullptr;  // only meaningful with `query`
   };
 
   void worker_loop();
@@ -95,6 +112,7 @@ class AsyncSolverDispatcher {
   std::deque<Task> queue_;  // guarded by mu_
   Stats stats_;             // guarded by mu_
   bool stop_ = false;       // guarded by mu_
+  int inflight_ = 0;        // tasks popped but not finished; guarded by mu_
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,335 @@
+// Persistent equivalence-cache store (k2-eqcache/v1): append/reload
+// roundtrips, the UNKNOWN-never-persisted invariant, self-healing from
+// torn/corrupt/version-mismatched shard files, options-fingerprint binding,
+// the EqCache disk tier (seeding, replay-once counterexamples,
+// write-through), and cold/warm compile bit-identity.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "corpus/corpus.h"
+#include "verify/cache.h"
+#include "verify/cache_store.h"
+#include "verify/solve_protocol.h"
+
+namespace k2::verify {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/k2_cache_store_test.XXXXXX";
+    path = mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+interp::InputSpec sample_cex() {
+  interp::InputSpec in;
+  in.packet = {0xde, 0xad, 0xbe, 0xef};
+  in.maps[3] = {{{1, 2, 3, 4}, {9, 9, 9, 9}}};
+  in.prandom_seed = 42;
+  in.ktime_base = 777;
+  in.cpu_id = 2;
+  in.ctx_args = {11, 22};
+  return in;
+}
+
+// Shard files are indexed by the top hash bits (EqCache::shard_for), so
+// hashes below 2^60 all land in shard-00.
+std::string shard0(const std::string& dir) { return dir + "/shard-00"; }
+
+TEST(CacheStoreTest, AppendReloadRoundTrip) {
+  TempDir td;
+  {
+    CacheStore store;
+    std::string err;
+    ASSERT_TRUE(store.open(td.path, &err)) << err;
+    store.append(1, 101, 7, Verdict::EQUAL, nullptr);
+    interp::InputSpec cex = sample_cex();
+    store.append(2, 102, 7, Verdict::NOT_EQUAL, &cex);
+    store.append(3, 103, 7, Verdict::ENCODE_FAIL, nullptr);
+    EXPECT_EQ(store.stats().appended, 3u);
+  }
+  CacheStore reloaded;
+  std::string err;
+  ASSERT_TRUE(reloaded.open(td.path, &err)) << err;
+  ASSERT_EQ(reloaded.records().size(), 3u);
+  EXPECT_EQ(reloaded.stats().loaded, 3u);
+  EXPECT_EQ(reloaded.stats().dropped, 0u);
+  bool saw_cex = false;
+  for (const CacheStore::Record& r : reloaded.records()) {
+    EXPECT_EQ(r.ofp, 7u);
+    if (r.hash == 2) {
+      EXPECT_EQ(r.fp, 102u);
+      EXPECT_EQ(r.verdict, Verdict::NOT_EQUAL);
+      ASSERT_NE(r.cex, nullptr);
+      EXPECT_EQ(r.cex->packet, sample_cex().packet);
+      EXPECT_EQ(r.cex->maps, sample_cex().maps);
+      EXPECT_EQ(r.cex->ctx_args, sample_cex().ctx_args);
+      saw_cex = true;
+    } else {
+      EXPECT_EQ(r.cex, nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_cex);
+}
+
+TEST(CacheStoreTest, UnknownIsNeverPersisted) {
+  TempDir td;
+  {
+    CacheStore store;
+    std::string err;
+    ASSERT_TRUE(store.open(td.path, &err)) << err;
+    store.append(1, 101, 7, Verdict::UNKNOWN, nullptr);
+    EXPECT_EQ(store.stats().appended, 0u);
+  }
+  CacheStore reloaded;
+  std::string err;
+  ASSERT_TRUE(reloaded.open(td.path, &err)) << err;
+  EXPECT_TRUE(reloaded.records().empty());
+}
+
+TEST(CacheStoreTest, TornTailIsDroppedAndHealed) {
+  TempDir td;
+  {
+    CacheStore store;
+    std::string err;
+    ASSERT_TRUE(store.open(td.path, &err)) << err;
+    store.append(1, 101, 7, Verdict::EQUAL, nullptr);
+    store.append(2, 102, 7, Verdict::EQUAL, nullptr);
+    store.append(3, 103, 7, Verdict::EQUAL, nullptr);
+  }
+  // Simulate a crash mid-append: cut the last line in half.
+  uintmax_t size = fs::file_size(shard0(td.path));
+  fs::resize_file(shard0(td.path), size - 10);
+
+  {
+    CacheStore healed;
+    std::string err;
+    ASSERT_TRUE(healed.open(td.path, &err)) << err;
+    EXPECT_EQ(healed.records().size(), 2u);
+    EXPECT_GE(healed.stats().dropped, 1u);
+    // The file was truncated back to the valid prefix, so appending after
+    // recovery produces a clean log again.
+    healed.append(4, 104, 7, Verdict::EQUAL, nullptr);
+  }
+  CacheStore again;
+  std::string err;
+  ASSERT_TRUE(again.open(td.path, &err)) << err;
+  EXPECT_EQ(again.records().size(), 3u);
+  EXPECT_EQ(again.stats().dropped, 0u);
+}
+
+TEST(CacheStoreTest, CorruptLineDropsItAndTheRest) {
+  TempDir td;
+  {
+    CacheStore store;
+    std::string err;
+    ASSERT_TRUE(store.open(td.path, &err)) << err;
+    store.append(1, 101, 7, Verdict::EQUAL, nullptr);
+    store.append(2, 102, 7, Verdict::EQUAL, nullptr);
+    store.append(3, 103, 7, Verdict::EQUAL, nullptr);
+  }
+  // Flip bytes in the middle record: its checksum no longer matches, so it
+  // and everything after it must be discarded — never a wrong verdict.
+  std::string contents;
+  {
+    std::ifstream in(shard0(td.path), std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  size_t first_nl = contents.find('\n');           // end of header
+  size_t second_nl = contents.find('\n', first_nl + 1);  // end of record 1
+  ASSERT_NE(second_nl, std::string::npos);
+  contents[second_nl + 5] = '!';
+  {
+    std::ofstream out(shard0(td.path), std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+  CacheStore healed;
+  std::string err;
+  ASSERT_TRUE(healed.open(td.path, &err)) << err;
+  ASSERT_EQ(healed.records().size(), 1u);
+  EXPECT_EQ(healed.records()[0].hash, 1u);
+  EXPECT_GE(healed.stats().dropped, 2u);
+}
+
+TEST(CacheStoreTest, VersionMismatchResetsShard) {
+  TempDir td;
+  {
+    CacheStore store;
+    std::string err;
+    ASSERT_TRUE(store.open(td.path, &err)) << err;
+    store.append(1, 101, 7, Verdict::EQUAL, nullptr);
+  }
+  {
+    std::ofstream out(shard0(td.path), std::ios::binary | std::ios::trunc);
+    out << "{\"schema\":\"k2-eqcache/v0\"}\n{\"ck\":0,\"rec\":{}}\n";
+  }
+  {
+    CacheStore reset;
+    std::string err;
+    ASSERT_TRUE(reset.open(td.path, &err)) << err;
+    EXPECT_TRUE(reset.records().empty());
+    EXPECT_GE(reset.stats().reset_shards, 1u);
+    reset.append(5, 105, 7, Verdict::EQUAL, nullptr);
+  }
+  CacheStore again;
+  std::string err;
+  ASSERT_TRUE(again.open(td.path, &err)) << err;
+  ASSERT_EQ(again.records().size(), 1u);
+  EXPECT_EQ(again.records()[0].hash, 5u);
+}
+
+TEST(CacheStoreTest, GarbageShardFileNeverCrashes) {
+  TempDir td;
+  {
+    std::error_code ec;
+    fs::create_directories(td.path, ec);
+    std::ofstream out(shard0(td.path), std::ios::binary);
+    std::string garbage = "garbage without structure\n[1,2,3\n";
+    garbage[0] = '\xff';
+    garbage[1] = '\0';
+    out.write(garbage.data(), std::streamsize(garbage.size()));
+  }
+  CacheStore store;
+  std::string err;
+  ASSERT_TRUE(store.open(td.path, &err)) << err;
+  EXPECT_TRUE(store.records().empty());
+  EXPECT_GE(store.stats().reset_shards, 1u);
+}
+
+TEST(CacheStoreTest, OptionsFingerprintBindsOptionsAndMode) {
+  EqOptions eq;
+  uint64_t whole = CacheStore::options_fingerprint(eq, false);
+  uint64_t window = CacheStore::options_fingerprint(eq, true);
+  EXPECT_NE(whole, window);
+  EqOptions other = eq;
+  other.timeout_ms += 1;
+  EXPECT_NE(CacheStore::options_fingerprint(other, false), whole);
+  EXPECT_EQ(CacheStore::options_fingerprint(eq, false), whole);
+}
+
+TEST(CacheStoreTest, AttachSeedsOnlyMatchingFingerprint) {
+  TempDir td;
+  {
+    CacheStore writer;
+    std::string err;
+    ASSERT_TRUE(writer.open(td.path, &err)) << err;
+    writer.append(10, 110, /*ofp=*/7, Verdict::EQUAL, nullptr);
+    writer.append(11, 111, /*ofp=*/8, Verdict::EQUAL, nullptr);
+  }
+  // Seeding reads records(), which open() populates — the warm-start shape:
+  // this run's store loads what previous runs appended.
+  CacheStore store;
+  std::string err;
+  ASSERT_TRUE(store.open(td.path, &err)) << err;
+
+  EqCache cache;
+  cache.attach_store(&store, /*ofp=*/7);
+  EXPECT_EQ(cache.stats().disk_loaded, 1u);
+
+  EqCache::Hit hit;
+  EXPECT_EQ(cache.lookup({10, 110}, &hit), Verdict::EQUAL);
+  EXPECT_TRUE(hit.from_disk);
+  EXPECT_FALSE(cache.lookup({11, 111}).has_value());  // wrong ofp: a miss
+  // Fingerprint confirmed on disk hits too: same hash, different fp.
+  EXPECT_FALSE(cache.lookup({10, 999}).has_value());
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+}
+
+TEST(CacheStoreTest, DiskCexReplaysExactlyOnce) {
+  TempDir td;
+  interp::InputSpec cex = sample_cex();
+  {
+    CacheStore writer;
+    std::string err;
+    ASSERT_TRUE(writer.open(td.path, &err)) << err;
+    writer.append(20, 120, 7, Verdict::NOT_EQUAL, &cex);
+  }
+  CacheStore store;
+  std::string err;
+  ASSERT_TRUE(store.open(td.path, &err)) << err;
+
+  EqCache cache;
+  cache.attach_store(&store, 7);
+  EqCache::Hit first;
+  EXPECT_EQ(cache.lookup({20, 120}, &first), Verdict::NOT_EQUAL);
+  ASSERT_NE(first.replay_cex, nullptr);
+  EXPECT_EQ(first.replay_cex->packet, cex.packet);
+  EqCache::Hit second;
+  EXPECT_EQ(cache.lookup({20, 120}, &second), Verdict::NOT_EQUAL);
+  EXPECT_TRUE(second.from_disk);
+  EXPECT_EQ(second.replay_cex, nullptr);  // handed out exactly once
+}
+
+TEST(CacheStoreTest, WriteThroughPersistsConclusiveOnly) {
+  TempDir td;
+  {
+    CacheStore store;
+    std::string err;
+    ASSERT_TRUE(store.open(td.path, &err)) << err;
+    EqCache cache;
+    cache.attach_store(&store, 7);
+    cache.insert({30, 130}, Verdict::EQUAL);
+    interp::InputSpec cex = sample_cex();
+    cache.insert({31, 131}, Verdict::NOT_EQUAL, &cex);
+    cache.insert({32, 132}, Verdict::UNKNOWN);  // memory-only
+    EXPECT_EQ(cache.stats().disk_writes, 2u);
+    EXPECT_EQ(store.stats().appended, 2u);
+  }
+  CacheStore reloaded;
+  std::string err;
+  ASSERT_TRUE(reloaded.open(td.path, &err)) << err;
+  ASSERT_EQ(reloaded.records().size(), 2u);
+  for (const CacheStore::Record& r : reloaded.records())
+    EXPECT_NE(r.verdict, Verdict::UNKNOWN);
+}
+
+TEST(CacheStoreTest, OpenFailsOnUnusableDirectory) {
+  CacheStore store;
+  std::string err;
+  EXPECT_FALSE(store.open("/proc/definitely/not/writable", &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// The warm-start acceptance criterion: an identical second run against the
+// same store makes zero solver calls and lands on the bit-identical result.
+TEST(CacheStoreTest, ColdThenWarmRunIsBitIdenticalWithZeroSolves) {
+  TempDir td;
+  const ebpf::Program& src = corpus::benchmark("xdp_map_access").o2;
+  core::CompileOptions opts;
+  opts.iters_per_chain = 250;
+  opts.num_chains = 2;
+  opts.eq.timeout_ms = 10000;
+  opts.cache_dir = td.path;
+  core::CompileServices svc;
+  svc.sequential = true;
+
+  core::CompileResult cold = core::compile(src, opts, svc);
+  core::CompileResult warm = core::compile(src, opts, svc);
+
+  EXPECT_EQ(warm.solver_calls, 0u);
+  EXPECT_GT(warm.cache.disk_hits, 0u);
+  EXPECT_GT(warm.cache.disk_loaded, 0u);
+  EXPECT_EQ(cold.improved, warm.improved);
+  EXPECT_EQ(program_to_json(cold.best).dump(),
+            program_to_json(warm.best).dump());
+  EXPECT_EQ(cold.total_proposals, warm.total_proposals);
+  EXPECT_EQ(cold.final_tests, warm.final_tests);
+  EXPECT_EQ(cold.iters_to_best, warm.iters_to_best);
+}
+
+}  // namespace
+}  // namespace k2::verify

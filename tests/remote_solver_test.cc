@@ -1,0 +1,254 @@
+// RemoteSolverBackend over k2-solve/v1 against an in-process SolveWorker on
+// a socketpair: remote verdicts match local solving bit-for-bit, dead
+// endpoints degrade to local solving (never wedge or change results),
+// portfolio dispatch races to a definitive verdict, and a full compile
+// through a remote worker — including one that dies mid-run — lands on the
+// bit-identical result of the in-process path.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "core/compiler.h"
+#include "corpus/corpus.h"
+#include "ebpf/assembler.h"
+#include "interp/interpreter.h"
+#include "verify/solve_protocol.h"
+#include "verify/solver_backend.h"
+
+namespace k2::verify {
+namespace {
+
+using ebpf::assemble;
+using ebpf::ProgType;
+
+// An in-process solve-worker on one end of a socketpair; the other end is
+// handed to the backend as an "fd:N" endpoint. `die_after` closes the
+// worker's end after that many handled lines (hello included), simulating a
+// worker crash mid-run.
+struct InProcessWorker {
+  int client_fd = -1;
+  int worker_fd = -1;
+  int die_after = -1;
+  std::thread thread;
+  std::atomic<int> handled{0};
+
+  void start() {
+    int sv[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    client_fd = sv[0];
+    worker_fd = sv[1];
+    thread = std::thread([this] {
+      SolveWorker worker;
+      std::string pending;
+      char chunk[4096];
+      ssize_t n;
+      bool stop = false;
+      while (!stop && (n = read(worker_fd, chunk, sizeof chunk)) > 0) {
+        pending.append(chunk, size_t(n));
+        size_t pos;
+        while (!stop && (pos = pending.find('\n')) != std::string::npos) {
+          std::string line = pending.substr(0, pos);
+          pending.erase(0, pos + 1);
+          if (line.empty()) continue;
+          if (die_after >= 0 && handled.load() >= die_after) {
+            stop = true;
+            break;
+          }
+          std::string reply = worker.handle_line(line, &stop) + "\n";
+          handled.fetch_add(1);
+          size_t off = 0;
+          while (off < reply.size()) {
+            ssize_t w =
+                write(worker_fd, reply.data() + off, reply.size() - off);
+            if (w <= 0) {
+              stop = true;
+              break;
+            }
+            off += size_t(w);
+          }
+        }
+      }
+      close(worker_fd);
+    });
+  }
+
+  std::string endpoint() const { return "fd:" + std::to_string(client_fd); }
+
+  // The backend owns (and closes) client_fd; destroying it EOFs the worker.
+  void join() {
+    if (thread.joinable()) thread.join();
+  }
+};
+
+SolveQuery query_of(const std::string& src, const std::string& cand) {
+  SolveQuery q;
+  q.src = assemble(src, ProgType::XDP, {});
+  q.cand = assemble(cand, ProgType::XDP, {});
+  q.eq.timeout_ms = 10000;
+  return q;
+}
+
+TEST(RemoteSolverTest, RemoteVerdictsMatchLocal) {
+  InProcessWorker w;
+  w.start();
+  LocalSolverBackend local;
+  {
+    RemoteSolverBackend::Options bo;
+    bo.endpoints = {w.endpoint()};
+    RemoteSolverBackend remote(bo);
+
+    SolveQuery eq = query_of("mov64 r0, 1\nexit\n", "mov64 r0, 1\nexit\n");
+    EXPECT_EQ(remote.solve(eq).verdict, local.solve(eq).verdict);
+    EXPECT_EQ(remote.solve(eq).verdict, Verdict::EQUAL);
+
+    SolveQuery ne = query_of("mov64 r0, 1\nexit\n", "mov64 r0, 2\nexit\n");
+    EqResult rr = remote.solve(ne);
+    ASSERT_EQ(rr.verdict, Verdict::NOT_EQUAL);
+    ASSERT_TRUE(rr.cex.has_value());
+    // The remote counterexample replays into the interpreter exactly like a
+    // local one (it crossed the wire as hex-encoded InputSpec fields).
+    auto ra = interp::run(ne.src, *rr.cex);
+    auto rb = interp::run(ne.cand, *rr.cex);
+    EXPECT_FALSE(interp::outputs_equal(ProgType::XDP, ra, rb));
+
+    // Window-scoped query: same policy runs worker-side.
+    SolveQuery win = query_of("ldxdw r0, [r1+0]\nmul64 r0, 4\nexit\n",
+                              "ldxdw r0, [r1+0]\nlsh64 r0, 2\nexit\n");
+    win.win = WindowSpec{1, 2};
+    EXPECT_EQ(remote.solve(win).verdict, Verdict::EQUAL);
+
+    RemoteSolverBackend::Stats st = remote.stats();
+    EXPECT_GE(st.remote_solved, 4u);
+    EXPECT_EQ(st.local_fallbacks, 0u);
+    EXPECT_EQ(remote.live_endpoints(), 1);
+  }
+  w.join();
+}
+
+TEST(RemoteSolverTest, DeadEndpointFallsBackToLocal) {
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  close(sv[1]);  // no worker behind this endpoint, ever
+  RemoteSolverBackend::Options bo;
+  bo.endpoints = {"fd:" + std::to_string(sv[0])};
+  RemoteSolverBackend remote(bo);
+
+  SolveQuery q = query_of("mov64 r0, 5\nexit\n", "mov64 r0, 5\nexit\n");
+  EXPECT_EQ(remote.solve(q).verdict, Verdict::EQUAL);  // still answered
+  RemoteSolverBackend::Stats st = remote.stats();
+  EXPECT_GE(st.remote_failed, 1u);
+  EXPECT_EQ(st.local_fallbacks, 1u);
+  EXPECT_EQ(remote.live_endpoints(), 0);
+}
+
+TEST(RemoteSolverTest, NoFallbackReportsUnknown) {
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  close(sv[1]);
+  RemoteSolverBackend::Options bo;
+  bo.endpoints = {"fd:" + std::to_string(sv[0])};
+  bo.fallback_local = false;
+  RemoteSolverBackend remote(bo);
+
+  SolveQuery q = query_of("mov64 r0, 5\nexit\n", "mov64 r0, 5\nexit\n");
+  EqResult r = remote.solve(q);
+  EXPECT_EQ(r.verdict, Verdict::UNKNOWN);
+  EXPECT_EQ(remote.stats().local_fallbacks, 0u);
+}
+
+TEST(RemoteSolverTest, UnconnectableSocketPathFallsBack) {
+  RemoteSolverBackend::Options bo;
+  bo.endpoints = {"unix:/tmp/k2_no_such_worker.sock"};
+  RemoteSolverBackend remote(bo);
+  SolveQuery q = query_of("mov64 r0, 3\nexit\n", "mov64 r0, 3\nexit\n");
+  EXPECT_EQ(remote.solve(q).verdict, Verdict::EQUAL);
+  EXPECT_EQ(remote.stats().local_fallbacks, 1u);
+}
+
+TEST(RemoteSolverTest, PortfolioRacesToDefinitiveVerdict) {
+  InProcessWorker w1, w2;
+  w1.start();
+  w2.start();
+  {
+    RemoteSolverBackend::Options bo;
+    bo.endpoints = {w1.endpoint(), w2.endpoint()};
+    bo.portfolio = 2;
+    RemoteSolverBackend remote(bo);
+
+    SolveQuery ne = query_of("mov64 r0, 1\nexit\n", "mov64 r0, 2\nexit\n");
+    EqResult r = remote.solve(ne);
+    EXPECT_EQ(r.verdict, Verdict::NOT_EQUAL);
+    ASSERT_TRUE(r.cex.has_value());
+    RemoteSolverBackend::Stats st = remote.stats();
+    EXPECT_GE(st.portfolio_races, 1u);
+    EXPECT_EQ(st.local_fallbacks, 0u);
+  }  // ~RemoteSolverBackend waits for the losing racer, then EOFs workers
+  w1.join();
+  w2.join();
+}
+
+// The differential acceptance test: a sequential compile through one remote
+// worker must land on the bit-identical result of in-process solving — and
+// a worker that dies mid-run only degrades to local solving, it neither
+// hangs the run nor changes the outcome.
+TEST(RemoteSolverTest, CompileThroughRemoteWorkerIsBitIdentical) {
+  const ebpf::Program& src = corpus::benchmark("xdp_map_access").o2;
+  core::CompileOptions opts;
+  opts.iters_per_chain = 150;
+  opts.num_chains = 2;
+  opts.eq.timeout_ms = 10000;
+  core::CompileServices svc;
+  svc.sequential = true;
+
+  core::CompileResult local = core::compile(src, opts, svc);
+
+  core::CompileResult remote;
+  {
+    InProcessWorker w;
+    w.start();
+    RemoteSolverBackend::Options bo;
+    bo.endpoints = {w.endpoint()};
+    RemoteSolverBackend backend(bo);
+    core::CompileServices rsvc = svc;
+    rsvc.backend = &backend;
+    remote = core::compile(src, opts, rsvc);
+    EXPECT_GT(backend.stats().remote_solved, 0u);
+    EXPECT_EQ(backend.stats().local_fallbacks, 0u);
+    shutdown(w.client_fd, SHUT_RDWR);  // EOF the worker so join() returns
+    w.join();
+  }
+
+  core::CompileResult dying;
+  uint64_t fallbacks = 0;
+  InProcessWorker w;
+  w.die_after = 2;  // hello + one solve, then the "crash"
+  w.start();
+  {
+    RemoteSolverBackend::Options bo;
+    bo.endpoints = {w.endpoint()};
+    RemoteSolverBackend backend(bo);
+    core::CompileServices rsvc = svc;
+    rsvc.backend = &backend;
+    dying = core::compile(src, opts, rsvc);
+    fallbacks = backend.stats().local_fallbacks;
+  }  // ~backend closes the endpoint fd, so the pump sees EOF even if the
+     // run issued too few queries to ever trip die_after
+  w.join();
+
+  std::string local_best = program_to_json(local.best).dump();
+  EXPECT_EQ(program_to_json(remote.best).dump(), local_best);
+  EXPECT_EQ(program_to_json(dying.best).dump(), local_best);
+  EXPECT_EQ(remote.improved, local.improved);
+  EXPECT_EQ(remote.total_proposals, local.total_proposals);
+  EXPECT_EQ(remote.solver_calls, local.solver_calls);
+  EXPECT_EQ(remote.final_tests, local.final_tests);
+  EXPECT_EQ(dying.total_proposals, local.total_proposals);
+  EXPECT_GT(fallbacks, 0u);  // the dead worker was noticed and degraded
+}
+
+}  // namespace
+}  // namespace k2::verify

@@ -1,0 +1,207 @@
+// The k2-solve/v1 wire protocol: JSON converter roundtrips (programs,
+// input specs, eq options/results, hex bytes), and the SolveWorker request
+// loop — hello, solve with EQUAL / NOT_EQUAL-plus-counterexample verdicts,
+// the asm program form, malformed lines, cancel, and shutdown.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "ebpf/assembler.h"
+#include "interp/interpreter.h"
+#include "verify/solve_protocol.h"
+
+namespace k2::verify {
+namespace {
+
+using ebpf::assemble;
+using ebpf::MapDef;
+using ebpf::ProgType;
+
+interp::InputSpec sample_input() {
+  interp::InputSpec in;
+  in.packet = {1, 2, 3, 0xff};
+  in.maps[2] = {{{0, 0, 0, 0}, {5, 6, 7, 8}}};
+  in.prandom_seed = 99;
+  in.ktime_base = 12345;
+  in.cpu_id = 3;
+  in.ctx_args = {0xdead, 0xbeef};
+  return in;
+}
+
+TEST(SolveProtocolTest, HexRoundTrip) {
+  std::vector<uint8_t> bytes = {0x00, 0x01, 0xab, 0xff};
+  std::string hex = hex_encode(bytes);
+  EXPECT_EQ(hex, "0001abff");
+  EXPECT_EQ(hex_decode(hex), bytes);
+  EXPECT_TRUE(hex_decode("").empty());
+  EXPECT_THROW(hex_decode("abc"), std::runtime_error);   // odd length
+  EXPECT_THROW(hex_decode("zz"), std::runtime_error);    // non-hex
+}
+
+TEST(SolveProtocolTest, ProgramRoundTrip) {
+  std::vector<MapDef> maps = {{"counters", ebpf::MapKind::ARRAY, 4, 8, 16}};
+  ebpf::Program prog = assemble(
+      "mov64 r0, 1\nadd64 r0, 41\nexit\n", ProgType::XDP, maps);
+  util::Json j = program_to_json(prog);
+  ebpf::Program back = program_from_json(j);
+  EXPECT_EQ(program_to_json(back).dump(), j.dump());
+  ASSERT_EQ(back.insns.size(), prog.insns.size());
+  ASSERT_EQ(back.maps.size(), 1u);
+  EXPECT_EQ(back.maps[0].value_size, 8u);
+  EXPECT_EQ(back.type, ProgType::XDP);
+}
+
+TEST(SolveProtocolTest, ProgramAcceptsAsmFormOnParse) {
+  util::Json j;
+  j.set("asm", "mov64 r0, 7\nexit\n");
+  j.set("type", "xdp");
+  ebpf::Program prog = program_from_json(j);
+  ebpf::Program expect = assemble("mov64 r0, 7\nexit\n", ProgType::XDP, {});
+  EXPECT_EQ(program_to_json(prog).dump(), program_to_json(expect).dump());
+}
+
+TEST(SolveProtocolTest, InputSpecRoundTrip) {
+  interp::InputSpec in = sample_input();
+  interp::InputSpec back = input_spec_from_json(input_spec_to_json(in));
+  EXPECT_EQ(back.packet, in.packet);
+  EXPECT_EQ(back.maps, in.maps);
+  EXPECT_EQ(back.prandom_seed, in.prandom_seed);
+  EXPECT_EQ(back.ktime_base, in.ktime_base);
+  EXPECT_EQ(back.cpu_id, in.cpu_id);
+  EXPECT_EQ(back.ctx_args, in.ctx_args);
+}
+
+TEST(SolveProtocolTest, EqOptionsRoundTrip) {
+  EqOptions opts;
+  opts.timeout_ms = 4321;
+  opts.memory_max_mb = 256;
+  EqOptions back = eq_options_from_json(eq_options_to_json(opts));
+  EXPECT_EQ(back.timeout_ms, opts.timeout_ms);
+  EXPECT_EQ(back.memory_max_mb, opts.memory_max_mb);
+  EXPECT_EQ(eq_options_to_json(back).dump(), eq_options_to_json(opts).dump());
+}
+
+TEST(SolveProtocolTest, EqResultRoundTrip) {
+  EqResult r;
+  r.verdict = Verdict::NOT_EQUAL;
+  r.cex = sample_input();
+  r.encode_ms = 1.5;
+  r.solve_ms = 2.5;
+  r.detail = "window fallback";
+  EqResult back = eq_result_from_json(eq_result_to_json(r));
+  EXPECT_EQ(back.verdict, Verdict::NOT_EQUAL);
+  ASSERT_TRUE(back.cex.has_value());
+  EXPECT_EQ(back.cex->packet, r.cex->packet);
+  EXPECT_EQ(back.detail, r.detail);
+
+  EqResult eq;
+  eq.verdict = Verdict::EQUAL;
+  EXPECT_FALSE(eq_result_from_json(eq_result_to_json(eq)).cex.has_value());
+}
+
+TEST(SolveProtocolTest, VerdictNamesRoundTrip) {
+  for (Verdict v : {Verdict::EQUAL, Verdict::NOT_EQUAL, Verdict::UNKNOWN,
+                    Verdict::ENCODE_FAIL}) {
+    Verdict out;
+    ASSERT_TRUE(verdict_from_name(verdict_name(v), &out));
+    EXPECT_EQ(out, v);
+  }
+  Verdict out;
+  EXPECT_FALSE(verdict_from_name("NO_SUCH_VERDICT", &out));
+}
+
+// ---------------------------------------------------------------------------
+// SolveWorker request loop.
+// ---------------------------------------------------------------------------
+
+std::string solve_request(uint64_t id, const std::string& src,
+                          const std::string& cand) {
+  util::Json req;
+  req.set("op", "solve");
+  req.set("id", id);
+  req.set("src", program_to_json(assemble(src, ProgType::XDP, {})));
+  req.set("cand", program_to_json(assemble(cand, ProgType::XDP, {})));
+  req.set("eq", eq_options_to_json(EqOptions{}));
+  return req.dump();
+}
+
+TEST(SolveWorkerTest, HelloAdvertisesProtocol) {
+  SolveWorker worker;
+  bool stop = false;
+  util::Json reply = util::Json::parse(
+      worker.handle_line("{\"op\":\"hello\"}", &stop));
+  EXPECT_FALSE(stop);
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("protocol").as_string(), "k2-solve/v1");
+}
+
+TEST(SolveWorkerTest, SolvesEqualPair) {
+  SolveWorker worker;
+  bool stop = false;
+  std::string line = solve_request(7, "mov64 r0, 1\nexit\n",
+                                   "mov64 r0, 1\nexit\n");
+  util::Json reply = util::Json::parse(worker.handle_line(line, &stop));
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("id").as_uint(), 7u);
+  EXPECT_EQ(reply.at("verdict").as_string(), verdict_name(Verdict::EQUAL));
+  EXPECT_EQ(worker.stats().solved, 1u);
+}
+
+TEST(SolveWorkerTest, SolvesNotEqualPairWithUsableCex) {
+  SolveWorker worker;
+  bool stop = false;
+  std::string a = "mov64 r0, 1\nexit\n";
+  std::string b = "mov64 r0, 2\nexit\n";
+  util::Json reply =
+      util::Json::parse(worker.handle_line(solve_request(3, a, b), &stop));
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("verdict").as_string(),
+            verdict_name(Verdict::NOT_EQUAL));
+  ASSERT_NE(reply.get("cex"), nullptr);
+  // The wire counterexample must distinguish the programs when replayed.
+  interp::InputSpec cex = input_spec_from_json(reply.at("cex"));
+  auto ra = interp::run(assemble(a, ProgType::XDP, {}), cex);
+  auto rb = interp::run(assemble(b, ProgType::XDP, {}), cex);
+  EXPECT_FALSE(interp::outputs_equal(ProgType::XDP, ra, rb));
+}
+
+TEST(SolveWorkerTest, MalformedAndUnknownLinesGetErrorReplies) {
+  SolveWorker worker;
+  bool stop = false;
+  util::Json r1 = util::Json::parse(worker.handle_line("not json", &stop));
+  EXPECT_FALSE(r1.at("ok").as_bool());
+  util::Json r2 =
+      util::Json::parse(worker.handle_line("{\"op\":\"frobnicate\"}", &stop));
+  EXPECT_FALSE(r2.at("ok").as_bool());
+  util::Json r3 = util::Json::parse(
+      worker.handle_line("{\"op\":\"solve\",\"id\":1}", &stop));
+  EXPECT_FALSE(r3.at("ok").as_bool());
+  EXPECT_FALSE(stop);
+  EXPECT_EQ(worker.stats().errors, 3u);
+  EXPECT_EQ(worker.stats().solved, 0u);
+}
+
+TEST(SolveWorkerTest, CancelAcksWithoutCancelling) {
+  SolveWorker worker;
+  bool stop = false;
+  util::Json reply = util::Json::parse(
+      worker.handle_line("{\"op\":\"cancel\",\"id\":9}", &stop));
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_FALSE(reply.at("cancelled").as_bool());
+  EXPECT_FALSE(stop);
+}
+
+TEST(SolveWorkerTest, RunLoopStopsOnShutdown) {
+  SolveWorker worker;
+  std::istringstream in(
+      "{\"op\":\"hello\"}\n{\"op\":\"shutdown\"}\n{\"op\":\"hello\"}\n");
+  std::ostringstream out;
+  size_t handled = worker.run(in, out);
+  EXPECT_EQ(handled, 2u);  // the post-shutdown line is never read
+  std::string replies = out.str();
+  EXPECT_NE(replies.find("k2-solve/v1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace k2::verify

@@ -31,6 +31,7 @@
 #include "ebpf/bytecode.h"
 #include "sim/perf_model.h"
 #include "util/flags.h"
+#include "verify/solve_protocol.h"
 
 namespace {
 
@@ -75,6 +76,18 @@ util::Flags make_flags() {
        "dedicated Z3 threads for async equivalence dispatch (0 = "
        "synchronous)",
        ""},
+      {"cache-dir", T::STRING, "",
+       "persistent equivalence-cache directory: load settled verdicts at "
+       "start, write through on every solve (warm-starts repeated runs)",
+       ""},
+      {"solver-endpoints", T::STRING, "",
+       "comma-separated unix-socket paths of k2c solve-worker processes; "
+       "equivalence queries are farmed out instead of solved in-process",
+       ""},
+      {"portfolio", T::INT, "1",
+       "race each remote query on up to N endpoints with varied Z3 tactics; "
+       "first definitive verdict wins (N>1 trades determinism for latency)",
+       ""},
       {"max-insns", T::UINT, "1048576",
        "interpreter step budget per test execution", ""},
       {"parallel", T::BOOL, "",
@@ -93,7 +106,19 @@ const char* kUsage =
     "usage: k2c <input.s> [options]            one-shot single-program mode\n"
     "       k2c --bench=<name> [options]       one-shot on a corpus benchmark\n"
     "       k2c --corpus[=n1,n2,...] [options] batch mode (JSON report)\n"
-    "       k2c serve --stdio|--socket=<path>  long-running NDJSON service\n";
+    "       k2c serve --stdio|--socket=<path>  long-running NDJSON service\n"
+    "       k2c solve-worker --stdio|--socket=<path>\n"
+    "                                          k2-solve/v1 equivalence "
+    "worker\n";
+
+std::vector<std::string> split_endpoints(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ','))
+    if (!tok.empty()) out.push_back(tok);
+  return out;
+}
 
 // Shared search knobs → request fields (both modes).
 void apply_common(const util::Flags& f, api::CompileRequest* req) {
@@ -119,6 +144,9 @@ void apply_common(const util::Flags& f, api::CompileRequest* req) {
   req->top_k = int(f.num("top-k"));
   req->solver_workers = int(f.num("solver-workers"));
   req->max_insns = f.unum("max-insns");
+  req->cache_dir = f.str("cache-dir");
+  req->solver_endpoints = split_endpoints(f.str("solver-endpoints"));
+  req->portfolio = int(f.num("portfolio"));
 }
 
 // Progress events → human-readable stderr lines (--progress).
@@ -209,6 +237,13 @@ int run_single(const util::Flags& f) {
             static_cast<unsigned long long>(res.rollbacks),
             static_cast<unsigned long long>(res.pending_joins),
             static_cast<unsigned long long>(res.solver_queue_peak));
+  if (res.cache.disk_loaded > 0 || res.cache.disk_writes > 0)
+    fprintf(stderr,
+            "k2c: persistent cache: %llu verdicts loaded, %llu disk-tier "
+            "hits, %llu written through\n",
+            static_cast<unsigned long long>(res.cache.disk_loaded),
+            static_cast<unsigned long long>(res.cache.disk_hits),
+            static_cast<unsigned long long>(res.cache.disk_writes));
   fprintf(stderr, "k2c: kernel checker: %d accepted, %d rejected during "
                   "final verification\n",
           res.kernel_accepted, res.kernel_rejected);
@@ -298,6 +333,13 @@ int run_batch(const util::Flags& f) {
           static_cast<unsigned long long>(report.totals.cache_hits),
           static_cast<unsigned long long>(report.totals.cache_hits +
                                           report.totals.cache_misses));
+  if (report.totals.disk_loaded > 0 || report.totals.disk_writes > 0)
+    fprintf(stderr,
+            "k2c: persistent cache: %llu verdicts loaded, %llu disk-tier "
+            "hits, %llu written through\n",
+            static_cast<unsigned long long>(report.totals.disk_loaded),
+            static_cast<unsigned long long>(report.totals.disk_hits),
+            static_cast<unsigned long long>(report.totals.disk_writes));
 
   std::string json = report.to_json().dump(2);
   if (f.has("report")) {
@@ -318,12 +360,21 @@ int run_serve(const util::Flags& f) {
   api::ServiceOptions sopts;
   sopts.threads = int(f.num("threads"));
   sopts.solver_workers = int(f.num("solver-workers"));
-  api::CompilerService service(sopts);
+  sopts.cache_dir = f.str("cache-dir");
+  sopts.solver_endpoints = split_endpoints(f.str("solver-endpoints"));
+  sopts.portfolio = int(f.num("portfolio"));
+  std::optional<api::CompilerService> service;
+  try {
+    service.emplace(sopts);  // throws on an unopenable --cache-dir
+  } catch (const std::exception& e) {
+    fprintf(stderr, "k2c: serve: %s\n", e.what());
+    return 2;
+  }
 
   if (f.has("socket")) {
     fprintf(stderr, "k2c: serving NDJSON on unix socket %s (%d threads)\n",
             f.str("socket").c_str(), sopts.threads);
-    int err = api::serve_unix_socket(service, f.str("socket"));
+    int err = api::serve_unix_socket(*service, f.str("socket"));
     if (err != 0) {
       fprintf(stderr, "k2c: serve: socket error: %s\n", strerror(err));
       return 2;
@@ -337,8 +388,37 @@ int run_serve(const util::Flags& f) {
   fprintf(stderr, "k2c: serving NDJSON on stdio (%d threads); send "
                   "{\"op\":\"shutdown\"} to stop\n",
           sopts.threads);
-  api::ServeLoop loop(service);
+  api::ServeLoop loop(*service);
   loop.run(std::cin, std::cout);
+  return 0;
+}
+
+// `k2c solve-worker` — one k2-solve/v1 equivalence worker: the process a
+// RemoteSolverBackend (--solver-endpoints) farms Z3 queries to. Same
+// transports as serve mode, same line pump.
+int run_solve_worker(const util::Flags& f) {
+  verify::SolveWorker worker;
+  if (f.has("socket")) {
+    fprintf(stderr, "k2c: solve-worker serving k2-solve/v1 on unix socket "
+                    "%s\n",
+            f.str("socket").c_str());
+    int err = api::serve_lines_on_unix_socket(
+        f.str("socket"), [&worker](const std::string& line, bool* stop) {
+          return worker.handle_line(line, stop);
+        });
+    if (err != 0) {
+      fprintf(stderr, "k2c: solve-worker: socket error: %s\n", strerror(err));
+      return 2;
+    }
+    return 0;
+  }
+  if (!f.flag("stdio")) {
+    fprintf(stderr, "k2c: solve-worker needs --stdio or --socket=<path>\n");
+    return 2;
+  }
+  fprintf(stderr, "k2c: solve-worker serving k2-solve/v1 on stdio; send "
+                  "{\"op\":\"shutdown\"} to stop\n");
+  worker.run(std::cin, std::cout);
   return 0;
 }
 
@@ -367,6 +447,10 @@ int main(int argc, char** argv) {
   if (!f.positional().empty() && f.positional()[0] == "serve") {
     if (reject_positionals(1, "serve")) return 2;
     return run_serve(f);
+  }
+  if (!f.positional().empty() && f.positional()[0] == "solve-worker") {
+    if (reject_positionals(1, "solve-worker")) return 2;
+    return run_solve_worker(f);
   }
   if (f.has("corpus")) {
     if (reject_positionals(0, "batch")) return 2;
