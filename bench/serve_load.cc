@@ -1,0 +1,706 @@
+// bench_serve_load — load/soak generator for the k2-serve/v1 service mode.
+//
+// Drives a ServeLoop with a deterministic, seeded schedule of mixed-size
+// compile jobs plus configurable fault injection (cancels, malformed
+// request lines, slow event consumers), either against an in-process
+// CompilerService (the default — exercises the full service stack with no
+// transport noise) or over a unix socket to an externally started
+// `k2c serve --socket=<path>` (adds the wire). Two arrival models:
+//
+//   closed  a sliding window of --concurrency in-flight jobs; a new job is
+//           submitted only when the oldest finishes (blocking `wait`).
+//           With --threads=1 --solver-workers=0 --cancel-pct=0 the op
+//           sequence — and hence the whole report minus timing — is a pure
+//           function of the seed; --deterministic zeroes the timing fields
+//           so two same-seed runs emit BYTE-IDENTICAL reports (pinned by
+//           tests/serve_load_test.cc and scripts/serve_load_smoke.py).
+//   open    seeded exponential inter-arrival times at --rate jobs/sec,
+//           submitting regardless of completions — the model that drives
+//           admission control into rejecting (OverloadError replies are
+//           counted, never errors).
+//
+// The report (stdout with --json, or a summary table) is schema
+// k2-loadreport/v1: per-op latency percentiles, outcome counts, fault
+// accounting, and the service's final-state invariants (zero pending
+// verdicts, zero active jobs, clean shutdown). Exit code 0 only when every
+// invariant held: malformed lines all rejected, every submitted job reached
+// a terminal state, every reply parsed.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/schema.h"
+#include "api/serve.h"
+#include "api/service.h"
+#include "util/flags.h"
+#include "util/json.h"
+
+namespace k2 {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// splitmix64: tiny, seedable, and identical everywhere — the whole schedule
+// (job mix, victims, fault injection, inter-arrivals) derives from it so a
+// seed fully determines the run.
+struct Rng {
+  uint64_t s;
+  explicit Rng(uint64_t seed) : s(seed) {}
+  uint64_t next() {
+    uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  // [0, n)
+  uint64_t below(uint64_t n) { return n ? next() % n : 0; }
+  // [0, 1)
+  double uniform() { return double(next() >> 11) * 0x1.0p-53; }
+  // true with probability pct/100
+  bool pct(uint64_t p) { return below(100) < p; }
+};
+
+// ---- transports ------------------------------------------------------------
+
+// One request line in, one reply line out. Both transports speak exactly
+// the ServeLoop line protocol; the bench never cares which is underneath.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual std::string rpc(const std::string& line) = 0;
+  virtual const char* name() const = 0;
+};
+
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(api::ServiceOptions opts)
+      : service_(std::move(opts)), loop_(service_) {}
+  std::string rpc(const std::string& line) override {
+    return loop_.handle(line, &stop_);
+  }
+  const char* name() const override { return "inproc"; }
+
+ private:
+  api::CompilerService service_;
+  api::ServeLoop loop_;
+  bool stop_ = false;
+};
+
+class SocketTransport : public Transport {
+ public:
+  explicit SocketTransport(const std::string& path) {
+    fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket(): " + err());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+      throw std::runtime_error("socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+      throw std::runtime_error("connect(" + path + "): " + err());
+  }
+  ~SocketTransport() override {
+    if (fd_ >= 0) close(fd_);
+  }
+  std::string rpc(const std::string& line) override {
+    std::string out = line + "\n";
+    size_t off = 0;
+    while (off < out.size()) {
+      ssize_t w = send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) continue;
+      if (w <= 0) throw std::runtime_error("send(): " + err());
+      off += size_t(w);
+    }
+    size_t pos;
+    while ((pos = buf_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      ssize_t n = read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) throw std::runtime_error("server closed the connection");
+      buf_.append(chunk, size_t(n));
+    }
+    std::string reply = buf_.substr(0, pos);
+    buf_.erase(0, pos + 1);
+    return reply;
+  }
+  const char* name() const override { return "socket"; }
+
+ private:
+  static std::string err() { return std::strerror(errno); }
+  int fd_ = -1;
+  std::string buf_;
+};
+
+// ---- per-op latency accounting ---------------------------------------------
+
+struct OpStats {
+  uint64_t count = 0;
+  uint64_t errors = 0;  // ok:false replies (excluding counted rejections)
+  std::vector<double> lat_ms;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = size_t(std::ceil(p / 100.0 * double(v.size())));
+  return v[std::min(v.size() - 1, idx ? idx - 1 : 0)];
+}
+
+// ---- the load generator ----------------------------------------------------
+
+struct Config {
+  std::string mode = "closed";
+  uint64_t jobs = 50;
+  uint64_t concurrency = 4;
+  double rate = 20.0;  // open loop: jobs/sec
+  int threads = 4;
+  int solver_workers = 0;
+  uint64_t max_queued_jobs = 0;
+  uint64_t max_active_jobs = 0;
+  uint64_t max_events_per_job = 4096;
+  uint64_t tick_every = 64;
+  uint64_t seed = 42;
+  uint64_t cancel_pct = 0;
+  uint64_t malformed_pct = 0;
+  uint64_t slow_pct = 0;
+  uint64_t budget_wall_ms = 0;
+  uint64_t budget_iters = 0;
+  bool deterministic = false;
+  std::string socket_path;
+};
+
+class LoadGen {
+ public:
+  LoadGen(Transport& t, const Config& cfg)
+      : t_(t), cfg_(cfg), rng_(cfg.seed), fault_rng_(cfg.seed ^ 0xfa017) {}
+
+  // Sends one line, times it, parses the reply (every reply MUST parse and
+  // carry "ok" — anything else is a harness failure), and returns it.
+  util::Json rpc(const std::string& op, const util::Json& req) {
+    OpStats& st = ops_[op];
+    Clock::time_point t0 = Clock::now();
+    std::string reply = t_.rpc(req.dump());
+    st.lat_ms.push_back(ms_since(t0));
+    st.count++;
+    util::Json j;
+    try {
+      j = util::Json::parse(reply);
+    } catch (const std::exception& e) {
+      fail("reply to op '" + op + "' is not JSON: " + e.what());
+      return j;
+    }
+    if (!j.is_object() || !j.get("ok") || !j.at("ok").is_bool()) {
+      fail("reply to op '" + op + "' has no boolean 'ok'");
+      return j;
+    }
+    if (!j.at("ok").as_bool()) {
+      const util::Json* kind = j.get("error_kind");
+      if (kind && kind->is_string() && kind->as_string() == "overloaded")
+        rejected_++;
+      else
+        st.errors++;
+    }
+    return j;
+  }
+
+  // A seeded malformed line: the serve loop must answer EVERY one with a
+  // parseable {"ok":false,...} reply and keep going. Variant 7 is the
+  // deep-nesting bomb the parser's depth bound exists for.
+  void inject_malformed() {
+    static const char* fixed[] = {
+        "{\"op\":\"sub",                                    // truncated JSON
+        "42",                                               // not an object
+        "{\"op\":7}",                                       // op not a string
+        "{\"op\":\"frobnicate\"}",                          // unknown op
+        "{\"op\":\"submit\"}",                              // missing request
+        "{\"op\":\"submit\",\"request\":"
+        "{\"schema\":\"k2-compile/v99\"}}",                 // bad schema
+    };
+    uint64_t variant = fault_rng_.below(8);
+    std::string line;
+    if (variant < 6) {
+      line = fixed[variant];
+    } else if (variant == 6) {
+      line = "{\"op\":\"" + std::string(64 * 1024, 'x');   // oversized, cut
+    } else {
+      line.assign(5000, '[');                              // nesting bomb
+    }
+    malformed_injected_++;
+    Clock::time_point t0 = Clock::now();
+    std::string reply = t_.rpc(line);
+    ops_["malformed"].lat_ms.push_back(ms_since(t0));
+    ops_["malformed"].count++;
+    try {
+      util::Json j = util::Json::parse(reply);
+      if (j.is_object() && j.get("ok") && j.at("ok").is_bool() &&
+          !j.at("ok").as_bool())
+        malformed_rejected_++;
+      else
+        fail("malformed line was ACCEPTED (variant " +
+             std::to_string(variant) + ")");
+    } catch (const std::exception& e) {
+      fail(std::string("reply to malformed line is not JSON: ") + e.what());
+    }
+  }
+
+  // The seeded job mix: three corpus benchmarks x a small spread of
+  // iteration budgets. Victims get a huge budget so a cancel always lands
+  // mid-search.
+  util::Json make_submit(bool victim) {
+    static const char* benches[] = {"xdp_pktcntr", "xdp_fw",
+                                    "xdp_map_access"};
+    util::Json req;
+    req.set("schema", api::kCompileSchema);
+    req.set("benchmark", benches[rng_.below(3)]);
+    req.set("iters_per_chain",
+            victim ? uint64_t(50'000'000) : 100 + rng_.below(4) * 100);
+    req.set("num_chains", int64_t(1 + rng_.below(2)));
+    req.set("num_initial_tests", int64_t(4));
+    req.set("settings", "table8");
+    req.set("eq_timeout_ms", uint64_t(10'000));
+    req.set("seed", cfg_.seed * 7919 + rng_.below(1000));
+    req.set("threads", int64_t(1));
+    req.set("solver_workers", int64_t(cfg_.solver_workers));
+    if (!victim && cfg_.budget_wall_ms)
+      req.set("budget_wall_ms", cfg_.budget_wall_ms);
+    if (!victim && cfg_.budget_iters)
+      req.set("budget_iters", cfg_.budget_iters);
+    util::Json line;
+    line.set("op", "submit");
+    line.set("request", std::move(req));
+    return line;
+  }
+
+  struct Flight {
+    std::string id;
+    bool victim = false;
+    bool slow = false;  // never polls events mid-run → ring may drop
+  };
+
+  // Draws this job's fault decisions and builds its submit line — exactly
+  // one RNG draw sequence per planned job, so overload retries replay the
+  // identical request.
+  Flight plan_one(util::Json* line) {
+    if (cfg_.malformed_pct && fault_rng_.pct(cfg_.malformed_pct))
+      inject_malformed();
+    Flight f;
+    f.victim = cfg_.cancel_pct && fault_rng_.pct(cfg_.cancel_pct);
+    f.slow = !f.victim && cfg_.slow_pct && fault_rng_.pct(cfg_.slow_pct);
+    *line = make_submit(f.victim);
+    return f;
+  }
+
+  // One submit attempt; fills in the job id on acceptance.
+  bool try_submit(const util::Json& line, Flight* f, bool* overloaded) {
+    util::Json reply = rpc("submit", line);
+    if (reply.at("ok").as_bool()) {
+      f->id = reply.at("job").as_string();
+      submitted_++;
+      if (f->victim) {
+        util::Json c;
+        c.set("op", "cancel");
+        c.set("job", f->id);
+        rpc("cancel", c);
+      }
+      return true;
+    }
+    const util::Json* kind = reply.get("error_kind");
+    *overloaded =
+        kind && kind->is_string() && kind->as_string() == "overloaded";
+    return false;
+  }
+
+  // Open-loop submit: one attempt, a rejection is dropped (already counted
+  // by rpc()).
+  std::optional<Flight> submit_one() {
+    util::Json line;
+    Flight f = plan_one(&line);
+    bool overloaded = false;
+    if (!try_submit(line, &f, &overloaded)) return std::nullopt;
+    return f;
+  }
+
+  // Drain one in-flight job: blocking wait, then (for non-victim,
+  // non-slow consumers) an events poll, then the result. Victims never see
+  // an events op so a cancelled-early run stays schedule-deterministic.
+  void drain_one(const Flight& f) {
+    util::Json w;
+    w.set("op", "wait");
+    w.set("job", f.id);
+    util::Json status = rpc("wait", w);
+    const std::string& state = status.at("state").as_string();
+    if (state == "DONE")
+      done_++;
+    else if (state == "CANCELLED")
+      cancelled_++;
+    else
+      failed_++;
+
+    if (!f.victim) {
+      util::Json e;
+      e.set("op", "events");
+      e.set("job", f.id);
+      e.set("after", uint64_t(0));
+      util::Json ev = rpc("events", e);
+      if (ev.at("ok").as_bool()) {
+        const util::Json::Array& arr = ev.at("events").as_array();
+        events_observed_ += arr.size();
+        // Drop-oldest detection: the first seq still in the ring tells how
+        // many aged out before we polled.
+        if (!arr.empty()) {
+          uint64_t first = arr.front().at("seq").as_uint();
+          if (first > 1) events_dropped_observed_ += first - 1;
+        }
+      }
+    }
+    util::Json r;
+    r.set("op", "result");
+    r.set("job", f.id);
+    util::Json res = rpc("result", r);
+    if (res.at("ok").as_bool()) {
+      const util::Json* single = res.at("result").get("single");
+      if (single) {
+        const util::Json* be = single->get("budget_exhausted");
+        if (be && be->is_bool() && be->as_bool()) budget_exhausted_++;
+      }
+    }
+  }
+
+  // Closed loop with backpressure: an overload rejection drains the
+  // oldest in-flight job and retries the SAME request, so every planned
+  // job eventually runs while the rejection path still gets exercised
+  // whenever the admission bound is tighter than the window.
+  void run_closed() {
+    std::vector<Flight> window;
+    auto drain_oldest = [&] {
+      drain_one(window.front());
+      window.erase(window.begin());
+    };
+    for (uint64_t i = 0; i < cfg_.jobs; ++i) {
+      util::Json line;
+      Flight f = plan_one(&line);
+      for (;;) {
+        bool overloaded = false;
+        if (try_submit(line, &f, &overloaded)) {
+          window.push_back(f);
+          break;
+        }
+        if (!overloaded || window.empty()) break;  // invalid, or nothing
+        drain_oldest();                            // to shed — drop the job
+      }
+      while (window.size() >= cfg_.concurrency) drain_oldest();
+    }
+    while (!window.empty()) drain_oldest();
+  }
+
+  void run_open() {
+    std::vector<Flight> inflight;
+    for (uint64_t i = 0; i < cfg_.jobs; ++i) {
+      if (i > 0 && cfg_.rate > 0) {
+        double gap_s = -std::log(1.0 - rng_.uniform()) / cfg_.rate;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(std::min(gap_s, 1.0)));
+      }
+      if (std::optional<Flight> f = submit_one()) inflight.push_back(*f);
+      if (i % 8 == 7) rpc("metrics", op_only("metrics"));  // sample gauges
+    }
+    for (const Flight& f : inflight) drain_one(f);
+  }
+
+  static util::Json op_only(const char* op) {
+    util::Json j;
+    j.set("op", op);
+    return j;
+  }
+
+  // Post-drain invariants + shutdown. The service must be visibly idle
+  // (nothing active, nothing pending) BEFORE shutdown, and shutdown must
+  // report zero leaked verdicts.
+  util::Json finish() {
+    util::Json m = rpc("metrics", op_only("metrics"));
+    uint64_t active = m.at("jobs").at("active").as_uint();
+    uint64_t pending = m.at("cache").at("pending").as_uint();
+    if (active != 0)
+      fail("after drain: " + std::to_string(active) + " jobs still active");
+    uint64_t m_submitted = m.at("jobs").at("submitted").as_uint();
+    if (m_submitted != submitted_)
+      fail("metrics.jobs.submitted=" + std::to_string(m_submitted) +
+           " but harness submitted " + std::to_string(submitted_));
+    rpc("stats", op_only("stats"));
+    util::Json s = rpc("shutdown", op_only("shutdown"));
+    bool clean = s.at("ok").as_bool() &&
+                 s.at("pending_eq").as_uint() == 0 && pending == 0;
+    if (!clean) fail("shutdown was not clean (pending verdicts)");
+
+    util::Json fin;
+    fin.set("active_jobs", active);
+    fin.set("pending_eq", pending);
+    fin.set("clean_shutdown", clean);
+    if (!cfg_.deterministic) fin.set("metrics", std::move(m));
+    return fin;
+  }
+
+  util::Json report(const char* transport, double wall_secs) {
+    util::Json j;
+    j.set("schema", api::kLoadReportSchema);
+    j.set("mode", cfg_.mode);
+    j.set("transport", transport);
+
+    util::Json c;
+    c.set("jobs", cfg_.jobs);
+    c.set("concurrency", cfg_.concurrency);
+    c.set("threads", int64_t(cfg_.threads));
+    c.set("solver_workers", int64_t(cfg_.solver_workers));
+    c.set("seed", cfg_.seed);
+    c.set("cancel_pct", cfg_.cancel_pct);
+    c.set("malformed_pct", cfg_.malformed_pct);
+    c.set("slow_pct", cfg_.slow_pct);
+    c.set("budget_wall_ms", cfg_.budget_wall_ms);
+    c.set("budget_iters", cfg_.budget_iters);
+    c.set("max_queued_jobs", cfg_.max_queued_jobs);
+    c.set("max_active_jobs", cfg_.max_active_jobs);
+    c.set("max_events_per_job", cfg_.max_events_per_job);
+    c.set("tick_every", cfg_.tick_every);
+    c.set("deterministic", cfg_.deterministic);
+    j.set("config", std::move(c));
+
+    j.set("submitted", submitted_);
+    j.set("rejected", rejected_);
+    util::Json out;
+    out.set("done", done_);
+    out.set("failed", failed_);
+    out.set("cancelled", cancelled_);
+    j.set("outcomes", std::move(out));
+    j.set("budget_exhausted", budget_exhausted_);
+    util::Json mal;
+    mal.set("injected", malformed_injected_);
+    mal.set("rejected", malformed_rejected_);
+    j.set("malformed", std::move(mal));
+    util::Json ev;
+    ev.set("observed", events_observed_);
+    ev.set("dropped_observed", events_dropped_observed_);
+    j.set("events", std::move(ev));
+
+    // Per-op latency percentiles. --deterministic zeroes every
+    // timing-derived number (latencies, wall time, throughput) so the
+    // whole report is a pure function of the seed and schedule.
+    util::Json ops;
+    for (auto& [name, st] : ops_) {
+      util::Json o;
+      o.set("count", st.count);
+      o.set("errors", st.errors);
+      bool det = cfg_.deterministic;
+      o.set("p50_ms", det ? 0.0 : percentile(st.lat_ms, 50));
+      o.set("p90_ms", det ? 0.0 : percentile(st.lat_ms, 90));
+      o.set("p99_ms", det ? 0.0 : percentile(st.lat_ms, 99));
+      o.set("max_ms", det ? 0.0 : percentile(st.lat_ms, 100));
+      ops.set(name, std::move(o));
+    }
+    j.set("ops", std::move(ops));
+
+    j.set("wall_secs", cfg_.deterministic ? 0.0 : wall_secs);
+    j.set("throughput_jobs_per_sec",
+          cfg_.deterministic || wall_secs <= 0
+              ? 0.0
+              : double(submitted_) / wall_secs);
+    return j;
+  }
+
+  void fail(const std::string& msg) {
+    fprintf(stderr, "bench_serve_load: FAIL: %s\n", msg.c_str());
+    failures_++;
+  }
+
+  uint64_t failures() const { return failures_; }
+  uint64_t submitted() const { return submitted_; }
+
+ private:
+  Transport& t_;
+  const Config& cfg_;
+  Rng rng_;        // schedule: job mix, inter-arrivals
+  Rng fault_rng_;  // fault decisions: victims, malformed, slow consumers
+  std::map<std::string, OpStats> ops_;  // ordered → stable report
+  uint64_t submitted_ = 0, rejected_ = 0;
+  uint64_t done_ = 0, failed_ = 0, cancelled_ = 0;
+  uint64_t budget_exhausted_ = 0;
+  uint64_t malformed_injected_ = 0, malformed_rejected_ = 0;
+  uint64_t events_observed_ = 0, events_dropped_observed_ = 0;
+  uint64_t failures_ = 0;
+};
+
+util::Flags make_flags() {
+  using T = util::FlagSpec::Type;
+  return util::Flags({
+      {"mode", T::STRING, "closed", "arrival model", "closed|open"},
+      {"jobs", T::UINT, "50", "total jobs to submit", ""},
+      {"concurrency", T::UINT, "4",
+       "closed loop: in-flight window before blocking on the oldest", ""},
+      {"rate", T::DOUBLE, "20", "open loop: mean arrival rate (jobs/sec)",
+       ""},
+      {"threads", T::INT, "4", "service pool width (in-process only)", ""},
+      {"solver-workers", T::INT, "0",
+       "service async Z3 workers (in-process only)", ""},
+      {"max-queued-jobs", T::UINT, "0",
+       "admission bound on QUEUED jobs (0 = unbounded; in-process only)",
+       ""},
+      {"max-active-jobs", T::UINT, "0",
+       "admission bound on queued+running jobs (0 = unbounded; in-process "
+       "only)",
+       ""},
+      {"max-events-per-job", T::UINT, "4096",
+       "per-job event-ring bound (in-process only)", ""},
+      {"tick-every", T::UINT, "64",
+       "chain iterations between tick events (in-process only)", ""},
+      {"seed", T::UINT, "42",
+       "schedule seed: job mix, faults, arrivals (same seed = same "
+       "schedule)",
+       ""},
+      {"cancel-pct", T::UINT, "0",
+       "percent of jobs submitted as cancel victims (huge budget, then "
+       "cancel)",
+       ""},
+      {"malformed-pct", T::UINT, "0",
+       "percent chance of a malformed line before each submit", ""},
+      {"slow-pct", T::UINT, "0",
+       "percent of jobs whose events are never polled mid-run (ring-drop "
+       "pressure)",
+       ""},
+      {"budget-wall-ms", T::UINT, "0",
+       "per-job wall-clock budget forwarded in each request (0 = none)",
+       ""},
+      {"budget-iters", T::UINT, "0",
+       "per-job iteration budget forwarded in each request (0 = none)", ""},
+      {"socket", T::STRING, "",
+       "drive an external `k2c serve --socket=<path>` instead of in-process",
+       ""},
+      {"deterministic", T::BOOL, "",
+       "zero all timing fields so same-seed reports are byte-identical "
+       "(use with --threads=1 --solver-workers=0 --cancel-pct=0)",
+       ""},
+      {"smoke", T::BOOL, "", "tiny schedule (a few jobs) for CI", ""},
+      {"json", T::BOOL, "", "emit the k2-loadreport/v1 JSON on stdout", ""},
+  });
+}
+
+}  // namespace
+}  // namespace k2
+
+int main(int argc, char** argv) {
+  using namespace k2;
+  util::Flags f = make_flags();
+  std::string err;
+  if (!f.parse(argc, argv, &err)) {
+    fprintf(stderr, "bench_serve_load: %s\n", err.c_str());
+    return 2;
+  }
+  if (f.help_requested()) {
+    printf("%s", f.help("bench_serve_load [options]").c_str());
+    return 0;
+  }
+
+  Config cfg;
+  cfg.mode = f.str("mode");
+  cfg.jobs = f.unum("jobs");
+  cfg.concurrency = std::max<uint64_t>(1, f.unum("concurrency"));
+  cfg.rate = f.dnum("rate");
+  cfg.threads = int(f.num("threads"));
+  cfg.solver_workers = int(f.num("solver-workers"));
+  cfg.max_queued_jobs = f.unum("max-queued-jobs");
+  cfg.max_active_jobs = f.unum("max-active-jobs");
+  cfg.max_events_per_job = f.unum("max-events-per-job");
+  cfg.tick_every = f.unum("tick-every");
+  cfg.seed = f.unum("seed");
+  cfg.cancel_pct = f.unum("cancel-pct");
+  cfg.malformed_pct = f.unum("malformed-pct");
+  cfg.slow_pct = f.unum("slow-pct");
+  cfg.budget_wall_ms = f.unum("budget-wall-ms");
+  cfg.budget_iters = f.unum("budget-iters");
+  cfg.deterministic = f.flag("deterministic");
+  cfg.socket_path = f.str("socket");
+  if (f.flag("smoke")) cfg.jobs = std::min<uint64_t>(cfg.jobs, 8);
+
+  std::unique_ptr<Transport> transport;
+  try {
+    if (!cfg.socket_path.empty()) {
+      transport = std::make_unique<SocketTransport>(cfg.socket_path);
+    } else {
+      api::ServiceOptions sopts;
+      sopts.threads = cfg.threads;
+      sopts.solver_workers = cfg.solver_workers;
+      sopts.tick_every = cfg.tick_every;
+      sopts.max_events_per_job = size_t(cfg.max_events_per_job);
+      sopts.max_queued_jobs = size_t(cfg.max_queued_jobs);
+      sopts.max_active_jobs = size_t(cfg.max_active_jobs);
+      transport = std::make_unique<InProcessTransport>(std::move(sopts));
+    }
+  } catch (const std::exception& e) {
+    fprintf(stderr, "bench_serve_load: %s\n", e.what());
+    return 2;
+  }
+
+  LoadGen gen(*transport, cfg);
+  Clock::time_point t0 = Clock::now();
+  try {
+    gen.rpc("hello", LoadGen::op_only("hello"));
+    if (cfg.mode == "open")
+      gen.run_open();
+    else
+      gen.run_closed();
+  } catch (const std::exception& e) {
+    fprintf(stderr, "bench_serve_load: transport error: %s\n", e.what());
+    return 2;
+  }
+  util::Json fin = gen.finish();
+  double wall = ms_since(t0) / 1000.0;
+
+  util::Json report = gen.report(transport->name(), wall);
+  report.set("final", std::move(fin));
+
+  if (f.flag("json")) {
+    printf("%s\n", report.dump(2).c_str());
+  } else {
+    printf("serve_load: mode=%s transport=%s submitted=%llu rejected=%llu\n",
+           cfg.mode.c_str(), transport->name(),
+           (unsigned long long)report.at("submitted").as_uint(),
+           (unsigned long long)report.at("rejected").as_uint());
+    printf("  outcomes: done=%llu failed=%llu cancelled=%llu "
+           "budget_exhausted=%llu\n",
+           (unsigned long long)report.at("outcomes").at("done").as_uint(),
+           (unsigned long long)report.at("outcomes").at("failed").as_uint(),
+           (unsigned long long)
+               report.at("outcomes").at("cancelled").as_uint(),
+           (unsigned long long)report.at("budget_exhausted").as_uint());
+    printf("  malformed: injected=%llu rejected=%llu  events: observed=%llu "
+           "dropped=%llu\n",
+           (unsigned long long)report.at("malformed").at("injected").as_uint(),
+           (unsigned long long)report.at("malformed").at("rejected").as_uint(),
+           (unsigned long long)report.at("events").at("observed").as_uint(),
+           (unsigned long long)
+               report.at("events").at("dropped_observed").as_uint());
+    for (const auto& [op, st] : report.at("ops").as_object())
+      printf("  op %-10s count=%-5llu errors=%-3llu p50=%.2fms p99=%.2fms\n",
+             op.c_str(), (unsigned long long)st.at("count").as_uint(),
+             (unsigned long long)st.at("errors").as_uint(),
+             st.at("p50_ms").as_double(), st.at("p99_ms").as_double());
+    printf("  wall=%.2fs clean_shutdown=%s\n",
+           report.at("wall_secs").as_double(),
+           report.at("final").at("clean_shutdown").as_bool() ? "yes" : "no");
+  }
+  return gen.failures() == 0 ? 0 : 1;
+}

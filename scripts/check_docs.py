@@ -14,6 +14,10 @@
    src/api/ (the kRequestFields whitelist between the
    docs:request-fields-begin/end markers) must appear in docs/API.md, so
    the wire schema reference can never silently rot.
+5. Serve-op coverage: every op the serve loop advertises in its hello
+   reply (the list between the docs:serve-ops-begin/end markers in
+   src/api/serve.cc) must appear as `op` in docs/API.md, so a new wire op
+   cannot land undocumented.
 
 Exit code 0 = clean; 1 = problems (each printed on its own line).
 """
@@ -134,6 +138,41 @@ def check_request_field_coverage():
     return problems
 
 
+def serve_ops():
+    """Wire ops the serve loop advertises: the hello ops list in serve.cc.
+
+    Marker-scoped for the same reason as request_fields(): the scanned
+    list IS the list hello replies with, so docs coverage tracks the
+    protocol itself.
+    """
+    src_path = os.path.join(ROOT, "src", "api", "serve.cc")
+    with open(src_path, encoding="utf-8") as f:
+        src = f.read()
+    m = re.search(r"docs:serve-ops-begin(.*?)docs:serve-ops-end", src, re.S)
+    if not m:
+        return None
+    return re.findall(r'"([a-z_][a-z0-9_]*)"', m.group(1))
+
+
+def check_serve_op_coverage():
+    ops = serve_ops()
+    if ops is None:
+        return ["src/api/serve.cc: no docs:serve-ops-begin/end block found "
+                "(the hello ops list must be marker-scoped)"]
+    api_md_path = os.path.join(ROOT, "docs", "API.md")
+    if not os.path.exists(api_md_path):
+        return ["docs/API.md is missing"]
+    with open(api_md_path, encoding="utf-8") as f:
+        api_md = f.read()
+    problems = []
+    for op in ops:
+        if f"`{op}`" not in api_md:
+            problems.append(
+                f"docs/API.md: serve op `{op}` (advertised by the hello "
+                f"reply in src/api/serve.cc) is undocumented")
+    return problems
+
+
 def check_flag_coverage():
     problems = []
     readme_path = os.path.join(ROOT, "README.md")
@@ -154,13 +193,15 @@ def main():
     problems += check_bench_coverage()
     problems += check_flag_coverage()
     problems += check_request_field_coverage()
+    problems += check_serve_op_coverage()
     for p in problems:
         print(p)
     if problems:
         print(f"\n{len(problems)} documentation problem(s)")
         return 1
     print("docs OK: links resolve, README covers every bench table binary "
-          "and every k2c flag, docs/API.md covers every CompileRequest field")
+          "and every k2c flag, docs/API.md covers every CompileRequest "
+          "field and every serve op")
     return 0
 
 

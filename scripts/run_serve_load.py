@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Experiment driver for bench_serve_load: runs a small matrix of load
+shapes against the serve stack and writes one k2-loadreport/v1 JSON per
+cell (plus a summary table to stdout).
+
+Two transports per shape when --socket-dir is given: in-process (service
+stack only) and unix-socket against a `k2c serve --socket` child process
+this script spawns and shuts down — the delta between the two is the wire
+cost. Without --socket-dir only the in-process cells run.
+
+Usage:
+  run_serve_load.py [--bench PATH] [--k2c PATH] [--out DIR]
+                    [--socket-dir DIR] [--jobs N] [--seed N]
+
+Reports land in --out (default bench_out/serve_load) as
+<shape>_<transport>.json.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+SHAPES = [
+    ("closed_light", ["--mode=closed", "--concurrency=2", "--threads=2"]),
+    ("closed_wide", ["--mode=closed", "--concurrency=8", "--threads=4"]),
+    ("closed_faulty", ["--mode=closed", "--concurrency=4", "--threads=4",
+                       "--cancel-pct=20", "--malformed-pct=15",
+                       "--slow-pct=20", "--max-events-per-job=32",
+                       "--tick-every=16"]),
+    ("open_overload", ["--mode=open", "--rate=50", "--threads=2",
+                       "--max-active-jobs=4"]),
+    ("closed_budgeted", ["--mode=closed", "--concurrency=4", "--threads=4",
+                         "--budget-iters=200"]),
+]
+
+
+def run_cell(bench, name, args, jobs, seed, out_dir, socket=None):
+    argv = [bench] + args + [f"--jobs={jobs}", f"--seed={seed}", "--json"]
+    transport = "inproc"
+    if socket:
+        argv.append(f"--socket={socket}")
+        transport = "socket"
+    proc = subprocess.run(argv, capture_output=True, text=True, timeout=1800)
+    if proc.returncode != 0:
+        print(f"  {name}/{transport}: FAILED (exit {proc.returncode})\n"
+              f"{proc.stderr}", file=sys.stderr)
+        return None
+    report = json.loads(proc.stdout)
+    path = os.path.join(out_dir, f"{name}_{transport}.json")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(proc.stdout)
+    return report
+
+
+def summarize(name, transport, r):
+    ops = r.get("ops", {})
+    sub = ops.get("submit", {})
+    wait = ops.get("wait", {})
+    print(f"  {name:16s} {transport:7s} submitted={r['submitted']:<4d} "
+          f"rejected={r['rejected']:<3d} "
+          f"done={r['outcomes']['done']:<4d} "
+          f"cancelled={r['outcomes']['cancelled']:<3d} "
+          f"submit_p99={sub.get('p99_ms', 0):7.2f}ms "
+          f"wait_p99={wait.get('p99_ms', 0):8.2f}ms "
+          f"wall={r['wall_secs']:6.2f}s")
+
+
+def spawn_server(k2c, socket_path, shape_args):
+    """k2c serve --socket with limits mirrored from the shape flags."""
+    argv = [k2c, "serve", f"--socket={socket_path}"]
+    mirror = ("--threads=", "--solver-workers=", "--max-queued-jobs=",
+              "--max-active-jobs=", "--max-events-per-job=")
+    for a in shape_args:
+        if a.startswith(mirror):
+            argv.append(a)
+    proc = subprocess.Popen(argv, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    for _ in range(100):  # wait for the socket file
+        if os.path.exists(socket_path):
+            return proc
+        if proc.poll() is not None:
+            raise RuntimeError(f"k2c serve died (exit {proc.returncode})")
+        time.sleep(0.05)
+    proc.terminate()
+    raise RuntimeError("k2c serve never bound its socket")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", default="./build/bench_serve_load")
+    ap.add_argument("--k2c", default="./build/k2c")
+    ap.add_argument("--out", default="bench_out/serve_load")
+    ap.add_argument("--socket-dir", default="",
+                    help="also run each shape over a unix socket, using "
+                         "sockets created in this directory")
+    ap.add_argument("--jobs", type=int, default=40)
+    ap.add_argument("--seed", type=int, default=42)
+    args = ap.parse_args()
+
+    os.makedirs(args.out, exist_ok=True)
+    print(f"serve_load matrix: {len(SHAPES)} shapes x "
+          f"{2 if args.socket_dir else 1} transport(s), "
+          f"{args.jobs} jobs each -> {args.out}/")
+
+    failures = 0
+    for name, shape_args in SHAPES:
+        r = run_cell(args.bench, name, shape_args, args.jobs, args.seed,
+                     args.out)
+        if r is None:
+            failures += 1
+        else:
+            summarize(name, "inproc", r)
+
+        if args.socket_dir:
+            os.makedirs(args.socket_dir, exist_ok=True)
+            socket_path = os.path.join(args.socket_dir, f"{name}.sock")
+            try:
+                server = spawn_server(args.k2c, socket_path, shape_args)
+            except RuntimeError as e:
+                print(f"  {name}/socket: {e}", file=sys.stderr)
+                failures += 1
+                continue
+            try:
+                # The load gen's shutdown op stops the server cleanly.
+                r = run_cell(args.bench, name, shape_args, args.jobs,
+                             args.seed, args.out, socket=socket_path)
+                if r is None:
+                    failures += 1
+                else:
+                    summarize(name, "socket", r)
+            finally:
+                try:
+                    server.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    server.terminate()
+                    failures += 1
+                    print(f"  {name}/socket: server did not exit on "
+                          f"shutdown", file=sys.stderr)
+                if os.path.exists(socket_path):
+                    os.unlink(socket_path)
+
+    if failures:
+        print(f"{failures} cell(s) failed", file=sys.stderr)
+        return 1
+    print("all cells completed; reports written")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

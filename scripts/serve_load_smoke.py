@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""CI smoke for bench_serve_load: a short closed-loop soak with fault
+injection, then a determinism differential.
+
+Phase 1 (soak): ~8 jobs through an in-process service with cancels,
+malformed request lines and slow consumers injected, an event-ring bound
+small enough to force drops, and max_active_jobs below the concurrency so
+admission control must reject at least once. Asserts the k2-loadreport/v1
+schema, conservation (submitted + rejected == accounted outcomes), every
+malformed line rejected, and the final-state invariants: zero active jobs,
+zero pending equivalence verdicts, clean shutdown.
+
+Phase 2 (determinism): two identical runs with --deterministic
+--threads=1 --solver-workers=0 --cancel-pct=0 and a fixed seed must emit
+BYTE-IDENTICAL reports — the load report is a pure function of the seed
+once timing fields are zeroed.
+
+Usage: serve_load_smoke.py [path/to/bench_serve_load]
+       (default ./build/bench_serve_load)
+Exit 0 = healthy; non-zero with a message otherwise.
+"""
+import json
+import subprocess
+import sys
+
+BIN = sys.argv[1] if len(sys.argv) > 1 else "./build/bench_serve_load"
+
+
+def fail(msg):
+    print(f"serve_load smoke FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(args, check_exit=True):
+    proc = subprocess.run([BIN] + args + ["--json"], capture_output=True,
+                          text=True, timeout=900)
+    if check_exit and proc.returncode != 0:
+        fail(f"{BIN} {' '.join(args)} exited {proc.returncode}:\n"
+             f"{proc.stderr}")
+    try:
+        return json.loads(proc.stdout), proc.stdout
+    except json.JSONDecodeError as e:
+        fail(f"report is not valid JSON ({e}):\n{proc.stdout[:2000]}")
+
+
+def soak():
+    report, _ = run([
+        "--mode=closed", "--jobs=8", "--concurrency=4", "--threads=2",
+        "--seed=7", "--cancel-pct=25", "--malformed-pct=20", "--slow-pct=15",
+        "--max-events-per-job=16", "--tick-every=8", "--max-active-jobs=2",
+    ])
+    if report.get("schema") != "k2-loadreport/v1":
+        fail(f"bad schema: {report.get('schema')}")
+
+    submitted = report["submitted"]
+    rejected = report["rejected"]
+    outcomes = report["outcomes"]
+    accounted = outcomes["done"] + outcomes["failed"] + outcomes["cancelled"]
+    if submitted != accounted:
+        fail(f"conservation: submitted={submitted} but outcomes sum to "
+             f"{accounted}: {outcomes}")
+    # max_active_jobs=2 < concurrency=4: the window must overrun the bound.
+    if rejected == 0:
+        fail("admission control never rejected despite max_active_jobs=2 "
+             "< concurrency=4")
+    mal = report["malformed"]
+    if mal["injected"] == 0:
+        fail("no malformed lines injected at --malformed-pct=20 (seed 7)")
+    if mal["rejected"] != mal["injected"]:
+        fail(f"malformed lines accepted: {mal}")
+
+    final = report["final"]
+    if final["active_jobs"] != 0:
+        fail(f"leaked jobs after drain: {final}")
+    if final["pending_eq"] != 0:
+        fail(f"leaked pending verdicts: {final}")
+    if not final["clean_shutdown"]:
+        fail(f"shutdown was not clean: {final}")
+
+    ops = report["ops"]
+    for op in ("submit", "wait", "result"):
+        if op not in ops:
+            fail(f"ops table is missing '{op}': {sorted(ops)}")
+        for key in ("count", "errors", "p50_ms", "p90_ms", "p99_ms",
+                    "max_ms"):
+            if key not in ops[op]:
+                fail(f"ops.{op} is missing '{key}': {ops[op]}")
+    return submitted, rejected, mal["injected"]
+
+
+def determinism():
+    args = ["--mode=closed", "--jobs=6", "--concurrency=2", "--threads=1",
+            "--solver-workers=0", "--cancel-pct=0", "--seed=1234",
+            "--tick-every=32", "--deterministic"]
+    _, text_a = run(args)
+    _, text_b = run(args)
+    if text_a != text_b:
+        for a, b in zip(text_a.splitlines(), text_b.splitlines()):
+            if a != b:
+                fail(f"deterministic reports differ:\n  A: {a}\n  B: {b}")
+        fail("deterministic reports differ in length")
+
+
+def main():
+    submitted, rejected, malformed = soak()
+    determinism()
+    print(f"serve_load smoke OK: soak submitted={submitted} "
+          f"rejected={rejected} malformed={malformed} all rejected, "
+          f"drained clean; deterministic reports byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,8 @@ const char* const kRequestFields[] = {
     "cache_dir",
     "solver_endpoints",
     "portfolio",
+    "budget_wall_ms",
+    "budget_iters",
 };
 // docs:request-fields-end
 
@@ -244,6 +246,10 @@ std::vector<Diagnostic> CompileRequest::validate() const {
     fail("$.speculation_depth", "out of range [1, 64]");
   if (portfolio < 1 || portfolio > 16)
     fail("$.portfolio", "out of range [1, 16]");
+  if (budget_wall_ms > 86'400'000)
+    fail("$.budget_wall_ms", "out of range [0, 86400000]");
+  if (budget_iters > 100'000'000'000)
+    fail("$.budget_iters", "out of range [0, 100000000000]");
   for (const std::string& ep : solver_endpoints)
     if (ep.empty()) fail("$.solver_endpoints", "endpoint must be non-empty");
   if (perf_model) {
@@ -304,6 +310,8 @@ util::Json CompileRequest::to_json() const {
     j.set("solver_endpoints", std::move(eps));
   }
   j.set("portfolio", int64_t(portfolio));
+  if (budget_wall_ms > 0) j.set("budget_wall_ms", budget_wall_ms);
+  if (budget_iters > 0) j.set("budget_iters", budget_iters);
   return j;
 }
 
@@ -419,6 +427,8 @@ CompileRequest CompileRequest::from_json(const util::Json& j) {
     }
   }
   rd.read_int("portfolio", &r.portfolio, 1, 16);
+  rd.read_uint("budget_wall_ms", &r.budget_wall_ms, 0, 86'400'000);
+  rd.read_uint("budget_iters", &r.budget_iters, 0, 100'000'000'000);
 
   if (diags.empty())
     for (Diagnostic& d : r.validate()) diags.push_back(std::move(d));

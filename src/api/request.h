@@ -105,6 +105,15 @@ struct CompileRequest {
   // Portfolio width over those endpoints (first definitive verdict wins;
   // > 1 trades determinism for latency).
   int portfolio = 1;
+  // Per-job resource budgets (core::JobBudget), both 0 = unlimited. The
+  // wall clock starts when the job starts RUNNING (queue time is free); the
+  // iteration cap is a job-wide total across chains (and across batch
+  // jobs). An exhausted budget stops the search at the next iteration
+  // checkpoint but still runs final re-verification, so the job finishes
+  // DONE with a verified best and result.budget_exhausted == true — never
+  // CANCELLED, never unverified.
+  uint64_t budget_wall_ms = 0;
+  uint64_t budget_iters = 0;
 
   // ---- typed builder -------------------------------------------------------
   static CompileRequest for_benchmark(std::string name);
@@ -130,6 +139,11 @@ struct CompileRequest {
   CompileRequest& with_settings(Settings s) { settings = s; return *this; }
   CompileRequest& parallel_chains(bool on = true) {
     deterministic = !on;
+    return *this;
+  }
+  CompileRequest& with_budget(uint64_t wall_ms, uint64_t iters) {
+    budget_wall_ms = wall_ms;
+    budget_iters = iters;
     return *this;
   }
 

@@ -38,4 +38,9 @@ inline constexpr const char* kSolveProtocol = "k2-solve/v1";
 // (src/verify/cache_store.h): the header line of every shard file.
 inline constexpr const char* kEqCacheSchema = "k2-eqcache/v1";
 
+// The load/soak report bench_serve_load emits (bench/serve_load.cc):
+// throughput, per-op latency percentiles, queue depths, and error/cancel
+// counts from one load run against the serve protocol.
+inline constexpr const char* kLoadReportSchema = "k2-loadreport/v1";
+
 }  // namespace k2::api

@@ -52,7 +52,50 @@ util::Json status_reply(const JobHandle& job) {
   uint64_t last = job.last_seq();
   j.set("events", last);
   j.set("last_seq", last);
+  j.set("events_dropped", job.events_dropped());
   return j;
+}
+
+// Admission rejection (OverloadError): a typed reply clients can
+// distinguish from validation failures — error_kind "overloaded" plus the
+// bound that fired — so load generators count rejections instead of
+// mis-filing them as errors.
+util::Json overload_reply(const OverloadError& e) {
+  util::Json j = error_reply(e.what());
+  j.set("error_kind", "overloaded");
+  j.set("rejected", true);
+  j.set("limit", e.limit_name());
+  j.set("current", e.current());
+  j.set("max", e.limit());
+  return j;
+}
+
+util::Json solver_json(const verify::AsyncSolverDispatcher::Stats& ds,
+                       int workers) {
+  util::Json solver;
+  solver.set("workers", int64_t(workers));
+  solver.set("submitted", ds.submitted);
+  solver.set("completed", ds.completed);
+  solver.set("abandoned", ds.abandoned);
+  solver.set("timeouts", ds.timeouts);
+  solver.set("queue_depth", ds.queue_depth);
+  solver.set("queue_peak", ds.queue_peak);
+  return solver;
+}
+
+util::Json cache_json(const verify::EqCache::Stats& cs, uint64_t pending) {
+  util::Json cache;
+  cache.set("hits", cs.hits);
+  cache.set("misses", cs.misses);
+  cache.set("insertions", cs.insertions);
+  cache.set("collisions", cs.collisions);
+  cache.set("pending_joins", cs.pending_joins);
+  cache.set("pending_abandons", cs.pending_abandons);
+  cache.set("disk_hits", cs.disk_hits);
+  cache.set("disk_loaded", cs.disk_loaded);
+  cache.set("disk_writes", cs.disk_writes);
+  cache.set("pending", pending);
+  return cache;
 }
 
 }  // namespace
@@ -76,41 +119,55 @@ std::string ServeLoop::handle(const std::string& line, bool* stop) {
       j.set("request_schema", kCompileSchema);
       j.set("event_schema", kEventSchema);
       util::Json ops{util::Json::Array{}};
+      // docs:serve-ops-begin (scripts/check_docs.py: every op listed here
+      // must have a row in docs/API.md's serve-op table)
       for (const char* o : {"hello", "submit", "status", "events", "result",
-                            "wait", "cancel", "stats", "shutdown"})
+                            "wait", "cancel", "stats", "metrics", "shutdown"})
         ops.push_back(o);
+      // docs:serve-ops-end
       j.set("ops", std::move(ops));
       return j.dump();
     }
-    if (op == "stats") {
+    if (op == "stats" || op == "metrics") {
+      // Both ops read ONE ServiceMetrics snapshot, so every number in the
+      // reply describes the same instant (no torn totals: state counts sum
+      // to jobs submitted, and cache/pending_eq match). `stats` keeps its
+      // original compact shape for existing clients; `metrics` adds the
+      // full state breakdown, event-ring health, admission counters and
+      // configured limits.
+      ServiceMetrics m = service_.metrics();
       util::Json j = ok_reply();
       util::Json jobs;
-      jobs.set("total", uint64_t(service_.job_ids().size()));
-      jobs.set("active", uint64_t(service_.active_jobs()));
+      if (op == "metrics") {
+        jobs.set("submitted", m.submitted);
+        jobs.set("rejected", m.rejected);
+        jobs.set("queued", m.queued);
+        jobs.set("running", m.running);
+        jobs.set("done", m.done);
+        jobs.set("failed", m.failed);
+        jobs.set("cancelled", m.cancelled);
+      } else {
+        jobs.set("total", m.submitted);
+      }
+      jobs.set("active", m.queued + m.running);
       j.set("jobs", std::move(jobs));
-      verify::AsyncSolverDispatcher::Stats ds = service_.solver_stats();
-      util::Json solver;
-      solver.set("workers", int64_t(service_.options().solver_workers));
-      solver.set("submitted", ds.submitted);
-      solver.set("completed", ds.completed);
-      solver.set("abandoned", ds.abandoned);
-      solver.set("timeouts", ds.timeouts);
-      solver.set("queue_depth", ds.queue_depth);
-      solver.set("queue_peak", ds.queue_peak);
-      j.set("solver", std::move(solver));
-      verify::EqCache::Stats cs = service_.cache_stats();
-      util::Json cache;
-      cache.set("hits", cs.hits);
-      cache.set("misses", cs.misses);
-      cache.set("insertions", cs.insertions);
-      cache.set("collisions", cs.collisions);
-      cache.set("pending_joins", cs.pending_joins);
-      cache.set("pending_abandons", cs.pending_abandons);
-      cache.set("disk_hits", cs.disk_hits);
-      cache.set("disk_loaded", cs.disk_loaded);
-      cache.set("disk_writes", cs.disk_writes);
-      cache.set("pending", uint64_t(service_.pending_eq_queries()));
-      j.set("cache", std::move(cache));
+      if (op == "metrics") {
+        util::Json events;
+        events.set("backlog", m.event_backlog);
+        events.set("dropped", m.events_dropped);
+        j.set("events", std::move(events));
+        util::Json limits;
+        limits.set("max_queued_jobs", uint64_t(service_.options().max_queued_jobs));
+        limits.set("max_active_jobs", uint64_t(service_.options().max_active_jobs));
+        limits.set("max_events_per_job",
+                   uint64_t(service_.options().max_events_per_job));
+        limits.set("threads", int64_t(service_.options().threads));
+        limits.set("solver_workers", int64_t(service_.options().solver_workers));
+        limits.set("tick_every", service_.options().tick_every);
+        j.set("limits", std::move(limits));
+      }
+      j.set("solver", solver_json(m.solver, service_.options().solver_workers));
+      j.set("cache", cache_json(m.cache, m.pending_eq));
       if (const verify::CacheStore* st = service_.store()) {
         verify::CacheStore::Stats ss = st->stats();
         util::Json store;
@@ -195,6 +252,8 @@ std::string ServeLoop::handle(const std::string& line, bool* stop) {
       return j.dump();
     }
     return error_reply("unknown op '" + op + "'").dump();
+  } catch (const OverloadError& e) {
+    return overload_reply(e).dump();
   } catch (const ValidationError& e) {
     return validation_reply(e).dump();
   } catch (const std::exception& e) {

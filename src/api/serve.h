@@ -15,6 +15,11 @@
 //   {"op":"stats"}                         → service counters: jobs, solver
 //                                            queue, cache tiers (memory +
 //                                            disk), store and solver farm
+//   {"op":"metrics"}                       → one consistent snapshot: jobs
+//                                            by state, admission rejections,
+//                                            event-ring backlog/drops,
+//                                            configured limits, solver +
+//                                            cache counters
 //   {"op":"shutdown"}                      → cancels live jobs, drains the
 //                                            solver queue, ends the loop;
 //                                            reply reports pending_eq (0 on

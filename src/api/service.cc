@@ -27,7 +27,12 @@ struct JobHandle::Job {
   JobState state = JobState::QUEUED;       // guarded by mu
   std::deque<Event> events;                // guarded by mu (bounded ring)
   uint64_t next_seq = 1;                   // guarded by mu
+  uint64_t dropped = 0;                    // events aged out; guarded by mu
   CompileResponse resp;                    // guarded by mu; set at terminal
+  // Per-job resource budget (request budget_wall_ms/budget_iters), armed in
+  // run_job when either cap is set. Job-owned for the same lifetime reason
+  // as the store/backend below: chains observe it through CompileServices.
+  core::JobBudget budget;
   // Job-level overrides of the service-wide store/backend (request-level
   // cache_dir / solver_endpoints). Owned by the job, not stack-allocated in
   // run_job: a cancelled speculation's task can sit in the shared
@@ -60,7 +65,14 @@ struct JobHandle::Job {
       std::lock_guard<std::mutex> lock(mu);
       ev.seq = next_seq++;
       events.push_back(ev);
-      if (events.size() > max_events) events.pop_front();
+      // Drop-oldest policy for slow consumers: the ring is bounded, the
+      // oldest event ages out, and `dropped` counts what a late poll(0) can
+      // no longer see (its first seq is dropped + 1 — a detectable gap, not
+      // silent loss). Seq numbering never skips.
+      if (events.size() > max_events) {
+        events.pop_front();
+        dropped++;
+      }
     }
     if (callback) callback(ev);
   }
@@ -131,6 +143,11 @@ size_t JobHandle::pending_eq_queries() const {
   return job_->cache ? job_->cache->pending_count() : 0;
 }
 
+uint64_t JobHandle::events_dropped() const {
+  std::lock_guard<std::mutex> lock(job_->mu);
+  return job_->dropped;
+}
+
 // ---- CompilerService --------------------------------------------------------
 
 CompilerService::CompilerService(ServiceOptions opts)
@@ -164,6 +181,28 @@ JobHandle CompilerService::submit(CompileRequest req, EventFn cb) {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_)
       throw std::logic_error("CompilerService: submit() after shutdown()");
+    // Admission control: count this service's queued/active jobs under the
+    // same lock that will enqueue, so the bound can never be raced past.
+    // Rejection happens AFTER validation — an invalid request is a
+    // validation failure, not load shed — and before an id is assigned, so
+    // rejected requests leave no trace beyond the counter.
+    if (opts_.max_queued_jobs > 0 || opts_.max_active_jobs > 0) {
+      size_t queued = 0, active = 0;
+      for (const auto& j : jobs_) {
+        std::lock_guard<std::mutex> jlock(j->mu);
+        if (j->terminal_locked()) continue;
+        active++;
+        if (j->state == JobState::QUEUED) queued++;
+      }
+      if (opts_.max_active_jobs > 0 && active >= opts_.max_active_jobs) {
+        rejected_++;
+        throw OverloadError("max_active_jobs", active, opts_.max_active_jobs);
+      }
+      if (opts_.max_queued_jobs > 0 && queued >= opts_.max_queued_jobs) {
+        rejected_++;
+        throw OverloadError("max_queued_jobs", queued, opts_.max_queued_jobs);
+      }
+    }
     job->id = "job-" + std::to_string(next_id_++);
     jobs_.push_back(job);
   }
@@ -210,6 +249,15 @@ void CompilerService::run_job(std::shared_ptr<JobHandle::Job> job) {
     d.set("state", to_string(JobState::RUNNING));
     return d;
   }());
+
+  // Arm the per-job resource budget now rather than at submit: the wall
+  // window measures run time, so time spent QUEUED under load is not
+  // charged against the job.
+  core::JobBudget* budget = nullptr;
+  if (job->req.budget_wall_ms > 0 || job->req.budget_iters > 0) {
+    job->budget.arm(job->req.budget_wall_ms, job->req.budget_iters);
+    budget = &job->budget;
+  }
 
   // Chain/batch progress → the job's event stream. Runs on engine threads;
   // seq assignment and ring insertion are serialized by the job mutex so
@@ -302,6 +350,7 @@ void CompilerService::run_job(std::shared_ptr<JobHandle::Job> job) {
       svc.cancel = &job->cancel_flag;
       svc.progress = progress;
       svc.tick_every = opts_.tick_every;
+      svc.budget = budget;
       verify::AsyncSolverDispatcher::Stats ds_before = dispatcher_.stats();
       core::CompileResult r = core::compile(src, copts, svc);
       if (dispatcher) {
@@ -334,6 +383,7 @@ void CompilerService::run_job(std::shared_ptr<JobHandle::Job> job) {
       bsvc.cancel = &job->cancel_flag;
       bsvc.progress = progress;
       bsvc.tick_every = opts_.tick_every;
+      bsvc.budget = budget;
       core::BatchOptions bopts = job->req.to_batch_options();
       if (!dispatcher) bopts.base.solver_workers = 0;
       verify::AsyncSolverDispatcher::Stats ds_before = dispatcher_.stats();
@@ -405,6 +455,21 @@ size_t CompilerService::pending_eq_queries() const {
   return n;
 }
 
+namespace {
+void accumulate(verify::EqCache::Stats& total,
+                const verify::EqCache::Stats& s) {
+  total.hits += s.hits;
+  total.misses += s.misses;
+  total.insertions += s.insertions;
+  total.collisions += s.collisions;
+  total.pending_joins += s.pending_joins;
+  total.pending_abandons += s.pending_abandons;
+  total.disk_hits += s.disk_hits;
+  total.disk_loaded += s.disk_loaded;
+  total.disk_writes += s.disk_writes;
+}
+}  // namespace
+
 verify::EqCache::Stats CompilerService::cache_stats() const {
   std::vector<std::shared_ptr<JobHandle::Job>> jobs;
   {
@@ -412,20 +477,47 @@ verify::EqCache::Stats CompilerService::cache_stats() const {
     jobs = jobs_;
   }
   verify::EqCache::Stats total;
-  for (const auto& job : jobs) {
-    if (!job->cache) continue;
-    verify::EqCache::Stats s = job->cache->stats();
-    total.hits += s.hits;
-    total.misses += s.misses;
-    total.insertions += s.insertions;
-    total.collisions += s.collisions;
-    total.pending_joins += s.pending_joins;
-    total.pending_abandons += s.pending_abandons;
-    total.disk_hits += s.disk_hits;
-    total.disk_loaded += s.disk_loaded;
-    total.disk_writes += s.disk_writes;
-  }
+  for (const auto& job : jobs)
+    if (job->cache) accumulate(total, job->cache->stats());
   return total;
+}
+
+ServiceMetrics CompilerService::metrics() const {
+  ServiceMetrics m;
+  // One pass under the service mutex: the job set is frozen, each job's
+  // state / ring depth / drop counter are read under its own lock, and each
+  // cache contributes an atomic EqCache::Snapshot (stats + pending under
+  // one all-shard lock) — so the state sums always add up to `submitted`
+  // and cache/pending_eq are never torn against each other. (A RUNNING
+  // job's own counters keep advancing, of course; consistency here means
+  // the reported numbers describe one coherent gather, not a stopped
+  // world.)
+  std::lock_guard<std::mutex> lock(mu_);
+  m.submitted = next_id_ - 1;
+  m.rejected = rejected_;
+  for (const auto& job : jobs_) {
+    std::shared_ptr<verify::EqCache> cache;
+    {
+      std::lock_guard<std::mutex> jlock(job->mu);
+      switch (job->state) {
+        case JobState::QUEUED: m.queued++; break;
+        case JobState::RUNNING: m.running++; break;
+        case JobState::DONE: m.done++; break;
+        case JobState::FAILED: m.failed++; break;
+        case JobState::CANCELLED: m.cancelled++; break;
+      }
+      m.event_backlog += job->events.size();
+      m.events_dropped += job->dropped;
+      cache = job->cache;
+    }
+    if (cache) {
+      verify::EqCache::Snapshot cs = cache->snapshot();
+      accumulate(m.cache, cs.stats);
+      m.pending_eq += cs.pending;
+    }
+  }
+  m.solver = dispatcher_.stats();
+  return m;
 }
 
 void CompilerService::shutdown(bool cancel_running) {

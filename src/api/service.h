@@ -74,7 +74,16 @@ struct ServiceOptions {
   int threads = 4;           // shared pool width (jobs + batch benchmark tasks)
   int solver_workers = 0;    // shared async Z3 pool (0 = synchronous)
   uint64_t tick_every = 512; // chain iterations between tick events
-  size_t max_events_per_job = 4096;  // event ring bound (oldest aged out)
+  // Event ring bound (oldest aged out, drop-oldest); clamped to >= 16 so
+  // the state trajectory + job_done tail always survive in the ring.
+  size_t max_events_per_job = 4096;
+  // Admission control (ISSUE 7): submit() throws OverloadError — the
+  // request is NOT enqueued — once the bound is reached, instead of letting
+  // the queue grow without limit under overload. max_queued_jobs bounds
+  // jobs sitting in QUEUED (waiting for a pool worker); max_active_jobs
+  // bounds all non-terminal jobs (QUEUED + RUNNING). 0 = unbounded.
+  size_t max_queued_jobs = 0;
+  size_t max_active_jobs = 0;
   // Service-wide persistent equivalence-cache directory (k2c serve
   // --cache-dir): every job without a request-level cache_dir attaches to
   // this one store, so repeated identical requests warm-start across the
@@ -88,6 +97,57 @@ struct ServiceOptions {
 };
 
 class CompilerService;
+
+// Thrown by CompilerService::submit() when admission control rejects the
+// request (see ServiceOptions::max_queued_jobs / max_active_jobs). The
+// request was NOT enqueued; the caller may retry later. Typed — rather than
+// a bare runtime_error — so the serve loop can emit a structured
+// "overloaded" reply that clients distinguish from validation failures.
+class OverloadError : public std::runtime_error {
+ public:
+  OverloadError(std::string limit_name, uint64_t current, uint64_t limit)
+      : std::runtime_error("overloaded: " + limit_name + " reached (" +
+                           std::to_string(current) + " >= " +
+                           std::to_string(limit) + "); request rejected"),
+        limit_name_(std::move(limit_name)),
+        current_(current),
+        limit_(limit) {}
+  const std::string& limit_name() const { return limit_name_; }
+  uint64_t current() const { return current_; }
+  uint64_t limit() const { return limit_; }
+
+ private:
+  std::string limit_name_;
+  uint64_t current_;
+  uint64_t limit_;
+};
+
+// One consistent point-in-time snapshot of every live gauge and counter the
+// service exposes — gathered under a single pass holding the service mutex
+// (with each job's state, its event ring, and its cache's EqCache::Snapshot
+// read together), so sums always add up: queued + running + done + failed +
+// cancelled == submitted, and `cache`/`pending_eq` describe the same
+// instant. Backing store of the serve `metrics` and `stats` ops.
+struct ServiceMetrics {
+  // Lifetime counters.
+  uint64_t submitted = 0;  // jobs accepted by admission (== ids assigned)
+  uint64_t rejected = 0;   // submits refused by admission control
+  // Jobs by state (gauges; terminal states are also lifetime counters).
+  uint64_t queued = 0;
+  uint64_t running = 0;
+  uint64_t done = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
+  // Event-stream health across every job ring (slow-consumer observables).
+  uint64_t event_backlog = 0;   // events currently buffered in rings
+  uint64_t events_dropped = 0;  // events aged out of rings, lifetime
+  // Equivalence-cache totals over all job-owned caches, plus in-flight
+  // verdicts, from the same pass.
+  verify::EqCache::Stats cache;
+  uint64_t pending_eq = 0;
+  // Shared solver dispatcher counters.
+  verify::AsyncSolverDispatcher::Stats solver;
+};
 
 class JobHandle {
  public:
@@ -121,6 +181,12 @@ class JobHandle {
   // solver_workers == 0.
   size_t pending_eq_queries() const;
 
+  // Events aged out of this job's bounded ring because no consumer polled
+  // fast enough (the drop-oldest policy; see ServiceOptions::
+  // max_events_per_job). Equivalently: the seq of the oldest event still in
+  // the ring is events_dropped() + 1.
+  uint64_t events_dropped() const;
+
  private:
   friend class CompilerService;
   struct Job;
@@ -138,9 +204,11 @@ class CompilerService {
   CompilerService& operator=(const CompilerService&) = delete;
 
   // Validates the request (throws ValidationError listing every problem),
-  // assigns a job id ("job-<n>"), enqueues it, and returns immediately.
-  // `cb`, when set, receives every event of this job inline from engine
-  // threads, in seq order.
+  // applies admission control (throws OverloadError when the configured
+  // queued/active bound is reached — the request is NOT enqueued), assigns
+  // a job id ("job-<n>"), enqueues it, and returns immediately. `cb`, when
+  // set, receives every event of this job inline from engine threads, in
+  // seq order.
   JobHandle submit(CompileRequest req, EventFn cb = nullptr);
 
   // Lookup by id; invalid handle when unknown.
@@ -155,6 +223,11 @@ class CompilerService {
 
   verify::AsyncSolverDispatcher::Stats solver_stats() const;
   const ServiceOptions& options() const { return opts_; }
+
+  // Every live gauge/counter in ONE consistent snapshot (see
+  // ServiceMetrics). The serve `stats` and `metrics` ops read exclusively
+  // through this so they never report torn totals mid-run.
+  ServiceMetrics metrics() const;
 
   // Pending (in-flight) equivalence verdicts summed over every job-owned
   // cache. 0 after a clean shutdown — the no-leaked-verdicts invariant
@@ -188,6 +261,7 @@ class CompilerService {
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<JobHandle::Job>> jobs_;  // submit order
   uint64_t next_id_ = 1;
+  uint64_t rejected_ = 0;  // admission rejections; guarded by mu_
   bool shutdown_ = false;
   // Store and backend before the dispatcher: the dispatcher's destructor
   // drains queued tasks, which may still publish verdicts through them.

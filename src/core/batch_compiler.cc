@@ -131,6 +131,7 @@ util::Json compile_result_to_json(const CompileResult& r) {
   util::Json j;
   j.set("improved", r.improved);
   j.set("cancelled", r.cancelled);
+  j.set("budget_exhausted", r.budget_exhausted);
   j.set("src_perf", r.src_perf);
   j.set("best_perf", r.best_perf);
   j.set("iters_to_best", r.iters_to_best);
@@ -173,6 +174,8 @@ CompileResult compile_result_from_json(const util::Json& j) {
   CompileResult r;
   r.improved = j.at("improved").as_bool();
   if (const util::Json* c = j.get("cancelled")) r.cancelled = c->as_bool();
+  if (const util::Json* b = j.get("budget_exhausted"))
+    r.budget_exhausted = b->as_bool();
   r.src_perf = j.at("src_perf").as_double();
   r.best_perf = j.at("best_perf").as_double();
   r.iters_to_best = j.at("iters_to_best").as_uint();
@@ -356,6 +359,7 @@ BatchReport BatchCompiler::run(const BatchServices& bsvc) {
         svc.sequential = true;
         svc.cancel = bsvc.cancel;
         svc.tick_every = bsvc.tick_every;
+        svc.budget = bsvc.budget;
         if (bsvc.progress) {
           // Tag chain-level events with the job they belong to.
           svc.progress = [&bsvc, &b, &jr](const ProgressEvent& e) {

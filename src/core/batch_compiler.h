@@ -187,6 +187,12 @@ struct BatchServices {
   // thread-safe; exempt from the determinism guarantee only in timing.
   ProgressFn progress;
   uint64_t tick_every = 1024;
+  // Per-JOB (whole batch) resource budget shared by every benchmark×setting
+  // compile of the run (see CompileServices::budget): once exhausted,
+  // remaining compiles stop their search at the first checkpoint and finish
+  // with budget_exhausted == true in their per-job results — the batch
+  // itself still completes normally (not `cancelled`). Null = unlimited.
+  JobBudget* budget = nullptr;
 };
 
 class BatchCompiler {

@@ -188,6 +188,7 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
     cfg.progress = svc.progress ? &svc.progress : nullptr;
     cfg.tick_every = svc.tick_every;
     cfg.chain_index = i;
+    cfg.budget = svc.budget;
     configs.push_back(cfg);
   }
 
@@ -203,6 +204,7 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
   if (svc.sequential) {
     for (size_t i = 0; i < configs.size(); ++i) {
       if (svc.cancel && svc.cancel->load(std::memory_order_relaxed)) break;
+      if (svc.budget && svc.budget->exhausted()) break;
       chain_results[i] = run_chain(src, suite, cache, configs[i]);
     }
   } else {
@@ -370,6 +372,7 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
 
   res.cancelled =
       svc.cancel && svc.cancel->load(std::memory_order_relaxed);
+  res.budget_exhausted = svc.budget && svc.budget->exhausted();
   res.cache = stats_delta(cache.stats(), cache_before);
   res.final_tests = suite.size();
   res.total_secs = std::chrono::duration<double>(Clock::now() - t0).count();

@@ -143,6 +143,15 @@ struct CompileServices {
   // attaching it never changes search results. Empty = no events.
   ProgressFn progress;
   uint64_t tick_every = 1024;
+  // Per-job resource budget (core/progress.h), armed by the owner before
+  // the run. Exhaustion stops the search like `cancel` — chains halt within
+  // one iteration checkpoint — but UNLIKE cancel the final whole-program
+  // re-verification of candidates found so far still runs, so the result is
+  // verified and truthful: the job finishes normally (not `cancelled`) with
+  // CompileResult::budget_exhausted == true. One budget may be shared
+  // across every compile of a batch run (the caps are job-wide totals).
+  // Null = unlimited.
+  JobBudget* budget = nullptr;
 };
 
 struct CompileResult {
@@ -154,6 +163,11 @@ struct CompileResult {
   // that finished full re-verification before the stop — never unverified
   // programs.
   bool cancelled = false;
+  // True when CompileServices::budget ran out before the search completed.
+  // Unlike `cancelled`, the result IS fully re-verified — budget exhaustion
+  // stops the search early but never skips final verification — so `best`
+  // and `top_k` are trustworthy; only the search was truncated.
+  bool budget_exhausted = false;
   std::vector<ebpf::Program> top_k;  // fully re-verified, checker-accepted
 
   double src_perf = 0;   // absolute metric of the source (slots or est. ns)

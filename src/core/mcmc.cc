@@ -161,13 +161,15 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   };
 
   while (iter < cfg.iterations || !frames.empty()) {
-    // Cooperative cancellation checkpoint: once per iteration. Every
-    // in-flight speculative query is released (the dispatcher abandons
-    // still-queued ones, so no PendingVerdict is left waiting), the
-    // speculated tail of the trajectory is discarded, and the chain returns
-    // its last non-speculative state. A never-set flag costs one relaxed
-    // atomic load and changes nothing.
-    if (cfg.cancel && cfg.cancel->load(std::memory_order_relaxed)) {
+    // Cooperative cancellation / budget checkpoint: once per iteration.
+    // Every in-flight speculative query is released (the dispatcher
+    // abandons still-queued ones, so no PendingVerdict is left waiting),
+    // the speculated tail of the trajectory is discarded, and the chain
+    // returns its last non-speculative state. A never-set flag costs one
+    // relaxed atomic load and changes nothing; the budget charge is one
+    // relaxed fetch_add per checkpoint (see core/progress.h).
+    if ((cfg.cancel && cfg.cancel->load(std::memory_order_relaxed)) ||
+        (cfg.budget && cfg.budget->charge())) {
       if (!frames.empty()) {
         for (auto& g : frames) pipe.cancel(g.pending);
         SpecFrame& oldest = frames.front();

@@ -82,6 +82,12 @@ struct ChainConfig {
   const ProgressFn* progress = nullptr;
   uint64_t tick_every = 0;  // 0 = no ticks
   int chain_index = -1;
+  // Per-job resource budget shared by every chain of the run (see
+  // core/progress.h). The chain charges one iteration at each checkpoint;
+  // an exhausted budget stops the chain exactly like `cancel` (in-flight
+  // speculative queries released, last non-speculative state returned).
+  // Null = unlimited.
+  JobBudget* budget = nullptr;
 };
 
 struct ChainStats {

@@ -16,11 +16,68 @@
 // it runs inline on the chain hot path, once per `tick_every` iterations.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
 
 namespace k2::core {
+
+// Per-job resource budget (ISSUE 7), shared by every chain of a compile run
+// (or every job of a batch run): a wall-clock cap and a total-iteration cap,
+// either 0 = unlimited. Chains call charge() once per iteration checkpoint;
+// once either cap is hit the exhausted flag latches and every chain stops at
+// its next checkpoint, exactly like cooperative cancellation — EXCEPT that
+// final whole-program re-verification of the candidates found so far still
+// runs, so a budget-capped job finishes DONE with a verified best program
+// and CompileResult::budget_exhausted == true, never a silently-partial or
+// unverified result. (The wall cap bounds the search; the final verification
+// tail is bounded separately by eq.timeout_ms per candidate.)
+//
+// Determinism: the iteration cap is charged at deterministic points, so a
+// sequential same-seed run exhausts at the same iteration every time; the
+// wall cap is inherently timing-dependent. Thread-safe; shared by chains
+// running concurrently. Lives here (the leaf header) so both core and the
+// service layer can name it without inverting the layer stack.
+struct JobBudget {
+  // Configure and start the clock. Call once, before the run observes the
+  // budget; the wall window starts now (a job's queue time is not charged).
+  void arm(uint64_t wall_ms, uint64_t iters) {
+    max_wall_ms_ = wall_ms;
+    max_iters_ = iters;
+    if (wall_ms > 0)
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(wall_ms);
+  }
+
+  // One iteration's charge; returns true once the budget is exhausted
+  // (latched — every later call returns true immediately).
+  bool charge() {
+    if (exhausted_.load(std::memory_order_relaxed)) return true;
+    if (max_iters_ > 0 &&
+        iters_used_.fetch_add(1, std::memory_order_relaxed) + 1 >= max_iters_)
+      exhausted_.store(true, std::memory_order_relaxed);
+    else if (max_wall_ms_ > 0 &&
+             std::chrono::steady_clock::now() >= deadline_)
+      exhausted_.store(true, std::memory_order_relaxed);
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+  bool exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+  uint64_t iters_used() const {
+    return iters_used_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t max_wall_ms_ = 0;
+  uint64_t max_iters_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::atomic<uint64_t> iters_used_{0};
+  std::atomic<bool> exhausted_{false};
+};
 
 struct ProgressEvent {
   enum class Kind : uint8_t {

@@ -64,6 +64,12 @@ void number_to(double d, std::string& out) {
 struct Parser {
   std::string_view s;
   size_t pos = 0;
+  // Containers may nest at most this deep. The recursive-descent parser
+  // burns one stack frame per level, so without a bound a hostile line of
+  // "[[[[..." overflows the stack instead of returning a parse error —
+  // fatal for anything that feeds it untrusted input (the k2c serve loop).
+  static constexpr int kMaxDepth = 256;
+  int depth = 0;
 
   bool eof() const { return pos >= s.size(); }
   char peek() const { return s[pos]; }
@@ -90,8 +96,13 @@ struct Parser {
     skip_ws();
     if (eof()) fail_at("unexpected end of input", pos);
     char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
+    if (c == '{' || c == '[') {
+      if (depth >= kMaxDepth) fail_at("nesting too deep", pos);
+      depth++;
+      Json j = c == '{' ? parse_object() : parse_array();
+      depth--;
+      return j;
+    }
     if (c == '"') return Json(parse_string());
     if (c == 't') {
       if (!consume_lit("true")) fail_at("bad literal", pos);

@@ -21,7 +21,10 @@
 // Thread-safety: Json is a value type with no global state; distinct values
 // are independent. parse()/dump() do not block. parse() throws
 // std::runtime_error with a byte offset on malformed input; it accepts
-// exactly the JSON grammar (no comments, no trailing commas).
+// exactly the JSON grammar (no comments, no trailing commas), with
+// containers nested at most 256 levels deep — deeper input is a parse
+// error, not a stack overflow, because serve-mode feeds this parser
+// untrusted bytes.
 #pragma once
 
 #include <cstdint>

@@ -215,32 +215,36 @@ void EqCache::attach_store(CacheStore* store, uint64_t ofp) {
   shards_[0].stats.disk_loaded += loaded;
 }
 
-EqCache::Stats EqCache::stats() const {
-  Stats total;
+EqCache::Snapshot EqCache::snapshot() const {
+  // Hold every shard at once (in index order — the only multi-shard lock
+  // path, so no ordering conflict with the single-shard operations) so the
+  // stats total and the pending count describe the same instant. A
+  // shard-at-a-time walk could count a query as pending in shard 3 after
+  // already having missed its publication in shard 3's stats — the torn
+  // totals the serve stats/metrics ops must never report.
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (size_t i = 0; i < kShards; ++i)
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+  Snapshot snap;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
-    total.hits += s.stats.hits;
-    total.misses += s.stats.misses;
-    total.insertions += s.stats.insertions;
-    total.collisions += s.stats.collisions;
-    total.pending_joins += s.stats.pending_joins;
-    total.pending_abandons += s.stats.pending_abandons;
-    total.disk_hits += s.stats.disk_hits;
-    total.disk_loaded += s.stats.disk_loaded;
-    total.disk_writes += s.stats.disk_writes;
+    snap.stats.hits += s.stats.hits;
+    snap.stats.misses += s.stats.misses;
+    snap.stats.insertions += s.stats.insertions;
+    snap.stats.collisions += s.stats.collisions;
+    snap.stats.pending_joins += s.stats.pending_joins;
+    snap.stats.pending_abandons += s.stats.pending_abandons;
+    snap.stats.disk_hits += s.stats.disk_hits;
+    snap.stats.disk_loaded += s.stats.disk_loaded;
+    snap.stats.disk_writes += s.stats.disk_writes;
+    for (const auto& [hash, entry] : s.map)
+      if (entry.pending) snap.pending++;
   }
-  return total;
+  return snap;
 }
 
-size_t EqCache::pending_count() const {
-  size_t n = 0;
-  for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
-    for (const auto& [hash, entry] : s.map)
-      if (entry.pending) n++;
-  }
-  return n;
-}
+EqCache::Stats EqCache::stats() const { return snapshot().stats; }
+
+size_t EqCache::pending_count() const { return snapshot().pending; }
 
 void EqCache::clear() {
   for (Shard& s : shards_) {

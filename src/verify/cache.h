@@ -199,6 +199,18 @@ class EqCache {
   // tests, not hot paths.
   size_t pending_count() const;
 
+  // Stats and the pending count captured under ONE lock of all shards, so
+  // the pair is a consistent point-in-time snapshot — a concurrent publish
+  // can never be counted in `stats` but missed by `pending` (or vice
+  // versa). stats()/pending_count() are wrappers over this; callers that
+  // report both numbers together (the serve `stats`/`metrics` ops) must use
+  // snapshot() so they never emit torn totals mid-run.
+  struct Snapshot {
+    Stats stats;
+    size_t pending = 0;
+  };
+  Snapshot snapshot() const;
+
   void clear();
 
   static constexpr size_t kShards = 16;

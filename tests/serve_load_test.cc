@@ -1,0 +1,218 @@
+// Service hardening under load (ISSUE 7): bounded admission, per-job
+// budgets, the bounded event ring's drop-oldest policy, torn-total-free
+// metrics snapshots, and a 200-job mixed submit/cancel soak asserting the
+// service drains to a provably idle state (no pending verdicts, no active
+// jobs, every job terminal).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "api/service.h"
+
+namespace k2 {
+namespace {
+
+using api::CompileRequest;
+using api::CompilerService;
+using api::JobState;
+using api::OverloadError;
+using api::ServiceMetrics;
+
+CompileRequest cheap_request(uint64_t seed) {
+  CompileRequest r = CompileRequest::for_benchmark("xdp_pktcntr")
+                         .iters(60)
+                         .chains(1)
+                         .with_seed(seed)
+                         .with_settings(CompileRequest::Settings::TABLE8);
+  r.num_initial_tests = 4;
+  r.eq_timeout_ms = 10000;
+  return r;
+}
+
+// Effectively unbounded: parks a worker until cancelled (or budget-capped).
+CompileRequest huge_request(uint64_t seed) {
+  CompileRequest r = cheap_request(seed);
+  r.iters_per_chain = 50'000'000;
+  return r;
+}
+
+TEST(ServeLoad, AdmissionRejectsAtActiveBound) {
+  api::ServiceOptions opts;
+  opts.threads = 1;
+  opts.max_active_jobs = 2;
+  CompilerService service(opts);
+
+  api::JobHandle a = service.submit(huge_request(1));
+  api::JobHandle b = service.submit(huge_request(2));
+
+  // Third submit must bounce with the typed error naming the bound — and
+  // must NOT create a job.
+  try {
+    service.submit(cheap_request(3));
+    FAIL() << "submit above max_active_jobs must throw OverloadError";
+  } catch (const OverloadError& e) {
+    EXPECT_EQ(e.limit_name(), "max_active_jobs");
+    EXPECT_EQ(e.current(), 2u);
+    EXPECT_EQ(e.limit(), 2u);
+  }
+  EXPECT_EQ(service.job_ids().size(), 2u);
+  ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.submitted, 2u);
+  EXPECT_EQ(m.rejected, 1u);
+
+  // Draining below the bound re-opens admission.
+  a.cancel();
+  b.cancel();
+  a.wait();
+  b.wait();
+  api::JobHandle c = service.submit(cheap_request(3));
+  c.wait();
+  EXPECT_EQ(c.state(), JobState::DONE);
+  service.shutdown();
+}
+
+TEST(ServeLoad, AdmissionRejectsAtQueuedBound) {
+  api::ServiceOptions opts;
+  opts.threads = 1;
+  opts.max_queued_jobs = 1;
+  CompilerService service(opts);
+
+  api::JobHandle a = service.submit(huge_request(1));
+  // Wait until `a` leaves QUEUED so exactly one queued slot exists.
+  while (a.state() == JobState::QUEUED)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  api::JobHandle b = service.submit(huge_request(2));  // fills the slot
+
+  EXPECT_THROW(service.submit(cheap_request(3)), OverloadError);
+  EXPECT_EQ(service.metrics().rejected, 1u);
+
+  a.cancel();
+  b.cancel();
+  service.shutdown();
+}
+
+TEST(ServeLoad, BudgetIterationCapFinishesDoneAndVerified) {
+  CompilerService service({/*threads=*/1});
+  CompileRequest r = huge_request(5).with_budget(/*wall_ms=*/0,
+                                                /*iters=*/500);
+  api::JobHandle h = service.submit(r);
+  h.wait();  // without the budget this would spin for hours
+
+  // Truthful accounting: the job is DONE (not CANCELLED), its result is
+  // fully re-verified, and the response says the budget stopped it.
+  EXPECT_EQ(h.state(), JobState::DONE);
+  api::CompileResponse resp = h.response();
+  ASSERT_TRUE(resp.single.has_value());
+  EXPECT_TRUE(resp.single->budget_exhausted);
+  EXPECT_FALSE(resp.single->cancelled);
+  EXPECT_LT(resp.single->total_proposals, 50'000'000u);
+  service.shutdown();
+}
+
+TEST(ServeLoad, BudgetWallClockCapFinishesDone) {
+  CompilerService service({/*threads=*/1});
+  CompileRequest r = huge_request(6).with_budget(/*wall_ms=*/300,
+                                                /*iters=*/0);
+  api::JobHandle h = service.submit(r);
+  h.wait();
+  EXPECT_EQ(h.state(), JobState::DONE);
+  api::CompileResponse resp = h.response();
+  ASSERT_TRUE(resp.single.has_value());
+  EXPECT_TRUE(resp.single->budget_exhausted);
+  service.shutdown();
+}
+
+TEST(ServeLoad, SlowConsumerRingDropsOldestContiguously) {
+  api::ServiceOptions opts;
+  opts.threads = 1;
+  opts.max_events_per_job = 16;  // the smallest the service allows
+  opts.tick_every = 8;
+  CompilerService service(opts);
+
+  // Enough iterations for far more than 16 events; nobody polls mid-run.
+  CompileRequest r = cheap_request(7);
+  r.iters_per_chain = 2000;
+  api::JobHandle h = service.submit(r);
+  h.wait();
+
+  uint64_t last = h.last_seq();
+  ASSERT_GT(last, 16u) << "job must overflow the 16-event ring";
+  std::vector<api::Event> events = h.poll(0);
+  ASSERT_LE(events.size(), 16u);
+  ASSERT_FALSE(events.empty());
+  // Drop-oldest: what's left is the NEWEST suffix, contiguous, ending at
+  // last_seq; the dropped count is exactly the aged-out prefix.
+  EXPECT_EQ(events.back().seq, last);
+  for (size_t i = 1; i < events.size(); ++i)
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  EXPECT_EQ(events.front().seq, h.events_dropped() + 1);
+  EXPECT_EQ(h.events_dropped(), last - events.size());
+  service.shutdown();
+}
+
+TEST(ServeLoad, MetricsSnapshotSumsAreNeverTorn) {
+  CompilerService service({/*threads=*/2});
+  std::vector<api::JobHandle> handles;
+  for (int i = 0; i < 12; ++i) {
+    handles.push_back(service.submit(cheap_request(100 + i)));
+    // Every snapshot taken mid-churn must balance: each accepted job is in
+    // exactly one state, so the state counts always sum to submitted.
+    ServiceMetrics m = service.metrics();
+    EXPECT_EQ(m.queued + m.running + m.done + m.failed + m.cancelled,
+              m.submitted);
+    EXPECT_EQ(m.submitted, uint64_t(i + 1));
+  }
+  for (api::JobHandle& h : handles) h.wait();
+  ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.done, 12u);
+  EXPECT_EQ(m.queued + m.running, 0u);
+  service.shutdown();
+}
+
+// The soak: 200 mixed jobs — cheap ones that complete, victims that get
+// cancelled mid-flight — through a narrow pool. After the drain the
+// service must be provably idle: every job terminal, state counts
+// balancing, zero pending verdicts, workers idle.
+TEST(ServeLoad, MixedSoak200JobsDrainsClean) {
+  CompilerService service({/*threads=*/4});
+  std::vector<api::JobHandle> handles;
+  std::vector<bool> victim;
+  for (int i = 0; i < 200; ++i) {
+    bool v = i % 4 == 3;  // every 4th job is a cancel victim
+    victim.push_back(v);
+    handles.push_back(
+        service.submit(v ? huge_request(1000 + i) : cheap_request(1000 + i)));
+    if (v) handles.back().cancel();
+  }
+  for (api::JobHandle& h : handles) h.wait();
+
+  uint64_t done = 0, cancelled = 0;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    ASSERT_TRUE(handles[i].terminal());
+    if (handles[i].state() == JobState::DONE) done++;
+    if (handles[i].state() == JobState::CANCELLED) cancelled++;
+    EXPECT_EQ(handles[i].pending_eq_queries(), 0u);
+  }
+  // Every non-victim must complete; a victim may legitimately finish DONE
+  // only if it won the race (it can't at 50M iterations, but don't flake).
+  EXPECT_EQ(done + cancelled, 200u);
+  EXPECT_GE(cancelled, 1u);
+  EXPECT_GE(done, 150u);
+
+  ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.submitted, 200u);
+  EXPECT_EQ(m.queued + m.running, 0u);
+  EXPECT_EQ(m.done + m.failed + m.cancelled, 200u);
+  EXPECT_EQ(m.pending_eq, 0u);
+
+  // Solver queue drained and pool quiescent — the "idle workers" check.
+  for (int spin = 0; spin < 1000 && !service.idle(); ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(service.idle());
+  service.shutdown();
+  EXPECT_EQ(service.pending_eq_queries(), 0u);
+}
+
+}  // namespace
+}  // namespace k2

@@ -99,6 +99,18 @@ util::Flags make_flags() {
       {"stdio", T::BOOL, "", "serve mode: speak NDJSON on stdin/stdout", ""},
       {"socket", T::STRING, "",
        "serve mode: listen on this unix-domain socket path", ""},
+      {"max-queued-jobs", T::UINT, "0",
+       "serve mode: reject submits once this many jobs sit QUEUED "
+       "(0 = unbounded)",
+       ""},
+      {"max-active-jobs", T::UINT, "0",
+       "serve mode: reject submits once this many jobs are queued or "
+       "running (0 = unbounded)",
+       ""},
+      {"max-events-per-job", T::UINT, "4096",
+       "serve mode: per-job event-ring bound; oldest events age out when a "
+       "consumer polls too slowly",
+       ""},
   });
 }
 
@@ -362,6 +374,9 @@ int run_serve(const util::Flags& f) {
   sopts.solver_workers = int(f.num("solver-workers"));
   sopts.cache_dir = f.str("cache-dir");
   sopts.solver_endpoints = split_endpoints(f.str("solver-endpoints"));
+  sopts.max_queued_jobs = size_t(f.num("max-queued-jobs"));
+  sopts.max_active_jobs = size_t(f.num("max-active-jobs"));
+  sopts.max_events_per_job = size_t(f.num("max-events-per-job"));
   sopts.portfolio = int(f.num("portfolio"));
   std::optional<api::CompilerService> service;
   try {
