@@ -34,6 +34,7 @@ const char* const kRequestFields[] = {
     "seed",
     "windows",
     "max_insns",
+    "exec_backend",
     "eq_timeout_ms",
     "reorder_tests",
     "early_exit",
@@ -296,6 +297,7 @@ util::Json CompileRequest::to_json() const {
   j.set("seed", seed);
   j.set("windows", to_string(windows));
   j.set("max_insns", max_insns);
+  j.set("exec_backend", jit::to_string(exec_backend));
   j.set("eq_timeout_ms", uint64_t(eq_timeout_ms));
   j.set("reorder_tests", reorder_tests);
   j.set("early_exit", early_exit);
@@ -403,6 +405,10 @@ CompileRequest CompileRequest::from_json(const util::Json& j) {
   rd.read_int("num_initial_tests", &r.num_initial_tests, 1, 1024);
   rd.read_uint("seed", &r.seed, 0, UINT64_MAX);
   rd.read_uint("max_insns", &r.max_insns, 1, UINT64_MAX);
+  switch (rd.read_enum("exec_backend", {"fast", "jit"}, 0)) {
+    case 1: r.exec_backend = jit::ExecBackend::JIT; break;
+    default: r.exec_backend = jit::ExecBackend::FAST_INTERP; break;
+  }
   uint64_t eq_ms = r.eq_timeout_ms;
   rd.read_uint("eq_timeout_ms", &eq_ms, 1, 3'600'000);
   r.eq_timeout_ms = unsigned(eq_ms);
@@ -448,6 +454,7 @@ core::CompileOptions CompileRequest::to_compile_options() const {
   o.seed = seed;
   if (windows != Windows::AUTO) o.force_windows = windows == Windows::ON;
   o.max_insns = max_insns;
+  o.exec_backend = exec_backend;
   o.eq.timeout_ms = eq_timeout_ms;
   o.reorder_tests = reorder_tests;
   o.early_exit = early_exit;

@@ -77,6 +77,11 @@ struct CompileRequest {
   uint64_t seed = 0x6b32;
   Windows windows = Windows::AUTO;
   uint64_t max_insns = 1u << 20;
+  // Execution engine for candidate test runs ("fast" | "jit"). The JIT is
+  // decision-neutral — bit-identical RunResults — so it changes wall-clock,
+  // never winners; programs it cannot translate fall back per-program to
+  // the interpreter (CompileResult::jit_bailouts).
+  jit::ExecBackend exec_backend = jit::ExecBackend::FAST_INTERP;
   unsigned eq_timeout_ms = 20'000;
   bool reorder_tests = true;
   bool early_exit = true;

@@ -38,6 +38,11 @@ inline constexpr const char* kSolveProtocol = "k2-solve/v1";
 // (src/verify/cache_store.h): the header line of every shard file.
 inline constexpr const char* kEqCacheSchema = "k2-eqcache/v1";
 
+// The report bench_micro_interp emits (bench/micro_interp.cc). v2: adds
+// the JIT backend column (jit_execs_per_sec, jit_speedup per row, and
+// geomean_jit_speedup) to the legacy-vs-decoded comparison.
+inline constexpr const char* kMicroInterpSchema = "k2-microinterp/v2";
+
 // The load/soak report bench_serve_load emits (bench/serve_load.cc):
 // throughput, per-op latency percentiles, queue depths, and error/cancel
 // counts from one load run against the serve protocol.

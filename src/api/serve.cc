@@ -168,6 +168,7 @@ std::string ServeLoop::handle(const std::string& line, bool* stop) {
       }
       j.set("solver", solver_json(m.solver, service_.options().solver_workers));
       j.set("cache", cache_json(m.cache, m.pending_eq));
+      j.set("jit_bailouts", m.jit_bailouts);
       if (const verify::CacheStore* st = service_.store()) {
         verify::CacheStore::Stats ss = st->stats();
         util::Json store;

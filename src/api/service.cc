@@ -508,6 +508,11 @@ ServiceMetrics CompilerService::metrics() const {
       }
       m.event_backlog += job->events.size();
       m.events_dropped += job->dropped;
+      if (job->terminal_locked()) {
+        if (job->resp.single) m.jit_bailouts += job->resp.single->jit_bailouts;
+        if (job->resp.batch)
+          m.jit_bailouts += job->resp.batch->totals.jit_bailouts;
+      }
       cache = job->cache;
     }
     if (cache) {

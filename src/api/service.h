@@ -147,6 +147,9 @@ struct ServiceMetrics {
   uint64_t pending_eq = 0;
   // Shared solver dispatcher counters.
   verify::AsyncSolverDispatcher::Stats solver;
+  // JIT fallbacks summed over terminal jobs' results (single and batch).
+  // Always 0 while every request runs the default fast-interpreter backend.
+  uint64_t jit_bailouts = 0;
 };
 
 class JobHandle {

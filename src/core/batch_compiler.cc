@@ -94,6 +94,7 @@ util::Json totals_to_json(const BatchTotals& t) {
   j.set("solver_queue_peak", t.solver_queue_peak);
   j.set("solver_timeouts", t.solver_timeouts);
   j.set("solver_abandoned", t.solver_abandoned);
+  j.set("jit_bailouts", t.jit_bailouts);
   j.set("kernel_accepted", t.kernel_accepted);
   j.set("kernel_rejected", t.kernel_rejected);
   j.set("disk_hits", t.disk_hits);
@@ -117,6 +118,8 @@ BatchTotals totals_from_json(const util::Json& j) {
   t.solver_queue_peak = j.at("solver_queue_peak").as_uint();
   t.solver_timeouts = j.at("solver_timeouts").as_uint();
   t.solver_abandoned = j.at("solver_abandoned").as_uint();
+  if (const util::Json* v = j.get("jit_bailouts"))
+    t.jit_bailouts = v->as_uint();
   t.kernel_accepted = j.at("kernel_accepted").as_int();
   t.kernel_rejected = j.at("kernel_rejected").as_int();
   if (const util::Json* v = j.get("disk_hits")) t.disk_hits = v->as_uint();
@@ -161,6 +164,7 @@ util::Json compile_result_to_json(const CompileResult& r) {
   j.set("solver_queue_peak", r.solver_queue_peak);
   j.set("solver_timeouts", r.solver_timeouts);
   j.set("solver_abandoned", r.solver_abandoned);
+  j.set("jit_bailouts", r.jit_bailouts);
   j.set("kernel_accepted", int64_t(r.kernel_accepted));
   j.set("kernel_rejected", int64_t(r.kernel_rejected));
   return j;
@@ -210,6 +214,8 @@ CompileResult compile_result_from_json(const util::Json& j) {
     r.solver_timeouts = v->as_uint();
   if (const util::Json* v = j.get("solver_abandoned"))
     r.solver_abandoned = v->as_uint();
+  if (const util::Json* v = j.get("jit_bailouts"))
+    r.jit_bailouts = v->as_uint();
   r.kernel_accepted = int(j.at("kernel_accepted").as_int());
   r.kernel_rejected = int(j.at("kernel_rejected").as_int());
   return r;
@@ -448,6 +454,7 @@ BatchReport BatchCompiler::run(const BatchServices& bsvc) {
       report.totals.speculations += r.speculations;
       report.totals.rollbacks += r.rollbacks;
       report.totals.pending_joins += r.pending_joins;
+      report.totals.jit_bailouts += r.jit_bailouts;
       report.totals.kernel_accepted += r.kernel_accepted;
       report.totals.kernel_rejected += r.kernel_rejected;
       report.totals.disk_hits += r.cache.disk_hits;

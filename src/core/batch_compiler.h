@@ -106,6 +106,7 @@ struct BatchTotals {
   uint64_t solver_queue_peak = 0;
   uint64_t solver_timeouts = 0;
   uint64_t solver_abandoned = 0;
+  uint64_t jit_bailouts = 0;
   int64_t kernel_accepted = 0;
   int64_t kernel_rejected = 0;
   // Persistent-cache (disk tier) aggregates; all zero without a cache_dir.

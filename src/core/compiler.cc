@@ -177,6 +177,7 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
     cfg.eq = opts.eq;
     cfg.safety = opts.safety;
     cfg.max_insns = opts.max_insns;
+    cfg.exec_backend = opts.exec_backend;
     cfg.use_windows = use_windows;
     cfg.reorder_tests = opts.reorder_tests;
     cfg.early_exit = opts.early_exit;
@@ -236,6 +237,7 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
     res.pending_joins += cr.stats.pending_joins;
     res.rollbacks += cr.stats.rollbacks;
     res.discarded_proposals += cr.stats.discarded_proposals;
+    res.jit_bailouts += cr.stats.jit_bailouts;
     for (const auto& c : cr.candidates) all.push_back(c);
   }
   if (!svc.dispatcher) {

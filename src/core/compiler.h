@@ -9,6 +9,7 @@
 
 #include "core/mcmc.h"
 #include "core/progress.h"
+#include "jit/exec_backend.h"
 #include "kernel/kernel_checker.h"
 
 namespace k2::sim {
@@ -41,6 +42,12 @@ struct CompileOptions {
   // evaluation; the suite's cached source outputs use the interpreter
   // default so a budget change cannot silently redefine expected outputs.
   uint64_t max_insns = 1u << 20;
+  // Execution engine for candidate test runs (jit/exec_backend.h; k2c
+  // --exec-backend=fast|jit). The JIT is decision-neutral: bit-identical
+  // RunResults, so same-seed compiles pick the same winners either way.
+  // Programs the JIT cannot translate fall back per-program to the fast
+  // interpreter (counted in CompileResult::jit_bailouts).
+  jit::ExecBackend exec_backend = jit::ExecBackend::FAST_INTERP;
   int threads = 4;
   // Evaluation-pipeline knobs, forwarded to every chain (see ChainConfig).
   bool reorder_tests = true;
@@ -192,6 +199,10 @@ struct CompileResult {
   uint64_t solver_queue_peak = 0;   // high-water mark of the dispatch queue
   uint64_t solver_timeouts = 0;     // async queries that returned UNKNOWN
   uint64_t solver_abandoned = 0;    // cancelled queries skipped before solving
+  // JIT backend: prepared candidates that fell back to the interpreter
+  // (unsupported helper / oversized / no executable memory). Always 0 under
+  // FAST_INTERP.
+  uint64_t jit_bailouts = 0;
 
   // Kernel-checker post-processing statistics (Table 5).
   int kernel_accepted = 0;

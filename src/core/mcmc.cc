@@ -41,6 +41,7 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   ecfg.reorder_tests = cfg.reorder_tests;
   ecfg.early_exit = cfg.early_exit;
   ecfg.max_insns = cfg.max_insns;
+  ecfg.exec_backend = cfg.exec_backend;
   ecfg.dispatcher = cfg.dispatcher;
   ecfg.backend = cfg.backend;
   ecfg.perf_model = cfg.perf_model;
@@ -290,6 +291,7 @@ ChainResult run_chain(const ebpf::Program& src, TestSuite& suite,
   st.tests_skipped = ps.tests_skipped;
   st.speculations = ps.speculations;
   st.pending_joins = ps.pending_joins;
+  st.jit_bailouts = ps.jit_bailouts;
   st.total_time_sec = std::chrono::duration<double>(Clock::now() - t0).count();
   return result;
 }

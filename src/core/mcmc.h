@@ -24,6 +24,7 @@
 #include "core/params.h"
 #include "core/progress.h"
 #include "core/proposals.h"
+#include "jit/exec_backend.h"
 #include "safety/safety.h"
 #include "verify/cache.h"
 #include "verify/solver_dispatch.h"
@@ -45,6 +46,10 @@ struct ChainConfig {
   safety::SafetyOptions safety;
   // Interpreter step budget per test execution (RunOptions::max_insns).
   uint64_t max_insns = 1u << 20;
+  // Execution engine for candidate test runs (jit/exec_backend.h). The JIT
+  // backend is decision-neutral — bit-identical RunResults — so same-seed
+  // chains pick the same winners under either engine.
+  jit::ExecBackend exec_backend = jit::ExecBackend::FAST_INTERP;
   // Modular verification (§5 IV): mutate and verify within windows. Final
   // outputs are re-verified whole-program by the compiler driver.
   bool use_windows = false;
@@ -110,6 +115,9 @@ struct ChainStats {
   uint64_t speculations = 0;        // decisions made on a pending verdict
   uint64_t pending_joins = 0;       // queries shared with another chain
   uint64_t rollbacks = 0;           // speculations the solver contradicted
+  // JIT backend observability: prepared candidates that fell back to the
+  // interpreter (always 0 under FAST_INTERP).
+  uint64_t jit_bailouts = 0;
   uint64_t discarded_proposals = 0; // proposals undone by those rollbacks
   uint64_t best_iter = 0;
   double best_time_sec = 0;

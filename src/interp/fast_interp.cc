@@ -20,8 +20,8 @@ namespace k2::interp {
 
 using ebpf::ExecOp;
 
-void SuiteRunner::prepare(const ebpf::Program& p,
-                          const ebpf::InsnRange* touched) {
+ebpf::InsnRange SuiteRunner::prepare(const ebpf::Program& p,
+                                     const ebpf::InsnRange* touched) {
   if (!valid_ || !touched || dp_.insns.size() != p.insns.size() ||
       dp_.type != p.type) {
     dp_.decode(p);
@@ -34,20 +34,67 @@ void SuiteRunner::prepare(const ebpf::Program& p,
     // candidate still differs from the decoded form inside *touched, so
     // the range must seed the hull like any other proposal's.
     last_touched_ = touched ? *touched : ebpf::InsnRange{};
-    return;
+    return ebpf::InsnRange{0, static_cast<int>(p.insns.size())};
   }
   // Incremental patch. Consecutive candidates both derive from the chain's
   // current program: the previous candidate differed from it only inside
   // last_touched_ (whether it was accepted or rejected), the new one only
   // inside *touched, so the hull of the two ranges covers every slot where
   // the decoded form can disagree with `p`.
-  dp_.patch(p, ebpf::InsnRange::hull(last_touched_, *touched));
+  const ebpf::InsnRange hull = ebpf::InsnRange::hull(last_touched_, *touched);
+  dp_.patch(p, hull);
   last_touched_ = *touched;
 #ifndef NDEBUG
   for (size_t i = 0; i < p.insns.size(); ++i)
     assert(dp_.insns[i] == ebpf::decode_insn(p.insns[i], int(i)) &&
            "incremental patch diverged from a full re-decode");
 #endif
+  return hull;
+}
+
+RunResult& SuiteRunner::scratch_begin() {
+  RunResult& res = scratch_;
+  res.fault = Fault::NONE;
+  res.fault_pc = -1;
+  res.r0 = 0;
+  res.insns_executed = 0;
+  res.trace.clear();
+  return res;
+}
+
+const RunResult& SuiteRunner::scratch_fault(Fault f, int at) {
+  RunResult& res = scratch_;
+  res.fault = f;
+  res.fault_pc = at;
+  // The legacy interpreter returns a default-constructed result on fault:
+  // no packet or map outputs. Park the snapshot nodes in their runtimes'
+  // pools rather than freeing them — the next clean run's full merge
+  // takes them back.
+  res.packet_out.clear();
+  for (size_t fd = 0; fd < m_.maps.size(); ++fd) {
+    auto it = res.maps_out.find(static_cast<int>(fd));
+    if (it != res.maps_out.end()) m_.maps[fd].park_snapshot(it->second);
+  }
+  res.maps_out.clear();
+  snapshot_valid_ = false;
+  return res;
+}
+
+const RunResult& SuiteRunner::scratch_finish() {
+  RunResult& res = scratch_;
+  res.r0 = m_.regs[0];
+  res.packet_out.assign(
+      m_.pkt_buf.data() + (m_.pkt_data - Machine::kPacketBase),
+      m_.pkt_buf.data() + (m_.pkt_data_end - Machine::kPacketBase));
+  const bool full = !snapshot_valid_;
+  // A rebind can shrink the map count; drop snapshot entries for fds the
+  // current program does not have.
+  while (res.maps_out.size() > m_.maps.size())
+    res.maps_out.erase(std::prev(res.maps_out.end()));
+  for (size_t fd = 0; fd < m_.maps.size(); ++fd)
+    m_.maps[fd].snapshot_into(res.maps_out[static_cast<int>(fd)], full);
+  snapshot_valid_ = true;
+  return res;
 }
 
 const RunResult& SuiteRunner::run_one(const InputSpec& input,
@@ -78,12 +125,7 @@ const RunResult& SuiteRunner::exec(const InputSpec& input,
                                    const RunOptions& opt) {
   Machine& m = m_;
   m.reset(input);
-  RunResult& res = scratch_;
-  res.fault = Fault::NONE;
-  res.fault_pc = -1;
-  res.r0 = 0;
-  res.insns_executed = 0;
-  res.trace.clear();
+  RunResult& res = scratch_begin();
 
   const ebpf::DecodedInsn* const insns = dp_.insns.data();
   const int n = static_cast<int>(dp_.insns.size());
@@ -93,37 +135,12 @@ const RunResult& SuiteRunner::exec(const InputSpec& input,
   const ebpf::DecodedInsn* d = nullptr;
   int pc = 0;
 
-  const auto fault_out = [&](Fault f, int at) -> RunResult& {
-    res.fault = f;
-    res.fault_pc = at;
-    // The legacy interpreter returns a default-constructed result on fault:
-    // no packet or map outputs. Park the snapshot nodes in their runtimes'
-    // pools rather than freeing them — the next clean run's full merge
-    // takes them back.
-    res.packet_out.clear();
-    for (size_t fd = 0; fd < m.maps.size(); ++fd) {
-      auto it = res.maps_out.find(static_cast<int>(fd));
-      if (it != res.maps_out.end()) m.maps[fd].park_snapshot(it->second);
-    }
-    res.maps_out.clear();
-    snapshot_valid_ = false;
-    return res;
+  // The exit paths live in scratch_fault()/scratch_finish() (shared with
+  // the JIT backend); these wrappers keep the handler bodies unchanged.
+  const auto fault_out = [&](Fault f, int at) -> const RunResult& {
+    return scratch_fault(f, at);
   };
-  const auto finish = [&]() -> RunResult& {
-    res.r0 = m.regs[0];
-    res.packet_out.assign(
-        m.pkt_buf.data() + (m.pkt_data - Machine::kPacketBase),
-        m.pkt_buf.data() + (m.pkt_data_end - Machine::kPacketBase));
-    const bool full = !snapshot_valid_;
-    // A rebind can shrink the map count; drop snapshot entries for fds the
-    // current program does not have.
-    while (res.maps_out.size() > m.maps.size())
-      res.maps_out.erase(std::prev(res.maps_out.end()));
-    for (size_t fd = 0; fd < m.maps.size(); ++fd)
-      m.maps[fd].snapshot_into(res.maps_out[static_cast<int>(fd)], full);
-    snapshot_valid_ = true;
-    return res;
-  };
+  const auto finish = [&]() -> const RunResult& { return scratch_finish(); };
 
 #if K2_COMPUTED_GOTO
   // One entry per ExecOp, in declaration order.

@@ -80,8 +80,13 @@ class SuiteRunner {
   // inside those ranges, whether the previous proposal was accepted or
   // rejected). Pass null after any discontinuous program change — or call
   // invalidate() — to force a full decode.
-  void prepare(const ebpf::Program& p,
-               const ebpf::InsnRange* touched = nullptr);
+  //
+  // Returns the range of decoded slots this call actually re-synced:
+  // {0, n} for a full decode, the patched hull otherwise. Execution
+  // backends that mirror the decoded form (the JIT) re-translate exactly
+  // this range.
+  ebpf::InsnRange prepare(const ebpf::Program& p,
+                          const ebpf::InsnRange* touched = nullptr);
 
   // Drops the incremental-decode state (e.g. after a speculative-chain
   // rollback rewound the current program); the next prepare() re-decodes.
@@ -104,6 +109,18 @@ class SuiteRunner {
 
   Machine& machine() { return m_; }
   const ebpf::DecodedProgram& decoded() const { return dp_; }
+
+  // ---- exec-backend support (src/jit) -------------------------------------
+  // The scratch-result lifecycle, exposed so an alternative execution
+  // backend driving machine() directly can share the arena-backed machine
+  // reuse and the incremental map-snapshot pooling (including its
+  // snapshot-validity bookkeeping — sharing one runner is what keeps the
+  // pooling coherent when backends alternate). A backend-run is:
+  //   machine().reset(input); scratch_begin(); <execute>;
+  // then exactly one of scratch_fault() / scratch_finish().
+  RunResult& scratch_begin();                       // clears the header fields
+  const RunResult& scratch_fault(Fault f, int at);  // faulting exit
+  const RunResult& scratch_finish();                // clean exit (r0 = regs[0])
 
  private:
   const RunResult& exec(const InputSpec& input, const RunOptions& opt);

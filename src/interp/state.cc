@@ -87,8 +87,9 @@ void Machine::init(const ebpf::Program& prog, const InputSpec& input) {
   // Packet with headroom for bpf_xdp_adjust_head.
   pkt_headroom = kHeadroom;
   pkt_buf.assign(pkt_headroom + input.packet.size(), 0);
-  std::memcpy(pkt_buf.data() + pkt_headroom, input.packet.data(),
-              input.packet.size());
+  if (!input.packet.empty())
+    std::memcpy(pkt_buf.data() + pkt_headroom, input.packet.data(),
+                input.packet.size());
   pkt_data = kPacketBase + pkt_headroom;
   pkt_data_end = pkt_data + input.packet.size();
   regions.push_back(Region{Mem::PACKET, pkt_data,
@@ -165,8 +166,9 @@ void Machine::reset(const InputSpec& input) {
   // The packet area is fully overwritten below; only the headroom needs
   // re-zeroing (bpf_xdp_adjust_head can expose it to stores).
   std::memset(pkt_buf.data(), 0, pkt_headroom);
-  std::memcpy(pkt_buf.data() + pkt_headroom, input.packet.data(),
-              input.packet.size());
+  if (!input.packet.empty())
+    std::memcpy(pkt_buf.data() + pkt_headroom, input.packet.data(),
+                input.packet.size());
   pkt_data = kPacketBase + pkt_headroom;
   pkt_data_end = pkt_data + input.packet.size();
   regions.push_back(Region{Mem::PACKET, pkt_data,

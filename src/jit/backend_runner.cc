@@ -1,0 +1,67 @@
+#include "jit/backend_runner.h"
+
+#include "interp/interpreter.h"
+
+namespace k2::jit {
+
+ebpf::InsnRange BackendRunner::prepare(const ebpf::Program& p,
+                                       const ebpf::InsnRange* touched) {
+  // The interpreter runner syncs first — it owns the decoded form — and
+  // reports the slot range it actually re-decoded.
+  const ebpf::InsnRange r = interp_.prepare(p, touched);
+  if (backend_ != ExecBackend::JIT) return r;
+
+  const ebpf::DecodedProgram& dp = interp_.decoded();
+  const bool full = !trans_.valid() || trans_.size() != dp.insns.size() ||
+                    (r.start == 0 && r.end == static_cast<int>(dp.size()));
+  const bool ok = full ? trans_.translate(dp) : trans_.patch(dp, r);
+  if (!ok) ++bailouts_;  // this candidate executes on the interpreter
+  return r;
+}
+
+const interp::RunResult& BackendRunner::run_one(
+    const interp::InputSpec& input, const interp::RunOptions& opt) {
+  if (!jit_active() || opt.record_trace) return interp_.run_one(input, opt);
+  return exec_native(input, opt);
+}
+
+interp::SuiteOutcome BackendRunner::run_suite(
+    std::span<const interp::SuiteTest> tests, bool until_first_fail,
+    const interp::RunOptions& opt, interp::ResultSink on_result) {
+  if (!jit_active() || opt.record_trace)
+    return interp_.run_suite(tests, until_first_fail, opt, on_result);
+  // Same loop shape as SuiteRunner::run_suite, over the native entry.
+  interp::SuiteOutcome out;
+  for (uint32_t i = 0; i < tests.size(); ++i) {
+    const interp::RunResult& r = exec_native(*tests[i].input, opt);
+    out.executed++;
+    const bool failed =
+        tests[i].expected &&
+        !interp::outputs_equal(decoded().type, r, *tests[i].expected);
+    if (failed && out.first_fail < 0) out.first_fail = int32_t(i);
+    if (on_result && !on_result(i, r)) break;
+    if (until_first_fail && failed) break;
+  }
+  return out;
+}
+
+const interp::RunResult& BackendRunner::exec_native(
+    const interp::InputSpec& input, const interp::RunOptions& opt) {
+  interp::Machine& m = interp_.machine();
+  m.reset(input);
+  interp::RunResult& res = interp_.scratch_begin();
+
+  JitState st;
+  st.machine = &m;
+  st.regs = m.regs.data();
+  st.max_insns = opt.max_insns;
+  trans_.entry()(&st);
+
+  res.insns_executed = st.insns_executed;
+  if (st.fault != 0)
+    return interp_.scratch_fault(static_cast<interp::Fault>(st.fault),
+                                 st.fault_pc);
+  return interp_.scratch_finish();
+}
+
+}  // namespace k2::jit

@@ -1,0 +1,85 @@
+// BackendRunner — the execution seam pipeline::ExecContext holds: the
+// SuiteRunner interface (prepare / run_one / run_suite / invalidate) with a
+// selectable engine behind it.
+//
+//  * FAST_INTERP delegates every call straight to the embedded
+//    interp::SuiteRunner — zero new state touched, so the default backend
+//    is bit-for-bit the pre-JIT pipeline.
+//  * JIT keeps the embedded runner prepared (it owns the decoded form, the
+//    machine and the scratch-result pooling) and additionally maintains a
+//    native translation in a per-runner executable arena. prepare() feeds
+//    the range the interpreter actually re-decoded into
+//    Translator::patch(), so incremental proposal patches re-emit only the
+//    touched slots; invalidate() drops both the decoded form and the
+//    translation (the speculative-rollback hook).
+//
+// Fallback ladder (never an error): a program outside the JIT support set
+// — unsupported helper, oversized, or no executable memory on this host —
+// executes on the interpreter and bumps jit_bailouts() once per prepared
+// candidate; a run that needs record_trace delegates per-run (the template
+// JIT does not instrument traces). Because both engines share one
+// SuiteRunner (one machine, one scratch result, one snapshot-validity
+// flag), alternating between them keeps the incremental map-snapshot
+// pooling coherent.
+//
+// Thread-safety: single-threaded, one per worker context, exactly like
+// SuiteRunner.
+#pragma once
+
+#include <span>
+
+#include "interp/fast_interp.h"
+#include "jit/exec_backend.h"
+#include "jit/translator.h"
+
+namespace k2::jit {
+
+class BackendRunner {
+ public:
+  // Selecting a backend is cheap; a switch takes effect at the next
+  // prepare() (JIT code, if any, is simply unused while FAST_INTERP is
+  // selected).
+  void select(ExecBackend be) {
+    if (backend_ != be) trans_.invalidate();
+    backend_ = be;
+  }
+  ExecBackend backend() const { return backend_; }
+
+  // SuiteRunner-compatible surface (pipeline::EvalPipeline and core::mcmc
+  // call exactly these four, plus machine()/decoded()).
+  ebpf::InsnRange prepare(const ebpf::Program& p,
+                          const ebpf::InsnRange* touched = nullptr);
+  void invalidate() {
+    interp_.invalidate();
+    trans_.invalidate();
+  }
+  const interp::RunResult& run_one(const interp::InputSpec& input,
+                                   const interp::RunOptions& opt);
+  interp::SuiteOutcome run_suite(std::span<const interp::SuiteTest> tests,
+                                 bool until_first_fail,
+                                 const interp::RunOptions& opt,
+                                 interp::ResultSink on_result = {});
+
+  interp::Machine& machine() { return interp_.machine(); }
+  const ebpf::DecodedProgram& decoded() const { return interp_.decoded(); }
+
+  // Prepared candidates that fell back to the interpreter while JIT was
+  // selected (cumulative; the eval pipeline snapshots deltas into
+  // EvalStats::jit_bailouts).
+  uint64_t jit_bailouts() const { return bailouts_; }
+  // True when the current program runs natively (test observability).
+  bool jit_active() const { return backend_ == ExecBackend::JIT &&
+                                   trans_.valid(); }
+  const Translator& translator() const { return trans_; }
+
+ private:
+  const interp::RunResult& exec_native(const interp::InputSpec& input,
+                                       const interp::RunOptions& opt);
+
+  interp::SuiteRunner interp_;
+  Translator trans_;
+  ExecBackend backend_ = ExecBackend::FAST_INTERP;
+  uint64_t bailouts_ = 0;
+};
+
+}  // namespace k2::jit

@@ -1,0 +1,60 @@
+#include "jit/code_arena.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define K2_JIT_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define K2_JIT_HAVE_MMAP 0
+#endif
+
+namespace k2::jit {
+
+CodeArena::~CodeArena() { release(); }
+
+void CodeArena::release() {
+#if K2_JIT_HAVE_MMAP
+  if (base_) ::munmap(base_, cap_);
+#endif
+  base_ = nullptr;
+  cap_ = 0;
+  writable_ = false;
+}
+
+bool CodeArena::ensure(size_t bytes, bool* moved) {
+  *moved = false;
+  if (bytes <= cap_ && base_) return true;
+#if K2_JIT_HAVE_MMAP
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t cap = (bytes + page - 1) / page * page;
+  void* p = ::mmap(nullptr, cap, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) return false;
+  release();
+  base_ = static_cast<uint8_t*>(p);
+  cap_ = cap;
+  writable_ = true;  // fresh anonymous mapping starts RW
+  *moved = true;
+  return true;
+#else
+  return false;
+#endif
+}
+
+void CodeArena::make_writable() {
+#if K2_JIT_HAVE_MMAP
+  if (!base_ || writable_) return;
+  ::mprotect(base_, cap_, PROT_READ | PROT_WRITE);
+  writable_ = true;
+#endif
+}
+
+void CodeArena::make_executable() {
+#if K2_JIT_HAVE_MMAP
+  if (!base_ || !writable_) return;
+  ::mprotect(base_, cap_, PROT_READ | PROT_EXEC);
+  writable_ = false;
+#endif
+}
+
+}  // namespace k2::jit

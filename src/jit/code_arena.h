@@ -1,0 +1,46 @@
+// CodeArena — one mmap'd executable region per worker context, holding the
+// JIT translation of the currently prepared program. Strict W^X: the
+// mapping is writable (PROT_READ|PROT_WRITE) only between make_writable()
+// and make_executable(), and executable (PROT_READ|PROT_EXEC) only in
+// between runs — never both at once. The arena is reused across programs
+// and across Machine::bind/reset cycles; it only remaps when a program
+// needs more capacity than any before it (growth moves the base address,
+// so the translator must re-emit everything after ensure() reports a
+// move — absolute slot addresses are baked into the code).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace k2::jit {
+
+class CodeArena {
+ public:
+  CodeArena() = default;
+  CodeArena(const CodeArena&) = delete;
+  CodeArena& operator=(const CodeArena&) = delete;
+  ~CodeArena();
+
+  // Guarantees capacity() >= bytes (page-rounded). Returns false when the
+  // platform cannot provide executable memory (mmap failure or an OS
+  // without POSIX mprotect) — the caller falls back to the interpreter.
+  // Sets *moved when the base address changed (initial map or regrow).
+  bool ensure(size_t bytes, bool* moved);
+
+  uint8_t* base() const { return base_; }
+  size_t capacity() const { return cap_; }
+  bool writable() const { return writable_; }
+
+  // W^X flips. No-ops on an empty arena.
+  void make_writable();
+  void make_executable();
+
+  void release();
+
+ private:
+  uint8_t* base_ = nullptr;
+  size_t cap_ = 0;
+  bool writable_ = false;
+};
+
+}  // namespace k2::jit

@@ -1,0 +1,41 @@
+// ExecBackend — which engine executes candidate programs against the test
+// suite inside the search loop. Kept in its own dependency-free header so
+// config structs across the layer stack (EvalConfig / ChainConfig /
+// CompileOptions / api::CompileRequest) can name the enum without pulling
+// in the JIT itself.
+//
+//  * FAST_INTERP — the decode-once/execute-many interpreter
+//    (interp::SuiteRunner). The default, and the reference semantics every
+//    other backend is differentially fuzzed against.
+//  * JIT — the baseline x86-64 template JIT (src/jit/translator.h), with
+//    automatic per-program fallback to FAST_INTERP for anything outside its
+//    support set (counted as jit_bailouts, never an error). On non-x86-64
+//    hosts every program takes the fallback, so selecting JIT is always
+//    safe — it is a performance hint, not a semantics switch.
+#pragma once
+
+#include <string>
+
+namespace k2::jit {
+
+enum class ExecBackend : uint8_t { FAST_INTERP = 0, JIT = 1 };
+
+// Wire names ("fast" / "jit"), used by k2c --exec-backend and the
+// k2-compile/v1 `exec_backend` field.
+inline const char* to_string(ExecBackend b) {
+  return b == ExecBackend::JIT ? "jit" : "fast";
+}
+
+inline bool exec_backend_from_string(const std::string& s, ExecBackend* out) {
+  if (s == "fast") {
+    *out = ExecBackend::FAST_INTERP;
+    return true;
+  }
+  if (s == "jit") {
+    *out = ExecBackend::JIT;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace k2::jit

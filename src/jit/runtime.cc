@@ -1,0 +1,63 @@
+#include "jit/runtime.h"
+
+#include <cstring>
+
+#include "ebpf/semantics.h"
+#include "interp/helpers.h"
+
+using k2::interp::Fault;
+using k2::interp::Machine;
+using k2::interp::Mem;
+
+extern "C" {
+
+uint32_t k2_jit_ldx(Machine* m, uint64_t addr, uint32_t w, uint32_t dst) {
+  if (addr < 0x1000) return static_cast<uint32_t>(Fault::NULL_DEREF);
+  const uint8_t* p = m->resolve(addr, w);
+  if (!p) return static_cast<uint32_t>(Fault::OOB_ACCESS);
+  uint64_t v = 0;
+  std::memcpy(&v, p, w);
+  m->regs[dst] = v;
+  return static_cast<uint32_t>(Fault::NONE);
+}
+
+uint32_t k2_jit_store(Machine* m, uint64_t addr, uint32_t w, uint64_t val) {
+  if (addr < 0x1000) return static_cast<uint32_t>(Fault::NULL_DEREF);
+  Mem kind;
+  uint8_t* p = m->resolve(addr, w, &kind);
+  if (!p) return static_cast<uint32_t>(Fault::OOB_ACCESS);
+  std::memcpy(p, &val, w);
+  if (kind == Mem::STACK) m->note_stack_write(addr, w);
+  return static_cast<uint32_t>(Fault::NONE);
+}
+
+uint32_t k2_jit_xadd(Machine* m, uint64_t addr, uint32_t w, uint64_t add) {
+  if (addr < 0x1000) return static_cast<uint32_t>(Fault::NULL_DEREF);
+  Mem kind;
+  uint8_t* p = m->resolve(addr, w, &kind);
+  if (!p) return static_cast<uint32_t>(Fault::OOB_ACCESS);
+  uint64_t v = 0;
+  std::memcpy(&v, p, w);
+  v += add;
+  std::memcpy(p, &v, w);
+  if (kind == Mem::STACK) m->note_stack_write(addr, w);
+  return static_cast<uint32_t>(Fault::NONE);
+}
+
+uint32_t k2_jit_call_helper(Machine* m, int64_t id) {
+  return static_cast<uint32_t>(k2::interp::call_helper_resolved(*m, id));
+}
+
+uint64_t k2_jit_alu(uint32_t packed, uint64_t dst, uint64_t src) {
+  k2::ebpf::ConcreteBackend be;
+  return k2::ebpf::alu_apply(static_cast<k2::ebpf::AluOp>(packed & 0xff),
+                             (packed >> 8) != 0, dst, src, be);
+}
+
+uint64_t k2_jit_alu_unary(uint32_t orig_op, uint64_t a) {
+  k2::ebpf::ConcreteBackend be;
+  return k2::ebpf::alu_unary_apply(static_cast<k2::ebpf::Opcode>(orig_op), a,
+                                   be);
+}
+
+}  // extern "C"

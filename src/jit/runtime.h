@@ -1,0 +1,71 @@
+// The JIT runtime boundary: the state block emitted code addresses through
+// a pinned register, and the extern "C" trampolines it calls back into the
+// C++ helper/map runtime with.
+//
+// Trampoline ABI (SysV x86-64): emitted code pins
+//
+//   rbx = JitState*      r12 = Machine::regs.data()
+//   r13 = insns_executed r14 = RunOptions::max_insns
+//
+// (all callee-saved, so trampolines need no spills around them), passes
+// operands in the normal argument registers, and receives a Fault code in
+// eax (0 = NONE; any other value routes to the shared fault stub, which
+// records fault/fault_pc in the JitState and unwinds). Memory trampolines
+// replicate the interpreter's access sequence exactly — NULL window check
+// below 0x1000, Machine::resolve for region lookup (regions are dynamic:
+// helpers expose map values mid-run), stack-write tracking — and the ALU
+// trampolines are alu_apply/alu_unary_apply over ConcreteBackend itself,
+// so the slow-path semantics cannot drift from the interpreter by
+// construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "interp/state.h"
+
+namespace k2::jit {
+
+// Everything a native run needs, addressed off rbx with 8-bit displacements
+// (hence the static_asserts: the emitter hard-codes these offsets).
+struct JitState {
+  interp::Machine* machine = nullptr;  // trampoline argument
+  uint64_t* regs = nullptr;            // loaded into r12 by the prologue
+  uint64_t max_insns = 0;              // loaded into r14 by the prologue
+  uint64_t insns_executed = 0;         // stored from r13 by the epilogue
+  uint32_t fault = 0;                  // interp::Fault, 0 = NONE
+  int32_t fault_pc = -1;
+};
+
+static_assert(offsetof(JitState, machine) == 0);
+static_assert(offsetof(JitState, regs) == 8);
+static_assert(offsetof(JitState, max_insns) == 16);
+static_assert(offsetof(JitState, insns_executed) == 24);
+static_assert(offsetof(JitState, fault) == 32);
+static_assert(offsetof(JitState, fault_pc) == 36);
+
+}  // namespace k2::jit
+
+// Trampolines live outside any namespace: the emitter embeds their
+// addresses as 64-bit immediates, and extern "C" keeps the symbols stable.
+extern "C" {
+
+// LDX: load `w` bytes at addr into regs[dst]. Returns a Fault code.
+uint32_t k2_jit_ldx(k2::interp::Machine* m, uint64_t addr, uint32_t w,
+                    uint32_t dst);
+// STX and ST share one trampoline: store the low `w` bytes of `val`.
+uint32_t k2_jit_store(k2::interp::Machine* m, uint64_t addr, uint32_t w,
+                      uint64_t val);
+// XADD: read-modify-write add of `add` at addr.
+uint32_t k2_jit_xadd(k2::interp::Machine* m, uint64_t addr, uint32_t w,
+                     uint64_t add);
+// CALL: dispatch helper `id` against the machine (argument and result
+// registers live in machine->regs, which r12 also points at — memory is
+// the single source of truth for register state).
+uint32_t k2_jit_call_helper(k2::interp::Machine* m, int64_t id);
+// ALU slow path (DIV/MOD, both widths): packed = AluOp | (is64 << 8).
+uint64_t k2_jit_alu(uint32_t packed, uint64_t dst, uint64_t src);
+// NEG / endianness conversions, keyed by the original ebpf::Opcode.
+uint64_t k2_jit_alu_unary(uint32_t orig_op, uint64_t a);
+
+}  // extern "C"

@@ -1,0 +1,519 @@
+#include "jit/translator.h"
+
+#include <cstring>
+
+#include "ebpf/helpers_def.h"
+#include "interp/state.h"
+
+namespace k2::jit {
+
+bool jit_supported_helper(uint64_t id) {
+  return id != static_cast<uint64_t>(ebpf::HELPER_CSUM_DIFF);
+}
+
+bool jit_supports(const ebpf::DecodedProgram& dp) {
+  for (const ebpf::DecodedInsn& d : dp.insns)
+    if (d.eop == ebpf::ExecOp::CALL && d.helper &&
+        !jit_supported_helper(d.imm))
+      return false;
+  return true;
+}
+
+#if defined(__x86_64__)
+
+namespace {
+
+using ebpf::AluOp;
+using ebpf::DecodedInsn;
+using ebpf::ExecOp;
+using ebpf::JmpCond;
+using interp::Fault;
+using interp::Machine;
+
+// Arena geometry. The prologue and the fault/exit stubs sit in front of the
+// slot array; every address is absolute, so the whole arena re-emits when
+// the mapping moves.
+constexpr size_t kPrologueBytes = 32;
+constexpr size_t kStubBytes = 32;
+constexpr size_t kSlotBytes = 96;
+constexpr size_t kMaxJitInsns = size_t(1) << 16;
+
+// x86-64 register numbers (REX-extended encoding).
+enum : int { RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSI = 6, RDI = 7,
+             R12 = 12, R13 = 13, R14 = 14 };
+
+// Bounded little-endian byte writer over one slot (or stub) window. An
+// overflow trips a sticky flag instead of writing out of bounds; the
+// translator treats it as "unsupported" and bails out.
+struct Code {
+  uint8_t* p;
+  uint8_t* end;
+  bool ovf = false;
+
+  void b(uint8_t v) {
+    if (p < end)
+      *p++ = v;
+    else
+      ovf = true;
+  }
+  void d32(uint32_t v) {
+    b(uint8_t(v));
+    b(uint8_t(v >> 8));
+    b(uint8_t(v >> 16));
+    b(uint8_t(v >> 24));
+  }
+  void d64(uint64_t v) {
+    d32(uint32_t(v));
+    d32(uint32_t(v >> 32));
+  }
+};
+
+// mov reg64, [base + disp8] (0x8B) / mov [base + disp8], reg64 (0x89).
+// base is rbx or r12; r12 needs a SIB byte. disp must fit in disp8.
+void mov_mem64(Code& c, uint8_t opcode, int reg, int base, int disp) {
+  c.b(uint8_t(0x48 | ((reg >> 3) << 2) | (base >> 3)));
+  c.b(opcode);
+  if ((base & 7) == 4) {  // r12: SIB with no index
+    c.b(uint8_t(0x40 | ((reg & 7) << 3) | 4));
+    c.b(0x24);
+  } else {
+    c.b(uint8_t(0x40 | ((reg & 7) << 3) | (base & 7)));
+  }
+  c.b(uint8_t(disp));
+}
+void load64(Code& c, int reg, int base, int disp) {
+  mov_mem64(c, 0x8B, reg, base, disp);
+}
+void store64(Code& c, int base, int disp, int reg) {
+  mov_mem64(c, 0x89, reg, base, disp);
+}
+// mov [base + disp8], reg32 — used by the stubs for fault / fault_pc.
+void store32(Code& c, int base, int disp, int reg) {
+  uint8_t rex = uint8_t(((reg >> 3) << 2) | (base >> 3));
+  if (rex) c.b(uint8_t(0x40 | rex));
+  c.b(0x89);
+  if ((base & 7) == 4) {
+    c.b(uint8_t(0x40 | ((reg & 7) << 3) | 4));
+    c.b(0x24);
+  } else {
+    c.b(uint8_t(0x40 | ((reg & 7) << 3) | (base & 7)));
+  }
+  c.b(uint8_t(disp));
+}
+
+void mov_ri32(Code& c, int reg, uint32_t imm) {  // zero-extends
+  if (reg >= 8) c.b(0x41);
+  c.b(uint8_t(0xB8 + (reg & 7)));
+  c.d32(imm);
+}
+void mov_ri32s(Code& c, int reg, int32_t imm) {  // sign-extends to 64
+  c.b(uint8_t(0x48 | (reg >> 3)));
+  c.b(0xC7);
+  c.b(uint8_t(0xC0 | (reg & 7)));
+  c.d32(uint32_t(imm));
+}
+void mov_ri64(Code& c, int reg, uint64_t imm) {
+  c.b(uint8_t(0x48 | (reg >> 3)));
+  c.b(uint8_t(0xB8 + (reg & 7)));
+  c.d64(imm);
+}
+
+// Two-operand ALU in the "op r/m, reg" form: add(01) sub(29) and(21)
+// or(09) xor(31) cmp(39) test(85) mov(89).
+void alu_rr(Code& c, uint8_t opcode, int rm, int reg, bool w64) {
+  uint8_t rex = uint8_t((w64 ? 8 : 0) | ((reg >> 3) << 2) | (rm >> 3));
+  if (rex) c.b(uint8_t(0x40 | rex));
+  c.b(opcode);
+  c.b(uint8_t(0xC0 | ((reg & 7) << 3) | (rm & 7)));
+}
+void imul_rr(Code& c, int reg, int rm, bool w64) {
+  uint8_t rex = uint8_t((w64 ? 8 : 0) | ((reg >> 3) << 2) | (rm >> 3));
+  if (rex) c.b(uint8_t(0x40 | rex));
+  c.b(0x0F);
+  c.b(0xAF);
+  c.b(uint8_t(0xC0 | ((reg & 7) << 3) | (rm & 7)));
+}
+// shl(/4) shr(/5) sar(/7) by cl.
+void shift_cl(Code& c, int rm, int ext, bool w64) {
+  uint8_t rex = uint8_t((w64 ? 8 : 0) | (rm >> 3));
+  if (rex) c.b(uint8_t(0x40 | rex));
+  c.b(0xD3);
+  c.b(uint8_t(0xC0 | (ext << 3) | (rm & 7)));
+}
+void add_ri32(Code& c, int rm, int32_t imm) {  // add r64, sign-extended imm32
+  c.b(uint8_t(0x48 | (rm >> 3)));
+  c.b(0x81);
+  c.b(uint8_t(0xC0 | (rm & 7)));
+  c.d32(uint32_t(imm));
+}
+
+// jmp rel32 to an absolute arena address.
+void jmp_abs(Code& c, const uint8_t* target) {
+  c.b(0xE9);
+  // The displacement is relative to the end of this instruction. On
+  // overflow p stops advancing, but the emission is discarded anyway.
+  int64_t rel = target - (c.p + 4);
+  c.d32(uint32_t(int32_t(rel)));
+}
+// jcc rel8 with a fixup: returns the displacement byte to patch.
+uint8_t* jcc8(Code& c, uint8_t cc) {
+  c.b(uint8_t(0x70 | cc));
+  uint8_t* at = c.p;
+  c.b(0);
+  return at;
+}
+void fix8(Code& c, uint8_t* at) {
+  if (c.ovf || at >= c.end) return;
+  *at = uint8_t(c.p - (at + 1));
+}
+
+// movabs rax, fn; call rax. Trampolines preserve rbx/r12-r14 (SysV
+// callee-saved) and the prologue's five pushes keep rsp 16-byte aligned at
+// every call site.
+void call_tramp(Code& c, uintptr_t fn) {
+  mov_ri64(c, RAX, uint64_t(fn));
+  c.b(0xFF);
+  c.b(0xD0);
+}
+
+// Fault exit: eax = fault code, edx = faulting pc, shared stub unwinds.
+void emit_fault(Code& c, Fault f, int at, uint8_t* fault_stub) {
+  mov_ri32(c, RAX, uint32_t(f));
+  mov_ri32(c, RDX, uint32_t(at));
+  jmp_abs(c, fault_stub);
+}
+
+// Post-trampoline check: a nonzero return value in eax is the fault code.
+void emit_fault_check(Code& c, int pc, uint8_t* fault_stub) {
+  c.b(0x85);  // test eax, eax
+  c.b(0xC0);
+  uint8_t* ok = jcc8(c, 0x4);  // je: no fault
+  mov_ri32(c, RDX, uint32_t(pc));
+  jmp_abs(c, fault_stub);
+  fix8(c, ok);
+}
+
+// The step gate every real slot opens with, replicating the interpreter's
+// `insns_executed++ >= max_insns` (post-increment: the faulting step is
+// already counted).
+void emit_gate(Code& c, int pc, uint8_t* fault_stub) {
+  c.b(0x49);  // inc r13
+  c.b(0xFF);
+  c.b(0xC5);
+  c.b(0x4D);  // cmp r13, r14
+  c.b(0x39);
+  c.b(0xF5);
+  uint8_t* ok = jcc8(c, 0x6);  // jbe: within budget
+  emit_fault(c, Fault::STEP_LIMIT, pc, fault_stub);
+  fix8(c, ok);
+}
+
+// Inverse condition code: the jcc that *skips* the taken branch.
+uint8_t not_taken_cc(JmpCond cond) {
+  switch (cond) {
+    case JmpCond::JEQ: return 0x5;   // jne
+    case JmpCond::JNE: return 0x4;   // je
+    case JmpCond::JGT: return 0x6;   // jbe
+    case JmpCond::JGE: return 0x2;   // jb
+    case JmpCond::JLT: return 0x3;   // jae
+    case JmpCond::JLE: return 0x7;   // ja
+    case JmpCond::JSGT: return 0xE;  // jle
+    case JmpCond::JSGE: return 0xC;  // jl
+    case JmpCond::JSLT: return 0xD;  // jge
+    case JmpCond::JSLE: return 0xF;  // jg
+    case JmpCond::JSET: return 0x4;  // je (after test)
+  }
+  return 0x5;
+}
+
+}  // namespace
+
+uint8_t* Translator::slot_ptr(int pc) const {
+  return arena_.base() + kPrologueBytes + kStubBytes +
+         size_t(pc) * kSlotBytes;
+}
+
+Translator::EntryFn Translator::entry() const {
+  return reinterpret_cast<EntryFn>(
+      reinterpret_cast<uintptr_t>(arena_.base()));
+}
+
+bool Translator::emit_slot(const DecodedInsn& d, int pc) {
+  uint8_t* slot = slot_ptr(pc);
+  Code c{slot, slot + kSlotBytes};
+  const int n = static_cast<int>(n_);
+  bool flows_to_next = true;
+
+  emit_gate(c, pc, fault_stub_);
+
+  switch (d.eop) {
+    case ExecOp::ALU64_IMM:
+    case ExecOp::ALU64_REG:
+    case ExecOp::ALU32_IMM:
+    case ExecOp::ALU32_REG: {
+      const bool is64 =
+          d.eop == ExecOp::ALU64_IMM || d.eop == ExecOp::ALU64_REG;
+      const bool imm =
+          d.eop == ExecOp::ALU64_IMM || d.eop == ExecOp::ALU32_IMM;
+      const AluOp op = static_cast<AluOp>(d.sub);
+      if (op == AluOp::DIV || op == AluOp::MOD) {
+        // Total-division semantics via the alu_apply trampoline.
+        mov_ri32(c, RDI, uint32_t(d.sub) | (is64 ? 0x100u : 0u));
+        load64(c, RSI, R12, 8 * d.dst);
+        if (imm)
+          mov_ri32s(c, RDX, int32_t(uint32_t(d.imm)));
+        else
+          load64(c, RDX, R12, 8 * d.src);
+        call_tramp(c, reinterpret_cast<uintptr_t>(&k2_jit_alu));
+        store64(c, R12, 8 * d.dst, RAX);
+        break;
+      }
+      if (op == AluOp::MOV) {
+        if (imm) {
+          if (is64)
+            mov_ri32s(c, RAX, int32_t(uint32_t(d.imm)));
+          else
+            mov_ri32(c, RAX, uint32_t(d.imm));  // lo32 of the sext: zext
+        } else {
+          load64(c, RAX, R12, 8 * d.src);
+          if (!is64) alu_rr(c, 0x89, RAX, RAX, false);  // mov eax, eax
+        }
+        store64(c, R12, 8 * d.dst, RAX);
+        break;
+      }
+      load64(c, RAX, R12, 8 * d.dst);
+      if (imm)
+        mov_ri32s(c, RCX, int32_t(uint32_t(d.imm)));
+      else
+        load64(c, RCX, R12, 8 * d.src);
+      switch (op) {
+        case AluOp::ADD: alu_rr(c, 0x01, RAX, RCX, is64); break;
+        case AluOp::SUB: alu_rr(c, 0x29, RAX, RCX, is64); break;
+        case AluOp::MUL: imul_rr(c, RAX, RCX, is64); break;
+        case AluOp::OR: alu_rr(c, 0x09, RAX, RCX, is64); break;
+        case AluOp::AND: alu_rr(c, 0x21, RAX, RCX, is64); break;
+        case AluOp::XOR: alu_rr(c, 0x31, RAX, RCX, is64); break;
+        // Hardware masks the cl count by 63/31 per operand size — exactly
+        // the amt6/amt5 masking in alu_apply. 32-bit shifts operate on eax
+        // (= lo32) and zero-extend, matching the lo32 wrappers.
+        case AluOp::LSH: shift_cl(c, RAX, 4, is64); break;
+        case AluOp::RSH: shift_cl(c, RAX, 5, is64); break;
+        case AluOp::ARSH: shift_cl(c, RAX, 7, is64); break;
+        default: return false;  // DIV/MOD/MOV handled above
+      }
+      store64(c, R12, 8 * d.dst, RAX);
+      break;
+    }
+
+    case ExecOp::ALU_UNARY:
+      mov_ri32(c, RDI, d.orig_op);
+      load64(c, RSI, R12, 8 * d.dst);
+      call_tramp(c, reinterpret_cast<uintptr_t>(&k2_jit_alu_unary));
+      store64(c, R12, 8 * d.dst, RAX);
+      break;
+
+    case ExecOp::JA:
+      if (d.off < 0)
+        emit_fault(c, Fault::BACKWARD_JUMP, pc, fault_stub_);
+      else if (d.target >= n)
+        emit_fault(c, Fault::BAD_INSN, d.target, fault_stub_);
+      else
+        jmp_abs(c, slot_ptr(d.target));
+      flows_to_next = false;
+      break;
+
+    case ExecOp::JMP_IMM:
+    case ExecOp::JMP_REG: {
+      const JmpCond cond = static_cast<JmpCond>(d.sub);
+      load64(c, RAX, R12, 8 * d.dst);
+      if (d.eop == ExecOp::JMP_IMM)
+        mov_ri32s(c, RCX, int32_t(uint32_t(d.imm)));
+      else
+        load64(c, RCX, R12, 8 * d.src);
+      alu_rr(c, cond == JmpCond::JSET ? 0x85 : 0x39, RAX, RCX, true);
+      uint8_t* skip = jcc8(c, not_taken_cc(cond));
+      if (d.off < 0)
+        emit_fault(c, Fault::BACKWARD_JUMP, pc, fault_stub_);
+      else if (d.target >= n)
+        emit_fault(c, Fault::BAD_INSN, d.target, fault_stub_);
+      else
+        jmp_abs(c, slot_ptr(d.target));
+      fix8(c, skip);
+      break;
+    }
+
+    case ExecOp::LDX:
+    case ExecOp::STX:
+    case ExecOp::ST:
+    case ExecOp::XADD:
+      load64(c, RAX, R12,
+             8 * (d.eop == ExecOp::LDX ? d.src : d.dst));
+      add_ri32(c, RAX, int32_t(d.off));
+      load64(c, RDI, RBX, 0);  // Machine*
+      alu_rr(c, 0x89, RSI, RAX, true);
+      mov_ri32(c, RDX, d.sub);  // width
+      if (d.eop == ExecOp::LDX) {
+        mov_ri32(c, RCX, d.dst);
+        call_tramp(c, reinterpret_cast<uintptr_t>(&k2_jit_ldx));
+      } else if (d.eop == ExecOp::ST) {
+        mov_ri32s(c, RCX, int32_t(uint32_t(d.imm)));
+        call_tramp(c, reinterpret_cast<uintptr_t>(&k2_jit_store));
+      } else {
+        load64(c, RCX, R12, 8 * d.src);
+        call_tramp(c, reinterpret_cast<uintptr_t>(
+                          d.eop == ExecOp::STX ? &k2_jit_store
+                                               : &k2_jit_xadd));
+      }
+      emit_fault_check(c, pc, fault_stub_);
+      break;
+
+    case ExecOp::CALL:
+      if (!d.helper) {
+        emit_fault(c, Fault::BAD_HELPER, pc, fault_stub_);
+        flows_to_next = false;
+        break;
+      }
+      if (!jit_supported_helper(d.imm)) return false;
+      load64(c, RDI, RBX, 0);
+      mov_ri64(c, RSI, d.imm);  // the exact id the interpreter dispatches on
+      call_tramp(c, reinterpret_cast<uintptr_t>(&k2_jit_call_helper));
+      emit_fault_check(c, pc, fault_stub_);
+      break;
+
+    case ExecOp::EXIT:
+      jmp_abs(c, exit_stub_);  // fault stays NONE: clean return
+      flows_to_next = false;
+      break;
+
+    case ExecOp::LDDW:
+      mov_ri64(c, RAX, d.imm);
+      store64(c, R12, 8 * d.dst, RAX);
+      break;
+
+    case ExecOp::LDMAPFD:
+      mov_ri64(c, RAX, Machine::kMapHandleBase + d.imm);
+      store64(c, R12, 8 * d.dst, RAX);
+      break;
+
+    case ExecOp::NOP:
+      break;
+
+    case ExecOp::BAD:
+    default:
+      emit_fault(c, Fault::BAD_INSN, pc, fault_stub_);
+      flows_to_next = false;
+      break;
+  }
+
+  if (flows_to_next) jmp_abs(c, slot_ptr(pc + 1));
+  if (c.ovf) return false;
+  while (c.p < c.end) *c.p++ = 0xCC;  // int3: trap on any emitter bug
+  return true;
+}
+
+bool Translator::translate(const ebpf::DecodedProgram& dp) {
+  valid_ = false;
+  n_ = dp.insns.size();
+  if (n_ + 1 > kMaxJitInsns) return false;
+  if (!jit_supports(dp)) return false;
+
+  const size_t bytes =
+      kPrologueBytes + kStubBytes + (n_ + 1) * kSlotBytes;
+  bool moved = false;
+  if (!arena_.ensure(bytes, &moved)) return false;
+  arena_.make_writable();
+
+  // Stubs first (slots jump to them). fault path expects eax = fault code,
+  // edx = fault pc; the clean path enters at exit_stub_ with fault
+  // untouched (the caller pre-sets NONE).
+  {
+    uint8_t* stub = arena_.base() + kPrologueBytes;
+    Code c{stub, stub + kStubBytes};
+    fault_stub_ = c.p;
+    store32(c, RBX, 32, RAX);  // JitState::fault
+    store32(c, RBX, 36, RDX);  // JitState::fault_pc
+    exit_stub_ = c.p;
+    store64(c, RBX, 24, R13);  // JitState::insns_executed
+    c.b(0x41); c.b(0x5F);      // pop r15
+    c.b(0x41); c.b(0x5E);      // pop r14
+    c.b(0x41); c.b(0x5D);      // pop r13
+    c.b(0x41); c.b(0x5C);      // pop r12
+    c.b(0x5B);                 // pop rbx
+    c.b(0xC3);                 // ret
+    if (c.ovf) return false;
+    while (c.p < c.end) *c.p++ = 0xCC;
+  }
+
+  // Prologue at the arena base = the entry function. Five pushes keep rsp
+  // 16-byte aligned at trampoline call sites.
+  {
+    uint8_t* pro = arena_.base();
+    Code c{pro, pro + kPrologueBytes};
+    c.b(0x53);                 // push rbx
+    c.b(0x41); c.b(0x54);      // push r12
+    c.b(0x41); c.b(0x55);      // push r13
+    c.b(0x41); c.b(0x56);      // push r14
+    c.b(0x41); c.b(0x57);      // push r15
+    c.b(0x48); c.b(0x89); c.b(0xFB);  // mov rbx, rdi (JitState*)
+    load64(c, R12, RBX, 8);    // regs base
+    c.b(0x4D); c.b(0x31); c.b(0xED);  // xor r13, r13 (insns_executed)
+    load64(c, R14, RBX, 16);   // max_insns
+    jmp_abs(c, slot_ptr(0));
+    if (c.ovf) return false;
+    while (c.p < c.end) *c.p++ = 0xCC;
+  }
+
+  for (size_t i = 0; i < n_; ++i)
+    if (!emit_slot(dp.insns[i], static_cast<int>(i))) return false;
+
+  // The fall-off-the-end slot: pc == n faults BAD_INSN *without* passing a
+  // step gate, exactly like the interpreter's bounds check.
+  {
+    uint8_t* slot = slot_ptr(static_cast<int>(n_));
+    Code c{slot, slot + kSlotBytes};
+    emit_fault(c, Fault::BAD_INSN, static_cast<int>(n_), fault_stub_);
+    if (c.ovf) return false;
+    while (c.p < c.end) *c.p++ = 0xCC;
+  }
+
+  arena_.make_executable();
+  valid_ = true;
+  return true;
+}
+
+bool Translator::patch(const ebpf::DecodedProgram& dp, ebpf::InsnRange r) {
+  if (!valid_ || dp.insns.size() != n_) return translate(dp);
+  const int n = static_cast<int>(n_);
+  int lo = r.start < 0 ? 0 : r.start;
+  int hi = r.end > n ? n : r.end;
+  arena_.make_writable();
+  for (int i = lo; i < hi; ++i) {
+    if (!emit_slot(dp.insns[size_t(i)], i)) {
+      valid_ = false;  // stale slots: the next use must fully re-translate
+      arena_.make_executable();
+      return false;
+    }
+  }
+  arena_.make_executable();
+  return true;
+}
+
+#else  // !defined(__x86_64__)
+
+// Non-x86-64 hosts: the JIT backend exists but every program takes the
+// interpreter fallback (translate/patch report "unsupported").
+uint8_t* Translator::slot_ptr(int) const { return nullptr; }
+Translator::EntryFn Translator::entry() const { return nullptr; }
+bool Translator::emit_slot(const ebpf::DecodedInsn&, int) { return false; }
+bool Translator::translate(const ebpf::DecodedProgram&) {
+  valid_ = false;
+  return false;
+}
+bool Translator::patch(const ebpf::DecodedProgram&, ebpf::InsnRange) {
+  valid_ = false;
+  return false;
+}
+
+#endif
+
+}  // namespace k2::jit

@@ -1,0 +1,86 @@
+// The baseline (template) x86-64 JIT translator: one fixed-size native code
+// slot per BPF instruction. No register allocation, no block fusion — BPF
+// registers live in Machine::regs memory (r12 points at them) and every
+// slot is a self-contained translation of one DecodedInsn. What the layout
+// buys is *incremental re-translation*: because slot i's code depends only
+// on insns[i], its own pc, the program size and the fixed stub addresses,
+// patching instructions [start, end) re-emits exactly those slots — the
+// native mirror of DecodedProgram::patch() — and every jump target stays a
+// stable absolute slot address.
+//
+// Arena layout (per CodeArena):
+//
+//   [ prologue | fault/exit stubs | slot 0 | slot 1 | ... | slot n ]
+//
+// Slot n (one past the last instruction) is the fall-off-the-end slot: it
+// faults BAD_INSN at pc == n without bumping the step counter, exactly
+// like the interpreter's bounds check. Each real slot opens with the step
+// gate (increment + limit check → STEP_LIMIT) and then the translated
+// instruction; jumps whose target lies outside [0, n) fault BAD_INSN at
+// the target pc from the jump site, and taken backward jumps fault
+// BACKWARD_JUMP — all mirroring interp::SuiteRunner's K2_NEXT ordering
+// bit-for-bit (enforced by tests/jit_backend_test.cc).
+//
+// Support set: everything decode_insn produces, except CALLs to helpers
+// outside jit_supported_helper(). translate()/patch() return false for
+// those (and on any platform without executable-memory support), which the
+// BackendRunner turns into a counted per-program interpreter fallback.
+#pragma once
+
+#include <cstdint>
+
+#include "ebpf/decoded.h"
+#include "jit/code_arena.h"
+#include "jit/runtime.h"
+
+namespace k2::jit {
+
+// The template's helper support set. bpf_csum_diff is deliberately outside
+// it: a helper the translator declines keeps the per-program bailout path
+// (and its jit_bailouts accounting) permanently exercised by real programs
+// in the tests and the corpus, rather than only by synthetic cases. Its
+// variable-length buffer walk is interpreter-bound anyway, so excluding it
+// costs nothing measurable.
+bool jit_supported_helper(uint64_t id);
+
+// True when every instruction of `dp` is inside the template's support set.
+bool jit_supports(const ebpf::DecodedProgram& dp);
+
+class Translator {
+ public:
+  using EntryFn = void (*)(JitState*);
+
+  // Full translation of `dp` into the arena (grows it as needed). Leaves
+  // the arena executable on success. Returns false — and invalidates any
+  // previous translation — when the program is unsupported or executable
+  // memory is unavailable.
+  bool translate(const ebpf::DecodedProgram& dp);
+
+  // Re-emits only slots [r.start, r.end) (clamped), mirroring
+  // DecodedProgram::patch. Requires a valid previous translate() of a
+  // same-sized program; returns false (invalidating the translation) when
+  // the patched range became unsupported.
+  bool patch(const ebpf::DecodedProgram& dp, ebpf::InsnRange r);
+
+  bool valid() const { return valid_; }
+  size_t size() const { return n_; }
+  void invalidate() { valid_ = false; }
+
+  // Entry point of the current translation; call with a fully initialized
+  // JitState. Only meaningful while valid().
+  EntryFn entry() const;
+
+  const CodeArena& arena() const { return arena_; }
+
+ private:
+  bool emit_slot(const ebpf::DecodedInsn& d, int pc);
+  uint8_t* slot_ptr(int pc) const;
+
+  CodeArena arena_;
+  size_t n_ = 0;
+  bool valid_ = false;
+  uint8_t* fault_stub_ = nullptr;
+  uint8_t* exit_stub_ = nullptr;
+};
+
+}  // namespace k2::jit

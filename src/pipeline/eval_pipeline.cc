@@ -50,10 +50,15 @@ bool EvalPipeline::run_suite(const ebpf::Program& cand, double perf,
   ctx.diffs.assign(n, 0.0);
   ctx.run_opts.max_insns = cfg_.max_insns;
   // Decode once (or patch the 1-2 slots the proposal touched), then run the
-  // whole batch through the fast interpreter with arena-backed machine
-  // reuse. Suite references are stable (append-only deques), so the batch
-  // holds plain pointers.
+  // whole batch through the selected execution backend with arena-backed
+  // machine reuse. The runner is thread-local (worker_context) and shared
+  // across chains, so re-select the configured backend every evaluation —
+  // a no-op when unchanged. Bailout accounting is delta-based for the same
+  // reason: the runner's counter is cumulative across chains.
+  ctx.runner.select(cfg_.exec_backend);
+  const uint64_t bailouts_before = ctx.runner.jit_bailouts();
   ctx.runner.prepare(cand, touched);
+  stats_.jit_bailouts += ctx.runner.jit_bailouts() - bailouts_before;
   ctx.batch.clear();
   for (size_t p = 0; p < n; ++p)
     ctx.batch.push_back(interp::SuiteTest{&suite_.test(order_[p]), nullptr});

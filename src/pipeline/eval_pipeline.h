@@ -48,6 +48,7 @@
 
 #include "core/cost.h"
 #include "core/params.h"
+#include "jit/exec_backend.h"
 #include "pipeline/exec_context.h"
 #include "safety/safety.h"
 #include "verify/cache.h"
@@ -73,6 +74,13 @@ struct EvalConfig {
   // Interpreter step budget per test execution (RunOptions::max_insns),
   // plumbed from CompileOptions / k2c --max-insns.
   uint64_t max_insns = 1u << 20;
+  // Which engine runs candidates against the suite (jit/exec_backend.h):
+  // the fast interpreter (default, the reference semantics) or the x86-64
+  // template JIT with automatic per-program interpreter fallback. Plumbed
+  // from CompileOptions / k2c --exec-backend. Decision-neutral by
+  // construction: the JIT is differentially fuzzed to produce bit-identical
+  // RunResults, so same-seed searches pick the same winners either way.
+  jit::ExecBackend exec_backend = jit::ExecBackend::FAST_INTERP;
   // Non-null + dispatcher->async(): equivalence queries go through the
   // solver pool when the caller opts in per-call (see evaluate()). Null or
   // a zero-worker dispatcher reproduces the synchronous PR 1 path exactly.
@@ -109,6 +117,10 @@ struct EvalStats {
   // Async dispatch observability:
   uint64_t speculations = 0;    // evaluations returned with pending verdicts
   uint64_t pending_joins = 0;   // queries shared with another chain in flight
+  // JIT backend observability: prepared candidates that fell back to the
+  // interpreter (unsupported helper / oversized program / no executable
+  // memory). Always 0 under FAST_INTERP.
+  uint64_t jit_bailouts = 0;
 };
 
 struct Eval {

@@ -16,6 +16,7 @@
 #include "interp/fast_interp.h"
 #include "interp/interpreter.h"
 #include "interp/state.h"
+#include "jit/backend_runner.h"
 
 namespace k2::pipeline {
 
@@ -25,9 +26,12 @@ struct ExecContext {
   // never disturb the fast path's dirty-region bookkeeping.
   interp::Machine machine;
   interp::RunOptions run_opts;
-  // The decode-once/execute-many engine for the hot suite loop: holds the
-  // incrementally-patched DecodedProgram and its arena-backed machine.
-  interp::SuiteRunner runner;
+  // The execution engine for the hot suite loop: the decode-once/execute-
+  // many interpreter plus (when EvalConfig::exec_backend selects it) the
+  // x86-64 template JIT, behind one SuiteRunner-shaped seam. Holds the
+  // incrementally-patched DecodedProgram, its arena-backed machine, and
+  // the per-context executable code arena.
+  jit::BackendRunner runner;
   // Reused batch buffer for SuiteRunner::run_suite.
   std::vector<interp::SuiteTest> batch;
   // Per-test diffs of the current candidate, indexed by the suite's

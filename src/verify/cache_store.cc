@@ -8,7 +8,9 @@
 #include <unistd.h>
 
 #include <bit>
+#include <map>
 #include <string_view>
+#include <tuple>
 
 #include "api/schema.h"
 #include "util/json.h"
@@ -48,6 +50,26 @@ bool write_all(int fd, const char* data, size_t len) {
     off += size_t(n);
   }
   return true;
+}
+
+// One serialized record line (checksummed body + trailing newline) — the
+// single source of the on-disk record format, shared by append() and
+// compact() so a compacted record round-trips byte-identically.
+std::string record_line(uint64_t hash, uint64_t fp, uint64_t ofp, Verdict v,
+                        const interp::InputSpec* cex) {
+  util::Json body{util::Json::Object{}};
+  body.set("h", hash);
+  body.set("fp", fp);
+  body.set("ofp", ofp);
+  body.set("v", verdict_name(v));
+  if (v == Verdict::NOT_EQUAL && cex) body.set("cex", input_spec_to_json(*cex));
+  std::string body_str = body.dump();
+  util::Json line{util::Json::Object{}};
+  line.set("ck", fnv1a64(body_str));
+  line.set("rec", std::move(body));
+  std::string out = line.dump();
+  out.push_back('\n');
+  return out;
 }
 
 }  // namespace
@@ -186,18 +208,7 @@ bool CacheStore::open(const std::string& dir, std::string* error) {
 void CacheStore::append(uint64_t hash, uint64_t fp, uint64_t ofp, Verdict v,
                         const interp::InputSpec* cex) {
   if (!is_open() || v == Verdict::UNKNOWN) return;
-  util::Json body{util::Json::Object{}};
-  body.set("h", hash);
-  body.set("fp", fp);
-  body.set("ofp", ofp);
-  body.set("v", verdict_name(v));
-  if (v == Verdict::NOT_EQUAL && cex) body.set("cex", input_spec_to_json(*cex));
-  std::string body_str = body.dump();
-  util::Json line{util::Json::Object{}};
-  line.set("ck", fnv1a64(body_str));
-  line.set("rec", std::move(body));
-  std::string out = line.dump();
-  out.push_back('\n');
+  std::string out = record_line(hash, fp, ofp, v, cex);
   ShardFile& sf = shards_[shard_index(hash)];
   std::lock_guard<std::mutex> lock(sf.mu);
   // One write() per record: O_APPEND makes the offset positioning atomic,
@@ -212,6 +223,61 @@ void CacheStore::append(uint64_t hash, uint64_t fp, uint64_t ofp, Verdict v,
 CacheStore::Stats CacheStore::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
+}
+
+bool CacheStore::compact(const std::string& dir, CompactionStats* out,
+                         std::string* error) {
+  // Deduplicate with first-appearance ordering and last-writer-wins
+  // content: later duplicates overwrite the earlier record in place, so
+  // each key survives exactly once with the newest verdict — the same
+  // final map any loader builds from the uncompacted log.
+  std::vector<Record> survivors;
+  {
+    CacheStore store;
+    if (!store.open(dir, error)) return false;
+    const std::vector<Record>& recs = store.records();
+    if (out) out->records_before = recs.size();
+    std::map<std::tuple<uint64_t, uint64_t, uint64_t>, size_t> index;
+    for (const Record& r : recs) {
+      const auto key = std::make_tuple(r.hash, r.fp, r.ofp);
+      auto [it, fresh] = index.emplace(key, survivors.size());
+      if (fresh)
+        survivors.push_back(r);
+      else
+        survivors[it->second] = r;
+    }
+  }  // store's O_APPEND descriptors close before the rewrite below
+  if (out) out->records_after = survivors.size();
+
+  const std::string header = header_line();
+  for (size_t i = 0; i < kShards; ++i) {
+    const std::string path = shard_path(dir, i);
+    const std::string tmp = path + ".compact";
+    std::string contents = header + "\n";
+    for (const Record& r : survivors)
+      if (shard_index(r.hash) == i)
+        contents += record_line(r.hash, r.fp, r.ofp, r.verdict, r.cex.get());
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+    if (fd < 0) {
+      if (error) *error = "cannot create " + tmp + ": " + strerror(errno);
+      return false;
+    }
+    const bool ok = write_all(fd, contents.data(), contents.size());
+    ::close(fd);
+    if (!ok) {
+      if (error) *error = "cannot write " + tmp + ": " + strerror(errno);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    // Atomic swap: a reader (or a crash) sees either the old shard or the
+    // complete compacted one, never a partial rewrite.
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      if (error) *error = "cannot replace " + path + ": " + strerror(errno);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 uint64_t CacheStore::options_fingerprint(const EqOptions& eq,

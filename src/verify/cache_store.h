@@ -82,6 +82,21 @@ class CacheStore {
 
   Stats stats() const;
 
+  struct CompactionStats {
+    uint64_t records_before = 0;  // valid records on disk pre-compaction
+    uint64_t records_after = 0;   // one per distinct (hash, fp, ofp) key
+  };
+
+  // Offline compaction (k2c cache-compact): loads the store (self-healing
+  // torn tails exactly like open()), keeps one record per cache key —
+  // last writer wins, matching what every loader already applies — and
+  // rewrites each shard file via temp-file + rename. Warm-starting from the
+  // compacted store is bit-identical to warm-starting from the original:
+  // the surviving record set is exactly the map a loader would have built.
+  // Not safe concurrently with writers sharing the directory.
+  static bool compact(const std::string& dir, CompactionStats* out,
+                      std::string* error);
+
   // Fingerprint of everything outside the cache key that a persisted
   // verdict depends on: the full encoder/solver option set and whether
   // window-scoped verification was in use. Records whose fingerprint does

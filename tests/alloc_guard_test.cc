@@ -14,6 +14,7 @@
 #include "corpus/corpus.h"
 #include "interp/fast_interp.h"
 #include "interp/interpreter.h"
+#include "jit/backend_runner.h"
 
 // ---------------------------------------------------------------------------
 // Counting allocator: every path into the heap bumps the shared counter the
@@ -123,6 +124,40 @@ TEST(AllocGuard, BatchedSuiteRunsAllocationFree) {
     EXPECT_EQ(out.executed, batch.size());
   }
   EXPECT_EQ(allocs(), before);
+}
+
+TEST(AllocGuard, JitBackendRunsAllocationFree) {
+  // The native path shares Machine::reset and the incremental snapshot with
+  // the fast interpreter, so the same steady-state contract applies: after
+  // warm-up, a JIT execution performs zero heap allocations per run.
+  const corpus::Benchmark& b = corpus::benchmark("xdp_map_access");
+  auto tests = core::generate_tests(b.o2, 12, 0xa110c);
+
+  jit::BackendRunner runner;
+  runner.select(jit::ExecBackend::JIT);
+  runner.prepare(b.o2);
+  RunOptions opt;
+
+  for (int pass = 0; pass < 2; ++pass)
+    for (const InputSpec& in : tests) runner.run_one(in, opt);
+
+  runner.machine().arm_alloc_guard(true);
+  const uint64_t before = allocs();
+  for (int pass = 0; pass < 3; ++pass)
+    for (const InputSpec& in : tests) runner.run_one(in, opt);
+  const uint64_t after = allocs();
+  runner.machine().arm_alloc_guard(false);
+  EXPECT_EQ(after, before)
+      << (after - before) << " heap allocations on the JIT steady-state path";
+
+  for (const InputSpec& in : tests) {
+    RunResult legacy = run(b.o2, in, opt);
+    const RunResult& native = runner.run_one(in, opt);
+    EXPECT_EQ(legacy.fault, native.fault);
+    EXPECT_EQ(legacy.r0, native.r0);
+    EXPECT_TRUE(legacy.maps_out == native.maps_out);
+    EXPECT_TRUE(legacy.packet_out == native.packet_out);
+  }
 }
 
 TEST(AllocGuard, CounterActuallyCounts) {

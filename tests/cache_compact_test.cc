@@ -1,0 +1,154 @@
+// Offline cache compaction (k2c cache-compact): last-writer-wins
+// deduplication of k2-eqcache/v1 shard files, the before/after record
+// accounting, and the acceptance criterion — a warm-start from the
+// compacted store behaves bit-identically to one from the original log.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/compiler.h"
+#include "corpus/corpus.h"
+#include "verify/cache_store.h"
+#include "verify/solve_protocol.h"
+
+namespace k2::verify {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/k2_cache_compact_test.XXXXXX";
+    path = mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+interp::InputSpec sample_cex(uint8_t tag) {
+  interp::InputSpec in;
+  in.packet = {tag, 0xad, 0xbe, 0xef};
+  in.prandom_seed = tag;
+  return in;
+}
+
+TEST(CacheCompactTest, LastWriterWinsPerKey) {
+  TempDir td;
+  {
+    CacheStore store;
+    std::string err;
+    ASSERT_TRUE(store.open(td.path, &err)) << err;
+    // Key (1, 101, 7) written three times — the last cex must survive.
+    interp::InputSpec old_cex = sample_cex(1), new_cex = sample_cex(9);
+    store.append(1, 101, 7, Verdict::NOT_EQUAL, &old_cex);
+    store.append(1, 101, 7, Verdict::NOT_EQUAL, &old_cex);
+    store.append(1, 101, 7, Verdict::NOT_EQUAL, &new_cex);
+    // Same hash, different fingerprint: a distinct key, kept separately.
+    store.append(1, 201, 7, Verdict::EQUAL, nullptr);
+    // A key in another shard (top hash bits select the shard).
+    store.append(0xf000'0000'0000'0001ull, 301, 7, Verdict::EQUAL, nullptr);
+    store.append(0xf000'0000'0000'0001ull, 301, 7, Verdict::EQUAL, nullptr);
+  }
+
+  CacheStore::CompactionStats cs;
+  std::string err;
+  ASSERT_TRUE(CacheStore::compact(td.path, &cs, &err)) << err;
+  EXPECT_EQ(cs.records_before, 6u);
+  EXPECT_EQ(cs.records_after, 3u);
+
+  CacheStore reloaded;
+  ASSERT_TRUE(reloaded.open(td.path, &err)) << err;
+  ASSERT_EQ(reloaded.records().size(), 3u);
+  bool saw_dup_key = false;
+  for (const CacheStore::Record& r : reloaded.records()) {
+    if (r.hash == 1 && r.fp == 101) {
+      saw_dup_key = true;
+      ASSERT_NE(r.cex, nullptr);
+      EXPECT_EQ(r.cex->packet, sample_cex(9).packet);  // the LAST write
+    }
+  }
+  EXPECT_TRUE(saw_dup_key);
+
+  // Idempotent: compacting a compacted store changes nothing.
+  CacheStore::CompactionStats again;
+  ASSERT_TRUE(CacheStore::compact(td.path, &again, &err)) << err;
+  EXPECT_EQ(again.records_before, 3u);
+  EXPECT_EQ(again.records_after, 3u);
+}
+
+TEST(CacheCompactTest, CompactedStoreStillAppends) {
+  TempDir td;
+  std::string err;
+  {
+    CacheStore store;
+    ASSERT_TRUE(store.open(td.path, &err)) << err;
+    store.append(5, 105, 7, Verdict::EQUAL, nullptr);
+    store.append(5, 105, 7, Verdict::EQUAL, nullptr);
+  }
+  ASSERT_TRUE(CacheStore::compact(td.path, nullptr, &err)) << err;
+  {
+    CacheStore store;
+    ASSERT_TRUE(store.open(td.path, &err)) << err;
+    EXPECT_EQ(store.records().size(), 1u);
+    store.append(6, 106, 7, Verdict::ENCODE_FAIL, nullptr);
+  }
+  CacheStore reloaded;
+  ASSERT_TRUE(reloaded.open(td.path, &err)) << err;
+  EXPECT_EQ(reloaded.records().size(), 2u);
+}
+
+// The acceptance criterion: duplicate a cold run's store, compact it, and
+// the warm-start behaves bit-identically — zero solver calls, identical
+// winner, identical counters — while reading one record per key.
+TEST(CacheCompactTest, WarmStartFromCompactedStoreIsBitIdentical) {
+  TempDir td;
+  const ebpf::Program& src = corpus::benchmark("xdp_map_access").o2;
+  core::CompileOptions opts;
+  opts.iters_per_chain = 250;
+  opts.num_chains = 2;
+  opts.eq.timeout_ms = 10000;
+  opts.cache_dir = td.path;
+  core::CompileServices svc;
+  svc.sequential = true;
+
+  core::CompileResult cold = core::compile(src, opts, svc);
+
+  // Simulate concurrent cold runs racing on one --cache-dir: append a
+  // duplicate of every record, doubling the log.
+  uint64_t originals = 0;
+  {
+    CacheStore store;
+    std::string err;
+    ASSERT_TRUE(store.open(td.path, &err)) << err;
+    std::vector<CacheStore::Record> recs = store.records();
+    originals = recs.size();
+    ASSERT_GT(originals, 0u);
+    for (const CacheStore::Record& r : recs)
+      store.append(r.hash, r.fp, r.ofp, r.verdict, r.cex.get());
+  }
+
+  CacheStore::CompactionStats cs;
+  std::string err;
+  ASSERT_TRUE(CacheStore::compact(td.path, &cs, &err)) << err;
+  EXPECT_EQ(cs.records_before, originals * 2);
+  EXPECT_EQ(cs.records_after, originals);
+
+  core::CompileResult warm = core::compile(src, opts, svc);
+  EXPECT_EQ(warm.solver_calls, 0u);
+  EXPECT_GT(warm.cache.disk_hits, 0u);
+  EXPECT_EQ(warm.cache.disk_loaded, originals);
+  EXPECT_EQ(cold.improved, warm.improved);
+  EXPECT_EQ(program_to_json(cold.best).dump(),
+            program_to_json(warm.best).dump());
+  EXPECT_EQ(cold.total_proposals, warm.total_proposals);
+  EXPECT_EQ(cold.final_tests, warm.final_tests);
+  EXPECT_EQ(cold.iters_to_best, warm.iters_to_best);
+}
+
+}  // namespace
+}  // namespace k2::verify

@@ -1,0 +1,288 @@
+// The x86-64 template JIT backend (ExecBackend): differential fuzz against
+// the legacy switch interpreter over >= 10k random program/input pairs
+// (both hooks, faulting programs, STEP_LIMIT paths, record_trace fallback),
+// incremental-patch vs full-retranslate cross-checks under every proposal
+// kind, corpus-program coverage, and the same-seed compile differential
+// proving the backend is decision-neutral.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "core/compiler.h"
+#include "core/proposals.h"
+#include "ebpf/decoded.h"
+#include "ebpf/helpers_def.h"
+#include "interp/interpreter.h"
+#include "jit/backend_runner.h"
+#include "sim/perf_eval.h"
+
+namespace k2::jit {
+namespace {
+
+using ebpf::Insn;
+using ebpf::Opcode;
+using interp::InputSpec;
+using interp::MapEntryInit;
+using interp::RunOptions;
+using interp::RunResult;
+
+// Same generation scheme as tests/decoded_interp_test.cc: register indices
+// stay in [0, 10], everything else is free to be garbage, so a large
+// fraction of programs fault — and must fault identically natively.
+
+Insn random_insn(std::mt19937_64& rng, int n) {
+  static const int64_t kImms[] = {0, 1, 2, -1, 8, 14, 64, 255, 0x1000,
+                                  int64_t(0x80000000ull), -4096};
+  static const int64_t kHelpers[] = {
+      ebpf::HELPER_MAP_LOOKUP,      ebpf::HELPER_MAP_UPDATE,
+      ebpf::HELPER_MAP_DELETE,      ebpf::HELPER_KTIME_GET_NS,
+      ebpf::HELPER_GET_PRANDOM_U32, ebpf::HELPER_GET_SMP_PROC_ID,
+      ebpf::HELPER_CSUM_DIFF,       ebpf::HELPER_XDP_ADJUST_HEAD,
+      ebpf::HELPER_REDIRECT_MAP,    9999 /* unknown id */};
+  Insn insn;
+  insn.op = static_cast<Opcode>(rng() % uint64_t(Opcode::NUM_OPCODES));
+  insn.dst = uint8_t(rng() % 11);
+  insn.src = uint8_t(rng() % 11);
+  switch (rng() % 4) {
+    case 0: insn.off = int16_t(rng() % 16); break;
+    case 1: insn.off = int16_t(-(int(rng() % 24))); break;
+    case 2: insn.off = int16_t(rng() % uint64_t(n + 2)); break;
+    default: insn.off = int16_t(int(rng() % 64) - 16); break;
+  }
+  insn.imm = kImms[rng() % (sizeof(kImms) / sizeof(kImms[0]))];
+  if (insn.op == Opcode::CALL)
+    insn.imm = kHelpers[rng() % (sizeof(kHelpers) / sizeof(kHelpers[0]))];
+  if (insn.op == Opcode::LDMAPFD) insn.imm = int64_t(rng() % 3);  // fd 2: bad
+  if (insn.op == Opcode::LDDW && (rng() % 2))
+    insn.imm = int64_t(rng());  // full 64-bit immediates
+  return insn;
+}
+
+ebpf::Program random_program(std::mt19937_64& rng) {
+  ebpf::Program p;
+  p.type = (rng() % 3) ? ebpf::ProgType::XDP : ebpf::ProgType::TRACEPOINT;
+  ebpf::MapDef hash;
+  hash.name = "h";
+  hash.kind = ebpf::MapKind::HASH;
+  hash.max_entries = 8;
+  ebpf::MapDef arr;
+  arr.name = "a";
+  arr.kind = ebpf::MapKind::ARRAY;
+  arr.max_entries = 8;
+  switch (rng() % 4) {
+    case 0: p.maps = {hash}; break;
+    case 1: p.maps = {arr, hash, arr}; break;
+    default: p.maps = {hash, arr}; break;
+  }
+  int n = 6 + int(rng() % 20);
+  for (int i = 0; i < n; ++i) p.insns.push_back(random_insn(rng, n));
+  if (rng() % 2) p.insns.push_back(Insn{Opcode::EXIT});
+  return p;
+}
+
+InputSpec random_input(std::mt19937_64& rng) {
+  InputSpec in;
+  in.packet.resize(rng() % 65);
+  for (uint8_t& b : in.packet) b = uint8_t(rng());
+  in.prandom_seed = rng();
+  in.ktime_base = rng() % 2 ? 0 : rng();
+  in.cpu_id = uint32_t(rng() % 4);
+  in.ctx_args = {rng(), rng()};
+  for (int fd = 0; fd < 2; ++fd) {
+    int entries = int(rng() % 3);
+    for (int e = 0; e < entries; ++e) {
+      MapEntryInit init;
+      init.key.resize(4);
+      for (uint8_t& b : init.key) b = uint8_t(rng() % 10);
+      init.value.resize(8);
+      for (uint8_t& b : init.value) b = uint8_t(rng());
+      in.maps[fd].push_back(init);
+    }
+  }
+  return in;
+}
+
+void expect_identical(const RunResult& legacy, const RunResult& native,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(legacy.fault, native.fault)
+      << fault_name(legacy.fault) << " vs " << fault_name(native.fault);
+  EXPECT_EQ(legacy.fault_pc, native.fault_pc);
+  EXPECT_EQ(legacy.r0, native.r0);
+  EXPECT_EQ(legacy.insns_executed, native.insns_executed);
+  EXPECT_TRUE(legacy.packet_out == native.packet_out);
+  EXPECT_TRUE(legacy.maps_out == native.maps_out);
+  EXPECT_TRUE(legacy.trace == native.trace);
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: >= 10k random program/input pairs through the JIT
+// backend (4 shards x 300 programs x 5 inputs x 2 passes = 12000 pairs).
+// RunResults must be bit-identical to the legacy interpreter, including
+// one BackendRunner reused across programs (arena + machine rebinding).
+// ---------------------------------------------------------------------------
+
+class JitFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(JitFuzz, BitIdenticalToLegacyInterpreter) {
+  std::mt19937_64 rng(0x71c0de + uint64_t(GetParam()));
+  BackendRunner runner;  // shared across programs: exercises arena reuse
+  runner.select(ExecBackend::JIT);
+  int faulted = 0, clean = 0, native_progs = 0;
+  constexpr int kPrograms = 300;
+  constexpr int kInputs = 5;
+  for (int pi = 0; pi < kPrograms; ++pi) {
+    ebpf::Program prog = random_program(rng);
+    runner.prepare(prog);
+    if (runner.jit_active()) native_progs++;
+    RunOptions opt;
+    if (rng() % 8 == 0) opt.max_insns = 1 + rng() % 16;  // STEP_LIMIT paths
+    opt.record_trace = rng() % 4 == 0;  // per-run interpreter fallback
+    std::vector<InputSpec> inputs;
+    for (int ii = 0; ii < kInputs; ++ii) inputs.push_back(random_input(rng));
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int ii = 0; ii < kInputs; ++ii) {
+        RunResult legacy = interp::run(prog, inputs[size_t(ii)], opt);
+        const RunResult& native = runner.run_one(inputs[size_t(ii)], opt);
+        expect_identical(legacy, native,
+                         "prog " + std::to_string(pi) + " input " +
+                             std::to_string(ii) + " pass " +
+                             std::to_string(pass));
+        if (legacy.ok()) clean++; else faulted++;
+        if (::testing::Test::HasFatalFailure()) {
+          ADD_FAILURE() << prog.to_string();
+          return;
+        }
+      }
+    }
+  }
+  // The sweep must genuinely cover both behaviours — and on x86-64 hosts
+  // the JIT must have actually translated the bulk of the programs (only
+  // HELPER_CSUM_DIFF calls bail out), or the whole sweep is vacuous.
+  EXPECT_GT(faulted, 100);
+  EXPECT_GT(clean, 100);
+#if defined(__x86_64__)
+  EXPECT_GT(native_progs, kPrograms / 2);
+  EXPECT_EQ(uint64_t(kPrograms - native_progs), runner.jit_bailouts());
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, JitFuzz, ::testing::Range(0, 4));
+
+TEST(JitCorpus, CorpusProgramsBitIdenticalAndNative) {
+  // xdp_fwd calls helper 28 (csum_diff), the deliberately-unsupported
+  // helper: it must fall back per-program (counted) yet stay bit-identical.
+  for (const char* name : {"xdp_exception", "xdp2_kern/xdp1", "xdp_fwd",
+                           "recvmsg4", "xdp_map_access", "xdp_pktcntr"}) {
+    const corpus::Benchmark& b = corpus::benchmark(name);
+    const bool expect_bailout = std::string(name) == "xdp_fwd";
+    BackendRunner runner;
+    runner.select(ExecBackend::JIT);
+    runner.prepare(b.o2);
+#if defined(__x86_64__)
+    EXPECT_EQ(runner.jit_active(), !expect_bailout) << name;
+    EXPECT_EQ(runner.jit_bailouts(), expect_bailout ? 1u : 0u) << name;
+#endif
+    for (const InputSpec& in : sim::make_workload(b.o2, 24, 0x5eed)) {
+      RunResult legacy = interp::run(b.o2, in, {});
+      expect_identical(legacy, runner.run_one(in, {}), name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-translation: after every proposal kind, a runner patching
+// only the touched slot range must behave bit-identically to a runner that
+// re-translates from scratch each iteration — and both must match the
+// legacy interpreter — through accept/reject sequences and rollback
+// invalidation.
+// ---------------------------------------------------------------------------
+
+TEST(JitIncremental, PatchedEqualsFullRetranslateUnderAllProposalKinds) {
+  for (const char* name : {"xdp_exception", "xdp_pktcntr"}) {
+    const corpus::Benchmark& b = corpus::benchmark(name);
+    std::mt19937_64 rng(0x9a7c4);
+    core::SearchParams params;
+    core::ProposalGen gen(b.o2, params, core::ProposalRules{});
+    auto tests = core::generate_tests(b.o2, 4, 7);
+
+    BackendRunner inc;   // patches the touched hull
+    BackendRunner full;  // invalidated every iteration: full re-translation
+    inc.select(ExecBackend::JIT);
+    full.select(ExecBackend::JIT);
+    ebpf::Program cur = b.o2;
+    inc.prepare(cur);
+    full.prepare(cur);
+    std::vector<ebpf::Program> history{cur};
+    for (int iter = 0; iter < 1500; ++iter) {
+      ebpf::InsnRange touched;
+      ebpf::Program cand = gen.propose(cur, rng, &touched);
+      inc.prepare(cand, &touched);
+      full.invalidate();
+      full.prepare(cand);
+
+      if (iter % 20 == 0) {
+        const InputSpec& in = tests[size_t(iter / 20) % tests.size()];
+        RunResult legacy = interp::run(cand, in, {});
+        expect_identical(legacy, inc.run_one(in, {}),
+                         std::string(name) + " inc iter " +
+                             std::to_string(iter));
+        expect_identical(legacy, full.run_one(in, {}),
+                         std::string(name) + " full iter " +
+                             std::to_string(iter));
+      }
+
+      if (rng() % 3 == 0) {
+        cur = cand;
+        history.push_back(cur);
+      }
+      if (history.size() > 4 && rng() % 64 == 0) {
+        // Speculative rollback, exactly as run_chain does it: invalidate
+        // drops both the decoded form and the translation; the next
+        // prepare (touched non-null) must fall back to a full rebuild.
+        cur = history[rng() % history.size()];
+        inc.invalidate();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decision neutrality: a same-seed compile picks identical winners and
+// identical search counters under both backends (jit_bailouts aside).
+// ---------------------------------------------------------------------------
+
+TEST(JitCompileDifferential, SameSeedCompileIsBackendInvariant) {
+  const corpus::Benchmark& b = corpus::benchmark("xdp_exception");
+  core::CompileOptions o;
+  o.iters_per_chain = 400;
+  o.num_chains = 2;
+  o.threads = 2;
+  o.eq.timeout_ms = 5000;
+  o.seed = 0x5eed;
+  core::CompileServices svc;
+  svc.sequential = true;  // bit-identical chain scheduling
+
+  o.exec_backend = ExecBackend::FAST_INTERP;
+  core::CompileResult fast = core::compile(b.o2, o, svc);
+  o.exec_backend = ExecBackend::JIT;
+  core::CompileResult jit = core::compile(b.o2, o, svc);
+
+  EXPECT_TRUE(fast.best.insns == jit.best.insns);
+  EXPECT_EQ(fast.improved, jit.improved);
+  EXPECT_EQ(fast.best_perf, jit.best_perf);
+  EXPECT_EQ(fast.iters_to_best, jit.iters_to_best);
+  EXPECT_EQ(fast.total_proposals, jit.total_proposals);
+  EXPECT_EQ(fast.solver_calls, jit.solver_calls);
+  EXPECT_EQ(fast.tests_executed, jit.tests_executed);
+  EXPECT_EQ(fast.tests_skipped, jit.tests_skipped);
+  EXPECT_EQ(fast.early_exits, jit.early_exits);
+  EXPECT_EQ(fast.kernel_accepted, jit.kernel_accepted);
+  EXPECT_EQ(fast.jit_bailouts, 0u);  // fast backend never counts bailouts
+}
+
+}  // namespace
+}  // namespace k2::jit

@@ -1,0 +1,251 @@
+// Executable-memory lifecycle for the JIT backend: arena reuse across
+// program rebinds, W^X protection transitions around translate/patch,
+// invalidate-on-rollback after speculative rejection, the per-program
+// unsupported-helper fallback (and its jit_bailouts accounting end to end:
+// CompileResult JSON and the serve stats op), and backend switching.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/batch_compiler.h"
+#include "core/compiler.h"
+#include "core/proposals.h"
+#include "corpus/corpus.h"
+#include "api/serve.h"
+#include "api/service.h"
+#include "ebpf/assembler.h"
+#include "interp/interpreter.h"
+#include "jit/backend_runner.h"
+#include "sim/perf_eval.h"
+
+namespace k2::jit {
+namespace {
+
+using interp::InputSpec;
+using interp::RunResult;
+
+// A minimal program whose only obstacle is the deliberately-unsupported
+// helper (csum_diff, id 28): everything else translates.
+ebpf::Program csum_diff_prog() {
+  return ebpf::assemble(
+      "  mov64 r1, 0\n"
+      "  mov64 r2, 0\n"
+      "  mov64 r3, 0\n"
+      "  mov64 r4, 0\n"
+      "  mov64 r5, 0\n"
+      "  call 28\n"
+      "  mov64 r0, 2\n"
+      "  exit\n",
+      ebpf::ProgType::XDP);
+}
+
+TEST(JitLifecycle, ArenaIsReusedAcrossProgramRebinds) {
+  BackendRunner runner;
+  runner.select(ExecBackend::JIT);
+
+  // Bind a selection of corpus programs (varying sizes and map sets)
+  // through ONE runner. Once the arena has grown to fit the largest, later
+  // binds must reuse the same mapping.
+  const char* names[] = {"xdp_exception", "xdp_map_access", "xdp_pktcntr",
+                         "xdp2_kern/xdp1", "xdp_exception"};
+  size_t peak = 0;
+  for (const char* name : names) {
+    runner.prepare(corpus::benchmark(name).o2);
+    if (!runner.jit_active()) continue;  // non-x86-64 host
+    peak = std::max(peak, runner.translator().arena().capacity());
+  }
+  if (peak == 0) GTEST_SKIP() << "no executable memory on this host";
+
+  const uint8_t* base = runner.translator().arena().base();
+  const size_t cap = runner.translator().arena().capacity();
+  EXPECT_EQ(cap, peak);
+  for (const char* name : names) {
+    const corpus::Benchmark& b = corpus::benchmark(name);
+    runner.prepare(b.o2);
+    ASSERT_TRUE(runner.jit_active()) << name;
+    // Same mapping, no churn — and the rebound translation still runs.
+    EXPECT_EQ(runner.translator().arena().base(), base) << name;
+    EXPECT_EQ(runner.translator().arena().capacity(), cap) << name;
+    for (const InputSpec& in : sim::make_workload(b.o2, 4, 99)) {
+      RunResult legacy = interp::run(b.o2, in, {});
+      const RunResult& native = runner.run_one(in, {});
+      EXPECT_EQ(legacy.fault, native.fault);
+      EXPECT_EQ(legacy.r0, native.r0);
+    }
+  }
+}
+
+TEST(JitLifecycle, ArenaIsExecuteProtectedOutsideEmission) {
+  BackendRunner runner;
+  runner.select(ExecBackend::JIT);
+  const corpus::Benchmark& b = corpus::benchmark("xdp_exception");
+  runner.prepare(b.o2);
+  if (!runner.jit_active()) GTEST_SKIP() << "no executable memory";
+
+  // W^X: emission flips the arena writable, translate()/patch() flip it
+  // back before returning — so between evaluations it is never writable.
+  EXPECT_FALSE(runner.translator().arena().writable());
+
+  // Incremental patches restore protection too.
+  std::mt19937_64 rng(42);
+  core::ProposalGen gen(b.o2, core::SearchParams{}, core::ProposalRules{});
+  ebpf::InsnRange touched;
+  ebpf::Program cand = gen.propose(b.o2, rng, &touched);
+  runner.prepare(cand, &touched);
+  EXPECT_TRUE(runner.jit_active());
+  EXPECT_FALSE(runner.translator().arena().writable());
+
+  // invalidate() only drops the translation; the mapping stays, protected.
+  runner.invalidate();
+  EXPECT_FALSE(runner.jit_active());
+  EXPECT_FALSE(runner.translator().arena().writable());
+}
+
+TEST(JitLifecycle, InvalidateOnRollbackForcesFullRetranslation) {
+  // The speculative-rejection pattern from core/mcmc.cc: the chain rolls
+  // its program back to a snapshot and calls ctx.runner.invalidate(); the
+  // NEXT prepare carries a touched range that describes the new proposal,
+  // not the distance rolled back — so it must not be trusted as a patch.
+  const corpus::Benchmark& b = corpus::benchmark("xdp_pktcntr");
+  std::mt19937_64 rng(7);
+  core::ProposalGen gen(b.o2, core::SearchParams{}, core::ProposalRules{});
+  auto tests = core::generate_tests(b.o2, 3, 5);
+
+  BackendRunner runner;
+  runner.select(ExecBackend::JIT);
+  ebpf::Program cur = b.o2;
+  runner.prepare(cur);
+  if (!runner.jit_active()) GTEST_SKIP() << "no executable memory";
+
+  for (int round = 0; round < 50; ++round) {
+    // Wander a few accepted steps away from the snapshot...
+    ebpf::Program snapshot = cur;
+    for (int step = 0; step < 3; ++step) {
+      ebpf::InsnRange touched;
+      cur = gen.propose(cur, rng, &touched);
+      runner.prepare(cur, &touched);
+    }
+    // ...then the solver contradicts the speculation: roll back.
+    cur = snapshot;
+    runner.invalidate();
+    ebpf::InsnRange touched;
+    ebpf::Program cand = gen.propose(cur, rng, &touched);
+    runner.prepare(cand, &touched);
+    ASSERT_TRUE(runner.jit_active());
+    const InputSpec& in = tests[size_t(round) % tests.size()];
+    RunResult legacy = interp::run(cand, in, {});
+    const RunResult& native = runner.run_one(in, {});
+    ASSERT_EQ(legacy.fault, native.fault) << "round " << round;
+    ASSERT_EQ(legacy.r0, native.r0) << "round " << round;
+    ASSERT_EQ(legacy.insns_executed, native.insns_executed)
+        << "round " << round;
+    cur = cand;
+  }
+}
+
+TEST(JitLifecycle, UnsupportedHelperFallsBackPerProgram) {
+  ebpf::Program p = csum_diff_prog();
+  BackendRunner runner;
+  runner.select(ExecBackend::JIT);
+  runner.prepare(p);
+#if defined(__x86_64__)
+  EXPECT_FALSE(runner.jit_active());
+  EXPECT_EQ(runner.jit_bailouts(), 1u);
+#endif
+  // The fallback still executes — identically.
+  InputSpec in;
+  in.packet = {1, 2, 3, 4};
+  RunResult legacy = interp::run(p, in, {});
+  const RunResult& fast = runner.run_one(in, {});
+  EXPECT_EQ(legacy.fault, fast.fault);
+  EXPECT_EQ(legacy.r0, fast.r0);
+  EXPECT_EQ(legacy.insns_executed, fast.insns_executed);
+
+  // Re-preparing the same unsupported program counts again (once per
+  // prepared candidate), and a supported program recovers the JIT.
+  runner.prepare(p);
+#if defined(__x86_64__)
+  EXPECT_EQ(runner.jit_bailouts(), 2u);
+  runner.prepare(corpus::benchmark("xdp_exception").o2);
+  EXPECT_TRUE(runner.jit_active());
+  EXPECT_EQ(runner.jit_bailouts(), 2u);
+#endif
+}
+
+TEST(JitLifecycle, BackendSwitchIsCleanBothWays) {
+  const corpus::Benchmark& b = corpus::benchmark("xdp_map_access");
+  auto tests = core::generate_tests(b.o2, 6, 0xabc);
+  BackendRunner runner;
+  for (ExecBackend be : {ExecBackend::FAST_INTERP, ExecBackend::JIT,
+                         ExecBackend::FAST_INTERP, ExecBackend::JIT}) {
+    runner.select(be);
+    runner.prepare(b.o2);
+    EXPECT_EQ(runner.backend(), be);
+    if (be == ExecBackend::FAST_INTERP) EXPECT_FALSE(runner.jit_active());
+    for (const InputSpec& in : tests) {
+      RunResult legacy = interp::run(b.o2, in, {});
+      const RunResult& r = runner.run_one(in, {});
+      EXPECT_EQ(legacy.fault, r.fault);
+      EXPECT_EQ(legacy.r0, r.r0);
+      EXPECT_TRUE(legacy.maps_out == r.maps_out);
+    }
+  }
+}
+
+TEST(JitLifecycle, BailoutsSurfaceInCompileResultJson) {
+  // A compile of the csum_diff program under the JIT backend bails out on
+  // every prepared candidate; the count must survive the CompileResult
+  // JSON round-trip (the batch-report wire format).
+  ebpf::Program p = csum_diff_prog();
+  core::CompileOptions o;
+  o.iters_per_chain = 50;
+  o.num_chains = 1;
+  o.eq.timeout_ms = 5000;
+  o.exec_backend = ExecBackend::JIT;
+  core::CompileServices svc;
+  svc.sequential = true;
+  core::CompileResult res = core::compile(p, o, svc);
+#if defined(__x86_64__)
+  EXPECT_GT(res.jit_bailouts, 0u);
+#endif
+  core::CompileResult back =
+      core::compile_result_from_json(core::compile_result_to_json(res));
+  EXPECT_EQ(back.jit_bailouts, res.jit_bailouts);
+  EXPECT_EQ(back.total_proposals, res.total_proposals);
+
+  // Additive evolution: an old report without the field parses as zero.
+  const util::Json full = core::compile_result_to_json(res);
+  util::Json old{util::Json::Object{}};
+  for (const auto& [k, v] : full.as_object())
+    if (k != "jit_bailouts") old.set(k, v);
+  EXPECT_EQ(core::compile_result_from_json(old).jit_bailouts, 0u);
+}
+
+TEST(JitLifecycle, BailoutsSurfaceInServeStatsOp) {
+  api::CompilerService service({/*threads=*/1});
+  api::CompileRequest req =
+      api::CompileRequest::for_program(ebpf::disassemble(csum_diff_prog()));
+  req.exec_backend = ExecBackend::JIT;
+  req.iters_per_chain = 50;
+  req.num_chains = 1;
+  api::JobHandle job = service.submit(std::move(req));
+  job.wait();
+  ASSERT_EQ(job.state(), api::JobState::DONE);
+
+  api::ServeLoop loop(service);
+  bool stop = false;
+  util::Json stats = util::Json::parse(loop.handle(R"({"op":"stats"})", &stop));
+  ASSERT_TRUE(stats.at("ok").as_bool());
+#if defined(__x86_64__)
+  EXPECT_GT(stats.at("jit_bailouts").as_uint(), 0u);
+#else
+  EXPECT_GE(stats.at("jit_bailouts").as_uint(), 0u);
+#endif
+  util::Json metrics =
+      util::Json::parse(loop.handle(R"({"op":"metrics"})", &stop));
+  EXPECT_EQ(metrics.at("jit_bailouts").as_uint(),
+            stats.at("jit_bailouts").as_uint());
+}
+
+}  // namespace
+}  // namespace k2::jit

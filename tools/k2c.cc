@@ -29,8 +29,10 @@
 #include "api/service.h"
 #include "corpus/corpus.h"
 #include "ebpf/bytecode.h"
+#include "jit/exec_backend.h"
 #include "sim/perf_model.h"
 #include "util/flags.h"
+#include "verify/cache_store.h"
 #include "verify/solve_protocol.h"
 
 namespace {
@@ -90,6 +92,11 @@ util::Flags make_flags() {
        ""},
       {"max-insns", T::UINT, "1048576",
        "interpreter step budget per test execution", ""},
+      {"exec-backend", T::STRING, "fast",
+       "execution engine for candidate test runs: the fast interpreter or "
+       "the x86-64 template JIT (bit-identical results; unsupported "
+       "programs fall back per-program to the interpreter)",
+       "fast|jit"},
       {"parallel", T::BOOL, "",
        "single mode: run chains on a thread pool (faster, gives up same-"
        "seed determinism)",
@@ -121,7 +128,9 @@ const char* kUsage =
     "       k2c serve --stdio|--socket=<path>  long-running NDJSON service\n"
     "       k2c solve-worker --stdio|--socket=<path>\n"
     "                                          k2-solve/v1 equivalence "
-    "worker\n";
+    "worker\n"
+    "       k2c cache-compact --cache-dir=<d>  deduplicate a persistent\n"
+    "                                          equivalence-cache directory\n";
 
 std::vector<std::string> split_endpoints(const std::string& csv) {
   std::vector<std::string> out;
@@ -156,6 +165,8 @@ void apply_common(const util::Flags& f, api::CompileRequest* req) {
   req->top_k = int(f.num("top-k"));
   req->solver_workers = int(f.num("solver-workers"));
   req->max_insns = f.unum("max-insns");
+  // The table already validated the enum string.
+  jit::exec_backend_from_string(f.str("exec-backend"), &req->exec_backend);
   req->cache_dir = f.str("cache-dir");
   req->solver_endpoints = split_endpoints(f.str("solver-endpoints"));
   req->portfolio = int(f.num("portfolio"));
@@ -249,6 +260,10 @@ int run_single(const util::Flags& f) {
             static_cast<unsigned long long>(res.rollbacks),
             static_cast<unsigned long long>(res.pending_joins),
             static_cast<unsigned long long>(res.solver_queue_peak));
+  if (res.jit_bailouts > 0)
+    fprintf(stderr,
+            "k2c: jit: %llu candidates fell back to the interpreter\n",
+            static_cast<unsigned long long>(res.jit_bailouts));
   if (res.cache.disk_loaded > 0 || res.cache.disk_writes > 0)
     fprintf(stderr,
             "k2c: persistent cache: %llu verdicts loaded, %llu disk-tier "
@@ -408,6 +423,34 @@ int run_serve(const util::Flags& f) {
   return 0;
 }
 
+// `k2c cache-compact --cache-dir=<d>` — offline last-writer-wins
+// deduplication of a persistent equivalence-cache directory. Concurrent
+// cold runs sharing one --cache-dir each append their own copy of a
+// verdict; compaction rewrites every shard keeping one record per key, so
+// warm-starts read (and re-verify checksums over) far fewer lines while
+// behaving bit-identically.
+int run_cache_compact(const util::Flags& f) {
+  const std::string dir = f.str("cache-dir");
+  if (dir.empty()) {
+    fprintf(stderr, "k2c: cache-compact needs --cache-dir=<dir>\n");
+    return 2;
+  }
+  verify::CacheStore::CompactionStats cs;
+  std::string error;
+  if (!verify::CacheStore::compact(dir, &cs, &error)) {
+    fprintf(stderr, "k2c: cache-compact: %s\n", error.c_str());
+    return 2;
+  }
+  fprintf(stderr,
+          "k2c: cache-compact: %s: %llu records -> %llu "
+          "(%llu duplicates removed)\n",
+          dir.c_str(), static_cast<unsigned long long>(cs.records_before),
+          static_cast<unsigned long long>(cs.records_after),
+          static_cast<unsigned long long>(cs.records_before -
+                                          cs.records_after));
+  return 0;
+}
+
 // `k2c solve-worker` — one k2-solve/v1 equivalence worker: the process a
 // RemoteSolverBackend (--solver-endpoints) farms Z3 queries to. Same
 // transports as serve mode, same line pump.
@@ -466,6 +509,10 @@ int main(int argc, char** argv) {
   if (!f.positional().empty() && f.positional()[0] == "solve-worker") {
     if (reject_positionals(1, "solve-worker")) return 2;
     return run_solve_worker(f);
+  }
+  if (!f.positional().empty() && f.positional()[0] == "cache-compact") {
+    if (reject_positionals(1, "cache-compact")) return 2;
+    return run_cache_compact(f);
   }
   if (f.has("corpus")) {
     if (reject_positionals(0, "batch")) return 2;
