@@ -200,7 +200,7 @@ const std::map<std::string, Opcode>& st_mnemonics() {
 }  // namespace
 
 Program assemble(std::string_view text, ProgType type,
-                 std::vector<MapDef> maps) {
+                 std::vector<MapDef> maps, const AsmOptions& opts) {
   std::vector<Stmt> stmts = tokenize(text);
 
   // Pass 1: assign instruction indices and record labels.
@@ -239,9 +239,12 @@ Program assemble(std::string_view text, ProgType type,
         if (it == labels.end()) fail(s.line, "unknown label '" + t + "'");
         target = it->second;
       }
-      if (target < 0 || target > total)
+      if (!opts.lenient && (target < 0 || target > total))
         fail(s.line, "jump target out of bounds");
-      return static_cast<int16_t>(target - index - 1);
+      int off = target - index - 1;
+      if (off < INT16_MIN || off > INT16_MAX)
+        fail(s.line, "jump offset out of range");
+      return static_cast<int16_t>(off);
     };
 
     Insn insn;
@@ -336,18 +339,23 @@ Program assemble(std::string_view text, ProgType type,
     index++;
   }
 
-  if (auto err = validate_structure(prog)) throw AsmError(*err);
+  if (!opts.lenient)
+    if (auto err = validate_structure(prog)) throw AsmError(*err);
   return prog;
 }
 
 std::string disassemble(const Program& prog) {
-  // Collect jump targets needing labels.
+  // Collect jump targets needing labels. A target outside [0, size] has no
+  // printable line to label — it is emitted as a raw offset instead (the
+  // resulting text needs AsmOptions::lenient to reassemble, like the
+  // invalid program it came from).
+  const int total = static_cast<int>(prog.insns.size());
   std::map<int, std::string> target_labels;
   for (size_t i = 0; i < prog.insns.size(); ++i) {
     const Insn& insn = prog.insns[i];
     if (is_jump(insn.op)) {
       int t = static_cast<int>(i) + 1 + insn.off;
-      if (!target_labels.count(t))
+      if (t >= 0 && t <= total && !target_labels.count(t))
         target_labels[t] = "L" + std::to_string(target_labels.size());
     }
   }
@@ -360,16 +368,21 @@ std::string disassemble(const Program& prog) {
     const Insn& insn = prog.insns[i];
     if (is_jump(insn.op)) {
       int t = static_cast<int>(i) + 1 + insn.off;
+      auto target = [&]() -> std::string {
+        if (auto it = target_labels.find(t); it != target_labels.end())
+          return it->second;
+        return (insn.off >= 0 ? "+" : "") + std::to_string(insn.off);
+      };
       JmpShape j;
       std::ostringstream line;
       if (insn.op == Opcode::JA) {
-        line << "ja " << target_labels[t];
+        line << "ja " << target();
       } else {
         decompose_jmp(insn.op, &j);
         std::string base = to_string(insn);
         // to_string prints "jeq r1, X, +off" — replace the trailing offset.
         base.resize(base.rfind(", "));
-        line << base << ", " << target_labels[t];
+        line << base << ", " << target();
       }
       os << "  " << line.str() << "\n";
     } else {

@@ -30,14 +30,24 @@ struct AsmError : std::runtime_error {
   explicit AsmError(const std::string& what) : std::runtime_error(what) {}
 };
 
+struct AsmOptions {
+  // Accept structurally invalid programs: jump targets may land outside the
+  // program and validate_structure is not enforced. The conformance fuzzer
+  // uses this to round-trip "wild" (deliberately broken) programs and to
+  // reload mismatch repros that encode a faulting candidate.
+  bool lenient = false;
+};
+
 // Assembles `text` into a program of hook type `type` with map definitions
 // `maps` (fd = index). Throws AsmError with a line-numbered message on
 // malformed input.
 Program assemble(std::string_view text, ProgType type = ProgType::XDP,
-                 std::vector<MapDef> maps = {});
+                 std::vector<MapDef> maps = {}, const AsmOptions& opts = {});
 
-// Disassembles back to assembler-compatible text (labels synthesized for
-// jump targets).
+// Disassembles back to assembler-compatible text. Labels are synthesized
+// for in-range jump targets; a target outside [0, size] (possible in raw
+// candidate programs) is printed as a raw +N/-N offset, which reassembles
+// bit-exactly under AsmOptions::lenient.
 std::string disassemble(const Program& prog);
 
 }  // namespace k2::ebpf

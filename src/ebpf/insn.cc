@@ -275,7 +275,7 @@ std::string to_string(const Insn& insn) {
       os << insn.imm;
     else
       os << "r" << int(insn.src);
-    os << ", +" << insn.off;
+    os << ", " << (insn.off >= 0 ? "+" : "") << insn.off;
   } else {
     switch (insn.op) {
       case Opcode::NEG64:
@@ -289,7 +289,7 @@ std::string to_string(const Insn& insn) {
         os << m << " r" << int(insn.dst);
         break;
       case Opcode::JA:
-        os << m << " +" << insn.off;
+        os << m << " " << (insn.off >= 0 ? "+" : "") << insn.off;
         break;
       case Opcode::LDXB:
       case Opcode::LDXH:

@@ -19,6 +19,16 @@ bool jit_supports(const ebpf::DecodedProgram& dp) {
   return true;
 }
 
+namespace {
+// Test-only fault injection (see translator.h). Plain global: translators
+// are single-threaded per worker and tests flip this around a local
+// translate.
+bool g_test_miscompile = false;
+}  // namespace
+
+void set_test_miscompile(bool enabled) { g_test_miscompile = enabled; }
+bool test_miscompile_enabled() { return g_test_miscompile; }
+
 #if defined(__x86_64__)
 
 namespace {
@@ -271,7 +281,8 @@ bool Translator::emit_slot(const DecodedInsn& d, int pc) {
       if (op == AluOp::MOV) {
         if (imm) {
           if (is64)
-            mov_ri32s(c, RAX, int32_t(uint32_t(d.imm)));
+            mov_ri32s(c, RAX,
+                      int32_t(uint32_t(d.imm) + (g_test_miscompile ? 1u : 0u)));
           else
             mov_ri32(c, RAX, uint32_t(d.imm));  // lo32 of the sext: zext
         } else {

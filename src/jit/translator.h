@@ -46,6 +46,15 @@ bool jit_supported_helper(uint64_t id);
 // True when every instruction of `dp` is inside the template's support set.
 bool jit_supports(const ebpf::DecodedProgram& dp);
 
+// Test-only fault injection: while enabled, the translator deliberately
+// miscompiles 64-bit MOV-immediate (emits imm+1). Exists to prove the
+// differential conformance harness catches and shrinks a real JIT
+// miscompile (tests/conformance_test.cc, `k2c fuzz --inject-jit-bug`);
+// never enable outside tests. Affects future translate()/patch() calls
+// only — pair with invalidate()/prepare to retranslate.
+void set_test_miscompile(bool enabled);
+bool test_miscompile_enabled();
+
 class Translator {
  public:
   using EntryFn = void (*)(JitState*);

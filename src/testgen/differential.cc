@@ -1,0 +1,361 @@
+#include "testgen/differential.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "interp/interpreter.h"
+#include "pipeline/exec_context.h"
+#include "testgen/repro.h"
+
+namespace k2::conformance {
+
+namespace {
+
+constexpr uint64_t kDefaultMaxInsns = interp::RunOptions{}.max_insns;
+
+ebpf::Insn nop_insn() {
+  ebpf::Insn i;
+  i.op = ebpf::Opcode::NOP;
+  i.dst = 0;
+  i.src = 0;
+  i.off = 0;
+  i.imm = 0;
+  return i;
+}
+
+}  // namespace
+
+std::string diff_results(const interp::RunResult& want,
+                         const interp::RunResult& got, bool compare_trace) {
+  std::ostringstream os;
+  if (want.fault != got.fault) {
+    os << "fault: " << int(want.fault) << " vs " << int(got.fault);
+    return os.str();
+  }
+  if (want.fault_pc != got.fault_pc) {
+    os << "fault_pc: " << want.fault_pc << " vs " << got.fault_pc;
+    return os.str();
+  }
+  if (want.r0 != got.r0) {
+    os << "r0: 0x" << std::hex << want.r0 << " vs 0x" << got.r0;
+    return os.str();
+  }
+  if (want.insns_executed != got.insns_executed) {
+    os << "insns_executed: " << want.insns_executed << " vs "
+       << got.insns_executed;
+    return os.str();
+  }
+  if (want.packet_out != got.packet_out) {
+    os << "packet_out differs (" << want.packet_out.size() << " vs "
+       << got.packet_out.size() << " bytes)";
+    return os.str();
+  }
+  if (want.maps_out != got.maps_out) return "maps_out differ";
+  if (compare_trace && want.trace != got.trace) {
+    os << "trace differs (" << want.trace.size() << " vs "
+       << got.trace.size() << " entries)";
+    return os.str();
+  }
+  return "";
+}
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  os << programs << " programs (" << typed_programs << " typed, "
+     << wild_programs << " wild), " << pairs << " result pairs, " << clean
+     << " clean / " << faulted << " faulted reference runs, " << jit_native
+     << " jit-native / " << jit_bailout_programs << " jit-bailout programs, "
+     << gen_rejects << " generator rejects, " << mismatches.size()
+     << " mismatches";
+  return os.str();
+}
+
+DifferentialHarness::DifferentialHarness(const HarnessConfig& cfg)
+    : cfg_(cfg), gen_(cfg.gen) {
+  for (jit::ExecBackend be : cfg_.backends) {
+    auto ctx = std::make_unique<pipeline::ExecContext>();
+    ctx->runner.select(be);
+    ctxs_.push_back(std::move(ctx));
+  }
+}
+
+DifferentialHarness::~DifferentialHarness() = default;
+
+interp::RunOptions DifferentialHarness::next_run_options() {
+  interp::RunOptions opt;
+  if (!cfg_.vary_run_options) return opt;
+  auto& rng = gen_.rng();
+  if (rng() % 8 == 0) opt.max_insns = 1 + rng() % 64;  // step-limit path
+  if (rng() % 4 == 0) opt.record_trace = true;         // trace path
+  return opt;
+}
+
+const interp::RunResult& DifferentialHarness::run_reference(
+    const ebpf::Program& prog, const interp::InputSpec& in,
+    const interp::RunOptions& opt) {
+  ref_result_ = interp::run(prog, in, opt, ref_machine_);
+  return ref_result_;
+}
+
+void DifferentialHarness::check_program(const ebpf::Program& prog, bool typed,
+                                        Report& rep) {
+  rep.programs++;
+  (typed ? rep.typed_programs : rep.wild_programs)++;
+
+  std::vector<interp::InputSpec> inputs;
+  for (int i = 0; i < cfg_.inputs_per_program; ++i)
+    inputs.push_back(gen_.next_input(prog));
+
+  // Prepare every backend once; the pass loop then re-runs the prepared
+  // program, which is exactly the suite-execution shape the pipeline uses.
+  for (auto& ctx : ctxs_) {
+    ctx->runner.invalidate();
+    ctx->runner.prepare(prog);
+  }
+  for (size_t b = 0; b < ctxs_.size(); ++b) {
+    if (cfg_.backends[b] != jit::ExecBackend::JIT) continue;
+    (ctxs_[b]->runner.jit_active() ? rep.jit_native
+                                   : rep.jit_bailout_programs)++;
+  }
+
+  for (int pass = 0; pass < cfg_.passes; ++pass) {
+    for (const interp::InputSpec& in : inputs) {
+      interp::RunOptions opt = next_run_options();
+      const interp::RunResult& ref = run_reference(prog, in, opt);
+      (ref.ok() ? rep.clean : rep.faulted)++;
+      if (typed && cfg_.typed_fault_oracle && !ref.ok() &&
+          opt.max_insns >= kDefaultMaxInsns) {
+        record_mismatch_named("oracle:typed-fault",
+                              "typed program faulted: fault=" +
+                                  std::to_string(int(ref.fault)) + " at pc " +
+                                  std::to_string(ref.fault_pc),
+                              prog, in, opt, rep);
+        return;
+      }
+      for (size_t b = 0; b < ctxs_.size(); ++b) {
+        const interp::RunResult& got = ctxs_[b]->runner.run_one(in, opt);
+        rep.pairs++;
+        std::string d = diff_results(ref, got, opt.record_trace);
+        if (!d.empty()) {
+          record_mismatch(cfg_.backends[b], d, prog, in, opt, rep);
+          return;  // one mismatch per program; move on
+        }
+      }
+    }
+  }
+}
+
+Report DifferentialHarness::replay(const ebpf::Program& prog,
+                                   const interp::InputSpec& in,
+                                   const interp::RunOptions& opt) {
+  Report rep;
+  rep.programs = 1;
+  rep.wild_programs = 1;
+  for (auto& ctx : ctxs_) {
+    ctx->runner.invalidate();
+    ctx->runner.prepare(prog);
+  }
+  const interp::RunResult& ref = run_reference(prog, in, opt);
+  (ref.ok() ? rep.clean : rep.faulted)++;
+  for (size_t b = 0; b < ctxs_.size(); ++b) {
+    const interp::RunResult& got = ctxs_[b]->runner.run_one(in, opt);
+    rep.pairs++;
+    std::string d = diff_results(ref, got, opt.record_trace);
+    if (!d.empty()) {
+      record_mismatch(cfg_.backends[b], d, prog, in, opt, rep);
+      break;
+    }
+  }
+  return rep;
+}
+
+Report DifferentialHarness::run() {
+  Report rep;
+  for (uint64_t i = 0; i < cfg_.iters; ++i) {
+    bool typed = false;
+    ebpf::Program prog = gen_.next(&typed);
+    check_program(prog, typed, rep);
+    if (int(rep.mismatches.size()) >= cfg_.max_mismatches) break;
+  }
+  rep.gen_rejects = gen_.rejects();
+  return rep;
+}
+
+Report DifferentialHarness::run_incremental(uint64_t iters) {
+  Report rep;
+  auto& rng = gen_.rng();
+
+  // Start from a typed program: a structurally sound base makes mutations
+  // explore the interesting boundary between valid and faulting programs.
+  bool typed = false;
+  ebpf::Program prog = gen_.next(&typed);
+  for (int tries = 0; tries < 8 && !typed && cfg_.gen.typed_percent > 0;
+       ++tries)
+    prog = gen_.next(&typed);
+  rep.programs++;
+  (typed ? rep.typed_programs : rep.wild_programs)++;
+
+  // Per backend: one long-lived runner taking only incremental patches, and
+  // one control runner doing a full invalidate+prepare every iteration.
+  std::vector<std::unique_ptr<pipeline::ExecContext>> full;
+  for (size_t b = 0; b < ctxs_.size(); ++b) {
+    ctxs_[b]->runner.invalidate();
+    ctxs_[b]->runner.prepare(prog);
+    auto ctx = std::make_unique<pipeline::ExecContext>();
+    ctx->runner.select(cfg_.backends[b]);
+    ctx->runner.prepare(prog);
+    full.push_back(std::move(ctx));
+  }
+
+  for (uint64_t it = 0; it < iters; ++it) {
+    int idx = int(rng() % prog.insns.size());
+    ebpf::Program cand = prog;
+    cand.insns[size_t(idx)] = gen_.wild_insn(int(prog.insns.size()));
+    ebpf::InsnRange touched{idx, idx + 1};
+
+    for (size_t b = 0; b < ctxs_.size(); ++b) {
+      ctxs_[b]->runner.prepare(cand, &touched);
+      full[b]->runner.invalidate();
+      full[b]->runner.prepare(cand);
+    }
+
+    int n_inputs = 1 + int(rng() % 2);
+    for (int i = 0; i < n_inputs; ++i) {
+      interp::InputSpec in = gen_.next_input(cand);
+      interp::RunOptions opt = next_run_options();
+      const interp::RunResult& ref = run_reference(cand, in, opt);
+      (ref.ok() ? rep.clean : rep.faulted)++;
+      for (size_t b = 0; b < ctxs_.size(); ++b) {
+        const interp::RunResult inc = ctxs_[b]->runner.run_one(in, opt);
+        rep.pairs++;
+        std::string d = diff_results(ref, inc, opt.record_trace);
+        if (!d.empty()) {
+          record_mismatch(cfg_.backends[b], "incremental: " + d, cand, in,
+                          opt, rep);
+          return rep;
+        }
+        const interp::RunResult& fl = full[b]->runner.run_one(in, opt);
+        rep.pairs++;
+        d = diff_results(ref, fl, opt.record_trace);
+        if (!d.empty()) {
+          record_mismatch(cfg_.backends[b], "full: " + d, cand, in, opt, rep);
+          return rep;
+        }
+      }
+    }
+
+    if (rng() % 8 == 0) {
+      // Speculative-rollback shape: revert the mutation through the same
+      // incremental patch path (the control runners re-prepare fully).
+      for (size_t b = 0; b < ctxs_.size(); ++b) {
+        ctxs_[b]->runner.prepare(prog, &touched);
+        full[b]->runner.invalidate();
+        full[b]->runner.prepare(prog);
+      }
+    } else {
+      prog = std::move(cand);
+    }
+    if (rng() % 16 == 0) {
+      // Force one runner through the cold full-decode path, then re-prime
+      // every runner so incremental patches have a valid base again.
+      ctxs_[rng() % ctxs_.size()]->runner.invalidate();
+      for (auto& ctx : ctxs_) ctx->runner.prepare(prog);
+    }
+  }
+  return rep;
+}
+
+void DifferentialHarness::record_mismatch(jit::ExecBackend be,
+                                          const std::string& detail,
+                                          const ebpf::Program& prog,
+                                          const interp::InputSpec& in,
+                                          const interp::RunOptions& opt,
+                                          Report& rep) {
+  Mismatch mm;
+  mm.backend = jit::to_string(be);
+  mm.detail = detail;
+  mm.program = prog;
+  mm.input = in;
+  mm.opt = opt;
+  mm.shrunk = cfg_.shrink ? shrink_program(prog, in, opt, be, rep) : prog;
+  mm.repro = testgen::write_repro(mm.shrunk, in, opt);
+  rep.mismatches.push_back(std::move(mm));
+}
+
+void DifferentialHarness::record_mismatch_named(const std::string& name,
+                                                const std::string& detail,
+                                                const ebpf::Program& prog,
+                                                const interp::InputSpec& in,
+                                                const interp::RunOptions& opt,
+                                                Report& rep) {
+  Mismatch mm;
+  mm.backend = name;
+  mm.detail = detail;
+  mm.program = prog;
+  mm.shrunk = prog;  // no backend to disagree with: nothing to minimize
+  mm.input = in;
+  mm.opt = opt;
+  mm.repro = testgen::write_repro(prog, in, opt);
+  rep.mismatches.push_back(std::move(mm));
+}
+
+ebpf::Program DifferentialHarness::shrink_program(const ebpf::Program& prog,
+                                                  const interp::InputSpec& in,
+                                                  const interp::RunOptions& opt,
+                                                  jit::ExecBackend be,
+                                                  Report& rep) {
+  size_t which = 0;
+  for (size_t b = 0; b < cfg_.backends.size(); ++b)
+    if (cfg_.backends[b] == be) which = b;
+  jit::BackendRunner& runner = ctxs_[which]->runner;
+
+  // The minimization predicate: does this candidate still disagree with the
+  // reference on the captured input/options, from a fresh prepare?
+  auto disagrees = [&](const ebpf::Program& p) {
+    if (rep.shrink_execs >= cfg_.max_shrink_execs) return false;
+    rep.shrink_execs++;
+    interp::RunResult ref = interp::run(p, in, opt, ref_machine_);
+    runner.invalidate();
+    runner.prepare(p);
+    const interp::RunResult& got = runner.run_one(in, opt);
+    return !diff_results(ref, got, opt.record_trace).empty();
+  };
+
+  // Delta-debug by NOP substitution: replacing a chunk with NOPs keeps
+  // every slot index and jump target stable, so any subset of the original
+  // program is a well-formed candidate.
+  ebpf::Program cur = prog;
+  const int n = int(cur.insns.size());
+  for (int chunk = std::max(1, n / 2); chunk >= 1; chunk /= 2) {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (int start = 0; start < n; start += chunk) {
+        ebpf::Program cand = cur;
+        bool changed = false;
+        for (int i = start; i < std::min(n, start + chunk); ++i) {
+          if (cand.insns[size_t(i)].op != ebpf::Opcode::NOP) {
+            cand.insns[size_t(i)] = nop_insn();
+            changed = true;
+          }
+        }
+        if (!changed) continue;
+        if (disagrees(cand)) {
+          cur = std::move(cand);
+          progressed = true;
+        }
+      }
+      if (chunk > 1) break;  // one sweep per chunk size; fixpoint at 1
+    }
+  }
+
+  // Compact: strip the NOPs (retargets jumps); keep only if the compact
+  // form still reproduces — stripping changes indices, which occasionally
+  // matters (fault_pc, jump semantics at the boundary).
+  ebpf::Program stripped = cur.strip_nops();
+  if (stripped.insns.size() < cur.insns.size() && disagrees(stripped))
+    cur = std::move(stripped);
+  return cur;
+}
+
+}  // namespace k2::conformance

@@ -1,0 +1,144 @@
+// Cross-backend differential conformance harness.
+//
+// The correctness story has one reference semantics — the legacy switch
+// interpreter (`interp::run`), kept deliberately simple — and faster
+// executors that must be observably identical to it: the decode-once
+// computed-goto interpreter and the x86-64 template JIT, both behind
+// `jit::BackendRunner` exactly as `pipeline::ExecContext` holds them. The
+// harness drives generated programs (testgen::ProgramGen) and random
+// inputs through every configured backend and cross-checks the complete
+// RunResult bit-for-bit: fault code, faulting pc, r0, packet bytes, final
+// map contents, executed-instruction count, and (when tracing) the trace.
+//
+// On disagreement it delta-debugs the program down (NOP substitution, so
+// slot indices and jump targets stay put, then Program::strip_nops), and
+// emits a self-contained `.k2asm` repro (testgen/repro.h) that replays the
+// exact input. Used as a library by tests/ and exposed as `k2c fuzz`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interp/state.h"
+#include "jit/exec_backend.h"
+#include "testgen/program_gen.h"
+
+namespace k2::pipeline {
+struct ExecContext;
+}
+
+namespace k2::conformance {
+
+struct HarnessConfig {
+  testgen::GenConfig gen;
+  uint64_t iters = 1000;       // programs to generate
+  int inputs_per_program = 5;  // fresh inputs per program
+  int passes = 2;              // re-run passes over a prepared program
+  std::vector<jit::ExecBackend> backends = {jit::ExecBackend::FAST_INTERP,
+                                            jit::ExecBackend::JIT};
+  // Vary RunOptions occasionally (tiny max_insns, record_trace) so the
+  // step-limit and trace paths are compared too.
+  bool vary_run_options = true;
+  // Typed programs are constructed never to fault; a fault under default
+  // run options is reported as an oracle violation of the generator.
+  bool typed_fault_oracle = true;
+  // Minimize disagreeing programs before reporting them.
+  bool shrink = true;
+  // Execution budget for the shrinker (re-runs across all mismatches).
+  uint64_t max_shrink_execs = 4000;
+  // Stop after this many mismatches (each is shrunk; one is usually all
+  // a human needs, CI keeps a couple for context).
+  int max_mismatches = 4;
+};
+
+struct Mismatch {
+  std::string backend;  // "fast" / "jit" / "oracle:typed-fault" / ...
+  std::string detail;   // first differing RunResult field, both values
+  ebpf::Program program;
+  ebpf::Program shrunk;  // == program when shrinking is off or failed
+  interp::InputSpec input;
+  interp::RunOptions opt;
+  std::string repro;  // k2-repro/v1 text of the shrunk program
+};
+
+struct Report {
+  uint64_t programs = 0;
+  uint64_t typed_programs = 0;
+  uint64_t wild_programs = 0;
+  uint64_t pairs = 0;    // reference-vs-backend result comparisons
+  uint64_t clean = 0;    // reference executions with no fault
+  uint64_t faulted = 0;  // reference executions that faulted
+  uint64_t jit_native = 0;            // programs the JIT ran natively
+  uint64_t jit_bailout_programs = 0;  // programs that fell back
+  uint64_t gen_rejects = 0;   // typed candidates the safety checker refused
+  uint64_t shrink_execs = 0;  // executions spent minimizing
+  std::vector<Mismatch> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+  std::string summary() const;  // one-line human summary
+};
+
+// Empty when the results are observably identical; otherwise a description
+// of the first differing field with both values.
+std::string diff_results(const interp::RunResult& want,
+                         const interp::RunResult& got, bool compare_trace);
+
+class DifferentialHarness {
+ public:
+  explicit DifferentialHarness(const HarnessConfig& cfg);
+  ~DifferentialHarness();
+
+  // Generates cfg.iters programs and differentially checks each; stops
+  // early after cfg.max_mismatches disagreements.
+  Report run();
+
+  // Incremental-path variant (one program, `iters` single-instruction
+  // mutations): every mutation is applied three ways — incremental
+  // prepare(touched) on a long-lived runner, full invalidate()+prepare()
+  // on a second runner, and the reference interpreter — and all three
+  // must agree. Covers DecodedProgram::patch and JIT re-translation
+  // against full re-decode/re-translate, with occasional rollbacks.
+  Report run_incremental(uint64_t iters);
+
+  // Differentially checks one program (library entry for tests). Appends
+  // to `rep`.
+  void check_program(const ebpf::Program& prog, bool typed, Report& rep);
+
+  // Replays one exact (program, input, options) capture — e.g. a loaded
+  // .k2asm repro — across the configured backends.
+  Report replay(const ebpf::Program& prog, const interp::InputSpec& in,
+                const interp::RunOptions& opt);
+
+  testgen::ProgramGen& gen() { return gen_; }
+
+ private:
+  interp::RunOptions next_run_options();
+  const interp::RunResult& run_reference(const ebpf::Program& prog,
+                                         const interp::InputSpec& in,
+                                         const interp::RunOptions& opt);
+  void record_mismatch(jit::ExecBackend be, const std::string& detail,
+                       const ebpf::Program& prog,
+                       const interp::InputSpec& in,
+                       const interp::RunOptions& opt, Report& rep);
+  // Oracle violations (no backend to minimize against).
+  void record_mismatch_named(const std::string& name,
+                             const std::string& detail,
+                             const ebpf::Program& prog,
+                             const interp::InputSpec& in,
+                             const interp::RunOptions& opt, Report& rep);
+  ebpf::Program shrink_program(const ebpf::Program& prog,
+                               const interp::InputSpec& in,
+                               const interp::RunOptions& opt,
+                               jit::ExecBackend be, Report& rep);
+
+  HarnessConfig cfg_;
+  testgen::ProgramGen gen_;
+  interp::Machine ref_machine_;
+  interp::RunResult ref_result_;
+  // One ExecContext per configured backend, exactly the shape the
+  // evaluation pipeline uses (heap-held: ExecContext is move-averse).
+  std::vector<std::unique_ptr<pipeline::ExecContext>> ctxs_;
+};
+
+}  // namespace k2::conformance

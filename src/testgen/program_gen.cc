@@ -1,0 +1,818 @@
+#include "testgen/program_gen.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "ebpf/helpers_def.h"
+#include "safety/safety.h"
+
+namespace k2::testgen {
+
+namespace {
+
+using ebpf::AluOp;
+using ebpf::Insn;
+using ebpf::JmpCond;
+using ebpf::MapDef;
+using ebpf::MapKind;
+using ebpf::Opcode;
+using ebpf::ProgType;
+
+// The assembler's immediate canonicalization: non-LDDW immediates are 32
+// bits on the wire and sign-extended at use; generating them pre-extended
+// makes every generated program round-trip bit-exactly through
+// disassemble/assemble.
+int64_t canon_imm(Opcode op, int64_t imm) {
+  if (op == Opcode::LDDW || op == Opcode::LDMAPFD) return imm;
+  return static_cast<int64_t>(static_cast<int32_t>(imm));
+}
+
+Insn make(Opcode op, uint8_t dst = 0, uint8_t src = 0, int16_t off = 0,
+          int64_t imm = 0) {
+  Insn i;
+  i.op = op;
+  i.dst = dst;
+  i.src = src;
+  i.off = off;
+  i.imm = canon_imm(op, imm);
+  return i;
+}
+
+std::vector<MapDef> random_maps(std::mt19937_64& rng) {
+  MapDef hash;
+  hash.name = "h";
+  hash.kind = MapKind::HASH;
+  hash.max_entries = 8;
+  MapDef arr;
+  arr.name = "a";
+  arr.kind = MapKind::ARRAY;
+  arr.max_entries = 8;
+  switch (rng() % 4) {
+    case 0: return {hash};
+    case 1: return {arr, hash, arr};
+    default: return {hash, arr};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Typed generation: a small abstract machine mirroring the safety checker's
+// register-type lattice. Every pattern leaves the tracked state consistent
+// with what analysis::infer_types will conclude, so the emitted program
+// passes the §6 static checks by construction.
+// ---------------------------------------------------------------------------
+
+class TypedBuilder {
+ public:
+  TypedBuilder(const GenConfig& cfg, std::mt19937_64& rng)
+      : cfg_(cfg), rng_(rng) {}
+
+  ebpf::Program build() {
+    prog_ = ebpf::Program{};
+    prog_.maps = random_maps(rng_);
+    switch (rng_() % 4) {
+      case 0: prog_.type = ProgType::SOCKET_FILTER; break;
+      case 1: prog_.type = ProgType::TRACEPOINT; break;
+      default: prog_.type = ProgType::XDP; break;
+    }
+    reg_.fill(K::UNINIT);
+    stack_init_ = 0;
+    pkt_reg_ = pkt_end_reg_ = -1;
+    pkt_verified_ = 0;
+    exit_jumps_.clear();
+
+    // Prologue: preserve the context pointer across helper calls (CALL
+    // clobbers r1..r5).
+    emit(make(Opcode::MOV64_REG, 6, 1));
+    reg_[1] = K::CTX;  // still ctx until the first call
+    reg_[6] = K::CTX;
+
+    const int lo = std::max(2, cfg_.min_insns);
+    const int hi = std::max(lo, cfg_.max_insns);
+    const int target = lo + int(rng_() % uint64_t(hi - lo + 1));
+    struct WeightedPattern {
+      int weight;
+      void (TypedBuilder::*fn)();
+    };
+    const WeightedPattern table[] = {
+        {cfg_.w_alu, &TypedBuilder::pat_alu},
+        {cfg_.w_branch, &TypedBuilder::pat_branch},
+        {cfg_.w_mem, &TypedBuilder::pat_mem},
+        {cfg_.w_helper, &TypedBuilder::pat_helper},
+        {cfg_.w_map, &TypedBuilder::pat_map},
+    };
+    int total = 0;
+    for (const auto& w : table) total += std::max(0, w.weight);
+    while (int(prog_.insns.size()) < target) {
+      if (total == 0) {
+        pat_alu();  // all weights zero: degenerate but still well-typed
+        continue;
+      }
+      int pick = int(rng_() % uint64_t(total));
+      for (const auto& w : table) {
+        pick -= std::max(0, w.weight);
+        if (pick < 0) {
+          (this->*w.fn)();
+          break;
+        }
+      }
+    }
+
+    // Shared epilogue: every guard-to-exit jump lands here; r0 is written
+    // on both the fall-through and jump paths, so it is an initialized
+    // scalar at EXIT on every path (no pointer leak, no uninit read).
+    const int done = int(prog_.insns.size());
+    emit(make(Opcode::MOV64_IMM, 0, 0, 0, int64_t(rng_() % 5)));
+    emit(make(Opcode::EXIT));
+    for (size_t idx : exit_jumps_)
+      prog_.insns[idx].off = int16_t(done - int(idx) - 1);
+    return prog_;
+  }
+
+ private:
+  // Conservative register kinds — exactly the distinctions the patterns
+  // need. DIRTY marks a live pointer-ish value we must not read again
+  // (still overwritable: 64-bit MOV is legal on any pointer).
+  enum class K : uint8_t { UNINIT, SCALAR, CTX, PKT, PKT_END, DIRTY };
+
+  void emit(const Insn& i) { prog_.insns.push_back(i); }
+
+  void set_reg(int r, K k) {
+    if (r == pkt_reg_ && k != K::PKT) {
+      pkt_reg_ = -1;
+      pkt_verified_ = 0;
+    }
+    if (r == pkt_end_reg_ && k != K::PKT_END) pkt_end_reg_ = -1;
+    reg_[size_t(r)] = k;
+  }
+
+  int64_t small_imm() {
+    static const int64_t vals[] = {0, 1, 2, 7, -1, 8, 14, 64, 255, 0x1000,
+                                   -4096, 0x7fffffff};
+    return vals[rng_() % (sizeof(vals) / sizeof(vals[0]))];
+  }
+
+  // Emits `mov64 r, imm` unless r is already a scalar.
+  void ensure_scalar(int r) {
+    if (reg_[size_t(r)] == K::SCALAR) return;
+    emit(make(Opcode::MOV64_IMM, uint8_t(r), 0, 0, small_imm()));
+    set_reg(r, K::SCALAR);
+  }
+
+  // A random scalar register (materializing one when none exists).
+  // Excludes r6 (ctx copy) and r10.
+  int pick_scalar() {
+    std::array<int, 10> cand{};
+    int n = 0;
+    for (int r = 0; r <= 9; ++r)
+      if (r != 6 && reg_[size_t(r)] == K::SCALAR) cand[size_t(n++)] = r;
+    if (n > 0) return cand[rng_() % uint64_t(n)];
+    static const int pool[] = {0, 1, 2, 3, 4, 5, 7, 8, 9};
+    int r = pool[rng_() % 9];
+    ensure_scalar(r);
+    return r;
+  }
+
+  // A register the next pattern may freely overwrite (never r6/r10, and
+  // never the live packet-pointer pair).
+  int pick_overwritable(bool durable_only) {
+    static const int durable[] = {7, 8, 9};
+    static const int any[] = {0, 1, 2, 3, 4, 5, 7, 8, 9};
+    for (int tries = 0; tries < 8; ++tries) {
+      int r = durable_only ? durable[rng_() % 3] : any[rng_() % 9];
+      if (r == pkt_reg_ || r == pkt_end_reg_) continue;
+      return r;
+    }
+    return durable_only ? 7 : 0;
+  }
+
+  void clobber_call_regs() {
+    for (int r = 1; r <= 5; ++r) set_reg(r, K::UNINIT);
+  }
+
+  void mark_stack_init(int off, int w) {
+    for (int b = 0; b < w; ++b) stack_init_ |= 1ull << uint32_t(off + 64 + b);
+  }
+  bool stack_initialized(int off, int w) const {
+    for (int b = 0; b < w; ++b)
+      if (!(stack_init_ & (1ull << uint32_t(off + 64 + b)))) return false;
+    return true;
+  }
+
+  // Writes `imm32` words covering [r10+off, r10+off+w) — the helper-argument
+  // buffers (map keys, csum windows) are always built this way so solver-
+  // checked stack reads are covered by unconditional writes.
+  void fill_stack(int off, int w) {
+    for (int b = 0; b < w; b += 4)
+      emit(make(Opcode::STW, 10, 0, int16_t(off + b), small_imm()));
+    mark_stack_init(off, w);
+  }
+
+  // ---- Patterns ----------------------------------------------------------
+
+  void pat_alu() {
+    if (rng_() % 5 == 0) {
+      // Unary: neg / endian swap on a scalar.
+      int r = pick_scalar();
+      static const Opcode un[] = {Opcode::NEG64, Opcode::NEG32, Opcode::BE16,
+                                  Opcode::BE32,  Opcode::BE64,  Opcode::LE16,
+                                  Opcode::LE32,  Opcode::LE64};
+      emit(make(un[rng_() % 8], uint8_t(r)));
+      return;
+    }
+    if (rng_() % 6 == 0) {
+      // Fresh 64-bit constant (LDDW exercises the double-slot form).
+      int r = pick_overwritable(false);
+      emit(make(Opcode::LDDW, uint8_t(r), 0, 0, int64_t(rng_())));
+      set_reg(r, K::SCALAR);
+      return;
+    }
+    int dst = pick_scalar();
+    AluOp op = static_cast<AluOp>(rng_() % 12);
+    bool is64 = rng_() % 2;
+    if (rng_() % 2) {
+      emit(make(ebpf::compose_alu(op, is64, /*is_imm=*/true), uint8_t(dst), 0,
+                0, small_imm()));
+    } else {
+      int src = pick_scalar();
+      emit(make(ebpf::compose_alu(op, is64, false), uint8_t(dst),
+                uint8_t(src)));
+    }
+  }
+
+  void pat_branch() {
+    int x = pick_scalar();
+    JmpCond cond = static_cast<JmpCond>(rng_() % 11);
+    bool is_imm = rng_() % 2;
+    int y = is_imm ? 0 : pick_scalar();
+
+    if (rng_() % 3 == 0) {
+      // Guard-to-exit: jump straight to the shared epilogue.
+      exit_jumps_.push_back(prog_.insns.size());
+      emit(make(ebpf::compose_jmp(cond, is_imm), uint8_t(x), uint8_t(y), 0,
+                is_imm ? small_imm() : 0));
+      return;
+    }
+    if (rng_() % 4 == 0) {
+      // JA over NOPs (the stripped-on-output form rewrite rule 3 leaves
+      // behind); an all-NOP block may be unreachable.
+      int len = 1 + int(rng_() % 2);
+      emit(make(Opcode::JA, 0, 0, int16_t(len)));
+      for (int i = 0; i < len; ++i) emit(make(Opcode::NOP));
+      return;
+    }
+    // Forward skip over a benign block: the block only runs scalar ALU on
+    // registers that are scalars *before* the branch, so the type join at
+    // the merge point stays SCALAR on every register.
+    std::array<int, 10> scalars{};
+    int n = 0;
+    for (int r = 0; r <= 9; ++r)
+      if (r != 6 && reg_[size_t(r)] == K::SCALAR) scalars[size_t(n++)] = r;
+    if (n == 0) {
+      scalars[size_t(n++)] = pick_scalar();
+    }
+    int len = 1 + int(rng_() % 3);
+    emit(make(ebpf::compose_jmp(cond, is_imm), uint8_t(x), uint8_t(y),
+              int16_t(len), is_imm ? small_imm() : 0));
+    for (int i = 0; i < len; ++i) {
+      int dst = scalars[rng_() % uint64_t(n)];
+      AluOp op = static_cast<AluOp>(rng_() % 12);
+      bool is64 = rng_() % 2;
+      if (rng_() % 2) {
+        emit(make(ebpf::compose_alu(op, is64, true), uint8_t(dst), 0, 0,
+                  small_imm()));
+      } else {
+        int src = scalars[rng_() % uint64_t(n)];
+        emit(make(ebpf::compose_alu(op, is64, false), uint8_t(dst),
+                  uint8_t(src)));
+      }
+    }
+  }
+
+  void pat_mem() {
+    switch (rng_() % 4) {
+      case 0: stack_store(); break;
+      case 1: stack_load(); break;
+      case 2:
+        if (prog_.type != ProgType::TRACEPOINT) {
+          packet_access();
+          break;
+        }
+        [[fallthrough]];
+      default: ctx_load(); break;
+    }
+  }
+
+  void stack_store() {
+    int w = 1 << (rng_() % 4);
+    int off = -w * (1 + int(rng_() % uint64_t(64 / w)));  // aligned, in range
+    int variant = int(rng_() % 3);
+    if (variant == 2 && (w < 4 || !stack_initialized(off, w)))
+      variant = int(rng_() % 2);  // XADD reads memory: needs prior writes
+    if (variant == 0) {
+      static const Opcode st[] = {Opcode::STB, Opcode::STH, Opcode::STW,
+                                  Opcode::STDW};
+      emit(make(st[w == 1   ? 0
+                   : w == 2 ? 1
+                   : w == 4 ? 2
+                            : 3],
+                10, 0, int16_t(off), small_imm()));
+    } else if (variant == 1) {
+      int src = pick_scalar();
+      static const Opcode stx[] = {Opcode::STXB, Opcode::STXH, Opcode::STXW,
+                                   Opcode::STXDW};
+      emit(make(stx[w == 1   ? 0
+                    : w == 2 ? 1
+                    : w == 4 ? 2
+                             : 3],
+                10, uint8_t(src), int16_t(off)));
+    } else {
+      int src = pick_scalar();
+      emit(make(w == 4 ? Opcode::XADD32 : Opcode::XADD64, 10, uint8_t(src),
+                int16_t(off)));
+    }
+    mark_stack_init(off, w);
+  }
+
+  void stack_load() {
+    // Pick an initialized, aligned window; fall back to a store when the
+    // stack is still untouched.
+    for (int tries = 0; tries < 8; ++tries) {
+      int w = 1 << (rng_() % 4);
+      int off = -w * (1 + int(rng_() % uint64_t(64 / w)));
+      if (!stack_initialized(off, w)) continue;
+      static const Opcode ldx[] = {Opcode::LDXB, Opcode::LDXH, Opcode::LDXW,
+                                   Opcode::LDXDW};
+      int dst = pick_overwritable(false);
+      emit(make(ldx[w == 1   ? 0
+                    : w == 2 ? 1
+                    : w == 4 ? 2
+                             : 3],
+                uint8_t(dst), 10, int16_t(off)));
+      set_reg(dst, K::SCALAR);
+      return;
+    }
+    stack_store();
+  }
+
+  void ctx_load() {
+    // 1/2/4-byte context loads produce scalars under both hook families
+    // (only 8-byte loads at offsets 0/8 turn into packet pointers).
+    int w = 1 << (rng_() % 3);
+    int slots = 16 / w;
+    int off = w * int(rng_() % uint64_t(slots));
+    static const Opcode ldx[] = {Opcode::LDXB, Opcode::LDXH, Opcode::LDXW};
+    int dst = pick_overwritable(false);
+    emit(make(ldx[w == 1 ? 0 : w == 2 ? 1 : 2], uint8_t(dst), 6,
+              int16_t(off)));
+    set_reg(dst, K::SCALAR);
+  }
+
+  void packet_access() {
+    if (pkt_reg_ < 0) {
+      // The bounds-guard idiom every real XDP program opens with:
+      //   rA = ctx->data; rB = ctx->data_end;
+      //   if (rA + need > rB) goto out;
+      // After the guard, accesses within [rA, rA+need) are provably in
+      // bounds on the fall-through path.
+      int ra = pick_overwritable(/*durable_only=*/true);
+      int rb;
+      do {
+        rb = pick_overwritable(true);
+      } while (rb == ra);
+      int need = 8 << (rng_() % 3);  // 8 / 16 / 32 verified bytes
+      int rt = 1 + int(rng_() % 5);  // volatile scratch r1..r5
+      emit(make(Opcode::LDXDW, uint8_t(ra), 6, 0));
+      emit(make(Opcode::LDXDW, uint8_t(rb), 6, 8));
+      emit(make(Opcode::MOV64_REG, uint8_t(rt), uint8_t(ra)));
+      emit(make(Opcode::ADD64_IMM, uint8_t(rt), 0, 0, need));
+      exit_jumps_.push_back(prog_.insns.size());
+      emit(make(Opcode::JGT_REG, uint8_t(rt), uint8_t(rb), 0));
+      reg_[size_t(ra)] = K::PKT;
+      reg_[size_t(rb)] = K::PKT_END;
+      reg_[size_t(rt)] = K::DIRTY;
+      pkt_reg_ = ra;
+      pkt_end_reg_ = rb;
+      pkt_verified_ = need;
+      return;
+    }
+    int w = 1 << (rng_() % 4);
+    int off = w * int(rng_() % uint64_t(pkt_verified_ / w));
+    switch (rng_() % 4) {
+      case 0: {
+        int dst = pick_overwritable(false);
+        static const Opcode ldx[] = {Opcode::LDXB, Opcode::LDXH, Opcode::LDXW,
+                                     Opcode::LDXDW};
+        emit(make(ldx[w == 1   ? 0
+                      : w == 2 ? 1
+                      : w == 4 ? 2
+                               : 3],
+                  uint8_t(dst), uint8_t(pkt_reg_), int16_t(off)));
+        set_reg(dst, K::SCALAR);
+        break;
+      }
+      case 1: {
+        int src = pick_scalar();
+        static const Opcode stx[] = {Opcode::STXB, Opcode::STXH, Opcode::STXW,
+                                     Opcode::STXDW};
+        emit(make(stx[w == 1   ? 0
+                      : w == 2 ? 1
+                      : w == 4 ? 2
+                               : 3],
+                  uint8_t(pkt_reg_), uint8_t(src), int16_t(off)));
+        break;
+      }
+      case 2: {
+        static const Opcode st[] = {Opcode::STB, Opcode::STH, Opcode::STW,
+                                    Opcode::STDW};
+        emit(make(st[w == 1   ? 0
+                     : w == 2 ? 1
+                     : w == 4 ? 2
+                              : 3],
+                  uint8_t(pkt_reg_), 0, int16_t(off), small_imm()));
+        break;
+      }
+      default: {
+        int src = pick_scalar();
+        emit(make(w >= 8 ? Opcode::XADD64 : Opcode::XADD32,
+                  uint8_t(pkt_reg_), uint8_t(src),
+                  int16_t(w >= 8 ? off & ~7 : off & ~3)));
+        break;
+      }
+    }
+  }
+
+  void pat_helper() {
+    switch (rng_() % 4) {
+      case 0: {
+        static const int64_t ids[] = {ebpf::HELPER_KTIME_GET_NS,
+                                      ebpf::HELPER_GET_PRANDOM_U32,
+                                      ebpf::HELPER_GET_SMP_PROC_ID};
+        emit(make(Opcode::CALL, 0, 0, 0, ids[rng_() % 3]));
+        break;
+      }
+      case 1: {
+        // bpf_csum_diff over two stack windows — the helper deliberately
+        // outside the JIT support set, so typed programs keep the
+        // per-program bailout ladder exercised. Sizes are 4-multiples
+        // <= 512 and both windows are written first: no runtime fault.
+        int from = 4 << (rng_() % 2);
+        int to = 4 << (rng_() % 2);
+        fill_stack(-8, from);
+        fill_stack(-16, to);
+        emit(make(Opcode::MOV64_REG, 1, 10));
+        emit(make(Opcode::ADD64_IMM, 1, 0, 0, -8));
+        emit(make(Opcode::MOV64_IMM, 2, 0, 0, from));
+        emit(make(Opcode::MOV64_REG, 3, 10));
+        emit(make(Opcode::ADD64_IMM, 3, 0, 0, -16));
+        emit(make(Opcode::MOV64_IMM, 4, 0, 0, to));
+        emit(make(Opcode::MOV64_IMM, 5, 0, 0, int64_t(rng_() % 0xffff)));
+        emit(make(Opcode::CALL, 0, 0, 0, ebpf::HELPER_CSUM_DIFF));
+        break;
+      }
+      case 2: {
+        if (prog_.type != ProgType::XDP) {
+          pat_helper_simple();
+          return;
+        }
+        // bpf_xdp_adjust_head moves data/data_end: every packet pointer
+        // (and its verified window) is dead afterwards, mirroring the
+        // type-inference invalidation.
+        static const int64_t deltas[] = {0, 8, 16, -8};
+        emit(make(Opcode::MOV64_REG, 1, 6));
+        emit(make(Opcode::MOV64_IMM, 2, 0, 0, deltas[rng_() % 4]));
+        emit(make(Opcode::CALL, 0, 0, 0, ebpf::HELPER_XDP_ADJUST_HEAD));
+        if (pkt_reg_ >= 0) set_reg(pkt_reg_, K::DIRTY);
+        if (pkt_end_reg_ >= 0) set_reg(pkt_end_reg_, K::DIRTY);
+        break;
+      }
+      default:
+        pat_helper_simple();
+        return;
+    }
+    clobber_call_regs();
+    set_reg(0, K::SCALAR);
+  }
+
+  void pat_helper_simple() {
+    static const int64_t ids[] = {ebpf::HELPER_KTIME_GET_NS,
+                                  ebpf::HELPER_GET_PRANDOM_U32,
+                                  ebpf::HELPER_GET_SMP_PROC_ID};
+    emit(make(Opcode::CALL, 0, 0, 0, ids[rng_() % 3]));
+    clobber_call_regs();
+    set_reg(0, K::SCALAR);
+  }
+
+  // Stack key immediates stay small so next_input()'s map pre-population
+  // can produce both hits and misses.
+  int64_t key_imm() { return int64_t(rng_() % 10); }
+
+  int pick_fd() { return int(rng_() % uint64_t(prog_.maps.size())); }
+
+  void pat_map() {
+    int fd = pick_fd();
+    int koff = -4 * (1 + int(rng_() % 16));
+    switch (rng_() % 4) {
+      case 0: {
+        // Null-checked lookup, then 1-2 dereferences of the proven value.
+        int rv = pick_overwritable(/*durable_only=*/true);
+        ensure_scalar(rv);
+        emit(make(Opcode::STW, 10, 0, int16_t(koff), key_imm()));
+        mark_stack_init(koff, 4);
+        emit(make(Opcode::LDMAPFD, 1, 0, 0, fd));
+        emit(make(Opcode::MOV64_REG, 2, 10));
+        emit(make(Opcode::ADD64_IMM, 2, 0, 0, koff));
+        emit(make(Opcode::CALL, 0, 0, 0, ebpf::HELPER_MAP_LOOKUP));
+        clobber_call_regs();
+        // Build the use-block first so the null-check knows how far to
+        // jump; value_size is 8, so offsets stay within [0, 8).
+        std::vector<Insn> uses;
+        int n_uses = 1 + int(rng_() % 2);
+        for (int u = 0; u < n_uses; ++u) {
+          int w = 1 << (rng_() % 4);
+          int off = w * int(rng_() % uint64_t(8 / w));
+          switch (rng_() % 4) {
+            case 0: {
+              static const Opcode ldx[] = {Opcode::LDXB, Opcode::LDXH,
+                                           Opcode::LDXW, Opcode::LDXDW};
+              uses.push_back(make(ldx[w == 1   ? 0
+                                      : w == 2 ? 1
+                                      : w == 4 ? 2
+                                               : 3],
+                                  uint8_t(rv), 0, int16_t(off)));
+              break;
+            }
+            case 1: {
+              static const Opcode stx[] = {Opcode::STXB, Opcode::STXH,
+                                           Opcode::STXW, Opcode::STXDW};
+              uses.push_back(make(stx[w == 1   ? 0
+                                      : w == 2 ? 1
+                                      : w == 4 ? 2
+                                               : 3],
+                                  0, uint8_t(rv), int16_t(off)));
+              break;
+            }
+            case 2: {
+              static const Opcode st[] = {Opcode::STB, Opcode::STH,
+                                          Opcode::STW, Opcode::STDW};
+              uses.push_back(make(st[w == 1   ? 0
+                                     : w == 2 ? 1
+                                     : w == 4 ? 2
+                                              : 3],
+                                  0, 0, int16_t(off), small_imm()));
+              break;
+            }
+            default:
+              uses.push_back(make(w >= 8 ? Opcode::XADD64 : Opcode::XADD32,
+                                  0, uint8_t(rv),
+                                  int16_t(w >= 8 ? 0 : off & ~3)));
+              break;
+          }
+        }
+        emit(make(Opcode::JEQ_IMM, 0, 0, int16_t(uses.size()), 0));
+        for (const Insn& u : uses) emit(u);
+        // Merge point: r0 joins {map value, NULL}; overwrite it so the
+        // tracked state (and the type join) is a plain scalar again.
+        emit(make(Opcode::MOV64_IMM, 0, 0, 0, 0));
+        set_reg(0, K::SCALAR);
+        break;
+      }
+      case 1: {
+        int voff = -8 * (1 + int(rng_() % 8));
+        emit(make(Opcode::STW, 10, 0, int16_t(koff), key_imm()));
+        mark_stack_init(koff, 4);
+        fill_stack(voff, 8);
+        emit(make(Opcode::LDMAPFD, 1, 0, 0, fd));
+        emit(make(Opcode::MOV64_REG, 2, 10));
+        emit(make(Opcode::ADD64_IMM, 2, 0, 0, koff));
+        emit(make(Opcode::MOV64_REG, 3, 10));
+        emit(make(Opcode::ADD64_IMM, 3, 0, 0, voff));
+        emit(make(Opcode::MOV64_IMM, 4, 0, 0, 0));
+        emit(make(Opcode::CALL, 0, 0, 0, ebpf::HELPER_MAP_UPDATE));
+        clobber_call_regs();
+        set_reg(0, K::SCALAR);
+        break;
+      }
+      case 2: {
+        emit(make(Opcode::STW, 10, 0, int16_t(koff), key_imm()));
+        mark_stack_init(koff, 4);
+        emit(make(Opcode::LDMAPFD, 1, 0, 0, fd));
+        emit(make(Opcode::MOV64_REG, 2, 10));
+        emit(make(Opcode::ADD64_IMM, 2, 0, 0, koff));
+        emit(make(Opcode::CALL, 0, 0, 0, ebpf::HELPER_MAP_DELETE));
+        clobber_call_regs();
+        set_reg(0, K::SCALAR);
+        break;
+      }
+      default: {
+        emit(make(Opcode::LDMAPFD, 1, 0, 0, fd));
+        emit(make(Opcode::MOV64_IMM, 2, 0, 0, int64_t(rng_() % 12)));
+        emit(make(Opcode::MOV64_IMM, 3, 0, 0, int64_t(rng_() % 3)));
+        emit(make(Opcode::CALL, 0, 0, 0, ebpf::HELPER_REDIRECT_MAP));
+        clobber_call_regs();
+        set_reg(0, K::SCALAR);
+        break;
+      }
+    }
+  }
+
+  const GenConfig& cfg_;
+  std::mt19937_64& rng_;
+  ebpf::Program prog_;
+  std::array<K, 11> reg_{};
+  uint64_t stack_init_ = 0;  // byte b of [r10-64, r10) written => bit b set
+  int pkt_reg_ = -1;
+  int pkt_end_reg_ = -1;
+  int pkt_verified_ = 0;            // provably-in-bounds packet bytes
+  std::vector<size_t> exit_jumps_;  // indices jumping to the epilogue
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Wild generation — the legacy fuzz-loop distribution, canonicalized.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Zeroes the fields an opcode does not use. No executor or check reads
+// them, but the disassembler cannot print them either — sanitized programs
+// round-trip bit-exactly through disassemble/assemble, which is the
+// property the generated-program roundtrip test asserts.
+void sanitize_unused_fields(Insn& insn) {
+  ebpf::AluShape a;
+  ebpf::JmpShape j;
+  if (ebpf::decompose_alu(insn.op, &a)) {
+    insn.off = 0;
+    if (a.is_imm)
+      insn.src = 0;
+    else
+      insn.imm = 0;
+    return;
+  }
+  if (ebpf::decompose_jmp(insn.op, &j)) {
+    if (j.is_imm)
+      insn.src = 0;
+    else
+      insn.imm = 0;
+    return;
+  }
+  switch (insn.op) {
+    case Opcode::NEG64:
+    case Opcode::NEG32:
+    case Opcode::BE16:
+    case Opcode::BE32:
+    case Opcode::BE64:
+    case Opcode::LE16:
+    case Opcode::LE32:
+    case Opcode::LE64:
+      insn.src = 0;
+      insn.off = 0;
+      insn.imm = 0;
+      break;
+    case Opcode::JA:
+      insn.dst = 0;
+      insn.src = 0;
+      insn.imm = 0;
+      break;
+    case Opcode::LDXB:
+    case Opcode::LDXH:
+    case Opcode::LDXW:
+    case Opcode::LDXDW:
+      insn.imm = 0;
+      break;
+    case Opcode::STXB:
+    case Opcode::STXH:
+    case Opcode::STXW:
+    case Opcode::STXDW:
+    case Opcode::XADD32:
+    case Opcode::XADD64:
+      insn.imm = 0;
+      break;
+    case Opcode::STB:
+    case Opcode::STH:
+    case Opcode::STW:
+    case Opcode::STDW:
+      insn.src = 0;
+      break;
+    case Opcode::CALL:
+      insn.dst = 0;
+      insn.src = 0;
+      insn.off = 0;
+      break;
+    case Opcode::EXIT:
+    case Opcode::NOP:
+      insn.dst = 0;
+      insn.src = 0;
+      insn.off = 0;
+      insn.imm = 0;
+      break;
+    case Opcode::LDDW:
+    case Opcode::LDMAPFD:
+      insn.src = 0;
+      insn.off = 0;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+ebpf::Insn ProgramGen::wild_insn(int program_len) {
+  const int n = program_len;
+  static const int64_t kImms[] = {0,   1,      2,
+                                  -1,  8,      14,
+                                  64,  255,    0x1000,
+                                  int64_t(0x80000000ull), -4096};
+  static const int64_t kHelpers[] = {
+      ebpf::HELPER_MAP_LOOKUP,      ebpf::HELPER_MAP_UPDATE,
+      ebpf::HELPER_MAP_DELETE,      ebpf::HELPER_KTIME_GET_NS,
+      ebpf::HELPER_GET_PRANDOM_U32, ebpf::HELPER_GET_SMP_PROC_ID,
+      ebpf::HELPER_CSUM_DIFF,       ebpf::HELPER_XDP_ADJUST_HEAD,
+      ebpf::HELPER_REDIRECT_MAP,    9999 /* unknown id */};
+  Insn insn;
+  insn.op = static_cast<Opcode>(rng_() % uint64_t(Opcode::NUM_OPCODES));
+  insn.dst = uint8_t(rng_() % 11);
+  insn.src = uint8_t(rng_() % 11);
+  switch (rng_() % 4) {
+    case 0: insn.off = int16_t(rng_() % 16); break;
+    case 1: insn.off = int16_t(-(int(rng_() % 24))); break;
+    case 2: insn.off = int16_t(rng_() % uint64_t(n + 2)); break;
+    default: insn.off = int16_t(int(rng_() % 64) - 16); break;
+  }
+  insn.imm = kImms[rng_() % (sizeof(kImms) / sizeof(kImms[0]))];
+  if (insn.op == Opcode::CALL)
+    insn.imm = kHelpers[rng_() % (sizeof(kHelpers) / sizeof(kHelpers[0]))];
+  if (insn.op == Opcode::LDMAPFD) insn.imm = int64_t(rng_() % 3);  // 2: bad
+  if (insn.op == Opcode::LDDW && (rng_() % 2))
+    insn.imm = int64_t(rng_());  // full 64-bit immediates
+  sanitize_unused_fields(insn);
+  insn.imm = canon_imm(insn.op, insn.imm);
+  return insn;
+}
+
+ebpf::Program ProgramGen::gen_wild() {
+  ebpf::Program p;
+  p.type = (rng_() % 3) ? ProgType::XDP : ProgType::TRACEPOINT;
+  p.maps = random_maps(rng_);
+  const int lo = std::max(1, cfg_.min_insns);
+  const int hi = std::max(lo, cfg_.max_insns);
+  int n = lo + int(rng_() % uint64_t(hi - lo + 1));
+  for (int i = 0; i < n; ++i) p.insns.push_back(wild_insn(n));
+  if (rng_() % 2) p.insns.push_back(make(Opcode::EXIT));
+  return p;
+}
+
+ebpf::Program ProgramGen::gen_typed() {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    TypedBuilder builder(cfg_, rng_);
+    ebpf::Program p = builder.build();
+    if (!cfg_.validate_typed) return p;
+    safety::SafetyOptions opts;
+    opts.run_solver_checks = cfg_.solver_validate;
+    if (safety::check_safety(p, opts).safe) return p;
+    rejects_++;
+  }
+  // Unreachable by construction; keep the sequence going regardless.
+  ebpf::Program p;
+  p.type = ProgType::XDP;
+  p.insns = {make(Opcode::MOV64_IMM, 0, 0, 0, 2), make(Opcode::EXIT)};
+  return p;
+}
+
+ebpf::Program ProgramGen::next(bool* out_typed) {
+  bool typed = int(rng_() % 100) < cfg_.typed_percent;
+  if (out_typed) *out_typed = typed;
+  return typed ? gen_typed() : gen_wild();
+}
+
+interp::InputSpec ProgramGen::next_input(const ebpf::Program& p) {
+  interp::InputSpec in;
+  in.packet.resize(rng_() % 65);
+  for (uint8_t& b : in.packet) b = uint8_t(rng_());
+  in.prandom_seed = rng_();
+  in.ktime_base = rng_() % 2 ? 0 : rng_();
+  in.cpu_id = uint32_t(rng_() % 4);
+  in.ctx_args = {rng_(), rng_()};
+  for (int fd = 0; fd < int(p.maps.size()); ++fd) {
+    int entries = int(rng_() % 3);
+    for (int e = 0; e < entries; ++e) {
+      interp::MapEntryInit init;
+      init.key.resize(p.maps[size_t(fd)].key_size);
+      if (rng_() % 2) {
+        // Little-endian small key — the form typed programs' stw key
+        // slots produce, so lookups/deletes genuinely hit.
+        if (!init.key.empty()) init.key[0] = uint8_t(rng_() % 10);
+      } else {
+        for (uint8_t& b : init.key) b = uint8_t(rng_() % 10);
+      }
+      init.value.resize(p.maps[size_t(fd)].value_size);
+      for (uint8_t& b : init.value) b = uint8_t(rng_());
+      in.maps[fd].push_back(init);
+    }
+  }
+  return in;
+}
+
+}  // namespace k2::testgen

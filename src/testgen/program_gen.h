@@ -1,0 +1,103 @@
+// Seedable random BPF program generator for the conformance harness
+// (ROADMAP open item 4: an auto-generated stress corpus of random
+// well-typed programs, validated by the safety checker).
+//
+// Two generation modes, mixed by GenConfig::typed_percent:
+//
+//  * "wild" programs — unconstrained instruction soup (the distribution the
+//    old hand-rolled fuzz loops in tests/jit_backend_test.cc and
+//    tests/decoded_interp_test.cc used): register indices stay in [0, 10]
+//    but opcodes, offsets, immediates, helper ids and jump targets are free
+//    to be garbage, so a large fraction of programs fault — and every
+//    executor must fault identically. Immediates are emitted in the
+//    assembler's canonical form (non-LDDW/LDMAPFD values sign-extended to
+//    32 bits) so wild programs round-trip bit-exactly through
+//    disassemble/assemble.
+//
+//  * "typed" programs — structure-aware generation that tracks the safety
+//    checker's register-type state machine while emitting weighted
+//    ALU/branch/mem/helper/map patterns: forward-only control flow ending
+//    in a shared epilogue, stack accesses aligned and write-before-read,
+//    packet accesses behind the data/data_end guard idiom, map lookups
+//    null-checked before dereference, helper calls with correctly typed
+//    arguments. Construction guarantees the §6 properties; each program is
+//    additionally validated through safety::check_safety (static checks by
+//    default; GenConfig::solver_validate adds the Z3-backed packet-bounds
+//    and stack-read proofs) and regenerated on the rare rejection. Typed
+//    programs never fault at runtime — the harness uses that as an oracle.
+//
+// Determinism: one ProgramGen is a pure function of its GenConfig; the
+// same seed yields the same program and input sequence on every platform.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "ebpf/program.h"
+#include "interp/state.h"
+
+namespace k2::testgen {
+
+struct GenConfig {
+  uint64_t seed = 1;
+
+  // Typed-mode body budget (instructions before the epilogue); wild
+  // programs draw their length from the same range.
+  int min_insns = 8;
+  int max_insns = 40;
+
+  // Typed-mode pattern weights (relative; 0 disables the class).
+  int w_alu = 6;     // scalar ALU / endian / neg
+  int w_branch = 3;  // forward skips and guard-to-exit jumps
+  int w_mem = 4;     // stack, packet (guarded) and ctx accesses
+  int w_helper = 2;  // ktime/prandom/smp_id/csum_diff/adjust_head
+  int w_map = 3;     // lookup (null-checked) / update / delete / redirect
+
+  // Percentage of typed programs; the rest are wild. 0 = all wild,
+  // 100 = all typed.
+  int typed_percent = 60;
+
+  // Validate typed programs through safety::check_safety before returning
+  // them (static checks; regenerate on rejection).
+  bool validate_typed = true;
+  // Also run the solver-backed safety checks (packet bounds, stack
+  // read-before-write) during validation. Expensive; off by default since
+  // typed construction already guarantees these properties.
+  bool solver_validate = false;
+};
+
+class ProgramGen {
+ public:
+  explicit ProgramGen(const GenConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  // Next program in the sequence. `out_typed` (optional) reports whether
+  // the typed generator produced it.
+  ebpf::Program next(bool* out_typed = nullptr);
+
+  // A random input for `p`: packet bytes, map pre-state (keyed so typed
+  // programs' stack-immediate lookups get both hits and misses), helper
+  // seeds and ctx scalars.
+  interp::InputSpec next_input(const ebpf::Program& p);
+
+  // One wild-mode instruction for a program of length `program_len` (jump
+  // offsets are drawn relative to it). The incremental-path fuzz uses this
+  // as its mutation source: replacing one instruction keeps the slot count
+  // unchanged, which is the DecodedProgram::patch contract.
+  ebpf::Insn wild_insn(int program_len);
+
+  // Typed candidates the safety checker rejected (each was regenerated;
+  // construction should keep this at 0 — the harness reports it).
+  uint64_t rejects() const { return rejects_; }
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  ebpf::Program gen_wild();
+  ebpf::Program gen_typed();
+
+  GenConfig cfg_;
+  std::mt19937_64 rng_;
+  uint64_t rejects_ = 0;
+};
+
+}  // namespace k2::testgen

@@ -1,0 +1,209 @@
+#include "testgen/repro.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "ebpf/assembler.h"
+
+namespace k2::testgen {
+
+namespace {
+
+const char* prog_type_name(ebpf::ProgType t) {
+  switch (t) {
+    case ebpf::ProgType::SOCKET_FILTER: return "socket";
+    case ebpf::ProgType::TRACEPOINT: return "trace";
+    default: return "xdp";
+  }
+}
+
+ebpf::ProgType prog_type_from(const std::string& s) {
+  if (s == "xdp") return ebpf::ProgType::XDP;
+  if (s == "socket") return ebpf::ProgType::SOCKET_FILTER;
+  if (s == "trace") return ebpf::ProgType::TRACEPOINT;
+  throw std::runtime_error("k2-repro: unknown program type '" + s + "'");
+}
+
+const char* map_kind_name(ebpf::MapKind k) {
+  switch (k) {
+    case ebpf::MapKind::ARRAY: return "array";
+    case ebpf::MapKind::DEVMAP: return "devmap";
+    default: return "hash";
+  }
+}
+
+ebpf::MapKind map_kind_from(const std::string& s) {
+  if (s == "hash") return ebpf::MapKind::HASH;
+  if (s == "array") return ebpf::MapKind::ARRAY;
+  if (s == "devmap") return ebpf::MapKind::DEVMAP;
+  throw std::runtime_error("k2-repro: unknown map kind '" + s + "'");
+}
+
+std::string hex(const std::vector<uint8_t>& bytes) {
+  if (bytes.empty()) return "-";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out += digits[b >> 4];
+    out += digits[b & 0xf];
+  }
+  return out;
+}
+
+std::vector<uint8_t> unhex(const std::string& s) {
+  if (s == "-") return {};
+  if (s.size() % 2 != 0)
+    throw std::runtime_error("k2-repro: odd-length hex string '" + s + "'");
+  auto nibble = [&](char c) -> uint8_t {
+    if (c >= '0' && c <= '9') return uint8_t(c - '0');
+    if (c >= 'a' && c <= 'f') return uint8_t(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return uint8_t(c - 'A' + 10);
+    throw std::runtime_error("k2-repro: bad hex digit in '" + s + "'");
+  };
+  std::vector<uint8_t> out(s.size() / 2);
+  for (size_t i = 0; i < out.size(); ++i)
+    out[i] = uint8_t(nibble(s[2 * i]) << 4 | nibble(s[2 * i + 1]));
+  return out;
+}
+
+// Splits "key=value" tokens off a directive payload.
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+uint64_t parse_u64(const std::string& s) {
+  try {
+    size_t used = 0;
+    uint64_t v = std::stoull(s, &used, 0);
+    if (used != s.size()) throw std::runtime_error("");
+    return v;
+  } catch (...) {
+    throw std::runtime_error("k2-repro: bad number '" + s + "'");
+  }
+}
+
+// "name=value" → value, enforcing the expected name.
+std::string expect_kv(const std::string& tok, const std::string& name) {
+  size_t eq = tok.find('=');
+  if (eq == std::string::npos || tok.substr(0, eq) != name)
+    throw std::runtime_error("k2-repro: expected '" + name + "=...', got '" +
+                             tok + "'");
+  return tok.substr(eq + 1);
+}
+
+}  // namespace
+
+std::string write_repro(const ebpf::Program& prog,
+                        const interp::InputSpec& input,
+                        const interp::RunOptions& opt) {
+  std::ostringstream os;
+  os << "; k2-repro/v1\n";
+  os << "; type: " << prog_type_name(prog.type) << "\n";
+  for (const ebpf::MapDef& m : prog.maps)
+    os << "; map: " << (m.name.empty() ? "m" : m.name) << " "
+       << map_kind_name(m.kind) << " " << m.key_size << " " << m.value_size
+       << " " << m.max_entries << "\n";
+  os << "; run: max_insns=" << opt.max_insns
+     << " trace=" << (opt.record_trace ? 1 : 0) << "\n";
+  os << "; input: packet=" << hex(input.packet)
+     << " prandom=" << input.prandom_seed << " ktime=" << input.ktime_base
+     << " cpu=" << input.cpu_id << " ctx=" << input.ctx_args[0] << ","
+     << input.ctx_args[1] << "\n";
+  for (const auto& [fd, entries] : input.maps)
+    for (const interp::MapEntryInit& e : entries)
+      os << "; input-map: " << fd << " key=" << hex(e.key)
+         << " val=" << hex(e.value) << "\n";
+  os << disassemble(prog);
+  return os.str();
+}
+
+Repro parse_repro(std::string_view text) {
+  Repro r;
+  std::vector<ebpf::MapDef> maps;
+  ebpf::ProgType type = ebpf::ProgType::XDP;
+  bool versioned = false;
+
+  std::istringstream is{std::string(text)};
+  std::string line;
+  while (std::getline(is, line)) {
+    size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos || line[b] != ';') continue;
+    std::string body = line.substr(b + 1);
+    size_t nb = body.find_first_not_of(" \t");
+    if (nb == std::string::npos) continue;
+    body = body.substr(nb);
+    if (body.rfind("k2-repro/v1", 0) == 0) {
+      versioned = true;
+      continue;
+    }
+    size_t colon = body.find(':');
+    if (colon == std::string::npos) continue;  // ordinary comment
+    std::string key = body.substr(0, colon);
+    std::vector<std::string> toks = split_ws(body.substr(colon + 1));
+    if (key == "type") {
+      if (toks.size() != 1)
+        throw std::runtime_error("k2-repro: bad type directive");
+      type = prog_type_from(toks[0]);
+    } else if (key == "map") {
+      if (toks.size() != 5)
+        throw std::runtime_error("k2-repro: bad map directive");
+      ebpf::MapDef m;
+      m.name = toks[0];
+      m.kind = map_kind_from(toks[1]);
+      m.key_size = uint32_t(parse_u64(toks[2]));
+      m.value_size = uint32_t(parse_u64(toks[3]));
+      m.max_entries = uint32_t(parse_u64(toks[4]));
+      maps.push_back(m);
+    } else if (key == "run") {
+      for (const std::string& t : toks) {
+        size_t eq = t.find('=');
+        if (eq == std::string::npos)
+          throw std::runtime_error("k2-repro: bad run directive '" + t + "'");
+        std::string name = t.substr(0, eq), val = t.substr(eq + 1);
+        if (name == "max_insns")
+          r.opt.max_insns = parse_u64(val);
+        else if (name == "trace")
+          r.opt.record_trace = parse_u64(val) != 0;
+        else
+          throw std::runtime_error("k2-repro: unknown run option '" + name +
+                                   "'");
+      }
+    } else if (key == "input") {
+      if (toks.size() != 5)
+        throw std::runtime_error("k2-repro: bad input directive");
+      r.input.packet = unhex(expect_kv(toks[0], "packet"));
+      r.input.prandom_seed = parse_u64(expect_kv(toks[1], "prandom"));
+      r.input.ktime_base = parse_u64(expect_kv(toks[2], "ktime"));
+      r.input.cpu_id = uint32_t(parse_u64(expect_kv(toks[3], "cpu")));
+      std::string ctx = expect_kv(toks[4], "ctx");
+      size_t comma = ctx.find(',');
+      if (comma == std::string::npos)
+        throw std::runtime_error("k2-repro: bad ctx '" + ctx + "'");
+      r.input.ctx_args[0] = parse_u64(ctx.substr(0, comma));
+      r.input.ctx_args[1] = parse_u64(ctx.substr(comma + 1));
+    } else if (key == "input-map") {
+      if (toks.size() != 3)
+        throw std::runtime_error("k2-repro: bad input-map directive");
+      int fd = int(parse_u64(toks[0]));
+      interp::MapEntryInit e;
+      e.key = unhex(expect_kv(toks[1], "key"));
+      e.value = unhex(expect_kv(toks[2], "val"));
+      r.input.maps[fd].push_back(std::move(e));
+    }
+  }
+  if (!versioned)
+    throw std::runtime_error("k2-repro: missing '; k2-repro/v1' header");
+
+  ebpf::AsmOptions lenient;
+  lenient.lenient = true;
+  r.program = ebpf::assemble(text, type, std::move(maps), lenient);
+  return r;
+}
+
+}  // namespace k2::testgen

@@ -1,0 +1,45 @@
+// Self-contained `.k2asm` repro files (`k2-repro/v1`) for conformance
+// mismatches: the full disassembly of the disagreeing program plus
+// `; key: value` directive comments carrying everything else a re-run
+// needs — hook type, map definitions, run options, and the exact input
+// (packet bytes, map pre-state, helper seeds). Directives are assembler
+// comments, so the body of a repro file is also valid standalone
+// assembly.
+//
+//   ; k2-repro/v1
+//   ; type: xdp
+//   ; map: h hash 4 8 8
+//   ; run: max_insns=1048576 trace=0
+//   ; input: packet=0a0b prandom=1 ktime=0 cpu=0 ctx=0,0
+//   ; input-map: 0 key=01000000 val=0000000000000000
+//     mov64 r0, 0
+//     exit
+//
+// Mismatch programs are frequently invalid by construction (wild fuzz
+// candidates), so loading uses the assembler's lenient mode.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ebpf/program.h"
+#include "interp/state.h"
+
+namespace k2::testgen {
+
+struct Repro {
+  ebpf::Program program;
+  interp::InputSpec input;
+  interp::RunOptions opt;
+};
+
+// Serializes program + input + options to k2-repro/v1 text.
+std::string write_repro(const ebpf::Program& prog,
+                        const interp::InputSpec& input,
+                        const interp::RunOptions& opt);
+
+// Parses k2-repro/v1 text (throws std::runtime_error on malformed input;
+// a missing version line is an error so stale formats fail loudly).
+Repro parse_repro(std::string_view text);
+
+}  // namespace k2::testgen

@@ -1,8 +1,9 @@
 // The decode-once/execute-many interpreter (ISSUE 3): differential fuzz
-// against the legacy switch interpreter over random programs and inputs
-// (both hooks, faulting programs included), incremental-patch cross-checks
-// against full re-decode under every proposal kind, and the batched
-// run_suite entry point's semantics.
+// against the legacy switch interpreter over generated programs and inputs
+// via the shared conformance::DifferentialHarness (typed and wild programs,
+// faulting programs included), incremental-patch cross-checks against full
+// re-decode under random mutations and under every proposal kind, and the
+// batched run_suite entry point's semantics.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -13,99 +14,23 @@
 #include "core/compiler.h"
 #include "core/proposals.h"
 #include "ebpf/decoded.h"
-#include "ebpf/helpers_def.h"
 #include "interp/fast_interp.h"
 #include "interp/interpreter.h"
 #include "sim/perf_eval.h"
+#include "testgen/differential.h"
 
 namespace k2::interp {
 namespace {
 
-using ebpf::Insn;
 using ebpf::Opcode;
+using jit::ExecBackend;
 
-// ---------------------------------------------------------------------------
-// Random program / input generation. Register indices stay in [0, 10] (both
-// interpreters index the register file unchecked, mirroring the proposal
-// generator's contract); everything else — opcodes, offsets, immediates,
-// helper ids, jump targets — is free to be garbage, so a large fraction of
-// generated programs fault, and they must fault identically.
-// ---------------------------------------------------------------------------
-
-Insn random_insn(std::mt19937_64& rng, int n) {
-  static const int64_t kImms[] = {0, 1, 2, -1, 8, 14, 64, 255, 0x1000,
-                                  int64_t(0x80000000ull), -4096};
-  static const int64_t kHelpers[] = {
-      ebpf::HELPER_MAP_LOOKUP,      ebpf::HELPER_MAP_UPDATE,
-      ebpf::HELPER_MAP_DELETE,      ebpf::HELPER_KTIME_GET_NS,
-      ebpf::HELPER_GET_PRANDOM_U32, ebpf::HELPER_GET_SMP_PROC_ID,
-      ebpf::HELPER_CSUM_DIFF,       ebpf::HELPER_XDP_ADJUST_HEAD,
-      ebpf::HELPER_REDIRECT_MAP,    9999 /* unknown id */};
-  Insn insn;
-  insn.op = static_cast<Opcode>(rng() % uint64_t(Opcode::NUM_OPCODES));
-  insn.dst = uint8_t(rng() % 11);
-  insn.src = uint8_t(rng() % 11);
-  // Offsets: mostly small memory offsets, sometimes negative (backward-jump
-  // faults for jumps, OOB for memory), sometimes past the end.
-  switch (rng() % 4) {
-    case 0: insn.off = int16_t(rng() % 16); break;
-    case 1: insn.off = int16_t(-(int(rng() % 24))); break;
-    case 2: insn.off = int16_t(rng() % uint64_t(n + 2)); break;
-    default: insn.off = int16_t(int(rng() % 64) - 16); break;
-  }
-  insn.imm = kImms[rng() % (sizeof(kImms) / sizeof(kImms[0]))];
-  if (insn.op == Opcode::CALL)
-    insn.imm = kHelpers[rng() % (sizeof(kHelpers) / sizeof(kHelpers[0]))];
-  if (insn.op == Opcode::LDMAPFD) insn.imm = int64_t(rng() % 3);  // fd 2: bad
-  if (insn.op == Opcode::LDDW && (rng() % 2))
-    insn.imm = int64_t(rng());  // full 64-bit immediates
-  return insn;
-}
-
-ebpf::Program random_program(std::mt19937_64& rng) {
-  ebpf::Program p;
-  p.type = (rng() % 3) ? ebpf::ProgType::XDP : ebpf::ProgType::TRACEPOINT;
-  ebpf::MapDef hash;
-  hash.name = "h";
-  hash.kind = ebpf::MapKind::HASH;
-  hash.max_entries = 8;
-  ebpf::MapDef arr;
-  arr.name = "a";
-  arr.kind = ebpf::MapKind::ARRAY;
-  arr.max_entries = 8;
-  // Varying map counts across programs sharing one SuiteRunner exercise the
-  // rebind path (including shrinking snapshots).
-  switch (rng() % 4) {
-    case 0: p.maps = {hash}; break;
-    case 1: p.maps = {arr, hash, arr}; break;
-    default: p.maps = {hash, arr}; break;
-  }
-  int n = 6 + int(rng() % 20);
-  for (int i = 0; i < n; ++i) p.insns.push_back(random_insn(rng, n));
-  if (rng() % 2) p.insns.push_back(Insn{Opcode::EXIT});
-  return p;
-}
-
-InputSpec random_input(std::mt19937_64& rng) {
-  InputSpec in;
-  in.packet.resize(rng() % 65);
-  for (uint8_t& b : in.packet) b = uint8_t(rng());
-  in.prandom_seed = rng();
-  in.ktime_base = rng() % 2 ? 0 : rng();
-  in.cpu_id = uint32_t(rng() % 4);
-  in.ctx_args = {rng(), rng()};
-  for (int fd = 0; fd < 2; ++fd) {
-    int entries = int(rng() % 3);
-    for (int e = 0; e < entries; ++e) {
-      MapEntryInit init;
-      init.key.resize(4);
-      for (uint8_t& b : init.key) b = uint8_t(rng() % 10);
-      init.value.resize(8);
-      for (uint8_t& b : init.value) b = uint8_t(rng());
-      in.maps[fd].push_back(init);
-    }
-  }
-  return in;
+void report_mismatches(const conformance::Report& rep) {
+  for (const auto& mm : rep.mismatches)
+    ADD_FAILURE() << mm.backend << " disagreed (" << mm.detail << "), "
+                  << mm.program.insns.size() << " insns shrunk to "
+                  << mm.shrunk.insns.size() << "\n"
+                  << mm.repro;
 }
 
 void expect_identical(const RunResult& legacy, const RunResult& fast,
@@ -122,52 +47,54 @@ void expect_identical(const RunResult& legacy, const RunResult& fast,
 }
 
 // ---------------------------------------------------------------------------
-// Differential fuzz: >= 10k random program/input pairs, both hooks,
+// Differential fuzz: >= 12k generated program/input pairs via the shared
+// harness (4 shards x 300 programs x 5 inputs x 2 passes = 12000 pairs),
 // faulting programs included; RunResults must be bit-identical, including
-// reuse of one SuiteRunner across programs and repeated runs of the same
-// input (dirty-region reset leaves no residue).
+// reuse of one runner across programs and repeated runs of the same input
+// (dirty-region reset leaves no residue — the harness's second pass).
 // ---------------------------------------------------------------------------
 
 class DecodedFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(DecodedFuzz, BitIdenticalToLegacyInterpreter) {
-  std::mt19937_64 rng(0xdec0de + uint64_t(GetParam()));
-  SuiteRunner runner;  // shared across programs: exercises rebinding
-  int faulted = 0, clean = 0;
-  constexpr int kPrograms = 300;
-  constexpr int kInputs = 5;  // x2 passes = 3000 pairs per shard
-  for (int pi = 0; pi < kPrograms; ++pi) {
-    ebpf::Program prog = random_program(rng);
-    runner.prepare(prog);
-    RunOptions opt;
-    if (rng() % 8 == 0) opt.max_insns = 1 + rng() % 16;  // STEP_LIMIT paths
-    opt.record_trace = rng() % 4 == 0;
-    std::vector<InputSpec> inputs;
-    for (int ii = 0; ii < kInputs; ++ii) inputs.push_back(random_input(rng));
-    // Two passes over the same inputs through the same runner: the second
-    // pass catches state leaking across resets.
-    for (int pass = 0; pass < 2; ++pass) {
-      for (int ii = 0; ii < kInputs; ++ii) {
-        RunResult legacy = run(prog, inputs[size_t(ii)], opt);
-        const RunResult& fast = runner.run_one(inputs[size_t(ii)], opt);
-        expect_identical(legacy, fast,
-                         "prog " + std::to_string(pi) + " input " +
-                             std::to_string(ii) + " pass " +
-                             std::to_string(pass));
-        if (legacy.ok()) clean++; else faulted++;
-        if (::testing::Test::HasFatalFailure()) {
-          ADD_FAILURE() << prog.to_string();
-          return;
-        }
-      }
-    }
-  }
+  conformance::HarnessConfig cfg;
+  cfg.gen.seed = 0xdec0de + uint64_t(GetParam());
+  cfg.iters = 300;
+  cfg.inputs_per_program = 5;
+  cfg.passes = 2;
+  cfg.backends = {ExecBackend::FAST_INTERP};
+  conformance::DifferentialHarness harness(cfg);
+  conformance::Report rep = harness.run();
+  report_mismatches(rep);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+
+  // A clean shard compared every pair (mismatches end a program early).
+  EXPECT_EQ(rep.programs, 300u);
+  EXPECT_EQ(rep.pairs, 3000u) << rep.summary();
   // The sweep must genuinely cover both behaviours.
-  EXPECT_GT(faulted, 100);
-  EXPECT_GT(clean, 100);
+  EXPECT_GT(rep.typed_programs, 100u);
+  EXPECT_GT(rep.wild_programs, 50u);
+  EXPECT_GT(rep.clean, 100u);
+  EXPECT_GT(rep.faulted, 100u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, DecodedFuzz, ::testing::Range(0, 4));
+
+// Incremental re-decode under random single-instruction mutations of
+// generated programs: DecodedProgram::patch on a long-lived runner vs a
+// full re-decode control runner vs the legacy interpreter, with rollback
+// and cold-invalidate excursions (complements the proposal-kind sweep in
+// IncrementalDecode below).
+TEST(DecodedIncrementalFuzz, PatchedMatchesFullRedecodeOnGeneratedPrograms) {
+  conformance::HarnessConfig cfg;
+  cfg.gen.seed = 0x1dec0d;
+  cfg.backends = {ExecBackend::FAST_INTERP};
+  conformance::DifferentialHarness harness(cfg);
+  conformance::Report rep = harness.run_incremental(1500);
+  report_mismatches(rep);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GE(rep.pairs, 2 * 1500u);
+}
 
 TEST(DecodedFuzzCorpus, CorpusProgramsBitIdentical) {
   // Real programs under the random workload generator (non-faulting side,

@@ -1,9 +1,10 @@
 // The x86-64 template JIT backend (ExecBackend): differential fuzz against
-// the legacy switch interpreter over >= 10k random program/input pairs
-// (both hooks, faulting programs, STEP_LIMIT paths, record_trace fallback),
-// incremental-patch vs full-retranslate cross-checks under every proposal
-// kind, corpus-program coverage, and the same-seed compile differential
-// proving the backend is decision-neutral.
+// the legacy switch interpreter over >= 12k generated program/input pairs
+// via the shared conformance::DifferentialHarness (typed and wild programs,
+// STEP_LIMIT paths, record_trace fallback), incremental-patch vs
+// full-retranslate cross-checks under random mutations and under every
+// proposal kind, corpus-program coverage, and the same-seed compile
+// differential proving the backend is decision-neutral.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -14,95 +15,24 @@
 #include "core/compiler.h"
 #include "core/proposals.h"
 #include "ebpf/decoded.h"
-#include "ebpf/helpers_def.h"
 #include "interp/interpreter.h"
 #include "jit/backend_runner.h"
 #include "sim/perf_eval.h"
+#include "testgen/differential.h"
 
 namespace k2::jit {
 namespace {
 
-using ebpf::Insn;
-using ebpf::Opcode;
 using interp::InputSpec;
-using interp::MapEntryInit;
 using interp::RunOptions;
 using interp::RunResult;
 
-// Same generation scheme as tests/decoded_interp_test.cc: register indices
-// stay in [0, 10], everything else is free to be garbage, so a large
-// fraction of programs fault — and must fault identically natively.
-
-Insn random_insn(std::mt19937_64& rng, int n) {
-  static const int64_t kImms[] = {0, 1, 2, -1, 8, 14, 64, 255, 0x1000,
-                                  int64_t(0x80000000ull), -4096};
-  static const int64_t kHelpers[] = {
-      ebpf::HELPER_MAP_LOOKUP,      ebpf::HELPER_MAP_UPDATE,
-      ebpf::HELPER_MAP_DELETE,      ebpf::HELPER_KTIME_GET_NS,
-      ebpf::HELPER_GET_PRANDOM_U32, ebpf::HELPER_GET_SMP_PROC_ID,
-      ebpf::HELPER_CSUM_DIFF,       ebpf::HELPER_XDP_ADJUST_HEAD,
-      ebpf::HELPER_REDIRECT_MAP,    9999 /* unknown id */};
-  Insn insn;
-  insn.op = static_cast<Opcode>(rng() % uint64_t(Opcode::NUM_OPCODES));
-  insn.dst = uint8_t(rng() % 11);
-  insn.src = uint8_t(rng() % 11);
-  switch (rng() % 4) {
-    case 0: insn.off = int16_t(rng() % 16); break;
-    case 1: insn.off = int16_t(-(int(rng() % 24))); break;
-    case 2: insn.off = int16_t(rng() % uint64_t(n + 2)); break;
-    default: insn.off = int16_t(int(rng() % 64) - 16); break;
-  }
-  insn.imm = kImms[rng() % (sizeof(kImms) / sizeof(kImms[0]))];
-  if (insn.op == Opcode::CALL)
-    insn.imm = kHelpers[rng() % (sizeof(kHelpers) / sizeof(kHelpers[0]))];
-  if (insn.op == Opcode::LDMAPFD) insn.imm = int64_t(rng() % 3);  // fd 2: bad
-  if (insn.op == Opcode::LDDW && (rng() % 2))
-    insn.imm = int64_t(rng());  // full 64-bit immediates
-  return insn;
-}
-
-ebpf::Program random_program(std::mt19937_64& rng) {
-  ebpf::Program p;
-  p.type = (rng() % 3) ? ebpf::ProgType::XDP : ebpf::ProgType::TRACEPOINT;
-  ebpf::MapDef hash;
-  hash.name = "h";
-  hash.kind = ebpf::MapKind::HASH;
-  hash.max_entries = 8;
-  ebpf::MapDef arr;
-  arr.name = "a";
-  arr.kind = ebpf::MapKind::ARRAY;
-  arr.max_entries = 8;
-  switch (rng() % 4) {
-    case 0: p.maps = {hash}; break;
-    case 1: p.maps = {arr, hash, arr}; break;
-    default: p.maps = {hash, arr}; break;
-  }
-  int n = 6 + int(rng() % 20);
-  for (int i = 0; i < n; ++i) p.insns.push_back(random_insn(rng, n));
-  if (rng() % 2) p.insns.push_back(Insn{Opcode::EXIT});
-  return p;
-}
-
-InputSpec random_input(std::mt19937_64& rng) {
-  InputSpec in;
-  in.packet.resize(rng() % 65);
-  for (uint8_t& b : in.packet) b = uint8_t(rng());
-  in.prandom_seed = rng();
-  in.ktime_base = rng() % 2 ? 0 : rng();
-  in.cpu_id = uint32_t(rng() % 4);
-  in.ctx_args = {rng(), rng()};
-  for (int fd = 0; fd < 2; ++fd) {
-    int entries = int(rng() % 3);
-    for (int e = 0; e < entries; ++e) {
-      MapEntryInit init;
-      init.key.resize(4);
-      for (uint8_t& b : init.key) b = uint8_t(rng() % 10);
-      init.value.resize(8);
-      for (uint8_t& b : init.value) b = uint8_t(rng());
-      in.maps[fd].push_back(init);
-    }
-  }
-  return in;
+void report_mismatches(const conformance::Report& rep) {
+  for (const auto& mm : rep.mismatches)
+    ADD_FAILURE() << mm.backend << " disagreed (" << mm.detail << "), "
+                  << mm.program.insns.size() << " insns shrunk to "
+                  << mm.shrunk.insns.size() << "\n"
+                  << mm.repro;
 }
 
 void expect_identical(const RunResult& legacy, const RunResult& native,
@@ -119,58 +49,64 @@ void expect_identical(const RunResult& legacy, const RunResult& native,
 }
 
 // ---------------------------------------------------------------------------
-// Differential fuzz: >= 10k random program/input pairs through the JIT
-// backend (4 shards x 300 programs x 5 inputs x 2 passes = 12000 pairs).
-// RunResults must be bit-identical to the legacy interpreter, including
-// one BackendRunner reused across programs (arena + machine rebinding).
+// Differential fuzz: >= 12k generated program/input pairs through the JIT
+// backend via the shared harness (4 shards x 300 programs x 5 inputs x
+// 2 passes = 12000 pairs). RunResults must be bit-identical to the legacy
+// interpreter, including one BackendRunner reused across programs (arena +
+// machine rebinding) — exactly how the harness holds its ExecContexts.
 // ---------------------------------------------------------------------------
 
 class JitFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(JitFuzz, BitIdenticalToLegacyInterpreter) {
-  std::mt19937_64 rng(0x71c0de + uint64_t(GetParam()));
-  BackendRunner runner;  // shared across programs: exercises arena reuse
-  runner.select(ExecBackend::JIT);
-  int faulted = 0, clean = 0, native_progs = 0;
-  constexpr int kPrograms = 300;
-  constexpr int kInputs = 5;
-  for (int pi = 0; pi < kPrograms; ++pi) {
-    ebpf::Program prog = random_program(rng);
-    runner.prepare(prog);
-    if (runner.jit_active()) native_progs++;
-    RunOptions opt;
-    if (rng() % 8 == 0) opt.max_insns = 1 + rng() % 16;  // STEP_LIMIT paths
-    opt.record_trace = rng() % 4 == 0;  // per-run interpreter fallback
-    std::vector<InputSpec> inputs;
-    for (int ii = 0; ii < kInputs; ++ii) inputs.push_back(random_input(rng));
-    for (int pass = 0; pass < 2; ++pass) {
-      for (int ii = 0; ii < kInputs; ++ii) {
-        RunResult legacy = interp::run(prog, inputs[size_t(ii)], opt);
-        const RunResult& native = runner.run_one(inputs[size_t(ii)], opt);
-        expect_identical(legacy, native,
-                         "prog " + std::to_string(pi) + " input " +
-                             std::to_string(ii) + " pass " +
-                             std::to_string(pass));
-        if (legacy.ok()) clean++; else faulted++;
-        if (::testing::Test::HasFatalFailure()) {
-          ADD_FAILURE() << prog.to_string();
-          return;
-        }
-      }
-    }
-  }
-  // The sweep must genuinely cover both behaviours — and on x86-64 hosts
-  // the JIT must have actually translated the bulk of the programs (only
-  // HELPER_CSUM_DIFF calls bail out), or the whole sweep is vacuous.
-  EXPECT_GT(faulted, 100);
-  EXPECT_GT(clean, 100);
+  conformance::HarnessConfig cfg;
+  cfg.gen.seed = 0x71c0de + uint64_t(GetParam());
+  cfg.iters = 300;
+  cfg.inputs_per_program = 5;
+  cfg.passes = 2;
+  cfg.backends = {ExecBackend::JIT};
+  conformance::DifferentialHarness harness(cfg);
+  conformance::Report rep = harness.run();
+  report_mismatches(rep);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+
+  // A clean shard compared every pair (mismatches end a program early).
+  EXPECT_EQ(rep.programs, 300u);
+  EXPECT_EQ(rep.pairs, 3000u) << rep.summary();
+  // The sweep must genuinely cover both behaviours: typed programs run
+  // clean, wild programs mostly fault — and they must fault identically
+  // natively.
+  EXPECT_GT(rep.typed_programs, 100u);
+  EXPECT_GT(rep.wild_programs, 50u);
+  EXPECT_GT(rep.clean, 100u);
+  EXPECT_GT(rep.faulted, 100u);
 #if defined(__x86_64__)
-  EXPECT_GT(native_progs, kPrograms / 2);
-  EXPECT_EQ(uint64_t(kPrograms - native_progs), runner.jit_bailouts());
+  // The JIT must have actually translated the bulk of the programs (only
+  // HELPER_CSUM_DIFF calls and garbage opcodes bail out), or the whole
+  // sweep is vacuous.
+  EXPECT_GT(rep.jit_native, rep.programs / 2) << rep.summary();
+  EXPECT_EQ(rep.jit_native + rep.jit_bailout_programs, rep.programs);
 #endif
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, JitFuzz, ::testing::Range(0, 4));
+
+// Incremental re-translation under random single-instruction mutations of
+// generated programs: the harness patches a long-lived runner with the
+// touched range, re-translates a control runner from scratch, and demands
+// both match the legacy interpreter on every input (plus rollback and
+// cold-invalidate excursions).
+TEST(JitIncrementalFuzz, PatchedMatchesFullRetranslateOnGeneratedPrograms) {
+  conformance::HarnessConfig cfg;
+  cfg.gen.seed = 0x17e9a7;
+  cfg.backends = {ExecBackend::JIT};
+  conformance::DifferentialHarness harness(cfg);
+  conformance::Report rep = harness.run_incremental(1500);
+  report_mismatches(rep);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  // Each iteration compares incremental and full against the reference.
+  EXPECT_GE(rep.pairs, 2 * 1500u);
+}
 
 TEST(JitCorpus, CorpusProgramsBitIdenticalAndNative) {
   // xdp_fwd calls helper 28 (csum_diff), the deliberately-unsupported

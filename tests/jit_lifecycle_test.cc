@@ -2,7 +2,8 @@
 // program rebinds, W^X protection transitions around translate/patch,
 // invalidate-on-rollback after speculative rejection, the per-program
 // unsupported-helper fallback (and its jit_bailouts accounting end to end:
-// CompileResult JSON and the serve stats op), and backend switching.
+// exactly-once per evaluated candidate in EvalStats, CompileResult JSON,
+// batch-report totals and the serve stats op), and backend switching.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -16,6 +17,8 @@
 #include "ebpf/assembler.h"
 #include "interp/interpreter.h"
 #include "jit/backend_runner.h"
+#include "pipeline/eval_pipeline.h"
+#include "pipeline/exec_context.h"
 #include "sim/perf_eval.h"
 
 namespace k2::jit {
@@ -219,6 +222,62 @@ TEST(JitLifecycle, BailoutsSurfaceInCompileResultJson) {
   for (const auto& [k, v] : full.as_object())
     if (k != "jit_bailouts") old.set(k, v);
   EXPECT_EQ(core::compile_result_from_json(old).jit_bailouts, 0u);
+}
+
+TEST(JitLifecycle, BailoutsCountExactlyOncePerCandidateThroughEvalStats) {
+  // The evaluation pipeline re-prepares the candidate every evaluate();
+  // an unsupported program must add exactly ONE bailout per evaluation —
+  // not one per test execution, not one per run.
+  ebpf::Program p = csum_diff_prog();
+  core::TestSuite suite(p, core::generate_tests(p, 4, 3));
+  verify::EqCache cache;
+  pipeline::EvalConfig cfg;
+  cfg.exec_backend = ExecBackend::JIT;
+  cfg.eq.timeout_ms = 5000;
+  pipeline::EvalPipeline pipe(p, suite, cache, cfg);
+  pipeline::ExecContext ctx;
+  ctx.runner.select(ExecBackend::JIT);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    pipe.evaluate(p, std::nullopt, {}, ctx);
+#if defined(__x86_64__)
+    EXPECT_EQ(pipe.stats().jit_bailouts, i) << "evaluation " << i;
+#endif
+    EXPECT_GE(pipe.stats().tests_executed, i * suite.size());
+  }
+
+  // A translatable candidate through the same pipeline adds none.
+  ebpf::Program ok =
+      ebpf::assemble("mov64 r0, 2\nexit\n", ebpf::ProgType::XDP);
+  pipe.evaluate(ok, std::nullopt, {}, ctx);
+#if defined(__x86_64__)
+  EXPECT_EQ(pipe.stats().jit_bailouts, 5u);
+  EXPECT_TRUE(ctx.runner.jit_active());
+#endif
+}
+
+TEST(JitLifecycle, BailoutsAggregateIntoBatchTotals) {
+  // xdp_fwd calls csum_diff, so under the JIT backend every prepared
+  // candidate bails out; the per-job counts must sum into the batch report
+  // totals (the --corpus wire format).
+  core::BatchOptions b;
+  b.benchmarks = {"xdp_fwd"};
+  b.base.iters_per_chain = 40;
+  b.base.num_chains = 1;
+  b.base.eq.timeout_ms = 5000;
+  b.base.exec_backend = ExecBackend::JIT;
+  b.threads = 1;
+  core::BatchReport r = core::BatchCompiler(b).run();
+  ASSERT_EQ(r.benchmarks.size(), 1u);
+  uint64_t per_job = 0;
+  for (const core::BatchJobResult& j : r.benchmarks[0].jobs)
+    per_job += j.result.jit_bailouts;
+  EXPECT_EQ(r.totals.jit_bailouts, per_job);
+#if defined(__x86_64__)
+  EXPECT_GT(r.totals.jit_bailouts, 0u);
+#endif
+  // And the JSON round-trip preserves the total.
+  EXPECT_EQ(core::BatchReport::from_json(r.to_json()).totals.jit_bailouts,
+            r.totals.jit_bailouts);
 }
 
 TEST(JitLifecycle, BailoutsSurfaceInServeStatsOp) {

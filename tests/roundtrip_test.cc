@@ -1,6 +1,7 @@
 // Cross-cutting round-trip and determinism properties over the whole
-// corpus: disassemble→assemble identity, NOP-strip idempotence, DCE
-// soundness under workloads, and search reproducibility with fixed seeds.
+// corpus AND over generated programs: disassemble→assemble identity,
+// NOP-strip idempotence, DCE soundness under workloads, and search
+// reproducibility with fixed seeds.
 #include <gtest/gtest.h>
 
 #include "analysis/dce.h"
@@ -9,6 +10,7 @@
 #include "ebpf/assembler.h"
 #include "interp/interpreter.h"
 #include "sim/perf_eval.h"
+#include "testgen/program_gen.h"
 
 namespace k2 {
 namespace {
@@ -52,6 +54,49 @@ TEST_P(CorpusRoundTrip, DceIsBehaviourPreserving) {
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CorpusRoundTrip,
                          ::testing::Range(0, 19));
+
+// ---------------------------------------------------------------------------
+// Property-based round-trip over generated programs (the corpus identity
+// above is only 19 fixed points): anything the generator emits must print
+// and re-parse to the identical instruction stream.
+// ---------------------------------------------------------------------------
+
+TEST(GeneratedRoundTrip, TypedProgramsSurviveStrictAssembly) {
+  // Typed programs are structurally valid, so the strict parser (bounds-
+  // checked jump targets, validate_structure) must take them back.
+  testgen::GenConfig cfg;
+  cfg.seed = 0x70a57;
+  cfg.typed_percent = 100;
+  testgen::ProgramGen gen(cfg);
+  for (int i = 0; i < 200; ++i) {
+    ebpf::Program p = gen.next();
+    ebpf::Program back =
+        ebpf::assemble(ebpf::disassemble(p), p.type, p.maps);
+    ASSERT_TRUE(back.insns == p.insns)
+        << "program " << i << "\n"
+        << ebpf::disassemble(p);
+  }
+}
+
+TEST(GeneratedRoundTrip, WildProgramsSurviveLenientAssembly) {
+  // Wild programs carry garbage jump targets the strict parser rejects;
+  // the lenient mode (AsmOptions::lenient — how .k2asm repros load) must
+  // still reproduce them bit-exactly, out-of-range offsets included.
+  testgen::GenConfig cfg;
+  cfg.seed = 0x77175;
+  cfg.typed_percent = 0;
+  testgen::ProgramGen gen(cfg);
+  ebpf::AsmOptions lenient;
+  lenient.lenient = true;
+  for (int i = 0; i < 200; ++i) {
+    ebpf::Program p = gen.next();
+    ebpf::Program back =
+        ebpf::assemble(ebpf::disassemble(p), p.type, p.maps, lenient);
+    ASSERT_TRUE(back.insns == p.insns)
+        << "program " << i << "\n"
+        << ebpf::disassemble(p);
+  }
+}
 
 TEST(DeterminismTest, CompileIsReproducibleWithFixedSeed) {
   ebpf::Program src = ebpf::assemble(

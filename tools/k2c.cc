@@ -30,7 +30,10 @@
 #include "corpus/corpus.h"
 #include "ebpf/bytecode.h"
 #include "jit/exec_backend.h"
+#include "jit/translator.h"
 #include "sim/perf_model.h"
+#include "testgen/differential.h"
+#include "testgen/repro.h"
 #include "util/flags.h"
 #include "verify/cache_store.h"
 #include "verify/solve_protocol.h"
@@ -118,6 +121,26 @@ util::Flags make_flags() {
        "serve mode: per-job event-ring bound; oldest events age out when a "
        "consumer polls too slowly",
        ""},
+      {"backends", T::STRING, "fast,jit",
+       "fuzz mode: comma-separated executors to cross-check against the "
+       "reference interpreter",
+       ""},
+      {"shrink", T::BOOL, "",
+       "fuzz mode: delta-debug any disagreeing program down to a minimal "
+       "repro before reporting it",
+       ""},
+      {"repro", T::STRING, "",
+       "fuzz mode: replay one k2-repro/v1 .k2asm file instead of "
+       "generating programs",
+       ""},
+      {"repro-out", T::STRING, "",
+       "fuzz mode: write the (minimized) .k2asm repro of the first "
+       "mismatch here",
+       ""},
+      {"inject-jit-bug", T::BOOL, "",
+       "fuzz mode: deliberately miscompile mov64-immediate in the JIT "
+       "(harness self-test; the run must report the planted mismatch)",
+       ""},
   });
 }
 
@@ -130,7 +153,10 @@ const char* kUsage =
     "                                          k2-solve/v1 equivalence "
     "worker\n"
     "       k2c cache-compact --cache-dir=<d>  deduplicate a persistent\n"
-    "                                          equivalence-cache directory\n";
+    "                                          equivalence-cache directory\n"
+    "       k2c fuzz --seed=N --iters=M [--backends=fast,jit] [--shrink]\n"
+    "                                          differential conformance fuzz\n"
+    "                                          of the execution backends\n";
 
 std::vector<std::string> split_endpoints(const std::string& csv) {
   std::vector<std::string> out;
@@ -480,6 +506,80 @@ int run_solve_worker(const util::Flags& f) {
   return 0;
 }
 
+// `k2c fuzz` — the cross-backend differential conformance harness
+// (src/testgen): generated programs + random inputs through the legacy
+// interpreter (reference) and every --backends executor, cross-checked
+// bit-for-bit. Exit 0 = all pairs agreed, 3 = mismatch (repro printed and,
+// with --repro-out, written to disk), 2 = usage error.
+int run_fuzz(const util::Flags& f) {
+  conformance::HarnessConfig cfg;
+  cfg.gen.seed = f.unum("seed");
+  cfg.iters = f.unum("iters");
+  cfg.shrink = f.flag("shrink");
+  cfg.backends.clear();
+  for (const std::string& tok : split_endpoints(f.str("backends"))) {
+    jit::ExecBackend be;
+    if (!jit::exec_backend_from_string(tok, &be)) {
+      fprintf(stderr, "k2c: fuzz: unknown backend '%s' (want fast|jit)\n",
+              tok.c_str());
+      return 2;
+    }
+    cfg.backends.push_back(be);
+  }
+  if (cfg.backends.empty()) {
+    fprintf(stderr, "k2c: fuzz: --backends must name at least one backend\n");
+    return 2;
+  }
+  if (f.flag("inject-jit-bug")) jit::set_test_miscompile(true);
+
+  conformance::Report rep;
+  if (f.has("repro")) {
+    std::ifstream in(f.str("repro"));
+    if (!in) {
+      fprintf(stderr, "k2c: cannot open %s\n", f.str("repro").c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    testgen::Repro repro;
+    try {
+      repro = testgen::parse_repro(ss.str());
+    } catch (const std::exception& e) {
+      fprintf(stderr, "k2c: fuzz: %s\n", e.what());
+      return 2;
+    }
+    conformance::DifferentialHarness harness(cfg);
+    rep = harness.replay(repro.program, repro.input, repro.opt);
+  } else {
+    conformance::DifferentialHarness harness(cfg);
+    rep = harness.run();
+  }
+
+  fprintf(stderr, "k2c: fuzz: %s\n", rep.summary().c_str());
+  if (rep.ok()) return 0;
+
+  for (const conformance::Mismatch& mm : rep.mismatches)
+    fprintf(stderr,
+            "k2c: fuzz: MISMATCH backend=%s %s (program %d insns, "
+            "shrunk to %d)\n",
+            mm.backend.c_str(), mm.detail.c_str(),
+            int(mm.program.insns.size()), int(mm.shrunk.insns.size()));
+  const conformance::Mismatch& first = rep.mismatches.front();
+  if (f.has("repro-out")) {
+    std::ofstream out(f.str("repro-out"));
+    if (!out) {
+      fprintf(stderr, "k2c: cannot write %s\n", f.str("repro-out").c_str());
+      return 2;
+    }
+    out << first.repro;
+    fprintf(stderr, "k2c: fuzz: wrote repro to %s\n",
+            f.str("repro-out").c_str());
+  } else {
+    fputs(first.repro.c_str(), stderr);
+  }
+  return 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -513,6 +613,10 @@ int main(int argc, char** argv) {
   if (!f.positional().empty() && f.positional()[0] == "cache-compact") {
     if (reject_positionals(1, "cache-compact")) return 2;
     return run_cache_compact(f);
+  }
+  if (!f.positional().empty() && f.positional()[0] == "fuzz") {
+    if (reject_positionals(1, "fuzz")) return 2;
+    return run_fuzz(f);
   }
   if (f.has("corpus")) {
     if (reject_positionals(0, "batch")) return 2;
