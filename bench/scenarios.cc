@@ -1,0 +1,287 @@
+// bench_scenarios: sweep the corpus across the built-in traffic-scenario
+// catalog (src/scenario) and show, Table 7-style, how the TRACE_LATENCY
+// estimate moves with the workload.
+//
+// Part 1 (fidelity + steering): for each (benchmark, scenario), the traced
+// estimate of -O1/-O2 next to the workload-independent static estimate —
+// the paper's Table 7 estimated-vs-measured question, per scenario. From
+// the same sweep: for every scenario, the corpus programs ranked by traced
+// cost, and every pairwise ordering inversion relative to the `default`
+// ranking. An inversion means the scenario changed which of two programs
+// the cost function considers more expensive — the exact signal the MCMC
+// objective follows, so each inverting scenario demonstrably steers the
+// search. The ISSUE 10 acceptance bar (>= 2 non-default scenarios invert
+// the ordering on >= 1 benchmark) is asserted under --smoke.
+//
+// Part 2 (search cross-pricing): for selected benchmarks, one quick
+// TRACE_LATENCY search per scenario (same seed/budget), then a cost matrix
+// pricing every candidate ({-O1, -O2} ∪ elite winners) under every
+// scenario, with candidate-order flips flagged. Informative: on this small
+// corpus most discovered rewrites sit on the always-executed path, so
+// candidate orderings move less than program orderings.
+//
+// Flags: --smoke (tiny budgets + assert the steering bar; CI),
+// --json (machine-readable report on stdout), --seed=N, --iters=N
+// (per-chain search budget), --benches=a,b,c (part 2 targets).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "scenario/scenario.h"
+#include "sim/latency_model.h"
+#include "sim/perf_model.h"
+#include "util/flags.h"
+#include "util/json.h"
+
+using namespace k2;
+
+namespace {
+
+struct Candidate {
+  std::string label;
+  ebpf::Program prog;
+};
+
+// Traced cost of `prog` under `scn`, priced over the workload expanded for
+// the benchmark's source program (all candidates share its map layout).
+double traced_cost(const scenario::Scenario& scn, const ebpf::Program& src,
+                   const ebpf::Program& prog, uint64_t seed) {
+  auto model = sim::make_perf_model(
+      sim::PerfModelKind::TRACE_LATENCY, src,
+      scenario::expand(scn, src, scn.inputs, seed));
+  return model->absolute(prog);
+}
+
+// Indices sorted by cost (stable: ties keep input order), so two scenarios
+// "order the programs differently" iff these differ.
+std::vector<int> ranking(const std::vector<double>& costs) {
+  std::vector<int> idx(costs.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = int(i);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](int a, int b) { return costs[a] < costs[b]; });
+  return idx;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using T = util::FlagSpec::Type;
+  util::Flags f({
+      {"seed", T::UINT, "1", "expansion + search seed", ""},
+      {"iters", T::UINT, "2000", "search iterations per chain (part 2)", ""},
+      {"benches", T::STRING, "xdp_pktcntr,xdp_fw",
+       "comma-separated corpus benchmarks for the part-2 searches", ""},
+      {"smoke", T::BOOL, "",
+       "tiny budgets and assert >=2 non-default scenarios steer (CI)", ""},
+      {"json", T::BOOL, "", "emit a JSON report on stdout", ""},
+  });
+  std::string err;
+  if (!f.parse(argc, argv, &err)) {
+    fprintf(stderr, "bench_scenarios: %s\n", err.c_str());
+    return 2;
+  }
+  if (f.help_requested()) {
+    printf("%s", f.help("bench_scenarios [options]").c_str());
+    return 0;
+  }
+
+  const bool smoke = f.flag("smoke");
+  const bool json = f.flag("json");
+  const uint64_t seed = f.unum("seed");
+  const uint64_t iters =
+      smoke ? std::min<uint64_t>(f.unum("iters"), 400) : f.unum("iters");
+  std::vector<std::string> bench_names = split_csv(f.str("benches"));
+  if (smoke && bench_names.size() > 1) bench_names.resize(1);
+
+  const std::vector<scenario::Scenario>& cat = scenario::catalog();
+  const std::vector<corpus::Benchmark>& corpus_all = corpus::all_benchmarks();
+  FILE* out = json ? stderr : stdout;  // human tables; stdout stays JSON-clean
+
+  // ---- Part 1: the whole corpus under the whole catalog --------------------
+  fprintf(out, "bench_scenarios: TRACE_LATENCY estimates, corpus x scenario "
+               "catalog (seed=%llu)\n",
+          (unsigned long long)seed);
+  fprintf(out, "%-20s | %9s %9s |", "traced -O2 ns", "static-O1", "static-O2");
+  for (const scenario::Scenario& s : cat) fprintf(out, " %17s", s.name.c_str());
+  fprintf(out, "\n");
+
+  // cost[si][bi] = traced cost of benchmark bi's -O2 under scenario si.
+  std::vector<std::vector<double>> cost(cat.size());
+  util::Json fidelity{util::Json::Array{}};
+  for (size_t bi = 0; bi < corpus_all.size(); ++bi) {
+    const corpus::Benchmark& b = corpus_all[bi];
+    fprintf(out, "%-20s | %9.1f %9.1f |", b.name.c_str(),
+            sim::static_program_cost_ns(b.o1),
+            sim::static_program_cost_ns(b.o2));
+    for (size_t si = 0; si < cat.size(); ++si) {
+      double t_o1 = traced_cost(cat[si], b.o2, b.o1, seed);
+      double t_o2 = traced_cost(cat[si], b.o2, b.o2, seed);
+      cost[si].push_back(t_o2);
+      fprintf(out, " %8.1f%c", t_o2,
+              si > 0 && t_o2 != cost[0][bi] ? '*' : ' ');
+      util::Json row{util::Json::Object{}};
+      row.set("benchmark", b.name);
+      row.set("scenario", cat[si].name);
+      row.set("fingerprint", cat[si].fingerprint());
+      row.set("traced_o1_ns", t_o1);
+      row.set("traced_o2_ns", t_o2);
+      row.set("static_o1_ns", sim::static_program_cost_ns(b.o1));
+      row.set("static_o2_ns", sim::static_program_cost_ns(b.o2));
+      fidelity.push_back(std::move(row));
+    }
+    fprintf(out, "\n");
+  }
+  fprintf(out, "(* = differs from the default-scenario estimate)\n");
+
+  // Pairwise ordering inversions vs the default ranking: scenario si
+  // inverts (a, b) when default prices a strictly below b but si prices b
+  // strictly below a. Ties never count as inversions.
+  fprintf(out, "\ncost-ordering inversions vs `default` (the steering "
+               "signal):\n");
+  util::Json inversions_j{util::Json::Array{}};
+  std::vector<std::string> steering_scenarios;
+  for (size_t si = 1; si < cat.size(); ++si) {
+    std::vector<std::pair<int, int>> inverted;
+    for (size_t a = 0; a < corpus_all.size(); ++a)
+      for (size_t b = 0; b < corpus_all.size(); ++b)
+        if (cost[0][a] < cost[0][b] && cost[si][b] < cost[si][a])
+          inverted.push_back({int(a), int(b)});
+    fprintf(out, "  %-20s %3zu inverted pairs", cat[si].name.c_str(),
+            inverted.size());
+    util::Json scen_j{util::Json::Object{}};
+    scen_j.set("scenario", cat[si].name);
+    scen_j.set("inverted_pairs", uint64_t(inverted.size()));
+    util::Json pairs_j{util::Json::Array{}};
+    for (size_t k = 0; k < inverted.size(); ++k) {
+      const auto& [a, b] = inverted[k];
+      if (k < 3)
+        fprintf(out, "%s %s<->%s", k ? "," : "  e.g.",
+                corpus_all[a].name.c_str(), corpus_all[b].name.c_str());
+      util::Json p{util::Json::Object{}};
+      p.set("cheaper_under_default", corpus_all[a].name);
+      p.set("cheaper_under_scenario", corpus_all[b].name);
+      pairs_j.push_back(std::move(p));
+    }
+    fprintf(out, "\n");
+    scen_j.set("pairs", std::move(pairs_j));
+    inversions_j.push_back(std::move(scen_j));
+    if (!inverted.empty()) steering_scenarios.push_back(cat[si].name);
+  }
+  fprintf(out, "non-default scenarios that re-order the corpus by cost: "
+               "%zu of %zu\n",
+          steering_scenarios.size(), cat.size() - 1);
+
+  // ---- Part 2: per-scenario searches, winners cross-priced -----------------
+  fprintf(out, "\nsteering searches: per-scenario quick searches (%llu "
+               "iters), elites cross-priced under every scenario\n",
+          (unsigned long long)iters);
+  util::Json steering{util::Json::Array{}};
+  for (const std::string& name : bench_names) {
+    const corpus::Benchmark& b = corpus::benchmark(name);
+
+    std::vector<Candidate> cands;
+    cands.push_back({"-O1", b.o1});
+    cands.push_back({"-O2", b.o2});
+    // One candidate pool: each scenario's search contributes its top-k
+    // elites (deduplicated after NOP-stripping — different scenarios often
+    // rediscover the same program).
+    auto add_unique = [&cands](std::string label, const ebpf::Program& p) {
+      ebpf::Program stripped = p.strip_nops();
+      for (const Candidate& c : cands)
+        if (c.prog.strip_nops().insns == stripped.insns) return;
+      cands.push_back({std::move(label), p});
+    };
+    for (const scenario::Scenario& s : cat) {
+      core::CompileOptions o;
+      o.goal = core::Goal::LATENCY;
+      o.perf_model = sim::PerfModelKind::TRACE_LATENCY;
+      o.scenario = s;
+      o.iters_per_chain = iters;
+      o.num_chains = 2;
+      o.threads = 2;
+      o.seed = seed;
+      o.top_k = 4;
+      o.eq.timeout_ms = 10000;
+      o.settings = core::table8_settings();
+      core::CompileResult res = core::compile(b.o2, o);
+      for (size_t k = 0; k < res.top_k.size(); ++k)
+        add_unique("w" + std::to_string(k + 1) + "@" + s.name, res.top_k[k]);
+    }
+
+    fprintf(out, "\n%-18s  %zu candidates\n", name.c_str(), cands.size());
+    fprintf(out, "  %-20s |", "scenario");
+    for (const Candidate& c : cands) fprintf(out, " %12s", c.label.c_str());
+    fprintf(out, " | order\n");
+    std::vector<int> default_rank;
+    util::Json bench_j{util::Json::Object{}};
+    bench_j.set("benchmark", name);
+    util::Json rows{util::Json::Array{}};
+    for (const scenario::Scenario& s : cat) {
+      std::vector<double> costs;
+      for (const Candidate& c : cands)
+        costs.push_back(traced_cost(s, b.o2, c.prog, seed));
+      std::vector<int> rank = ranking(costs);
+      if (s.name == "default") default_rank = rank;
+      bool flip = !default_rank.empty() && rank != default_rank &&
+                  s.name != "default";
+      fprintf(out, "  %-20s |", s.name.c_str());
+      for (double c : costs) fprintf(out, " %12.1f", c);
+      std::string order;
+      for (int i : rank) order += (order.empty() ? "" : " < ") + cands[i].label;
+      fprintf(out, " | %s%s\n", order.c_str(), flip ? "  *flip*" : "");
+
+      util::Json row{util::Json::Object{}};
+      row.set("scenario", s.name);
+      util::Json cost_j{util::Json::Object{}};
+      for (size_t i = 0; i < cands.size(); ++i)
+        cost_j.set(cands[i].label, costs[i]);
+      row.set("costs_ns", std::move(cost_j));
+      row.set("order", order);
+      row.set("reorders_vs_default", flip);
+      rows.push_back(std::move(row));
+    }
+    bench_j.set("rows", std::move(rows));
+    steering.push_back(std::move(bench_j));
+  }
+
+  if (json) {
+    util::Json report{util::Json::Object{}};
+    report.set("schema", "k2-scenario-bench/v1");
+    report.set("seed", seed);
+    report.set("iters", iters);
+    report.set("smoke", smoke);
+    report.set("fidelity", std::move(fidelity));
+    report.set("inversions", std::move(inversions_j));
+    report.set("search_cross_pricing", std::move(steering));
+    util::Json names{util::Json::Array{}};
+    for (const std::string& s : steering_scenarios) names.push_back(s);
+    report.set("steering_scenarios", std::move(names));
+    printf("%s\n", report.dump(2).c_str());
+  }
+
+  // The ISSUE 10 acceptance bar, enforced where CI can see it.
+  if (smoke && steering_scenarios.size() < 2) {
+    fprintf(stderr, "bench_scenarios: FAIL: only %zu non-default scenarios "
+                    "re-ordered the corpus by traced cost (need >= 2)\n",
+            steering_scenarios.size());
+    return 1;
+  }
+  return 0;
+}

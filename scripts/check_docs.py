@@ -18,6 +18,10 @@
    reply (the list between the docs:serve-ops-begin/end markers in
    src/api/serve.cc) must appear as `op` in docs/API.md, so a new wire op
    cannot land undocumented.
+6. Scenario-schema coverage: every k2-scenario/v1 field the strict parser
+   whitelists (between the docs:scenario-fields-begin/end markers in
+   src/scenario/scenario.cc) must appear in docs/SCENARIOS.md, so the
+   scenario schema reference can never silently rot.
 
 Exit code 0 = clean; 1 = problems (each printed on its own line).
 """
@@ -68,7 +72,7 @@ def check_bench_coverage():
         readme = f.read()
     bench_dir = os.path.join(ROOT, "bench")
     for fn in sorted(os.listdir(bench_dir)):
-        m = re.match(r"(table\d+_\w+|fig\d+_\w+)\.cc$", fn)
+        m = re.match(r"(table\d+_\w+|fig\d+_\w+|scenarios)\.cc$", fn)
         if not m:
             continue
         binary = f"bench_{m.group(1)}"
@@ -173,6 +177,45 @@ def check_serve_op_coverage():
     return problems
 
 
+def scenario_fields():
+    """k2-scenario/v1 fields: the strict-parse whitelists in scenario.cc.
+
+    Marker-scoped to the from_json whitelist block — the same list the
+    parser rejects unknown fields against — so the docs check tracks the
+    schema itself. Enum-alternative strings ("uniform|bimodal|...") and
+    message literals contain characters outside [a-z0-9_] and fall out of
+    the match naturally.
+    """
+    src_path = os.path.join(ROOT, "src", "scenario", "scenario.cc")
+    with open(src_path, encoding="utf-8") as f:
+        src = f.read()
+    m = re.search(r"docs:scenario-fields-begin(.*?)docs:scenario-fields-end",
+                  src, re.S)
+    if not m:
+        return None
+    return sorted(set(re.findall(r'"([a-z_][a-z0-9_]*)"', m.group(1))))
+
+
+def check_scenario_field_coverage():
+    fields = scenario_fields()
+    if fields is None:
+        return ["src/scenario/scenario.cc: no docs:scenario-fields-begin/end "
+                "block found (the k2-scenario/v1 field whitelist must be "
+                "marker-scoped)"]
+    md_path = os.path.join(ROOT, "docs", "SCENARIOS.md")
+    if not os.path.exists(md_path):
+        return ["docs/SCENARIOS.md is missing"]
+    with open(md_path, encoding="utf-8") as f:
+        md = f.read()
+    problems = []
+    for field in fields:
+        if f"`{field}`" not in md:
+            problems.append(
+                f"docs/SCENARIOS.md: scenario field `{field}` (whitelisted in "
+                f"src/scenario/scenario.cc) is undocumented")
+    return problems
+
+
 def check_flag_coverage():
     problems = []
     readme_path = os.path.join(ROOT, "README.md")
@@ -194,6 +237,7 @@ def main():
     problems += check_flag_coverage()
     problems += check_request_field_coverage()
     problems += check_serve_op_coverage()
+    problems += check_scenario_field_coverage()
     for p in problems:
         print(p)
     if problems:
@@ -201,7 +245,8 @@ def main():
         return 1
     print("docs OK: links resolve, README covers every bench table binary "
           "and every k2c flag, docs/API.md covers every CompileRequest "
-          "field and every serve op")
+          "field and every serve op, docs/SCENARIOS.md covers every "
+          "scenario field")
     return 0
 
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
+#include <sstream>
 
 #include "corpus/corpus.h"
 #include "ebpf/assembler.h"
@@ -47,6 +49,8 @@ const char* const kRequestFields[] = {
     "portfolio",
     "budget_wall_ms",
     "budget_iters",
+    "scenario",
+    "scenario_file",
 };
 // docs:request-fields-end
 
@@ -143,6 +147,46 @@ struct FieldReader {
     return -1;
   }
 };
+
+// Re-roots scenario-layer diagnostics ("$.packet.min_len") under the
+// request field that carried the scenario ("$.scenario.packet.min_len").
+void append_scenario_diags(const std::vector<scenario::Diag>& inner,
+                           const std::string& field,
+                           std::vector<Diagnostic>* out) {
+  for (const scenario::Diag& d : inner) {
+    std::string path = d.path;
+    if (!path.empty() && path[0] == '$') path = field + path.substr(1);
+    out->push_back({std::move(path), d.message});
+  }
+}
+
+// Loads + strictly parses a k2-scenario/v1 file. On failure returns false
+// with every problem appended under $.scenario_file.
+bool load_scenario_file(const std::string& path, scenario::Scenario* out,
+                        std::vector<Diagnostic>* diags) {
+  std::ifstream in(path);
+  if (!in) {
+    diags->push_back({"$.scenario_file", "cannot open '" + path + "'"});
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    *out = scenario::Scenario::from_json(util::Json::parse(ss.str()));
+  } catch (const scenario::ScenarioError& e) {
+    std::vector<Diagnostic> inner;
+    append_scenario_diags(e.diagnostics(), "$", &inner);
+    for (Diagnostic& d : inner)
+      diags->push_back(
+          {"$.scenario_file", "'" + path + "' " + d.path + ": " + d.message});
+    return false;
+  } catch (const std::exception& e) {
+    diags->push_back(
+        {"$.scenario_file", "'" + path + "': " + std::string(e.what())});
+    return false;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -253,6 +297,27 @@ std::vector<Diagnostic> CompileRequest::validate() const {
     fail("$.budget_iters", "out of range [0, 100000000000]");
   for (const std::string& ep : solver_endpoints)
     if (ep.empty()) fail("$.solver_endpoints", "endpoint must be non-empty");
+  {
+    int sources = (!scenario.empty() ? 1 : 0) + (!scenario_file.empty() ? 1 : 0) +
+                  (scenario_inline ? 1 : 0);
+    if (sources > 1)
+      fail("$.scenario",
+           "scenario, scenario_file and an inline scenario object are "
+           "mutually exclusive");
+    if (sources == 1) {
+      if (!scenario.empty() && !scenario::find_scenario(scenario))
+        fail("$.scenario", "unknown scenario '" + scenario + "' (expected " +
+                               scenario::catalog_names() +
+                               " or use scenario_file)");
+      if (!scenario_file.empty()) {
+        scenario::Scenario ignored;
+        load_scenario_file(scenario_file, &ignored, &diags);
+      }
+      if (scenario_inline)
+        append_scenario_diags(scenario_inline->validate(), "$.scenario",
+                              &diags);
+    }
+  }
   if (perf_model) {
     // The backend implies the goal (same rule the CLI applies): a
     // mismatched pair is a contradiction, not a preference.
@@ -314,6 +379,13 @@ util::Json CompileRequest::to_json() const {
   j.set("portfolio", int64_t(portfolio));
   if (budget_wall_ms > 0) j.set("budget_wall_ms", budget_wall_ms);
   if (budget_iters > 0) j.set("budget_iters", budget_iters);
+  // One "scenario" key on the wire: a string names a catalog entry, an
+  // object is an inline k2-scenario/v1 document.
+  if (scenario_inline)
+    j.set("scenario", scenario_inline->to_json());
+  else if (!scenario.empty())
+    j.set("scenario", scenario);
+  if (!scenario_file.empty()) j.set("scenario_file", scenario_file);
   return j;
 }
 
@@ -435,6 +507,22 @@ CompileRequest CompileRequest::from_json(const util::Json& j) {
   rd.read_int("portfolio", &r.portfolio, 1, 16);
   rd.read_uint("budget_wall_ms", &r.budget_wall_ms, 0, 86'400'000);
   rd.read_uint("budget_iters", &r.budget_iters, 0, 100'000'000'000);
+  if (const util::Json* sc = rd.find("scenario")) {
+    if (sc->is_string()) {
+      r.scenario = sc->as_string();
+    } else if (sc->is_object()) {
+      try {
+        r.scenario_inline = scenario::Scenario::from_json(*sc);
+      } catch (const scenario::ScenarioError& e) {
+        append_scenario_diags(e.diagnostics(), "$.scenario", &diags);
+      }
+    } else {
+      rd.fail("scenario",
+              "expected a catalog name (string) or an inline scenario "
+              "object");
+    }
+  }
+  rd.read_string("scenario_file", &r.scenario_file);
 
   if (diags.empty())
     for (Diagnostic& d : r.validate()) diags.push_back(std::move(d));
@@ -464,6 +552,7 @@ core::CompileOptions CompileRequest::to_compile_options() const {
   o.cache_dir = cache_dir;
   o.solver_endpoints = solver_endpoints;
   o.portfolio = portfolio;
+  o.scenario = resolved_scenario();
   return o;
 }
 
@@ -478,6 +567,27 @@ core::BatchOptions CompileRequest::to_batch_options() const {
   }
   b.threads = threads;
   return b;
+}
+
+scenario::Scenario CompileRequest::resolved_scenario() const {
+  if (scenario_inline) return *scenario_inline;
+  if (!scenario_file.empty()) {
+    scenario::Scenario s;
+    std::vector<Diagnostic> diags;
+    if (!load_scenario_file(scenario_file, &s, &diags))
+      throw ValidationError(std::move(diags));
+    return s;
+  }
+  if (!scenario.empty()) {
+    const scenario::Scenario* s = scenario::find_scenario(scenario);
+    if (!s)
+      throw ValidationError({{"$.scenario",
+                              "unknown scenario '" + scenario + "' (expected " +
+                                  scenario::catalog_names() +
+                                  " or use scenario_file)"}});
+    return *s;
+  }
+  return scenario::default_scenario();
 }
 
 ebpf::Program CompileRequest::resolve_program() const {

@@ -26,6 +26,7 @@
 
 #include "core/batch_compiler.h"
 #include "core/compiler.h"
+#include "scenario/scenario.h"
 #include "util/json.h"
 
 namespace k2::api {
@@ -119,6 +120,21 @@ struct CompileRequest {
   // CANCELLED, never unverified.
   uint64_t budget_wall_ms = 0;
   uint64_t budget_iters = 0;
+  // Traffic scenario for the TRACE_LATENCY cost stage (src/scenario,
+  // schema k2-scenario/v1). At most ONE of the three sources may be set:
+  //   scenario        — built-in catalog name ("imix_hot_maps", ...).
+  //                     Unknown names are hard validation errors — there is
+  //                     no silent fall-back to `default`.
+  //   scenario_file   — path to a k2-scenario/v1 JSON file, loaded and
+  //                     strictly validated at request validation time.
+  //   scenario_inline — a parsed Scenario (the JSON wire form carries it as
+  //                     an object under the "scenario" key).
+  // All empty/unset = the `default` scenario, bit-identical to pre-scenario
+  // behavior. Pair with perf_model "latency"; the static backends record
+  // the scenario as provenance but price nothing against it.
+  std::string scenario;
+  std::string scenario_file;
+  std::optional<scenario::Scenario> scenario_inline;
 
   // ---- typed builder -------------------------------------------------------
   static CompileRequest for_benchmark(std::string name);
@@ -151,6 +167,18 @@ struct CompileRequest {
     budget_iters = iters;
     return *this;
   }
+  CompileRequest& with_scenario(std::string name) {
+    scenario = std::move(name);
+    return *this;
+  }
+  CompileRequest& with_scenario(scenario::Scenario s) {
+    scenario_inline = std::move(s);
+    return *this;
+  }
+  CompileRequest& with_scenario_file(std::string path) {
+    scenario_file = std::move(path);
+    return *this;
+  }
 
   // ---- validation ----------------------------------------------------------
   // Structural + range validation of the typed fields (mode/source
@@ -175,6 +203,12 @@ struct CompileRequest {
   // Resolves the single-mode source program (assembles program_asm or looks
   // up the corpus benchmark).
   ebpf::Program resolve_program() const;
+  // Resolves the effective traffic scenario: scenario_inline, else
+  // scenario_file (loaded + strictly parsed), else the named catalog entry,
+  // else the `default` scenario. Throws ValidationError (with
+  // $.scenario/$.scenario_file paths) on unknown names or bad files —
+  // validate() reports the same problems without throwing.
+  scenario::Scenario resolved_scenario() const;
 };
 
 const char* to_string(CompileRequest::Mode m);

@@ -34,6 +34,13 @@ inline constexpr const char* kServeProtocol = "k2-serve/v1";
 // (src/verify/solve_protocol.h); sent back in every hello reply.
 inline constexpr const char* kSolveProtocol = "k2-solve/v1";
 
+// scenario::Scenario (src/scenario/scenario.h): a declarative traffic
+// scenario — packet-size/flow distributions, arrival shaping, map-state
+// regimes — expanded into deterministic workloads for the TRACE_LATENCY
+// cost stage. Carried inline in CompileRequest.scenario or as a
+// standalone file (`k2c --scenario=<file>`).
+inline constexpr const char* kScenarioSchema = "k2-scenario/v1";
+
 // The on-disk persistent equivalence-cache store format
 // (src/verify/cache_store.h): the header line of every shard file.
 inline constexpr const char* kEqCacheSchema = "k2-eqcache/v1";

@@ -169,6 +169,13 @@ std::string ServeLoop::handle(const std::string& line, bool* stop) {
       j.set("solver", solver_json(m.solver, service_.options().solver_workers));
       j.set("cache", cache_json(m.cache, m.pending_eq));
       j.set("jit_bailouts", m.jit_bailouts);
+      // Workload provenance: finished jobs per traffic scenario
+      // ("name@fingerprint" -> count). Empty until a job completes.
+      util::Json scenarios;
+      for (const auto& [key, count] : m.scenario_jobs)
+        scenarios.set(key, count);
+      if (m.scenario_jobs.empty()) scenarios = util::Json(util::Json::Object{});
+      j.set("scenarios", std::move(scenarios));
       if (const verify::CacheStore* st = service_.store()) {
         verify::CacheStore::Stats ss = st->stats();
         util::Json store;

@@ -512,6 +512,19 @@ ServiceMetrics CompilerService::metrics() const {
         if (job->resp.single) m.jit_bailouts += job->resp.single->jit_bailouts;
         if (job->resp.batch)
           m.jit_bailouts += job->resp.batch->totals.jit_bailouts;
+        // Workload provenance: which scenario each finished job priced
+        // under, keyed name@fingerprint so a renamed-but-identical file and
+        // its catalog twin land in the same bucket.
+        const std::string* sn = nullptr;
+        const std::string* fp = nullptr;
+        if (job->resp.single) {
+          sn = &job->resp.single->scenario;
+          fp = &job->resp.single->scenario_fingerprint;
+        } else if (job->resp.batch) {
+          sn = &job->resp.batch->scenario;
+          fp = &job->resp.batch->scenario_fingerprint;
+        }
+        if (sn && !sn->empty()) m.scenario_jobs[*sn + "@" + *fp]++;
       }
       cache = job->cache;
     }

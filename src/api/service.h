@@ -39,6 +39,7 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -150,6 +151,10 @@ struct ServiceMetrics {
   // JIT fallbacks summed over terminal jobs' results (single and batch).
   // Always 0 while every request runs the default fast-interpreter backend.
   uint64_t jit_bailouts = 0;
+  // Terminal jobs per traffic scenario, keyed "name@fingerprint" (e.g.
+  // "default@a1b2..."), from the same pass — workload provenance for the
+  // serve `stats`/`metrics` ops.
+  std::map<std::string, uint64_t> scenario_jobs;
 };
 
 class JobHandle {

@@ -167,6 +167,8 @@ util::Json compile_result_to_json(const CompileResult& r) {
   j.set("jit_bailouts", r.jit_bailouts);
   j.set("kernel_accepted", int64_t(r.kernel_accepted));
   j.set("kernel_rejected", int64_t(r.kernel_rejected));
+  j.set("scenario", r.scenario);
+  j.set("scenario_fingerprint", r.scenario_fingerprint);
   return j;
 }
 
@@ -218,6 +220,9 @@ CompileResult compile_result_from_json(const util::Json& j) {
     r.jit_bailouts = v->as_uint();
   r.kernel_accepted = int(j.at("kernel_accepted").as_int());
   r.kernel_rejected = int(j.at("kernel_rejected").as_int());
+  if (const util::Json* v = j.get("scenario")) r.scenario = v->as_string();
+  if (const util::Json* v = j.get("scenario_fingerprint"))
+    r.scenario_fingerprint = v->as_string();
   return r;
 }
 
@@ -225,6 +230,8 @@ util::Json BatchReport::to_json() const {
   util::Json j;
   j.set("schema", kSchema);
   j.set("perf_model", perf_model);
+  j.set("scenario", scenario);
+  j.set("scenario_fingerprint", scenario_fingerprint);
   j.set("threads", int64_t(threads));
   j.set("seed", seed);
   j.set("wall_secs", wall_secs);
@@ -245,6 +252,9 @@ BatchReport BatchReport::from_json(const util::Json& j) {
                              "reads only '" + std::string(kSchema) + "'");
   BatchReport r;
   r.perf_model = j.at("perf_model").as_string();
+  if (const util::Json* v = j.get("scenario")) r.scenario = v->as_string();
+  if (const util::Json* v = j.get("scenario_fingerprint"))
+    r.scenario_fingerprint = v->as_string();
   r.threads = int(j.at("threads").as_int());
   r.seed = j.at("seed").as_uint();
   r.wall_secs = j.at("wall_secs").as_double();
@@ -281,6 +291,9 @@ BatchReport BatchCompiler::run(const BatchServices& bsvc) {
   report.threads = std::max(1, opts_.threads);
   report.seed = opts_.base.seed;
   report.perf_model = sim::to_string(resolved_perf_model(opts_.base));
+  opts_.base.scenario.validate_or_throw();  // fail fast, before any job
+  report.scenario = opts_.base.scenario.name;
+  report.scenario_fingerprint = opts_.base.scenario.fingerprint();
   report.benchmarks.resize(selected.size());
 
   // Persistent cache store: ONE store shared by every per-benchmark cache

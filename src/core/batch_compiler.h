@@ -126,6 +126,11 @@ struct BatchReport {
   static constexpr const char* kSchema = api::kBatchReportSchema;
 
   std::string perf_model;  // sim::to_string of the backend used
+  // Workload provenance: name and content fingerprint of the traffic
+  // scenario every job of the batch priced under (CompileOptions::scenario;
+  // "default" when none was requested).
+  std::string scenario;
+  std::string scenario_fingerprint;
   int threads = 1;
   uint64_t seed = 0;
   double wall_secs = 0;

@@ -74,9 +74,13 @@ sim::PerfModelKind resolved_perf_model(const CompileOptions& opts) {
 std::vector<interp::InputSpec> generate_tests(const ebpf::Program& src, int n,
                                               uint64_t seed) {
   // Random packet workload plus deterministic edge cases: a minimum-size
-  // packet, an all-zero packet, and empty maps.
-  std::vector<interp::InputSpec> tests =
-      sim::make_workload(src, std::max(1, n - 3), seed, /*hit_rate=*/0.7);
+  // packet, an all-zero packet, and empty maps. Always the *default*
+  // scenario (bit-identical to the legacy make_workload mix at
+  // scenario::kDefaultMapHitRate), never the compile's scenario: the test
+  // suite defines correctness, and correctness must not depend on which
+  // traffic model the cost stage prices under.
+  std::vector<interp::InputSpec> tests = scenario::expand(
+      scenario::default_scenario(), src, std::max(1, n - 3), seed);
   interp::InputSpec tiny;
   tiny.packet.assign(14, 0);
   tests.push_back(tiny);
@@ -103,8 +107,16 @@ CompileResult compile(const ebpf::Program& src, const CompileOptions& opts,
   res.best = src.strip_nops();
 
   sim::PerfModelKind pm_kind = resolved_perf_model(opts);
-  std::unique_ptr<sim::PerfModel> perf_model =
-      sim::make_perf_model(pm_kind, src, opts.seed);
+  opts.scenario.validate_or_throw();
+  // TRACE_LATENCY prices candidates against the compile's scenario,
+  // expanded here (scenario sits above sim, so the workload is injected
+  // rather than built inside the backend). The static backends ignore the
+  // workload; the scenario is still recorded for provenance either way.
+  std::unique_ptr<sim::PerfModel> perf_model = sim::make_perf_model(
+      pm_kind, src,
+      scenario::expand(opts.scenario, src, opts.scenario.inputs, opts.seed));
+  res.scenario = opts.scenario.name;
+  res.scenario_fingerprint = opts.scenario.fingerprint();
   res.src_perf = perf_model->absolute(src);
   res.best_perf = res.src_perf;
 

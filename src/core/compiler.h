@@ -11,6 +11,7 @@
 #include "core/progress.h"
 #include "jit/exec_backend.h"
 #include "kernel/kernel_checker.h"
+#include "scenario/scenario.h"
 
 namespace k2::sim {
 enum class PerfModelKind : uint8_t;
@@ -65,6 +66,16 @@ struct CompileOptions {
   // interpreter-traced workload estimator (k2c --perf-model=latency) and
   // should be paired with Goal::LATENCY.
   std::optional<sim::PerfModelKind> perf_model;
+  // Traffic scenario for the TRACE_LATENCY cost stage (src/scenario; k2c
+  // --scenario=<name|file>, CompileRequest.scenario). The scenario is
+  // expanded into the trace workload the estimator prices candidates
+  // against; the initial *test suite* (generate_tests) always uses the
+  // default scenario so correctness testing and equivalence outcomes stay
+  // scenario-independent — a scenario steers which candidate wins, never
+  // what counts as equivalent. The default-constructed value (the `default`
+  // catalog scenario) is bit-identical to the legacy make_workload mix, so
+  // leaving this untouched preserves pre-scenario behavior exactly.
+  scenario::Scenario scenario = scenario::default_scenario();
   // Persistent equivalence-cache directory (k2c --cache-dir). Non-empty:
   // settled verdicts are loaded from disk at start and written through on
   // every solve, so a repeated identical run warm-starts with zero Z3
@@ -207,6 +218,14 @@ struct CompileResult {
   // Kernel-checker post-processing statistics (Table 5).
   int kernel_accepted = 0;
   int kernel_rejected = 0;
+
+  // Workload provenance: the scenario this run priced candidates under
+  // (CompileOptions::scenario's name) and its content fingerprint
+  // (scenario::Scenario::fingerprint — semantic fields only, so a catalog
+  // entry and an identical file fingerprint the same). Recorded in the
+  // CompileResult JSON, batch reports, and serve metrics.
+  std::string scenario;
+  std::string scenario_fingerprint;
 };
 
 // The perf-model backend a compile with these options actually uses: the

@@ -46,6 +46,9 @@ struct InputSpec {
   std::array<uint64_t, 2> ctx_args{0, 0};  // tracepoint/socket scalar args
 
   std::string to_string() const;
+  // Byte-exact equality; scenario-expansion determinism tests compare whole
+  // workloads with this.
+  friend bool operator==(const InputSpec&, const InputSpec&) = default;
 };
 
 enum class Fault : uint8_t {

@@ -1,0 +1,208 @@
+// Scenario expansion: turn a declarative traffic model into concrete
+// interp::InputSpec workloads.
+//
+// BIT-IDENTITY INVARIANT: for the default scenario (value-initialized
+// Scenario — UNIFORM 60..94, STEADY with no flow keys, WARM maps at
+// kDefaultMapHitRate with 4 entries) this function must consume its
+// mt19937_64 in EXACTLY the order the legacy sim::make_workload did, so
+// the expansion is byte-for-byte the legacy workload and pre-scenario
+// TRACE_LATENCY costs / same-seed winners are preserved. The load-bearing
+// details, each pinned by the differential test in tests/scenario_test.cc:
+//
+//  * all distributions are constructed once, outside the packet loop;
+//  * the map-skip unit(rng) draw happens for EVERY map (ARRAY/DEVMAP
+//    included), even though only HASH maps can actually be skipped;
+//  * hash-entry 0 uses key 0 without drawing from the RNG; entries > 0
+//    draw rng() % 256;
+//  * non-default branches may consume the RNG differently — only the
+//    default path carries the legacy contract.
+#include "scenario/expander.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace k2::scenario {
+
+namespace {
+
+// Classic IMIX: 64/594/1518-byte frames in a 7:4:1 ratio.
+constexpr int kImixLens[3] = {64, 594, 1518};
+constexpr double kImixCum[3] = {7.0 / 12.0, 11.0 / 12.0, 1.0};
+
+int draw_len(const PacketModel& pm, std::mt19937_64& rng,
+             std::uniform_int_distribution<int>& uniform_len,
+             std::uniform_real_distribution<double>& unit) {
+  switch (pm.size_dist) {
+    case SizeDist::UNIFORM:
+      return uniform_len(rng);
+    case SizeDist::BIMODAL:
+      return unit(rng) < pm.small_frac ? pm.small_len : pm.large_len;
+    case SizeDist::HEAVY_TAIL: {
+      // Bounded Pareto via inverse CDF: L / (1 - u*(1 - (L/H)^a))^(1/a).
+      double u = unit(rng);
+      double lo = double(pm.min_len), hi = double(pm.max_len);
+      double ratio = std::pow(lo / hi, pm.tail_alpha);
+      double x = lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / pm.tail_alpha);
+      return std::clamp(int(x), pm.min_len, pm.max_len);
+    }
+    case SizeDist::IMIX: {
+      double u = unit(rng);
+      int len = kImixLens[u < kImixCum[0] ? 0 : (u < kImixCum[1] ? 1 : 2)];
+      return std::clamp(len, pm.min_len, pm.max_len);
+    }
+  }
+  return pm.min_len;
+}
+
+// Stamps flow `f`'s identity into the IPv4 address/port bytes (offsets
+// 26..37 of an Ethernet+IPv4+UDP frame): many sources, one destination —
+// the shape a flow-keyed program actually hashes on under incast.
+void stamp_flow_key(std::vector<uint8_t>& pkt, int f) {
+  if (pkt.size() < 38) return;
+  pkt[26] = 10;  // src 10.0.f_hi.f_lo
+  pkt[27] = 0;
+  pkt[28] = uint8_t((f >> 8) & 0xff);
+  pkt[29] = uint8_t(f & 0xff);
+  pkt[30] = 10;  // dst 10.1.0.1 (the single incast receiver)
+  pkt[31] = 1;
+  pkt[32] = 0;
+  pkt[33] = 1;
+  uint16_t sport = uint16_t(0xC000 + (f & 0x3fff));
+  pkt[34] = uint8_t(sport >> 8);
+  pkt[35] = uint8_t(sport & 0xff);
+  pkt[36] = 0x1f;  // dst port 8080
+  pkt[37] = 0x90;
+}
+
+// How many entries to seed into map `def` under `mm`, and whether a WARM
+// skip draw applies. Entry count 0 with populate=true still performs no
+// writes, matching the legacy ARRAY/DEVMAP behavior.
+int seeded_entries(const MapModel& mm, const ebpf::MapDef& def) {
+  int cap = int(std::min<uint32_t>(def.max_entries, 65536));
+  switch (mm.regime) {
+    case MapRegime::COLD:
+      return 0;
+    case MapRegime::WARM:
+      // Legacy shape: hash maps get entries_per_map, others nothing.
+      return def.kind == ebpf::MapKind::HASH
+                 ? std::min(mm.entries_per_map, cap)
+                 : 0;
+    case MapRegime::HOT:
+      return std::min(mm.entries_per_map, cap);
+    case MapRegime::FULL:
+      return def.kind == ebpf::MapKind::HASH
+                 ? std::min(cap, 64)
+                 : std::min(mm.entries_per_map, cap);
+  }
+  return 0;
+}
+
+// Key for seeded entry `e`. Legacy path (WARM, non-adversarial): entry 0 is
+// key 0 with NO rng draw, later entries draw rng() % 256. HOT/FULL use the
+// entry index so seeded keys are distinct and deterministic. Adversarial
+// keys collide in their low byte (index carried in the second byte), with
+// entry 0 as the all-ones boundary key — a hash-bucket phenomenon, so they
+// apply to HASH maps only: for array-like maps those keys are out-of-range
+// indices the kernel would reject, and seeding nothing would silently turn
+// the regime off, so arrays keep their index keys (what HOT/FULL mean for
+// an array is "entries 0..k-1 hold live, nonzero values").
+uint64_t entry_key(const MapModel& mm, ebpf::MapKind kind,
+                   std::mt19937_64& rng, int e) {
+  if (mm.adversarial_keys && kind == ebpf::MapKind::HASH)
+    return e == 0 ? ~0ull : (uint64_t(e) << 8);
+  if (mm.regime == MapRegime::HOT || mm.regime == MapRegime::FULL)
+    return uint64_t(e);
+  return e == 0 ? 0 : rng() % 256;
+}
+
+}  // namespace
+
+std::vector<interp::InputSpec> expand(const Scenario& scn,
+                                      const ebpf::Program& prog, int n,
+                                      uint64_t seed) {
+  // Out-of-range fields would be UB below (uniform_int_distribution with
+  // max < min), so expansion refuses rather than trusting every caller to
+  // have validated.
+  scn.validate_or_throw();
+  const PacketModel& pm = scn.packet;
+  const ArrivalModel& am = scn.arrival;
+  const MapModel& mm = scn.maps;
+
+  std::vector<interp::InputSpec> out;
+  out.reserve(size_t(std::max(0, n)));
+  std::mt19937_64 rng(seed + scn.seed_offset);
+  std::uniform_int_distribution<int> uniform_len(pm.min_len, pm.max_len);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  for (int i = 0; i < n; ++i) {
+    interp::InputSpec in;
+    int len = draw_len(pm, rng, uniform_len, unit);
+    in.packet.resize(size_t(len));
+    // Plausible Ethernet/IPv4/UDP scaffold with randomized addresses/ports.
+    for (auto& b : in.packet) b = uint8_t(byte_dist(rng));
+    in.packet[12] = 0x08;  // ethertype IPv4
+    in.packet[13] = 0x00;
+    in.packet[14] = 0x45;  // IPv4, IHL 5
+    in.packet[23] = 17;    // UDP
+    if (am.flows > 0) {
+      int flow;
+      if (am.pattern == Arrival::INCAST) {
+        flow = unit(rng) < am.hot_flow_frac
+                   ? 0
+                   : (am.flows > 1 ? 1 + int(rng() % uint64_t(am.flows - 1))
+                                   : 0);
+      } else {
+        flow = int(rng() % uint64_t(am.flows));
+      }
+      stamp_flow_key(in.packet, flow);
+    }
+    in.prandom_seed = rng();
+    if (am.pattern == Arrival::BURST) {
+      // Bursts of burst_len back-to-back packets (1us apart) separated by
+      // burst_gap_ns. Deterministic — no rng draw on this branch.
+      in.ktime_base = 1'000'000'000ull +
+                      uint64_t(i / am.burst_len) * am.burst_gap_ns +
+                      uint64_t(i % am.burst_len) * 1000;
+    } else {
+      in.ktime_base = 1'000'000'000ull + (rng() & 0xffffff);
+    }
+    in.cpu_id = uint32_t(rng() % 8);
+    in.ctx_args[0] = rng() & 0xffff;
+    in.ctx_args[1] = rng() & 0xffff;
+
+    for (size_t fd = 0; fd < prog.maps.size(); ++fd) {
+      const ebpf::MapDef& def = prog.maps[fd];
+      if (mm.regime == MapRegime::COLD) continue;  // no draws at all
+      // The WARM skip draw is consumed for EVERY map kind (legacy quirk);
+      // only HASH maps can actually be skipped.
+      if (mm.regime == MapRegime::WARM && unit(rng) > mm.hit_rate &&
+          def.kind == ebpf::MapKind::HASH)
+        continue;
+      int entries = seeded_entries(mm, def);
+      for (int e = 0; e < entries; ++e) {
+        interp::MapEntryInit me;
+        me.key.resize(def.key_size);
+        uint64_t kv = entry_key(mm, def.kind, rng, e);
+        bool adv = mm.adversarial_keys && def.kind == ebpf::MapKind::HASH;
+        for (uint32_t b = 0; b < def.key_size; ++b)
+          me.key[b] = b < 8 ? uint8_t((kv >> (8 * b)) & 0xff)
+                            : uint8_t(adv && e == 0 ? 0xff : 0);
+        me.value.resize(def.value_size);
+        for (auto& b : me.value) b = uint8_t(byte_dist(rng));
+        in.maps[int(fd)].push_back(std::move(me));
+      }
+    }
+    out.push_back(std::move(in));
+  }
+  return out;
+}
+
+std::vector<interp::InputSpec> expand(const Scenario& scn,
+                                      const ebpf::Program& prog,
+                                      uint64_t seed) {
+  return expand(scn, prog, scn.inputs, seed);
+}
+
+}  // namespace k2::scenario

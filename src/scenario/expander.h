@@ -1,0 +1,38 @@
+// ScenarioExpander: compiles a validated Scenario into concrete
+// interp::InputSpec workloads. A thin, immutable wrapper over the free
+// scenario::expand() functions for callers that expand one scenario many
+// times (the batch compiler expands once per benchmark program) and want
+// validation hoisted to construction time.
+#pragma once
+
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace k2::scenario {
+
+class ScenarioExpander {
+ public:
+  // Validates; throws ScenarioError on out-of-range fields.
+  explicit ScenarioExpander(Scenario scn) : scn_(std::move(scn)) {
+    scn_.validate_or_throw();
+  }
+
+  const Scenario& scenario() const { return scn_; }
+
+  // Deterministic: byte-identical specs for equal (scenario semantics,
+  // prog, n, seed) — see scenario.h for the full contract.
+  std::vector<interp::InputSpec> expand(const ebpf::Program& prog, int n,
+                                        uint64_t seed) const {
+    return scenario::expand(scn_, prog, n, seed);
+  }
+  std::vector<interp::InputSpec> expand(const ebpf::Program& prog,
+                                        uint64_t seed) const {
+    return scenario::expand(scn_, prog, scn_.inputs, seed);
+  }
+
+ private:
+  Scenario scn_;
+};
+
+}  // namespace k2::scenario

@@ -1,0 +1,430 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "api/schema.h"
+
+namespace k2::scenario {
+
+namespace {
+
+using util::Json;
+
+std::string join_diags(const std::vector<Diag>& diags) {
+  std::string s = "invalid scenario";
+  for (const Diag& d : diags) s += "\n  " + d.str();
+  return s;
+}
+
+}  // namespace
+
+ScenarioError::ScenarioError(std::vector<Diag> diags)
+    : std::runtime_error(join_diags(diags)), diags_(std::move(diags)) {}
+
+const char* to_string(SizeDist d) {
+  switch (d) {
+    case SizeDist::UNIFORM: return "uniform";
+    case SizeDist::BIMODAL: return "bimodal";
+    case SizeDist::HEAVY_TAIL: return "heavy_tail";
+    case SizeDist::IMIX: return "imix";
+  }
+  return "?";
+}
+
+const char* to_string(Arrival a) {
+  switch (a) {
+    case Arrival::STEADY: return "steady";
+    case Arrival::BURST: return "burst";
+    case Arrival::INCAST: return "incast";
+  }
+  return "?";
+}
+
+const char* to_string(MapRegime r) {
+  switch (r) {
+    case MapRegime::COLD: return "cold";
+    case MapRegime::WARM: return "warm";
+    case MapRegime::HOT: return "hot";
+    case MapRegime::FULL: return "full";
+  }
+  return "?";
+}
+
+bool size_dist_from_string(const std::string& s, SizeDist* out) {
+  for (SizeDist d : {SizeDist::UNIFORM, SizeDist::BIMODAL, SizeDist::HEAVY_TAIL,
+                     SizeDist::IMIX}) {
+    if (s == to_string(d)) { *out = d; return true; }
+  }
+  return false;
+}
+
+bool arrival_from_string(const std::string& s, Arrival* out) {
+  for (Arrival a : {Arrival::STEADY, Arrival::BURST, Arrival::INCAST}) {
+    if (s == to_string(a)) { *out = a; return true; }
+  }
+  return false;
+}
+
+bool map_regime_from_string(const std::string& s, MapRegime* out) {
+  for (MapRegime r :
+       {MapRegime::COLD, MapRegime::WARM, MapRegime::HOT, MapRegime::FULL}) {
+    if (s == to_string(r)) { *out = r; return true; }
+  }
+  return false;
+}
+
+// ---- validation -------------------------------------------------------------
+
+std::vector<Diag> Scenario::validate() const {
+  std::vector<Diag> out;
+  auto bad = [&out](const char* path, std::string msg) {
+    out.push_back({path, std::move(msg)});
+  };
+  if (inputs < 1 || inputs > 65536)
+    bad("$.inputs", "must be in [1, 65536]");
+  // 24 keeps the fixed header bytes (ethertype at offset 12/13, IP header
+  // at 14, protocol at 23) inside every packet; 9000 = jumbo-frame cap.
+  if (packet.min_len < 24 || packet.min_len > 9000)
+    bad("$.packet.min_len", "must be in [24, 9000]");
+  if (packet.max_len < packet.min_len || packet.max_len > 9000)
+    bad("$.packet.max_len", "must be in [min_len, 9000]");
+  if (packet.small_len < 24 || packet.small_len > 9000)
+    bad("$.packet.small_len", "must be in [24, 9000]");
+  if (packet.large_len < 24 || packet.large_len > 9000)
+    bad("$.packet.large_len", "must be in [24, 9000]");
+  if (!(packet.small_frac >= 0.0 && packet.small_frac <= 1.0))
+    bad("$.packet.small_frac", "must be in [0, 1]");
+  if (!(packet.tail_alpha > 0.0 && packet.tail_alpha <= 16.0))
+    bad("$.packet.tail_alpha", "must be in (0, 16]");
+  if (arrival.flows < 0 || arrival.flows > 1'000'000)
+    bad("$.arrival.flows", "must be in [0, 1000000]");
+  if (!(arrival.hot_flow_frac >= 0.0 && arrival.hot_flow_frac <= 1.0))
+    bad("$.arrival.hot_flow_frac", "must be in [0, 1]");
+  if (arrival.burst_len < 1 || arrival.burst_len > 65536)
+    bad("$.arrival.burst_len", "must be in [1, 65536]");
+  if (arrival.pattern == Arrival::INCAST && arrival.flows == 0)
+    bad("$.arrival.flows", "incast requires flows >= 1");
+  if (!(maps.hit_rate >= 0.0 && maps.hit_rate <= 1.0))
+    bad("$.maps.hit_rate", "must be in [0, 1]");
+  if (maps.entries_per_map < 0 || maps.entries_per_map > 65536)
+    bad("$.maps.entries_per_map", "must be in [0, 65536]");
+  return out;
+}
+
+void Scenario::validate_or_throw() const {
+  std::vector<Diag> diags = validate();
+  if (!diags.empty()) throw ScenarioError(std::move(diags));
+}
+
+// ---- JSON -------------------------------------------------------------------
+
+util::Json Scenario::to_json() const {
+  Json packet_j{Json::Object{}};
+  packet_j.set("size_dist", to_string(packet.size_dist));
+  packet_j.set("min_len", int64_t(packet.min_len));
+  packet_j.set("max_len", int64_t(packet.max_len));
+  packet_j.set("small_len", int64_t(packet.small_len));
+  packet_j.set("large_len", int64_t(packet.large_len));
+  packet_j.set("small_frac", packet.small_frac);
+  packet_j.set("tail_alpha", packet.tail_alpha);
+
+  Json arrival_j{Json::Object{}};
+  arrival_j.set("pattern", to_string(arrival.pattern));
+  arrival_j.set("flows", int64_t(arrival.flows));
+  arrival_j.set("hot_flow_frac", arrival.hot_flow_frac);
+  arrival_j.set("burst_len", int64_t(arrival.burst_len));
+  arrival_j.set("burst_gap_ns", arrival.burst_gap_ns);
+
+  Json maps_j{Json::Object{}};
+  maps_j.set("regime", to_string(maps.regime));
+  maps_j.set("hit_rate", maps.hit_rate);
+  maps_j.set("entries_per_map", int64_t(maps.entries_per_map));
+  maps_j.set("adversarial_keys", maps.adversarial_keys);
+
+  Json j{Json::Object{}};
+  j.set("schema", api::kScenarioSchema);
+  j.set("name", name);
+  j.set("description", description);
+  j.set("inputs", int64_t(inputs));
+  j.set("seed_offset", seed_offset);
+  j.set("packet", std::move(packet_j));
+  j.set("arrival", std::move(arrival_j));
+  j.set("maps", std::move(maps_j));
+  return j;
+}
+
+namespace {
+
+// Strict object reader in the style of api/request.cc's FieldReader, with
+// scenario-local diagnostics. Every problem is collected (not just the
+// first) so a lint pass reports the whole file at once.
+class Reader {
+ public:
+  Reader(const Json& j, std::string path, std::vector<Diag>* diags)
+      : j_(j), path_(std::move(path)), diags_(diags) {}
+
+  bool ok() const { return j_.is_object(); }
+
+  void require_object() {
+    if (!j_.is_object()) fail("", "expected an object");
+  }
+
+  void check_unknown(const std::vector<std::string>& known) {
+    if (!j_.is_object()) return;
+    for (const auto& [key, value] : j_.as_object()) {
+      (void)value;
+      if (std::find(known.begin(), known.end(), key) == known.end())
+        fail("." + key, "unknown field");
+    }
+  }
+
+  void read_string(const char* key, std::string* out) {
+    const Json* v = field(key);
+    if (!v) return;
+    if (!v->is_string()) return fail_key(key, "expected a string");
+    *out = v->as_string();
+  }
+
+  void read_int(const char* key, int* out) {
+    const Json* v = field(key);
+    if (!v) return;
+    if (!v->is_int()) return fail_key(key, "expected an integer");
+    *out = int(v->as_int());
+  }
+
+  void read_uint(const char* key, uint64_t* out) {
+    const Json* v = field(key);
+    if (!v) return;
+    if (!v->is_int()) return fail_key(key, "expected an integer");
+    *out = v->as_uint();
+  }
+
+  void read_double(const char* key, double* out) {
+    const Json* v = field(key);
+    if (!v) return;
+    if (!v->is_number()) return fail_key(key, "expected a number");
+    *out = v->as_double();
+  }
+
+  void read_bool(const char* key, bool* out) {
+    const Json* v = field(key);
+    if (!v) return;
+    if (!v->is_bool()) return fail_key(key, "expected a boolean");
+    *out = v->as_bool();
+  }
+
+  template <typename T, typename Parse>
+  void read_enum(const char* key, T* out, Parse parse, const char* values) {
+    const Json* v = field(key);
+    if (!v) return;
+    if (!v->is_string()) return fail_key(key, "expected a string");
+    if (!parse(v->as_string(), out))
+      fail_key(key, "unknown value '" + v->as_string() + "' (expected " +
+                        values + ")");
+  }
+
+  const Json* field(const char* key) const {
+    return j_.is_object() ? j_.get(key) : nullptr;
+  }
+
+  void fail(const std::string& suffix, std::string msg) {
+    diags_->push_back({path_ + suffix, std::move(msg)});
+  }
+  void fail_key(const char* key, std::string msg) {
+    fail(std::string(".") + key, std::move(msg));
+  }
+
+ private:
+  const Json& j_;
+  std::string path_;
+  std::vector<Diag>* diags_;
+};
+
+}  // namespace
+
+Scenario Scenario::from_json(const util::Json& j) {
+  std::vector<Diag> diags;
+  Scenario s;
+  Reader top(j, "$", &diags);
+  top.require_object();
+  if (top.ok()) {
+    // docs:scenario-fields-begin — the k2-scenario/v1 field whitelist.
+    // Every name listed here (and in the nested packet/arrival/maps
+    // whitelists below) must have a row in docs/SCENARIOS.md; enforced by
+    // scripts/check_docs.py.
+    top.check_unknown({"schema", "name", "description", "inputs",
+                       "seed_offset", "packet", "arrival", "maps"});
+    const Json* schema = top.field("schema");
+    if (!schema) {
+      top.fail(".schema", "missing (expected \"" +
+                              std::string(api::kScenarioSchema) + "\")");
+    } else if (!schema->is_string() ||
+               schema->as_string() != api::kScenarioSchema) {
+      top.fail(".schema", "unsupported schema (expected \"" +
+                              std::string(api::kScenarioSchema) + "\")");
+    }
+    top.read_string("name", &s.name);
+    top.read_string("description", &s.description);
+    top.read_int("inputs", &s.inputs);
+    top.read_uint("seed_offset", &s.seed_offset);
+
+    if (const Json* p = top.field("packet")) {
+      Reader r(*p, "$.packet", &diags);
+      r.require_object();
+      r.check_unknown({"size_dist", "min_len", "max_len", "small_len",
+                       "large_len", "small_frac", "tail_alpha"});
+      r.read_enum("size_dist", &s.packet.size_dist, size_dist_from_string,
+                  "uniform|bimodal|heavy_tail|imix");
+      r.read_int("min_len", &s.packet.min_len);
+      r.read_int("max_len", &s.packet.max_len);
+      r.read_int("small_len", &s.packet.small_len);
+      r.read_int("large_len", &s.packet.large_len);
+      r.read_double("small_frac", &s.packet.small_frac);
+      r.read_double("tail_alpha", &s.packet.tail_alpha);
+    }
+    if (const Json* a = top.field("arrival")) {
+      Reader r(*a, "$.arrival", &diags);
+      r.require_object();
+      r.check_unknown(
+          {"pattern", "flows", "hot_flow_frac", "burst_len", "burst_gap_ns"});
+      r.read_enum("pattern", &s.arrival.pattern, arrival_from_string,
+                  "steady|burst|incast");
+      r.read_int("flows", &s.arrival.flows);
+      r.read_double("hot_flow_frac", &s.arrival.hot_flow_frac);
+      r.read_int("burst_len", &s.arrival.burst_len);
+      r.read_uint("burst_gap_ns", &s.arrival.burst_gap_ns);
+    }
+    if (const Json* m = top.field("maps")) {
+      Reader r(*m, "$.maps", &diags);
+      r.require_object();
+      r.check_unknown(
+          {"regime", "hit_rate", "entries_per_map", "adversarial_keys"});
+      r.read_enum("regime", &s.maps.regime, map_regime_from_string,
+                  "cold|warm|hot|full");
+      r.read_double("hit_rate", &s.maps.hit_rate);
+      r.read_int("entries_per_map", &s.maps.entries_per_map);
+      r.read_bool("adversarial_keys", &s.maps.adversarial_keys);
+    }
+    // docs:scenario-fields-end
+  }
+  if (diags.empty()) {
+    std::vector<Diag> range = s.validate();
+    diags.insert(diags.end(), range.begin(), range.end());
+  }
+  if (!diags.empty()) throw ScenarioError(std::move(diags));
+  return s;
+}
+
+std::string Scenario::fingerprint() const {
+  // Canonical form of the semantic fields only: serialize the full
+  // scenario, drop name/description, FNV-1a 64 the compact dump. Catalog
+  // entries and files with equal semantics fingerprint identically.
+  Json full = to_json();
+  Json canon{Json::Object{}};
+  for (const auto& [key, value] : full.as_object()) {
+    if (key == "name" || key == "description") continue;
+    canon.set(key, value);
+  }
+  std::string bytes = canon.dump();
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)h);
+  return buf;
+}
+
+// ---- built-in catalog -------------------------------------------------------
+
+namespace {
+
+std::vector<Scenario> build_catalog() {
+  std::vector<Scenario> cat;
+
+  Scenario def;  // value-initialized == the legacy make_workload mix
+  def.description =
+      "Legacy synthetic mix: uniform 60-94B UDP packets, warm hash maps at "
+      "hit rate 0.7. Expands bit-identically to the pre-scenario "
+      "sim::make_workload.";
+  cat.push_back(def);
+
+  Scenario imix;
+  imix.name = "imix_hot_maps";
+  imix.description =
+      "Classic 7:4:1 IMIX frame mix (64/594/1518B) against fully "
+      "pre-populated maps: every lookup of a seeded key hits.";
+  imix.packet.size_dist = SizeDist::IMIX;
+  imix.packet.min_len = 64;
+  imix.packet.max_len = 1518;
+  imix.maps.regime = MapRegime::HOT;
+  cat.push_back(imix);
+
+  Scenario incast;
+  incast.name = "incast_cold_maps";
+  incast.description =
+      "Incast-like concentration: 90% of small packets (24-128B, including "
+      "runts below parseable headers) carry one hot flow key (32 flows "
+      "total) and every map starts empty, so flow-state lookups miss.";
+  incast.packet.min_len = 24;
+  incast.packet.max_len = 128;
+  incast.arrival.pattern = Arrival::INCAST;
+  incast.arrival.flows = 32;
+  incast.arrival.hot_flow_frac = 0.9;
+  incast.maps.regime = MapRegime::COLD;
+  cat.push_back(incast);
+
+  Scenario tail;
+  tail.name = "heavy_tail_bursts";
+  tail.description =
+      "Bounded-Pareto packet sizes (alpha 1.2, 24-1514B: mostly mice, "
+      "occasional elephants) arriving in 8-packet bursts 1ms apart; maps "
+      "warm at a degraded 0.5 hit rate.";
+  tail.packet.size_dist = SizeDist::HEAVY_TAIL;
+  tail.packet.min_len = 24;
+  tail.packet.max_len = 1514;
+  tail.packet.tail_alpha = 1.2;
+  tail.arrival.pattern = Arrival::BURST;
+  tail.maps.hit_rate = 0.5;
+  cat.push_back(tail);
+
+  Scenario adv;
+  adv.name = "adversarial_full";
+  adv.description =
+      "Worst-case state: hash maps filled toward max_entries with keys "
+      "colliding in their low byte plus the all-ones boundary key; "
+      "array-like maps hold live nonzero entries (control flags set).";
+  adv.maps.regime = MapRegime::FULL;
+  adv.maps.adversarial_keys = true;
+  cat.push_back(adv);
+
+  return cat;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& catalog() {
+  static const std::vector<Scenario> cat = build_catalog();
+  return cat;
+}
+
+const Scenario& default_scenario() { return catalog().front(); }
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : catalog())
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::string catalog_names() {
+  std::string out;
+  for (const Scenario& s : catalog()) {
+    if (!out.empty()) out += "|";
+    out += s.name;
+  }
+  return out;
+}
+
+}  // namespace k2::scenario

@@ -75,7 +75,13 @@ class TraceLatencyModel final : public PerfModel {
   static constexpr double kFaultCostNs = 1e6;
 
   TraceLatencyModel(const ebpf::Program& src, uint64_t seed, int n)
-      : workload_(make_workload(src, n, seed)), src_cost_([&] {
+      : TraceLatencyModel(src, make_workload(src, n, seed)) {}
+
+  // Caller-supplied workload (the scenario subsystem expands one and hands
+  // it over here); the backend stays immutable after construction.
+  TraceLatencyModel(const ebpf::Program& src,
+                    std::vector<interp::InputSpec> workload)
+      : workload_(std::move(workload)), src_cost_([&] {
           interp::Machine m;
           return avg_packet_cost_ns(src, workload_, m, kFaultCostNs);
         }()) {}
@@ -112,6 +118,20 @@ std::unique_ptr<PerfModel> make_perf_model(PerfModelKind kind,
     case PerfModelKind::TRACE_LATENCY:
       return std::make_unique<TraceLatencyModel>(
           src, seed, workload_size > 0 ? workload_size : 32);
+  }
+  throw std::invalid_argument("unknown PerfModelKind");
+}
+
+std::unique_ptr<PerfModel> make_perf_model(
+    PerfModelKind kind, const ebpf::Program& src,
+    std::vector<interp::InputSpec> workload) {
+  switch (kind) {
+    case PerfModelKind::INST_COUNT:
+      return std::make_unique<InstCountModel>();
+    case PerfModelKind::STATIC_LATENCY:
+      return std::make_unique<StaticLatencyModel>();
+    case PerfModelKind::TRACE_LATENCY:
+      return std::make_unique<TraceLatencyModel>(src, std::move(workload));
   }
   throw std::invalid_argument("unknown PerfModelKind");
 }

@@ -53,8 +53,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "ebpf/program.h"
+#include "interp/state.h"
 
 namespace k2::interp {
 struct Machine;
@@ -105,5 +107,14 @@ std::unique_ptr<PerfModel> make_perf_model(PerfModelKind kind,
                                            const ebpf::Program& src,
                                            uint64_t seed,
                                            int workload_size = 32);
+
+// Same, with a caller-supplied workload for TRACE_LATENCY instead of the
+// built-in make_workload mix. This is how the scenario subsystem
+// (src/scenario, a layer *above* sim) injects expanded traffic models into
+// the cost stage without sim depending on it: the caller expands, sim only
+// consumes inputs. The static backends ignore the workload.
+std::unique_ptr<PerfModel> make_perf_model(
+    PerfModelKind kind, const ebpf::Program& src,
+    std::vector<interp::InputSpec> workload);
 
 }  // namespace k2::sim

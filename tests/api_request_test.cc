@@ -4,10 +4,16 @@
 // construction, and the schema-version constants of src/api/schema.h —
 // including the k2-batch-report/v1 version gate on BatchReport::from_json.
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "api/request.h"
 #include "api/response.h"
 #include "api/schema.h"
+#include "scenario/scenario.h"
 #include "sim/perf_model.h"
 
 namespace k2 {
@@ -224,6 +230,160 @@ TEST(ApiResponse, RoundTripAndStateStrings) {
   EXPECT_TRUE(api::job_state_from_string("CANCELLED", &st));
   EXPECT_EQ(st, api::JobState::CANCELLED);
   EXPECT_FALSE(api::job_state_from_string("cancelled", &st));
+}
+
+// ---- traffic scenarios (ISSUE 10) ------------------------------------------
+
+TEST(ApiRequest, ScenarioNameRoundTripsAndResolves) {
+  CompileRequest r =
+      CompileRequest::for_benchmark("xdp_fw").with_scenario("imix_hot_maps");
+  EXPECT_TRUE(r.validate().empty());
+  util::Json j = r.to_json();
+  EXPECT_EQ(j.at("scenario").as_string(), "imix_hot_maps");
+  CompileRequest back = CompileRequest::from_json(j);
+  EXPECT_EQ(j, back.to_json());
+  EXPECT_TRUE(back.resolved_scenario() ==
+              *scenario::find_scenario("imix_hot_maps"));
+  EXPECT_EQ(back.to_compile_options().scenario.fingerprint(),
+            scenario::find_scenario("imix_hot_maps")->fingerprint());
+}
+
+// No scenario and --scenario=default lower to the same CompileOptions — the
+// request-level face of the bit-identity guarantee.
+TEST(ApiRequest, NoScenarioEqualsExplicitDefault) {
+  CompileRequest plain = CompileRequest::for_benchmark("xdp_fw");
+  CompileRequest named =
+      CompileRequest::for_benchmark("xdp_fw").with_scenario("default");
+  EXPECT_TRUE(plain.resolved_scenario() == named.resolved_scenario());
+  EXPECT_TRUE(plain.to_compile_options().scenario ==
+              named.to_compile_options().scenario);
+  // And a plain request's wire form carries no scenario key at all.
+  EXPECT_EQ(plain.to_json().get("scenario"), nullptr);
+}
+
+TEST(ApiRequest, ScenarioInlineObjectRoundTrips) {
+  scenario::Scenario s = *scenario::find_scenario("heavy_tail_bursts");
+  CompileRequest r = CompileRequest::for_benchmark("xdp_fw").with_scenario(s);
+  EXPECT_TRUE(r.validate().empty());
+  util::Json j = r.to_json();
+  ASSERT_NE(j.get("scenario"), nullptr);
+  EXPECT_TRUE(j.at("scenario").is_object());
+  CompileRequest back = CompileRequest::from_json(j);
+  EXPECT_EQ(j, back.to_json());
+  ASSERT_TRUE(back.scenario_inline.has_value());
+  EXPECT_TRUE(*back.scenario_inline == s);
+  EXPECT_TRUE(back.resolved_scenario() == s);
+}
+
+// The ISSUE 10 satellite: an unknown scenario name is a hard error naming
+// the catalog — never a silent fall-back to `default`.
+TEST(ApiRequest, UnknownScenarioNameIsHardError) {
+  CompileRequest r =
+      CompileRequest::for_benchmark("xdp_fw").with_scenario("no_such");
+  try {
+    r.validate_or_throw();
+    FAIL() << "unknown scenario name must be rejected";
+  } catch (const ValidationError& e) {
+    EXPECT_TRUE(has_diag(e, "$.scenario", "unknown scenario 'no_such'"))
+        << e.what();
+    EXPECT_TRUE(has_diag(e, "$.scenario", "imix_hot_maps")) << e.what();
+  }
+  EXPECT_THROW(r.resolved_scenario(), ValidationError);
+  // The wire path rejects it too.
+  util::Json j = with_field(CompileRequest::for_benchmark("xdp_fw").to_json(),
+                            "scenario", util::Json("no_such"));
+  EXPECT_THROW(CompileRequest::from_json(j), ValidationError);
+  // And a non-string/non-object scenario value is a type error.
+  util::Json bad_type =
+      with_field(CompileRequest::for_benchmark("xdp_fw").to_json(), "scenario",
+                 util::Json(int64_t(3)));
+  try {
+    CompileRequest::from_json(bad_type);
+    FAIL();
+  } catch (const ValidationError& e) {
+    EXPECT_TRUE(has_diag(e, "$.scenario", "catalog name")) << e.what();
+  }
+}
+
+TEST(ApiRequest, ScenarioSourcesAreMutuallyExclusive) {
+  CompileRequest r =
+      CompileRequest::for_benchmark("xdp_fw").with_scenario("default");
+  r.scenario_file = "examples/scenarios/imix_hot_maps.json";
+  try {
+    r.validate_or_throw();
+    FAIL() << "two scenario sources must be rejected";
+  } catch (const ValidationError& e) {
+    EXPECT_TRUE(has_diag(e, "$.scenario", "mutually exclusive")) << e.what();
+  }
+}
+
+TEST(ApiRequest, ScenarioFileErrorsLandOnScenarioFile) {
+  CompileRequest missing = CompileRequest::for_benchmark("xdp_fw")
+                               .with_scenario_file("/no/such/scenario.json");
+  try {
+    missing.validate_or_throw();
+    FAIL() << "missing scenario file must be rejected";
+  } catch (const ValidationError& e) {
+    EXPECT_TRUE(has_diag(e, "$.scenario_file", "cannot open")) << e.what();
+  }
+  EXPECT_THROW(missing.resolved_scenario(), ValidationError);
+
+  // A malformed file reports the inner $.path inside the message.
+  char tmpl[] = "/tmp/k2_scenario_req_test.XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  std::string dir = tmpl;
+  std::string path = dir + "/bad.json";
+  {
+    std::ofstream out(path);
+    out << R"({"schema": "k2-scenario/v1", "packet": {"min_len": 4}})";
+  }
+  CompileRequest bad =
+      CompileRequest::for_benchmark("xdp_fw").with_scenario_file(path);
+  try {
+    bad.validate_or_throw();
+    FAIL() << "malformed scenario file must be rejected";
+  } catch (const ValidationError& e) {
+    EXPECT_TRUE(has_diag(e, "$.scenario_file", "$.packet.min_len"))
+        << e.what();
+  }
+  std::remove(path.c_str());
+  rmdir(dir.c_str());
+}
+
+TEST(ApiRequest, ScenarioFileResolvesToItsContents) {
+  char tmpl[] = "/tmp/k2_scenario_req_test.XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  std::string dir = tmpl;
+  std::string path = dir + "/incast.json";
+  const scenario::Scenario& want = *scenario::find_scenario("incast_cold_maps");
+  {
+    std::ofstream out(path);
+    out << want.to_json().dump(2) << "\n";
+  }
+  CompileRequest r =
+      CompileRequest::for_benchmark("xdp_fw").with_scenario_file(path);
+  EXPECT_TRUE(r.validate().empty());
+  EXPECT_EQ(r.to_json().at("scenario_file").as_string(), path);
+  scenario::Scenario got = r.resolved_scenario();
+  EXPECT_TRUE(got == want);
+  // File form and catalog form fingerprint identically — the provenance
+  // key "name@fingerprint" matches however the scenario was delivered.
+  EXPECT_EQ(got.fingerprint(), want.fingerprint());
+  std::remove(path.c_str());
+  rmdir(dir.c_str());
+}
+
+// Inline-scenario range problems are re-rooted under $.scenario.*.
+TEST(ApiRequest, InlineScenarioDiagnosticsAreReRooted) {
+  scenario::Scenario bad;  // default is valid; break one nested field
+  bad.packet.min_len = 4;
+  CompileRequest r = CompileRequest::for_benchmark("xdp_fw").with_scenario(bad);
+  try {
+    r.validate_or_throw();
+    FAIL() << "invalid inline scenario must be rejected";
+  } catch (const ValidationError& e) {
+    EXPECT_TRUE(has_diag(e, "$.scenario.packet.min_len")) << e.what();
+  }
 }
 
 // Satellite: the library-side schema stamp. from_json must reject any

@@ -1,0 +1,392 @@
+// Traffic-scenario subsystem (src/scenario, ISSUE 10): the bit-identity
+// differential pinning `default` ≡ legacy sim::make_workload, same-seed
+// determinism of expansion (including across threads), schema round-trips,
+// fingerprint stability, catalog lookup, and strict validation diagnostics.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "api/schema.h"
+#include "core/compiler.h"
+#include "corpus/corpus.h"
+#include "ebpf/program.h"
+#include "interp/state.h"
+#include "scenario/expander.h"
+#include "scenario/scenario.h"
+#include "sim/perf_eval.h"
+#include "sim/perf_model.h"
+#include "util/json.h"
+
+namespace k2::scenario {
+namespace {
+
+// A synthetic program exercising every map-kind branch of the expander:
+// HASH (the only kind whose WARM seeding skips entries and draws keys),
+// ARRAY, and a wide-key HASH (key_size > 8 hits the byte-fill guard).
+ebpf::Program map_heavy_program() {
+  ebpf::Program p;
+  p.maps.push_back(ebpf::MapDef{"flows", ebpf::MapKind::HASH, 8, 8, 256});
+  p.maps.push_back(ebpf::MapDef{"stats", ebpf::MapKind::ARRAY, 4, 8, 16});
+  p.maps.push_back(ebpf::MapDef{"wide", ebpf::MapKind::HASH, 16, 4, 64});
+  return p;
+}
+
+bool has_diag(const ScenarioError& e, const std::string& path,
+              const std::string& needle) {
+  for (const Diag& d : e.diagnostics())
+    if (d.path == path && d.message.find(needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+std::string all_paths(const ScenarioError& e) {
+  std::string s;
+  for (const Diag& d : e.diagnostics()) s += d.path + ": " + d.message + "\n";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance bar: the default scenario expands bit-identically to the
+// legacy sim::make_workload for the same (program, n, seed) — every byte of
+// every packet, map entry, and context field. This is what keeps
+// TRACE_LATENCY costs and same-seed winners unchanged for requests that
+// name no scenario.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioExpand, DefaultMatchesLegacyMakeWorkloadOnCorpus) {
+  const Scenario def = default_scenario();
+  for (const corpus::Benchmark& b : corpus::all_benchmarks()) {
+    for (uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+      auto legacy = sim::make_workload(b.o2, 32, seed);
+      auto mine = expand(def, b.o2, 32, seed);
+      ASSERT_EQ(legacy.size(), mine.size()) << b.name << " seed=" << seed;
+      for (size_t i = 0; i < legacy.size(); ++i)
+        ASSERT_TRUE(legacy[i] == mine[i])
+            << b.name << " seed=" << seed << " input#" << i;
+    }
+  }
+}
+
+TEST(ScenarioExpand, DefaultMatchesLegacyOnMapHeavyProgram) {
+  const ebpf::Program p = map_heavy_program();
+  const Scenario def = default_scenario();
+  for (int n : {1, 7, 32, 128}) {
+    for (uint64_t seed : {0ull, 3ull, 999ull}) {
+      auto legacy = sim::make_workload(p, n, seed);
+      auto mine = expand(def, p, n, seed);
+      ASSERT_EQ(legacy.size(), mine.size()) << "n=" << n << " seed=" << seed;
+      for (size_t i = 0; i < legacy.size(); ++i)
+        ASSERT_TRUE(legacy[i] == mine[i])
+            << "n=" << n << " seed=" << seed << " input#" << i;
+    }
+  }
+}
+
+// The centralized hit-rate constant, the make_workload default, and the
+// default scenario's MapModel must all agree (satellite 1: compiler.cc
+// historically passed 0.7 while perf_eval.h declared 0.75 — now there is
+// exactly one constant).
+TEST(ScenarioExpand, DefaultHitRateIsCentralized) {
+  EXPECT_EQ(kDefaultMapHitRate, 0.7);
+  EXPECT_EQ(default_scenario().maps.hit_rate, kDefaultMapHitRate);
+  const ebpf::Program p = map_heavy_program();
+  auto implicit = sim::make_workload(p, 32, 5);
+  auto explicit_rate = sim::make_workload(p, 32, 5, kDefaultMapHitRate);
+  ASSERT_EQ(implicit.size(), explicit_rate.size());
+  for (size_t i = 0; i < implicit.size(); ++i)
+    ASSERT_TRUE(implicit[i] == explicit_rate[i]) << "input#" << i;
+}
+
+// A TRACE_LATENCY model built the legacy way (src, seed, n) and one built
+// from a default-scenario expansion must price candidates identically —
+// the model-level form of the no-scenario ≡ --scenario=default guarantee.
+TEST(ScenarioExpand, TraceLatencyModelIdenticalUnderDefaultScenario) {
+  for (const char* name : {"xdp_pktcntr", "xdp_map_access"}) {
+    const corpus::Benchmark& b = corpus::benchmark(name);
+    auto legacy =
+        sim::make_perf_model(sim::PerfModelKind::TRACE_LATENCY, b.o2, 1);
+    auto scen = sim::make_perf_model(sim::PerfModelKind::TRACE_LATENCY, b.o2,
+                                     expand(default_scenario(), b.o2, 32, 1));
+    EXPECT_EQ(legacy->absolute(b.o2), scen->absolute(b.o2)) << name;
+    EXPECT_EQ(legacy->absolute(b.o1), scen->absolute(b.o1)) << name;
+    EXPECT_EQ(legacy->relative(b.o1, b.o2), scen->relative(b.o1, b.o2))
+        << name;
+  }
+}
+
+// CompileOptions' default-constructed scenario IS the default scenario, so
+// a request that names no scenario compiles through the identical path.
+TEST(ScenarioExpand, CompileOptionsDefaultIsDefaultScenario) {
+  core::CompileOptions opts;
+  EXPECT_TRUE(opts.scenario == default_scenario());
+  EXPECT_EQ(opts.scenario.fingerprint(), default_scenario().fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same (scenario, program, seed) → byte-identical expansion,
+// across repeated calls and across concurrent threads.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioExpand, SameSeedIsByteIdenticalAcrossCalls) {
+  const ebpf::Program p = map_heavy_program();
+  for (const Scenario& s : catalog()) {
+    auto a = expand(s, p, 64, 7);
+    auto b = expand(s, p, 64, 7);
+    ASSERT_EQ(a.size(), b.size()) << s.name;
+    for (size_t i = 0; i < a.size(); ++i)
+      ASSERT_TRUE(a[i] == b[i]) << s.name << " input#" << i;
+  }
+}
+
+TEST(ScenarioExpand, SameSeedIsByteIdenticalAcrossThreads) {
+  const ebpf::Program p = map_heavy_program();
+  const Scenario s = *find_scenario("heavy_tail_bursts");
+  const auto baseline = expand(s, p, 64, 11);
+  std::vector<std::vector<interp::InputSpec>> got(4);
+  std::vector<std::thread> threads;
+  for (auto& out : got)
+    threads.emplace_back([&, &out = out] { out = expand(s, p, 64, 11); });
+  for (auto& t : threads) t.join();
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_EQ(got[k].size(), baseline.size()) << "thread " << k;
+    for (size_t i = 0; i < baseline.size(); ++i)
+      ASSERT_TRUE(got[k][i] == baseline[i])
+          << "thread " << k << " input#" << i;
+  }
+}
+
+TEST(ScenarioExpand, DifferentSeedsAndScenariosDiffer) {
+  const ebpf::Program p = map_heavy_program();
+  const Scenario def = default_scenario();
+  auto base = expand(def, p, 32, 1);
+  auto reseeded = expand(def, p, 32, 2);
+  EXPECT_FALSE(base == reseeded);
+  for (const char* name :
+       {"imix_hot_maps", "incast_cold_maps", "heavy_tail_bursts",
+        "adversarial_full"}) {
+    const Scenario* s = find_scenario(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_FALSE(expand(*s, p, 32, 1) == base)
+        << name << " expanded identically to default";
+  }
+}
+
+// seed_offset shifts the effective RNG seed: offset k at seed s equals
+// offset 0 at seed s+k.
+TEST(ScenarioExpand, SeedOffsetShiftsTheStream) {
+  const ebpf::Program p = map_heavy_program();
+  Scenario s = default_scenario();
+  s.seed_offset = 5;
+  auto shifted = expand(s, p, 32, 10);
+  auto direct = expand(default_scenario(), p, 32, 15);
+  ASSERT_EQ(shifted.size(), direct.size());
+  for (size_t i = 0; i < shifted.size(); ++i)
+    ASSERT_TRUE(shifted[i] == direct[i]) << "input#" << i;
+}
+
+// Every expansion respects the scenario's packet-length bounds and count.
+TEST(ScenarioExpand, RespectsLengthBoundsAndCount) {
+  const ebpf::Program p = map_heavy_program();
+  for (const Scenario& s : catalog()) {
+    auto w = expand(s, p, s.inputs, 3);
+    EXPECT_EQ(w.size(), size_t(s.inputs)) << s.name;
+    size_t lo = SIZE_MAX, hi = 0;
+    for (const auto& in : w) {
+      lo = std::min(lo, in.packet.size());
+      hi = std::max(hi, in.packet.size());
+    }
+    EXPECT_GE(lo, size_t(24)) << s.name;
+    EXPECT_LE(hi, size_t(9000)) << s.name;
+  }
+}
+
+// ScenarioExpander is the validated-wrapper form of the free functions.
+TEST(ScenarioExpand, ExpanderClassMatchesFreeFunction) {
+  const ebpf::Program p = map_heavy_program();
+  const Scenario s = *find_scenario("imix_hot_maps");
+  ScenarioExpander ex(s);
+  auto a = ex.expand(p, 16, 9);
+  auto b = expand(s, p, 16, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_TRUE(a[i] == b[i]);
+
+  Scenario bad = s;
+  bad.packet.min_len = 4;  // below the 24-byte floor
+  EXPECT_THROW(ScenarioExpander{bad}, ScenarioError);
+}
+
+// ---------------------------------------------------------------------------
+// Schema: round-trips, fingerprints, catalog.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSchema, CatalogRoundTripsExactly) {
+  for (const Scenario& s : catalog()) {
+    util::Json j1 = s.to_json();
+    Scenario back = Scenario::from_json(j1);
+    EXPECT_TRUE(back == s) << s.name;
+    util::Json j2 = back.to_json();
+    EXPECT_EQ(j1.dump(), j2.dump()) << s.name;
+    // Serialized text parses back identically too (the scenario_file path).
+    Scenario reparsed = Scenario::from_json(util::Json::parse(j1.dump(2)));
+    EXPECT_TRUE(reparsed == s) << s.name;
+  }
+}
+
+TEST(ScenarioSchema, FingerprintIsStableAndContentAddressed) {
+  for (const Scenario& s : catalog()) {
+    EXPECT_EQ(s.fingerprint().size(), 16u) << s.name;
+    EXPECT_EQ(s.fingerprint(), Scenario::from_json(s.to_json()).fingerprint())
+        << s.name;
+    // Name and description are provenance, not content.
+    Scenario renamed = s;
+    renamed.name = "renamed";
+    renamed.description = "something else";
+    EXPECT_EQ(renamed.fingerprint(), s.fingerprint()) << s.name;
+    // Any behavioral field change moves the fingerprint.
+    Scenario tweaked = s;
+    tweaked.inputs += 1;
+    EXPECT_NE(tweaked.fingerprint(), s.fingerprint()) << s.name;
+  }
+}
+
+TEST(ScenarioSchema, CatalogNamesAreUniqueAndFindable) {
+  const auto& cat = catalog();
+  ASSERT_GE(cat.size(), 5u);
+  EXPECT_EQ(cat[0].name, "default");
+  for (const Scenario& s : cat) {
+    const Scenario* found = find_scenario(s.name);
+    ASSERT_NE(found, nullptr) << s.name;
+    EXPECT_TRUE(*found == s) << s.name;
+    EXPECT_NE(catalog_names().find(s.name), std::string::npos) << s.name;
+  }
+  // Fingerprints are pairwise distinct across the catalog.
+  for (size_t i = 0; i < cat.size(); ++i)
+    for (size_t j = i + 1; j < cat.size(); ++j)
+      EXPECT_NE(cat[i].fingerprint(), cat[j].fingerprint())
+          << cat[i].name << " vs " << cat[j].name;
+  EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
+  EXPECT_TRUE(*find_scenario("default") == default_scenario());
+}
+
+TEST(ScenarioSchema, EnumStringsRoundTrip) {
+  for (SizeDist d : {SizeDist::UNIFORM, SizeDist::BIMODAL,
+                     SizeDist::HEAVY_TAIL, SizeDist::IMIX}) {
+    SizeDist back;
+    ASSERT_TRUE(size_dist_from_string(to_string(d), &back));
+    EXPECT_EQ(back, d);
+  }
+  for (Arrival a : {Arrival::STEADY, Arrival::BURST, Arrival::INCAST}) {
+    Arrival back;
+    ASSERT_TRUE(arrival_from_string(to_string(a), &back));
+    EXPECT_EQ(back, a);
+  }
+  for (MapRegime r : {MapRegime::COLD, MapRegime::WARM, MapRegime::HOT,
+                      MapRegime::FULL}) {
+    MapRegime back;
+    ASSERT_TRUE(map_regime_from_string(to_string(r), &back));
+    EXPECT_EQ(back, r);
+  }
+  SizeDist d;
+  EXPECT_FALSE(size_dist_from_string("pareto", &d));
+}
+
+// ---------------------------------------------------------------------------
+// Strict parsing and validation: every problem reported with a $.path.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSchema, SchemaVersionIsEnforced) {
+  util::Json j = default_scenario().to_json();
+  util::Json bad = util::Json::Object{};
+  for (const auto& [k, v] : j.as_object())
+    bad.set(k, k == "schema" ? util::Json("k2-scenario/v0") : v);
+  try {
+    Scenario::from_json(bad);
+    FAIL() << "v0 schema accepted";
+  } catch (const ScenarioError& e) {
+    EXPECT_TRUE(has_diag(e, "$.schema", api::kScenarioSchema))
+        << all_paths(e);
+  }
+}
+
+TEST(ScenarioSchema, UnknownFieldsAreHardErrors) {
+  util::Json j = default_scenario().to_json();
+  j.set("surprise", 1);
+  try {
+    Scenario::from_json(j);
+    FAIL() << "unknown top-level field accepted";
+  } catch (const ScenarioError& e) {
+    EXPECT_TRUE(has_diag(e, "$.surprise", "unknown")) << all_paths(e);
+  }
+}
+
+// Parse-level problems (unknown fields, unknown enum strings, wrong types)
+// are all collected in one pass, each under its full nested path.
+TEST(ScenarioSchema, NestedParseErrorsCarryFullPaths) {
+  util::Json j = util::Json::parse(R"({
+    "schema": "k2-scenario/v1",
+    "name": "broken",
+    "inputs": "thirty-two",
+    "packet": {"size_dist": "pareto", "bogus": true},
+    "arrival": {"pattern": "poisson"},
+    "maps": {"regime": "warm", "adversarial_keys": 1}
+  })");
+  try {
+    Scenario::from_json(j);
+    FAIL() << "malformed scenario accepted";
+  } catch (const ScenarioError& e) {
+    EXPECT_TRUE(has_diag(e, "$.inputs", "integer")) << all_paths(e);
+    EXPECT_TRUE(has_diag(e, "$.packet.size_dist", "pareto")) << all_paths(e);
+    EXPECT_TRUE(has_diag(e, "$.packet.bogus", "unknown")) << all_paths(e);
+    EXPECT_TRUE(has_diag(e, "$.arrival.pattern", "poisson")) << all_paths(e);
+    EXPECT_TRUE(has_diag(e, "$.maps.adversarial_keys", "boolean"))
+        << all_paths(e);
+  }
+}
+
+// A well-formed file with out-of-range values gets the range diagnostics,
+// again with full paths.
+TEST(ScenarioSchema, NestedRangeErrorsCarryFullPaths) {
+  util::Json j = util::Json::parse(R"({
+    "schema": "k2-scenario/v1",
+    "name": "broken",
+    "inputs": 0,
+    "packet": {"min_len": 10},
+    "arrival": {"pattern": "incast", "flows": 0},
+    "maps": {"hit_rate": 1.5}
+  })");
+  try {
+    Scenario::from_json(j);
+    FAIL() << "out-of-range scenario accepted";
+  } catch (const ScenarioError& e) {
+    EXPECT_TRUE(has_diag(e, "$.inputs", "")) << all_paths(e);
+    EXPECT_TRUE(has_diag(e, "$.packet.min_len", "")) << all_paths(e);
+    EXPECT_TRUE(has_diag(e, "$.arrival.flows", "incast")) << all_paths(e);
+    EXPECT_TRUE(has_diag(e, "$.maps.hit_rate", "")) << all_paths(e);
+  }
+}
+
+TEST(ScenarioSchema, ValidateCatchesRangeViolations) {
+  Scenario s = default_scenario();
+  s.packet.min_len = 500;
+  s.packet.max_len = 100;  // max < min
+  s.maps.hit_rate = -0.1;
+  auto diags = s.validate();
+  ASSERT_FALSE(diags.empty());
+  bool saw_len = false, saw_rate = false;
+  for (const Diag& d : diags) {
+    if (d.path == "$.packet.max_len") saw_len = true;
+    if (d.path == "$.maps.hit_rate") saw_rate = true;
+  }
+  EXPECT_TRUE(saw_len);
+  EXPECT_TRUE(saw_rate);
+  EXPECT_THROW(s.validate_or_throw(), ScenarioError);
+  EXPECT_THROW(expand(s, map_heavy_program(), 8, 1), ScenarioError);
+}
+
+TEST(ScenarioSchema, NonObjectIsRejected) {
+  EXPECT_THROW(Scenario::from_json(util::Json(42)), ScenarioError);
+  EXPECT_THROW(Scenario::from_json(util::Json("default")), ScenarioError);
+}
+
+}  // namespace
+}  // namespace k2::scenario

@@ -29,6 +29,7 @@
 #include "api/service.h"
 #include "corpus/corpus.h"
 #include "ebpf/bytecode.h"
+#include "scenario/scenario.h"
 #include "jit/exec_backend.h"
 #include "jit/translator.h"
 #include "sim/perf_model.h"
@@ -95,6 +96,15 @@ util::Flags make_flags() {
        ""},
       {"max-insns", T::UINT, "1048576",
        "interpreter step budget per test execution", ""},
+      {"scenario", T::STRING, "",
+       "traffic scenario for the latency cost stage: a built-in catalog "
+       "name (see `k2c scenario list`) or a k2-scenario/v1 JSON file path "
+       "(pair with --perf-model=latency)",
+       ""},
+      {"lint", T::STRING, "",
+       "scenario mode: lint this k2-scenario/v1 file (exit 2 with $.field "
+       "diagnostics when malformed)",
+       ""},
       {"exec-backend", T::STRING, "fast",
        "execution engine for candidate test runs: the fast interpreter or "
        "the x86-64 template JIT (bit-identical results; unsupported "
@@ -156,7 +166,15 @@ const char* kUsage =
     "                                          equivalence-cache directory\n"
     "       k2c fuzz --seed=N --iters=M [--backends=fast,jit] [--shrink]\n"
     "                                          differential conformance fuzz\n"
-    "                                          of the execution backends\n";
+    "                                          of the execution backends\n"
+    "       k2c scenario list                  built-in traffic scenarios\n"
+    "       k2c scenario lint <file>           validate a k2-scenario/v1 "
+    "file\n"
+    "       k2c scenario describe <name|file>  print canonical JSON + "
+    "fingerprint\n"
+    "       k2c scenario expand <name|file> --bench=<b> [--seed=N]\n"
+    "                                          preview the expanded "
+    "workload\n";
 
 std::vector<std::string> split_endpoints(const std::string& csv) {
   std::vector<std::string> out;
@@ -196,6 +214,16 @@ void apply_common(const util::Flags& f, api::CompileRequest* req) {
   req->cache_dir = f.str("cache-dir");
   req->solver_endpoints = split_endpoints(f.str("solver-endpoints"));
   req->portfolio = int(f.num("portfolio"));
+  if (f.has("scenario")) {
+    // A value that names a readable file is a scenario file; anything else
+    // is treated as a catalog name (and an unknown name is a hard
+    // validation error — never a silent fall-back to `default`).
+    const std::string v = f.str("scenario");
+    if (std::ifstream(v).good())
+      req->scenario_file = v;
+    else
+      req->scenario = v;
+  }
 }
 
 // Progress events → human-readable stderr lines (--progress).
@@ -300,6 +328,9 @@ int run_single(const util::Flags& f) {
   fprintf(stderr, "k2c: kernel checker: %d accepted, %d rejected during "
                   "final verification\n",
           res.kernel_accepted, res.kernel_rejected);
+  if (!res.scenario.empty() && res.scenario != "default")
+    fprintf(stderr, "k2c: scenario: %s (fingerprint %s)\n",
+            res.scenario.c_str(), res.scenario_fingerprint.c_str());
 
   printf("%s", resp.best_asm.c_str());
 
@@ -341,11 +372,21 @@ int run_batch(const util::Flags& f) {
                     : (req.sweep == api::CompileRequest::Sweep::TABLE8
                            ? core::table8_settings().size()
                            : core::default_settings().size()));
+  // Derive the banner's perf model without full request lowering —
+  // to_compile_options() resolves the scenario (possibly reading a file)
+  // and its validation errors belong to submit()'s error path, not here.
+  core::CompileOptions pm_probe;
+  pm_probe.goal = req.goal;
+  pm_probe.perf_model = req.perf_model;
   fprintf(stderr,
           "k2c: batch: %zu jobs (%zu benchmarks), %d shard threads, "
           "%d solver workers, perf model %s\n",
           njobs, nbench, req.threads, req.solver_workers,
-          sim::to_string(core::resolved_perf_model(req.to_compile_options())));
+          sim::to_string(core::resolved_perf_model(pm_probe)));
+  if (!req.scenario.empty() || !req.scenario_file.empty())
+    fprintf(stderr, "k2c: scenario: %s\n",
+            (req.scenario_file.empty() ? req.scenario : req.scenario_file)
+                .c_str());
 
   api::CompilerService service({/*threads=*/req.threads,
                                 /*solver_workers=*/req.solver_workers});
@@ -580,6 +621,129 @@ int run_fuzz(const util::Flags& f) {
   return 3;
 }
 
+// Loads + strictly parses a k2-scenario/v1 file, printing one `$.path:
+// message` diagnostic line per problem on failure.
+bool load_scenario_file_cli(const std::string& path, scenario::Scenario* out) {
+  std::ifstream in(path);
+  if (!in) {
+    fprintf(stderr, "k2c: scenario: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  try {
+    *out = scenario::Scenario::from_json(util::Json::parse(ss.str()));
+  } catch (const scenario::ScenarioError& e) {
+    for (const scenario::Diag& d : e.diagnostics())
+      fprintf(stderr, "k2c: scenario: %s: %s: %s\n", path.c_str(),
+              d.path.c_str(), d.message.c_str());
+    return false;
+  } catch (const std::exception& e) {
+    fprintf(stderr, "k2c: scenario: %s: $: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+// Catalog name or file path -> Scenario (file wins when the path is
+// readable, mirroring --scenario's resolution).
+bool resolve_scenario_arg(const std::string& arg, scenario::Scenario* out) {
+  if (std::ifstream(arg).good()) return load_scenario_file_cli(arg, out);
+  const scenario::Scenario* s = scenario::find_scenario(arg);
+  if (!s) {
+    fprintf(stderr,
+            "k2c: scenario: unknown scenario '%s' (expected %s, or a "
+            "readable file path)\n",
+            arg.c_str(), scenario::catalog_names().c_str());
+    return false;
+  }
+  *out = *s;
+  return true;
+}
+
+// `k2c scenario <list|lint|describe|expand>` — inspect and validate
+// traffic scenarios without running a compile. `k2c scenario --lint=<file>`
+// is an alias for the lint verb.
+int run_scenario(const util::Flags& f) {
+  const std::vector<std::string>& pos = f.positional();
+  std::string verb = pos.size() > 1 ? pos[1] : "";
+  std::string target = pos.size() > 2 ? pos[2] : "";
+  if (f.has("lint")) {
+    if (!verb.empty()) {
+      fprintf(stderr, "k2c: scenario: --lint and a verb are exclusive\n");
+      return 2;
+    }
+    verb = "lint";
+    target = f.str("lint");
+  }
+
+  if (verb == "list" || verb.empty()) {
+    for (const scenario::Scenario& s : scenario::catalog())
+      printf("%-20s %s  %s\n", s.name.c_str(), s.fingerprint().c_str(),
+             s.description.c_str());
+    return 0;
+  }
+  if (verb == "lint") {
+    if (target.empty()) {
+      fprintf(stderr, "k2c: scenario lint needs a file path\n");
+      return 2;
+    }
+    scenario::Scenario s;
+    if (!load_scenario_file_cli(target, &s)) return 2;
+    fprintf(stderr, "k2c: scenario: %s OK: name=%s fingerprint=%s\n",
+            target.c_str(), s.name.c_str(), s.fingerprint().c_str());
+    return 0;
+  }
+  if (verb == "describe") {
+    scenario::Scenario s;
+    if (target.empty() || !resolve_scenario_arg(target, &s)) return 2;
+    printf("%s\n", s.to_json().dump(2).c_str());
+    fprintf(stderr, "k2c: scenario: fingerprint=%s\n", s.fingerprint().c_str());
+    return 0;
+  }
+  if (verb == "expand") {
+    scenario::Scenario s;
+    if (target.empty() || !resolve_scenario_arg(target, &s)) return 2;
+    if (!f.has("bench")) {
+      fprintf(stderr,
+              "k2c: scenario expand needs --bench=<corpus benchmark> (its "
+              "maps shape the workload)\n");
+      return 2;
+    }
+    const ebpf::Program* prog;
+    try {
+      prog = &corpus::benchmark(f.str("bench")).o2;
+    } catch (const std::out_of_range&) {
+      fprintf(stderr, "k2c: scenario: unknown benchmark '%s'\n",
+              f.str("bench").c_str());
+      return 2;
+    }
+    std::vector<interp::InputSpec> workload =
+        scenario::expand(s, *prog, f.unum("seed"));
+    fprintf(stderr,
+            "k2c: scenario %s (fingerprint %s): %zu inputs for %s, "
+            "seed %llu\n",
+            s.name.c_str(), s.fingerprint().c_str(), workload.size(),
+            f.str("bench").c_str(),
+            static_cast<unsigned long long>(f.unum("seed")));
+    for (size_t i = 0; i < workload.size(); ++i) {
+      const interp::InputSpec& in = workload[i];
+      size_t entries = 0;
+      for (const auto& [fd, es] : in.maps) entries += es.size();
+      printf("input %3zu: packet %4zu B, %zu map entries in %zu maps, "
+             "ktime %llu, cpu %u\n",
+             i, in.packet.size(), entries, in.maps.size(),
+             static_cast<unsigned long long>(in.ktime_base), in.cpu_id);
+    }
+    return 0;
+  }
+  fprintf(stderr,
+          "k2c: scenario: unknown verb '%s' (expected "
+          "list|lint|describe|expand)\n",
+          verb.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -617,6 +781,10 @@ int main(int argc, char** argv) {
   if (!f.positional().empty() && f.positional()[0] == "fuzz") {
     if (reject_positionals(1, "fuzz")) return 2;
     return run_fuzz(f);
+  }
+  if (!f.positional().empty() && f.positional()[0] == "scenario") {
+    if (reject_positionals(3, "scenario")) return 2;
+    return run_scenario(f);
   }
   if (f.has("corpus")) {
     if (reject_positionals(0, "batch")) return 2;
